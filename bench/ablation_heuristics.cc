@@ -1,0 +1,106 @@
+// Ablation study of the optimizer's heuristics (DESIGN.md design choices):
+//   * idle-time rectangle insertion (paper lines 13-14, 3-wire window),
+//   * the extra critical-path-safe insert/shrink fill,
+//   * the width-boost for just-started cores (paper lines 15-16),
+//   * the delta bump to the top Pareto width (paper Initialize lines 5-6),
+//   * deadline-driven sizing vs. the paper's per-core S% sizing,
+//   * preemption budgets 0/1/2/4.
+#include <cstdio>
+
+#include "baseline/lower_bound.h"
+#include "core/optimizer.h"
+#include "soc/benchmarks.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+using namespace soctest;
+
+namespace {
+
+Time Run(const TestProblem& problem, OptimizerParams params) {
+  const auto result = Optimize(problem, params);
+  return result.ok() ? result.makespan : -1;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Ablation: contribution of each scheduling heuristic ===\n"
+              "(single run per cell: S=5, delta=1, time rank; cycles)\n\n");
+
+  TablePrinter table({"SOC", "W", "full", "-idle_fill", "-insert_fill",
+                      "-width_boost", "-all fills", "deadline sizing"},
+                     {Align::kLeft});
+  for (const auto& soc : AllBenchmarkSocs()) {
+    const TestProblem problem = TestProblem::FromSoc(soc);
+    for (int w : {24, 48}) {
+      OptimizerParams base;
+      base.tam_width = w;
+
+      OptimizerParams no_idle = base;
+      no_idle.enable_idle_fill = false;
+      OptimizerParams no_insert = base;
+      no_insert.enable_insert_fill = false;
+      OptimizerParams no_boost = base;
+      no_boost.enable_width_boost = false;
+      OptimizerParams bare = base;
+      bare.enable_idle_fill = false;
+      bare.enable_insert_fill = false;
+      bare.enable_width_boost = false;
+      OptimizerParams deadline = base;
+      deadline.deadline_sizing = true;
+
+      table.AddRow({soc.name(), std::to_string(w),
+                    WithCommas(Run(problem, base)),
+                    WithCommas(Run(problem, no_idle)),
+                    WithCommas(Run(problem, no_insert)),
+                    WithCommas(Run(problem, no_boost)),
+                    WithCommas(Run(problem, bare)),
+                    WithCommas(Run(problem, deadline))});
+    }
+    table.AddSeparator();
+  }
+  std::fputs(table.ToString().c_str(), stdout);
+
+  std::printf("\n=== Ablation: preemption budget sweep (d695, W=24) ===\n\n");
+  TablePrinter pre_table({"max preemptions", "makespan", "total preemptions",
+                          "overhead cycles"});
+  for (int budget : {0, 1, 2, 4}) {
+    Soc soc = MakeD695();
+    for (int c = 0; c < soc.num_cores(); ++c) {
+      soc.mutable_core(c).max_preemptions = budget;
+    }
+    const TestProblem problem = TestProblem::FromSoc(std::move(soc));
+    OptimizerParams params;
+    params.tam_width = 24;
+    params.allow_preemption = budget > 0;
+    const auto result = Optimize(problem, params);
+    if (!result.ok()) return 1;
+    Time overhead = 0;
+    for (const auto& entry : result.schedule.entries()) {
+      overhead += entry.overhead_cycles;
+    }
+    pre_table.AddRow({std::to_string(budget), WithCommas(result.makespan),
+                      std::to_string(result.schedule.TotalPreemptions()),
+                      WithCommas(overhead)});
+  }
+  std::fputs(pre_table.ToString().c_str(), stdout);
+
+  std::printf("\n=== Ablation: delta bump (paper Initialize lines 5-6) ===\n"
+              "(p34392s, the SOC whose bottleneck core motivated the "
+              "heuristic; S=5)\n\n");
+  TablePrinter delta_table({"W", "delta=0", "delta=1", "delta=2", "delta=4"});
+  const TestProblem p34392 = TestProblem::FromSoc(MakeP34392s());
+  for (int w : {24, 28, 32}) {
+    std::vector<std::string> row{std::to_string(w)};
+    for (int delta : {0, 1, 2, 4}) {
+      OptimizerParams params;
+      params.tam_width = w;
+      params.delta = delta;
+      row.push_back(WithCommas(Run(p34392, params)));
+    }
+    delta_table.AddRow(row);
+  }
+  std::fputs(delta_table.ToString().c_str(), stdout);
+  return 0;
+}

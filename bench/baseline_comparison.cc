@@ -1,0 +1,99 @@
+// Reproduces the paper's Section 6 CPU-time claim and baseline comparisons:
+//
+//  * flexible-width rectangle packing (this paper) vs. the exact fixed-width
+//    TAM baseline (the [12]-style formulation whose cost explodes with the
+//    number of TAMs) — both quality and wall-clock time;
+//  * level-oriented shelf packing (NFDH/FFDH, ref [8]) as the classical
+//    rectangle-packing baseline the paper generalizes.
+#include <chrono>
+#include <cstdio>
+
+#include "baseline/fixed_width.h"
+#include "baseline/lower_bound.h"
+#include "baseline/shelf.h"
+#include "core/optimizer.h"
+#include "soc/benchmarks.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+using namespace soctest;
+
+namespace {
+
+template <typename Fn>
+double TimeIt(Fn&& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  fn();
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+}  // namespace
+
+int main() {
+  const Soc soc = MakeD695();
+  const TestProblem problem = TestProblem::FromSoc(soc);
+
+  std::printf("=== Baseline comparison on %s ===\n\n", soc.name().c_str());
+
+  // --- Quality + runtime vs. the exact fixed-width baseline --------------
+  TablePrinter table({"W", "B", "flexible (cycles)", "fixed exact (cycles)",
+                      "flex s", "fixed s", "B&B nodes"});
+  for (int w : {12, 16, 20}) {
+    OptimizerParams params;
+    params.tam_width = w;
+    OptimizerResult flexible;
+    const double flex_s =
+        TimeIt([&] { flexible = Optimize(problem, params); });
+    if (!flexible.ok()) {
+      std::fprintf(stderr, "flexible scheduling failed\n");
+      return 1;
+    }
+    for (int buses : {2, 3}) {
+      FixedWidthOptions options;
+      options.num_buses = buses;
+      options.max_nodes = 20'000'000;
+      FixedWidthResult fixed;
+      const double fixed_s =
+          TimeIt([&] { fixed = OptimizeFixedWidth(soc, w, options); });
+      table.AddRow({std::to_string(w), std::to_string(buses),
+                    WithCommas(flexible.makespan), WithCommas(fixed.test_time),
+                    StrFormat("%.4f", flex_s), StrFormat("%.3f", fixed_s),
+                    WithCommas(fixed.nodes_explored)});
+    }
+  }
+  std::fputs(table.ToString().c_str(), stdout);
+  std::printf(
+      "\nThe fixed-width exact search explores exponentially many nodes as B\n"
+      "grows; the rectangle-packing heuristic runs orders of magnitude\n"
+      "faster at equal or better test times (the paper's Section 6 claim\n"
+      "against the exact method of [12]).\n\n");
+
+  // --- Shelf packing baseline --------------------------------------------
+  TablePrinter shelf_table(
+      {"SOC", "W", "lower bound", "flexible", "FFDH shelf", "NFDH shelf"},
+      {Align::kLeft});
+  for (const auto& bench : AllBenchmarkSocs()) {
+    const TestProblem bench_problem = TestProblem::FromSoc(bench);
+    for (int w : {24, 48}) {
+      OptimizerParams params;
+      params.tam_width = w;
+      const auto flexible = OptimizeBestOverParams(bench_problem, params);
+      if (!flexible.ok()) return 1;
+      ShelfOptions ffdh;
+      ffdh.policy = ShelfPolicy::kFirstFitDecreasingHeight;
+      ShelfOptions nfdh;
+      nfdh.policy = ShelfPolicy::kNextFitDecreasingHeight;
+      shelf_table.AddRow({bench.name(), std::to_string(w),
+                          WithCommas(ComputeLowerBound(bench, w, 64).value()),
+                          WithCommas(flexible.makespan),
+                          WithCommas(ShelfPack(bench, w, ffdh).Makespan()),
+                          WithCommas(ShelfPack(bench, w, nfdh).Makespan())});
+    }
+  }
+  std::fputs(shelf_table.ToString().c_str(), stdout);
+  std::printf(
+      "\nFlexible-width packing dominates both shelf heuristics on every "
+      "SOC/width.\n");
+  return 0;
+}

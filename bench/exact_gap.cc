@@ -1,0 +1,87 @@
+// Heuristic-vs-optimal quality audit on small instances.
+//
+// The rectangle-packing problem is NP-hard, so optimality can only be
+// certified where exhaustive branch-and-bound is feasible. This bench runs
+// the exact packer (core/exact.h) against the heuristic on random 4-6 core
+// SOCs and reports the gap distribution, plus the lower-bound looseness of
+// both (how much of the heuristic's LB gap is the LB's fault vs. the
+// heuristic's).
+#include <cstdio>
+
+#include "baseline/lower_bound.h"
+#include "core/exact.h"
+#include "core/optimizer.h"
+#include "soc/generator.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+using namespace soctest;
+
+namespace {
+
+Soc TinySoc(int cores, std::uint64_t seed) {
+  GeneratorParams params;
+  params.seed = seed;
+  params.num_cores = cores;
+  params.min_inputs = 2;
+  params.max_inputs = 24;
+  params.min_outputs = 2;
+  params.max_outputs = 24;
+  params.min_patterns = 5;
+  params.max_patterns = 60;
+  params.min_chains = 1;
+  params.max_chains = 5;
+  params.min_chain_len = 4;
+  params.max_chain_len = 40;
+  return GenerateSoc(params);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Exact-vs-heuristic optimality audit (small instances) ===\n\n");
+
+  TablePrinter table({"cores", "W", "seed", "LB", "exact (opt)", "heuristic",
+                      "heur/opt", "opt/LB", "B&B nodes"});
+  int optimal_hits = 0;
+  int total = 0;
+  double worst_ratio = 1.0;
+  for (int cores : {4, 5, 6}) {
+    for (std::uint64_t seed : {21u, 22u, 23u, 24u}) {
+      const Soc soc = TinySoc(cores, seed);
+      const int w = cores + 2;
+      ExactPackOptions options;
+      options.max_nodes = 20'000'000;
+      const auto exact = ExactPack(soc, w, options);
+      if (!exact || !exact->proven_optimal) continue;
+
+      const TestProblem problem = TestProblem::FromSoc(soc);
+      OptimizerParams params;
+      params.tam_width = w;
+      const auto heuristic = OptimizeBestOverParams(problem, params);
+      if (!heuristic.ok()) return 1;
+      const auto lb = ComputeLowerBound(soc, w, 64);
+
+      const double ratio = static_cast<double>(heuristic.makespan) /
+                           static_cast<double>(exact->makespan);
+      worst_ratio = std::max(worst_ratio, ratio);
+      optimal_hits += heuristic.makespan == exact->makespan ? 1 : 0;
+      ++total;
+      table.AddRow({std::to_string(cores), std::to_string(w),
+                    std::to_string(seed), WithCommas(lb.value()),
+                    WithCommas(exact->makespan), WithCommas(heuristic.makespan),
+                    StrFormat("%.3f", ratio),
+                    StrFormat("%.3f", static_cast<double>(exact->makespan) /
+                                          static_cast<double>(lb.value())),
+                    WithCommas(exact->nodes_explored)});
+    }
+  }
+  std::fputs(table.ToString().c_str(), stdout);
+  std::printf(
+      "\nheuristic matched the proven optimum on %d/%d instances; worst "
+      "ratio %.3f\n"
+      "(tiny instances are the heuristic's worst case — on the benchmark\n"
+      " SOCs its gap to the lower bound is 0-13%%, see table1_scheduling)\n",
+      optimal_hits, total, worst_ratio);
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Reproduces paper Fig. 1: test time vs. TAM width staircase for a single
+// core, with Pareto-optimal widths marked. The paper plots Core 6 of Philips
+// p93791; we plot the largest core of the p93791s stand-in plus d695's
+// s38584 for reference.
+#include <cstdio>
+
+#include "soc/benchmarks.h"
+#include "util/ascii_plot.h"
+#include "util/strings.h"
+#include "util/table.h"
+#include "wrapper/pareto.h"
+#include "wrapper/time_curve.h"
+
+using namespace soctest;
+
+namespace {
+
+void PlotCore(const CoreSpec& core, const char* soc_name) {
+  const TimeCurve curve(core, 64);
+  const auto pareto = ParetoPoints(curve);
+
+  std::printf("=== Fig. 1: testing time vs. TAM width — %s / %s ===\n",
+              soc_name, core.name.c_str());
+  std::printf("patterns=%lld scan_chains=%zu scan_cells=%lld io=%d/%d\n\n",
+              static_cast<long long>(core.num_patterns),
+              core.scan_chain_lengths.size(),
+              static_cast<long long>(core.TotalScanCells()), core.num_inputs,
+              core.num_outputs);
+
+  // Series (CSV-style) for external plotting.
+  std::printf("w,time,pareto\n");
+  for (int w = 1; w <= 64; ++w) {
+    bool is_pareto = false;
+    for (const auto& p : pareto) is_pareto |= p.width == w;
+    std::printf("%d,%lld,%d\n", w, static_cast<long long>(curve.TimeAt(w)),
+                is_pareto ? 1 : 0);
+  }
+
+  AsciiPlot plot(72, 18);
+  plot.SetTitle(StrFormat("\n%s: T(w) staircase ('*'), Pareto widths ('o')",
+                          core.name.c_str()));
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (int w = 1; w <= 64; ++w) {
+    xs.push_back(w);
+    ys.push_back(static_cast<double>(curve.TimeAt(w)));
+  }
+  plot.AddSeries(xs, ys, '*');
+  std::vector<double> pxs;
+  std::vector<double> pys;
+  for (const auto& p : pareto) {
+    pxs.push_back(p.width);
+    pys.push_back(static_cast<double>(p.time));
+  }
+  plot.AddSeries(pxs, pys, 'o');
+  plot.SetXLabel("TAM width (bits)");
+  std::fputs(plot.Render().c_str(), stdout);
+
+  TablePrinter table({"Pareto width", "testing time (cycles)"});
+  for (const auto& p : pareto) {
+    table.AddRow({std::to_string(p.width), WithCommas(p.time)});
+  }
+  std::fputs(table.ToString().c_str(), stdout);
+  std::printf("saturation width: %d (no improvement beyond this up to 64)\n\n",
+              curve.SaturationWidth());
+}
+
+}  // namespace
+
+int main() {
+  const Soc p93791s = MakeP93791s();
+  CoreId biggest = 0;
+  std::int64_t best_bits = 0;
+  for (const auto& core : p93791s.cores()) {
+    if (core.TotalTestBits() > best_bits) {
+      best_bits = core.TotalTestBits();
+      biggest = core.id;
+    }
+  }
+  PlotCore(p93791s.core(biggest), "p93791s");
+
+  const Soc d695 = MakeD695();
+  PlotCore(d695.core(d695.FindCore("s38584")), "d695");
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Reproduces paper Fig. 9 for the p22810 stand-in:
+//   (a) testing time T vs. TAM width W,
+//   (b) tester data volume D = W * T vs. W (non-monotonic, local minima at
+//       Pareto points of T),
+//   (c) normalized cost C for rho = 0.5, and
+//   (d) rho = 0.25 (both U-shaped).
+#include <cstdio>
+
+#include "soc/benchmarks.h"
+#include "tdv/effective_width.h"
+#include "util/ascii_plot.h"
+#include "util/strings.h"
+
+using namespace soctest;
+
+namespace {
+
+void PlotSeries(const char* title, const char* ylabel,
+                const std::vector<double>& xs, const std::vector<double>& ys) {
+  AsciiPlot plot(72, 16);
+  plot.SetTitle(title);
+  plot.SetYLabel(ylabel);
+  plot.SetXLabel("TAM width (bits)");
+  plot.AddSeries(xs, ys, '*');
+  std::fputs(plot.Render().c_str(), stdout);
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  const TestProblem problem = TestProblem::FromSoc(MakeP22810s());
+  SweepOptions options;
+  options.min_width = 8;   // smallest practical TAM (see table2 bench note)
+  options.max_width = 80;  // the paper sweeps to 80
+  const auto sweep = SweepWidths(problem, options);
+  if (sweep.empty()) {
+    std::fprintf(stderr, "sweep failed\n");
+    return 1;
+  }
+
+  std::printf("=== Fig. 9: T, D and C vs. TAM width for %s ===\n\n",
+              problem.soc.name().c_str());
+
+  // Raw series for external plotting.
+  std::printf("w,time_cycles,volume_bits,cost_rho_0.50,cost_rho_0.25\n");
+  const auto c50 = CostCurve(sweep, 0.50);
+  const auto c25 = CostCurve(sweep, 0.25);
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    std::printf("%d,%lld,%lld,%.4f,%.4f\n", sweep[i].tam_width,
+                static_cast<long long>(sweep[i].test_time),
+                static_cast<long long>(sweep[i].data_volume), c50[i].cost,
+                c25[i].cost);
+  }
+  std::printf("\n");
+
+  std::vector<double> xs, ts, ds, costs50, costs25;
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    xs.push_back(sweep[i].tam_width);
+    ts.push_back(static_cast<double>(sweep[i].test_time));
+    ds.push_back(static_cast<double>(sweep[i].data_volume));
+    costs50.push_back(c50[i].cost);
+    costs25.push_back(c25[i].cost);
+  }
+  PlotSeries("(a) testing time vs. TAM width", "T (cycles)", xs, ts);
+  PlotSeries("(b) tester data volume vs. TAM width", "D = W*T (bits)", xs, ds);
+  PlotSeries("(c) cost C, rho = 0.50", "C", xs, costs50);
+  PlotSeries("(d) cost C, rho = 0.25", "C", xs, costs25);
+
+  const SweepPoint t_min = MinTimePoint(sweep);
+  const SweepPoint d_min = MinVolumePoint(sweep);
+  std::printf("T_min = %s cycles at W = %d\n", WithCommas(t_min.test_time).c_str(),
+              t_min.tam_width);
+  std::printf("D_min = %s bits   at W = %d\n",
+              WithCommas(d_min.data_volume).c_str(), d_min.tam_width);
+
+  const auto minima = LocalVolumeMinima(sweep);
+  std::printf("local minima of D at W = ");
+  for (std::size_t i = 0; i < minima.size(); ++i) {
+    std::printf("%s%d", i ? ", " : "", sweep[minima[i]].tam_width);
+  }
+  std::printf("\n(the paper observes these coincide with Pareto points of the "
+              "T curve)\n");
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Quantifies the paper's Section 5 motivation for narrow TAMs:
+//
+//  * per-pin vector depth must be "contained to a single tester buffer" —
+//    otherwise buffer reloads from the workstation dominate the test cost;
+//  * in multisite testing, a device using fewer tester channels lets more
+//    devices run in parallel, cutting production-batch test time.
+//
+// The physical ATE is simulated by tdv/ate_model (see DESIGN.md's
+// substitution table). For each benchmark SOC this bench sweeps W and prints
+// sites, reload counts, per-device and batch cost, and the batch-optimal
+// width — which lands well below the time-optimal width.
+#include <cstdio>
+
+#include "soc/benchmarks.h"
+#include "tdv/ate_model.h"
+#include "tdv/effective_width.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+using namespace soctest;
+
+int main() {
+  AteParams ate;
+  ate.channels = 96;
+  ate.reload_cost_cycles = 2'000'000;
+  const int batch = 48;  // devices per production batch
+
+  std::printf("=== Multisite / ATE buffer analysis (96-channel tester, "
+              "batch of %d devices) ===\n\n",
+              batch);
+
+  for (const auto& soc : AllBenchmarkSocs()) {
+    const TestProblem problem = TestProblem::FromSoc(soc);
+    SweepOptions options;
+    options.min_width = 8;
+    options.max_width = 64;
+    const auto sweep = SweepWidths(problem, options);
+    if (sweep.empty()) return 1;
+
+    // Size the buffer so that mid-sweep depths straddle it: half the depth
+    // at the narrowest width.
+    ate.buffer_depth_bits = sweep.front().test_time / 2;
+
+    TablePrinter table({"W", "T (cycles)", "sites", "reloads/pin",
+                        "per-device", "batch (cycles)", "1-buffer?"});
+    for (const auto& point : sweep) {
+      if (point.tam_width % 8 != 0) continue;  // table readability
+      const AteCost cost = EvaluateAte(point, ate, batch);
+      table.AddRow({std::to_string(point.tam_width),
+                    WithCommas(point.test_time), std::to_string(cost.sites),
+                    std::to_string(cost.reloads_per_pin),
+                    WithCommas(cost.per_device_cycles),
+                    WithCommas(cost.batch_cycles),
+                    cost.fits_single_buffer ? "yes" : "no"});
+    }
+    std::printf("--- %s (buffer %s bits/channel) ---\n", soc.name().c_str(),
+                WithCommas(ate.buffer_depth_bits).c_str());
+    std::fputs(table.ToString().c_str(), stdout);
+
+    const SweepPoint t_min = MinTimePoint(sweep);
+    const std::size_t best = BestAtePoint(sweep, ate, batch);
+    const AteCost best_cost = EvaluateAte(sweep[best], ate, batch);
+    const AteCost tmin_cost = EvaluateAte(t_min, ate, batch);
+    std::printf(
+        "time-optimal W=%d gives batch %s cycles; batch-optimal W=%d gives "
+        "%s cycles (%.2fx faster for the batch)\n\n",
+        t_min.tam_width, WithCommas(tmin_cost.batch_cycles).c_str(),
+        sweep[best].tam_width, WithCommas(best_cost.batch_cycles).c_str(),
+        static_cast<double>(tmin_cost.batch_cycles) /
+            static_cast<double>(best_cost.batch_cycles));
+  }
+  return 0;
+}

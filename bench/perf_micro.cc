@@ -1,0 +1,87 @@
+// Micro-benchmarks (google-benchmark): wrapper design, Pareto extraction,
+// full co-optimization, validation, and wire assignment throughput.
+#include <benchmark/benchmark.h>
+
+#include "core/optimizer.h"
+#include "core/validator.h"
+#include "core/wire_assign.h"
+#include "soc/benchmarks.h"
+#include "soc/generator.h"
+#include "wrapper/rectangles.h"
+#include "wrapper/wrapper_design.h"
+
+namespace soctest {
+namespace {
+
+const Soc& D695() {
+  static const Soc soc = MakeD695();
+  return soc;
+}
+
+void BM_DesignWrapper(benchmark::State& state) {
+  const CoreSpec& core = D695().core(D695().FindCore("s38584"));
+  const int width = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(DesignWrapper(core, width));
+  }
+}
+BENCHMARK(BM_DesignWrapper)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_RectangleSetConstruction(benchmark::State& state) {
+  const CoreSpec& core = D695().core(D695().FindCore("s13207"));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RectangleSet(core, 64, 64));
+  }
+}
+BENCHMARK(BM_RectangleSetConstruction);
+
+void BM_OptimizeSoc(benchmark::State& state) {
+  GeneratorParams gen;
+  gen.seed = 99;
+  gen.num_cores = static_cast<int>(state.range(0));
+  const TestProblem problem = TestProblem::FromSoc(GenerateSoc(gen));
+  OptimizerParams params;
+  params.tam_width = 32;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Optimize(problem, params));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_OptimizeSoc)->Arg(8)->Arg(16)->Arg(32)->Arg(64)->Complexity();
+
+void BM_OptimizeD695(benchmark::State& state) {
+  const TestProblem problem = TestProblem::FromSoc(D695());
+  OptimizerParams params;
+  params.tam_width = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Optimize(problem, params));
+  }
+}
+BENCHMARK(BM_OptimizeD695)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_ValidateSchedule(benchmark::State& state) {
+  const TestProblem problem = TestProblem::FromSoc(MakeP93791s());
+  OptimizerParams params;
+  params.tam_width = 32;
+  const auto result = Optimize(problem, params);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ValidateSchedule(problem, result.schedule));
+  }
+}
+BENCHMARK(BM_ValidateSchedule);
+
+void BM_AssignWires(benchmark::State& state) {
+  const TestProblem problem = TestProblem::FromSoc(MakeP93791s());
+  OptimizerParams params;
+  params.tam_width = 64;
+  const auto result = Optimize(problem, params);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(AssignWires(result.schedule));
+  }
+}
+BENCHMARK(BM_AssignWires);
+
+}  // namespace
+}  // namespace soctest
+
+BENCHMARK_MAIN();

@@ -1,0 +1,73 @@
+// Quickstart: co-optimize wrappers and the TAM for the d695 benchmark SOC
+// and print the resulting test schedule.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart [tam_width]
+#include <cstdio>
+#include <cstdlib>
+
+#include "baseline/lower_bound.h"
+#include "core/gantt.h"
+#include "core/optimizer.h"
+#include "core/validator.h"
+#include "soc/benchmarks.h"
+#include "util/strings.h"
+
+int main(int argc, char** argv) {
+  using namespace soctest;
+
+  const int tam_width = argc > 1 ? std::atoi(argv[1]) : 32;
+  if (tam_width < 1) {
+    std::fprintf(stderr, "usage: %s [tam_width >= 1]\n", argv[0]);
+    return 1;
+  }
+
+  // 1. Load an SOC. d695 ships with the library; your own designs can be
+  //    loaded from .soc files (see examples/custom_soc.cpp).
+  const TestProblem problem = TestProblem::FromSoc(MakeD695());
+
+  // 2. Configure and run the co-optimizer.
+  OptimizerParams params;
+  params.tam_width = tam_width;
+  params.s_percent = 5.0;  // preferred width: within 5% of the time at w=64
+  params.delta = 1;        // bump to the top Pareto width when 1 wire away
+
+  const OptimizerResult result = Optimize(problem, params);
+  if (!result.ok()) {
+    std::fprintf(stderr, "scheduling failed: %s\n", result.error->c_str());
+    return 1;
+  }
+
+  // 3. Inspect the result.
+  std::printf("%s @ W=%d: makespan %s cycles, TAM utilization %.1f%%\n\n",
+              problem.soc.name().c_str(), tam_width,
+              WithCommas(result.makespan).c_str(),
+              100.0 * result.schedule.Utilization());
+
+  std::printf("%-10s %9s %9s %12s\n", "core", "pref.w", "assign.w", "time");
+  for (const auto& a : result.assignments) {
+    std::printf("%-10s %9d %9d %12s\n",
+                problem.soc.core(a.core).name.c_str(), a.preferred_width,
+                a.assigned_width, WithCommas(a.test_time).c_str());
+  }
+
+  const LowerBoundBreakdown lb = ComputeLowerBound(problem.soc, tam_width, 64);
+  std::printf("\nlower bound: %s cycles (%.2f%% above LB)\n",
+              WithCommas(lb.value()).c_str(),
+              100.0 * (static_cast<double>(result.makespan) /
+                           static_cast<double>(lb.value()) -
+                       1.0));
+
+  // 4. Certify the schedule against every constraint.
+  const auto violations = ValidateSchedule(problem, result.schedule);
+  std::printf("schedule valid: %s\n\n", violations.empty() ? "yes" : "NO");
+  if (!violations.empty()) {
+    std::fputs(FormatViolations(violations).c_str(), stderr);
+    return 1;
+  }
+
+  // 5. Visualize.
+  std::fputs(RenderCoreGantt(problem.soc, result.schedule).c_str(), stdout);
+  return 0;
+}

@@ -1,0 +1,94 @@
+// TAM width exploration (paper Problem 3): sweep W, record testing time and
+// tester data volume, pick effective widths for several rho values, and dump
+// everything as CSV for plotting. Also shows the multisite-testing payoff of
+// a narrow TAM.
+//
+// Run: ./build/examples/tam_width_explorer [soc] [max_width] [csv_path]
+//   soc: d695 (default), p22810s, p34392s, p93791s
+#include <cstdio>
+#include <cstdlib>
+
+#include "soc/benchmarks.h"
+#include "tdv/effective_width.h"
+#include "util/csv.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+using namespace soctest;
+
+int main(int argc, char** argv) {
+  const std::string soc_name = argc > 1 ? argv[1] : "d695";
+  const int max_width = argc > 2 ? std::atoi(argv[2]) : 64;
+  const std::string csv_path =
+      argc > 3 ? argv[3] : ("tam_sweep_" + soc_name + ".csv");
+
+  const Soc soc = BenchmarkByName(soc_name);
+  if (soc.num_cores() == 0) {
+    std::fprintf(stderr,
+                 "unknown SOC '%s' (try d695, p22810s, p34392s, p93791s)\n",
+                 soc_name.c_str());
+    return 1;
+  }
+
+  const TestProblem problem = TestProblem::FromSoc(soc);
+  SweepOptions options;
+  options.min_width = 1;
+  options.max_width = max_width;
+  std::printf("sweeping W = 1..%d on %s (%d cores)...\n", max_width,
+              soc.name().c_str(), soc.num_cores());
+  const auto sweep = SweepWidths(problem, options);
+  if (sweep.empty()) {
+    std::fprintf(stderr, "sweep produced no points\n");
+    return 1;
+  }
+
+  // CSV dump for external plotting.
+  CsvWriter csv({"w", "time_cycles", "volume_bits", "cost_rho_0.25",
+                 "cost_rho_0.50", "cost_rho_0.75"});
+  const auto c25 = CostCurve(sweep, 0.25);
+  const auto c50 = CostCurve(sweep, 0.50);
+  const auto c75 = CostCurve(sweep, 0.75);
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    csv.Add(sweep[i].tam_width, sweep[i].test_time, sweep[i].data_volume,
+            StrFormat("%.4f", c25[i].cost), StrFormat("%.4f", c50[i].cost),
+            StrFormat("%.4f", c75[i].cost));
+  }
+  if (csv.WriteFile(csv_path)) {
+    std::printf("wrote %zu rows to %s\n\n", csv.rows(), csv_path.c_str());
+  }
+
+  const SweepPoint t_min = MinTimePoint(sweep);
+  const SweepPoint d_min = MinVolumePoint(sweep);
+  std::printf("T_min = %s cycles at W=%d\n", WithCommas(t_min.test_time).c_str(),
+              t_min.tam_width);
+  std::printf("D_min = %s bits at W=%d\n\n",
+              WithCommas(d_min.data_volume).c_str(), d_min.tam_width);
+
+  TablePrinter table({"rho", "W_E", "C_min", "T (cycles)", "D (bits)"});
+  for (double rho : {0.05, 0.25, 0.5, 0.75, 0.95}) {
+    const TradeoffRow row = MakeTradeoffRow(sweep, rho);
+    table.AddRow({StrFormat("%.2f", rho), std::to_string(row.effective_width),
+                  StrFormat("%.3f", row.min_cost),
+                  WithCommas(row.time_at_effective),
+                  WithCommas(row.volume_at_effective)});
+  }
+  std::fputs(table.ToString().c_str(), stdout);
+
+  // Multisite testing: why a narrower TAM can win for production batches.
+  std::printf("\nmultisite view (96-channel tester, batch of 24 devices):\n");
+  TablePrinter multi({"config", "W", "sites", "batch time (cycles)"},
+                     {Align::kLeft});
+  const int channels = 96;
+  const int devices = 24;
+  const TradeoffRow narrow = MakeTradeoffRow(sweep, 0.25);
+  const SweepPoint narrow_point{narrow.effective_width, narrow.time_at_effective,
+                                narrow.volume_at_effective};
+  multi.AddRow({"fastest-per-device", std::to_string(t_min.tam_width),
+                std::to_string(channels / t_min.tam_width),
+                WithCommas(MultisiteBatchTime(t_min, channels, devices))});
+  multi.AddRow({"effective (rho=0.25)", std::to_string(narrow_point.tam_width),
+                std::to_string(channels / narrow_point.tam_width),
+                WithCommas(MultisiteBatchTime(narrow_point, channels, devices))});
+  std::fputs(multi.ToString().c_str(), stdout);
+  return 0;
+}

@@ -1,0 +1,198 @@
+#include "baseline/fixed_width.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace soctest {
+namespace {
+
+// Test time of every core at each candidate bus width 1..W.
+std::vector<std::vector<Time>> TimeTable(const Soc& soc, int tam_width,
+                                         int w_max) {
+  std::vector<std::vector<Time>> table(
+      static_cast<std::size_t>(soc.num_cores()));
+  const auto rects = BuildRectangleSets(soc, w_max, tam_width);
+  for (int c = 0; c < soc.num_cores(); ++c) {
+    auto& row = table[static_cast<std::size_t>(c)];
+    row.resize(static_cast<std::size_t>(tam_width) + 1, 0);
+    for (int w = 1; w <= tam_width; ++w) {
+      row[static_cast<std::size_t>(w)] =
+          rects[static_cast<std::size_t>(c)].TimeAtWidth(w);
+    }
+  }
+  return table;
+}
+
+struct AssignContext {
+  const std::vector<std::vector<Time>>* times = nullptr;
+  const std::vector<int>* widths = nullptr;  // bus widths
+  std::vector<int> order;                    // cores, longest-first
+  std::vector<Time> load;                    // per-bus accumulated time
+  std::vector<int> assignment;               // per-core bus (by core id)
+  std::vector<int> best_assignment;
+  Time best = 0;
+  std::int64_t nodes = 0;
+  std::int64_t max_nodes = 0;
+  bool truncated = false;
+};
+
+void Branch(AssignContext& ctx, std::size_t depth) {
+  if (ctx.max_nodes > 0 && ctx.nodes >= ctx.max_nodes) {
+    ctx.truncated = true;
+    return;
+  }
+  ++ctx.nodes;
+  if (depth == ctx.order.size()) {
+    const Time makespan = *std::max_element(ctx.load.begin(), ctx.load.end());
+    if (makespan < ctx.best) {
+      ctx.best = makespan;
+      ctx.best_assignment = ctx.assignment;
+    }
+    return;
+  }
+  const int core = ctx.order[depth];
+  // Symmetry breaking: buses with equal width and equal current load are
+  // interchangeable; try only the first of each equivalence class.
+  for (std::size_t b = 0; b < ctx.load.size(); ++b) {
+    bool duplicate = false;
+    for (std::size_t b2 = 0; b2 < b; ++b2) {
+      if ((*ctx.widths)[b2] == (*ctx.widths)[b] && ctx.load[b2] == ctx.load[b]) {
+        duplicate = true;
+        break;
+      }
+    }
+    if (duplicate) continue;
+    const Time t = (*ctx.times)[static_cast<std::size_t>(core)]
+                               [static_cast<std::size_t>((*ctx.widths)[b])];
+    if (ctx.load[b] + t >= ctx.best) continue;  // bound
+    ctx.load[b] += t;
+    ctx.assignment[static_cast<std::size_t>(core)] = static_cast<int>(b);
+    Branch(ctx, depth + 1);
+    ctx.load[b] -= t;
+  }
+}
+
+// Greedy longest-processing-time assignment for a fixed partition.
+Time GreedyAssign(const std::vector<std::vector<Time>>& times,
+                  const std::vector<int>& widths,
+                  std::vector<int>* assignment_out) {
+  const std::size_t n = times.size();
+  std::vector<int> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    // Sort by time at the widest bus (a stable proxy for size).
+    const std::size_t w = widths.empty() ? 1 : static_cast<std::size_t>(
+        *std::max_element(widths.begin(), widths.end()));
+    return times[static_cast<std::size_t>(a)][w] >
+           times[static_cast<std::size_t>(b)][w];
+  });
+  std::vector<Time> load(widths.size(), 0);
+  std::vector<int> assignment(n, 0);
+  for (int core : order) {
+    std::size_t best_bus = 0;
+    Time best_finish = -1;
+    for (std::size_t b = 0; b < widths.size(); ++b) {
+      const Time finish =
+          load[b] + times[static_cast<std::size_t>(core)]
+                         [static_cast<std::size_t>(widths[b])];
+      if (best_finish < 0 || finish < best_finish) {
+        best_finish = finish;
+        best_bus = b;
+      }
+    }
+    load[best_bus] += times[static_cast<std::size_t>(core)]
+                           [static_cast<std::size_t>(widths[best_bus])];
+    assignment[static_cast<std::size_t>(core)] = static_cast<int>(best_bus);
+  }
+  if (assignment_out != nullptr) *assignment_out = assignment;
+  return *std::max_element(load.begin(), load.end());
+}
+
+// Enumerates non-increasing partitions of `total` into exactly `parts`
+// positive parts, invoking fn(partition).
+template <typename Fn>
+void ForEachPartition(int total, int parts, Fn&& fn) {
+  std::vector<int> current(static_cast<std::size_t>(parts));
+  auto rec = [&](auto&& self, int remaining, int index, int limit) -> void {
+    if (index == parts - 1) {
+      if (remaining >= 1 && remaining <= limit) {
+        current[static_cast<std::size_t>(index)] = remaining;
+        fn(current);
+      }
+      return;
+    }
+    const int slots_left = parts - index - 1;
+    for (int v = std::min(limit, remaining - slots_left); v >= 1; --v) {
+      // Each later part is <= v, so we need remaining - v <= v * slots_left.
+      if (remaining - v > v * slots_left) break;
+      current[static_cast<std::size_t>(index)] = v;
+      self(self, remaining - v, index + 1, v);
+    }
+  };
+  if (parts >= 1 && total >= parts) rec(rec, total, 0, total);
+}
+
+}  // namespace
+
+FixedWidthResult GreedyFixedWidth(const Soc& soc, int tam_width,
+                                  const FixedWidthOptions& options) {
+  assert(tam_width >= options.num_buses && options.num_buses >= 1);
+  const auto times = TimeTable(soc, tam_width, options.w_max);
+
+  FixedWidthResult best;
+  ForEachPartition(tam_width, options.num_buses,
+                   [&](const std::vector<int>& widths) {
+                     ++best.partitions_tried;
+                     std::vector<int> assignment;
+                     const Time t = GreedyAssign(times, widths, &assignment);
+                     if (best.test_time == 0 || t < best.test_time) {
+                       best.test_time = t;
+                       best.bus_widths = widths;
+                       best.core_to_bus = std::move(assignment);
+                     }
+                   });
+  return best;
+}
+
+FixedWidthResult OptimizeFixedWidth(const Soc& soc, int tam_width,
+                                    const FixedWidthOptions& options) {
+  assert(tam_width >= options.num_buses && options.num_buses >= 1);
+  const auto times = TimeTable(soc, tam_width, options.w_max);
+
+  // Longest-first exploration order sharpens the bound early.
+  FixedWidthResult best;
+  best.test_time = 0;
+
+  ForEachPartition(tam_width, options.num_buses, [&](const std::vector<int>& widths) {
+    ++best.partitions_tried;
+    AssignContext ctx;
+    ctx.times = &times;
+    ctx.widths = &widths;
+    ctx.order.resize(times.size());
+    std::iota(ctx.order.begin(), ctx.order.end(), 0);
+    const auto widest = static_cast<std::size_t>(
+        *std::max_element(widths.begin(), widths.end()));
+    std::sort(ctx.order.begin(), ctx.order.end(), [&](int a, int b) {
+      return times[static_cast<std::size_t>(a)][widest] >
+             times[static_cast<std::size_t>(b)][widest];
+    });
+    ctx.load.assign(widths.size(), 0);
+    ctx.assignment.assign(times.size(), 0);
+    std::vector<int> greedy_assignment;
+    ctx.best = GreedyAssign(times, widths, &greedy_assignment) + 1;
+    ctx.best_assignment = greedy_assignment;
+    ctx.max_nodes = options.max_nodes;
+    Branch(ctx, 0);
+    best.nodes_explored += ctx.nodes;
+    const Time t = ctx.best;
+    if (best.test_time == 0 || t < best.test_time) {
+      best.test_time = t;
+      best.bus_widths = widths;
+      best.core_to_bus = ctx.best_assignment;
+    }
+  });
+  return best;
+}
+
+}  // namespace soctest

@@ -1,0 +1,46 @@
+// Fixed-width TAM architecture baseline (the method family of paper ref [12]).
+//
+// The total width W is explicitly partitioned into B fixed buses of widths
+// w_1 + ... + w_B = W; each core is assigned to exactly one bus and the cores
+// on a bus are tested serially. The SOC test time is max_b (sum of T_i(w_b)
+// over the cores on bus b). The exact method enumerates all partitions of W
+// into B parts and, for each partition, solves the core-to-bus assignment by
+// branch-and-bound — exactly the combinatorial explosion the paper's
+// rectangle-packing approach avoids (its CPU-time comparison in Section 6).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "soc/soc.h"
+#include "util/interval.h"
+#include "wrapper/rectangles.h"
+
+namespace soctest {
+
+struct FixedWidthResult {
+  Time test_time = 0;                 // best makespan found
+  std::vector<int> bus_widths;        // the winning partition of W
+  std::vector<int> core_to_bus;       // assignment, indexed by core id
+  std::int64_t partitions_tried = 0;  // enumeration effort
+  std::int64_t nodes_explored = 0;    // branch-and-bound effort
+};
+
+struct FixedWidthOptions {
+  int num_buses = 2;
+  int w_max = 64;   // per-core width cap (matches the flexible-width runs)
+  // Safety valve for the exponential search; 0 = unlimited.
+  std::int64_t max_nodes = 0;
+};
+
+// Exact fixed-width optimization. Exponential in cores/buses — intended for
+// small instances and for the CPU-time comparison bench.
+FixedWidthResult OptimizeFixedWidth(const Soc& soc, int tam_width,
+                                    const FixedWidthOptions& options);
+
+// Greedy heuristic (largest test first onto the currently least-loaded bus),
+// used as the starting incumbent for B&B and as a fast baseline by itself.
+FixedWidthResult GreedyFixedWidth(const Soc& soc, int tam_width,
+                                  const FixedWidthOptions& options);
+
+}  // namespace soctest

@@ -1,0 +1,26 @@
+#include "baseline/lower_bound.h"
+
+namespace soctest {
+
+LowerBoundBreakdown ComputeLowerBound(const std::vector<RectangleSet>& rects,
+                                      int tam_width) {
+  LowerBoundBreakdown out;
+  for (const auto& rect : rects) {
+    const Time t_min = rect.MinTime();
+    if (t_min > out.bottleneck_bound) {
+      out.bottleneck_bound = t_min;
+      out.bottleneck_core = rect.core_id();
+    }
+    out.total_min_area += rect.MinArea();
+  }
+  if (tam_width > 0) {
+    out.area_bound = (out.total_min_area + tam_width - 1) / tam_width;
+  }
+  return out;
+}
+
+LowerBoundBreakdown ComputeLowerBound(const Soc& soc, int tam_width, int w_max) {
+  return ComputeLowerBound(BuildRectangleSets(soc, w_max, tam_width), tam_width);
+}
+
+}  // namespace soctest

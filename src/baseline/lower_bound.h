@@ -1,0 +1,37 @@
+// Lower bound on SOC test time (paper Section 6, Table 1):
+//
+//   LB(W) = max(  max_i T_i(min(W, w_max)),          // bottleneck core
+//                 ceil( sum_i A_i / W )  )            // area bound
+//
+// where T_i is core i's time curve and A_i = min_w (w * T_i(w)) is the
+// smallest rectangle area core i can be packed with. No schedule under TAM
+// width W can beat either term: a single core can never finish faster than
+// at full width, and the bin of height W cannot absorb more than W cycles of
+// rectangle area per cycle of makespan.
+#pragma once
+
+#include "core/problem.h"
+#include "util/interval.h"
+#include "wrapper/rectangles.h"
+
+namespace soctest {
+
+struct LowerBoundBreakdown {
+  Time bottleneck_bound = 0;   // max_i T_i(min(W, w_max))
+  Time area_bound = 0;         // ceil(total min area / W)
+  std::int64_t total_min_area = 0;
+  CoreId bottleneck_core = kNoCore;
+
+  Time value() const {
+    return bottleneck_bound > area_bound ? bottleneck_bound : area_bound;
+  }
+};
+
+// Computes both terms. w_max bounds per-core widths (paper: 64).
+LowerBoundBreakdown ComputeLowerBound(const Soc& soc, int tam_width, int w_max);
+
+// Convenience overload reusing prebuilt rectangle sets.
+LowerBoundBreakdown ComputeLowerBound(const std::vector<RectangleSet>& rects,
+                                      int tam_width);
+
+}  // namespace soctest

@@ -1,0 +1,85 @@
+#include "baseline/shelf.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace soctest {
+
+Schedule ShelfPack(const Soc& soc, int tam_width, const ShelfOptions& options) {
+  assert(tam_width >= 1);
+  Schedule schedule(soc.name(), tam_width);
+  const auto rects = BuildRectangleSets(soc, options.w_max, tam_width);
+
+  // One rectangle per core: preferred width (clamped to the bin), time there.
+  struct Item {
+    CoreId core;
+    int width;
+    Time time;
+  };
+  std::vector<Item> items;
+  items.reserve(static_cast<std::size_t>(soc.num_cores()));
+  for (int c = 0; c < soc.num_cores(); ++c) {
+    const auto& rect = rects[static_cast<std::size_t>(c)];
+    const int pref = PreferredWidth(rect.curve(), options.preferred);
+    const int width = rect.SnapWidth(std::min(pref, tam_width));
+    items.push_back(Item{c, width, rect.TimeAtWidth(width)});
+  }
+
+  // Decreasing-height order, the "DH" in NFDH/FFDH. In this transposition
+  // the shelf extent is the TIME axis (a shelf's length is its first item's
+  // test time) and the packed dimension is TAM width, so items sort by
+  // decreasing time. Later items then never extend an open shelf.
+  std::sort(items.begin(), items.end(), [](const Item& a, const Item& b) {
+    if (a.time != b.time) return a.time > b.time;
+    if (a.width != b.width) return a.width > b.width;
+    return a.core < b.core;
+  });
+
+  struct Shelf {
+    Time start = 0;     // time offset of the shelf
+    Time length = 0;    // longest rectangle on the shelf
+    int used_width = 0; // total TAM wires consumed by the shelf's rectangles
+  };
+  std::vector<Shelf> shelves;
+
+  auto place = [&schedule](const Item& item, Shelf& shelf) {
+    CoreSchedule entry;
+    entry.core = item.core;
+    entry.assigned_width = item.width;
+    entry.segments.push_back(
+        ScheduleSegment{Interval{shelf.start, shelf.start + item.time}, item.width});
+    schedule.Add(std::move(entry));
+    shelf.used_width += item.width;
+    shelf.length = std::max(shelf.length, item.time);
+  };
+
+  for (const auto& item : items) {
+    Shelf* target = nullptr;
+    if (options.policy == ShelfPolicy::kFirstFitDecreasingHeight) {
+      for (auto& shelf : shelves) {
+        if (shelf.used_width + item.width <= tam_width) {
+          target = &shelf;
+          break;
+        }
+      }
+    } else if (!shelves.empty() &&
+               shelves.back().used_width + item.width <= tam_width) {
+      target = &shelves.back();
+    }
+    if (target == nullptr) {
+      Shelf shelf;
+      shelf.start = shelves.empty()
+                        ? 0
+                        : shelves.back().start + shelves.back().length;
+      shelves.push_back(shelf);
+      target = &shelves.back();
+      // A fresh shelf always fits: item.width <= tam_width by construction.
+    }
+    place(item, *target);
+  }
+
+  return schedule;
+}
+
+}  // namespace soctest

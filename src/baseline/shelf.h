@@ -1,0 +1,39 @@
+// Level-oriented (shelf) rectangle packing baselines, after the NFDH/FFDH
+// algorithms of Coffman, Garey, Johnson & Tarjan (paper ref [8]).
+//
+// Each core contributes one rectangle (its preferred width x test time).
+// Rectangles are packed into "shelves": a shelf is opened with the height
+// (= TAM width here) of its first rectangle; subsequent rectangles join the
+// shelf while the running width budget allows (NFDH: only the newest shelf;
+// FFDH: first shelf that fits). Shelves are laid end to end on the time
+// axis, so the makespan is the sum of shelf lengths.
+//
+// This is the classical packing the paper generalizes; comparing it against
+// TamScheduleOptimizer quantifies the benefit of width tailoring, idle-time
+// filling, and preemption.
+#pragma once
+
+#include "core/schedule.h"
+#include "soc/soc.h"
+#include "wrapper/pareto.h"
+#include "wrapper/rectangles.h"
+
+namespace soctest {
+
+enum class ShelfPolicy {
+  kNextFitDecreasingHeight,   // NFDH
+  kFirstFitDecreasingHeight,  // FFDH
+};
+
+struct ShelfOptions {
+  ShelfPolicy policy = ShelfPolicy::kFirstFitDecreasingHeight;
+  int w_max = 64;
+  // Preferred-width knobs used to pick each core's single rectangle.
+  PreferredWidthParams preferred;
+};
+
+// Packs one rectangle per core; returns a schedule in the same format as the
+// optimizer (single segment per core). Always valid w.r.t. width capacity.
+Schedule ShelfPack(const Soc& soc, int tam_width, const ShelfOptions& options);
+
+}  // namespace soctest

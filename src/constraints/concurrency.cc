@@ -1,0 +1,67 @@
+#include "constraints/concurrency.h"
+
+#include <algorithm>
+#include <map>
+
+namespace soctest {
+
+std::uint64_t ConcurrencySet::Key(CoreId a, CoreId b) {
+  const auto lo = static_cast<std::uint64_t>(std::min(a, b));
+  const auto hi = static_cast<std::uint64_t>(std::max(a, b));
+  return (hi << 32) | lo;
+}
+
+bool ConcurrencySet::Add(CoreId a, CoreId b) {
+  if (a < 0 || b < 0 || a >= num_cores_ || b >= num_cores_ || a == b) return false;
+  pairs_.insert(Key(a, b));
+  return true;
+}
+
+bool ConcurrencySet::Conflicts(CoreId a, CoreId b) const {
+  if (a < 0 || b < 0 || a == b) return false;
+  return pairs_.count(Key(a, b)) != 0;
+}
+
+std::vector<std::pair<CoreId, CoreId>> ConcurrencySet::Pairs() const {
+  std::vector<std::pair<CoreId, CoreId>> out;
+  out.reserve(pairs_.size());
+  for (std::uint64_t key : pairs_) {
+    out.emplace_back(static_cast<CoreId>(key & 0xffffffffULL),
+                     static_cast<CoreId>(key >> 32));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+ConcurrencySet ConcurrencySet::FromSoc(
+    const Soc& soc, const std::vector<std::pair<CoreId, CoreId>>& extra) {
+  ConcurrencySet set(soc.num_cores());
+
+  // Hierarchy: every core conflicts with each of its ancestors.
+  for (const auto& core : soc.cores()) {
+    std::optional<CoreId> up = core.parent;
+    while (up) {
+      set.Add(core.id, *up);
+      up = soc.core(*up).parent;
+    }
+  }
+
+  // Shared resources (BIST engines etc.).
+  std::map<int, std::vector<CoreId>> by_resource;
+  for (const auto& core : soc.cores()) {
+    for (int r : core.resources) by_resource[r].push_back(core.id);
+  }
+  for (const auto& [resource, users] : by_resource) {
+    (void)resource;
+    for (std::size_t i = 0; i < users.size(); ++i) {
+      for (std::size_t j = i + 1; j < users.size(); ++j) {
+        set.Add(users[i], users[j]);
+      }
+    }
+  }
+
+  for (const auto& [a, b] : extra) set.Add(a, b);
+  return set;
+}
+
+}  // namespace soctest

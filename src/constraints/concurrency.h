@@ -1,0 +1,52 @@
+// Concurrency constraints: "i ~/~ j" means the tests of cores i and j must
+// not overlap in time. Sources (paper Section 4):
+//   * explicit integrator-specified pairs,
+//   * design hierarchy (a parent in Intest conflicts with its descendants,
+//     whose wrappers must be in Extest mode), and
+//   * shared test resources (e.g. a BIST engine driving several cores — the
+//     paper's "BIST-scan test conflict").
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "soc/core_spec.h"
+#include "soc/soc.h"
+
+namespace soctest {
+
+class ConcurrencySet {
+ public:
+  ConcurrencySet() = default;
+  explicit ConcurrencySet(int num_cores) : num_cores_(num_cores) {}
+
+  int num_cores() const { return num_cores_; }
+
+  // Adds a symmetric exclusion pair. Out-of-range or self pairs are rejected.
+  bool Add(CoreId a, CoreId b);
+
+  bool Conflicts(CoreId a, CoreId b) const;
+
+  std::size_t num_pairs() const { return pairs_.size(); }
+  bool empty() const { return pairs_.empty(); }
+
+  // All pairs, each reported once with a < b.
+  std::vector<std::pair<CoreId, CoreId>> Pairs() const;
+
+  // Derives the full conflict set for an SOC:
+  //  * ancestor/descendant pairs from the hierarchy,
+  //  * pairs of cores that share at least one resource id,
+  //  * plus all `extra` integrator-specified pairs.
+  static ConcurrencySet FromSoc(
+      const Soc& soc,
+      const std::vector<std::pair<CoreId, CoreId>>& extra = {});
+
+ private:
+  static std::uint64_t Key(CoreId a, CoreId b);
+
+  int num_cores_ = 0;
+  std::unordered_set<std::uint64_t> pairs_;
+};
+
+}  // namespace soctest

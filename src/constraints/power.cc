@@ -1,0 +1,27 @@
+#include "constraints/power.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace soctest {
+
+PowerModel PowerModel::FromSoc(const Soc& soc, double budget_factor) {
+  std::vector<std::int64_t> power;
+  power.reserve(static_cast<std::size_t>(soc.num_cores()));
+  for (const auto& core : soc.cores()) {
+    power.push_back(core.power > 0 ? core.power : core.BitsPerPattern());
+  }
+  std::int64_t peak = 0;
+  for (std::int64_t p : power) peak = std::max(peak, p);
+  const auto pmax = static_cast<std::int64_t>(
+      std::ceil(static_cast<double>(peak) * std::max(1.0, budget_factor)));
+  return PowerModel(std::move(power), pmax);
+}
+
+std::int64_t PowerModel::MaxCorePower() const {
+  std::int64_t peak = 0;
+  for (std::int64_t p : core_power_) peak = std::max(peak, p);
+  return peak;
+}
+
+}  // namespace soctest

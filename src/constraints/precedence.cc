@@ -1,0 +1,97 @@
+#include "constraints/precedence.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace soctest {
+
+PrecedenceGraph::PrecedenceGraph(int num_cores)
+    : succ_(static_cast<std::size_t>(std::max(0, num_cores))),
+      pred_(static_cast<std::size_t>(std::max(0, num_cores))) {}
+
+bool PrecedenceGraph::Add(CoreId before, CoreId after) {
+  if (before < 0 || after < 0 || before >= num_cores() || after >= num_cores()) {
+    return false;
+  }
+  if (before == after) return false;
+  auto& succ = succ_[static_cast<std::size_t>(before)];
+  if (std::find(succ.begin(), succ.end(), after) != succ.end()) return true;
+  succ.push_back(after);
+  pred_[static_cast<std::size_t>(after)].push_back(before);
+  ++edge_count_;
+  return true;
+}
+
+const std::vector<CoreId>& PrecedenceGraph::PredecessorsOf(CoreId core) const {
+  return pred_.at(static_cast<std::size_t>(core));
+}
+
+const std::vector<CoreId>& PrecedenceGraph::SuccessorsOf(CoreId core) const {
+  return succ_.at(static_cast<std::size_t>(core));
+}
+
+bool PrecedenceGraph::Reaches(CoreId before, CoreId after) const {
+  if (before < 0 || after < 0 || before >= num_cores() || after >= num_cores()) {
+    return false;
+  }
+  std::vector<bool> visited(succ_.size(), false);
+  std::queue<CoreId> frontier;
+  frontier.push(before);
+  visited[static_cast<std::size_t>(before)] = true;
+  while (!frontier.empty()) {
+    const CoreId cur = frontier.front();
+    frontier.pop();
+    for (CoreId next : succ_[static_cast<std::size_t>(cur)]) {
+      if (next == after) return true;
+      if (!visited[static_cast<std::size_t>(next)]) {
+        visited[static_cast<std::size_t>(next)] = true;
+        frontier.push(next);
+      }
+    }
+  }
+  return false;
+}
+
+std::optional<std::vector<CoreId>> PrecedenceGraph::TopologicalOrder() const {
+  std::vector<int> indegree(succ_.size(), 0);
+  for (const auto& preds : pred_) {
+    (void)preds;
+  }
+  for (std::size_t i = 0; i < succ_.size(); ++i) {
+    indegree[i] = static_cast<int>(pred_[i].size());
+  }
+  std::queue<CoreId> ready;
+  for (std::size_t i = 0; i < indegree.size(); ++i) {
+    if (indegree[i] == 0) ready.push(static_cast<CoreId>(i));
+  }
+  std::vector<CoreId> order;
+  order.reserve(succ_.size());
+  while (!ready.empty()) {
+    const CoreId cur = ready.front();
+    ready.pop();
+    order.push_back(cur);
+    for (CoreId next : succ_[static_cast<std::size_t>(cur)]) {
+      if (--indegree[static_cast<std::size_t>(next)] == 0) ready.push(next);
+    }
+  }
+  if (order.size() != succ_.size()) return std::nullopt;
+  return order;
+}
+
+int PrecedenceGraph::LongestChain() const {
+  const auto order = TopologicalOrder();
+  if (!order) return -1;
+  std::vector<int> depth(succ_.size(), 0);
+  int best = 0;
+  for (CoreId core : *order) {
+    for (CoreId next : succ_[static_cast<std::size_t>(core)]) {
+      depth[static_cast<std::size_t>(next)] =
+          std::max(depth[static_cast<std::size_t>(next)],
+                   depth[static_cast<std::size_t>(core)] + 1);
+      best = std::max(best, depth[static_cast<std::size_t>(next)]);
+    }
+  }
+  return best;
+}
+
+}  // namespace soctest

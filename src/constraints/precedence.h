@@ -1,0 +1,52 @@
+// Precedence constraints among core tests: "i < j" means the test of core i
+// must fully complete (all preempted partitions packed) before the test of
+// core j may begin. Used for abort-at-first-fail ordering and test-memories-
+// first strategies (paper Section 4).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "soc/core_spec.h"
+
+namespace soctest {
+
+class PrecedenceGraph {
+ public:
+  PrecedenceGraph() = default;
+  explicit PrecedenceGraph(int num_cores);
+
+  int num_cores() const { return static_cast<int>(succ_.size()); }
+
+  // Adds "before < after". Duplicate edges are ignored. Returns false if
+  // either id is out of range or before == after.
+  bool Add(CoreId before, CoreId after);
+
+  // All direct predecessors of `core` (tests that must finish first).
+  const std::vector<CoreId>& PredecessorsOf(CoreId core) const;
+  const std::vector<CoreId>& SuccessorsOf(CoreId core) const;
+
+  std::size_t num_edges() const { return edge_count_; }
+  bool empty() const { return edge_count_ == 0; }
+
+  // True iff there is a directed path before -> ... -> after.
+  bool Reaches(CoreId before, CoreId after) const;
+
+  // Returns a topological order of all cores, or nullopt if the constraint
+  // graph has a cycle (unsatisfiable precedence set).
+  std::optional<std::vector<CoreId>> TopologicalOrder() const;
+
+  bool HasCycle() const { return !TopologicalOrder().has_value(); }
+
+  // Length (in edges) of the longest precedence chain; 0 when empty.
+  // Requires an acyclic graph.
+  int LongestChain() const;
+
+ private:
+  std::vector<std::vector<CoreId>> succ_;
+  std::vector<std::vector<CoreId>> pred_;
+  std::size_t edge_count_ = 0;
+};
+
+}  // namespace soctest

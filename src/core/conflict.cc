@@ -1,0 +1,36 @@
+#include "core/conflict.h"
+
+#include "util/strings.h"
+
+namespace soctest {
+
+std::optional<std::string> ConflictPolicy::Blocked(
+    CoreId candidate, const std::vector<bool>& completed,
+    const std::vector<CoreId>& active, std::int64_t active_power) const {
+  if (precedence_ != nullptr && candidate < precedence_->num_cores()) {
+    for (CoreId pred : precedence_->PredecessorsOf(candidate)) {
+      if (!completed[static_cast<std::size_t>(pred)]) {
+        return StrFormat("precedence: core %d must complete first", pred);
+      }
+    }
+  }
+  if (concurrency_ != nullptr) {
+    for (CoreId other : active) {
+      if (concurrency_->Conflicts(candidate, other)) {
+        return StrFormat("concurrency: conflicts with active core %d", other);
+      }
+    }
+  }
+  if (power_ != nullptr && !power_->unlimited()) {
+    const std::int64_t p = power_->PowerOf(candidate);
+    if (!power_->Fits(active_power, p)) {
+      return StrFormat("power: load %lld + %lld exceeds Pmax %lld",
+                       static_cast<long long>(active_power),
+                       static_cast<long long>(p),
+                       static_cast<long long>(power_->pmax()));
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace soctest

@@ -1,0 +1,41 @@
+// The paper's Conflict subroutine (Fig. 7): decides whether a candidate core
+// may be scheduled alongside the currently-active set.
+//
+// A candidate is blocked when
+//   (i)   a precedence predecessor has not completed,
+//   (ii)  a concurrency-constrained partner is active (covers hierarchy
+//         parent/child and BIST-resource sharing), or
+//   (iii) adding its power to the active load would exceed Pmax.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "constraints/concurrency.h"
+#include "constraints/power.h"
+#include "constraints/precedence.h"
+
+namespace soctest {
+
+class ConflictPolicy {
+ public:
+  ConflictPolicy(const PrecedenceGraph* precedence,
+                 const ConcurrencySet* concurrency, const PowerModel* power)
+      : precedence_(precedence), concurrency_(concurrency), power_(power) {}
+
+  // Returns a human-readable reason the candidate cannot run now, or nullopt
+  // if scheduling it is allowed. `completed[c]` marks finished tests; `active`
+  // lists currently-running cores; `active_power` is their power sum.
+  std::optional<std::string> Blocked(CoreId candidate,
+                                     const std::vector<bool>& completed,
+                                     const std::vector<CoreId>& active,
+                                     std::int64_t active_power) const;
+
+ private:
+  const PrecedenceGraph* precedence_;
+  const ConcurrencySet* concurrency_;
+  const PowerModel* power_;
+};
+
+}  // namespace soctest

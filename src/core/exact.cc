@@ -1,0 +1,209 @@
+#include "core/exact.h"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "core/optimizer.h"
+#include "wrapper/rectangles.h"
+
+namespace soctest {
+namespace {
+
+struct Candidate {
+  int width;
+  Time time;
+};
+
+struct Placement {
+  Time start = 0;
+  Time end = 0;
+  int width = 0;
+  int choice = 0;  // index into the core's candidate list
+};
+
+struct SearchState {
+  int tam_width = 0;
+  std::int64_t max_nodes = 0;
+  std::vector<std::vector<Candidate>> candidates;  // per core
+  std::vector<std::int64_t> min_area;              // per core
+  std::vector<Time> floor_time;                    // per core min time
+
+  std::vector<Placement> placed;   // indexed by core; end==0 && width==0 => unplaced
+  std::vector<bool> is_placed;
+  std::int64_t remaining_area = 0;
+  Time current_makespan = 0;
+
+  Time best = 0;
+  std::vector<Placement> best_placed;
+  std::int64_t nodes = 0;
+  bool truncated = false;
+};
+
+// Width in use at instant t (exclusive of cores ending exactly at t).
+int WidthInUse(const SearchState& s, Time t) {
+  int used = 0;
+  for (std::size_t c = 0; c < s.placed.size(); ++c) {
+    if (!s.is_placed[c]) continue;
+    const auto& p = s.placed[c];
+    if (p.start <= t && t < p.end) used += p.width;
+  }
+  return used;
+}
+
+// True iff `width` wires are free during [start, start + duration).
+bool Fits(const SearchState& s, Time start, Time duration, int width) {
+  // Capacity changes only at placement boundaries; check at `start` and at
+  // every placed start inside the window.
+  if (WidthInUse(s, start) + width > s.tam_width) return false;
+  const Time end = start + duration;
+  for (std::size_t c = 0; c < s.placed.size(); ++c) {
+    if (!s.is_placed[c]) continue;
+    const auto& p = s.placed[c];
+    if (p.start > start && p.start < end) {
+      if (WidthInUse(s, p.start) + width > s.tam_width) return false;
+    }
+  }
+  return true;
+}
+
+void Branch(SearchState& s) {
+  if (s.max_nodes > 0 && s.nodes >= s.max_nodes) {
+    s.truncated = true;
+    return;
+  }
+  ++s.nodes;
+
+  // All placed: record incumbent.
+  bool done = true;
+  for (bool placed : s.is_placed) done &= placed;
+  if (done) {
+    if (s.current_makespan < s.best) {
+      s.best = s.current_makespan;
+      s.best_placed = s.placed;
+    }
+    return;
+  }
+
+  // Bounds: area of the unplaced work cannot fit below `area_lb`.
+  const Time area_lb =
+      (s.remaining_area + s.tam_width - 1) / s.tam_width;  // from time 0
+  if (std::max(s.current_makespan, area_lb) >= s.best) return;
+
+  // Candidate start times: 0 and the ends of placed cores.
+  std::vector<Time> starts{0};
+  for (std::size_t c = 0; c < s.placed.size(); ++c) {
+    if (s.is_placed[c]) starts.push_back(s.placed[c].end);
+  }
+  std::sort(starts.begin(), starts.end());
+  starts.erase(std::unique(starts.begin(), starts.end()), starts.end());
+
+  // Pick the unplaced core with the largest minimal area first (hardest to
+  // fit); deterministic tie-break by id.
+  int core = -1;
+  for (std::size_t c = 0; c < s.placed.size(); ++c) {
+    if (s.is_placed[c]) continue;
+    if (core < 0 || s.min_area[c] > s.min_area[static_cast<std::size_t>(core)]) {
+      core = static_cast<int>(c);
+    }
+  }
+  const auto uc = static_cast<std::size_t>(core);
+
+  if (s.current_makespan + 0 >= s.best) return;
+  if (s.floor_time[uc] >= s.best) return;  // cannot finish below incumbent
+
+  for (std::size_t choice = 0; choice < s.candidates[uc].size(); ++choice) {
+    const Candidate cand = s.candidates[uc][choice];
+    for (Time start : starts) {
+      if (start + cand.time >= s.best) break;  // starts sorted: all later worse
+      if (!Fits(s, start, cand.time, cand.width)) continue;
+      s.placed[uc] = Placement{start, start + cand.time, cand.width,
+                               static_cast<int>(choice)};
+      s.is_placed[uc] = true;
+      const Time saved_makespan = s.current_makespan;
+      s.current_makespan = std::max(s.current_makespan, start + cand.time);
+      s.remaining_area -= s.min_area[uc];
+      Branch(s);
+      s.remaining_area += s.min_area[uc];
+      s.current_makespan = saved_makespan;
+      s.is_placed[uc] = false;
+      // Active-schedule restriction: trying the SAME rectangle at later
+      // starts is still needed (a later start may dodge a capacity bump), so
+      // no break here.
+    }
+  }
+}
+
+}  // namespace
+
+std::optional<ExactPackResult> ExactPack(const Soc& soc, int tam_width,
+                                         const ExactPackOptions& options) {
+  if (soc.num_cores() > options.max_cores || soc.num_cores() == 0 ||
+      tam_width < 1) {
+    return std::nullopt;
+  }
+
+  SearchState s;
+  s.tam_width = tam_width;
+  s.max_nodes = options.max_nodes;
+
+  const auto rects = BuildRectangleSets(soc, options.w_max, tam_width);
+  for (const auto& rect : rects) {
+    std::vector<Candidate> cands;
+    for (const auto& p : rect.pareto()) {
+      cands.push_back(Candidate{p.width, p.time});
+    }
+    // Keep the widest `max_choices_per_core` candidates plus width 1.
+    if (static_cast<int>(cands.size()) > options.max_choices_per_core) {
+      std::vector<Candidate> trimmed;
+      trimmed.push_back(cands.front());  // width 1
+      const std::size_t keep =
+          static_cast<std::size_t>(options.max_choices_per_core) - 1;
+      trimmed.insert(trimmed.end(), cands.end() - static_cast<std::ptrdiff_t>(keep),
+                     cands.end());
+      cands = std::move(trimmed);
+    }
+    s.candidates.push_back(std::move(cands));
+    s.min_area.push_back(rect.MinArea());
+    s.floor_time.push_back(rect.MinTime());
+    s.remaining_area += rect.MinArea();
+  }
+  s.placed.assign(static_cast<std::size_t>(soc.num_cores()), Placement{});
+  s.is_placed.assign(static_cast<std::size_t>(soc.num_cores()), false);
+
+  // Incumbent: the rectangle-packing heuristic (upper bound, +1 so an equal
+  // exact solution is still recorded).
+  const TestProblem problem = TestProblem::FromSoc(soc);
+  OptimizerParams params;
+  params.tam_width = tam_width;
+  params.w_max = options.w_max;
+  const auto heuristic = Optimize(problem, params);
+  s.best = heuristic.ok() ? heuristic.makespan + 1
+                          : std::numeric_limits<Time>::max() / 2;
+
+  Branch(s);
+
+  ExactPackResult result;
+  result.nodes_explored = s.nodes;
+  result.proven_optimal = !s.truncated;
+  if (s.best_placed.empty()) {
+    // Heuristic was already optimal (nothing strictly better found): rebuild
+    // its schedule as the exact answer.
+    result.makespan = heuristic.makespan;
+    result.schedule = heuristic.schedule;
+    return result;
+  }
+  result.makespan = s.best;
+  result.schedule = Schedule(soc.name(), tam_width);
+  for (std::size_t c = 0; c < s.best_placed.size(); ++c) {
+    const auto& p = s.best_placed[c];
+    CoreSchedule entry;
+    entry.core = static_cast<CoreId>(c);
+    entry.assigned_width = p.width;
+    entry.segments.push_back(ScheduleSegment{Interval{p.start, p.end}, p.width});
+    result.schedule.Add(std::move(entry));
+  }
+  return result;
+}
+
+}  // namespace soctest

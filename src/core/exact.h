@@ -1,0 +1,50 @@
+// Exact solver for small instances of the paper's Problem P_NPS
+// (non-preemptive wrapper/TAM co-optimization + scheduling, no side
+// constraints). Used to certify the heuristic's optimality gap in tests and
+// benches; the problem is NP-hard, so this is only practical for roughly
+// <= 8 cores with modest Pareto sets.
+//
+// Search space: for each core choose one Pareto rectangle, then schedule by
+// branch-and-bound over "active" schedules — each unplaced core starts at
+// the earliest instant (0 or a placed core's completion) where its width
+// fits. For cumulative-resource scheduling, some optimal schedule is active,
+// so restricting start times to completion events preserves optimality.
+//
+// Pruning: partial makespan, remaining-area bound, and per-core floor-time
+// bound against the incumbent (seeded by the rectangle-packing heuristic).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "core/problem.h"
+#include "core/schedule.h"
+
+namespace soctest {
+
+struct ExactPackOptions {
+  int w_max = 64;
+  // Per-core cap on candidate rectangles (largest widths kept; width 1 is
+  // always retained). Keeps the choice product tractable.
+  int max_choices_per_core = 6;
+  // Node budget; 0 = unlimited. When exceeded the result is the best found
+  // so far and `proven_optimal` is false.
+  std::int64_t max_nodes = 5'000'000;
+  // Hard cap on instance size; larger SOCs return nullopt immediately.
+  int max_cores = 10;
+};
+
+struct ExactPackResult {
+  Time makespan = 0;
+  Schedule schedule;
+  bool proven_optimal = false;
+  std::int64_t nodes_explored = 0;
+};
+
+// Solves P_NPS exactly (subject to the option caps). Returns nullopt if the
+// instance exceeds max_cores. Ignores precedence/concurrency/power — it
+// targets the pure packing problem the heuristic's quality is judged on.
+std::optional<ExactPackResult> ExactPack(const Soc& soc, int tam_width,
+                                         const ExactPackOptions& options = {});
+
+}  // namespace soctest

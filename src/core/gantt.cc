@@ -1,0 +1,111 @@
+#include "core/gantt.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace soctest {
+namespace {
+
+char GlyphFor(CoreId core) {
+  static const char kGlyphs[] =
+      "0123456789ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz";
+  const std::size_t n = sizeof(kGlyphs) - 1;
+  return kGlyphs[static_cast<std::size_t>(core) % n];
+}
+
+int TimeToColumn(Time t, Time makespan, int width_chars) {
+  if (makespan <= 0) return 0;
+  const auto col = static_cast<int>((static_cast<double>(t) /
+                                     static_cast<double>(makespan)) *
+                                    width_chars);
+  return std::clamp(col, 0, width_chars);
+}
+
+std::string AxisLine(Time makespan, int width_chars, std::size_t label_pad) {
+  std::string out(label_pad, ' ');
+  out += "0";
+  const std::string end = WithCommas(makespan);
+  if (static_cast<std::size_t>(width_chars) > end.size() + 1) {
+    out += std::string(static_cast<std::size_t>(width_chars) - end.size() - 1, ' ');
+  }
+  out += end + " cycles\n";
+  return out;
+}
+
+}  // namespace
+
+std::string RenderCoreGantt(const Soc& soc, const Schedule& schedule,
+                            const GanttOptions& options) {
+  const Time makespan = schedule.Makespan();
+  const int width = std::max(16, options.width_chars);
+
+  std::size_t label_pad = 0;
+  for (const auto& core : soc.cores()) {
+    label_pad = std::max(label_pad, core.name.size());
+  }
+  label_pad += 2;
+
+  std::string out = StrFormat("Test schedule for %s  (W=%d, makespan=%s)\n",
+                              schedule.soc_name().c_str(), schedule.tam_width(),
+                              WithCommas(makespan).c_str());
+  for (const auto& entry : schedule.entries()) {
+    const CoreSpec& core = soc.core(entry.core);
+    std::string row(static_cast<std::size_t>(width), '.');
+    for (const auto& seg : entry.segments) {
+      const int c0 = TimeToColumn(seg.span.begin, makespan, width);
+      int c1 = TimeToColumn(seg.span.end, makespan, width);
+      if (c1 <= c0) c1 = c0 + 1;  // always visible
+      for (int c = c0; c < std::min(c1, width); ++c) {
+        row[static_cast<std::size_t>(c)] = GlyphFor(entry.core);
+      }
+    }
+    std::string label = core.name;
+    label += std::string(label_pad - core.name.size(), ' ');
+    out += label + row;
+    if (options.show_widths) {
+      out += StrFormat("  w=%d", entry.assigned_width);
+      if (entry.preemptions > 0) out += StrFormat(" (preempted %dx)", entry.preemptions);
+    }
+    out += '\n';
+  }
+  out += AxisLine(makespan, width, label_pad);
+  return out;
+}
+
+std::string RenderWireGantt(const Soc& soc, const Schedule& schedule,
+                            const WireAssignment& wires,
+                            const GanttOptions& options) {
+  (void)soc;
+  const Time makespan = schedule.Makespan();
+  const int width = std::max(16, options.width_chars);
+  const std::size_t label_pad = 8;
+
+  std::vector<std::string> rows(
+      static_cast<std::size_t>(wires.tam_width),
+      std::string(static_cast<std::size_t>(width), '.'));
+  for (const auto& grant : wires.grants) {
+    const int c0 = TimeToColumn(grant.span.begin, makespan, width);
+    int c1 = TimeToColumn(grant.span.end, makespan, width);
+    if (c1 <= c0) c1 = c0 + 1;
+    for (int wire : grant.wires) {
+      auto& row = rows[static_cast<std::size_t>(wire)];
+      for (int c = c0; c < std::min(c1, width); ++c) {
+        row[static_cast<std::size_t>(c)] = GlyphFor(grant.core);
+      }
+    }
+  }
+
+  std::string out = StrFormat(
+      "TAM wire occupancy for %s  (W=%d; glyph = core id; '.' = idle)\n",
+      schedule.soc_name().c_str(), schedule.tam_width());
+  for (int w = 0; w < wires.tam_width; ++w) {
+    std::string label = StrFormat("w%02d", w);
+    label += std::string(label_pad - label.size(), ' ');
+    out += label + rows[static_cast<std::size_t>(w)] + "\n";
+  }
+  out += AxisLine(makespan, width, label_pad);
+  return out;
+}
+
+}  // namespace soctest

@@ -1,0 +1,28 @@
+// ASCII Gantt rendering of a schedule (paper Fig. 2): rows are cores (or
+// physical wires), the x-axis is time, glyphs identify the core under test.
+#pragma once
+
+#include <string>
+
+#include "core/schedule.h"
+#include "core/wire_assign.h"
+#include "soc/soc.h"
+
+namespace soctest {
+
+struct GanttOptions {
+  int width_chars = 96;   // characters used for the time axis
+  bool show_widths = true;  // append "wN" annotations per row
+};
+
+// One row per core; '#' marks active intervals, '.' idle.
+std::string RenderCoreGantt(const Soc& soc, const Schedule& schedule,
+                            const GanttOptions& options = {});
+
+// One row per physical TAM wire; rows show which core occupies each wire over
+// time (letters/digits cycle through core ids). Requires a wire assignment.
+std::string RenderWireGantt(const Soc& soc, const Schedule& schedule,
+                            const WireAssignment& wires,
+                            const GanttOptions& options = {});
+
+}  // namespace soctest

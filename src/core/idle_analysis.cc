@@ -1,0 +1,82 @@
+#include "core/idle_analysis.h"
+
+#include <algorithm>
+
+#include "util/interval.h"
+#include "util/strings.h"
+
+namespace soctest {
+
+const IdleWindow* IdleReport::LargestWindow() const {
+  const IdleWindow* best = nullptr;
+  for (const auto& w : windows) {
+    if (best == nullptr || w.Area() > best->Area()) best = &w;
+  }
+  return best;
+}
+
+IdleReport AnalyzeIdle(const Schedule& schedule) {
+  IdleReport report;
+  report.used_area = schedule.UsedArea();
+  report.total_idle_area = schedule.IdleArea();
+  report.utilization = schedule.Utilization();
+
+  const Time makespan = schedule.Makespan();
+  if (makespan <= 0) return report;
+
+  StepProfile profile;
+  for (const auto& entry : schedule.entries()) {
+    for (const auto& seg : entry.segments) profile.Add(seg.span, seg.width);
+  }
+  const auto steps = profile.Flatten();
+
+  // Walk the piecewise-constant usage; gaps between steps have usage of the
+  // previous value (Flatten reports value changes only), so iterate segments
+  // [bp[i], bp[i+1]) with value v[i], and a final [bp.last, makespan) with
+  // the last value (which is 0 for finite schedules).
+  Time cursor = 0;
+  std::int64_t usage = 0;
+  auto emit = [&](Time begin, Time end, std::int64_t used) {
+    if (begin >= end) return;
+    const int free_width = schedule.tam_width() - static_cast<int>(used);
+    if (free_width <= 0) return;
+    // Merge with the previous window when contiguous at equal free width.
+    if (!report.windows.empty() && report.windows.back().span.end == begin &&
+        report.windows.back().free_width == free_width) {
+      report.windows.back().span.end = end;
+      return;
+    }
+    report.windows.push_back(IdleWindow{Interval{begin, end}, free_width});
+  };
+  for (std::size_t i = 0; i < steps.breakpoints.size(); ++i) {
+    const Time t = std::min(steps.breakpoints[i], makespan);
+    emit(cursor, t, usage);
+    cursor = t;
+    usage = steps.values[i];
+  }
+  emit(cursor, makespan, usage);
+  return report;
+}
+
+std::string FormatIdleReport(const IdleReport& report, std::size_t max_windows) {
+  std::string out =
+      StrFormat("utilization %.1f%%, idle area %s wire-cycles over %zu windows\n",
+                100.0 * report.utilization,
+                WithCommas(report.total_idle_area).c_str(),
+                report.windows.size());
+  std::vector<IdleWindow> by_area = report.windows;
+  std::sort(by_area.begin(), by_area.end(),
+            [](const IdleWindow& a, const IdleWindow& b) {
+              return a.Area() > b.Area();
+            });
+  for (std::size_t i = 0; i < std::min(max_windows, by_area.size()); ++i) {
+    const auto& w = by_area[i];
+    out += StrFormat("  [%s, %s) x %d wires = %s wire-cycles\n",
+                     WithCommas(w.span.begin).c_str(),
+                     WithCommas(w.span.end).c_str(), w.free_width,
+                     WithCommas(w.Area()).c_str());
+  }
+  return out;
+}
+
+}  // namespace soctest

@@ -1,0 +1,44 @@
+// Idle-time analysis of a schedule.
+//
+// The unfilled area of the packing bin is idle TAM wire-time (paper Fig. 2
+// marks it explicitly); the scheduler's insertion heuristics exist to shrink
+// it. This module quantifies where the idle area sits so users can see which
+// heuristic opportunities remain.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/schedule.h"
+
+namespace soctest {
+
+// A maximal time window with a constant number of free wires (> 0).
+struct IdleWindow {
+  Interval span;
+  int free_width = 0;
+
+  std::int64_t Area() const { return span.length() * free_width; }
+};
+
+struct IdleReport {
+  std::int64_t total_idle_area = 0;   // == schedule.IdleArea()
+  std::int64_t used_area = 0;
+  double utilization = 0.0;
+  std::vector<IdleWindow> windows;    // sorted by start time
+
+  // The single largest idle window by area (span x free width).
+  const IdleWindow* LargestWindow() const;
+
+  // Idle area before the last test finishes (the part heuristics can fill;
+  // trailing idle after makespan does not exist by definition).
+  std::int64_t InteriorIdleArea() const { return total_idle_area; }
+};
+
+// Builds the report by sweeping the schedule's width profile.
+IdleReport AnalyzeIdle(const Schedule& schedule);
+
+// Human-readable summary (top windows, utilization).
+std::string FormatIdleReport(const IdleReport& report, std::size_t max_windows = 5);
+
+}  // namespace soctest

@@ -1,0 +1,73 @@
+#include "core/improver.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/rng.h"
+#include "wrapper/rectangles.h"
+
+namespace soctest {
+namespace {
+
+// Returns the Pareto width one step above/below `width` (clamped to the set).
+int NeighborWidth(const RectangleSet& rect, int width, bool up) {
+  const auto& pareto = rect.pareto();
+  for (std::size_t i = 0; i < pareto.size(); ++i) {
+    if (pareto[i].width == width) {
+      if (up && i + 1 < pareto.size()) return pareto[i + 1].width;
+      if (!up && i > 0) return pareto[i - 1].width;
+      return width;
+    }
+  }
+  // `width` off the grid: snap.
+  return rect.SnapWidth(width);
+}
+
+}  // namespace
+
+ImproverResult ImproveSchedule(const TestProblem& problem,
+                               const ImproverParams& params) {
+  ImproverResult result;
+  result.best = OptimizeBestOverParams(problem, params.optimizer);
+  if (!result.best.ok()) return result;
+  result.initial_makespan = result.best.makespan;
+
+  const auto rects = BuildRectangleSets(problem.soc, params.optimizer.w_max,
+                                        params.optimizer.tam_width);
+
+  // Current width assignment = the best run's preferred widths.
+  std::vector<int> widths;
+  widths.reserve(result.best.assignments.size());
+  for (const auto& a : result.best.assignments) {
+    widths.push_back(a.preferred_width);
+  }
+
+  Rng rng(params.seed);
+  OptimizerParams move_params = params.optimizer;
+  move_params.preferred_width_override = widths;  // installed per move below
+
+  for (int it = 0; it < params.iterations; ++it) {
+    ++result.attempts;
+    std::vector<int> candidate = widths;
+    for (int m = 0; m < params.cores_per_move; ++m) {
+      const auto core = static_cast<std::size_t>(
+          rng.UniformInt(0, problem.soc.num_cores() - 1));
+      const bool up = rng.Bernoulli(0.5);
+      candidate[core] =
+          NeighborWidth(rects[core], candidate[core], up);
+    }
+    if (candidate == widths) continue;
+
+    move_params.preferred_width_override = candidate;
+    OptimizerResult attempt = Optimize(problem, move_params);
+    if (!attempt.ok()) continue;
+    if (attempt.makespan < result.best.makespan) {
+      result.best = std::move(attempt);
+      widths = std::move(candidate);
+      ++result.improvements;
+    }
+  }
+  return result;
+}
+
+}  // namespace soctest

@@ -1,0 +1,41 @@
+// Local-search schedule improver.
+//
+// The paper's heuristic is a single greedy pass over one (S, delta)
+// configuration; OptimizeBestOverParams already restarts across the
+// parameter grid. This module adds the next natural refinement (explored by
+// several follow-up works to the paper): perturb the per-core preferred
+// widths around the best greedy solution and re-run the packer, keeping
+// improvements — a randomized hill climb over the width-assignment space.
+//
+// Deterministic for a fixed seed; never returns a worse schedule than its
+// starting point.
+#pragma once
+
+#include <cstdint>
+
+#include "core/optimizer.h"
+
+namespace soctest {
+
+struct ImproverParams {
+  OptimizerParams optimizer;   // base configuration (tam_width etc.)
+  std::uint64_t seed = 1;
+  int iterations = 200;        // perturbation attempts
+  // Each attempt nudges this many cores' preferred widths to a neighboring
+  // Pareto width (up or down one step).
+  int cores_per_move = 2;
+};
+
+struct ImproverResult {
+  OptimizerResult best;
+  Time initial_makespan = 0;
+  int improvements = 0;        // accepted moves
+  int attempts = 0;
+};
+
+// Runs OptimizeBestOverParams for the starting point, then hill-climbs.
+// Propagates the underlying error if the problem is unschedulable.
+ImproverResult ImproveSchedule(const TestProblem& problem,
+                               const ImproverParams& params);
+
+}  // namespace soctest

@@ -1,0 +1,550 @@
+#include "core/optimizer.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/strings.h"
+#include "wrapper/wrapper_design.h"
+
+namespace soctest {
+
+TestProblem TestProblem::FromSoc(Soc soc) {
+  TestProblem p;
+  p.soc = std::move(soc);
+  p.precedence = PrecedenceGraph(p.soc.num_cores());
+  p.concurrency = ConcurrencySet::FromSoc(p.soc);
+  return p;
+}
+
+TestProblem TestProblem::FromParsed(const ParsedSoc& parsed) {
+  TestProblem p;
+  p.soc = parsed.soc;
+  p.precedence = PrecedenceGraph(p.soc.num_cores());
+  for (const auto& [a, b] : parsed.precedence) p.precedence.Add(a, b);
+  p.concurrency = ConcurrencySet::FromSoc(p.soc, parsed.concurrency);
+  if (parsed.power_max > 0) {
+    std::vector<std::int64_t> power;
+    power.reserve(static_cast<std::size_t>(p.soc.num_cores()));
+    for (const auto& core : p.soc.cores()) {
+      power.push_back(core.power > 0 ? core.power : core.BitsPerPattern());
+    }
+    p.power = PowerModel(std::move(power), parsed.power_max);
+  }
+  return p;
+}
+
+TamScheduleOptimizer::TamScheduleOptimizer(const TestProblem& problem,
+                                           OptimizerParams params)
+    : problem_(problem),
+      params_(params),
+      conflict_(&problem.precedence, &problem.concurrency, &problem.power) {}
+
+std::vector<CoreId> TamScheduleOptimizer::ActiveCores() const {
+  std::vector<CoreId> out;
+  for (CoreId c = 0; c < problem_.soc.num_cores(); ++c) {
+    if (state_[static_cast<std::size_t>(c)].running) out.push_back(c);
+  }
+  return out;
+}
+
+std::int64_t TamScheduleOptimizer::ActivePower() const {
+  std::int64_t total = 0;
+  for (CoreId c = 0; c < problem_.soc.num_cores(); ++c) {
+    if (state_[static_cast<std::size_t>(c)].running) {
+      total += problem_.power.PowerOf(c);
+    }
+  }
+  return total;
+}
+
+int TamScheduleOptimizer::AvailableWidth() const {
+  int used = 0;
+  for (const auto& s : state_) {
+    if (s.running) used += s.assigned_width;
+  }
+  return params_.tam_width - used;
+}
+
+bool TamScheduleOptimizer::IsBlocked(CoreId core) const {
+  return conflict_
+      .Blocked(core, completed_, ActiveCores(), ActivePower())
+      .has_value();
+}
+
+Time TamScheduleOptimizer::PreemptionPenalty(CoreId core, int width) const {
+  const WrapperConfig config =
+      DesignWrapper(problem_.soc.core(core), std::max(1, width));
+  return config.scan_in_length + config.scan_out_length;
+}
+
+void TamScheduleOptimizer::Admit(CoreId core, int width) {
+  auto& s = state_[static_cast<std::size_t>(core)];
+  assert(!s.running && !s.complete);
+  const auto& rect = rects_[static_cast<std::size_t>(core)];
+  if (!s.begun) {
+    s.assigned_width = rect.SnapWidth(width);
+    s.time_remaining = rect.TimeAtWidth(s.assigned_width);
+    s.begun = true;
+    s.first_begin = now_;
+    s.end_time = now_;
+  } else if (s.end_time < now_) {
+    // Resuming after a gap: one preemption event and a scan flush/reload.
+    ++s.preemptions;
+    const Time penalty = PreemptionPenalty(core, s.assigned_width);
+    s.time_remaining += penalty;
+    s.overhead += penalty;
+  }
+  s.running = true;
+}
+
+bool TamScheduleOptimizer::AdmitLimitReached() {
+  // Paper Priority 1: paused cores that may not be preempted (again) resume
+  // before anything else claims wires; largest remaining time first.
+  bool any = false;
+  while (true) {
+    CoreId best = kNoCore;
+    Time best_rem = -1;
+    const int avail = AvailableWidth();
+    for (CoreId c = 0; c < problem_.soc.num_cores(); ++c) {
+      const auto& s = state_[static_cast<std::size_t>(c)];
+      if (!s.begun || s.running || s.complete) continue;
+      if (s.preemptions < s.max_preemptions) continue;  // still preemptible
+      if (s.assigned_width > avail) continue;
+      if (IsBlocked(c)) continue;
+      if (s.time_remaining > best_rem) {
+        best = c;
+        best_rem = s.time_remaining;
+      }
+    }
+    if (best == kNoCore) break;
+    Admit(best, state_[static_cast<std::size_t>(best)].assigned_width);
+    any = true;
+  }
+  return any;
+}
+
+bool TamScheduleOptimizer::AdmitRanked() {
+  // Paper Priorities 2 and 3: paused cores (at their assigned width) and
+  // unstarted cores (at their preferred width), admitted greedily by
+  // decreasing remaining test time. In non-preemptive mode paused cores rank
+  // strictly ahead of unstarted ones, which makes pausing impossible in
+  // practice (they are all re-admitted instantly after every Update).
+  struct Candidate {
+    CoreId core;
+    Time remaining;
+    bool begun;
+    int width;
+  };
+  std::vector<Candidate> candidates;
+  for (CoreId c = 0; c < problem_.soc.num_cores(); ++c) {
+    const auto& s = state_[static_cast<std::size_t>(c)];
+    if (s.running || s.complete) continue;
+    if (s.begun) {
+      candidates.push_back({c, s.time_remaining, true, s.assigned_width});
+    } else {
+      candidates.push_back(
+          {c, rects_[static_cast<std::size_t>(c)].TimeAtWidth(s.preferred_width),
+           false, s.preferred_width});
+    }
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [this](const Candidate& a, const Candidate& b) {
+              if (!params_.allow_preemption && a.begun != b.begun) {
+                return a.begun;  // paused cores first (paper P2 before P3)
+              }
+              switch (params_.rank) {
+                case AdmissionRank::kWidth:
+                  if (a.width != b.width) return a.width > b.width;
+                  break;
+                case AdmissionRank::kArea: {
+                  const auto aa = static_cast<std::int64_t>(a.width) * a.remaining;
+                  const auto ab = static_cast<std::int64_t>(b.width) * b.remaining;
+                  if (aa != ab) return aa > ab;
+                  break;
+                }
+                case AdmissionRank::kTime:
+                  break;
+              }
+              if (a.remaining != b.remaining) return a.remaining > b.remaining;
+              if (a.begun != b.begun) return a.begun;  // stable tie-break
+              return a.core < b.core;
+            });
+
+  bool any = false;
+  for (const auto& cand : candidates) {
+    const auto& s = state_[static_cast<std::size_t>(cand.core)];
+    if (s.running) continue;  // defensive; set is rebuilt per round
+    const int avail = AvailableWidth();
+    int width = cand.width;
+    if (width > avail) {
+      // Inline shrink-to-fit (part of the insert-fill family): an unstarted
+      // core may start narrower than preferred when the slower test still
+      // finishes within the running critical path.
+      if (!params_.enable_insert_fill || cand.begun || avail <= 0) continue;
+      Time critical = 0;
+      for (const auto& st : state_) {
+        if (st.running) critical = std::max(critical, st.time_remaining);
+      }
+      const auto& rect = rects_[static_cast<std::size_t>(cand.core)];
+      const int shrunk = rect.SnapWidth(avail);
+      if (shrunk > avail || rect.TimeAtWidth(shrunk) > critical) continue;
+      width = shrunk;
+    }
+    if (IsBlocked(cand.core)) continue;
+    Admit(cand.core, width);
+    any = true;
+  }
+  return any;
+}
+
+bool TamScheduleOptimizer::AdmitIdleFill() {
+  // Paper lines 13-14: rather than leaving the remaining wires idle, admit an
+  // unstarted core whose preferred width is within `idle_fill_slack` wires of
+  // what is available, at the largest Pareto width that actually fits.
+  if (!params_.enable_idle_fill) return false;
+  bool any = false;
+  while (true) {
+    const int avail = AvailableWidth();
+    if (avail <= 0) break;
+    CoreId best = kNoCore;
+    int best_pref = 0;
+    for (CoreId c = 0; c < problem_.soc.num_cores(); ++c) {
+      const auto& s = state_[static_cast<std::size_t>(c)];
+      if (s.begun || s.running || s.complete) continue;
+      if (s.preferred_width > avail + params_.idle_fill_slack) continue;
+      if (s.preferred_width <= avail) continue;  // ranked admission's job
+      if (IsBlocked(c)) continue;
+      // Paper: pick the core with the smallest preferred width (closest fit).
+      if (best == kNoCore || s.preferred_width < best_pref) {
+        best = c;
+        best_pref = s.preferred_width;
+      }
+    }
+    if (best == kNoCore) break;
+    const int width = rects_[static_cast<std::size_t>(best)].SnapWidth(avail);
+    if (width <= 0 || width > avail) break;
+    Admit(best, width);
+    any = true;
+  }
+  return any;
+}
+
+bool TamScheduleOptimizer::AdmitInsertFill() {
+  // Extra insertion heuristic (see OptimizerParams::enable_insert_fill):
+  // shrink an unstarted core onto the free wires when doing so cannot extend
+  // the running critical path.
+  if (!params_.enable_insert_fill) return false;
+  bool any = false;
+  while (true) {
+    const int avail = AvailableWidth();
+    if (avail <= 0) break;
+    Time critical = 0;  // longest remaining active test
+    for (const auto& s : state_) {
+      if (s.running) critical = std::max(critical, s.time_remaining);
+    }
+    if (critical == 0) break;  // nothing active: not an insertion situation
+    CoreId best = kNoCore;
+    Time best_time = -1;
+    int best_width = 0;
+    for (CoreId c = 0; c < problem_.soc.num_cores(); ++c) {
+      const auto& s = state_[static_cast<std::size_t>(c)];
+      if (s.begun || s.running || s.complete) continue;
+      const auto& rect = rects_[static_cast<std::size_t>(c)];
+      const int width = rect.SnapWidth(avail);
+      if (width > avail) continue;
+      const Time t = rect.TimeAtWidth(width);
+      if (t > critical) continue;  // would stretch the critical path
+      if (IsBlocked(c)) continue;
+      // Prefer the insertion that converts the most idle area into work.
+      if (t > best_time) {
+        best = c;
+        best_time = t;
+        best_width = width;
+      }
+    }
+    if (best == kNoCore) break;
+    Admit(best, best_width);
+    any = true;
+  }
+  return any;
+}
+
+bool TamScheduleOptimizer::BoostJustStarted() {
+  // Paper lines 15-16: grant leftover wires to the just-started core that
+  // benefits the most, snapping to its Pareto grid.
+  if (!params_.enable_width_boost) return false;
+  bool any = false;
+  while (true) {
+    const int avail = AvailableWidth();
+    if (avail <= 0) break;
+    CoreId best = kNoCore;
+    Time best_gain = 0;
+    int best_new_width = 0;
+    for (CoreId c = 0; c < problem_.soc.num_cores(); ++c) {
+      const auto& s = state_[static_cast<std::size_t>(c)];
+      if (!s.running || s.first_begin != now_) continue;
+      const auto& rect = rects_[static_cast<std::size_t>(c)];
+      const int new_width = rect.SnapWidth(s.assigned_width + avail);
+      if (new_width <= s.assigned_width) continue;
+      const Time gain =
+          rect.TimeAtWidth(s.assigned_width) - rect.TimeAtWidth(new_width);
+      if (gain > best_gain) {
+        best = c;
+        best_gain = gain;
+        best_new_width = new_width;
+      }
+    }
+    if (best == kNoCore) break;
+    auto& s = state_[static_cast<std::size_t>(best)];
+    // The core started at `now_` and has made no progress yet, so replacing
+    // its rectangle is free: adopt the wider width and its (shorter) time.
+    s.assigned_width = best_new_width;
+    s.time_remaining =
+        rects_[static_cast<std::size_t>(best)].TimeAtWidth(best_new_width) +
+        s.overhead;
+    any = true;
+  }
+  return any;
+}
+
+void TamScheduleOptimizer::AdvanceTime() {
+  // Paper's Update (Fig. 8): run every active test to the earliest
+  // completion, close the elapsed segments, retire completed tests, and pause
+  // the rest for re-contention.
+  Time min_rem = -1;
+  for (const auto& s : state_) {
+    if (s.running && (min_rem < 0 || s.time_remaining < min_rem)) {
+      min_rem = s.time_remaining;
+    }
+  }
+  assert(min_rem > 0 && "AdvanceTime requires at least one running core");
+  const Time new_time = now_ + min_rem;
+  for (CoreId c = 0; c < problem_.soc.num_cores(); ++c) {
+    auto& s = state_[static_cast<std::size_t>(c)];
+    if (!s.running) continue;
+    // Extend the last segment if contiguous at the same width.
+    if (!s.segments.empty() && s.segments.back().span.end == now_ &&
+        s.segments.back().width == s.assigned_width) {
+      s.segments.back().span.end = new_time;
+    } else {
+      s.segments.push_back(
+          ScheduleSegment{Interval{now_, new_time}, s.assigned_width});
+    }
+    s.time_remaining -= min_rem;
+    s.running = false;
+    s.end_time = new_time;
+    if (s.time_remaining <= 0) {
+      s.complete = true;
+      completed_[static_cast<std::size_t>(c)] = true;
+      --incomplete_;
+    }
+  }
+  now_ = new_time;
+  ++rounds_;
+}
+
+OptimizerResult TamScheduleOptimizer::Run() {
+  OptimizerResult result;
+
+  // ---- Input validation -------------------------------------------------
+  if (params_.tam_width < 1) {
+    result.error = "tam_width must be >= 1";
+    return result;
+  }
+  if (params_.w_max < 1) {
+    result.error = "w_max must be >= 1";
+    return result;
+  }
+  if (auto problem = problem_.soc.Validate()) {
+    result.error = *problem;
+    return result;
+  }
+  if (problem_.precedence.HasCycle()) {
+    result.error = "precedence constraints form a cycle";
+    return result;
+  }
+  if (!problem_.power.unlimited()) {
+    for (const auto& core : problem_.soc.cores()) {
+      if (problem_.power.PowerOf(core.id) > problem_.power.pmax()) {
+        result.error = StrFormat(
+            "core '%s' has power %lld > Pmax %lld and can never be scheduled",
+            core.name.c_str(),
+            static_cast<long long>(problem_.power.PowerOf(core.id)),
+            static_cast<long long>(problem_.power.pmax()));
+        return result;
+      }
+    }
+  }
+
+  // ---- Initialize (paper Fig. 5) ----------------------------------------
+  rects_ = BuildRectangleSets(problem_.soc, params_.w_max, params_.tam_width);
+  preferred_.clear();
+  if (!params_.preferred_width_override.empty()) {
+    if (params_.preferred_width_override.size() !=
+        static_cast<std::size_t>(problem_.soc.num_cores())) {
+      result.error = "preferred_width_override must have one entry per core";
+      return result;
+    }
+    for (CoreId c = 0; c < problem_.soc.num_cores(); ++c) {
+      const int w = params_.preferred_width_override[static_cast<std::size_t>(c)];
+      preferred_.push_back(rects_[static_cast<std::size_t>(c)].SnapWidth(
+          std::clamp(w, 1, params_.tam_width)));
+    }
+  } else if (params_.deadline_sizing) {
+    // Size all cores against a common deadline M: each core gets the
+    // smallest Pareto width meeting M, and M is binary-searched down to the
+    // tightest value whose total width demand still fits in W. The large
+    // tests then start together and finish together near the area bound
+    // instead of serializing behind each other. Width demand is
+    // non-increasing in M, so the bisection is exact.
+    Time lo = 0;  // lower bound on the deadline (exclusive of feasibility)
+    Time hi = 0;
+    std::int64_t total_area = 0;
+    for (const auto& rect : rects_) {
+      total_area += rect.MinArea();
+      lo = std::max(lo, rect.MinTime());
+      hi += rect.curve().TimeAt(1);  // serial, width-1 upper bound
+    }
+    lo = std::max(lo, (total_area + params_.tam_width - 1) / params_.tam_width);
+
+    auto width_for_deadline = [this](const RectangleSet& rect, Time deadline) {
+      int pref = rect.MaxWidth();  // fastest width if the deadline is unmet
+      for (const auto& p : rect.pareto()) {
+        if (p.time <= deadline) {
+          pref = p.width;
+          break;
+        }
+      }
+      return rect.SnapWidth(std::min(pref, params_.tam_width));
+    };
+    auto demand = [&](Time deadline) {
+      int total = 0;
+      for (const auto& rect : rects_) total += width_for_deadline(rect, deadline);
+      return total;
+    };
+
+    Time deadline = hi;
+    if (demand(lo) <= params_.tam_width) {
+      deadline = lo;
+    } else {
+      // Invariant: demand(lo) > W, demand(hi) <= W (width-1 everywhere) or
+      // the SOC simply has more cores than wires — bisect anyway and take hi.
+      while (lo + 1 < hi) {
+        const Time mid = lo + (hi - lo) / 2;
+        if (demand(mid) <= params_.tam_width) {
+          hi = mid;
+        } else {
+          lo = mid;
+        }
+      }
+      deadline = hi;
+    }
+    // S% relaxes the deadline slightly, adding sweep diversity.
+    deadline = static_cast<Time>(static_cast<double>(deadline) *
+                                 (1.0 + params_.s_percent / 100.0));
+    for (const auto& rect : rects_) {
+      preferred_.push_back(width_for_deadline(rect, deadline));
+    }
+  } else {
+    PreferredWidthParams pw{params_.s_percent, params_.delta};
+    for (const auto& rect : rects_) {
+      const int pref = PreferredWidth(rect.curve(), pw);
+      preferred_.push_back(rect.SnapWidth(std::min(pref, params_.tam_width)));
+    }
+  }
+
+  const auto n = static_cast<std::size_t>(problem_.soc.num_cores());
+  state_.assign(n, CoreState{});
+  completed_.assign(n, false);
+  for (std::size_t i = 0; i < n; ++i) {
+    state_[i].preferred_width = preferred_[i];
+    state_[i].max_preemptions =
+        params_.allow_preemption ? problem_.soc.cores()[i].max_preemptions : 0;
+  }
+  now_ = 0;
+  rounds_ = 0;
+  incomplete_ = problem_.soc.num_cores();
+
+  // ---- Main loop (paper Fig. 4) ------------------------------------------
+  while (incomplete_ > 0) {
+    bool progress = false;
+    progress |= AdmitLimitReached();
+    progress |= AdmitRanked();
+    progress |= AdmitIdleFill();
+    progress |= AdmitInsertFill();
+    BoostJustStarted();
+
+    if (ActiveCores().empty()) {
+      if (!progress) {
+        // Structurally unreachable for valid inputs (see DESIGN.md): with an
+        // empty active set, power and concurrency cannot block, and an
+        // acyclic precedence graph always has a ready core.
+        result.error = "scheduler deadlock: no core admissible";
+        return result;
+      }
+      continue;
+    }
+    AdvanceTime();
+  }
+
+  // ---- Emit schedule -----------------------------------------------------
+  result.schedule = Schedule(problem_.soc.name(), params_.tam_width);
+  for (CoreId c = 0; c < problem_.soc.num_cores(); ++c) {
+    const auto& s = state_[static_cast<std::size_t>(c)];
+    CoreSchedule entry;
+    entry.core = c;
+    entry.assigned_width = s.assigned_width;
+    entry.segments = s.segments;
+    entry.preemptions = s.preemptions;
+    entry.overhead_cycles = s.overhead;
+    result.schedule.Add(std::move(entry));
+
+    CoreAssignment assignment;
+    assignment.core = c;
+    assignment.preferred_width = s.preferred_width;
+    assignment.assigned_width = s.assigned_width;
+    assignment.test_time =
+        rects_[static_cast<std::size_t>(c)].TimeAtWidth(s.assigned_width);
+    assignment.scheduled_time = assignment.test_time + s.overhead;
+    assignment.preemptions = s.preemptions;
+    result.assignments.push_back(assignment);
+  }
+  result.makespan = result.schedule.Makespan();
+  result.admission_rounds = rounds_;
+  return result;
+}
+
+OptimizerResult Optimize(const TestProblem& problem,
+                         const OptimizerParams& params) {
+  return TamScheduleOptimizer(problem, params).Run();
+}
+
+OptimizerResult OptimizeBestOverParams(const TestProblem& problem,
+                                       OptimizerParams params) {
+  OptimizerResult best;
+  bool have = false;
+  for (AdmissionRank rank : {AdmissionRank::kTime, AdmissionRank::kArea}) {
+    params.rank = rank;
+    for (int sizing = 0; sizing < 2; ++sizing) {
+      params.deadline_sizing = sizing == 1;
+      for (int s = 1; s <= 10; ++s) {
+        for (int d = 0; d <= 4; ++d) {
+          params.s_percent = s;
+          params.delta = d;
+          OptimizerResult r = Optimize(problem, params);
+          if (!r.ok()) {
+            if (!have) best = std::move(r);  // propagate the error if all fail
+            continue;
+          }
+          if (!have || r.makespan < best.makespan) {
+            best = std::move(r);
+            have = true;
+          }
+        }
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace soctest

@@ -1,0 +1,195 @@
+// TAM_schedule_optimizer — the paper's integrated wrapper/TAM co-optimization
+// and constraint-driven preemptive scheduling algorithm (Figs. 4-8).
+//
+// Overview of the event-driven loop:
+//   * Initialize: build each core's time curve / Pareto rectangles and its
+//     preferred TAM width (smallest width within S% of the time at Wmax,
+//     bumped to the top Pareto width when within `delta` wires).
+//   * Admission round (at the current time, with the currently available
+//     wires):
+//       Priority 1  — paused cores that have exhausted their preemption
+//                     budget resume first, at their assigned width.
+//       Priority 2/3 — remaining candidates (paused cores at their assigned
+//                     width, unstarted cores at their preferred width) are
+//                     admitted greedily in decreasing remaining-time order.
+//                     In non-preemptive mode paused cores always outrank
+//                     unstarted ones; in preemptive mode they compete purely
+//                     on remaining time, which is what lets a long unstarted
+//                     test preempt short resumed ones (see DESIGN.md).
+//       Idle fill   — if wires are still free, an unstarted core whose
+//                     preferred width exceeds the free wires by at most
+//                     `idle_fill_slack` (paper: 3) is admitted at the largest
+//                     Pareto width that fits.
+//       Width boost — remaining free wires are granted to the just-started
+//                     core that gains the most test-time reduction from them
+//                     (its width snaps to the largest Pareto width <= old +
+//                     free).
+//   * Update: advance time to the earliest completion among running tests,
+//     close the elapsed segment for every running test, retire finished
+//     tests, and re-contend (paper Fig. 8). A paused test that resumes after
+//     a gap counts one preemption and pays (s_i + s_o) extra cycles for the
+//     scan flush/reload (paper Section 4, Assign line 5).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/conflict.h"
+#include "core/problem.h"
+#include "core/schedule.h"
+#include "wrapper/pareto.h"
+#include "wrapper/rectangles.h"
+
+namespace soctest {
+
+// How the admission loop ranks candidate cores (paper: remaining test time).
+enum class AdmissionRank {
+  kTime,   // largest remaining test time first (paper Fig. 4)
+  kWidth,  // widest rectangle first, time as tie-break (strip-packing order)
+  kArea,   // largest width*time area first
+};
+
+struct OptimizerParams {
+  // Total SOC TAM width (bin height). Must be >= 1.
+  int tam_width = 32;
+
+  // Per-core maximum TAM width / reference width for preferred-width
+  // selection (the paper uses 64).
+  int w_max = 64;
+
+  // Preferred-width heuristic knobs (paper script-S in [1,10], script-D in
+  // [0,4]).
+  double s_percent = 5.0;
+  int delta = 1;
+
+  // Idle-time rectangle insertion window (paper: 3 wires).
+  int idle_fill_slack = 3;
+
+  // Master switch for preemption. When false every core is treated as
+  // non-preemptable regardless of CoreSpec::max_preemptions (Table 1's
+  // "non-preemptive" column).
+  bool allow_preemption = false;
+
+  // When non-empty (one entry per core), these widths replace the computed
+  // preferred widths; each is snapped to the core's Pareto grid and clamped
+  // to tam_width. Used by the local-search improver (core/improver.h).
+  std::vector<int> preferred_width_override;
+
+  // Ablation switches (all true for the paper's algorithm).
+  bool enable_idle_fill = true;
+  bool enable_width_boost = true;
+
+  // Candidate ordering for priorities 2/3.
+  AdmissionRank rank = AdmissionRank::kTime;
+
+  // Deadline-driven preferred widths: instead of sizing every core within S%
+  // of its own time at w_max (paper Fig. 5), size it to the smallest Pareto
+  // width whose time is within S% of the SOC's lower bound at this W — so
+  // the large tests start together and finish together near the area bound.
+  // Swept as an alternative sizing mode by OptimizeBestOverParams.
+  bool deadline_sizing = false;
+
+  // Extra idle-time insertion heuristic (the paper reports using "several
+  // heuristics that seek to insert tests to minimize the idle time" beyond
+  // the 3-wire window it details): admit an unstarted core at the largest
+  // Pareto width that fits the currently free wires, provided its resulting
+  // test time does not exceed the longest remaining active test — i.e. the
+  // insertion can never stretch the running critical path.
+  bool enable_insert_fill = true;
+};
+
+// Per-core diagnostic emitted alongside the schedule.
+struct CoreAssignment {
+  CoreId core = kNoCore;
+  int preferred_width = 0;
+  int assigned_width = 0;
+  Time test_time = 0;        // at the assigned width, without penalties
+  Time scheduled_time = 0;   // including preemption overhead
+  int preemptions = 0;
+};
+
+struct OptimizerResult {
+  Schedule schedule;
+  std::vector<CoreAssignment> assignments;
+  Time makespan = 0;
+  int admission_rounds = 0;  // number of Update events
+
+  // Set when the input was unschedulable; the schedule is empty then.
+  std::optional<std::string> error;
+
+  bool ok() const { return !error.has_value(); }
+};
+
+class TamScheduleOptimizer {
+ public:
+  TamScheduleOptimizer(const TestProblem& problem, OptimizerParams params);
+
+  // Runs the full co-optimization. Deterministic for fixed inputs.
+  OptimizerResult Run();
+
+  // Rectangle sets built during Initialize (exposed for tests/benches).
+  const std::vector<RectangleSet>& rectangle_sets() const { return rects_; }
+  const std::vector<int>& preferred_widths() const { return preferred_; }
+
+ private:
+  struct CoreState {
+    // Static after Initialize.
+    int preferred_width = 0;
+    int max_preemptions = 0;
+
+    // Dynamic.
+    int assigned_width = 0;
+    bool begun = false;
+    bool running = false;
+    bool complete = false;
+    Time first_begin = 0;
+    Time end_time = 0;        // last instant the core was running (pause/finish)
+    Time time_remaining = 0;
+    int preemptions = 0;
+    std::vector<ScheduleSegment> segments;
+    Time overhead = 0;
+  };
+
+  // Admission helpers; all return true if at least one core was scheduled.
+  bool AdmitLimitReached();
+  bool AdmitRanked();
+  bool AdmitIdleFill();
+  bool AdmitInsertFill();
+  bool BoostJustStarted();
+  void AdvanceTime();  // paper's Update
+
+  // Starts/resumes `core` at `width` now. Handles preemption accounting.
+  void Admit(CoreId core, int width);
+
+  bool IsBlocked(CoreId core) const;
+  std::vector<CoreId> ActiveCores() const;
+  std::int64_t ActivePower() const;
+  int AvailableWidth() const;
+
+  // (s_i + s_o) preemption penalty for `core` at `width`.
+  Time PreemptionPenalty(CoreId core, int width) const;
+
+  const TestProblem& problem_;
+  OptimizerParams params_;
+  ConflictPolicy conflict_;
+
+  std::vector<RectangleSet> rects_;
+  std::vector<int> preferred_;
+  std::vector<CoreState> state_;
+  std::vector<bool> completed_;
+  Time now_ = 0;
+  int incomplete_ = 0;
+  int rounds_ = 0;
+};
+
+// Convenience wrapper: build + run in one call.
+OptimizerResult Optimize(const TestProblem& problem, const OptimizerParams& params);
+
+// Sweeps the paper's parameter grid (S in [1,10], delta in [0,4]) and returns
+// the result with the smallest makespan (ties: smaller S, then smaller delta).
+// This reproduces Table 1's "best over all parameter values" methodology.
+OptimizerResult OptimizeBestOverParams(const TestProblem& problem,
+                                       OptimizerParams params);
+
+}  // namespace soctest

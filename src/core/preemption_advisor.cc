@@ -1,0 +1,46 @@
+#include "core/preemption_advisor.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "wrapper/wrapper_design.h"
+
+namespace soctest {
+
+std::vector<PreemptionAdvice> AdvisePreemption(const Soc& soc,
+                                               const AdvisorParams& params) {
+  std::vector<PreemptionAdvice> out;
+  out.reserve(static_cast<std::size_t>(soc.num_cores()));
+  const int ref = std::max(1, params.reference_width);
+  for (const auto& core : soc.cores()) {
+    const WrapperConfig config = DesignWrapper(core, ref);
+    PreemptionAdvice advice;
+    advice.core = core.id;
+    advice.test_time = config.TestTime(core.num_patterns);
+    advice.flush_cost = config.scan_in_length + config.scan_out_length;
+    if (advice.flush_cost <= 0) {
+      // Purely combinational wrapper with no cells on either side cannot
+      // happen for valid cores, but stay defensive: flushes are free, so
+      // preemption costs nothing.
+      advice.ratio = static_cast<double>(advice.test_time);
+      advice.recommended_budget = params.max_budget;
+    } else {
+      advice.ratio = static_cast<double>(advice.test_time) /
+                     static_cast<double>(advice.flush_cost);
+      const double budget =
+          std::floor(advice.ratio / std::max(1e-9, params.ratio_threshold));
+      advice.recommended_budget = static_cast<int>(
+          std::clamp(budget, 0.0, static_cast<double>(params.max_budget)));
+    }
+    out.push_back(advice);
+  }
+  return out;
+}
+
+void ApplyPreemptionAdvice(Soc& soc, const AdvisorParams& params) {
+  for (const auto& advice : AdvisePreemption(soc, params)) {
+    soc.mutable_core(advice.core).max_preemptions = advice.recommended_budget;
+  }
+}
+
+}  // namespace soctest

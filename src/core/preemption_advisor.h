@@ -1,0 +1,45 @@
+// Preemption budget advisor.
+//
+// The paper's conclusion calls for "a careful investigation of the effects
+// of preemption and the use of the maxpreempts parameter considering test
+// lengths": preempting a test costs an (s_i + s_o) scan flush, so short
+// tests lose proportionally more than long ones gain in packing freedom.
+// This module implements that investigation as a policy: it recommends a
+// per-core preemption budget from the ratio of test length to flush cost.
+#pragma once
+
+#include <vector>
+
+#include "soc/soc.h"
+#include "util/interval.h"
+
+namespace soctest {
+
+struct AdvisorParams {
+  // A core is granted one preemption per `cycles_per_preemption` multiple of
+  // its flush cost, i.e. budget = floor(T / (ratio_threshold * flush)),
+  // capped at max_budget. With ratio_threshold=50, a test must be at least
+  // 50 flushes long to earn its first preemption.
+  double ratio_threshold = 50.0;
+  int max_budget = 3;
+  // Reference width for estimating T and the flush cost (the advisor runs
+  // before widths are assigned; the preferred-width regime is close enough).
+  int reference_width = 16;
+};
+
+struct PreemptionAdvice {
+  CoreId core = kNoCore;
+  Time test_time = 0;      // at the reference width
+  Time flush_cost = 0;     // s_i + s_o at the reference width
+  double ratio = 0.0;      // test_time / flush_cost
+  int recommended_budget = 0;
+};
+
+// Computes advice for every core.
+std::vector<PreemptionAdvice> AdvisePreemption(const Soc& soc,
+                                               const AdvisorParams& params = {});
+
+// Applies the advice in place (sets CoreSpec::max_preemptions).
+void ApplyPreemptionAdvice(Soc& soc, const AdvisorParams& params = {});
+
+}  // namespace soctest

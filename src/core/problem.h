@@ -1,0 +1,28 @@
+// Problem bundle: everything the scheduler needs about one SOC test job.
+#pragma once
+
+#include "constraints/concurrency.h"
+#include "constraints/power.h"
+#include "constraints/precedence.h"
+#include "soc/soc.h"
+#include "soc/soc_parser.h"
+
+namespace soctest {
+
+// An SOC plus its scheduling constraints (paper Problem 2 inputs).
+struct TestProblem {
+  Soc soc;
+  PrecedenceGraph precedence;   // i < j  : i completes before j starts
+  ConcurrencySet concurrency;   // i ~ j  : never overlap (incl. hierarchy/BIST)
+  PowerModel power;             // per-core power + Pmax (unlimited by default)
+
+  // Builds a problem with hierarchy/resource-derived concurrency and no
+  // power budget.
+  static TestProblem FromSoc(Soc soc);
+
+  // Builds a problem from a parsed .soc file (resolves declared constraints;
+  // power budget only if the file declares powermax).
+  static TestProblem FromParsed(const ParsedSoc& parsed);
+};
+
+}  // namespace soctest

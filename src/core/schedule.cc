@@ -1,0 +1,66 @@
+#include "core/schedule.h"
+
+#include <algorithm>
+
+namespace soctest {
+
+Time CoreSchedule::ActiveTime() const {
+  Time total = 0;
+  for (const auto& seg : segments) total += seg.span.length();
+  return total;
+}
+
+const CoreSchedule* Schedule::FindCore(CoreId core) const {
+  for (const auto& e : entries_) {
+    if (e.core == core) return &e;
+  }
+  return nullptr;
+}
+
+Time Schedule::Makespan() const {
+  Time end = 0;
+  for (const auto& e : entries_) end = std::max(end, e.EndTime());
+  return end;
+}
+
+Time Schedule::TotalActiveTime() const {
+  Time total = 0;
+  for (const auto& e : entries_) total += e.ActiveTime();
+  return total;
+}
+
+std::int64_t Schedule::UsedArea() const {
+  std::int64_t area = 0;
+  for (const auto& e : entries_) {
+    for (const auto& seg : e.segments) {
+      area += static_cast<std::int64_t>(seg.width) * seg.span.length();
+    }
+  }
+  return area;
+}
+
+std::int64_t Schedule::IdleArea() const {
+  return static_cast<std::int64_t>(tam_width_) * Makespan() - UsedArea();
+}
+
+double Schedule::Utilization() const {
+  const std::int64_t bin = static_cast<std::int64_t>(tam_width_) * Makespan();
+  if (bin <= 0) return 0.0;
+  return static_cast<double>(UsedArea()) / static_cast<double>(bin);
+}
+
+int Schedule::PeakWidth() const {
+  StepProfile profile;
+  for (const auto& e : entries_) {
+    for (const auto& seg : e.segments) profile.Add(seg.span, seg.width);
+  }
+  return static_cast<int>(profile.Max());
+}
+
+int Schedule::TotalPreemptions() const {
+  int total = 0;
+  for (const auto& e : entries_) total += e.preemptions;
+  return total;
+}
+
+}  // namespace soctest

@@ -1,0 +1,84 @@
+// Schedule data structures: the output of the wrapper/TAM co-optimization.
+//
+// A core's test occupies one or more time segments (more than one iff it was
+// preempted); each segment carries the TAM width in use during that segment.
+// The non-preemptive problem (paper P_NPS) yields exactly one segment per
+// core at a single width; the preemptive problem (P_PS) allows horizontal
+// splits (segments) while the width stays fixed once the test has begun.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "soc/soc.h"
+#include "util/interval.h"
+
+namespace soctest {
+
+// A contiguous run of a core's test on the TAM.
+struct ScheduleSegment {
+  Interval span;   // [begin, end) in cycles
+  int width = 0;   // TAM wires in use during this segment
+};
+
+// Complete scheduling record for one core.
+struct CoreSchedule {
+  CoreId core = kNoCore;
+  int assigned_width = 0;           // width of the selected rectangle
+  std::vector<ScheduleSegment> segments;  // sorted by begin time
+  int preemptions = 0;              // number of times the test was preempted
+  Time overhead_cycles = 0;         // extra cycles added by preemptions
+
+  Time BeginTime() const { return segments.empty() ? 0 : segments.front().span.begin; }
+  Time EndTime() const { return segments.empty() ? 0 : segments.back().span.end; }
+
+  // Total scheduled cycles across all segments.
+  Time ActiveTime() const;
+};
+
+// SOC-level schedule.
+class Schedule {
+ public:
+  Schedule() = default;
+  Schedule(std::string soc_name, int tam_width)
+      : soc_name_(std::move(soc_name)), tam_width_(tam_width) {}
+
+  const std::string& soc_name() const { return soc_name_; }
+  int tam_width() const { return tam_width_; }
+
+  void Add(CoreSchedule entry) { entries_.push_back(std::move(entry)); }
+
+  const std::vector<CoreSchedule>& entries() const { return entries_; }
+  std::vector<CoreSchedule>& mutable_entries() { return entries_; }
+
+  const CoreSchedule* FindCore(CoreId core) const;
+
+  // SOC test time: the completion time of the last test (paper: the width to
+  // which the bin is filled).
+  Time Makespan() const;
+
+  // Sum over entries of active time (excludes idle TAM area).
+  Time TotalActiveTime() const;
+
+  // TAM wire-cycles actually used: sum over segments of width * length.
+  std::int64_t UsedArea() const;
+
+  // Idle wire-cycles in the bin: tam_width * makespan - used area.
+  std::int64_t IdleArea() const;
+
+  // Fraction of the bin that is doing useful work, in [0, 1].
+  double Utilization() const;
+
+  // Maximum aggregate TAM width in use at any instant.
+  int PeakWidth() const;
+
+  // Total number of preemptions across all cores.
+  int TotalPreemptions() const;
+
+ private:
+  std::string soc_name_;
+  int tam_width_ = 0;
+  std::vector<CoreSchedule> entries_;
+};
+
+}  // namespace soctest

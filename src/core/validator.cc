@@ -1,0 +1,163 @@
+#include "core/validator.h"
+
+#include <algorithm>
+#include <map>
+
+#include "util/interval.h"
+#include "util/strings.h"
+#include "wrapper/wrapper_design.h"
+
+namespace soctest {
+namespace {
+
+void Check(std::vector<Violation>& out, bool ok, std::string message) {
+  if (!ok) out.push_back(Violation{std::move(message)});
+}
+
+}  // namespace
+
+std::vector<Violation> ValidateSchedule(const TestProblem& problem,
+                                        const Schedule& schedule,
+                                        const ValidationOptions& options) {
+  std::vector<Violation> out;
+  const Soc& soc = problem.soc;
+
+  // 1. Coverage: each core exactly once.
+  std::map<CoreId, const CoreSchedule*> by_core;
+  for (const auto& entry : schedule.entries()) {
+    Check(out, entry.core >= 0 && entry.core < soc.num_cores(),
+          StrFormat("entry references unknown core id %d", entry.core));
+    if (entry.core < 0 || entry.core >= soc.num_cores()) continue;
+    const bool inserted = by_core.emplace(entry.core, &entry).second;
+    Check(out, inserted,
+          StrFormat("core %d ('%s') scheduled more than once", entry.core,
+                    soc.core(entry.core).name.c_str()));
+  }
+  for (const auto& core : soc.cores()) {
+    Check(out, by_core.count(core.id) == 1,
+          StrFormat("core %d ('%s') missing from schedule", core.id,
+                    core.name.c_str()));
+  }
+
+  StepProfile width_profile;
+  StepProfile power_profile;
+
+  for (const auto& [core_id, entry] : by_core) {
+    const CoreSpec& core = soc.core(core_id);
+    const char* cname = core.name.c_str();
+
+    // 2. Segment structure.
+    Check(out, !entry->segments.empty(),
+          StrFormat("core '%s' has no segments", cname));
+    Check(out, entry->assigned_width >= 1 &&
+                   entry->assigned_width <= schedule.tam_width(),
+          StrFormat("core '%s' width %d outside [1, %d]", cname,
+                    entry->assigned_width, schedule.tam_width()));
+    Time prev_end = -1;
+    for (const auto& seg : entry->segments) {
+      Check(out, seg.span.begin >= 0 && seg.span.length() > 0,
+            StrFormat("core '%s' has an empty/negative segment", cname));
+      Check(out, seg.span.begin >= prev_end,
+            StrFormat("core '%s' segments overlap or are unsorted", cname));
+      Check(out, seg.width == entry->assigned_width,
+            StrFormat("core '%s' segment width %d != assigned width %d", cname,
+                      seg.width, entry->assigned_width));
+      prev_end = seg.span.end;
+      width_profile.Add(seg.span, seg.width);
+      power_profile.Add(seg.span, problem.power.PowerOf(core_id));
+    }
+
+    // 4. Exact durations.
+    if (options.check_exact_durations) {
+      const WrapperConfig config =
+          DesignWrapper(core, std::min(entry->assigned_width,
+                                       std::max(1, options.w_max)));
+      const Time base = config.TestTime(core.num_patterns);
+      const Time penalty =
+          (config.scan_in_length + config.scan_out_length) * entry->preemptions;
+      Check(out, entry->ActiveTime() == base + penalty,
+            StrFormat("core '%s' active time %lld != T(%d)=%lld + penalty %lld",
+                      cname, static_cast<long long>(entry->ActiveTime()),
+                      entry->assigned_width, static_cast<long long>(base),
+                      static_cast<long long>(penalty)));
+      Check(out, entry->overhead_cycles == penalty,
+            StrFormat("core '%s' recorded overhead %lld != expected %lld",
+                      cname, static_cast<long long>(entry->overhead_cycles),
+                      static_cast<long long>(penalty)));
+    }
+
+    // 5. Preemption accounting.
+    Check(out,
+          static_cast<int>(entry->segments.size()) <= entry->preemptions + 1,
+          StrFormat("core '%s' has %zu segments but only %d preemptions", cname,
+                    entry->segments.size(), entry->preemptions));
+    if (options.check_preemption_limits) {
+      Check(out, entry->preemptions <= core.max_preemptions,
+            StrFormat("core '%s' preempted %d times, limit %d", cname,
+                      entry->preemptions, core.max_preemptions));
+    }
+  }
+
+  // 3. TAM width capacity.
+  const auto peak_width = width_profile.Max();
+  Check(out, peak_width <= schedule.tam_width(),
+        StrFormat("peak TAM usage %lld exceeds W=%d",
+                  static_cast<long long>(peak_width), schedule.tam_width()));
+
+  // 6. Precedence.
+  for (const auto& [a, entry_a] : by_core) {
+    for (CoreId b : problem.precedence.SuccessorsOf(a)) {
+      const auto it = by_core.find(b);
+      if (it == by_core.end()) continue;
+      Check(out, it->second->BeginTime() >= entry_a->EndTime(),
+            StrFormat("precedence violated: core %d starts at %lld before "
+                      "core %d ends at %lld",
+                      b, static_cast<long long>(it->second->BeginTime()), a,
+                      static_cast<long long>(entry_a->EndTime())));
+    }
+  }
+
+  // 7. Concurrency.
+  for (const auto& [a, b] : problem.concurrency.Pairs()) {
+    const auto ia = by_core.find(a);
+    const auto ib = by_core.find(b);
+    if (ia == by_core.end() || ib == by_core.end()) continue;
+    for (const auto& sa : ia->second->segments) {
+      for (const auto& sb : ib->second->segments) {
+        Check(out, !Overlaps(sa.span, sb.span),
+              StrFormat("concurrency violated: cores %d and %d overlap in "
+                        "[%lld,%lld)x[%lld,%lld)",
+                        a, b, static_cast<long long>(sa.span.begin),
+                        static_cast<long long>(sa.span.end),
+                        static_cast<long long>(sb.span.begin),
+                        static_cast<long long>(sb.span.end)));
+      }
+    }
+  }
+
+  // 8. Power.
+  if (!problem.power.unlimited()) {
+    const auto peak_power = power_profile.Max();
+    Check(out, peak_power <= problem.power.pmax(),
+          StrFormat("peak power %lld exceeds Pmax %lld",
+                    static_cast<long long>(peak_power),
+                    static_cast<long long>(problem.power.pmax())));
+  }
+
+  return out;
+}
+
+bool IsValidSchedule(const TestProblem& problem, const Schedule& schedule,
+                     const ValidationOptions& options) {
+  return ValidateSchedule(problem, schedule, options).empty();
+}
+
+std::string FormatViolations(const std::vector<Violation>& violations) {
+  std::string out;
+  for (const auto& v : violations) {
+    out += "  - " + v.message + "\n";
+  }
+  return out;
+}
+
+}  // namespace soctest

@@ -1,0 +1,54 @@
+// Schedule validation: checks every invariant the paper's problem statements
+// impose. Used by tests (property suites) and by examples to certify output.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/problem.h"
+#include "core/schedule.h"
+
+namespace soctest {
+
+struct ValidationOptions {
+  // When true, each core's active time must equal its wrapper test time at
+  // the assigned width plus (s_i + s_o) per preemption.
+  bool check_exact_durations = true;
+
+  // Per-core preemption limits (CoreSpec::max_preemptions) are enforced.
+  // Disable for schedules produced with preemption turned off but limits set.
+  bool check_preemption_limits = true;
+
+  // Reference width used when recomputing wrapper test times.
+  int w_max = 64;
+};
+
+// A single violated invariant, human-readable.
+struct Violation {
+  std::string message;
+};
+
+// Returns all violations found (empty = valid schedule).
+//
+// Checked invariants:
+//   1. every core appears exactly once and is fully scheduled;
+//   2. per-core segments are disjoint, ordered, positive-length, and carry
+//      the core's assigned width;
+//   3. the aggregate TAM width in use never exceeds the bin height W;
+//   4. per-core active time matches T(width) + preemptions * (s_i + s_o);
+//   5. segment count <= preemptions + 1 and preemptions <= max_preemptions;
+//   6. precedence: successor starts after predecessor's last segment ends;
+//   7. concurrency: constrained pairs never overlap;
+//   8. power: aggregate active power never exceeds Pmax.
+std::vector<Violation> ValidateSchedule(const TestProblem& problem,
+                                        const Schedule& schedule,
+                                        const ValidationOptions& options = {});
+
+// Convenience predicate.
+bool IsValidSchedule(const TestProblem& problem, const Schedule& schedule,
+                     const ValidationOptions& options = {});
+
+// Formats violations for diagnostics.
+std::string FormatViolations(const std::vector<Violation>& violations);
+
+}  // namespace soctest

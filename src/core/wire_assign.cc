@@ -1,0 +1,126 @@
+#include "core/wire_assign.h"
+
+#include <algorithm>
+#include <map>
+
+#include "util/strings.h"
+
+namespace soctest {
+
+int WireGrant::NumFragments() const {
+  if (wires.empty()) return 0;
+  int fragments = 1;
+  for (std::size_t i = 1; i < wires.size(); ++i) {
+    if (wires[i] != wires[i - 1] + 1) ++fragments;
+  }
+  return fragments;
+}
+
+int WireAssignment::MaxFragments() const {
+  int best = 0;
+  for (const auto& g : grants) best = std::max(best, g.NumFragments());
+  return best;
+}
+
+double WireAssignment::ForkShare() const {
+  if (grants.empty()) return 0.0;
+  int forked = 0;
+  for (const auto& g : grants) {
+    if (g.NumFragments() > 1) ++forked;
+  }
+  return static_cast<double>(forked) / static_cast<double>(grants.size());
+}
+
+std::optional<WireAssignment> AssignWires(const Schedule& schedule) {
+  struct Event {
+    Time at;
+    bool release;  // releases sort before acquisitions at the same instant
+    CoreId core;
+    std::size_t grant_index;
+    int width;
+  };
+
+  WireAssignment out;
+  out.tam_width = schedule.tam_width();
+
+  std::vector<Event> events;
+  for (const auto& entry : schedule.entries()) {
+    for (const auto& seg : entry.segments) {
+      const std::size_t grant_index = out.grants.size();
+      out.grants.push_back(WireGrant{entry.core, seg.span, {}});
+      events.push_back(Event{seg.span.begin, false, entry.core, grant_index,
+                             seg.width});
+      events.push_back(Event{seg.span.end, true, entry.core, grant_index, 0});
+    }
+  }
+  std::sort(events.begin(), events.end(), [](const Event& a, const Event& b) {
+    if (a.at != b.at) return a.at < b.at;
+    if (a.release != b.release) return a.release;  // free wires first
+    return a.grant_index < b.grant_index;
+  });
+
+  std::vector<bool> in_use(static_cast<std::size_t>(schedule.tam_width()), false);
+  for (const auto& ev : events) {
+    auto& grant = out.grants[ev.grant_index];
+    if (ev.release) {
+      for (int wire : grant.wires) in_use[static_cast<std::size_t>(wire)] = false;
+      continue;
+    }
+    for (int w = 0; w < schedule.tam_width() &&
+                    static_cast<int>(grant.wires.size()) < ev.width;
+         ++w) {
+      if (!in_use[static_cast<std::size_t>(w)]) {
+        in_use[static_cast<std::size_t>(w)] = true;
+        grant.wires.push_back(w);
+      }
+    }
+    if (static_cast<int>(grant.wires.size()) < ev.width) {
+      return std::nullopt;  // aggregate usage exceeded W somewhere
+    }
+  }
+  return out;
+}
+
+std::optional<std::string> CheckWireAssignment(
+    const Schedule& schedule, const WireAssignment& assignment) {
+  // Grant arity: match each grant back to its segment width.
+  std::size_t expected_grants = 0;
+  for (const auto& entry : schedule.entries()) expected_grants += entry.segments.size();
+  if (assignment.grants.size() != expected_grants) {
+    return StrFormat("expected %zu grants, got %zu", expected_grants,
+                     assignment.grants.size());
+  }
+
+  for (const auto& grant : assignment.grants) {
+    std::vector<int> wires = grant.wires;
+    std::sort(wires.begin(), wires.end());
+    if (std::adjacent_find(wires.begin(), wires.end()) != wires.end()) {
+      return StrFormat("core %d grant repeats a wire id", grant.core);
+    }
+    for (int w : wires) {
+      if (w < 0 || w >= assignment.tam_width) {
+        return StrFormat("core %d grant uses wire %d outside [0,%d)",
+                         grant.core, w, assignment.tam_width);
+      }
+    }
+  }
+
+  // Per-wire exclusivity via sweep.
+  std::map<int, std::vector<Interval>> by_wire;
+  for (const auto& grant : assignment.grants) {
+    for (int w : grant.wires) by_wire[w].push_back(grant.span);
+  }
+  for (auto& [wire, spans] : by_wire) {
+    std::sort(spans.begin(), spans.end(),
+              [](const Interval& a, const Interval& b) { return a.begin < b.begin; });
+    for (std::size_t i = 1; i < spans.size(); ++i) {
+      if (spans[i].begin < spans[i - 1].end) {
+        return StrFormat("wire %d double-booked around time %lld", wire,
+                         static_cast<long long>(spans[i].begin));
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace soctest

@@ -1,0 +1,53 @@
+// Physical TAM wire assignment.
+//
+// The scheduler tracks only aggregate width usage; rectangles may be split
+// vertically because non-contiguous TAM wires can be forked to a core and
+// merged back (paper Section 3). This module materializes that claim: it
+// assigns concrete wire ids [0, W) to every schedule segment such that no
+// wire carries two cores at once, proving the schedule is physically
+// realizable, and it reports fork/merge statistics (how fragmented each
+// core's wire group is).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/schedule.h"
+
+namespace soctest {
+
+// Wire ids granted to one schedule segment of one core.
+struct WireGrant {
+  CoreId core = kNoCore;
+  Interval span;
+  std::vector<int> wires;  // sorted, size == segment width
+
+  // Number of maximal runs of consecutive wire ids; 1 = contiguous block,
+  // >1 = the TAM forked for this core.
+  int NumFragments() const;
+};
+
+struct WireAssignment {
+  int tam_width = 0;
+  std::vector<WireGrant> grants;
+
+  // Largest fragment count over all grants (1 = a contiguous design would
+  // have sufficed for every core).
+  int MaxFragments() const;
+
+  // Share of grants that needed forked (non-contiguous) wires.
+  double ForkShare() const;
+};
+
+// Assigns wires greedily (lowest free id first) by sweeping segment start
+// times. Always succeeds for schedules whose aggregate usage respects W;
+// returns nullopt otherwise.
+std::optional<WireAssignment> AssignWires(const Schedule& schedule);
+
+// Verifies that no wire is used by two overlapping grants and every grant has
+// exactly its segment's width. Returns an error description or nullopt.
+std::optional<std::string> CheckWireAssignment(const Schedule& schedule,
+                                               const WireAssignment& assignment);
+
+}  // namespace soctest

@@ -1,0 +1,180 @@
+#include "io/schedule_export.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace soctest {
+namespace {
+
+// Minimal JSON string escaping (names are ASCII identifiers in practice).
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StrFormat("\\u%04x", c);
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+// A qualitative 12-color palette for SVG core rectangles.
+const char* ColorFor(CoreId core) {
+  static const char* kPalette[] = {
+      "#4e79a7", "#f28e2b", "#e15759", "#76b7b2", "#59a14f", "#edc948",
+      "#b07aa1", "#ff9da7", "#9c755f", "#bab0ac", "#86bcb6", "#d37295"};
+  return kPalette[static_cast<std::size_t>(core) % 12];
+}
+
+double Scale(Time t, Time makespan, int span_px) {
+  if (makespan <= 0) return 0.0;
+  return static_cast<double>(t) / static_cast<double>(makespan) * span_px;
+}
+
+}  // namespace
+
+std::string ScheduleToJson(const Soc& soc, const Schedule& schedule) {
+  std::string out = "{\n";
+  out += StrFormat("  \"soc\": \"%s\",\n", JsonEscape(schedule.soc_name()).c_str());
+  out += StrFormat("  \"tam_width\": %d,\n", schedule.tam_width());
+  out += StrFormat("  \"makespan\": %lld,\n",
+                   static_cast<long long>(schedule.Makespan()));
+  out += StrFormat("  \"utilization\": %.6f,\n", schedule.Utilization());
+  out += "  \"cores\": [\n";
+  const auto& entries = schedule.entries();
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const auto& e = entries[i];
+    const std::string name =
+        e.core >= 0 && e.core < soc.num_cores() ? soc.core(e.core).name : "";
+    out += StrFormat(
+        "    {\"id\": %d, \"name\": \"%s\", \"width\": %d, "
+        "\"preemptions\": %d, \"overhead_cycles\": %lld, \"segments\": [",
+        e.core, JsonEscape(name).c_str(), e.assigned_width, e.preemptions,
+        static_cast<long long>(e.overhead_cycles));
+    for (std::size_t j = 0; j < e.segments.size(); ++j) {
+      const auto& seg = e.segments[j];
+      out += StrFormat("%s{\"begin\": %lld, \"end\": %lld}", j ? ", " : "",
+                       static_cast<long long>(seg.span.begin),
+                       static_cast<long long>(seg.span.end));
+    }
+    out += StrFormat("]}%s\n", i + 1 < entries.size() ? "," : "");
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+std::string ScheduleToCsv(const Soc& soc, const Schedule& schedule) {
+  std::string out = "core_id,core_name,width,segment_index,begin,end,preemptions\n";
+  for (const auto& e : schedule.entries()) {
+    const std::string name =
+        e.core >= 0 && e.core < soc.num_cores() ? soc.core(e.core).name : "";
+    for (std::size_t j = 0; j < e.segments.size(); ++j) {
+      out += StrFormat("%d,%s,%d,%zu,%lld,%lld,%d\n", e.core, name.c_str(),
+                       e.assigned_width, j,
+                       static_cast<long long>(e.segments[j].span.begin),
+                       static_cast<long long>(e.segments[j].span.end),
+                       e.preemptions);
+    }
+  }
+  return out;
+}
+
+std::string ScheduleToSvg(const Soc& soc, const Schedule& schedule,
+                          const SvgOptions& options) {
+  const Time makespan = std::max<Time>(1, schedule.Makespan());
+  const int rows = static_cast<int>(schedule.entries().size());
+  const int chart_w = options.width_px - options.label_width_px;
+  const int height = (rows + 2) * options.row_height_px;
+
+  std::string out = StrFormat(
+      "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%d\" height=\"%d\" "
+      "font-family=\"monospace\" font-size=\"12\">\n",
+      options.width_px, height);
+  out += StrFormat(
+      "<text x=\"4\" y=\"14\">%s W=%d makespan=%s cycles</text>\n",
+      JsonEscape(schedule.soc_name()).c_str(), schedule.tam_width(),
+      WithCommas(schedule.Makespan()).c_str());
+
+  int row = 1;
+  for (const auto& e : schedule.entries()) {
+    const int y = row * options.row_height_px;
+    const std::string name =
+        e.core >= 0 && e.core < soc.num_cores() ? soc.core(e.core).name : "?";
+    out += StrFormat("<text x=\"4\" y=\"%d\">%s</text>\n",
+                     y + options.row_height_px - 8, JsonEscape(name).c_str());
+    for (const auto& seg : e.segments) {
+      const double x0 =
+          options.label_width_px + Scale(seg.span.begin, makespan, chart_w);
+      const double x1 =
+          options.label_width_px + Scale(seg.span.end, makespan, chart_w);
+      out += StrFormat(
+          "<rect x=\"%.1f\" y=\"%d\" width=\"%.1f\" height=\"%d\" "
+          "fill=\"%s\" stroke=\"#333\"><title>%s [%lld, %lld) w=%d"
+          "</title></rect>\n",
+          x0, y + 2, std::max(1.0, x1 - x0), options.row_height_px - 4,
+          ColorFor(e.core), JsonEscape(name).c_str(),
+          static_cast<long long>(seg.span.begin),
+          static_cast<long long>(seg.span.end), seg.width);
+    }
+    ++row;
+  }
+  // Time axis.
+  const int axis_y = (rows + 1) * options.row_height_px;
+  out += StrFormat(
+      "<line x1=\"%d\" y1=\"%d\" x2=\"%d\" y2=\"%d\" stroke=\"#333\"/>\n",
+      options.label_width_px, axis_y, options.width_px, axis_y);
+  out += StrFormat("<text x=\"%d\" y=\"%d\">0</text>\n", options.label_width_px,
+                   axis_y + 14);
+  out += StrFormat("<text x=\"%d\" y=\"%d\" text-anchor=\"end\">%s</text>\n",
+                   options.width_px - 2, axis_y + 14,
+                   WithCommas(schedule.Makespan()).c_str());
+  out += "</svg>\n";
+  return out;
+}
+
+std::string WireMapToSvg(const Soc& soc, const Schedule& schedule,
+                         const WireAssignment& wires, const SvgOptions& options) {
+  const Time makespan = std::max<Time>(1, schedule.Makespan());
+  const int chart_w = options.width_px - options.label_width_px;
+  const int row_h = std::max(6, options.row_height_px / 2);
+  const int height = (wires.tam_width + 3) * row_h;
+
+  std::string out = StrFormat(
+      "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%d\" height=\"%d\" "
+      "font-family=\"monospace\" font-size=\"10\">\n",
+      options.width_px, height);
+  out += StrFormat("<text x=\"4\" y=\"12\">%s TAM wire occupancy</text>\n",
+                   JsonEscape(schedule.soc_name()).c_str());
+  for (const auto& grant : wires.grants) {
+    const std::string name = grant.core >= 0 && grant.core < soc.num_cores()
+                                 ? soc.core(grant.core).name
+                                 : "?";
+    const double x0 =
+        options.label_width_px + Scale(grant.span.begin, makespan, chart_w);
+    const double x1 =
+        options.label_width_px + Scale(grant.span.end, makespan, chart_w);
+    for (int wire : grant.wires) {
+      const int y = (wire + 1) * row_h + 8;
+      out += StrFormat(
+          "<rect x=\"%.1f\" y=\"%d\" width=\"%.1f\" height=\"%d\" "
+          "fill=\"%s\"><title>%s on wire %d</title></rect>\n",
+          x0, y, std::max(1.0, x1 - x0), row_h - 1, ColorFor(grant.core),
+          JsonEscape(name).c_str(), wire);
+    }
+  }
+  out += "</svg>\n";
+  return out;
+}
+
+}  // namespace soctest

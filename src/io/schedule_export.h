@@ -1,0 +1,42 @@
+// Schedule export: JSON (machine-readable, for downstream tooling), CSV
+// (segments table), and SVG (publication-grade Gantt rendering).
+#pragma once
+
+#include <string>
+
+#include "core/schedule.h"
+#include "core/wire_assign.h"
+#include "soc/soc.h"
+
+namespace soctest {
+
+// JSON document:
+// {
+//   "soc": "...", "tam_width": W, "makespan": T, "utilization": u,
+//   "cores": [ { "id": .., "name": "..", "width": .., "preemptions": ..,
+//                "overhead_cycles": ..,
+//                "segments": [ {"begin": .., "end": ..}, ... ] }, ... ]
+// }
+std::string ScheduleToJson(const Soc& soc, const Schedule& schedule);
+
+// CSV with one row per segment:
+//   core_id,core_name,width,segment_index,begin,end,preemptions
+std::string ScheduleToCsv(const Soc& soc, const Schedule& schedule);
+
+struct SvgOptions {
+  int width_px = 960;
+  int row_height_px = 22;
+  int label_width_px = 120;
+};
+
+// Standalone SVG Gantt: one row per core, one <rect> per segment, a time
+// axis, and tooltips (<title>) carrying exact cycle counts.
+std::string ScheduleToSvg(const Soc& soc, const Schedule& schedule,
+                          const SvgOptions& options = {});
+
+// SVG wire-occupancy map (one row per physical TAM wire).
+std::string WireMapToSvg(const Soc& soc, const Schedule& schedule,
+                         const WireAssignment& wires,
+                         const SvgOptions& options = {});
+
+}  // namespace soctest

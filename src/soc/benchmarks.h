@@ -1,0 +1,42 @@
+// Embedded benchmark SOCs.
+//
+// d695 is reconstructed from the publicly documented ITC'02 SOC Test
+// Benchmark parameters (ten ISCAS-85/89 cores with their terminal, pattern,
+// and scan-chain statistics; per-chain length splits are near-equal
+// partitions of the published flip-flop totals). The three Philips
+// industrial SOCs are NOT redistributable, so p22810s/p34392s/p93791s are
+// deterministic synthetic stand-ins matched to the published scale of each
+// design: core count, hierarchy, total test-data volume, and (for p34392s)
+// the dominant bottleneck core that pins the SOC test time at W >= 32.
+// See DESIGN.md for the substitution rationale.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/problem.h"
+#include "soc/soc.h"
+
+namespace soctest {
+
+// Academic benchmark (Duke University), 10 cores.
+Soc MakeD695();
+
+// Synthetic stand-ins for the Philips industrial SOCs.
+Soc MakeP22810s();  // ~28 cores, ~15 Mbit total test data
+Soc MakeP34392s();  // ~19 cores, ~34 Mbit, with a bottleneck core
+Soc MakeP93791s();  // ~32 cores, ~60 Mbit
+
+// All four, in paper order (d695, p22810s, p34392s, p93791s).
+std::vector<Soc> AllBenchmarkSocs();
+
+// Looks a benchmark up by name; returns an empty SOC (0 cores) when unknown.
+Soc BenchmarkByName(const std::string& name);
+
+// The Table-1 experiment configuration for a benchmark SOC:
+//  * preemption budget 2 for the larger cores (paper Section 6),
+//  * the paper's power model (power = bits/pattern, Pmax = 1.5 * peak),
+//  * hierarchy-derived concurrency constraints.
+TestProblem MakeBenchmarkProblem(Soc soc, bool with_power_budget);
+
+}  // namespace soctest

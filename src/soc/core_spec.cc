@@ -1,0 +1,55 @@
+#include "soc/core_spec.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/strings.h"
+
+namespace soctest {
+
+std::int64_t CoreSpec::TotalScanCells() const {
+  return std::accumulate(scan_chain_lengths.begin(), scan_chain_lengths.end(),
+                         std::int64_t{0});
+}
+
+std::int64_t CoreSpec::BitsPerPattern() const {
+  const std::int64_t scan = TotalScanCells();
+  const std::int64_t in_bits = ScanInIoCells() + scan;
+  const std::int64_t out_bits = ScanOutIoCells() + scan;
+  return in_bits + out_bits;
+}
+
+std::int64_t CoreSpec::TotalTestBits() const {
+  return BitsPerPattern() * num_patterns;
+}
+
+int CoreSpec::MaxUsefulWidth() const {
+  const auto chains = static_cast<int>(scan_chain_lengths.size());
+  const int io = std::max(ScanInIoCells(), ScanOutIoCells());
+  return std::max(1, chains + io);
+}
+
+std::optional<std::string> CoreSpec::Validate() const {
+  if (name.empty()) return "core has an empty name";
+  if (num_inputs < 0 || num_outputs < 0 || num_bidirs < 0) {
+    return StrFormat("core '%s': negative terminal count", name.c_str());
+  }
+  if (num_patterns <= 0) {
+    return StrFormat("core '%s': pattern count must be positive", name.c_str());
+  }
+  for (int len : scan_chain_lengths) {
+    if (len <= 0) {
+      return StrFormat("core '%s': scan chain length must be positive", name.c_str());
+    }
+  }
+  if (num_inputs + num_outputs + num_bidirs == 0 && scan_chain_lengths.empty()) {
+    return StrFormat("core '%s': no terminals and no scan chains", name.c_str());
+  }
+  if (power < 0) return StrFormat("core '%s': negative power", name.c_str());
+  if (max_preemptions < 0) {
+    return StrFormat("core '%s': negative preemption limit", name.c_str());
+  }
+  return std::nullopt;
+}
+
+}  // namespace soctest

@@ -1,0 +1,84 @@
+// Per-core test specification — the inputs of the wrapper/TAM co-optimization.
+//
+// This mirrors the ITC'02 SOC Test Benchmarks module description: functional
+// terminal counts, scan structure (fixed-length internal scan chains, per the
+// paper's assumption), pattern count, plus the scheduling-related attributes
+// used by Problem 2 of the paper (power, hierarchy, BIST resources,
+// preemptability).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace soctest {
+
+using CoreId = int;
+
+inline constexpr CoreId kNoCore = -1;
+
+struct CoreSpec {
+  CoreId id = kNoCore;
+  std::string name;
+
+  // Functional (non-scan) terminals. Bidirectional terminals need a wrapper
+  // cell on both the scan-in and scan-out paths.
+  int num_inputs = 0;
+  int num_outputs = 0;
+  int num_bidirs = 0;
+
+  // Number of scan test patterns to apply through the wrapper.
+  std::int64_t num_patterns = 0;
+
+  // Lengths (in flip-flops) of the core's internal scan chains. Empty for
+  // purely combinational cores. Lengths are fixed (paper Section 3).
+  std::vector<int> scan_chain_lengths;
+
+  // Test power dissipation (arbitrary units). The paper uses a hypothetical
+  // value proportional to the test-data bits per pattern; PowerModel can
+  // derive that automatically when this is 0.
+  std::int64_t power = 0;
+
+  // Hierarchical parent core (Intest of the parent conflicts with Intest of
+  // the children, because child wrappers must be in Extest mode).
+  std::optional<CoreId> parent;
+
+  // Identifiers of shared test resources (e.g. an on-chip BIST engine). Two
+  // cores sharing a resource id must not be tested concurrently.
+  std::vector<int> resources;
+
+  // Maximum number of preemptions the integrator allows for this core's test.
+  // 0 = non-preemptable (the default, matching non-preemptive scheduling).
+  int max_preemptions = 0;
+
+  // --- Derived quantities -------------------------------------------------
+
+  // Total internal scan flip-flops.
+  std::int64_t TotalScanCells() const;
+
+  // Wrapper scan-in cells = functional inputs + bidirs; scan-out likewise.
+  int ScanInIoCells() const { return num_inputs + num_bidirs; }
+  int ScanOutIoCells() const { return num_outputs + num_bidirs; }
+
+  // Test data bits per pattern: every pattern shifts in (inputs + bidirs +
+  // scan cells) stimulus bits and shifts out (outputs + bidirs + scan cells)
+  // response bits.
+  std::int64_t BitsPerPattern() const;
+
+  // Total stimulus + response bits across all patterns — the core's tester
+  // data footprint, independent of wrapper width.
+  std::int64_t TotalTestBits() const;
+
+  // Upper bound on a useful wrapper/TAM width for this core: one wrapper
+  // chain per internal scan chain plus one per I/O cell is never beneficial
+  // to exceed.
+  int MaxUsefulWidth() const;
+
+  // Returns a human-readable description of the first structural problem, or
+  // nullopt if the spec is well-formed (non-negative counts, positive chain
+  // lengths, at least one of {patterns with terminals/scan}).
+  std::optional<std::string> Validate() const;
+};
+
+}  // namespace soctest

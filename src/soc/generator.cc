@@ -1,0 +1,74 @@
+#include "soc/generator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "util/strings.h"
+
+namespace soctest {
+namespace {
+
+// Log-uniform integer in [lo, hi]: spans orders of magnitude without the
+// huge values dominating every draw.
+std::int64_t LogUniform(Rng& rng, std::int64_t lo, std::int64_t hi) {
+  assert(lo >= 1 && lo <= hi);
+  const double llo = std::log(static_cast<double>(lo));
+  const double lhi = std::log(static_cast<double>(hi));
+  const double x = std::exp(llo + rng.UniformDouble() * (lhi - llo));
+  return std::clamp(static_cast<std::int64_t>(std::llround(x)), lo, hi);
+}
+
+}  // namespace
+
+Soc GenerateSoc(const GeneratorParams& params) {
+  Rng rng(params.seed);
+  Soc soc(params.name);
+
+  for (int i = 0; i < std::max(1, params.num_cores); ++i) {
+    CoreSpec core;
+    core.name = StrFormat("core%02d", i);
+    core.num_inputs =
+        static_cast<int>(rng.UniformInt(params.min_inputs, params.max_inputs));
+    core.num_outputs =
+        static_cast<int>(rng.UniformInt(params.min_outputs, params.max_outputs));
+    if (rng.Bernoulli(params.bidir_probability) && params.max_bidirs > 0) {
+      core.num_bidirs = static_cast<int>(rng.UniformInt(1, params.max_bidirs));
+    }
+    core.num_patterns = LogUniform(rng, std::max<std::int64_t>(1, params.min_patterns),
+                                   std::max(params.min_patterns, params.max_patterns));
+
+    if (!rng.Bernoulli(params.combinational_probability)) {
+      const int chains = static_cast<int>(
+          rng.UniformInt(std::max(1, params.min_chains), std::max(1, params.max_chains)));
+      for (int c = 0; c < chains; ++c) {
+        core.scan_chain_lengths.push_back(static_cast<int>(rng.UniformInt(
+            std::max(1, params.min_chain_len), std::max(1, params.max_chain_len))));
+      }
+    }
+
+    if (i > 0 && rng.Bernoulli(params.child_probability)) {
+      core.parent = static_cast<CoreId>(rng.UniformInt(0, i - 1));
+    }
+    if (params.num_resources > 0 && rng.Bernoulli(params.resource_probability)) {
+      core.resources.push_back(
+          static_cast<int>(rng.UniformInt(0, params.num_resources - 1)));
+    }
+    core.max_preemptions = params.max_preemptions;
+    soc.AddCore(std::move(core));
+  }
+
+  assert(!soc.Validate().has_value());
+  return soc;
+}
+
+void ScalePatterns(Soc& soc, double factor) {
+  for (int i = 0; i < soc.num_cores(); ++i) {
+    auto& core = soc.mutable_core(i);
+    const auto scaled = static_cast<std::int64_t>(
+        std::llround(static_cast<double>(core.num_patterns) * factor));
+    core.num_patterns = std::max<std::int64_t>(1, scaled);
+  }
+}
+
+}  // namespace soctest

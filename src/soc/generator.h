@@ -1,0 +1,64 @@
+// Deterministic synthetic SOC generation.
+//
+// Two uses:
+//  * building the scaled stand-ins for the Philips industrial SOCs whose
+//    ITC'02 data files are not redistributable (see DESIGN.md), and
+//  * fuzzing inputs for the property-based test suites.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "soc/soc.h"
+#include "util/rng.h"
+
+namespace soctest {
+
+struct GeneratorParams {
+  std::string name = "synthetic";
+  std::uint64_t seed = 1;
+
+  int num_cores = 10;
+
+  // Terminal count ranges.
+  int min_inputs = 8;
+  int max_inputs = 256;
+  int min_outputs = 8;
+  int max_outputs = 256;
+  double bidir_probability = 0.15;  // per core: some bidirectional pins
+  int max_bidirs = 32;
+
+  // Pattern count range (log-uniform-ish: favors smaller counts).
+  std::int64_t min_patterns = 10;
+  std::int64_t max_patterns = 1200;
+
+  // Scan structure. A core is combinational with this probability; otherwise
+  // it gets [min_chains, max_chains] chains of [min_chain_len, max_chain_len]
+  // flip-flops.
+  double combinational_probability = 0.15;
+  int min_chains = 1;
+  int max_chains = 32;
+  int min_chain_len = 8;
+  int max_chain_len = 200;
+
+  // Hierarchy: probability that a core (other than the first) is nested
+  // under a previously generated core.
+  double child_probability = 0.0;
+
+  // Shared BIST resources: number of distinct resource ids handed out, and
+  // the probability a core uses one.
+  int num_resources = 0;
+  double resource_probability = 0.0;
+
+  // Preemption budget given to every generated core.
+  int max_preemptions = 0;
+};
+
+// Generates a structurally valid SOC (Soc::Validate passes).
+Soc GenerateSoc(const GeneratorParams& params);
+
+// Scales all cores' pattern counts by `factor` (>= minimum of 1 pattern) —
+// used to calibrate synthetic SOCs to a target test-data volume.
+void ScalePatterns(Soc& soc, double factor);
+
+}  // namespace soctest

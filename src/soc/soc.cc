@@ -1,0 +1,73 @@
+#include "soc/soc.h"
+
+#include <unordered_set>
+
+#include "util/strings.h"
+
+namespace soctest {
+
+CoreId Soc::AddCore(CoreSpec core) {
+  core.id = static_cast<CoreId>(cores_.size());
+  cores_.push_back(std::move(core));
+  return cores_.back().id;
+}
+
+CoreId Soc::FindCore(const std::string& name) const {
+  for (const auto& c : cores_) {
+    if (c.name == name) return c.id;
+  }
+  return kNoCore;
+}
+
+std::vector<CoreId> Soc::ChildrenOf(CoreId id) const {
+  std::vector<CoreId> out;
+  for (const auto& c : cores_) {
+    if (c.parent && *c.parent == id) out.push_back(c.id);
+  }
+  return out;
+}
+
+std::int64_t Soc::TotalTestBits() const {
+  std::int64_t total = 0;
+  for (const auto& c : cores_) total += c.TotalTestBits();
+  return total;
+}
+
+std::optional<std::string> Soc::Validate() const {
+  if (name_.empty()) return "SOC has an empty name";
+  if (cores_.empty()) return "SOC has no cores";
+
+  std::unordered_set<std::string> names;
+  for (const auto& c : cores_) {
+    if (auto problem = c.Validate()) return problem;
+    if (!names.insert(c.name).second) {
+      return StrFormat("duplicate core name '%s'", c.name.c_str());
+    }
+  }
+  for (const auto& c : cores_) {
+    if (!c.parent) continue;
+    if (*c.parent < 0 || *c.parent >= num_cores()) {
+      return StrFormat("core '%s': parent id %d out of range", c.name.c_str(),
+                       *c.parent);
+    }
+    if (*c.parent == c.id) {
+      return StrFormat("core '%s': is its own parent", c.name.c_str());
+    }
+  }
+  // Hierarchy must be acyclic: walk parent links with a visited set.
+  for (const auto& c : cores_) {
+    std::unordered_set<CoreId> seen;
+    CoreId cur = c.id;
+    while (true) {
+      if (!seen.insert(cur).second) {
+        return StrFormat("hierarchy cycle involving core '%s'", c.name.c_str());
+      }
+      const auto& parent = cores_[static_cast<std::size_t>(cur)].parent;
+      if (!parent) break;
+      cur = *parent;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace soctest

@@ -1,0 +1,49 @@
+// The system-on-chip under test: a named collection of cores plus the
+// SOC-level constraints (hierarchy is stored on the cores; precedence and
+// concurrency constraints live in constraints/).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "soc/core_spec.h"
+
+namespace soctest {
+
+class Soc {
+ public:
+  Soc() = default;
+  explicit Soc(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  // Adds a core; its id is assigned (= index) and returned.
+  CoreId AddCore(CoreSpec core);
+
+  int num_cores() const { return static_cast<int>(cores_.size()); }
+  const std::vector<CoreSpec>& cores() const { return cores_; }
+
+  const CoreSpec& core(CoreId id) const { return cores_.at(static_cast<std::size_t>(id)); }
+  CoreSpec& mutable_core(CoreId id) { return cores_.at(static_cast<std::size_t>(id)); }
+
+  // Finds a core by name; kNoCore if absent.
+  CoreId FindCore(const std::string& name) const;
+
+  // Direct children of `id` in the design hierarchy.
+  std::vector<CoreId> ChildrenOf(CoreId id) const;
+
+  // Total test-data bits over all cores (sum of CoreSpec::TotalTestBits).
+  std::int64_t TotalTestBits() const;
+
+  // Structural validation: per-core validity, unique names, parent ids in
+  // range, hierarchy acyclic. Returns the first problem found.
+  std::optional<std::string> Validate() const;
+
+ private:
+  std::string name_;
+  std::vector<CoreSpec> cores_;
+};
+
+}  // namespace soctest

@@ -1,0 +1,257 @@
+#include "soc/soc_parser.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/strings.h"
+
+namespace soctest {
+namespace {
+
+struct PendingEdge {
+  std::string a;
+  std::string b;
+  int line = 0;
+};
+
+ParseError Err(int line, std::string message) {
+  return ParseError{line, std::move(message)};
+}
+
+// Parses "key value..." core attribute lines. Returns an error message or "".
+std::string ApplyCoreAttribute(CoreSpec& core, const std::string& key,
+                               const std::vector<std::string>& args,
+                               std::vector<std::string>* parent_names) {
+  auto one_int = [&args](std::int64_t& out) -> bool {
+    if (args.size() != 1) return false;
+    const auto v = ParseInt(args[0]);
+    if (!v) return false;
+    out = *v;
+    return true;
+  };
+
+  std::int64_t value = 0;
+  if (key == "inputs") {
+    if (!one_int(value) || value < 0) return "inputs expects one non-negative integer";
+    core.num_inputs = static_cast<int>(value);
+  } else if (key == "outputs") {
+    if (!one_int(value) || value < 0) return "outputs expects one non-negative integer";
+    core.num_outputs = static_cast<int>(value);
+  } else if (key == "bidirs") {
+    if (!one_int(value) || value < 0) return "bidirs expects one non-negative integer";
+    core.num_bidirs = static_cast<int>(value);
+  } else if (key == "patterns") {
+    if (!one_int(value) || value <= 0) return "patterns expects one positive integer";
+    core.num_patterns = value;
+  } else if (key == "power") {
+    if (!one_int(value) || value < 0) return "power expects one non-negative integer";
+    core.power = value;
+  } else if (key == "maxpreemptions") {
+    if (!one_int(value) || value < 0) {
+      return "maxpreemptions expects one non-negative integer";
+    }
+    core.max_preemptions = static_cast<int>(value);
+  } else if (key == "scanchains") {
+    core.scan_chain_lengths.clear();
+    for (const auto& a : args) {
+      const auto len = ParseInt(a);
+      if (!len || *len <= 0) return "scanchains expects positive integer lengths";
+      core.scan_chain_lengths.push_back(static_cast<int>(*len));
+    }
+  } else if (key == "resources") {
+    core.resources.clear();
+    for (const auto& a : args) {
+      const auto id = ParseInt(a);
+      if (!id) return "resources expects integer ids";
+      core.resources.push_back(static_cast<int>(*id));
+    }
+  } else if (key == "parent") {
+    if (args.size() != 1) return "parent expects one core name";
+    parent_names->back() = args[0];
+  } else {
+    return StrFormat("unknown core attribute '%s'", key.c_str());
+  }
+  return "";
+}
+
+}  // namespace
+
+ParseResult ParseSocText(const std::string& text) {
+  ParsedSoc out;
+  bool have_soc = false;
+  bool in_core = false;
+  CoreSpec current;
+  // Parallel to cores as they are added: textual parent name ("" = none).
+  std::vector<std::string> parent_names;
+  std::vector<PendingEdge> precedence_edges;
+  std::vector<PendingEdge> concurrency_edges;
+
+  const std::vector<std::string> lines = SplitLines(text);
+  for (std::size_t li = 0; li < lines.size(); ++li) {
+    const int line_no = static_cast<int>(li) + 1;
+    std::string line = lines[li];
+    if (const auto hash = line.find('#'); hash != std::string::npos) {
+      line.resize(hash);
+    }
+    const auto tokens = SplitWhitespace(line);
+    if (tokens.empty()) continue;
+    const std::string key = ToLower(tokens[0]);
+    const std::vector<std::string> args(tokens.begin() + 1, tokens.end());
+
+    if (key == "soc") {
+      if (have_soc) return Err(line_no, "duplicate 'soc' declaration");
+      if (args.size() != 1) return Err(line_no, "soc expects one name");
+      out.soc.set_name(args[0]);
+      have_soc = true;
+      continue;
+    }
+    if (!have_soc) return Err(line_no, "expected 'soc <name>' first");
+
+    if (key == "core") {
+      if (in_core) return Err(line_no, "nested 'core' (missing 'end'?)");
+      if (args.size() != 1) return Err(line_no, "core expects one name");
+      if (out.soc.FindCore(args[0]) != kNoCore) {
+        return Err(line_no, StrFormat("duplicate core '%s'", args[0].c_str()));
+      }
+      in_core = true;
+      current = CoreSpec{};
+      current.name = args[0];
+      parent_names.emplace_back();
+      continue;
+    }
+    if (key == "end") {
+      if (!in_core) return Err(line_no, "'end' outside a core block");
+      if (!args.empty()) return Err(line_no, "'end' takes no arguments");
+      out.soc.AddCore(current);
+      in_core = false;
+      continue;
+    }
+    if (in_core) {
+      const std::string problem = ApplyCoreAttribute(current, key, args, &parent_names);
+      if (!problem.empty()) return Err(line_no, problem);
+      continue;
+    }
+
+    if (key == "precedence" || key == "concurrency") {
+      // Forms: "precedence a < b" / "concurrency a ~ b".
+      const char* sep = key == "precedence" ? "<" : "~";
+      if (args.size() != 3 || args[1] != sep) {
+        return Err(line_no,
+                   StrFormat("%s expects '<a> %s <b>'", key.c_str(), sep));
+      }
+      PendingEdge edge{args[0], args[2], line_no};
+      (key == "precedence" ? precedence_edges : concurrency_edges)
+          .push_back(std::move(edge));
+      continue;
+    }
+    if (key == "powermax") {
+      if (args.size() != 1) return Err(line_no, "powermax expects one integer");
+      const auto v = ParseInt(args[0]);
+      if (!v || *v <= 0) return Err(line_no, "powermax expects a positive integer");
+      out.power_max = *v;
+      continue;
+    }
+    return Err(line_no, StrFormat("unknown directive '%s'", key.c_str()));
+  }
+
+  if (in_core) return Err(0, StrFormat("core '%s' not closed with 'end'", current.name.c_str()));
+  if (!have_soc) return Err(0, "no 'soc' declaration found");
+
+  // Resolve parents.
+  for (CoreId id = 0; id < out.soc.num_cores(); ++id) {
+    const std::string& pname = parent_names[static_cast<std::size_t>(id)];
+    if (pname.empty()) continue;
+    const CoreId parent = out.soc.FindCore(pname);
+    if (parent == kNoCore) {
+      return Err(0, StrFormat("core '%s': unknown parent '%s'",
+                              out.soc.core(id).name.c_str(), pname.c_str()));
+    }
+    out.soc.mutable_core(id).parent = parent;
+  }
+
+  // Resolve constraint edges.
+  auto resolve = [&out](const std::vector<PendingEdge>& edges,
+                        std::vector<std::pair<CoreId, CoreId>>& dst)
+      -> std::optional<ParseError> {
+    for (const auto& e : edges) {
+      const CoreId a = out.soc.FindCore(e.a);
+      const CoreId b = out.soc.FindCore(e.b);
+      if (a == kNoCore) return Err(e.line, StrFormat("unknown core '%s'", e.a.c_str()));
+      if (b == kNoCore) return Err(e.line, StrFormat("unknown core '%s'", e.b.c_str()));
+      if (a == b) return Err(e.line, "constraint relates a core to itself");
+      dst.emplace_back(a, b);
+    }
+    return std::nullopt;
+  };
+  if (auto err = resolve(precedence_edges, out.precedence)) return *err;
+  if (auto err = resolve(concurrency_edges, out.concurrency)) return *err;
+
+  if (auto problem = out.soc.Validate()) return Err(0, *problem);
+
+  // Reject cyclic precedence right away: such inputs are unschedulable.
+  PrecedenceGraph graph(out.soc.num_cores());
+  for (const auto& [a, b] : out.precedence) graph.Add(a, b);
+  if (graph.HasCycle()) return Err(0, "precedence constraints form a cycle");
+
+  return out;
+}
+
+ParseResult ParseSocFile(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) return ParseError{0, StrFormat("cannot open '%s'", path.c_str())};
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  return ParseSocText(ss.str());
+}
+
+std::string SerializeSoc(const ParsedSoc& parsed) {
+  const Soc& soc = parsed.soc;
+  std::string out = StrFormat("soc %s\n", soc.name().c_str());
+  for (const auto& core : soc.cores()) {
+    out += StrFormat("core %s\n", core.name.c_str());
+    out += StrFormat("  inputs %d\n", core.num_inputs);
+    out += StrFormat("  outputs %d\n", core.num_outputs);
+    if (core.num_bidirs != 0) out += StrFormat("  bidirs %d\n", core.num_bidirs);
+    out += StrFormat("  patterns %lld\n", static_cast<long long>(core.num_patterns));
+    if (!core.scan_chain_lengths.empty()) {
+      out += "  scanchains";
+      for (int len : core.scan_chain_lengths) out += StrFormat(" %d", len);
+      out += '\n';
+    }
+    if (core.power != 0) {
+      out += StrFormat("  power %lld\n", static_cast<long long>(core.power));
+    }
+    if (core.parent) {
+      out += StrFormat("  parent %s\n", soc.core(*core.parent).name.c_str());
+    }
+    if (!core.resources.empty()) {
+      out += "  resources";
+      for (int r : core.resources) out += StrFormat(" %d", r);
+      out += '\n';
+    }
+    if (core.max_preemptions != 0) {
+      out += StrFormat("  maxpreemptions %d\n", core.max_preemptions);
+    }
+    out += "end\n";
+  }
+  for (const auto& [a, b] : parsed.precedence) {
+    out += StrFormat("precedence %s < %s\n", soc.core(a).name.c_str(),
+                     soc.core(b).name.c_str());
+  }
+  for (const auto& [a, b] : parsed.concurrency) {
+    out += StrFormat("concurrency %s ~ %s\n", soc.core(a).name.c_str(),
+                     soc.core(b).name.c_str());
+  }
+  if (parsed.power_max > 0) {
+    out += StrFormat("powermax %lld\n", static_cast<long long>(parsed.power_max));
+  }
+  return out;
+}
+
+std::string SerializeSoc(const Soc& soc) {
+  ParsedSoc parsed;
+  parsed.soc = soc;
+  return SerializeSoc(parsed);
+}
+
+}  // namespace soctest

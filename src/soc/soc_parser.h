@@ -1,0 +1,62 @@
+// Text format for SOC test specifications, modeled on the ITC'02 SOC Test
+// Benchmarks module descriptions, extended with the scheduling attributes of
+// the DAC'02 paper (power, hierarchy, resources, preemption limits) and
+// SOC-level constraint declarations.
+//
+// Grammar (line-oriented; '#' starts a comment; blank lines ignored):
+//
+//   soc <name>
+//   core <name>
+//     inputs <n>
+//     outputs <n>
+//     bidirs <n>
+//     patterns <n>
+//     scanchains <len> <len> ...        # omit or empty = combinational
+//     power <n>                         # optional
+//     parent <core-name>                # optional
+//     resources <id> <id> ...           # optional
+//     maxpreemptions <n>                # optional
+//   end
+//   precedence <before> < <after>       # optional, repeatable
+//   concurrency <a> ~ <b>               # optional, repeatable
+//   powermax <n>                        # optional
+//
+// Core declarations must precede constraint declarations that reference them.
+#pragma once
+
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "constraints/concurrency.h"
+#include "constraints/precedence.h"
+#include "soc/soc.h"
+
+namespace soctest {
+
+// Parse result: the SOC plus the constraint declarations resolved to core ids.
+struct ParsedSoc {
+  Soc soc;
+  std::vector<std::pair<CoreId, CoreId>> precedence;   // (before, after)
+  std::vector<std::pair<CoreId, CoreId>> concurrency;  // symmetric pairs
+  std::int64_t power_max = -1;                         // -1 = not specified
+};
+
+struct ParseError {
+  int line = 0;  // 1-based line of the problem; 0 = file-level
+  std::string message;
+};
+
+using ParseResult = std::variant<ParsedSoc, ParseError>;
+
+// Parses from a string. On error returns ParseError with a line number.
+ParseResult ParseSocText(const std::string& text);
+
+// Parses from a file; file-read failures are reported as line 0 errors.
+ParseResult ParseSocFile(const std::string& path);
+
+// Serializes to the same format (round-trips through ParseSocText).
+std::string SerializeSoc(const ParsedSoc& parsed);
+std::string SerializeSoc(const Soc& soc);
+
+}  // namespace soctest

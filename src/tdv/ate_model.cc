@@ -1,0 +1,46 @@
+#include "tdv/ate_model.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace soctest {
+
+AteCost EvaluateAte(const SweepPoint& point, const AteParams& params,
+                    int num_devices) {
+  assert(point.tam_width > 0 && num_devices > 0 && params.channels > 0);
+  AteCost cost;
+  cost.sites = std::max(1, params.channels / point.tam_width);
+
+  // Per-pin vector depth equals the SOC test length; each buffer holds
+  // buffer_depth_bits vector bits per channel.
+  const std::int64_t depth = point.test_time;
+  cost.fits_single_buffer = depth <= params.buffer_depth_bits;
+  cost.reloads_per_pin =
+      std::max<std::int64_t>(0, (depth + params.buffer_depth_bits - 1) /
+                                        params.buffer_depth_bits -
+                                    1);
+  cost.per_device_cycles =
+      point.test_time + cost.reloads_per_pin * params.reload_cost_cycles;
+
+  const int waves = (num_devices + cost.sites - 1) / cost.sites;
+  cost.batch_cycles = static_cast<Time>(waves) * cost.per_device_cycles;
+  return cost;
+}
+
+std::size_t BestAtePoint(const std::vector<SweepPoint>& sweep,
+                         const AteParams& params, int num_devices) {
+  assert(!sweep.empty());
+  std::size_t best = 0;
+  Time best_cost = -1;
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    if (sweep[i].tam_width > params.channels) continue;
+    const AteCost cost = EvaluateAte(sweep[i], params, num_devices);
+    if (best_cost < 0 || cost.batch_cycles < best_cost) {
+      best_cost = cost.batch_cycles;
+      best = i;
+    }
+  }
+  return best;
+}
+
+}  // namespace soctest

@@ -1,0 +1,45 @@
+// Automatic test equipment (ATE) memory model.
+//
+// The paper's Section 5 motivation: per-pin vector memory on the tester is a
+// finite buffer; when an SOC's per-pin vector depth exceeds it, the test must
+// pause while the workstation reloads the buffers — a cost that dwarfs the
+// pattern application time when incurred often ([3] in the paper). We do not
+// have a physical tester, so this module simulates the relevant behaviour:
+// given a schedule's per-pin depth D_pin = T(W) and a buffer depth B, it
+// derives reload counts and the wall-clock test cost, and evaluates the
+// multisite configuration (several devices tested in parallel by one tester).
+#pragma once
+
+#include <cstdint>
+
+#include "tdv/data_volume.h"
+#include "util/interval.h"
+
+namespace soctest {
+
+struct AteParams {
+  int channels = 96;                       // tester channel count
+  std::int64_t buffer_depth_bits = 512'000;  // per-channel vector memory
+  // Cycles-equivalent cost of one full buffer reload from the workstation
+  // (transfer time normalized to test-clock cycles; large by design).
+  std::int64_t reload_cost_cycles = 2'000'000;
+};
+
+struct AteCost {
+  int sites = 0;                    // devices tested in parallel
+  std::int64_t reloads_per_pin = 0; // buffer refills needed per channel
+  Time per_device_cycles = 0;       // T + reload overhead
+  Time batch_cycles = 0;            // for `num_devices` devices
+  bool fits_single_buffer = false;  // the paper's "contained to one buffer"
+};
+
+// Evaluates one (W, T) operating point on a tester.
+AteCost EvaluateAte(const SweepPoint& point, const AteParams& params,
+                    int num_devices);
+
+// Finds the sweep point minimizing the batch cost on a given tester. Returns
+// the index into `sweep`.
+std::size_t BestAtePoint(const std::vector<SweepPoint>& sweep,
+                         const AteParams& params, int num_devices);
+
+}  // namespace soctest

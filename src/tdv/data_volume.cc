@@ -1,0 +1,63 @@
+#include "tdv/data_volume.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace soctest {
+
+std::vector<SweepPoint> SweepWidths(const TestProblem& problem,
+                                    const SweepOptions& options) {
+  std::vector<SweepPoint> out;
+  OptimizerParams params = options.optimizer;
+  for (int w = std::max(1, options.min_width); w <= options.max_width; ++w) {
+    params.tam_width = w;
+    const OptimizerResult result = options.best_over_params
+                                       ? OptimizeBestOverParams(problem, params)
+                                       : Optimize(problem, params);
+    if (!result.ok()) continue;
+    SweepPoint point;
+    point.tam_width = w;
+    point.test_time = result.makespan;
+    point.data_volume = static_cast<std::int64_t>(w) * result.makespan;
+    out.push_back(point);
+  }
+  return out;
+}
+
+SweepPoint MinTimePoint(const std::vector<SweepPoint>& sweep) {
+  assert(!sweep.empty());
+  const auto it = std::min_element(
+      sweep.begin(), sweep.end(), [](const SweepPoint& a, const SweepPoint& b) {
+        return a.test_time < b.test_time;
+      });
+  return *it;
+}
+
+SweepPoint MinVolumePoint(const std::vector<SweepPoint>& sweep) {
+  assert(!sweep.empty());
+  const auto it = std::min_element(
+      sweep.begin(), sweep.end(), [](const SweepPoint& a, const SweepPoint& b) {
+        return a.data_volume < b.data_volume;
+      });
+  return *it;
+}
+
+std::vector<std::size_t> LocalVolumeMinima(const std::vector<SweepPoint>& sweep) {
+  std::vector<std::size_t> out;
+  const std::size_t n = sweep.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    // Walk left past any plateau, then right past any plateau.
+    std::size_t l = i;
+    while (l > 0 && sweep[l - 1].data_volume == sweep[i].data_volume) --l;
+    std::size_t r = i;
+    while (r + 1 < n && sweep[r + 1].data_volume == sweep[i].data_volume) ++r;
+    const bool left_higher = (l == 0) || sweep[l - 1].data_volume > sweep[i].data_volume;
+    const bool right_higher = (r + 1 == n) || sweep[r + 1].data_volume > sweep[i].data_volume;
+    if (left_higher && right_higher && i == l) {
+      out.push_back(i);  // report each plateau once, at its left edge
+    }
+  }
+  return out;
+}
+
+}  // namespace soctest

@@ -1,0 +1,48 @@
+// Tester data volume analysis (paper Section 5).
+//
+// For a fixed SOC TAM width W, every one of the W tester channels must hold a
+// vector as deep as the SOC test length, so the tester memory requirement is
+//     D(W) = W * T(W)    [bits]
+// (the per-pin memory depth is T(W)). This model exactly reproduces the
+// paper's Table 2: e.g. p22810's minimum D = 44 * 167670 = 7 377 480 bits.
+// D(W) is non-monotonic in W: between Pareto points of T, the time is flat so
+// D grows linearly; at a Pareto point T drops, producing a local minimum.
+#pragma once
+
+#include <vector>
+
+#include "core/optimizer.h"
+#include "core/problem.h"
+#include "util/interval.h"
+
+namespace soctest {
+
+// One point of the width sweep.
+struct SweepPoint {
+  int tam_width = 0;
+  Time test_time = 0;          // T(W), cycles
+  std::int64_t data_volume = 0;  // D(W) = W * T(W), bits
+};
+
+struct SweepOptions {
+  int min_width = 1;
+  int max_width = 80;            // paper Fig. 9 sweeps to 80
+  OptimizerParams optimizer;     // tam_width is overridden per point
+  bool best_over_params = false; // sweep S/delta at every width (slow)
+};
+
+// Schedules the SOC at every width in [min_width, max_width] and records
+// T and D. Points where scheduling fails (impossible inputs) are skipped.
+std::vector<SweepPoint> SweepWidths(const TestProblem& problem,
+                                    const SweepOptions& options);
+
+// Minimum-T and minimum-D points of a sweep (first minimizer on ties,
+// matching the paper's "value at which the minimum occurs").
+SweepPoint MinTimePoint(const std::vector<SweepPoint>& sweep);
+SweepPoint MinVolumePoint(const std::vector<SweepPoint>& sweep);
+
+// Indices of the local minima of D(W) (strictly lower than both neighbors,
+// plateau-aware). The paper observes these coincide with Pareto points of T.
+std::vector<std::size_t> LocalVolumeMinima(const std::vector<SweepPoint>& sweep);
+
+}  // namespace soctest

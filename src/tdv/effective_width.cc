@@ -1,0 +1,56 @@
+#include "tdv/effective_width.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace soctest {
+
+std::vector<CostPoint> CostCurve(const std::vector<SweepPoint>& sweep,
+                                 double rho) {
+  assert(!sweep.empty());
+  rho = std::clamp(rho, 0.0, 1.0);
+  const auto t_min = static_cast<double>(MinTimePoint(sweep).test_time);
+  const auto d_min = static_cast<double>(MinVolumePoint(sweep).data_volume);
+  std::vector<CostPoint> out;
+  out.reserve(sweep.size());
+  for (const auto& p : sweep) {
+    CostPoint c;
+    c.tam_width = p.tam_width;
+    c.test_time = p.test_time;
+    c.data_volume = p.data_volume;
+    c.cost = rho * static_cast<double>(p.test_time) / t_min +
+             (1.0 - rho) * static_cast<double>(p.data_volume) / d_min;
+    out.push_back(c);
+  }
+  return out;
+}
+
+CostPoint EffectiveWidth(const std::vector<SweepPoint>& sweep, double rho) {
+  const auto curve = CostCurve(sweep, rho);
+  const auto it = std::min_element(
+      curve.begin(), curve.end(),
+      [](const CostPoint& a, const CostPoint& b) { return a.cost < b.cost; });
+  return *it;
+}
+
+TradeoffRow MakeTradeoffRow(const std::vector<SweepPoint>& sweep, double rho) {
+  const CostPoint best = EffectiveWidth(sweep, rho);
+  TradeoffRow row;
+  row.rho = rho;
+  row.min_cost = best.cost;
+  row.effective_width = best.tam_width;
+  row.time_at_effective = best.test_time;
+  row.volume_at_effective = best.data_volume;
+  return row;
+}
+
+Time MultisiteBatchTime(const SweepPoint& point, int tester_channels,
+                        int num_devices) {
+  assert(point.tam_width > 0 && tester_channels > 0 && num_devices > 0);
+  const int sites = std::max(1, tester_channels / point.tam_width);
+  const int waves = (num_devices + sites - 1) / sites;
+  return static_cast<Time>(waves) * point.test_time;
+}
+
+}  // namespace soctest

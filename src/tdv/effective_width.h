@@ -1,0 +1,50 @@
+// Effective TAM width selection (paper Section 5 / Table 2).
+//
+// Normalized cost over a width sweep:
+//   C(W) = rho * T(W)/T_min + (1 - rho) * D(W)/D_min,   rho in [0, 1].
+// As rho goes 0 -> 1 the C-curve morphs from the D-curve to the T-curve; in
+// between it is U-shaped with a single practical minimum, the effective TAM
+// width W_E(rho). Choosing W_E trades test time against tester memory depth
+// (multisite testing: fewer pins per device = more devices in parallel).
+#pragma once
+
+#include <vector>
+
+#include "tdv/data_volume.h"
+
+namespace soctest {
+
+struct CostPoint {
+  int tam_width = 0;
+  double cost = 0.0;
+  Time test_time = 0;
+  std::int64_t data_volume = 0;
+};
+
+// Evaluates C(W) over the sweep for a given rho (clamped to [0,1]).
+std::vector<CostPoint> CostCurve(const std::vector<SweepPoint>& sweep,
+                                 double rho);
+
+// The effective width: the sweep point minimizing C (first minimizer wins,
+// matching the paper's tabulation).
+CostPoint EffectiveWidth(const std::vector<SweepPoint>& sweep, double rho);
+
+// Table-2 row: min C and the widths/values at the effective width for one rho.
+struct TradeoffRow {
+  double rho = 0.0;
+  double min_cost = 0.0;
+  int effective_width = 0;
+  Time time_at_effective = 0;
+  std::int64_t volume_at_effective = 0;
+};
+
+TradeoffRow MakeTradeoffRow(const std::vector<SweepPoint>& sweep, double rho);
+
+// Multisite view: with a tester that has `tester_channels` channels, a device
+// using W pins allows floor(channels / W) sites. Returns the batch time for
+// `num_devices` devices: ceil(devices / sites) * T(W). Useful to justify the
+// narrow-TAM trade-off the paper motivates.
+Time MultisiteBatchTime(const SweepPoint& point, int tester_channels,
+                        int num_devices);
+
+}  // namespace soctest

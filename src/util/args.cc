@@ -1,0 +1,102 @@
+#include "util/args.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace soctest {
+
+ArgParser::ArgParser(std::vector<std::string> known_flags,
+                     std::vector<std::string> known_options)
+    : known_flags_(std::move(known_flags)),
+      known_options_(std::move(known_options)) {}
+
+bool ArgParser::Parse(int argc, const char* const* argv, int start) {
+  auto is_flag = [this](const std::string& name) {
+    return std::find(known_flags_.begin(), known_flags_.end(), name) !=
+           known_flags_.end();
+  };
+  auto is_option = [this](const std::string& name) {
+    return std::find(known_options_.begin(), known_options_.end(), name) !=
+           known_options_.end();
+  };
+
+  for (int i = start; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (!StartsWith(arg, "--")) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    arg = arg.substr(2);
+    std::string value;
+    bool has_inline_value = false;
+    if (const auto eq = arg.find('='); eq != std::string::npos) {
+      value = arg.substr(eq + 1);
+      arg = arg.substr(0, eq);
+      has_inline_value = true;
+    }
+    if (is_flag(arg)) {
+      if (has_inline_value) {
+        error_ = StrFormat("flag --%s takes no value", arg.c_str());
+        return false;
+      }
+      flags_.push_back(arg);
+      continue;
+    }
+    if (is_option(arg)) {
+      if (!has_inline_value) {
+        if (i + 1 >= argc) {
+          error_ = StrFormat("option --%s needs a value", arg.c_str());
+          return false;
+        }
+        value = argv[++i];
+      }
+      values_[arg] = value;
+      continue;
+    }
+    error_ = StrFormat("unknown argument --%s", arg.c_str());
+    return false;
+  }
+  return true;
+}
+
+bool ArgParser::HasFlag(const std::string& name) const {
+  return std::find(flags_.begin(), flags_.end(), name) != flags_.end();
+}
+
+std::optional<std::string> ArgParser::Option(const std::string& name) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string ArgParser::StringOr(const std::string& name,
+                                const std::string& def) const {
+  return Option(name).value_or(def);
+}
+
+std::int64_t ArgParser::IntOr(const std::string& name, std::int64_t def) {
+  const auto raw = Option(name);
+  if (!raw) return def;
+  const auto parsed = ParseInt(*raw);
+  if (!parsed) {
+    error_ = StrFormat("option --%s: '%s' is not an integer", name.c_str(),
+                       raw->c_str());
+    return def;
+  }
+  return *parsed;
+}
+
+double ArgParser::DoubleOr(const std::string& name, double def) {
+  const auto raw = Option(name);
+  if (!raw) return def;
+  const auto parsed = ParseDouble(*raw);
+  if (!parsed) {
+    error_ = StrFormat("option --%s: '%s' is not a number", name.c_str(),
+                       raw->c_str());
+    return def;
+  }
+  return *parsed;
+}
+
+}  // namespace soctest

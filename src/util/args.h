@@ -1,0 +1,46 @@
+// Tiny command-line argument helper for the CLI tool and examples.
+//
+// Supports "--flag", "--key value" and "--key=value" plus positional
+// arguments; unknown flags are collected as errors so tools can fail fast.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace soctest {
+
+class ArgParser {
+ public:
+  // known_flags: names (without "--") that take no value.
+  // known_options: names that take exactly one value.
+  ArgParser(std::vector<std::string> known_flags,
+            std::vector<std::string> known_options);
+
+  // Parses argv[start..); returns false (with Error()) on unknown/malformed
+  // arguments.
+  bool Parse(int argc, const char* const* argv, int start = 1);
+
+  bool HasFlag(const std::string& name) const;
+  std::optional<std::string> Option(const std::string& name) const;
+
+  // Typed accessors with defaults; parse failures surface via Error().
+  std::string StringOr(const std::string& name, const std::string& def) const;
+  std::int64_t IntOr(const std::string& name, std::int64_t def);
+  double DoubleOr(const std::string& name, double def);
+
+  const std::vector<std::string>& positional() const { return positional_; }
+  const std::string& Error() const { return error_; }
+  bool ok() const { return error_.empty(); }
+
+ private:
+  std::vector<std::string> known_flags_;
+  std::vector<std::string> known_options_;
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> flags_;
+  std::vector<std::string> positional_;
+  std::string error_;
+};
+
+}  // namespace soctest

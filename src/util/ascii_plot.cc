@@ -1,0 +1,81 @@
+#include "util/ascii_plot.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/strings.h"
+
+namespace soctest {
+
+AsciiPlot::AsciiPlot(int width, int height)
+    : width_(std::max(16, width)), height_(std::max(6, height)) {}
+
+void AsciiPlot::AddSeries(const std::vector<double>& xs,
+                          const std::vector<double>& ys, char glyph) {
+  Series s;
+  const std::size_t n = std::min(xs.size(), ys.size());
+  s.xs.assign(xs.begin(), xs.begin() + static_cast<std::ptrdiff_t>(n));
+  s.ys.assign(ys.begin(), ys.begin() + static_cast<std::ptrdiff_t>(n));
+  s.glyph = glyph;
+  series_.push_back(std::move(s));
+}
+
+std::string AsciiPlot::Render() const {
+  double xmin = std::numeric_limits<double>::infinity();
+  double xmax = -std::numeric_limits<double>::infinity();
+  double ymin = xmin, ymax = xmax;
+  for (const auto& s : series_) {
+    for (double x : s.xs) { xmin = std::min(xmin, x); xmax = std::max(xmax, x); }
+    for (double y : s.ys) { ymin = std::min(ymin, y); ymax = std::max(ymax, y); }
+  }
+  if (!std::isfinite(xmin) || !std::isfinite(ymin)) return "(empty plot)\n";
+  if (xmax <= xmin) xmax = xmin + 1.0;
+  if (ymax <= ymin) ymax = ymin + 1.0;
+
+  std::vector<std::string> canvas(static_cast<std::size_t>(height_),
+                                  std::string(static_cast<std::size_t>(width_), ' '));
+  for (const auto& s : series_) {
+    for (std::size_t i = 0; i < s.xs.size(); ++i) {
+      const double fx = (s.xs[i] - xmin) / (xmax - xmin);
+      const double fy = (s.ys[i] - ymin) / (ymax - ymin);
+      auto cx = static_cast<int>(std::lround(fx * (width_ - 1)));
+      auto cy = static_cast<int>(std::lround(fy * (height_ - 1)));
+      cx = std::clamp(cx, 0, width_ - 1);
+      cy = std::clamp(cy, 0, height_ - 1);
+      canvas[static_cast<std::size_t>(height_ - 1 - cy)]
+            [static_cast<std::size_t>(cx)] = s.glyph;
+    }
+  }
+
+  std::string out;
+  if (!title_.empty()) out += title_ + "\n";
+  if (!y_label_.empty()) out += y_label_ + "\n";
+  const std::string ymax_s = StrFormat("%.4g", ymax);
+  const std::string ymin_s = StrFormat("%.4g", ymin);
+  const std::size_t gutter = std::max(ymax_s.size(), ymin_s.size());
+  for (int r = 0; r < height_; ++r) {
+    std::string label;
+    if (r == 0) label = ymax_s;
+    else if (r == height_ - 1) label = ymin_s;
+    out += std::string(gutter - label.size(), ' ') + label + " |";
+    out += canvas[static_cast<std::size_t>(r)];
+    out += '\n';
+  }
+  out += std::string(gutter, ' ') + " +" + std::string(static_cast<std::size_t>(width_), '-') + "\n";
+  const std::string xmin_s = StrFormat("%.4g", xmin);
+  const std::string xmax_s = StrFormat("%.4g", xmax);
+  std::string axis = std::string(gutter + 2, ' ') + xmin_s;
+  const std::size_t room = static_cast<std::size_t>(width_) + gutter + 2;
+  if (axis.size() + xmax_s.size() < room) {
+    axis += std::string(room - axis.size() - xmax_s.size(), ' ');
+  } else {
+    axis += ' ';
+  }
+  axis += xmax_s;
+  out += axis + "\n";
+  if (!x_label_.empty()) out += std::string(gutter + 2, ' ') + x_label_ + "\n";
+  return out;
+}
+
+}  // namespace soctest

@@ -1,0 +1,43 @@
+// Terminal scatter/line plot for reproducing the paper's figures as ASCII art.
+//
+// bench/fig1_pareto_staircase and bench/fig9_tdv_curves print both the raw
+// series (CSV-style rows, for external plotting) and an AsciiPlot so the
+// staircase / U-shape is visible directly in the bench output.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace soctest {
+
+class AsciiPlot {
+ public:
+  // width/height are the size of the plotting canvas in characters.
+  AsciiPlot(int width, int height);
+
+  void SetTitle(std::string title) { title_ = std::move(title); }
+  void SetXLabel(std::string label) { x_label_ = std::move(label); }
+  void SetYLabel(std::string label) { y_label_ = std::move(label); }
+
+  // Adds a named series drawn with the given glyph.
+  void AddSeries(const std::vector<double>& xs, const std::vector<double>& ys,
+                 char glyph);
+
+  std::string Render() const;
+
+ private:
+  struct Series {
+    std::vector<double> xs;
+    std::vector<double> ys;
+    char glyph;
+  };
+
+  int width_;
+  int height_;
+  std::string title_;
+  std::string x_label_;
+  std::string y_label_;
+  std::vector<Series> series_;
+};
+
+}  // namespace soctest

@@ -1,0 +1,47 @@
+#include "util/csv.h"
+
+namespace soctest {
+
+CsvWriter::CsvWriter(std::vector<std::string> header) : header_(std::move(header)) {}
+
+bool CsvWriter::AddRow(std::vector<std::string> row) {
+  if (row.size() != header_.size()) return false;
+  rows_.push_back(std::move(row));
+  return true;
+}
+
+std::string CsvWriter::Escape(const std::string& field) {
+  const bool needs_quotes =
+      field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+std::string CsvWriter::ToString() const {
+  std::string out;
+  auto append_row = [&out](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i) out.push_back(',');
+      out += Escape(row[i]);
+    }
+    out.push_back('\n');
+  };
+  append_row(header_);
+  for (const auto& row : rows_) append_row(row);
+  return out;
+}
+
+bool CsvWriter::WriteFile(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) return false;
+  f << ToString();
+  return static_cast<bool>(f);
+}
+
+}  // namespace soctest

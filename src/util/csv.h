@@ -1,0 +1,52 @@
+// Minimal CSV writer used by benches and examples to dump series for plotting.
+#pragma once
+
+#include <fstream>
+#include <initializer_list>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace soctest {
+
+// Accumulates rows and writes RFC-4180-ish CSV (quotes fields containing
+// comma, quote, or newline). All rows must have the same arity as the header.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> header);
+
+  std::size_t columns() const { return header_.size(); }
+  std::size_t rows() const { return rows_.size(); }
+
+  // Adds a row; returns false (and drops the row) on arity mismatch.
+  bool AddRow(std::vector<std::string> row);
+
+  // Convenience: formats arithmetic values with operator<<.
+  template <typename... Ts>
+  bool Add(const Ts&... values) {
+    std::vector<std::string> row;
+    row.reserve(sizeof...(values));
+    (row.push_back(ToCell(values)), ...);
+    return AddRow(std::move(row));
+  }
+
+  std::string ToString() const;
+
+  // Returns true on success.
+  bool WriteFile(const std::string& path) const;
+
+ private:
+  template <typename T>
+  static std::string ToCell(const T& v) {
+    std::ostringstream os;
+    os << v;
+    return os.str();
+  }
+
+  static std::string Escape(const std::string& field);
+
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace soctest

@@ -1,0 +1,94 @@
+#include "util/interval.h"
+
+#include <algorithm>
+
+namespace soctest {
+
+bool Overlaps(const Interval& a, const Interval& b) {
+  return a.begin < b.end && b.begin < a.end && !a.empty() && !b.empty();
+}
+
+Interval Intersect(const Interval& a, const Interval& b) {
+  return Interval{std::max(a.begin, b.begin), std::min(a.end, b.end)};
+}
+
+void StepProfile::Add(const Interval& iv, std::int64_t weight) {
+  if (iv.empty() || weight == 0) return;
+  events_.emplace_back(iv.begin, weight);
+  events_.emplace_back(iv.end, -weight);
+}
+
+StepProfile::Steps StepProfile::Flatten() const {
+  Steps out;
+  if (events_.empty()) return out;
+  auto sorted = events_;
+  std::sort(sorted.begin(), sorted.end());
+  std::int64_t value = 0;
+  for (std::size_t i = 0; i < sorted.size();) {
+    const Time t = sorted[i].first;
+    std::int64_t delta = 0;
+    while (i < sorted.size() && sorted[i].first == t) {
+      delta += sorted[i].second;
+      ++i;
+    }
+    if (delta == 0) continue;
+    value += delta;
+    if (!out.breakpoints.empty() && out.values.back() == value) continue;
+    out.breakpoints.push_back(t);
+    out.values.push_back(value);
+  }
+  return out;
+}
+
+std::int64_t StepProfile::Max() const {
+  const Steps s = Flatten();
+  std::int64_t best = 0;
+  for (std::int64_t v : s.values) best = std::max(best, v);
+  return best;
+}
+
+std::int64_t StepProfile::ValueAt(Time t) const {
+  const Steps s = Flatten();
+  std::int64_t value = 0;
+  for (std::size_t i = 0; i < s.breakpoints.size(); ++i) {
+    if (s.breakpoints[i] > t) break;
+    value = s.values[i];
+  }
+  return value;
+}
+
+std::int64_t StepProfile::Area() const {
+  std::int64_t area = 0;
+  const Steps s = Flatten();
+  for (std::size_t i = 0; i + 1 < s.breakpoints.size(); ++i) {
+    area += s.values[i] * (s.breakpoints[i + 1] - s.breakpoints[i]);
+  }
+  // The profile is zero after the last breakpoint by construction.
+  return area;
+}
+
+std::vector<Interval> NormalizeIntervals(std::vector<Interval> ivs) {
+  ivs.erase(std::remove_if(ivs.begin(), ivs.end(),
+                           [](const Interval& iv) { return iv.empty(); }),
+            ivs.end());
+  std::sort(ivs.begin(), ivs.end(), [](const Interval& a, const Interval& b) {
+    return a.begin < b.begin || (a.begin == b.begin && a.end < b.end);
+  });
+  std::vector<Interval> out;
+  for (const auto& iv : ivs) {
+    if (!out.empty() && iv.begin <= out.back().end) {
+      out.back().end = std::max(out.back().end, iv.end);
+    } else {
+      out.push_back(iv);
+    }
+  }
+  return out;
+}
+
+Time TotalCoverage(const std::vector<Interval>& ivs) {
+  Time total = 0;
+  for (const auto& iv : NormalizeIntervals(ivs)) total += iv.length();
+  return total;
+}
+
+}  // namespace soctest

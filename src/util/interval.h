@@ -1,0 +1,69 @@
+// Half-open time intervals [begin, end) and sweep-line utilities.
+//
+// Schedules in this library are unions of width-carrying time segments; the
+// validator and the TDV analysis need "what is the aggregate width/power in
+// use at every instant" queries, which StepProfile answers exactly via a
+// sweep over segment endpoints.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace soctest {
+
+using Time = std::int64_t;  // test cycles
+
+// Half-open interval [begin, end). Empty iff begin >= end.
+struct Interval {
+  Time begin = 0;
+  Time end = 0;
+
+  Time length() const { return end > begin ? end - begin : 0; }
+  bool empty() const { return end <= begin; }
+  bool Contains(Time t) const { return t >= begin && t < end; }
+
+  friend bool operator==(const Interval&, const Interval&) = default;
+};
+
+// True iff the two half-open intervals share at least one instant.
+bool Overlaps(const Interval& a, const Interval& b);
+
+// Intersection (possibly empty) of two intervals.
+Interval Intersect(const Interval& a, const Interval& b);
+
+// A piecewise-constant function of time built from weighted intervals.
+// Add(interval, w) adds w over [begin, end); queries are exact.
+class StepProfile {
+ public:
+  void Add(const Interval& iv, std::int64_t weight);
+
+  // Maximum aggregate value over all time (0 if no intervals).
+  std::int64_t Max() const;
+
+  // Value at a specific instant.
+  std::int64_t ValueAt(Time t) const;
+
+  // The distinct breakpoints and the value on [breakpoint[i], breakpoint[i+1]).
+  // steps.size() == breakpoints.size(); the value after the final breakpoint
+  // is always 0 (profiles built from finite intervals decay to zero).
+  struct Steps {
+    std::vector<Time> breakpoints;
+    std::vector<std::int64_t> values;
+  };
+  Steps Flatten() const;
+
+  // Integral of the profile over all time (sum of weight * length).
+  std::int64_t Area() const;
+
+ private:
+  // (time, delta) events; compacted lazily by Flatten().
+  std::vector<std::pair<Time, std::int64_t>> events_;
+};
+
+// Merges overlapping/adjacent intervals into a minimal sorted disjoint set.
+std::vector<Interval> NormalizeIntervals(std::vector<Interval> ivs);
+
+// Total covered length of a set of (possibly overlapping) intervals.
+Time TotalCoverage(const std::vector<Interval>& ivs);
+
+}  // namespace soctest

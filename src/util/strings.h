@@ -1,0 +1,37 @@
+// Small string helpers shared by the .soc parser and report writers.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace soctest {
+
+// Removes leading/trailing ASCII whitespace.
+std::string_view TrimView(std::string_view s);
+std::string Trim(std::string_view s);
+
+// Splits on a single character; empty fields are preserved.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+// Splits on runs of whitespace; empty tokens are dropped.
+std::vector<std::string> SplitWhitespace(std::string_view s);
+
+// Splits into lines on '\n' ('\r' is trimmed).
+std::vector<std::string> SplitLines(std::string_view s);
+
+// Strict integer / double parsing; returns nullopt on any trailing garbage.
+std::optional<std::int64_t> ParseInt(std::string_view s);
+std::optional<double> ParseDouble(std::string_view s);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+std::string ToLower(std::string_view s);
+
+// printf-style formatting into std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+// Formats an integer with thousands separators ("1234567" -> "1,234,567").
+std::string WithCommas(std::int64_t value);
+
+}  // namespace soctest

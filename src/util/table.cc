@@ -1,0 +1,71 @@
+#include "util/table.h"
+
+#include <algorithm>
+
+namespace soctest {
+
+TablePrinter::TablePrinter(std::vector<std::string> header, std::vector<Align> aligns)
+    : header_(std::move(header)), aligns_(std::move(aligns)) {
+  aligns_.resize(header_.size(), Align::kRight);
+  if (!header_.empty()) aligns_[0] = aligns_.empty() ? Align::kLeft : aligns_[0];
+}
+
+bool TablePrinter::AddRow(std::vector<std::string> row) {
+  if (row.size() != header_.size()) return false;
+  rows_.push_back(std::move(row));
+  return true;
+}
+
+void TablePrinter::AddSeparator() { rows_.emplace_back(); }
+
+std::string TablePrinter::ToString() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t i = 0; i < header_.size(); ++i) widths[i] = header_[i].size();
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+
+  auto rule = [&widths]() {
+    std::string out = "+";
+    for (std::size_t w : widths) {
+      out += std::string(w + 2, '-');
+      out += '+';
+    }
+    out += '\n';
+    return out;
+  };
+
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string out = "|";
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      const std::size_t pad = widths[i] - row[i].size();
+      out += ' ';
+      if (aligns_[i] == Align::kRight) out += std::string(pad, ' ');
+      out += row[i];
+      if (aligns_[i] == Align::kLeft) out += std::string(pad, ' ');
+      out += " |";
+    }
+    out += '\n';
+    return out;
+  };
+
+  std::string out = rule();
+  out += render_row(header_);
+  out += rule();
+  bool last_was_sep = false;
+  for (const auto& row : rows_) {
+    if (row.empty()) {
+      if (!last_was_sep) out += rule();
+      last_was_sep = true;
+      continue;
+    }
+    out += render_row(row);
+    last_was_sep = false;
+  }
+  if (!last_was_sep) out += rule();
+  return out;
+}
+
+}  // namespace soctest

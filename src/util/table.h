@@ -1,0 +1,37 @@
+// ASCII table renderer used by the bench binaries to print paper-style tables.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace soctest {
+
+// Column alignment for TablePrinter.
+enum class Align { kLeft, kRight };
+
+// Builds fixed-width ASCII tables:
+//
+//   +------+---------+
+//   | SOC  |  cycles |
+//   +------+---------+
+//   | d695 |   41232 |
+//   +------+---------+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header,
+                        std::vector<Align> aligns = {});
+
+  bool AddRow(std::vector<std::string> row);
+
+  // Inserts a horizontal separator after the most recently added row.
+  void AddSeparator();
+
+  std::string ToString() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<Align> aligns_;
+  std::vector<std::vector<std::string>> rows_;   // empty row == separator
+};
+
+}  // namespace soctest

@@ -1,0 +1,58 @@
+#include "wrapper/flexible_scan.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "wrapper/wrapper_design.h"
+
+namespace soctest {
+
+Time FlexibleScanTestTime(const CoreSpec& core, int tam_width) {
+  assert(tam_width >= 1);
+  const std::int64_t ff = core.TotalScanCells();
+  const int in_cells = core.ScanInIoCells();
+  const int out_cells = core.ScanOutIoCells();
+
+  // Useful width: beyond one wrapper chain per cell nothing improves.
+  const auto max_cells =
+      std::max<std::int64_t>({ff + in_cells, ff + out_cells, 1});
+  const int w = static_cast<int>(
+      std::min<std::int64_t>(tam_width, max_cells));
+
+  // With freely re-stitchable chains the scan-in side can balance scan cells
+  // and input cells jointly, so the longest scan-in chain is exactly
+  // ceil((FF + inputs) / w); likewise for scan-out. Any fixed-chain wrapper
+  // satisfies max_j(scan_j + in_j) >= ceil((FF + in) / w), making this a
+  // true lower bound.
+  const std::int64_t si = (ff + in_cells + w - 1) / w;
+  const std::int64_t so = (ff + out_cells + w - 1) / w;
+  return (1 + std::max(si, so)) * core.num_patterns + std::min(si, so);
+}
+
+std::vector<Time> FlexibleScanCurve(const CoreSpec& core, int w_max) {
+  assert(w_max >= 1);
+  std::vector<Time> curve;
+  curve.reserve(static_cast<std::size_t>(w_max));
+  Time best = 0;
+  for (int w = 1; w <= w_max; ++w) {
+    const Time t = FlexibleScanTestTime(core, w);
+    best = curve.empty() ? t : std::min(best, t);
+    curve.push_back(best);  // enforce the non-increasing convention
+  }
+  return curve;
+}
+
+double FixedChainPenalty(const CoreSpec& core, int w_max) {
+  const TimeCurve fixed(core, w_max);
+  const auto flexible = FlexibleScanCurve(core, w_max);
+  double worst = 1.0;
+  for (int w = 1; w <= w_max; ++w) {
+    const auto flex_t =
+        static_cast<double>(flexible[static_cast<std::size_t>(w - 1)]);
+    if (flex_t <= 0.0) continue;
+    worst = std::max(worst, static_cast<double>(fixed.TimeAt(w)) / flex_t);
+  }
+  return worst;
+}
+
+}  // namespace soctest

@@ -1,0 +1,29 @@
+// Flexible scan-chain wrapper model (the Aerts/Marinissen-style assumption
+// of paper ref [1], which this paper explicitly does NOT make: "Unlike in
+// [1], we assume that the lengths of scan chains are fixed").
+//
+// Here the core's flip-flops may be stitched into any number of equal-length
+// chains at wrapper-design time, so at TAM width w every wrapper chain gets
+// ceil(FF / w) scan cells plus balanced I/O cells. This is a lower bound on
+// what any fixed-chain wrapper can achieve for the same flip-flop count —
+// exposed so users can quantify the cost of the paper's fixed-chain
+// assumption on their designs.
+#pragma once
+
+#include "soc/core_spec.h"
+#include "util/interval.h"
+#include "wrapper/time_curve.h"
+
+namespace soctest {
+
+// Test time at width w assuming freely re-stitchable scan chains.
+Time FlexibleScanTestTime(const CoreSpec& core, int tam_width);
+
+// Full curve (1..w_max), same conventions as TimeCurve.
+std::vector<Time> FlexibleScanCurve(const CoreSpec& core, int w_max);
+
+// Aggregate penalty of fixed chains for one core: max over w in [1, w_max]
+// of T_fixed(w) / T_flexible(w). 1.0 = the fixed chains cost nothing.
+double FixedChainPenalty(const CoreSpec& core, int w_max);
+
+}  // namespace soctest

@@ -1,0 +1,52 @@
+#include "wrapper/pareto.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace soctest {
+
+std::vector<ParetoPoint> ParetoPoints(const TimeCurve& curve) {
+  std::vector<ParetoPoint> out;
+  for (int w = 1; w <= curve.w_max(); ++w) {
+    if (w == 1 || curve.TimeAt(w) < curve.TimeAt(w - 1)) {
+      out.push_back(ParetoPoint{w, curve.TimeAt(w)});
+    }
+  }
+  return out;
+}
+
+int PreferredWidth(const TimeCurve& curve, const PreferredWidthParams& params) {
+  assert(!curve.empty());
+  const Time floor_time = curve.TimeAt(curve.w_max());
+  const double slack = std::max(0.0, params.s_percent) / 100.0;
+  const auto threshold = static_cast<Time>(
+      std::floor(static_cast<double>(floor_time) * (1.0 + slack)));
+
+  int preferred = curve.w_max();
+  for (int w = 1; w <= curve.w_max(); ++w) {
+    if (curve.TimeAt(w) <= threshold) {
+      preferred = w;
+      break;
+    }
+  }
+
+  // Snap to the Pareto grid: the preferred width is by construction a width
+  // where the curve just crossed the threshold, which is a Pareto width (the
+  // time strictly dropped there or w == 1).
+  const int top = curve.SaturationWidth();
+  if (top - preferred <= params.delta && top > preferred) {
+    preferred = top;
+  }
+  return preferred;
+}
+
+int LargestParetoWidthAtMost(const std::vector<ParetoPoint>& pareto, int w) {
+  int best = 1;
+  for (const auto& p : pareto) {
+    if (p.width <= w) best = std::max(best, p.width);
+  }
+  return best;
+}
+
+}  // namespace soctest

@@ -1,0 +1,43 @@
+// Pareto-optimal (width, time) points of a core's time curve and the
+// preferred-width selection heuristic (paper Section 4, Procedure Initialize).
+#pragma once
+
+#include <vector>
+
+#include "util/interval.h"
+#include "wrapper/time_curve.h"
+
+namespace soctest {
+
+struct ParetoPoint {
+  int width = 0;
+  Time time = 0;
+
+  friend bool operator==(const ParetoPoint&, const ParetoPoint&) = default;
+};
+
+// Extracts the Pareto-optimal widths of the curve: width w is Pareto-optimal
+// iff T(w) < T(w-1) (or w == 1). Result is sorted by increasing width,
+// strictly decreasing time.
+std::vector<ParetoPoint> ParetoPoints(const TimeCurve& curve);
+
+// Parameters of the preferred-width heuristic.
+struct PreferredWidthParams {
+  // Percent slack S: the preferred width is the smallest w such that
+  // T(w) <= (1 + s_percent/100) * T(w_max). Paper range: 1..10.
+  double s_percent = 5.0;
+  // Bump window delta: if the highest Pareto width w* satisfies
+  // w* - preferred <= delta, use w* instead (helps bottleneck cores).
+  // Paper range: 0..4.
+  int delta = 1;
+};
+
+// Computes the preferred TAM width for a core given its curve. The result is
+// always one of the curve's Pareto widths.
+int PreferredWidth(const TimeCurve& curve, const PreferredWidthParams& params);
+
+// Largest Pareto-optimal width that is <= w (>= 1); assigning more than this
+// up to w wastes wires without reducing time.
+int LargestParetoWidthAtMost(const std::vector<ParetoPoint>& pareto, int w);
+
+}  // namespace soctest

@@ -1,0 +1,51 @@
+#include "wrapper/rectangles.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace soctest {
+
+RectangleSet::RectangleSet(const CoreSpec& core, int w_max, int w_limit)
+    : core_id_(core.id),
+      w_limit_(std::max(1, std::min(w_max, w_limit))),
+      curve_(core, std::max(1, w_max)) {
+  const auto all = ParetoPoints(curve_);
+  for (const auto& p : all) {
+    if (p.width <= w_limit_) pareto_.push_back(p);
+  }
+  assert(!pareto_.empty());  // width 1 is always Pareto-optimal
+}
+
+Time RectangleSet::TimeAtWidth(int w) const {
+  return curve_.TimeAt(SnapWidth(w));
+}
+
+int RectangleSet::SnapWidth(int w) const {
+  w = std::clamp(w, 1, w_limit_);
+  return LargestParetoWidthAtMost(pareto_, w);
+}
+
+int RectangleSet::MaxWidth() const { return pareto_.back().width; }
+
+Time RectangleSet::MinTime() const { return pareto_.back().time; }
+
+std::int64_t RectangleSet::MinArea() const {
+  std::int64_t best = -1;
+  for (const auto& p : pareto_) {
+    const std::int64_t area = static_cast<std::int64_t>(p.width) * p.time;
+    if (best < 0 || area < best) best = area;
+  }
+  return best;
+}
+
+std::vector<RectangleSet> BuildRectangleSets(const Soc& soc, int w_max,
+                                             int w_limit) {
+  std::vector<RectangleSet> out;
+  out.reserve(static_cast<std::size_t>(soc.num_cores()));
+  for (const auto& core : soc.cores()) {
+    out.emplace_back(core, w_max, w_limit);
+  }
+  return out;
+}
+
+}  // namespace soctest

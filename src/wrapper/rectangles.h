@@ -1,0 +1,57 @@
+// Rectangle representation of core tests (paper Section 3).
+//
+// For each core, the candidate rectangles are its Pareto-optimal
+// (width = height, test time = width) points, clipped to the SOC TAM width.
+// The scheduler selects one rectangle per core and packs them.
+#pragma once
+
+#include <vector>
+
+#include "soc/soc.h"
+#include "wrapper/pareto.h"
+#include "wrapper/time_curve.h"
+
+namespace soctest {
+
+// Candidate rectangle set for one core.
+class RectangleSet {
+ public:
+  RectangleSet() = default;
+
+  // w_limit clips candidate widths to the SOC TAM width; w_max bounds the
+  // per-core curve evaluation (the paper uses 64).
+  RectangleSet(const CoreSpec& core, int w_max, int w_limit);
+
+  CoreId core_id() const { return core_id_; }
+  const TimeCurve& curve() const { return curve_; }
+  const std::vector<ParetoPoint>& pareto() const { return pareto_; }
+
+  // Test time at a given assigned width (widths snap down to Pareto grid;
+  // w clamped to [1, w_limit]).
+  Time TimeAtWidth(int w) const;
+
+  // Largest Pareto width <= w (>= 1) — the width actually worth wiring.
+  int SnapWidth(int w) const;
+
+  // Highest candidate width (top Pareto width, clipped).
+  int MaxWidth() const;
+
+  // Minimum achievable test time given the clip (= time at MaxWidth()).
+  Time MinTime() const;
+
+  // Minimal packing area over candidates: min_w (w * T(w)). This is the
+  // core's contribution to the area lower bound.
+  std::int64_t MinArea() const;
+
+ private:
+  CoreId core_id_ = kNoCore;
+  int w_limit_ = 0;
+  TimeCurve curve_;
+  std::vector<ParetoPoint> pareto_;  // clipped to w_limit
+};
+
+// Builds rectangle sets for all cores of an SOC.
+std::vector<RectangleSet> BuildRectangleSets(const Soc& soc, int w_max,
+                                             int w_limit);
+
+}  // namespace soctest

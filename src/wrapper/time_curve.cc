@@ -1,0 +1,43 @@
+#include "wrapper/time_curve.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "wrapper/wrapper_design.h"
+
+namespace soctest {
+
+TimeCurve::TimeCurve(const CoreSpec& core, int w_max) {
+  assert(w_max >= 1);
+  times_.reserve(static_cast<std::size_t>(w_max));
+  Time best = 0;
+  const int useful = core.MaxUsefulWidth();
+  for (int w = 1; w <= w_max; ++w) {
+    if (w <= useful || times_.empty()) {
+      best = WrapperTestTime(core, w);
+    }
+    // Defensive monotonicity: BFD is a heuristic, so a larger width could in
+    // principle produce a (slightly) worse partition. The deliverable curve
+    // must be non-increasing — a core may always ignore extra wires — so we
+    // clamp to the best time seen so far.
+    if (!times_.empty()) best = std::min(best, times_.back());
+    times_.push_back(best);
+  }
+}
+
+Time TimeCurve::TimeAt(int w) const {
+  assert(!times_.empty());
+  w = std::clamp(w, 1, w_max());
+  return times_[static_cast<std::size_t>(w - 1)];
+}
+
+int TimeCurve::SaturationWidth() const {
+  assert(!times_.empty());
+  const Time floor_time = times_.back();
+  for (int w = 1; w <= w_max(); ++w) {
+    if (TimeAt(w) == floor_time) return w;
+  }
+  return w_max();
+}
+
+}  // namespace soctest

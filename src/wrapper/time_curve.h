@@ -1,0 +1,39 @@
+// The core test-time-vs-TAM-width curve T(w), w = 1..w_max.
+//
+// T(w) is a non-increasing staircase: it only drops at core-specific
+// thresholds (paper Fig. 1). TimeCurve caches the full curve so Pareto
+// extraction, preferred-width selection, and the scheduler can query it in
+// O(1) per width.
+#pragma once
+
+#include <vector>
+
+#include "soc/core_spec.h"
+#include "util/interval.h"
+
+namespace soctest {
+
+class TimeCurve {
+ public:
+  TimeCurve() = default;
+
+  // Computes T(w) for w in [1, w_max] by running DesignWrapper at each width.
+  TimeCurve(const CoreSpec& core, int w_max);
+
+  int w_max() const { return static_cast<int>(times_.size()); }
+  bool empty() const { return times_.empty(); }
+
+  // T(w); w is clamped into [1, w_max].
+  Time TimeAt(int w) const;
+
+  // Smallest width whose time is <= the time at w_max (i.e. the width beyond
+  // which extra wires buy nothing). This is the highest Pareto width.
+  int SaturationWidth() const;
+
+  const std::vector<Time>& times() const { return times_; }
+
+ private:
+  std::vector<Time> times_;  // times_[w-1] = T(w)
+};
+
+}  // namespace soctest

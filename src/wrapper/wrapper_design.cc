@@ -1,0 +1,104 @@
+#include "wrapper/wrapper_design.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+#include <queue>
+
+namespace soctest {
+
+Time WrapperConfig::TestTime(std::int64_t patterns) const {
+  const std::int64_t s_max = std::max(scan_in_length, scan_out_length);
+  const std::int64_t s_min = std::min(scan_in_length, scan_out_length);
+  return (1 + s_max) * patterns + s_min;
+}
+
+namespace {
+
+// Distributes `cells` unit-length wrapper cells over the chains so that the
+// maximum of (base_length(j) + cells(j)) is minimized. Greedy with a min-heap
+// on the running length is exact for unit items.
+void DistributeCells(std::vector<WrapperChain>& chains, int cells,
+                     bool input_side) {
+  if (cells <= 0 || chains.empty()) return;
+  using Entry = std::pair<std::int64_t, std::size_t>;  // (length, chain index)
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  for (std::size_t j = 0; j < chains.size(); ++j) {
+    const std::int64_t len =
+        input_side ? chains[j].ScanInLength() : chains[j].ScanOutLength();
+    heap.emplace(len, j);
+  }
+  for (int c = 0; c < cells; ++c) {
+    auto [len, j] = heap.top();
+    heap.pop();
+    if (input_side) {
+      ++chains[j].input_cells;
+    } else {
+      ++chains[j].output_cells;
+    }
+    heap.emplace(len + 1, j);
+  }
+}
+
+}  // namespace
+
+WrapperConfig DesignWrapper(const CoreSpec& core, int tam_width) {
+  assert(tam_width >= 1);
+  WrapperConfig config;
+  config.tam_width = tam_width;
+
+  // Never build more chains than there is content to put on them.
+  const int max_useful = core.MaxUsefulWidth();
+  const int w = std::max(1, std::min(tam_width, max_useful));
+  config.chains.resize(static_cast<std::size_t>(w));
+
+  // Step 1 (BFD over internal scan chains): sort decreasing, place each chain
+  // on the wrapper chain with the smallest current scan length.
+  std::vector<int> order(core.scan_chain_lengths.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&core](int a, int b) {
+    const int la = core.scan_chain_lengths[static_cast<std::size_t>(a)];
+    const int lb = core.scan_chain_lengths[static_cast<std::size_t>(b)];
+    return la > lb || (la == lb && a < b);
+  });
+  using Entry = std::pair<std::int64_t, std::size_t>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  for (std::size_t j = 0; j < config.chains.size(); ++j) heap.emplace(0, j);
+  for (int idx : order) {
+    auto [len, j] = heap.top();
+    heap.pop();
+    auto& chain = config.chains[j];
+    chain.scan_cells += core.scan_chain_lengths[static_cast<std::size_t>(idx)];
+    chain.internal_chains.push_back(idx);
+    heap.emplace(chain.scan_cells, j);
+  }
+
+  // Step 2: thread input wrapper cells (inputs + bidirs) onto the chains to
+  // balance scan-in lengths; likewise output cells for scan-out lengths.
+  DistributeCells(config.chains, core.ScanInIoCells(), /*input_side=*/true);
+  DistributeCells(config.chains, core.ScanOutIoCells(), /*input_side=*/false);
+
+  // Drop chains that ended up completely empty (possible when w exceeds the
+  // number of placeable items); they consume no TAM wires.
+  config.chains.erase(
+      std::remove_if(config.chains.begin(), config.chains.end(),
+                     [](const WrapperChain& c) {
+                       return c.scan_cells == 0 && c.input_cells == 0 &&
+                              c.output_cells == 0;
+                     }),
+      config.chains.end());
+  config.used_width = static_cast<int>(config.chains.size());
+
+  for (const auto& chain : config.chains) {
+    config.scan_in_length = std::max(config.scan_in_length, chain.ScanInLength());
+    config.scan_out_length =
+        std::max(config.scan_out_length, chain.ScanOutLength());
+  }
+  return config;
+}
+
+Time WrapperTestTime(const CoreSpec& core, int tam_width) {
+  return DesignWrapper(core, tam_width).TestTime(core.num_patterns);
+}
+
+}  // namespace soctest

@@ -1,0 +1,56 @@
+// Test wrapper design for a single core (the paper's Design_wrapper, after
+// Iyengar/Chakrabarty/Marinissen JETTA'02): partition the core's internal
+// scan chains and functional I/O wrapper cells into `w` wrapper scan chains
+// so that the longest wrapper scan-in / scan-out chain is minimized, then
+// derive the core test application time.
+//
+// Test time model (standard for TAM-based scan test):
+//   T(w) = (1 + max(s_i, s_o)) * p + min(s_i, s_o)
+// where p is the pattern count, s_i the longest wrapper scan-in chain and
+// s_o the longest wrapper scan-out chain: each pattern overlaps the shift-out
+// of the previous response with the shift-in of the next stimulus, plus one
+// final flush of min(s_i, s_o)... (the max-side flush is accounted in the
+// (1 + max) * p term).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "soc/core_spec.h"
+#include "util/interval.h"
+
+namespace soctest {
+
+// One wrapper scan chain: a set of internal scan chains (we store only the
+// total length) plus input/output wrapper cells threaded onto it.
+struct WrapperChain {
+  std::int64_t scan_cells = 0;          // sum of internal chain lengths
+  std::vector<int> internal_chains;     // indices into CoreSpec::scan_chain_lengths
+  int input_cells = 0;                  // wrapper input cells on this chain
+  int output_cells = 0;                 // wrapper output cells on this chain
+
+  std::int64_t ScanInLength() const { return scan_cells + input_cells; }
+  std::int64_t ScanOutLength() const { return scan_cells + output_cells; }
+};
+
+// A complete wrapper design for one core at a given TAM width.
+struct WrapperConfig {
+  int tam_width = 0;                 // requested width w
+  int used_width = 0;                // chains actually populated (<= w)
+  std::vector<WrapperChain> chains;  // size == used_width
+
+  std::int64_t scan_in_length = 0;   // s_i = max_j ScanInLength(j)
+  std::int64_t scan_out_length = 0;  // s_o = max_j ScanOutLength(j)
+
+  // Test application time for `patterns` test patterns under the model above.
+  Time TestTime(std::int64_t patterns) const;
+};
+
+// Designs a wrapper for `core` with at most `tam_width` wrapper chains using
+// the Best-Fit-Decreasing heuristic. tam_width must be >= 1.
+WrapperConfig DesignWrapper(const CoreSpec& core, int tam_width);
+
+// Convenience: test time of `core` at TAM width `tam_width`.
+Time WrapperTestTime(const CoreSpec& core, int tam_width);
+
+}  // namespace soctest

@@ -1,0 +1,70 @@
+#include "util/args.h"
+
+#include <gtest/gtest.h>
+
+namespace soctest {
+namespace {
+
+std::vector<const char*> Argv(std::initializer_list<const char*> args) {
+  return std::vector<const char*>(args);
+}
+
+TEST(ArgParserTest, FlagsOptionsPositionals) {
+  ArgParser parser({"verbose"}, {"width", "out"});
+  const auto argv =
+      Argv({"prog", "input.soc", "--width", "32", "--verbose", "--out=x.json"});
+  ASSERT_TRUE(parser.Parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_TRUE(parser.HasFlag("verbose"));
+  EXPECT_EQ(parser.Option("width"), "32");
+  EXPECT_EQ(parser.Option("out"), "x.json");
+  ASSERT_EQ(parser.positional().size(), 1u);
+  EXPECT_EQ(parser.positional()[0], "input.soc");
+}
+
+TEST(ArgParserTest, UnknownArgumentFails) {
+  ArgParser parser({}, {"width"});
+  const auto argv = Argv({"prog", "--bogus"});
+  EXPECT_FALSE(parser.Parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_NE(parser.Error().find("bogus"), std::string::npos);
+}
+
+TEST(ArgParserTest, OptionMissingValueFails) {
+  ArgParser parser({}, {"width"});
+  const auto argv = Argv({"prog", "--width"});
+  EXPECT_FALSE(parser.Parse(static_cast<int>(argv.size()), argv.data()));
+}
+
+TEST(ArgParserTest, FlagWithValueFails) {
+  ArgParser parser({"verbose"}, {});
+  const auto argv = Argv({"prog", "--verbose=yes"});
+  EXPECT_FALSE(parser.Parse(static_cast<int>(argv.size()), argv.data()));
+}
+
+TEST(ArgParserTest, TypedAccessorsWithDefaults) {
+  ArgParser parser({}, {"n", "x"});
+  const auto argv = Argv({"prog", "--n", "7", "--x", "2.5"});
+  ASSERT_TRUE(parser.Parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_EQ(parser.IntOr("n", 1), 7);
+  EXPECT_DOUBLE_EQ(parser.DoubleOr("x", 0.0), 2.5);
+  EXPECT_EQ(parser.IntOr("missing", 42), 42);
+  EXPECT_EQ(parser.StringOr("missing", "d"), "d");
+  EXPECT_TRUE(parser.ok());
+}
+
+TEST(ArgParserTest, BadIntegerSurfacesError) {
+  ArgParser parser({}, {"n"});
+  const auto argv = Argv({"prog", "--n", "seven"});
+  ASSERT_TRUE(parser.Parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_EQ(parser.IntOr("n", 1), 1);
+  EXPECT_FALSE(parser.ok());
+}
+
+TEST(ArgParserTest, LaterValueWins) {
+  ArgParser parser({}, {"w"});
+  const auto argv = Argv({"prog", "--w", "1", "--w", "2"});
+  ASSERT_TRUE(parser.Parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_EQ(parser.Option("w"), "2");
+}
+
+}  // namespace
+}  // namespace soctest

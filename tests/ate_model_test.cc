@@ -1,0 +1,101 @@
+#include "tdv/ate_model.h"
+
+#include <gtest/gtest.h>
+
+#include "soc/benchmarks.h"
+
+namespace soctest {
+namespace {
+
+TEST(AteModelTest, SingleBufferNoReloads) {
+  SweepPoint point{32, 100'000, 3'200'000};
+  AteParams params;
+  params.channels = 64;
+  params.buffer_depth_bits = 200'000;
+  const AteCost cost = EvaluateAte(point, params, 1);
+  EXPECT_TRUE(cost.fits_single_buffer);
+  EXPECT_EQ(cost.reloads_per_pin, 0);
+  EXPECT_EQ(cost.per_device_cycles, 100'000);
+  EXPECT_EQ(cost.sites, 2);
+}
+
+TEST(AteModelTest, ReloadsChargedWhenDepthExceedsBuffer) {
+  SweepPoint point{32, 500'000, 16'000'000};
+  AteParams params;
+  params.buffer_depth_bits = 200'000;
+  params.reload_cost_cycles = 1'000'000;
+  const AteCost cost = EvaluateAte(point, params, 1);
+  EXPECT_FALSE(cost.fits_single_buffer);
+  EXPECT_EQ(cost.reloads_per_pin, 2);  // ceil(500k/200k) - 1
+  EXPECT_EQ(cost.per_device_cycles, 500'000 + 2 * 1'000'000);
+}
+
+TEST(AteModelTest, MultisiteWavesComputed) {
+  SweepPoint point{24, 100'000, 2'400'000};
+  AteParams params;
+  params.channels = 96;  // 4 sites
+  params.buffer_depth_bits = 1'000'000;
+  const AteCost cost = EvaluateAte(point, params, 10);
+  EXPECT_EQ(cost.sites, 4);
+  EXPECT_EQ(cost.batch_cycles, 3 * 100'000);  // ceil(10/4) = 3 waves
+}
+
+TEST(AteModelTest, WiderThanTesterStillOneSite) {
+  SweepPoint point{128, 50'000, 6'400'000};
+  AteParams params;
+  params.channels = 96;
+  const AteCost cost = EvaluateAte(point, params, 2);
+  EXPECT_EQ(cost.sites, 1);
+  EXPECT_EQ(cost.batch_cycles, 2 * cost.per_device_cycles);
+}
+
+TEST(AteModelTest, BestPointBalancesSitesAndReloads) {
+  // Two operating points: wide-and-fast (1 site) vs narrow-and-slow (4
+  // sites). For a large batch the narrow point must win.
+  std::vector<SweepPoint> sweep = {
+      {96, 100'000, 9'600'000},  // 1 site
+      {24, 180'000, 4'320'000},  // 4 sites
+  };
+  AteParams params;
+  params.channels = 96;
+  params.buffer_depth_bits = 1'000'000;
+  const std::size_t best = BestAtePoint(sweep, params, 16);
+  EXPECT_EQ(best, 1u);
+}
+
+TEST(AteModelTest, ReloadPenaltyCanFlipTheChoice) {
+  // The narrow point's depth exceeds the buffer; with a punishing reload
+  // cost the wide single-buffer point wins despite fewer sites.
+  std::vector<SweepPoint> sweep = {
+      {96, 100'000, 9'600'000},  // fits buffer
+      {24, 300'000, 7'200'000},  // needs reloads
+  };
+  AteParams params;
+  params.channels = 96;
+  params.buffer_depth_bits = 120'000;
+  params.reload_cost_cycles = 10'000'000;
+  const std::size_t best = BestAtePoint(sweep, params, 16);
+  EXPECT_EQ(best, 0u);
+}
+
+TEST(AteModelTest, RealSweepProducesConsistentCosts) {
+  const TestProblem problem = TestProblem::FromSoc(MakeD695());
+  SweepOptions options;
+  options.min_width = 8;
+  options.max_width = 48;
+  const auto sweep = SweepWidths(problem, options);
+  ASSERT_FALSE(sweep.empty());
+  AteParams params;
+  params.channels = 96;
+  params.buffer_depth_bits = 30'000;
+  for (const auto& point : sweep) {
+    const AteCost cost = EvaluateAte(point, params, 8);
+    EXPECT_GE(cost.per_device_cycles, point.test_time);
+    EXPECT_GE(cost.batch_cycles, cost.per_device_cycles);
+  }
+  const std::size_t best = BestAtePoint(sweep, params, 8);
+  EXPECT_LT(best, sweep.size());
+}
+
+}  // namespace
+}  // namespace soctest

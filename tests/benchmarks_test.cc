@@ -1,0 +1,110 @@
+#include "soc/benchmarks.h"
+
+#include <gtest/gtest.h>
+
+#include "baseline/lower_bound.h"
+#include "wrapper/rectangles.h"
+
+namespace soctest {
+namespace {
+
+TEST(BenchmarksTest, D695HasTenValidCores) {
+  const Soc soc = MakeD695();
+  EXPECT_EQ(soc.name(), "d695");
+  EXPECT_EQ(soc.num_cores(), 10);
+  EXPECT_FALSE(soc.Validate().has_value());
+  EXPECT_NE(soc.FindCore("s38417"), kNoCore);
+  EXPECT_NE(soc.FindCore("c6288"), kNoCore);
+}
+
+TEST(BenchmarksTest, D695CombinationalCoresHaveNoScan) {
+  const Soc soc = MakeD695();
+  EXPECT_TRUE(soc.core(soc.FindCore("c6288")).scan_chain_lengths.empty());
+  EXPECT_TRUE(soc.core(soc.FindCore("c7552")).scan_chain_lengths.empty());
+  EXPECT_FALSE(soc.core(soc.FindCore("s38584")).scan_chain_lengths.empty());
+}
+
+TEST(BenchmarksTest, D695ScanCellTotalsMatchPublishedCounts) {
+  const Soc soc = MakeD695();
+  EXPECT_EQ(soc.core(soc.FindCore("s9234")).TotalScanCells(), 211);
+  EXPECT_EQ(soc.core(soc.FindCore("s38584")).TotalScanCells(), 1426);
+  EXPECT_EQ(soc.core(soc.FindCore("s35932")).TotalScanCells(), 1728);
+  EXPECT_EQ(soc.core(soc.FindCore("s38417")).TotalScanCells(), 1636);
+}
+
+TEST(BenchmarksTest, SyntheticSocsAreValidAndSized) {
+  const Soc p22810s = MakeP22810s();
+  EXPECT_EQ(p22810s.num_cores(), 28);
+  EXPECT_FALSE(p22810s.Validate().has_value());
+
+  const Soc p34392s = MakeP34392s();
+  EXPECT_EQ(p34392s.num_cores(), 19);
+  EXPECT_FALSE(p34392s.Validate().has_value());
+
+  const Soc p93791s = MakeP93791s();
+  EXPECT_EQ(p93791s.num_cores(), 32);
+  EXPECT_FALSE(p93791s.Validate().has_value());
+
+  // Scale ordering mirrors the real designs: p93791 > p34392 > p22810 > d695.
+  EXPECT_GT(p93791s.TotalTestBits(), p34392s.TotalTestBits());
+  EXPECT_GT(p34392s.TotalTestBits(), p22810s.TotalTestBits());
+  EXPECT_GT(p22810s.TotalTestBits(), MakeD695().TotalTestBits());
+}
+
+TEST(BenchmarksTest, SyntheticSocsAreDeterministic) {
+  EXPECT_EQ(MakeP22810s().TotalTestBits(), MakeP22810s().TotalTestBits());
+  EXPECT_EQ(MakeP93791s().TotalTestBits(), MakeP93791s().TotalTestBits());
+}
+
+TEST(BenchmarksTest, P34392sBottleneckSaturates) {
+  const Soc soc = MakeP34392s();
+  const CoreId bottleneck = soc.FindCore("core18_bottleneck");
+  ASSERT_NE(bottleneck, kNoCore);
+  // The bottleneck core's test time floor dominates the SOC lower bound at
+  // W=32 (the paper's p34392 behaviour at Core 18).
+  const auto lb32 = ComputeLowerBound(soc, 32, 64);
+  EXPECT_EQ(lb32.bottleneck_core, bottleneck);
+  EXPECT_EQ(lb32.value(), lb32.bottleneck_bound);
+  // At narrow widths the area bound dominates instead.
+  const auto lb16 = ComputeLowerBound(soc, 16, 64);
+  EXPECT_GT(lb16.area_bound, lb16.bottleneck_bound);
+}
+
+TEST(BenchmarksTest, AllBenchmarkSocsInPaperOrder) {
+  const auto all = AllBenchmarkSocs();
+  ASSERT_EQ(all.size(), 4u);
+  EXPECT_EQ(all[0].name(), "d695");
+  EXPECT_EQ(all[1].name(), "p22810s");
+  EXPECT_EQ(all[2].name(), "p34392s");
+  EXPECT_EQ(all[3].name(), "p93791s");
+}
+
+TEST(BenchmarksTest, BenchmarkByNameResolvesAliases) {
+  EXPECT_EQ(BenchmarkByName("d695").name(), "d695");
+  EXPECT_EQ(BenchmarkByName("p22810").name(), "p22810s");
+  EXPECT_EQ(BenchmarkByName("p93791s").name(), "p93791s");
+  EXPECT_EQ(BenchmarkByName("nope").num_cores(), 0);
+}
+
+TEST(BenchmarksTest, BenchmarkProblemSetsPreemptionAndPower) {
+  const TestProblem with_power = MakeBenchmarkProblem(MakeD695(), true);
+  EXPECT_FALSE(with_power.power.unlimited());
+  EXPECT_GE(with_power.power.pmax(), with_power.power.MaxCorePower());
+
+  int preemptable = 0;
+  for (const auto& core : with_power.soc.cores()) {
+    if (core.max_preemptions > 0) {
+      EXPECT_EQ(core.max_preemptions, 2);
+      ++preemptable;
+    }
+  }
+  // The "larger cores" get budget 2: at least a third, not all, of the SOC.
+  EXPECT_GE(preemptable, 3);
+  EXPECT_LT(preemptable, with_power.soc.num_cores());
+
+  const TestProblem no_power = MakeBenchmarkProblem(MakeD695(), false);
+  EXPECT_TRUE(no_power.power.unlimited());
+}
+
+}  // namespace
+}  // namespace soctest

@@ -1,0 +1,99 @@
+#include "constraints/concurrency.h"
+
+#include <gtest/gtest.h>
+
+namespace soctest {
+namespace {
+
+CoreSpec SimpleCore(const std::string& name) {
+  CoreSpec c;
+  c.name = name;
+  c.num_inputs = 2;
+  c.num_outputs = 2;
+  c.num_patterns = 5;
+  return c;
+}
+
+TEST(ConcurrencySetTest, SymmetricPairs) {
+  ConcurrencySet set(4);
+  EXPECT_TRUE(set.Add(1, 3));
+  EXPECT_TRUE(set.Conflicts(1, 3));
+  EXPECT_TRUE(set.Conflicts(3, 1));
+  EXPECT_FALSE(set.Conflicts(1, 2));
+  EXPECT_EQ(set.num_pairs(), 1u);
+}
+
+TEST(ConcurrencySetTest, RejectsInvalidPairs) {
+  ConcurrencySet set(3);
+  EXPECT_FALSE(set.Add(0, 0));
+  EXPECT_FALSE(set.Add(-1, 2));
+  EXPECT_FALSE(set.Add(0, 5));
+  EXPECT_TRUE(set.empty());
+}
+
+TEST(ConcurrencySetTest, DuplicatesCollapse) {
+  ConcurrencySet set(3);
+  set.Add(0, 2);
+  set.Add(2, 0);
+  EXPECT_EQ(set.num_pairs(), 1u);
+}
+
+TEST(ConcurrencySetTest, PairsSortedCanonical) {
+  ConcurrencySet set(5);
+  set.Add(4, 1);
+  set.Add(2, 0);
+  const auto pairs = set.Pairs();
+  ASSERT_EQ(pairs.size(), 2u);
+  EXPECT_EQ(pairs[0], (std::pair<CoreId, CoreId>{0, 2}));
+  EXPECT_EQ(pairs[1], (std::pair<CoreId, CoreId>{1, 4}));
+}
+
+TEST(ConcurrencySetTest, FromSocDerivesHierarchyConflicts) {
+  Soc soc("h");
+  const CoreId top = soc.AddCore(SimpleCore("top"));
+  CoreSpec mid = SimpleCore("mid");
+  mid.parent = top;
+  const CoreId mid_id = soc.AddCore(mid);
+  CoreSpec leaf = SimpleCore("leaf");
+  leaf.parent = mid_id;
+  const CoreId leaf_id = soc.AddCore(leaf);
+  soc.AddCore(SimpleCore("free"));
+
+  const ConcurrencySet set = ConcurrencySet::FromSoc(soc);
+  // Child conflicts with every ancestor, not only the direct parent.
+  EXPECT_TRUE(set.Conflicts(mid_id, top));
+  EXPECT_TRUE(set.Conflicts(leaf_id, mid_id));
+  EXPECT_TRUE(set.Conflicts(leaf_id, top));
+  EXPECT_FALSE(set.Conflicts(top, 3));
+}
+
+TEST(ConcurrencySetTest, FromSocDerivesResourceConflicts) {
+  Soc soc("r");
+  CoreSpec a = SimpleCore("a");
+  a.resources = {7};
+  CoreSpec b = SimpleCore("b");
+  b.resources = {7, 9};
+  CoreSpec c = SimpleCore("c");
+  c.resources = {9};
+  soc.AddCore(a);
+  soc.AddCore(b);
+  soc.AddCore(c);
+  soc.AddCore(SimpleCore("d"));
+
+  const ConcurrencySet set = ConcurrencySet::FromSoc(soc);
+  EXPECT_TRUE(set.Conflicts(0, 1));   // share resource 7 (BIST-scan conflict)
+  EXPECT_TRUE(set.Conflicts(1, 2));   // share resource 9
+  EXPECT_FALSE(set.Conflicts(0, 2));  // no shared resource
+  EXPECT_FALSE(set.Conflicts(0, 3));
+}
+
+TEST(ConcurrencySetTest, FromSocMergesExplicitPairs) {
+  Soc soc("e");
+  soc.AddCore(SimpleCore("a"));
+  soc.AddCore(SimpleCore("b"));
+  const ConcurrencySet set = ConcurrencySet::FromSoc(soc, {{0, 1}});
+  EXPECT_TRUE(set.Conflicts(0, 1));
+}
+
+}  // namespace
+}  // namespace soctest

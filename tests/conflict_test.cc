@@ -1,0 +1,73 @@
+#include "core/conflict.h"
+
+#include <gtest/gtest.h>
+
+namespace soctest {
+namespace {
+
+class ConflictPolicyTest : public ::testing::Test {
+ protected:
+  ConflictPolicyTest()
+      : precedence_(4), concurrency_(4), power_({10, 20, 30, 40}, 50) {}
+
+  PrecedenceGraph precedence_;
+  ConcurrencySet concurrency_;
+  PowerModel power_;
+  std::vector<bool> completed_ = std::vector<bool>(4, false);
+};
+
+TEST_F(ConflictPolicyTest, NoConstraintsNoBlock) {
+  ConflictPolicy policy(&precedence_, &concurrency_, &power_);
+  EXPECT_FALSE(policy.Blocked(0, completed_, {}, 0).has_value());
+}
+
+TEST_F(ConflictPolicyTest, PrecedenceBlocksUntilPredecessorCompletes) {
+  precedence_.Add(0, 1);
+  ConflictPolicy policy(&precedence_, &concurrency_, &power_);
+  EXPECT_TRUE(policy.Blocked(1, completed_, {}, 0).has_value());
+  completed_[0] = true;
+  EXPECT_FALSE(policy.Blocked(1, completed_, {}, 0).has_value());
+}
+
+TEST_F(ConflictPolicyTest, PrecedenceOnlyConstrainsSuccessor) {
+  precedence_.Add(0, 1);
+  ConflictPolicy policy(&precedence_, &concurrency_, &power_);
+  EXPECT_FALSE(policy.Blocked(0, completed_, {}, 0).has_value());
+}
+
+TEST_F(ConflictPolicyTest, ConcurrencyBlocksWhileActive) {
+  concurrency_.Add(1, 2);
+  ConflictPolicy policy(&precedence_, &concurrency_, &power_);
+  EXPECT_TRUE(policy.Blocked(1, completed_, {2}, 0).has_value());
+  EXPECT_FALSE(policy.Blocked(1, completed_, {3}, 0).has_value());
+}
+
+TEST_F(ConflictPolicyTest, PowerBudgetEnforced) {
+  ConflictPolicy policy(&precedence_, &concurrency_, &power_);
+  // Core 3 consumes 40; with 20 already drawn the 50 budget is exceeded.
+  EXPECT_TRUE(policy.Blocked(3, completed_, {1}, 20).has_value());
+  EXPECT_FALSE(policy.Blocked(2, completed_, {1}, 20).has_value());
+}
+
+TEST_F(ConflictPolicyTest, UnlimitedPowerNeverBlocks) {
+  PowerModel unlimited;
+  ConflictPolicy policy(&precedence_, &concurrency_, &unlimited);
+  EXPECT_FALSE(policy.Blocked(3, completed_, {}, 1 << 30).has_value());
+}
+
+TEST_F(ConflictPolicyTest, ReasonsAreInformative) {
+  precedence_.Add(0, 1);
+  ConflictPolicy policy(&precedence_, &concurrency_, &power_);
+  const auto reason = policy.Blocked(1, completed_, {}, 0);
+  ASSERT_TRUE(reason.has_value());
+  EXPECT_NE(reason->find("precedence"), std::string::npos);
+}
+
+TEST_F(ConflictPolicyTest, MultipleActiveConflictsDetected) {
+  concurrency_.Add(0, 3);
+  ConflictPolicy policy(&precedence_, &concurrency_, &power_);
+  EXPECT_TRUE(policy.Blocked(0, completed_, {1, 2, 3}, 0).has_value());
+}
+
+}  // namespace
+}  // namespace soctest

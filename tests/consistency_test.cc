@@ -1,0 +1,98 @@
+// Cross-module consistency checks: quantities reported by different modules
+// for the same schedule/SOC must agree exactly.
+#include <gtest/gtest.h>
+
+#include "baseline/lower_bound.h"
+#include "core/idle_analysis.h"
+#include "core/optimizer.h"
+#include "core/wire_assign.h"
+#include "io/schedule_export.h"
+#include "soc/benchmarks.h"
+#include "tdv/data_volume.h"
+#include "util/strings.h"
+
+namespace soctest {
+namespace {
+
+class ConsistencyTest : public ::testing::TestWithParam<int> {
+ protected:
+  void SetUp() override {
+    problem_ = TestProblem::FromSoc(MakeD695());
+    OptimizerParams params;
+    params.tam_width = GetParam();
+    auto result = Optimize(problem_, params);
+    ASSERT_TRUE(result.ok());
+    result_ = std::move(result);
+  }
+
+  TestProblem problem_;
+  OptimizerResult result_;
+};
+
+TEST_P(ConsistencyTest, SweepPointMatchesDirectOptimization) {
+  SweepOptions options;
+  options.min_width = GetParam();
+  options.max_width = GetParam();
+  const auto sweep = SweepWidths(problem_, options);
+  ASSERT_EQ(sweep.size(), 1u);
+  EXPECT_EQ(sweep[0].test_time, result_.makespan);
+  EXPECT_EQ(sweep[0].data_volume,
+            static_cast<std::int64_t>(GetParam()) * result_.makespan);
+}
+
+TEST_P(ConsistencyTest, IdlePlusUsedEqualsBinArea) {
+  const IdleReport report = AnalyzeIdle(result_.schedule);
+  EXPECT_EQ(report.used_area + report.total_idle_area,
+            static_cast<std::int64_t>(GetParam()) * result_.makespan);
+}
+
+TEST_P(ConsistencyTest, WireGrantAreaEqualsUsedArea) {
+  const auto wires = AssignWires(result_.schedule);
+  ASSERT_TRUE(wires.has_value());
+  std::int64_t grant_area = 0;
+  for (const auto& grant : wires->grants) {
+    grant_area += static_cast<std::int64_t>(grant.wires.size()) *
+                  grant.span.length();
+  }
+  EXPECT_EQ(grant_area, result_.schedule.UsedArea());
+}
+
+TEST_P(ConsistencyTest, JsonMakespanMatchesSchedule) {
+  const std::string json = ScheduleToJson(problem_.soc, result_.schedule);
+  EXPECT_NE(json.find(StrFormat("\"makespan\": %lld",
+                                static_cast<long long>(result_.makespan))),
+            std::string::npos);
+}
+
+TEST_P(ConsistencyTest, AssignmentTimesSumToActiveTime) {
+  Time total = 0;
+  for (const auto& a : result_.assignments) total += a.scheduled_time;
+  EXPECT_EQ(total, result_.schedule.TotalActiveTime());
+}
+
+TEST_P(ConsistencyTest, PeakWidthNeverExceedsBin) {
+  EXPECT_LE(result_.schedule.PeakWidth(), GetParam());
+  // The schedule actually uses the TAM: peak is at least the widest core.
+  int max_core_width = 0;
+  for (const auto& e : result_.schedule.entries()) {
+    max_core_width = std::max(max_core_width, e.assigned_width);
+  }
+  EXPECT_GE(result_.schedule.PeakWidth(), max_core_width);
+}
+
+TEST_P(ConsistencyTest, LowerBoundAreaMatchesRectangles) {
+  const auto rects = BuildRectangleSets(problem_.soc, 64, GetParam());
+  std::int64_t area = 0;
+  for (const auto& r : rects) area += r.MinArea();
+  const auto lb = ComputeLowerBound(problem_.soc, GetParam(), 64);
+  EXPECT_EQ(lb.total_min_area, area);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, ConsistencyTest,
+                         ::testing::Values(8, 16, 24, 32, 48, 64),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return "W" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace soctest

@@ -1,0 +1,115 @@
+#include "tdv/effective_width.h"
+
+#include <gtest/gtest.h>
+
+#include "soc/benchmarks.h"
+
+namespace soctest {
+namespace {
+
+class EffectiveWidthTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    const TestProblem problem = TestProblem::FromSoc(MakeD695());
+    SweepOptions options;
+    options.min_width = 1;
+    options.max_width = 48;
+    sweep_ = new std::vector<SweepPoint>(SweepWidths(problem, options));
+  }
+  static void TearDownTestSuite() {
+    delete sweep_;
+    sweep_ = nullptr;
+  }
+
+  static std::vector<SweepPoint>* sweep_;
+};
+
+std::vector<SweepPoint>* EffectiveWidthTest::sweep_ = nullptr;
+
+TEST_F(EffectiveWidthTest, CostCurveNormalizedAboveOne) {
+  for (double rho : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    const auto curve = CostCurve(*sweep_, rho);
+    ASSERT_EQ(curve.size(), sweep_->size());
+    for (const auto& p : curve) {
+      EXPECT_GE(p.cost, 1.0 - 1e-12) << "rho=" << rho << " W=" << p.tam_width;
+    }
+  }
+}
+
+TEST_F(EffectiveWidthTest, RhoOneMinimizesTime) {
+  const CostPoint best = EffectiveWidth(*sweep_, 1.0);
+  const SweepPoint t_min = MinTimePoint(*sweep_);
+  EXPECT_EQ(best.test_time, t_min.test_time);
+  EXPECT_NEAR(best.cost, 1.0, 1e-12);
+}
+
+TEST_F(EffectiveWidthTest, RhoZeroMinimizesVolume) {
+  const CostPoint best = EffectiveWidth(*sweep_, 0.0);
+  const SweepPoint d_min = MinVolumePoint(*sweep_);
+  EXPECT_EQ(best.data_volume, d_min.data_volume);
+  EXPECT_NEAR(best.cost, 1.0, 1e-12);
+}
+
+TEST_F(EffectiveWidthTest, EffectiveWidthMovesWithRho) {
+  // As rho rises from 0 to 1 the effective width moves from the D-minimizer
+  // toward the T-minimizer (paper Table 2), monotonically in between.
+  int prev = 0;
+  for (double rho : {0.0, 0.3, 0.6, 0.9, 1.0}) {
+    const CostPoint best = EffectiveWidth(*sweep_, rho);
+    EXPECT_GE(best.tam_width, prev) << "rho=" << rho;
+    prev = best.tam_width;
+  }
+}
+
+TEST_F(EffectiveWidthTest, RhoIsClampedToUnitRange) {
+  EXPECT_EQ(EffectiveWidth(*sweep_, -3.0).tam_width,
+            EffectiveWidth(*sweep_, 0.0).tam_width);
+  EXPECT_EQ(EffectiveWidth(*sweep_, 7.0).tam_width,
+            EffectiveWidth(*sweep_, 1.0).tam_width);
+}
+
+TEST_F(EffectiveWidthTest, TradeoffRowsMatchCurve) {
+  const TradeoffRow row = MakeTradeoffRow(*sweep_, 0.5);
+  const CostPoint best = EffectiveWidth(*sweep_, 0.5);
+  EXPECT_EQ(row.effective_width, best.tam_width);
+  EXPECT_EQ(row.time_at_effective, best.test_time);
+  EXPECT_EQ(row.volume_at_effective, best.data_volume);
+  EXPECT_DOUBLE_EQ(row.min_cost, best.cost);
+  EXPECT_DOUBLE_EQ(row.rho, 0.5);
+}
+
+TEST_F(EffectiveWidthTest, CostIsUShapedForMidRho) {
+  // Paper Fig. 9(c,d): a single practical minimum — the curve never dips
+  // again after it has risen 10% above the global minimum.
+  const auto curve = CostCurve(*sweep_, 0.5);
+  double best = curve.front().cost;
+  std::size_t best_idx = 0;
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    if (curve[i].cost < best) {
+      best = curve[i].cost;
+      best_idx = i;
+    }
+  }
+  for (std::size_t i = best_idx; i < curve.size(); ++i) {
+    EXPECT_GE(curve[i].cost, best - 1e-12);
+  }
+}
+
+TEST(MultisiteTest, NarrowTamAllowsMoreSites) {
+  SweepPoint wide{48, 100'000, 4'800'000};
+  SweepPoint narrow{12, 180'000, 2'160'000};
+  // 96-channel tester, batch of 16 devices.
+  const Time t_wide = MultisiteBatchTime(wide, 96, 16);     // 2 sites
+  const Time t_narrow = MultisiteBatchTime(narrow, 96, 16);  // 8 sites
+  EXPECT_EQ(t_wide, 8 * 100'000);
+  EXPECT_EQ(t_narrow, 2 * 180'000);
+  EXPECT_LT(t_narrow, t_wide);  // the paper's multisite motivation
+}
+
+TEST(MultisiteTest, SingleSiteFallback) {
+  SweepPoint point{64, 50'000, 3'200'000};
+  EXPECT_EQ(MultisiteBatchTime(point, 32, 3), 3 * 50'000);
+}
+
+}  // namespace
+}  // namespace soctest

@@ -1,0 +1,146 @@
+#include "core/exact.h"
+
+#include <gtest/gtest.h>
+
+#include "baseline/lower_bound.h"
+#include "core/optimizer.h"
+#include "core/validator.h"
+#include "soc/generator.h"
+
+namespace soctest {
+namespace {
+
+Soc TinySoc(int cores, std::uint64_t seed) {
+  GeneratorParams params;
+  params.seed = seed;
+  params.num_cores = cores;
+  params.min_inputs = 2;
+  params.max_inputs = 24;
+  params.min_outputs = 2;
+  params.max_outputs = 24;
+  params.min_patterns = 5;
+  params.max_patterns = 60;
+  params.min_chains = 1;
+  params.max_chains = 5;
+  params.min_chain_len = 4;
+  params.max_chain_len = 40;
+  return GenerateSoc(params);
+}
+
+TEST(ExactPackTest, RefusesOversizedInstances) {
+  const Soc soc = TinySoc(12, 1);
+  ExactPackOptions options;
+  options.max_cores = 10;
+  EXPECT_FALSE(ExactPack(soc, 16, options).has_value());
+}
+
+TEST(ExactPackTest, SingleCoreIsItsFloorTime) {
+  const Soc soc = TinySoc(1, 2);
+  const auto result = ExactPack(soc, 16);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->proven_optimal);
+  const RectangleSet rect(soc.core(0), 64, 16);
+  EXPECT_EQ(result->makespan, rect.MinTime());
+}
+
+TEST(ExactPackTest, RespectsLowerBoundAndHeuristicSandwich) {
+  for (std::uint64_t seed : {3u, 4u, 5u, 6u}) {
+    const Soc soc = TinySoc(5, seed);
+    const int w = 8;
+    const auto exact = ExactPack(soc, w);
+    ASSERT_TRUE(exact.has_value()) << seed;
+
+    const auto lb = ComputeLowerBound(soc, w, 64);
+    const TestProblem problem = TestProblem::FromSoc(soc);
+    OptimizerParams params;
+    params.tam_width = w;
+    const auto heuristic = OptimizeBestOverParams(problem, params);
+    ASSERT_TRUE(heuristic.ok());
+
+    // LB <= exact <= heuristic.
+    EXPECT_GE(exact->makespan, lb.value()) << "seed " << seed;
+    EXPECT_LE(exact->makespan, heuristic.makespan) << "seed " << seed;
+  }
+}
+
+TEST(ExactPackTest, ScheduleIsStructurallyValid) {
+  const Soc soc = TinySoc(5, 7);
+  const auto exact = ExactPack(soc, 10);
+  ASSERT_TRUE(exact.has_value());
+  const TestProblem problem = TestProblem::FromSoc(soc);
+  ValidationOptions options;
+  // The exact packer chooses Pareto rectangles, so durations are exact.
+  const auto violations =
+      ValidateSchedule(problem, exact->schedule, options);
+  EXPECT_TRUE(violations.empty()) << FormatViolations(violations);
+  EXPECT_EQ(exact->schedule.Makespan(), exact->makespan);
+}
+
+TEST(ExactPackTest, MatchesBruteForceOnTwoCores) {
+  // Two cores, W=3: the optimum is either parallel (widths summing <= 3) or
+  // serial at full width; verify the exact packer finds the best of all
+  // candidate combinations.
+  const Soc soc = TinySoc(2, 8);
+  const int w = 3;
+  const auto exact = ExactPack(soc, w);
+  ASSERT_TRUE(exact.has_value());
+
+  const auto rects = BuildRectangleSets(soc, 64, w);
+  Time best = -1;
+  for (const auto& a : rects[0].pareto()) {
+    for (const auto& b : rects[1].pareto()) {
+      // Parallel if widths fit together.
+      if (a.width + b.width <= w) {
+        const Time parallel = std::max(a.time, b.time);
+        if (best < 0 || parallel < best) best = parallel;
+      }
+      // Serial always feasible.
+      const Time serial = a.time + b.time;
+      if (best < 0 || serial < best) best = serial;
+      // Staggered starts never beat one of the above for two rectangles.
+    }
+  }
+  EXPECT_EQ(exact->makespan, best);
+}
+
+TEST(ExactPackTest, NodeCapMarksUnproven) {
+  const Soc soc = TinySoc(7, 9);
+  ExactPackOptions options;
+  options.max_nodes = 10;
+  const auto result = ExactPack(soc, 12, options);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_FALSE(result->proven_optimal);
+  // Still returns the heuristic-quality incumbent.
+  EXPECT_GT(result->makespan, 0);
+}
+
+TEST(ExactPackTest, HeuristicWithinHonestBandOfOptimal) {
+  // Quality audit: tiny instances (4 cores, W=6) are the heuristic's worst
+  // case — measured gaps run up to ~45% there, while on the benchmark SOCs
+  // the gap to the lower bound is under 14% (EXPERIMENTS.md). Assert the
+  // measured band and that the heuristic is exactly optimal at least once.
+  int optimal_hits = 0;
+  int cases = 0;
+  for (std::uint64_t seed : {11u, 12u, 13u, 14u, 15u}) {
+    const Soc soc = TinySoc(4, seed);
+    const int w = 6;
+    const auto exact = ExactPack(soc, w);
+    ASSERT_TRUE(exact.has_value());
+    if (!exact->proven_optimal) continue;
+    const TestProblem problem = TestProblem::FromSoc(soc);
+    OptimizerParams params;
+    params.tam_width = w;
+    const auto heuristic = OptimizeBestOverParams(problem, params);
+    ASSERT_TRUE(heuristic.ok());
+    ++cases;
+    optimal_hits += heuristic.makespan == exact->makespan ? 1 : 0;
+    EXPECT_LE(static_cast<double>(heuristic.makespan),
+              1.5 * static_cast<double>(exact->makespan))
+        << "seed " << seed;
+  }
+  ASSERT_GT(cases, 0);
+  EXPECT_GT(optimal_hits, 0);
+}
+
+}  // namespace
+}  // namespace soctest

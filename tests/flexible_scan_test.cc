@@ -1,0 +1,82 @@
+#include "wrapper/flexible_scan.h"
+
+#include <gtest/gtest.h>
+
+#include "soc/benchmarks.h"
+#include "wrapper/wrapper_design.h"
+
+namespace soctest {
+namespace {
+
+CoreSpec ScanCore(std::vector<int> chains, int io = 4,
+                  std::int64_t patterns = 10) {
+  CoreSpec c;
+  c.name = "scan";
+  c.num_inputs = io;
+  c.num_outputs = io;
+  c.num_patterns = patterns;
+  c.scan_chain_lengths = std::move(chains);
+  return c;
+}
+
+TEST(FlexibleScanTest, MatchesFormulaAtWidthOne) {
+  const CoreSpec c = ScanCore({30, 30}, 5, 10);
+  // One chain: si = 60 + 5, so = 60 + 5.
+  EXPECT_EQ(FlexibleScanTestTime(c, 1), (1 + 65) * 10 + 65);
+}
+
+TEST(FlexibleScanTest, EqualSplitAtMatchingWidth) {
+  const CoreSpec c = ScanCore({30, 30}, 0, 10);
+  // Two chains of 30: si = so = 30.
+  EXPECT_EQ(FlexibleScanTestTime(c, 2), (1 + 30) * 10 + 30);
+  // Four chains of 15.
+  EXPECT_EQ(FlexibleScanTestTime(c, 4), (1 + 15) * 10 + 15);
+}
+
+TEST(FlexibleScanTest, NeverSlowerThanFixedChains) {
+  // Flexible stitching lower-bounds any fixed-chain wrapper with the same
+  // flip-flop count, across the d695 scan cores and all widths.
+  const Soc soc = MakeD695();
+  for (const auto& core : soc.cores()) {
+    if (core.scan_chain_lengths.empty()) continue;
+    const auto flexible = FlexibleScanCurve(core, 64);
+    const TimeCurve fixed(core, 64);
+    for (int w = 1; w <= 64; ++w) {
+      EXPECT_LE(flexible[static_cast<std::size_t>(w - 1)], fixed.TimeAt(w))
+          << core.name << " w=" << w;
+    }
+  }
+}
+
+TEST(FlexibleScanTest, CurveNonIncreasing) {
+  const CoreSpec c = ScanCore({100, 45, 30, 17}, 8, 25);
+  const auto curve = FlexibleScanCurve(c, 64);
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_LE(curve[i], curve[i - 1]);
+  }
+}
+
+TEST(FlexibleScanTest, PenaltyAtLeastOne) {
+  const Soc soc = MakeD695();
+  for (const auto& core : soc.cores()) {
+    EXPECT_GE(FixedChainPenalty(core, 64), 1.0) << core.name;
+  }
+}
+
+TEST(FlexibleScanTest, LongFixedChainsCarryRealPenalty) {
+  // One long fixed chain cannot be split: fixed T is flat in w while the
+  // flexible model keeps improving, so the penalty must exceed 2x by w=4.
+  const CoreSpec c = ScanCore({400}, 0, 10);
+  EXPECT_GT(FixedChainPenalty(c, 8), 2.0);
+}
+
+TEST(FlexibleScanTest, CombinationalCoresHaveNoScanPenalty) {
+  // Without scan cells both models reduce to balanced I/O chains; allow a
+  // tiny slack for the ceil-based I/O split difference.
+  const Soc soc = MakeD695();
+  const auto& comb = soc.core(soc.FindCore("c7552"));
+  EXPECT_LE(FixedChainPenalty(comb, 64), 1.05);
+}
+
+}  // namespace
+}  // namespace soctest

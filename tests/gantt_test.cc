@@ -1,0 +1,88 @@
+#include "core/gantt.h"
+
+#include <gtest/gtest.h>
+
+#include "core/optimizer.h"
+#include "soc/benchmarks.h"
+
+namespace soctest {
+namespace {
+
+class GanttTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    problem_ = TestProblem::FromSoc(MakeD695());
+    OptimizerParams params;
+    params.tam_width = 32;
+    auto result = Optimize(problem_, params);
+    ASSERT_TRUE(result.ok());
+    schedule_ = std::move(result.schedule);
+  }
+
+  TestProblem problem_;
+  Schedule schedule_;
+};
+
+TEST_F(GanttTest, CoreGanttListsEveryCore) {
+  const std::string g = RenderCoreGantt(problem_.soc, schedule_);
+  for (const auto& core : problem_.soc.cores()) {
+    EXPECT_NE(g.find(core.name), std::string::npos) << core.name;
+  }
+  EXPECT_NE(g.find("W=32"), std::string::npos);
+}
+
+TEST_F(GanttTest, CoreGanttShowsWidthAnnotations) {
+  GanttOptions options;
+  options.show_widths = true;
+  const std::string with = RenderCoreGantt(problem_.soc, schedule_, options);
+  EXPECT_NE(with.find("w="), std::string::npos);
+  options.show_widths = false;
+  const std::string without = RenderCoreGantt(problem_.soc, schedule_, options);
+  EXPECT_EQ(without.find("  w="), std::string::npos);
+}
+
+TEST_F(GanttTest, WireGanttHasOneRowPerWire) {
+  const auto wires = AssignWires(schedule_);
+  ASSERT_TRUE(wires.has_value());
+  const std::string g = RenderWireGantt(problem_.soc, schedule_, *wires);
+  // Rows w00..w31.
+  EXPECT_NE(g.find("w00"), std::string::npos);
+  EXPECT_NE(g.find("w31"), std::string::npos);
+  EXPECT_EQ(g.find("w32"), std::string::npos);
+}
+
+TEST_F(GanttTest, RespectsWidthChars) {
+  GanttOptions options;
+  options.width_chars = 40;
+  const std::string g = RenderCoreGantt(problem_.soc, schedule_, options);
+  // No line massively exceeds label + 40 chars + annotations.
+  std::size_t start = 0;
+  while (start < g.size()) {
+    const std::size_t end = g.find('\n', start);
+    const std::size_t len =
+        (end == std::string::npos ? g.size() : end) - start;
+    EXPECT_LT(len, 80u);
+    if (end == std::string::npos) break;
+    start = end + 1;
+  }
+}
+
+TEST(GanttEmptyTest, HandlesZeroMakespan) {
+  Soc soc("tiny");
+  CoreSpec c;
+  c.name = "c";
+  c.num_inputs = 1;
+  c.num_outputs = 1;
+  c.num_patterns = 1;
+  soc.AddCore(c);
+  Schedule schedule("tiny", 4);
+  CoreSchedule entry;
+  entry.core = 0;
+  entry.assigned_width = 1;
+  schedule.Add(entry);  // no segments
+  const std::string g = RenderCoreGantt(soc, schedule);
+  EXPECT_FALSE(g.empty());
+}
+
+}  // namespace
+}  // namespace soctest

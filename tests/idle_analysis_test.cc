@@ -1,0 +1,99 @@
+#include "core/idle_analysis.h"
+
+#include <gtest/gtest.h>
+
+#include "core/optimizer.h"
+#include "soc/benchmarks.h"
+
+namespace soctest {
+namespace {
+
+Schedule HandSchedule() {
+  // W=4; core 0 uses 3 wires [0,10); core 1 uses 4 wires [10,20).
+  Schedule s("hand", 4);
+  CoreSchedule a;
+  a.core = 0;
+  a.assigned_width = 3;
+  a.segments.push_back({{0, 10}, 3});
+  s.Add(a);
+  CoreSchedule b;
+  b.core = 1;
+  b.assigned_width = 4;
+  b.segments.push_back({{10, 20}, 4});
+  s.Add(b);
+  return s;
+}
+
+TEST(IdleAnalysisTest, FindsTheSingleIdleWindow) {
+  const IdleReport report = AnalyzeIdle(HandSchedule());
+  EXPECT_EQ(report.total_idle_area, 10);  // 1 wire x 10 cycles
+  ASSERT_EQ(report.windows.size(), 1u);
+  EXPECT_EQ(report.windows[0].span, (Interval{0, 10}));
+  EXPECT_EQ(report.windows[0].free_width, 1);
+  EXPECT_EQ(report.windows[0].Area(), 10);
+  ASSERT_NE(report.LargestWindow(), nullptr);
+  EXPECT_EQ(report.LargestWindow()->Area(), 10);
+}
+
+TEST(IdleAnalysisTest, FullBinHasNoWindows) {
+  Schedule s("full", 2);
+  CoreSchedule a;
+  a.core = 0;
+  a.assigned_width = 2;
+  a.segments.push_back({{0, 5}, 2});
+  s.Add(a);
+  const IdleReport report = AnalyzeIdle(s);
+  EXPECT_EQ(report.total_idle_area, 0);
+  EXPECT_TRUE(report.windows.empty());
+  EXPECT_DOUBLE_EQ(report.utilization, 1.0);
+}
+
+TEST(IdleAnalysisTest, GapBetweenTestsIsFullyIdle) {
+  Schedule s("gap", 2);
+  CoreSchedule a;
+  a.core = 0;
+  a.assigned_width = 2;
+  a.segments.push_back({{0, 5}, 2});
+  s.Add(a);
+  CoreSchedule b;
+  b.core = 1;
+  b.assigned_width = 2;
+  b.segments.push_back({{8, 12}, 2});
+  s.Add(b);
+  const IdleReport report = AnalyzeIdle(s);
+  // [5,8) x 2 wires idle.
+  EXPECT_EQ(report.total_idle_area, 6);
+  ASSERT_EQ(report.windows.size(), 1u);
+  EXPECT_EQ(report.windows[0].span, (Interval{5, 8}));
+  EXPECT_EQ(report.windows[0].free_width, 2);
+}
+
+TEST(IdleAnalysisTest, WindowAreasSumToIdleArea) {
+  const TestProblem problem = TestProblem::FromSoc(MakeD695());
+  OptimizerParams params;
+  params.tam_width = 32;
+  const auto result = Optimize(problem, params);
+  ASSERT_TRUE(result.ok());
+  const IdleReport report = AnalyzeIdle(result.schedule);
+  std::int64_t windows_total = 0;
+  for (const auto& w : report.windows) windows_total += w.Area();
+  EXPECT_EQ(windows_total, report.total_idle_area);
+  EXPECT_EQ(report.total_idle_area, result.schedule.IdleArea());
+}
+
+TEST(IdleAnalysisTest, EmptyScheduleSafe) {
+  const IdleReport report = AnalyzeIdle(Schedule("empty", 8));
+  EXPECT_EQ(report.total_idle_area, 0);
+  EXPECT_TRUE(report.windows.empty());
+  EXPECT_EQ(report.LargestWindow(), nullptr);
+}
+
+TEST(IdleAnalysisTest, FormatMentionsUtilization) {
+  const IdleReport report = AnalyzeIdle(HandSchedule());
+  const std::string text = FormatIdleReport(report);
+  EXPECT_NE(text.find("utilization"), std::string::npos);
+  EXPECT_NE(text.find("wire-cycles"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace soctest

@@ -1,0 +1,86 @@
+#include "core/improver.h"
+
+#include <gtest/gtest.h>
+
+#include "core/validator.h"
+#include "soc/benchmarks.h"
+
+namespace soctest {
+namespace {
+
+TEST(ImproverTest, NeverWorseThanStartingPoint) {
+  const TestProblem problem = TestProblem::FromSoc(MakeD695());
+  ImproverParams params;
+  params.optimizer.tam_width = 48;
+  params.iterations = 60;
+  const ImproverResult result = ImproveSchedule(problem, params);
+  ASSERT_TRUE(result.best.ok());
+  EXPECT_LE(result.best.makespan, result.initial_makespan);
+  EXPECT_GT(result.attempts, 0);
+}
+
+TEST(ImproverTest, OutputValidatesAndDeterministic) {
+  const TestProblem problem = TestProblem::FromSoc(MakeD695());
+  ImproverParams params;
+  params.optimizer.tam_width = 32;
+  params.iterations = 40;
+  params.seed = 7;
+  const ImproverResult a = ImproveSchedule(problem, params);
+  const ImproverResult b = ImproveSchedule(problem, params);
+  ASSERT_TRUE(a.best.ok());
+  EXPECT_EQ(a.best.makespan, b.best.makespan);
+  const auto violations = ValidateSchedule(problem, a.best.schedule);
+  EXPECT_TRUE(violations.empty()) << FormatViolations(violations);
+}
+
+TEST(ImproverTest, PropagatesErrors) {
+  Soc soc("hot");
+  CoreSpec c;
+  c.name = "c";
+  c.num_inputs = 2;
+  c.num_outputs = 2;
+  c.num_patterns = 5;
+  soc.AddCore(c);
+  TestProblem problem = TestProblem::FromSoc(std::move(soc));
+  problem.power = PowerModel({100}, 10);  // unschedulable
+  ImproverParams params;
+  params.optimizer.tam_width = 8;
+  const ImproverResult result = ImproveSchedule(problem, params);
+  EXPECT_FALSE(result.best.ok());
+}
+
+TEST(ImproverTest, RespectsConstraintsWhileImproving) {
+  TestProblem problem = MakeBenchmarkProblem(MakeD695(), true);
+  ImproverParams params;
+  params.optimizer.tam_width = 24;
+  params.optimizer.allow_preemption = true;
+  params.iterations = 30;
+  const ImproverResult result = ImproveSchedule(problem, params);
+  ASSERT_TRUE(result.best.ok());
+  const auto violations = ValidateSchedule(problem, result.best.schedule);
+  EXPECT_TRUE(violations.empty()) << FormatViolations(violations);
+}
+
+TEST(OptimizerOverrideTest, OverrideWidthsAreHonored) {
+  const TestProblem problem = TestProblem::FromSoc(MakeD695());
+  OptimizerParams params;
+  params.tam_width = 32;
+  params.preferred_width_override.assign(10, 4);
+  const auto result = Optimize(problem, params);
+  ASSERT_TRUE(result.ok());
+  for (const auto& a : result.assignments) {
+    // Preferred width snaps to the Pareto grid at or below 4.
+    EXPECT_LE(a.preferred_width, 4);
+  }
+}
+
+TEST(OptimizerOverrideTest, WrongArityIsAnError) {
+  const TestProblem problem = TestProblem::FromSoc(MakeD695());
+  OptimizerParams params;
+  params.tam_width = 32;
+  params.preferred_width_override = {4, 4};  // 10 cores expected
+  EXPECT_FALSE(Optimize(problem, params).ok());
+}
+
+}  // namespace
+}  // namespace soctest

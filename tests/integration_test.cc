@@ -1,0 +1,154 @@
+// End-to-end pipeline tests: parse -> co-optimize -> validate -> wire-assign
+// -> analyze, on all four benchmark SOCs and from .soc text.
+#include <gtest/gtest.h>
+
+#include "baseline/lower_bound.h"
+#include "baseline/shelf.h"
+#include "core/gantt.h"
+#include "core/optimizer.h"
+#include "core/validator.h"
+#include "core/wire_assign.h"
+#include "soc/benchmarks.h"
+#include "soc/soc_parser.h"
+#include "tdv/effective_width.h"
+
+namespace soctest {
+namespace {
+
+class BenchmarkPipelineTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(BenchmarkPipelineTest, FullPipelineAllModes) {
+  const Soc soc = BenchmarkByName(GetParam());
+  ASSERT_GT(soc.num_cores(), 0);
+
+  for (const bool power : {false, true}) {
+    for (const bool preemptive : {false, true}) {
+      TestProblem problem = MakeBenchmarkProblem(soc, power);
+      OptimizerParams params;
+      params.tam_width = 32;
+      params.allow_preemption = preemptive;
+      const auto result = Optimize(problem, params);
+      ASSERT_TRUE(result.ok()) << GetParam();
+
+      // Constraints and structure hold.
+      const auto violations = ValidateSchedule(problem, result.schedule);
+      EXPECT_TRUE(violations.empty())
+          << GetParam() << " power=" << power << " pre=" << preemptive << "\n"
+          << FormatViolations(violations);
+
+      // Physically realizable (fork/merge wire assignment exists).
+      const auto wires = AssignWires(result.schedule);
+      ASSERT_TRUE(wires.has_value());
+      EXPECT_FALSE(CheckWireAssignment(result.schedule, *wires).has_value());
+
+      // Sound vs. lower bound and not absurdly loose.
+      const auto lb = ComputeLowerBound(soc, 32, params.w_max);
+      EXPECT_GE(result.makespan, lb.value());
+      EXPECT_LE(result.makespan, 3 * lb.value());
+
+      // Gantt renders every core.
+      const std::string gantt = RenderCoreGantt(problem.soc, result.schedule);
+      for (const auto& core : problem.soc.cores()) {
+        EXPECT_NE(gantt.find(core.name), std::string::npos);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, BenchmarkPipelineTest,
+                         ::testing::Values("d695", "p22810s", "p34392s",
+                                           "p93791s"));
+
+TEST(PipelineFromTextTest, ParseScheduleValidate) {
+  const char* text = R"(
+soc mini
+core cpu
+  inputs 24
+  outputs 24
+  patterns 120
+  scanchains 40 40 36 30
+end
+core dsp
+  inputs 16
+  outputs 20
+  patterns 80
+  scanchains 24 24 24
+  maxpreemptions 1
+end
+core mem
+  inputs 30
+  outputs 30
+  patterns 60
+end
+core bist_ctl
+  inputs 4
+  outputs 4
+  patterns 500
+  resources 1
+end
+core bist_ram
+  inputs 4
+  outputs 4
+  patterns 400
+  resources 1
+end
+precedence mem < cpu
+concurrency cpu ~ dsp
+)";
+  const auto parsed = ParseSocText(text);
+  ASSERT_TRUE(std::holds_alternative<ParsedSoc>(parsed))
+      << std::get<ParseError>(parsed).message;
+  TestProblem problem = TestProblem::FromParsed(std::get<ParsedSoc>(parsed));
+
+  OptimizerParams params;
+  params.tam_width = 16;
+  params.allow_preemption = true;
+  const auto result = Optimize(problem, params);
+  ASSERT_TRUE(result.ok()) << *result.error;
+  const auto violations = ValidateSchedule(problem, result.schedule);
+  EXPECT_TRUE(violations.empty()) << FormatViolations(violations);
+
+  // Declared constraints visibly shaped the schedule.
+  const CoreId mem = problem.soc.FindCore("mem");
+  const CoreId cpu = problem.soc.FindCore("cpu");
+  EXPECT_GE(result.schedule.FindCore(cpu)->BeginTime(),
+            result.schedule.FindCore(mem)->EndTime());
+}
+
+TEST(PipelineTest, TdvAnalysisFollowsScheduling) {
+  const TestProblem problem = TestProblem::FromSoc(MakeD695());
+  SweepOptions options;
+  options.max_width = 40;
+  const auto sweep = SweepWidths(problem, options);
+  ASSERT_FALSE(sweep.empty());
+  const TradeoffRow row = MakeTradeoffRow(sweep, 0.5);
+  EXPECT_GE(row.effective_width, 1);
+  EXPECT_LE(row.effective_width, 40);
+  EXPECT_GE(row.min_cost, 1.0 - 1e-12);
+}
+
+TEST(PipelineTest, BaselinesAreDominatedEndToEnd) {
+  const Soc soc = MakeD695();
+  const TestProblem problem = TestProblem::FromSoc(soc);
+  OptimizerParams params;
+  params.tam_width = 24;
+  const auto flexible = OptimizeBestOverParams(problem, params);
+  ASSERT_TRUE(flexible.ok());
+  const Time shelf = ShelfPack(soc, 24, {}).Makespan();
+  EXPECT_LE(flexible.makespan, shelf);
+}
+
+TEST(PipelineTest, SerializedBenchmarksStayEquivalent) {
+  // Round-trip d695 through text and check the schedule is identical.
+  const Soc soc = MakeD695();
+  const auto parsed = ParseSocText(SerializeSoc(soc));
+  ASSERT_TRUE(std::holds_alternative<ParsedSoc>(parsed));
+  const TestProblem a = TestProblem::FromSoc(soc);
+  const TestProblem b = TestProblem::FromParsed(std::get<ParsedSoc>(parsed));
+  OptimizerParams params;
+  params.tam_width = 32;
+  EXPECT_EQ(Optimize(a, params).makespan, Optimize(b, params).makespan);
+}
+
+}  // namespace
+}  // namespace soctest

@@ -1,0 +1,94 @@
+#include "baseline/lower_bound.h"
+
+#include <gtest/gtest.h>
+
+#include "core/optimizer.h"
+#include "soc/benchmarks.h"
+
+namespace soctest {
+namespace {
+
+TEST(LowerBoundTest, AreaBoundScalesInverselyWithWidth) {
+  const Soc soc = MakeD695();
+  const auto lb16 = ComputeLowerBound(soc, 16, 64);
+  const auto lb32 = ComputeLowerBound(soc, 32, 64);
+  const auto lb64 = ComputeLowerBound(soc, 64, 64);
+  EXPECT_EQ(lb16.total_min_area, lb32.total_min_area);
+  EXPECT_NEAR(static_cast<double>(lb16.area_bound) /
+                  static_cast<double>(lb32.area_bound),
+              2.0, 0.01);
+  EXPECT_NEAR(static_cast<double>(lb16.area_bound) /
+                  static_cast<double>(lb64.area_bound),
+              4.0, 0.01);
+}
+
+TEST(LowerBoundTest, ValueIsMaxOfBothTerms) {
+  for (const auto& soc : AllBenchmarkSocs()) {
+    for (int w : {8, 16, 32, 64}) {
+      const auto lb = ComputeLowerBound(soc, w, 64);
+      EXPECT_EQ(lb.value(), std::max(lb.bottleneck_bound, lb.area_bound));
+      EXPECT_GT(lb.value(), 0);
+    }
+  }
+}
+
+TEST(LowerBoundTest, BottleneckIdentifiesARealCore) {
+  const Soc soc = MakeP34392s();
+  const auto lb = ComputeLowerBound(soc, 32, 64);
+  ASSERT_GE(lb.bottleneck_core, 0);
+  ASSERT_LT(lb.bottleneck_core, soc.num_cores());
+  // The named core's floor time matches the reported bound.
+  const RectangleSet rect(soc.core(lb.bottleneck_core), 64, 32);
+  EXPECT_EQ(rect.MinTime(), lb.bottleneck_bound);
+}
+
+TEST(LowerBoundTest, BottleneckBoundMonotoneInWidth) {
+  const Soc soc = MakeP34392s();
+  Time prev = -1;
+  for (int w = 4; w <= 64; w += 4) {
+    const auto lb = ComputeLowerBound(soc, w, 64);
+    if (prev >= 0) EXPECT_LE(lb.bottleneck_bound, prev);
+    prev = lb.bottleneck_bound;
+  }
+}
+
+TEST(LowerBoundTest, ReusesPrebuiltRectangles) {
+  const Soc soc = MakeD695();
+  const auto rects = BuildRectangleSets(soc, 64, 32);
+  const auto a = ComputeLowerBound(rects, 32);
+  const auto b = ComputeLowerBound(soc, 32, 64);
+  EXPECT_EQ(a.value(), b.value());
+  EXPECT_EQ(a.total_min_area, b.total_min_area);
+}
+
+TEST(LowerBoundTest, OptimizerNeverBeatsIt) {
+  // Cross-check on a mix of widths and all four SOCs (smoke-level sweep).
+  for (const auto& soc : AllBenchmarkSocs()) {
+    const TestProblem problem = TestProblem::FromSoc(soc);
+    for (int w : {12, 28, 56}) {
+      OptimizerParams params;
+      params.tam_width = w;
+      const auto result = Optimize(problem, params);
+      ASSERT_TRUE(result.ok());
+      EXPECT_GE(result.makespan, ComputeLowerBound(soc, w, 64).value())
+          << soc.name() << " W=" << w;
+    }
+  }
+}
+
+TEST(LowerBoundTest, SingleCoreBoundIsExactlyItsFloor) {
+  Soc soc("single");
+  CoreSpec c;
+  c.name = "c";
+  c.num_inputs = 8;
+  c.num_outputs = 8;
+  c.num_patterns = 100;
+  c.scan_chain_lengths = {32, 32};
+  soc.AddCore(c);
+  const auto lb = ComputeLowerBound(soc, 64, 64);
+  const RectangleSet rect(soc.core(0), 64, 64);
+  EXPECT_EQ(lb.bottleneck_bound, rect.MinTime());
+}
+
+}  // namespace
+}  // namespace soctest

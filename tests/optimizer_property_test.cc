@@ -1,0 +1,202 @@
+// Property-based suite: random SOCs x TAM widths x scheduling modes, all of
+// which must produce schedules that pass the full validator.
+#include <gtest/gtest.h>
+
+#include "core/optimizer.h"
+#include "core/validator.h"
+#include "core/wire_assign.h"
+#include "baseline/lower_bound.h"
+#include "soc/generator.h"
+
+namespace soctest {
+namespace {
+
+struct PropertyCase {
+  std::uint64_t seed;
+  int num_cores;
+  int tam_width;
+  bool preemptive;
+  bool constrained;  // hierarchy + resources + power budget
+};
+
+std::string CaseName(const ::testing::TestParamInfo<PropertyCase>& info) {
+  const auto& p = info.param;
+  std::string name = "seed" + std::to_string(p.seed) + "_n" +
+                     std::to_string(p.num_cores) + "_w" +
+                     std::to_string(p.tam_width);
+  name += p.preemptive ? "_pre" : "_np";
+  name += p.constrained ? "_con" : "_free";
+  return name;
+}
+
+TestProblem BuildProblem(const PropertyCase& pc) {
+  GeneratorParams params;
+  params.name = "prop";
+  params.seed = pc.seed;
+  params.num_cores = pc.num_cores;
+  params.min_inputs = 1;
+  params.max_inputs = 80;
+  params.min_outputs = 1;
+  params.max_outputs = 80;
+  params.min_patterns = 1;
+  params.max_patterns = 300;
+  params.min_chains = 1;
+  params.max_chains = 12;
+  params.min_chain_len = 1;
+  params.max_chain_len = 90;
+  params.max_preemptions = pc.preemptive ? 2 : 0;
+  if (pc.constrained) {
+    params.child_probability = 0.2;
+    params.num_resources = 2;
+    params.resource_probability = 0.3;
+  }
+  Soc soc = GenerateSoc(params);
+  TestProblem problem = TestProblem::FromSoc(std::move(soc));
+  if (pc.constrained) {
+    problem.power = PowerModel::FromSoc(problem.soc, 2.0);
+    // A couple of precedence chains keyed off the seed.
+    if (problem.soc.num_cores() >= 4) {
+      problem.precedence.Add(0, 2);
+      problem.precedence.Add(1, 3);
+    }
+  }
+  return problem;
+}
+
+class OptimizerPropertyTest : public ::testing::TestWithParam<PropertyCase> {};
+
+TEST_P(OptimizerPropertyTest, ScheduleSatisfiesEveryInvariant) {
+  const PropertyCase pc = GetParam();
+  const TestProblem problem = BuildProblem(pc);
+  OptimizerParams params;
+  params.tam_width = pc.tam_width;
+  params.allow_preemption = pc.preemptive;
+  const auto result = Optimize(problem, params);
+  ASSERT_TRUE(result.ok()) << *result.error;
+
+  ValidationOptions options;
+  options.check_preemption_limits = true;
+  const auto violations = ValidateSchedule(problem, result.schedule, options);
+  EXPECT_TRUE(violations.empty()) << FormatViolations(violations);
+}
+
+TEST_P(OptimizerPropertyTest, MakespanAtLeastLowerBound) {
+  const PropertyCase pc = GetParam();
+  const TestProblem problem = BuildProblem(pc);
+  OptimizerParams params;
+  params.tam_width = pc.tam_width;
+  params.allow_preemption = pc.preemptive;
+  const auto result = Optimize(problem, params);
+  ASSERT_TRUE(result.ok());
+  const auto lb = ComputeLowerBound(problem.soc, pc.tam_width, params.w_max);
+  EXPECT_GE(result.makespan, lb.value());
+}
+
+TEST_P(OptimizerPropertyTest, WiresAlwaysAssignable) {
+  const PropertyCase pc = GetParam();
+  const TestProblem problem = BuildProblem(pc);
+  OptimizerParams params;
+  params.tam_width = pc.tam_width;
+  params.allow_preemption = pc.preemptive;
+  const auto result = Optimize(problem, params);
+  ASSERT_TRUE(result.ok());
+  const auto wires = AssignWires(result.schedule);
+  ASSERT_TRUE(wires.has_value());
+  EXPECT_FALSE(CheckWireAssignment(result.schedule, *wires).has_value());
+}
+
+std::vector<PropertyCase> MakeCases() {
+  std::vector<PropertyCase> cases;
+  int which = 0;
+  for (std::uint64_t seed : {11u, 22u, 33u, 44u}) {
+    for (int cores : {3, 9, 18}) {
+      for (int width : {4, 17, 40}) {
+        PropertyCase pc;
+        pc.seed = seed;
+        pc.num_cores = cores;
+        pc.tam_width = width;
+        pc.preemptive = (which % 2) == 0;
+        pc.constrained = (which % 3) == 0;
+        cases.push_back(pc);
+        ++which;
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSocs, OptimizerPropertyTest,
+                         ::testing::ValuesIn(MakeCases()), CaseName);
+
+// Degenerate shapes that have historically broken packers.
+TEST(OptimizerEdgeCaseTest, ManyTinyCombinationalCores) {
+  GeneratorParams params;
+  params.seed = 5;
+  params.num_cores = 40;
+  params.combinational_probability = 1.0;
+  params.min_inputs = 1;
+  params.max_inputs = 4;
+  params.min_outputs = 1;
+  params.max_outputs = 4;
+  params.min_patterns = 1;
+  params.max_patterns = 10;
+  const TestProblem problem = TestProblem::FromSoc(GenerateSoc(params));
+  OptimizerParams op;
+  op.tam_width = 3;
+  const auto result = Optimize(problem, op);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(IsValidSchedule(problem, result.schedule));
+}
+
+TEST(OptimizerEdgeCaseTest, MoreCoresThanWires) {
+  GeneratorParams params;
+  params.seed = 6;
+  params.num_cores = 25;
+  const TestProblem problem = TestProblem::FromSoc(GenerateSoc(params));
+  OptimizerParams op;
+  op.tam_width = 2;
+  const auto result = Optimize(problem, op);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(IsValidSchedule(problem, result.schedule));
+  EXPECT_LE(result.schedule.PeakWidth(), 2);
+}
+
+TEST(OptimizerEdgeCaseTest, FullyChainedPrecedenceSerializes) {
+  GeneratorParams gp;
+  gp.seed = 7;
+  gp.num_cores = 6;
+  Soc soc = GenerateSoc(gp);
+  TestProblem problem = TestProblem::FromSoc(std::move(soc));
+  for (int i = 0; i + 1 < problem.soc.num_cores(); ++i) {
+    problem.precedence.Add(i, i + 1);
+  }
+  OptimizerParams op;
+  op.tam_width = 32;
+  const auto result = Optimize(problem, op);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(IsValidSchedule(problem, result.schedule));
+  // Makespan equals the sum of individual test times (complete serialization).
+  Time sum = 0;
+  for (const auto& a : result.assignments) sum += a.scheduled_time;
+  EXPECT_EQ(result.makespan, sum);
+}
+
+TEST(OptimizerEdgeCaseTest, AllPairsConcurrencySerializes) {
+  GeneratorParams gp;
+  gp.seed = 8;
+  gp.num_cores = 5;
+  TestProblem problem = TestProblem::FromSoc(GenerateSoc(gp));
+  for (int i = 0; i < problem.soc.num_cores(); ++i) {
+    for (int j = i + 1; j < problem.soc.num_cores(); ++j) {
+      problem.concurrency.Add(i, j);
+    }
+  }
+  OptimizerParams op;
+  op.tam_width = 48;
+  const auto result = Optimize(problem, op);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(IsValidSchedule(problem, result.schedule));
+}
+
+}  // namespace
+}  // namespace soctest

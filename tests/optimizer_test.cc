@@ -1,0 +1,267 @@
+#include "core/optimizer.h"
+
+#include <gtest/gtest.h>
+
+#include "baseline/lower_bound.h"
+#include "core/validator.h"
+#include "soc/benchmarks.h"
+
+namespace soctest {
+namespace {
+
+CoreSpec SmallCore(const std::string& name, int io, std::int64_t patterns,
+                   std::vector<int> chains = {}) {
+  CoreSpec c;
+  c.name = name;
+  c.num_inputs = io;
+  c.num_outputs = io;
+  c.num_patterns = patterns;
+  c.scan_chain_lengths = std::move(chains);
+  return c;
+}
+
+TEST(OptimizerTest, SingleCoreUsesWholeTam) {
+  Soc soc("one");
+  soc.AddCore(SmallCore("only", 8, 50, {40, 40}));
+  const TestProblem problem = TestProblem::FromSoc(std::move(soc));
+  OptimizerParams params;
+  params.tam_width = 16;
+  const auto result = Optimize(problem, params);
+  ASSERT_TRUE(result.ok());
+  // With the width-boost heuristic the lone core gets its best usable width.
+  const RectangleSet rect(problem.soc.core(0), 64, 16);
+  EXPECT_EQ(result.makespan, rect.MinTime());
+  EXPECT_TRUE(IsValidSchedule(problem, result.schedule));
+}
+
+TEST(OptimizerTest, TwoIndependentCoresRunInParallel) {
+  Soc soc("two");
+  soc.AddCore(SmallCore("a", 4, 100, {20}));
+  soc.AddCore(SmallCore("b", 4, 100, {20}));
+  const TestProblem problem = TestProblem::FromSoc(std::move(soc));
+  OptimizerParams params;
+  params.tam_width = 32;
+  const auto result = Optimize(problem, params);
+  ASSERT_TRUE(result.ok());
+  const auto* a = result.schedule.FindCore(0);
+  const auto* b = result.schedule.FindCore(1);
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(a->BeginTime(), 0);
+  EXPECT_EQ(b->BeginTime(), 0);
+}
+
+TEST(OptimizerTest, RespectsTamCapacityWidthOne) {
+  Soc soc("narrow");
+  soc.AddCore(SmallCore("a", 2, 10));
+  soc.AddCore(SmallCore("b", 2, 10));
+  soc.AddCore(SmallCore("c", 2, 10));
+  const TestProblem problem = TestProblem::FromSoc(std::move(soc));
+  OptimizerParams params;
+  params.tam_width = 1;
+  const auto result = Optimize(problem, params);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.schedule.PeakWidth(), 1);
+  EXPECT_TRUE(IsValidSchedule(problem, result.schedule));
+}
+
+TEST(OptimizerTest, MakespanNonIncreasingInWidth) {
+  const TestProblem problem = TestProblem::FromSoc(MakeD695());
+  OptimizerParams params;
+  Time prev = -1;
+  for (int w : {8, 16, 24, 32, 48, 64}) {
+    params.tam_width = w;
+    const auto result = OptimizeBestOverParams(problem, params);
+    ASSERT_TRUE(result.ok());
+    if (prev >= 0) EXPECT_LE(result.makespan, prev) << "W=" << w;
+    prev = result.makespan;
+  }
+}
+
+TEST(OptimizerTest, NeverBeatsLowerBound) {
+  for (const auto& soc : AllBenchmarkSocs()) {
+    const TestProblem problem = TestProblem::FromSoc(soc);
+    for (int w : {16, 32}) {
+      OptimizerParams params;
+      params.tam_width = w;
+      const auto result = Optimize(problem, params);
+      ASSERT_TRUE(result.ok()) << soc.name();
+      const auto lb = ComputeLowerBound(soc, w, 64);
+      EXPECT_GE(result.makespan, lb.value()) << soc.name() << " W=" << w;
+    }
+  }
+}
+
+TEST(OptimizerTest, PrecedenceOrdersTests) {
+  Soc soc("prec");
+  soc.AddCore(SmallCore("first", 4, 50, {16}));
+  soc.AddCore(SmallCore("second", 4, 50, {16}));
+  TestProblem problem = TestProblem::FromSoc(std::move(soc));
+  problem.precedence.Add(0, 1);
+  OptimizerParams params;
+  params.tam_width = 32;
+  const auto result = Optimize(problem, params);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GE(result.schedule.FindCore(1)->BeginTime(),
+            result.schedule.FindCore(0)->EndTime());
+  EXPECT_TRUE(IsValidSchedule(problem, result.schedule));
+}
+
+TEST(OptimizerTest, ConcurrencySerializesTests) {
+  Soc soc("conc");
+  soc.AddCore(SmallCore("a", 4, 80, {16}));
+  soc.AddCore(SmallCore("b", 4, 80, {16}));
+  TestProblem problem = TestProblem::FromSoc(std::move(soc));
+  problem.concurrency.Add(0, 1);
+  OptimizerParams params;
+  params.tam_width = 32;
+  const auto result = Optimize(problem, params);
+  ASSERT_TRUE(result.ok());
+  const auto* a = result.schedule.FindCore(0);
+  const auto* b = result.schedule.FindCore(1);
+  const bool disjoint =
+      a->EndTime() <= b->BeginTime() || b->EndTime() <= a->BeginTime();
+  EXPECT_TRUE(disjoint);
+}
+
+TEST(OptimizerTest, HierarchyConflictsAreImplicit) {
+  Soc soc("hier");
+  const CoreId parent = soc.AddCore(SmallCore("parent", 4, 60, {16}));
+  CoreSpec child = SmallCore("child", 4, 60, {16});
+  child.parent = parent;
+  soc.AddCore(child);
+  const TestProblem problem = TestProblem::FromSoc(std::move(soc));
+  OptimizerParams params;
+  params.tam_width = 64;
+  const auto result = Optimize(problem, params);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(IsValidSchedule(problem, result.schedule));
+  const auto* p = result.schedule.FindCore(0);
+  const auto* c = result.schedule.FindCore(1);
+  const bool disjoint =
+      p->EndTime() <= c->BeginTime() || c->EndTime() <= p->BeginTime();
+  EXPECT_TRUE(disjoint);
+}
+
+TEST(OptimizerTest, PowerBudgetLengthensSchedule) {
+  const Soc soc = MakeD695();
+  OptimizerParams params;
+  params.tam_width = 48;
+
+  const TestProblem unconstrained = TestProblem::FromSoc(soc);
+  const auto base = OptimizeBestOverParams(unconstrained, params);
+
+  TestProblem constrained = TestProblem::FromSoc(soc);
+  constrained.power = PowerModel::FromSoc(soc, 1.0);  // tightest valid budget
+  const auto tight = OptimizeBestOverParams(constrained, params);
+
+  ASSERT_TRUE(base.ok());
+  ASSERT_TRUE(tight.ok());
+  EXPECT_GE(tight.makespan, base.makespan);
+  EXPECT_TRUE(IsValidSchedule(constrained, tight.schedule));
+}
+
+TEST(OptimizerTest, ErrorOnInvalidWidth) {
+  const TestProblem problem = TestProblem::FromSoc(MakeD695());
+  OptimizerParams params;
+  params.tam_width = 0;
+  EXPECT_FALSE(Optimize(problem, params).ok());
+  params.tam_width = 16;
+  params.w_max = 0;
+  EXPECT_FALSE(Optimize(problem, params).ok());
+}
+
+TEST(OptimizerTest, ErrorOnCyclicPrecedence) {
+  Soc soc("cyc");
+  soc.AddCore(SmallCore("a", 4, 10));
+  soc.AddCore(SmallCore("b", 4, 10));
+  TestProblem problem = TestProblem::FromSoc(std::move(soc));
+  problem.precedence.Add(0, 1);
+  problem.precedence.Add(1, 0);
+  OptimizerParams params;
+  params.tam_width = 8;
+  const auto result = Optimize(problem, params);
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(OptimizerTest, ErrorOnUnschedulablePower) {
+  Soc soc("hot");
+  soc.AddCore(SmallCore("a", 4, 10));
+  TestProblem problem = TestProblem::FromSoc(std::move(soc));
+  problem.power = PowerModel({100}, 50);  // core hotter than the budget
+  OptimizerParams params;
+  params.tam_width = 8;
+  const auto result = Optimize(problem, params);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.error->find("power"), std::string::npos);
+}
+
+TEST(OptimizerTest, AssignmentsMirrorSchedule) {
+  const TestProblem problem = TestProblem::FromSoc(MakeD695());
+  OptimizerParams params;
+  params.tam_width = 32;
+  const auto result = Optimize(problem, params);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result.assignments.size(), 10u);
+  for (const auto& a : result.assignments) {
+    const auto* entry = result.schedule.FindCore(a.core);
+    ASSERT_NE(entry, nullptr);
+    EXPECT_EQ(entry->assigned_width, a.assigned_width);
+    EXPECT_EQ(entry->ActiveTime(), a.scheduled_time);
+    EXPECT_GE(a.preferred_width, 1);
+    EXPECT_LE(a.assigned_width, params.tam_width);
+  }
+}
+
+TEST(OptimizerTest, DeterministicAcrossRuns) {
+  const TestProblem problem = TestProblem::FromSoc(MakeP22810s());
+  OptimizerParams params;
+  params.tam_width = 24;
+  const auto a = Optimize(problem, params);
+  const auto b = Optimize(problem, params);
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.schedule.UsedArea(), b.schedule.UsedArea());
+}
+
+TEST(OptimizerTest, BestOverParamsNoWorseThanDefault) {
+  const TestProblem problem = TestProblem::FromSoc(MakeD695());
+  OptimizerParams params;
+  params.tam_width = 32;
+  const auto single = Optimize(problem, params);
+  const auto swept = OptimizeBestOverParams(problem, params);
+  ASSERT_TRUE(single.ok());
+  ASSERT_TRUE(swept.ok());
+  EXPECT_LE(swept.makespan, single.makespan);
+}
+
+TEST(OptimizerTest, AblationHeuristicsNeverBreakValidity) {
+  const TestProblem problem = TestProblem::FromSoc(MakeD695());
+  for (int mask = 0; mask < 8; ++mask) {
+    OptimizerParams params;
+    params.tam_width = 32;
+    params.enable_idle_fill = mask & 1;
+    params.enable_width_boost = mask & 2;
+    params.enable_insert_fill = mask & 4;
+    const auto result = Optimize(problem, params);
+    ASSERT_TRUE(result.ok()) << "mask=" << mask;
+    EXPECT_TRUE(IsValidSchedule(problem, result.schedule)) << "mask=" << mask;
+  }
+}
+
+TEST(OptimizerTest, NonPreemptiveSchedulesHaveOneSegmentPerCore) {
+  const TestProblem problem = TestProblem::FromSoc(MakeD695());
+  OptimizerParams params;
+  params.tam_width = 32;
+  params.allow_preemption = false;
+  const auto result = Optimize(problem, params);
+  ASSERT_TRUE(result.ok());
+  for (const auto& entry : result.schedule.entries()) {
+    EXPECT_EQ(entry.segments.size(), 1u)
+        << "core " << entry.core << " was preempted in non-preemptive mode";
+    EXPECT_EQ(entry.preemptions, 0);
+  }
+}
+
+}  // namespace
+}  // namespace soctest

@@ -1,0 +1,154 @@
+#include "wrapper/pareto.h"
+
+#include <gtest/gtest.h>
+
+#include "soc/benchmarks.h"
+#include "wrapper/time_curve.h"
+
+namespace soctest {
+namespace {
+
+CoreSpec BigCore() {
+  CoreSpec c;
+  c.name = "big";
+  c.num_inputs = 20;
+  c.num_outputs = 20;
+  c.num_patterns = 100;
+  c.scan_chain_lengths = {50, 50, 50, 50, 40, 40, 30, 30};
+  return c;
+}
+
+TEST(TimeCurveTest, NonIncreasingStaircase) {
+  const TimeCurve curve(BigCore(), 64);
+  ASSERT_EQ(curve.w_max(), 64);
+  for (int w = 2; w <= 64; ++w) {
+    EXPECT_LE(curve.TimeAt(w), curve.TimeAt(w - 1)) << "w=" << w;
+  }
+}
+
+TEST(TimeCurveTest, ClampsOutOfRangeQueries) {
+  const TimeCurve curve(BigCore(), 16);
+  EXPECT_EQ(curve.TimeAt(0), curve.TimeAt(1));
+  EXPECT_EQ(curve.TimeAt(-5), curve.TimeAt(1));
+  EXPECT_EQ(curve.TimeAt(99), curve.TimeAt(16));
+}
+
+TEST(TimeCurveTest, SaturationWidthIsFirstFloorWidth) {
+  const TimeCurve curve(BigCore(), 64);
+  const int sat = curve.SaturationWidth();
+  EXPECT_EQ(curve.TimeAt(sat), curve.TimeAt(64));
+  if (sat > 1) EXPECT_GT(curve.TimeAt(sat - 1), curve.TimeAt(sat));
+}
+
+TEST(ParetoPointsTest, StrictlyDecreasingTimes) {
+  const TimeCurve curve(BigCore(), 64);
+  const auto pareto = ParetoPoints(curve);
+  ASSERT_FALSE(pareto.empty());
+  EXPECT_EQ(pareto.front().width, 1);
+  for (std::size_t i = 1; i < pareto.size(); ++i) {
+    EXPECT_GT(pareto[i].width, pareto[i - 1].width);
+    EXPECT_LT(pareto[i].time, pareto[i - 1].time);
+  }
+}
+
+TEST(ParetoPointsTest, EveryDropIsCaptured) {
+  const TimeCurve curve(BigCore(), 64);
+  const auto pareto = ParetoPoints(curve);
+  for (int w = 2; w <= 64; ++w) {
+    if (curve.TimeAt(w) < curve.TimeAt(w - 1)) {
+      bool found = false;
+      for (const auto& p : pareto) found |= (p.width == w);
+      EXPECT_TRUE(found) << "missing Pareto width " << w;
+    }
+  }
+}
+
+TEST(PreferredWidthTest, ZeroSlackPicksSaturation) {
+  const TimeCurve curve(BigCore(), 64);
+  const int pref = PreferredWidth(curve, {0.0, 0});
+  EXPECT_EQ(curve.TimeAt(pref), curve.TimeAt(64));
+  EXPECT_EQ(pref, curve.SaturationWidth());
+}
+
+TEST(PreferredWidthTest, SlackReducesWidth) {
+  const TimeCurve curve(BigCore(), 64);
+  const int tight = PreferredWidth(curve, {1.0, 0});
+  const int loose = PreferredWidth(curve, {10.0, 0});
+  EXPECT_LE(loose, tight);
+  // The resulting time is within the promised envelope.
+  const auto floor_time = static_cast<double>(curve.TimeAt(64));
+  EXPECT_LE(static_cast<double>(curve.TimeAt(loose)), floor_time * 1.10 + 1);
+}
+
+TEST(PreferredWidthTest, DeltaBumpsToTopPareto) {
+  const TimeCurve curve(BigCore(), 64);
+  const int sat = curve.SaturationWidth();
+  // With a huge delta the preferred width always bumps to saturation.
+  const int pref = PreferredWidth(curve, {10.0, 64});
+  EXPECT_EQ(pref, sat);
+}
+
+TEST(PreferredWidthTest, DeltaZeroNeverBumps) {
+  const TimeCurve curve(BigCore(), 64);
+  const int with_slack = PreferredWidth(curve, {10.0, 0});
+  // Recomputing with delta 0 yields the same width (no bump applied).
+  EXPECT_EQ(PreferredWidth(curve, {10.0, 0}), with_slack);
+}
+
+TEST(LargestParetoWidthAtMostTest, SnapsDownToGrid) {
+  const TimeCurve curve(BigCore(), 64);
+  const auto pareto = ParetoPoints(curve);
+  for (int w = 1; w <= 64; ++w) {
+    const int snapped = LargestParetoWidthAtMost(pareto, w);
+    EXPECT_LE(snapped, w);
+    // Snapping loses no time at the same width budget.
+    EXPECT_EQ(curve.TimeAt(snapped), curve.TimeAt(w));
+  }
+}
+
+// Paper Fig. 1 semantics: only Pareto widths matter; widths between Pareto
+// points give the same time as the next lower Pareto width.
+TEST(ParetoTest, Fig1PlateauSemanticsOnP93791s) {
+  const Soc soc = MakeP93791s();
+  // Use the largest core as the paper uses p93791 Core 6.
+  CoreId biggest = 0;
+  std::int64_t best_bits = 0;
+  for (const auto& core : soc.cores()) {
+    if (core.TotalTestBits() > best_bits) {
+      best_bits = core.TotalTestBits();
+      biggest = core.id;
+    }
+  }
+  const TimeCurve curve(soc.core(biggest), 64);
+  const auto pareto = ParetoPoints(curve);
+  EXPECT_GE(pareto.size(), 4u) << "expected a multi-step staircase";
+  // Verify a plateau exists (some width where time equals the previous one).
+  bool plateau = false;
+  for (int w = 2; w <= 64; ++w) plateau |= curve.TimeAt(w) == curve.TimeAt(w - 1);
+  EXPECT_TRUE(plateau);
+}
+
+class PreferredWidthSweepTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(PreferredWidthSweepTest, AlwaysAParetoWidthWithinEnvelope) {
+  const auto [s, delta] = GetParam();
+  const Soc soc = MakeD695();
+  for (const auto& core : soc.cores()) {
+    const TimeCurve curve(core, 64);
+    const auto pareto = ParetoPoints(curve);
+    const int pref =
+        PreferredWidth(curve, {static_cast<double>(s), delta});
+    EXPECT_GE(pref, 1);
+    EXPECT_LE(pref, 64);
+    // Preferred width sits on the Pareto grid.
+    EXPECT_EQ(LargestParetoWidthAtMost(pareto, pref), pref);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperGrid, PreferredWidthSweepTest,
+                         ::testing::Combine(::testing::Values(1, 5, 10),
+                                            ::testing::Values(0, 2, 4)));
+
+}  // namespace
+}  // namespace soctest

@@ -1,0 +1,105 @@
+// Robustness suite: the .soc parser must never crash and must return either
+// a valid SOC or a located error, for arbitrarily mutated inputs.
+#include <gtest/gtest.h>
+
+#include "soc/benchmarks.h"
+#include "soc/soc_parser.h"
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace soctest {
+namespace {
+
+// Checks the parser's postcondition on arbitrary text.
+void ExpectParserTotal(const std::string& text) {
+  const ParseResult result = ParseSocText(text);
+  if (const auto* parsed = std::get_if<ParsedSoc>(&result)) {
+    // Success implies a structurally valid SOC and resolvable constraints.
+    EXPECT_FALSE(parsed->soc.Validate().has_value());
+    for (const auto& [a, b] : parsed->precedence) {
+      EXPECT_GE(a, 0);
+      EXPECT_LT(a, parsed->soc.num_cores());
+      EXPECT_GE(b, 0);
+      EXPECT_LT(b, parsed->soc.num_cores());
+    }
+  } else {
+    const auto& err = std::get<ParseError>(result);
+    EXPECT_FALSE(err.message.empty());
+    EXPECT_GE(err.line, 0);
+  }
+}
+
+class ParserFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ParserFuzzTest, CharacterMutationsNeverCrash) {
+  Rng rng(GetParam());
+  std::string text = SerializeSoc(MakeD695());
+  for (int round = 0; round < 50; ++round) {
+    // Mutate 1-4 random positions.
+    const int edits = static_cast<int>(rng.UniformInt(1, 4));
+    std::string mutated = text;
+    for (int e = 0; e < edits; ++e) {
+      if (mutated.empty()) break;
+      const auto pos = static_cast<std::size_t>(
+          rng.UniformInt(0, static_cast<std::int64_t>(mutated.size()) - 1));
+      const auto op = rng.UniformInt(0, 2);
+      if (op == 0) {
+        mutated[pos] = static_cast<char>(rng.UniformInt(32, 126));
+      } else if (op == 1) {
+        mutated.erase(pos, 1);
+      } else {
+        mutated.insert(pos, 1, static_cast<char>(rng.UniformInt(32, 126)));
+      }
+    }
+    ExpectParserTotal(mutated);
+  }
+}
+
+TEST_P(ParserFuzzTest, LineShufflesNeverCrash) {
+  Rng rng(GetParam() ^ 0xabcdef);
+  const std::string text = SerializeSoc(MakeP22810s());
+  std::vector<std::string> lines = SplitLines(text);
+  for (int round = 0; round < 10; ++round) {
+    rng.Shuffle(lines);
+    std::string shuffled;
+    for (const auto& line : lines) {
+      shuffled += line;
+      shuffled += '\n';
+    }
+    ExpectParserTotal(shuffled);
+  }
+}
+
+TEST_P(ParserFuzzTest, TruncationsNeverCrash) {
+  Rng rng(GetParam() ^ 0x1234);
+  const std::string text = SerializeSoc(MakeP34392s());
+  for (int round = 0; round < 20; ++round) {
+    const auto cut = static_cast<std::size_t>(
+        rng.UniformInt(0, static_cast<std::int64_t>(text.size())));
+    ExpectParserTotal(text.substr(0, cut));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParserFuzzTest,
+                         ::testing::Values(101u, 202u, 303u, 404u));
+
+TEST(ParserHostileInputTest, PathologicalDocuments) {
+  ExpectParserTotal(std::string(1 << 16, 'x'));
+  ExpectParserTotal(std::string(1 << 12, '\n'));
+  ExpectParserTotal("soc a\n" + std::string(4096, '#') + "\n");
+  ExpectParserTotal("soc \xff\xfe\n");
+  ExpectParserTotal("soc a\ncore c\npatterns 999999999999999999999\nend\n");
+  ExpectParserTotal("soc a\ncore c\ninputs -999999999999\nend\n");
+  // Deep but valid: 200 cores chained by parent links.
+  std::string deep = "soc deep\n";
+  for (int i = 0; i < 200; ++i) {
+    deep += "core c" + std::to_string(i) + "\n  inputs 1\n  outputs 1\n  patterns 1\n";
+    if (i > 0) deep += "  parent c" + std::to_string(i - 1) + "\n";
+    deep += "end\n";
+  }
+  const auto result = ParseSocText(deep);
+  EXPECT_TRUE(std::holds_alternative<ParsedSoc>(result));
+}
+
+}  // namespace
+}  // namespace soctest

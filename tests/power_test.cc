@@ -1,0 +1,70 @@
+#include "constraints/power.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "soc/benchmarks.h"
+
+namespace soctest {
+namespace {
+
+TEST(PowerModelTest, DefaultIsUnlimited) {
+  PowerModel model;
+  EXPECT_TRUE(model.unlimited());
+  EXPECT_TRUE(model.Fits(1'000'000, 1'000'000));
+  EXPECT_EQ(model.PowerOf(0), 0);
+}
+
+TEST(PowerModelTest, ExplicitBudget) {
+  PowerModel model({10, 20, 30}, 45);
+  EXPECT_FALSE(model.unlimited());
+  EXPECT_EQ(model.pmax(), 45);
+  EXPECT_EQ(model.PowerOf(2), 30);
+  EXPECT_EQ(model.PowerOf(99), 0);  // out of range is powerless
+  EXPECT_TRUE(model.Fits(10, 30));
+  EXPECT_TRUE(model.Fits(15, 30));
+  EXPECT_FALSE(model.Fits(20, 30));
+  EXPECT_EQ(model.MaxCorePower(), 30);
+}
+
+TEST(PowerModelTest, FromSocUsesBitsPerPattern) {
+  const Soc soc = MakeD695();
+  const PowerModel model = PowerModel::FromSoc(soc, 1.5);
+  for (const auto& core : soc.cores()) {
+    EXPECT_EQ(model.PowerOf(core.id), core.BitsPerPattern());
+  }
+  EXPECT_EQ(model.pmax(),
+            static_cast<std::int64_t>(
+                std::ceil(1.5 * static_cast<double>(model.MaxCorePower()))));
+}
+
+TEST(PowerModelTest, FromSocKeepsExplicitPower) {
+  Soc soc("p");
+  CoreSpec c;
+  c.name = "x";
+  c.num_inputs = 4;
+  c.num_outputs = 4;
+  c.num_patterns = 10;
+  c.power = 777;
+  soc.AddCore(c);
+  const PowerModel model = PowerModel::FromSoc(soc);
+  EXPECT_EQ(model.PowerOf(0), 777);
+}
+
+TEST(PowerModelTest, BudgetFactorFloorsAtOne) {
+  const Soc soc = MakeD695();
+  const PowerModel model = PowerModel::FromSoc(soc, 0.2);
+  // factor < 1 is clamped to 1: the peak core must always be schedulable.
+  EXPECT_GE(model.pmax(), model.MaxCorePower());
+}
+
+TEST(PowerModelTest, SetPmaxOverrides) {
+  PowerModel model({5, 6}, 100);
+  model.set_pmax(7);
+  EXPECT_FALSE(model.Fits(5, 6));
+  EXPECT_TRUE(model.Fits(0, 6));
+}
+
+}  // namespace
+}  // namespace soctest

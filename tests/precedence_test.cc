@@ -1,0 +1,93 @@
+#include "constraints/precedence.h"
+
+#include <gtest/gtest.h>
+
+namespace soctest {
+namespace {
+
+TEST(PrecedenceGraphTest, AddAndQueryEdges) {
+  PrecedenceGraph g(4);
+  EXPECT_TRUE(g.Add(0, 1));
+  EXPECT_TRUE(g.Add(1, 2));
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_EQ(g.SuccessorsOf(0), (std::vector<CoreId>{1}));
+  EXPECT_EQ(g.PredecessorsOf(2), (std::vector<CoreId>{1}));
+  EXPECT_TRUE(g.PredecessorsOf(0).empty());
+}
+
+TEST(PrecedenceGraphTest, DuplicateEdgesIgnored) {
+  PrecedenceGraph g(3);
+  EXPECT_TRUE(g.Add(0, 1));
+  EXPECT_TRUE(g.Add(0, 1));
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST(PrecedenceGraphTest, RejectsInvalidEdges) {
+  PrecedenceGraph g(3);
+  EXPECT_FALSE(g.Add(0, 0));   // self loop
+  EXPECT_FALSE(g.Add(-1, 1));  // out of range
+  EXPECT_FALSE(g.Add(0, 3));
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_TRUE(g.empty());
+}
+
+TEST(PrecedenceGraphTest, ReachabilityIsTransitive) {
+  PrecedenceGraph g(5);
+  g.Add(0, 1);
+  g.Add(1, 2);
+  g.Add(2, 3);
+  EXPECT_TRUE(g.Reaches(0, 3));
+  EXPECT_TRUE(g.Reaches(1, 3));
+  EXPECT_FALSE(g.Reaches(3, 0));
+  EXPECT_FALSE(g.Reaches(0, 4));
+}
+
+TEST(PrecedenceGraphTest, TopologicalOrderRespectsEdges) {
+  PrecedenceGraph g(5);
+  g.Add(3, 1);
+  g.Add(1, 4);
+  g.Add(0, 4);
+  const auto order = g.TopologicalOrder();
+  ASSERT_TRUE(order.has_value());
+  ASSERT_EQ(order->size(), 5u);
+  auto pos = [&order](CoreId c) {
+    for (std::size_t i = 0; i < order->size(); ++i) {
+      if ((*order)[i] == c) return i;
+    }
+    return std::size_t{999};
+  };
+  EXPECT_LT(pos(3), pos(1));
+  EXPECT_LT(pos(1), pos(4));
+  EXPECT_LT(pos(0), pos(4));
+}
+
+TEST(PrecedenceGraphTest, CycleDetection) {
+  PrecedenceGraph g(3);
+  g.Add(0, 1);
+  g.Add(1, 2);
+  EXPECT_FALSE(g.HasCycle());
+  g.Add(2, 0);
+  EXPECT_TRUE(g.HasCycle());
+  EXPECT_FALSE(g.TopologicalOrder().has_value());
+}
+
+TEST(PrecedenceGraphTest, LongestChain) {
+  PrecedenceGraph g(6);
+  EXPECT_EQ(g.LongestChain(), 0);
+  g.Add(0, 1);
+  g.Add(1, 2);
+  g.Add(2, 3);
+  g.Add(0, 4);  // shorter branch
+  EXPECT_EQ(g.LongestChain(), 3);
+}
+
+TEST(PrecedenceGraphTest, EmptyGraphBehaves) {
+  PrecedenceGraph g;
+  EXPECT_EQ(g.num_cores(), 0);
+  EXPECT_TRUE(g.empty());
+  EXPECT_FALSE(g.HasCycle());
+  EXPECT_FALSE(g.Reaches(0, 1));
+}
+
+}  // namespace
+}  // namespace soctest

@@ -1,0 +1,90 @@
+#include "core/preemption_advisor.h"
+
+#include <gtest/gtest.h>
+
+#include "core/optimizer.h"
+#include "core/validator.h"
+#include "soc/benchmarks.h"
+
+namespace soctest {
+namespace {
+
+CoreSpec Core(const std::string& name, std::int64_t patterns,
+              std::vector<int> chains) {
+  CoreSpec c;
+  c.name = name;
+  c.num_inputs = 4;
+  c.num_outputs = 4;
+  c.num_patterns = patterns;
+  c.scan_chain_lengths = std::move(chains);
+  return c;
+}
+
+TEST(PreemptionAdvisorTest, LongTestsEarnBudget) {
+  Soc soc("adv");
+  soc.AddCore(Core("long", 5000, {30, 30}));  // thousands of flushes long
+  soc.AddCore(Core("short", 3, {30, 30}));    // a handful of flushes long
+  const auto advice = AdvisePreemption(soc);
+  ASSERT_EQ(advice.size(), 2u);
+  EXPECT_GT(advice[0].recommended_budget, 0);
+  EXPECT_EQ(advice[1].recommended_budget, 0);
+  EXPECT_GT(advice[0].ratio, advice[1].ratio);
+}
+
+TEST(PreemptionAdvisorTest, BudgetCappedAtMax) {
+  Soc soc("cap");
+  soc.AddCore(Core("huge", 100000, {20}));
+  AdvisorParams params;
+  params.max_budget = 2;
+  const auto advice = AdvisePreemption(soc, params);
+  EXPECT_EQ(advice[0].recommended_budget, 2);
+}
+
+TEST(PreemptionAdvisorTest, ThresholdControlsStrictness) {
+  Soc soc("thr");
+  soc.AddCore(Core("mid", 300, {40, 40}));
+  AdvisorParams lenient;
+  lenient.ratio_threshold = 10.0;
+  AdvisorParams strict;
+  strict.ratio_threshold = 1000.0;
+  const auto lo = AdvisePreemption(soc, strict);
+  const auto hi = AdvisePreemption(soc, lenient);
+  EXPECT_LE(lo[0].recommended_budget, hi[0].recommended_budget);
+}
+
+TEST(PreemptionAdvisorTest, ApplyWritesBudgets) {
+  Soc soc = MakeD695();
+  ApplyPreemptionAdvice(soc);
+  const auto advice = AdvisePreemption(soc);
+  for (const auto& a : advice) {
+    EXPECT_EQ(soc.core(a.core).max_preemptions, a.recommended_budget);
+  }
+}
+
+TEST(PreemptionAdvisorTest, AdvisedBudgetsYieldValidSchedules) {
+  Soc soc = MakeD695();
+  ApplyPreemptionAdvice(soc);
+  const TestProblem problem = TestProblem::FromSoc(std::move(soc));
+  OptimizerParams params;
+  params.tam_width = 24;
+  params.allow_preemption = true;
+  const auto result = Optimize(problem, params);
+  ASSERT_TRUE(result.ok());
+  const auto violations = ValidateSchedule(problem, result.schedule);
+  EXPECT_TRUE(violations.empty()) << FormatViolations(violations);
+}
+
+TEST(PreemptionAdvisorTest, RatioIsTestTimeOverFlush) {
+  Soc soc("ratio");
+  soc.AddCore(Core("c", 100, {50}));
+  const auto advice = AdvisePreemption(soc);
+  ASSERT_EQ(advice.size(), 1u);
+  EXPECT_GT(advice[0].flush_cost, 0);
+  EXPECT_NEAR(advice[0].ratio,
+              static_cast<double>(advice[0].test_time) /
+                  static_cast<double>(advice[0].flush_cost),
+              1e-9);
+}
+
+}  // namespace
+}  // namespace soctest

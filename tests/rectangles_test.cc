@@ -1,0 +1,76 @@
+#include "wrapper/rectangles.h"
+
+#include <gtest/gtest.h>
+
+#include "soc/benchmarks.h"
+
+namespace soctest {
+namespace {
+
+TEST(RectangleSetTest, ClipsToBinHeight) {
+  const Soc soc = MakeD695();
+  const RectangleSet rect(soc.core(soc.FindCore("s38584")), 64, 12);
+  EXPECT_LE(rect.MaxWidth(), 12);
+  for (const auto& p : rect.pareto()) EXPECT_LE(p.width, 12);
+}
+
+TEST(RectangleSetTest, SnapWidthIsMonotone) {
+  const Soc soc = MakeD695();
+  const RectangleSet rect(soc.core(soc.FindCore("s13207")), 64, 64);
+  int prev = 0;
+  for (int w = 1; w <= 64; ++w) {
+    const int snapped = rect.SnapWidth(w);
+    EXPECT_GE(snapped, prev);
+    EXPECT_LE(snapped, w);
+    prev = snapped;
+  }
+}
+
+TEST(RectangleSetTest, TimeAtWidthMatchesCurve) {
+  const Soc soc = MakeD695();
+  const auto& core = soc.core(soc.FindCore("s9234"));
+  const RectangleSet rect(core, 64, 64);
+  for (int w = 1; w <= 64; ++w) {
+    EXPECT_EQ(rect.TimeAtWidth(w), rect.curve().TimeAt(w));
+  }
+}
+
+TEST(RectangleSetTest, MinTimeAtMaxWidth) {
+  const Soc soc = MakeD695();
+  const RectangleSet rect(soc.core(0), 64, 64);
+  EXPECT_EQ(rect.MinTime(), rect.TimeAtWidth(rect.MaxWidth()));
+  EXPECT_EQ(rect.MinTime(), rect.pareto().back().time);
+}
+
+TEST(RectangleSetTest, MinAreaNoLargerThanAnyCandidate) {
+  const Soc soc = MakeD695();
+  for (const auto& core : soc.cores()) {
+    const RectangleSet rect(core, 64, 64);
+    const std::int64_t min_area = rect.MinArea();
+    for (const auto& p : rect.pareto()) {
+      EXPECT_LE(min_area, static_cast<std::int64_t>(p.width) * p.time);
+    }
+    EXPECT_GT(min_area, 0);
+  }
+}
+
+TEST(RectangleSetTest, WidthOneAlwaysPresent) {
+  const Soc soc = MakeD695();
+  for (const auto& core : soc.cores()) {
+    const RectangleSet rect(core, 64, 1);
+    EXPECT_EQ(rect.MaxWidth(), 1);
+    EXPECT_EQ(rect.SnapWidth(64), 1);
+  }
+}
+
+TEST(BuildRectangleSetsTest, OnePerCoreInOrder) {
+  const Soc soc = MakeD695();
+  const auto rects = BuildRectangleSets(soc, 64, 32);
+  ASSERT_EQ(rects.size(), 10u);
+  for (int c = 0; c < soc.num_cores(); ++c) {
+    EXPECT_EQ(rects[static_cast<std::size_t>(c)].core_id(), c);
+  }
+}
+
+}  // namespace
+}  // namespace soctest

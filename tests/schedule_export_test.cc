@@ -1,0 +1,113 @@
+#include "io/schedule_export.h"
+
+#include <gtest/gtest.h>
+
+#include "core/optimizer.h"
+#include "soc/benchmarks.h"
+
+namespace soctest {
+namespace {
+
+class ExportTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    problem_ = TestProblem::FromSoc(MakeD695());
+    OptimizerParams params;
+    params.tam_width = 24;
+    auto result = Optimize(problem_, params);
+    ASSERT_TRUE(result.ok());
+    schedule_ = std::move(result.schedule);
+  }
+
+  TestProblem problem_;
+  Schedule schedule_;
+};
+
+std::size_t CountOccurrences(const std::string& haystack,
+                             const std::string& needle) {
+  std::size_t count = 0;
+  std::size_t pos = 0;
+  while ((pos = haystack.find(needle, pos)) != std::string::npos) {
+    ++count;
+    pos += needle.size();
+  }
+  return count;
+}
+
+TEST_F(ExportTest, JsonContainsEveryCoreAndKeyFields) {
+  const std::string json = ScheduleToJson(problem_.soc, schedule_);
+  for (const auto& core : problem_.soc.cores()) {
+    EXPECT_NE(json.find("\"" + core.name + "\""), std::string::npos);
+  }
+  EXPECT_NE(json.find("\"tam_width\": 24"), std::string::npos);
+  EXPECT_NE(json.find("\"makespan\""), std::string::npos);
+  EXPECT_NE(json.find("\"utilization\""), std::string::npos);
+  // Balanced braces/brackets (cheap well-formedness check).
+  EXPECT_EQ(CountOccurrences(json, "{"), CountOccurrences(json, "}"));
+  EXPECT_EQ(CountOccurrences(json, "["), CountOccurrences(json, "]"));
+}
+
+TEST_F(ExportTest, JsonEscapesSpecialCharacters) {
+  Soc soc("quoted");
+  CoreSpec c;
+  c.name = "we\"ird\\name";
+  c.num_inputs = 1;
+  c.num_outputs = 1;
+  c.num_patterns = 1;
+  soc.AddCore(c);
+  Schedule s("quoted", 2);
+  CoreSchedule e;
+  e.core = 0;
+  e.assigned_width = 1;
+  e.segments.push_back({{0, 3}, 1});
+  s.Add(e);
+  const std::string json = ScheduleToJson(soc, s);
+  EXPECT_NE(json.find("we\\\"ird\\\\name"), std::string::npos);
+}
+
+TEST_F(ExportTest, CsvHasOneRowPerSegmentPlusHeader) {
+  const std::string csv = ScheduleToCsv(problem_.soc, schedule_);
+  std::size_t segments = 0;
+  for (const auto& entry : schedule_.entries()) segments += entry.segments.size();
+  EXPECT_EQ(CountOccurrences(csv, "\n"), segments + 1);
+  EXPECT_NE(csv.find("core_id,core_name,width"), std::string::npos);
+}
+
+TEST_F(ExportTest, SvgIsWellFormed) {
+  const std::string svg = ScheduleToSvg(problem_.soc, schedule_);
+  EXPECT_NE(svg.find("<svg"), std::string::npos);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  std::size_t segments = 0;
+  for (const auto& entry : schedule_.entries()) segments += entry.segments.size();
+  // One <rect> per segment (titles carry exact cycles).
+  EXPECT_EQ(CountOccurrences(svg, "<rect"), segments);
+  EXPECT_EQ(CountOccurrences(svg, "<title>"), CountOccurrences(svg, "</title>"));
+}
+
+TEST_F(ExportTest, WireSvgCoversAllGrantedWires) {
+  const auto wires = AssignWires(schedule_);
+  ASSERT_TRUE(wires.has_value());
+  const std::string svg = WireMapToSvg(problem_.soc, schedule_, *wires);
+  std::size_t rects = 0;
+  for (const auto& grant : wires->grants) rects += grant.wires.size();
+  EXPECT_EQ(CountOccurrences(svg, "<rect"), rects);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+}
+
+TEST_F(ExportTest, EmptyScheduleStillValidDocuments) {
+  Soc soc("empty");
+  CoreSpec c;
+  c.name = "c";
+  c.num_inputs = 1;
+  c.num_outputs = 1;
+  c.num_patterns = 1;
+  soc.AddCore(c);
+  const Schedule s("empty", 4);
+  const std::string json = ScheduleToJson(soc, s);
+  EXPECT_NE(json.find("\"cores\": [\n  ]"), std::string::npos);
+  const std::string svg = ScheduleToSvg(soc, s);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace soctest

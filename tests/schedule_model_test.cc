@@ -1,0 +1,84 @@
+#include "core/schedule.h"
+
+#include <gtest/gtest.h>
+
+namespace soctest {
+namespace {
+
+CoreSchedule Entry(CoreId core, int width,
+                   std::vector<std::pair<Time, Time>> spans, int preemptions = 0) {
+  CoreSchedule e;
+  e.core = core;
+  e.assigned_width = width;
+  for (const auto& [b, t] : spans) {
+    e.segments.push_back(ScheduleSegment{Interval{b, t}, width});
+  }
+  e.preemptions = preemptions;
+  return e;
+}
+
+TEST(CoreScheduleTest, BeginEndActive) {
+  const CoreSchedule e = Entry(0, 4, {{10, 20}, {30, 45}}, 1);
+  EXPECT_EQ(e.BeginTime(), 10);
+  EXPECT_EQ(e.EndTime(), 45);
+  EXPECT_EQ(e.ActiveTime(), 25);
+}
+
+TEST(CoreScheduleTest, EmptyEntry) {
+  CoreSchedule e;
+  EXPECT_EQ(e.BeginTime(), 0);
+  EXPECT_EQ(e.EndTime(), 0);
+  EXPECT_EQ(e.ActiveTime(), 0);
+}
+
+TEST(ScheduleTest, MakespanIsLatestEnd) {
+  Schedule s("soc", 8);
+  s.Add(Entry(0, 4, {{0, 100}}));
+  s.Add(Entry(1, 4, {{0, 60}, {70, 130}}));
+  EXPECT_EQ(s.Makespan(), 130);
+  EXPECT_EQ(s.tam_width(), 8);
+  EXPECT_EQ(s.soc_name(), "soc");
+}
+
+TEST(ScheduleTest, UsedAndIdleArea) {
+  Schedule s("soc", 8);
+  s.Add(Entry(0, 4, {{0, 100}}));
+  s.Add(Entry(1, 2, {{0, 50}}));
+  EXPECT_EQ(s.UsedArea(), 4 * 100 + 2 * 50);
+  EXPECT_EQ(s.IdleArea(), 8 * 100 - 500);
+  EXPECT_DOUBLE_EQ(s.Utilization(), 500.0 / 800.0);
+}
+
+TEST(ScheduleTest, PeakWidthViaProfile) {
+  Schedule s("soc", 10);
+  s.Add(Entry(0, 4, {{0, 100}}));
+  s.Add(Entry(1, 5, {{50, 150}}));
+  s.Add(Entry(2, 3, {{140, 160}}));
+  EXPECT_EQ(s.PeakWidth(), 9);  // cores 0+1 overlap on [50,100)
+}
+
+TEST(ScheduleTest, FindCore) {
+  Schedule s("soc", 4);
+  s.Add(Entry(7, 2, {{0, 10}}));
+  ASSERT_NE(s.FindCore(7), nullptr);
+  EXPECT_EQ(s.FindCore(7)->assigned_width, 2);
+  EXPECT_EQ(s.FindCore(3), nullptr);
+}
+
+TEST(ScheduleTest, TotalsAcrossEntries) {
+  Schedule s("soc", 4);
+  s.Add(Entry(0, 1, {{0, 10}}, 0));
+  s.Add(Entry(1, 1, {{0, 5}, {8, 13}}, 1));
+  EXPECT_EQ(s.TotalActiveTime(), 20);
+  EXPECT_EQ(s.TotalPreemptions(), 1);
+}
+
+TEST(ScheduleTest, EmptySchedule) {
+  Schedule s;
+  EXPECT_EQ(s.Makespan(), 0);
+  EXPECT_EQ(s.PeakWidth(), 0);
+  EXPECT_DOUBLE_EQ(s.Utilization(), 0.0);
+}
+
+}  // namespace
+}  // namespace soctest

@@ -1,0 +1,89 @@
+#include "baseline/shelf.h"
+
+#include <gtest/gtest.h>
+
+#include "core/optimizer.h"
+#include "core/validator.h"
+#include "soc/benchmarks.h"
+
+namespace soctest {
+namespace {
+
+TEST(ShelfTest, ProducesCapacityRespectingSchedule) {
+  const Soc soc = MakeD695();
+  for (const auto policy : {ShelfPolicy::kNextFitDecreasingHeight,
+                            ShelfPolicy::kFirstFitDecreasingHeight}) {
+    ShelfOptions options;
+    options.policy = policy;
+    const Schedule schedule = ShelfPack(soc, 32, options);
+    EXPECT_EQ(schedule.entries().size(), 10u);
+    EXPECT_LE(schedule.PeakWidth(), 32);
+    EXPECT_GT(schedule.Makespan(), 0);
+  }
+}
+
+TEST(ShelfTest, ValidatesAsProperSchedule) {
+  const Soc soc = MakeD695();
+  const TestProblem problem = TestProblem::FromSoc(soc);
+  ShelfOptions options;
+  const Schedule schedule = ShelfPack(soc, 24, options);
+  // Shelf packing ignores constraints but must satisfy the structural and
+  // duration invariants for an unconstrained problem.
+  const auto violations = ValidateSchedule(problem, schedule);
+  EXPECT_TRUE(violations.empty()) << FormatViolations(violations);
+}
+
+TEST(ShelfTest, FfdhNoWorseThanNfdhUsually) {
+  // FFDH revisits earlier shelves, so it can only tighten NFDH's packing for
+  // identical inputs (a classical result for these heuristics).
+  for (const auto& soc : AllBenchmarkSocs()) {
+    ShelfOptions nfdh;
+    nfdh.policy = ShelfPolicy::kNextFitDecreasingHeight;
+    ShelfOptions ffdh;
+    ffdh.policy = ShelfPolicy::kFirstFitDecreasingHeight;
+    const Time t_nfdh = ShelfPack(soc, 32, nfdh).Makespan();
+    const Time t_ffdh = ShelfPack(soc, 32, ffdh).Makespan();
+    EXPECT_LE(t_ffdh, t_nfdh) << soc.name();
+  }
+}
+
+TEST(ShelfTest, FlexibleOptimizerBeatsShelfBaseline) {
+  // The paper's integrated approach must dominate level-oriented packing.
+  for (const auto& soc : AllBenchmarkSocs()) {
+    const TestProblem problem = TestProblem::FromSoc(soc);
+    OptimizerParams params;
+    params.tam_width = 32;
+    const auto flexible = OptimizeBestOverParams(problem, params);
+    ASSERT_TRUE(flexible.ok());
+    ShelfOptions options;
+    const Time shelf = ShelfPack(soc, 32, options).Makespan();
+    EXPECT_LE(flexible.makespan, shelf) << soc.name();
+  }
+}
+
+TEST(ShelfTest, SingleCoreSingleShelf) {
+  Soc soc("one");
+  CoreSpec c;
+  c.name = "only";
+  c.num_inputs = 4;
+  c.num_outputs = 4;
+  c.num_patterns = 20;
+  c.scan_chain_lengths = {16};
+  soc.AddCore(c);
+  const Schedule schedule = ShelfPack(soc, 8, {});
+  ASSERT_EQ(schedule.entries().size(), 1u);
+  EXPECT_EQ(schedule.entries()[0].BeginTime(), 0);
+}
+
+TEST(ShelfTest, WorksAtWidthOne) {
+  const Soc soc = MakeD695();
+  const Schedule schedule = ShelfPack(soc, 1, {});
+  EXPECT_LE(schedule.PeakWidth(), 1);
+  // Everything serial: makespan equals the sum of widths-1 test times.
+  Time sum = 0;
+  for (const auto& entry : schedule.entries()) sum += entry.ActiveTime();
+  EXPECT_EQ(schedule.Makespan(), sum);
+}
+
+}  // namespace
+}  // namespace soctest

@@ -1,0 +1,119 @@
+#include "soc/generator.h"
+
+#include <gtest/gtest.h>
+
+#include "soc/soc_parser.h"
+
+namespace soctest {
+namespace {
+
+TEST(GeneratorTest, ProducesRequestedCoreCount) {
+  GeneratorParams params;
+  params.num_cores = 17;
+  const Soc soc = GenerateSoc(params);
+  EXPECT_EQ(soc.num_cores(), 17);
+  EXPECT_FALSE(soc.Validate().has_value());
+}
+
+TEST(GeneratorTest, DeterministicForSeed) {
+  GeneratorParams params;
+  params.seed = 42;
+  params.num_cores = 12;
+  const Soc a = GenerateSoc(params);
+  const Soc b = GenerateSoc(params);
+  EXPECT_EQ(SerializeSoc(a), SerializeSoc(b));
+}
+
+TEST(GeneratorTest, DifferentSeedsDiffer) {
+  GeneratorParams params;
+  params.num_cores = 12;
+  params.seed = 1;
+  const Soc a = GenerateSoc(params);
+  params.seed = 2;
+  const Soc b = GenerateSoc(params);
+  EXPECT_NE(SerializeSoc(a), SerializeSoc(b));
+}
+
+TEST(GeneratorTest, RespectsRanges) {
+  GeneratorParams params;
+  params.num_cores = 50;
+  params.min_inputs = 5;
+  params.max_inputs = 9;
+  params.min_patterns = 100;
+  params.max_patterns = 200;
+  params.combinational_probability = 0.0;
+  params.min_chains = 2;
+  params.max_chains = 4;
+  params.min_chain_len = 10;
+  params.max_chain_len = 12;
+  const Soc soc = GenerateSoc(params);
+  for (const auto& core : soc.cores()) {
+    EXPECT_GE(core.num_inputs, 5);
+    EXPECT_LE(core.num_inputs, 9);
+    EXPECT_GE(core.num_patterns, 100);
+    EXPECT_LE(core.num_patterns, 200);
+    EXPECT_GE(core.scan_chain_lengths.size(), 2u);
+    EXPECT_LE(core.scan_chain_lengths.size(), 4u);
+    for (int len : core.scan_chain_lengths) {
+      EXPECT_GE(len, 10);
+      EXPECT_LE(len, 12);
+    }
+  }
+}
+
+TEST(GeneratorTest, CombinationalProbabilityOneMeansNoScan) {
+  GeneratorParams params;
+  params.num_cores = 20;
+  params.combinational_probability = 1.0;
+  const Soc soc = GenerateSoc(params);
+  for (const auto& core : soc.cores()) {
+    EXPECT_TRUE(core.scan_chain_lengths.empty());
+  }
+}
+
+TEST(GeneratorTest, HierarchyStaysValid) {
+  GeneratorParams params;
+  params.num_cores = 40;
+  params.child_probability = 0.5;
+  const Soc soc = GenerateSoc(params);
+  EXPECT_FALSE(soc.Validate().has_value());
+  int children = 0;
+  for (const auto& core : soc.cores()) children += core.parent ? 1 : 0;
+  EXPECT_GT(children, 0);
+}
+
+TEST(GeneratorTest, ResourcesAssigned) {
+  GeneratorParams params;
+  params.num_cores = 30;
+  params.num_resources = 3;
+  params.resource_probability = 1.0;
+  const Soc soc = GenerateSoc(params);
+  for (const auto& core : soc.cores()) {
+    ASSERT_EQ(core.resources.size(), 1u);
+    EXPECT_GE(core.resources[0], 0);
+    EXPECT_LT(core.resources[0], 3);
+  }
+}
+
+TEST(ScalePatternsTest, ScalesTowardTarget) {
+  GeneratorParams params;
+  params.num_cores = 10;
+  Soc soc = GenerateSoc(params);
+  const auto before = soc.TotalTestBits();
+  ScalePatterns(soc, 2.0);
+  const auto after = soc.TotalTestBits();
+  EXPECT_GT(after, before);
+  // Rounding on small pattern counts keeps this approximate.
+  EXPECT_NEAR(static_cast<double>(after) / static_cast<double>(before), 2.0, 0.2);
+}
+
+TEST(ScalePatternsTest, NeverDropsBelowOnePattern) {
+  GeneratorParams params;
+  params.num_cores = 5;
+  Soc soc = GenerateSoc(params);
+  ScalePatterns(soc, 1e-9);
+  for (const auto& core : soc.cores()) EXPECT_GE(core.num_patterns, 1);
+}
+
+}  // namespace
+}  // namespace soctest

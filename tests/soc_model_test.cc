@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include "soc/core_spec.h"
+#include "soc/soc.h"
+
+namespace soctest {
+namespace {
+
+CoreSpec MakeCore(const std::string& name) {
+  CoreSpec c;
+  c.name = name;
+  c.num_inputs = 4;
+  c.num_outputs = 3;
+  c.num_patterns = 10;
+  c.scan_chain_lengths = {8, 6};
+  return c;
+}
+
+TEST(CoreSpecTest, DerivedQuantities) {
+  CoreSpec c = MakeCore("x");
+  c.num_bidirs = 2;
+  EXPECT_EQ(c.TotalScanCells(), 14);
+  EXPECT_EQ(c.ScanInIoCells(), 6);   // 4 inputs + 2 bidirs
+  EXPECT_EQ(c.ScanOutIoCells(), 5);  // 3 outputs + 2 bidirs
+  EXPECT_EQ(c.BitsPerPattern(), (6 + 14) + (5 + 14));
+  EXPECT_EQ(c.TotalTestBits(), c.BitsPerPattern() * 10);
+}
+
+TEST(CoreSpecTest, MaxUsefulWidthCombinational) {
+  CoreSpec c;
+  c.name = "comb";
+  c.num_inputs = 10;
+  c.num_outputs = 3;
+  c.num_patterns = 5;
+  EXPECT_EQ(c.MaxUsefulWidth(), 10);  // max(in, out) IO cells, no chains
+}
+
+TEST(CoreSpecTest, MaxUsefulWidthSequential) {
+  const CoreSpec c = MakeCore("seq");
+  EXPECT_EQ(c.MaxUsefulWidth(), 2 + 4);  // chains + max(in, out)
+}
+
+TEST(CoreSpecTest, ValidateAcceptsWellFormed) {
+  EXPECT_FALSE(MakeCore("ok").Validate().has_value());
+}
+
+TEST(CoreSpecTest, ValidateRejectsBadSpecs) {
+  CoreSpec c = MakeCore("bad");
+  c.num_patterns = 0;
+  EXPECT_TRUE(c.Validate().has_value());
+
+  c = MakeCore("bad");
+  c.scan_chain_lengths = {5, 0};
+  EXPECT_TRUE(c.Validate().has_value());
+
+  c = MakeCore("bad");
+  c.num_inputs = -1;
+  EXPECT_TRUE(c.Validate().has_value());
+
+  c = MakeCore("");
+  EXPECT_TRUE(c.Validate().has_value());
+
+  c = MakeCore("bad");
+  c.power = -5;
+  EXPECT_TRUE(c.Validate().has_value());
+
+  c = MakeCore("bad");
+  c.max_preemptions = -1;
+  EXPECT_TRUE(c.Validate().has_value());
+}
+
+TEST(CoreSpecTest, ValidateRejectsEmptyCore) {
+  CoreSpec c;
+  c.name = "empty";
+  c.num_patterns = 1;
+  EXPECT_TRUE(c.Validate().has_value());
+}
+
+TEST(SocTest, AddAndFindCores) {
+  Soc soc("test");
+  const CoreId a = soc.AddCore(MakeCore("a"));
+  const CoreId b = soc.AddCore(MakeCore("b"));
+  EXPECT_EQ(a, 0);
+  EXPECT_EQ(b, 1);
+  EXPECT_EQ(soc.num_cores(), 2);
+  EXPECT_EQ(soc.FindCore("b"), b);
+  EXPECT_EQ(soc.FindCore("zzz"), kNoCore);
+  EXPECT_EQ(soc.core(a).name, "a");
+}
+
+TEST(SocTest, ChildrenOf) {
+  Soc soc("test");
+  const CoreId parent = soc.AddCore(MakeCore("parent"));
+  CoreSpec child1 = MakeCore("child1");
+  child1.parent = parent;
+  CoreSpec child2 = MakeCore("child2");
+  child2.parent = parent;
+  soc.AddCore(child1);
+  soc.AddCore(child2);
+  soc.AddCore(MakeCore("free"));
+  const auto kids = soc.ChildrenOf(parent);
+  EXPECT_EQ(kids.size(), 2u);
+}
+
+TEST(SocTest, TotalTestBitsSumsCores) {
+  Soc soc("test");
+  soc.AddCore(MakeCore("a"));
+  soc.AddCore(MakeCore("b"));
+  EXPECT_EQ(soc.TotalTestBits(), 2 * MakeCore("x").TotalTestBits());
+}
+
+TEST(SocTest, ValidateCatchesDuplicateNames) {
+  Soc soc("test");
+  soc.AddCore(MakeCore("a"));
+  soc.AddCore(MakeCore("a"));
+  EXPECT_TRUE(soc.Validate().has_value());
+}
+
+TEST(SocTest, ValidateCatchesHierarchyProblems) {
+  Soc soc("test");
+  CoreSpec a = MakeCore("a");
+  soc.AddCore(a);
+  // Parent out of range.
+  CoreSpec b = MakeCore("b");
+  b.parent = 99;
+  soc.AddCore(b);
+  EXPECT_TRUE(soc.Validate().has_value());
+}
+
+TEST(SocTest, ValidateCatchesHierarchyCycle) {
+  Soc soc("test");
+  soc.AddCore(MakeCore("a"));
+  soc.AddCore(MakeCore("b"));
+  soc.mutable_core(0).parent = 1;
+  soc.mutable_core(1).parent = 0;
+  EXPECT_TRUE(soc.Validate().has_value());
+}
+
+TEST(SocTest, ValidateCatchesSelfParent) {
+  Soc soc("test");
+  soc.AddCore(MakeCore("a"));
+  soc.mutable_core(0).parent = 0;
+  EXPECT_TRUE(soc.Validate().has_value());
+}
+
+TEST(SocTest, ValidateRejectsEmptySoc) {
+  Soc soc("empty");
+  EXPECT_TRUE(soc.Validate().has_value());
+  Soc unnamed;
+  unnamed.AddCore(MakeCore("a"));
+  EXPECT_TRUE(unnamed.Validate().has_value());
+}
+
+TEST(SocTest, ValidateAcceptsDeepHierarchy) {
+  Soc soc("deep");
+  soc.AddCore(MakeCore("l0"));
+  for (int i = 1; i < 5; ++i) {
+    CoreSpec c = MakeCore("l" + std::to_string(i));
+    c.parent = i - 1;
+    soc.AddCore(c);
+  }
+  EXPECT_FALSE(soc.Validate().has_value());
+}
+
+}  // namespace
+}  // namespace soctest

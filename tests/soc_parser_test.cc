@@ -1,0 +1,165 @@
+#include "soc/soc_parser.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "soc/benchmarks.h"
+
+namespace soctest {
+namespace {
+
+constexpr const char* kSmallSoc = R"(# demo SOC
+soc demo
+core alpha
+  inputs 10
+  outputs 5
+  patterns 100
+  scanchains 20 20 16
+  power 7
+end
+core beta
+  inputs 3
+  outputs 3
+  bidirs 2
+  patterns 50
+  maxpreemptions 2
+  parent alpha
+  resources 1 2
+end
+precedence alpha < beta
+concurrency alpha ~ beta
+powermax 99
+)";
+
+TEST(SocParserTest, ParsesFullExample) {
+  const auto result = ParseSocText(kSmallSoc);
+  ASSERT_TRUE(std::holds_alternative<ParsedSoc>(result))
+      << std::get<ParseError>(result).message;
+  const auto& parsed = std::get<ParsedSoc>(result);
+
+  EXPECT_EQ(parsed.soc.name(), "demo");
+  ASSERT_EQ(parsed.soc.num_cores(), 2);
+
+  const CoreSpec& alpha = parsed.soc.core(0);
+  EXPECT_EQ(alpha.num_inputs, 10);
+  EXPECT_EQ(alpha.num_outputs, 5);
+  EXPECT_EQ(alpha.num_patterns, 100);
+  EXPECT_EQ(alpha.scan_chain_lengths, (std::vector<int>{20, 20, 16}));
+  EXPECT_EQ(alpha.power, 7);
+
+  const CoreSpec& beta = parsed.soc.core(1);
+  EXPECT_EQ(beta.num_bidirs, 2);
+  EXPECT_EQ(beta.max_preemptions, 2);
+  ASSERT_TRUE(beta.parent.has_value());
+  EXPECT_EQ(*beta.parent, 0);
+  EXPECT_EQ(beta.resources, (std::vector<int>{1, 2}));
+
+  ASSERT_EQ(parsed.precedence.size(), 1u);
+  EXPECT_EQ(parsed.precedence[0], (std::pair<CoreId, CoreId>{0, 1}));
+  ASSERT_EQ(parsed.concurrency.size(), 1u);
+  EXPECT_EQ(parsed.power_max, 99);
+}
+
+TEST(SocParserTest, RoundTripsThroughSerializer) {
+  const auto first = ParseSocText(kSmallSoc);
+  ASSERT_TRUE(std::holds_alternative<ParsedSoc>(first));
+  const std::string text = SerializeSoc(std::get<ParsedSoc>(first));
+  const auto second = ParseSocText(text);
+  ASSERT_TRUE(std::holds_alternative<ParsedSoc>(second))
+      << std::get<ParseError>(second).message;
+  const auto& a = std::get<ParsedSoc>(first);
+  const auto& b = std::get<ParsedSoc>(second);
+  EXPECT_EQ(a.soc.num_cores(), b.soc.num_cores());
+  EXPECT_EQ(a.precedence, b.precedence);
+  EXPECT_EQ(a.concurrency, b.concurrency);
+  EXPECT_EQ(a.power_max, b.power_max);
+  for (int i = 0; i < a.soc.num_cores(); ++i) {
+    EXPECT_EQ(a.soc.core(i).name, b.soc.core(i).name);
+    EXPECT_EQ(a.soc.core(i).scan_chain_lengths, b.soc.core(i).scan_chain_lengths);
+    EXPECT_EQ(a.soc.core(i).num_patterns, b.soc.core(i).num_patterns);
+  }
+}
+
+TEST(SocParserTest, SerializesBenchmarkSocs) {
+  for (const auto& soc : AllBenchmarkSocs()) {
+    const auto result = ParseSocText(SerializeSoc(soc));
+    ASSERT_TRUE(std::holds_alternative<ParsedSoc>(result)) << soc.name();
+    EXPECT_EQ(std::get<ParsedSoc>(result).soc.num_cores(), soc.num_cores());
+  }
+}
+
+struct ErrorCase {
+  const char* label;
+  const char* text;
+};
+
+class SocParserErrorTest : public ::testing::TestWithParam<ErrorCase> {};
+
+TEST_P(SocParserErrorTest, ReportsError) {
+  const auto result = ParseSocText(GetParam().text);
+  EXPECT_TRUE(std::holds_alternative<ParseError>(result)) << GetParam().label;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Errors, SocParserErrorTest,
+    ::testing::Values(
+        ErrorCase{"empty", ""},
+        ErrorCase{"no_soc", "core x\ninputs 1\nend\n"},
+        ErrorCase{"dup_soc", "soc a\nsoc b\n"},
+        ErrorCase{"unclosed_core", "soc a\ncore x\ninputs 1\n"},
+        ErrorCase{"nested_core", "soc a\ncore x\ncore y\nend\nend\n"},
+        ErrorCase{"dup_core", "soc a\ncore x\npatterns 1\ninputs 1\nend\ncore "
+                              "x\npatterns 1\ninputs 1\nend\n"},
+        ErrorCase{"bad_attr", "soc a\ncore x\nbogus 1\nend\n"},
+        ErrorCase{"bad_patterns", "soc a\ncore x\npatterns -2\nend\n"},
+        ErrorCase{"bad_chain", "soc a\ncore x\npatterns 1\nscanchains 0\nend\n"},
+        ErrorCase{"unknown_parent",
+                  "soc a\ncore x\npatterns 1\ninputs 1\nparent q\nend\n"},
+        ErrorCase{"unknown_prec_core",
+                  "soc a\ncore x\npatterns 1\ninputs 1\nend\nprecedence x < y\n"},
+        ErrorCase{"self_constraint",
+                  "soc a\ncore x\npatterns 1\ninputs 1\nend\nprecedence x < x\n"},
+        ErrorCase{"bad_powermax",
+                  "soc a\ncore x\npatterns 1\ninputs 1\nend\npowermax -3\n"},
+        ErrorCase{"end_outside", "soc a\nend\n"},
+        ErrorCase{"cyclic_precedence",
+                  "soc a\ncore x\npatterns 1\ninputs 1\nend\ncore y\npatterns "
+                  "1\ninputs 1\nend\nprecedence x < y\nprecedence y < x\n"},
+        ErrorCase{"unknown_directive", "soc a\nfrobnicate 3\n"}),
+    [](const ::testing::TestParamInfo<ErrorCase>& info) {
+      return info.param.label;
+    });
+
+TEST(SocParserTest, ErrorCarriesLineNumber) {
+  const auto result = ParseSocText("soc a\ncore x\nbogus 1\nend\n");
+  ASSERT_TRUE(std::holds_alternative<ParseError>(result));
+  EXPECT_EQ(std::get<ParseError>(result).line, 3);
+}
+
+TEST(SocParserTest, CommentsAndBlankLinesIgnored) {
+  const auto result = ParseSocText(
+      "# header\n\nsoc a\n  # indented comment\ncore x\npatterns 1\ninputs "
+      "2\nend\n");
+  ASSERT_TRUE(std::holds_alternative<ParsedSoc>(result));
+}
+
+TEST(SocParserTest, FileNotFound) {
+  const auto result = ParseSocFile("/does/not/exist.soc");
+  ASSERT_TRUE(std::holds_alternative<ParseError>(result));
+  EXPECT_EQ(std::get<ParseError>(result).line, 0);
+}
+
+TEST(SocParserTest, ParsesFromFile) {
+  const std::string path = testing::TempDir() + "/parser_test.soc";
+  {
+    std::ofstream f(path);
+    f << kSmallSoc;
+  }
+  const auto result = ParseSocFile(path);
+  ASSERT_TRUE(std::holds_alternative<ParsedSoc>(result));
+  EXPECT_EQ(std::get<ParsedSoc>(result).soc.name(), "demo");
+}
+
+}  // namespace
+}  // namespace soctest

@@ -1,0 +1,103 @@
+#include "tdv/data_volume.h"
+
+#include <gtest/gtest.h>
+
+#include "soc/benchmarks.h"
+#include "wrapper/pareto.h"
+
+namespace soctest {
+namespace {
+
+std::vector<SweepPoint> D695Sweep(int max_width = 48) {
+  const TestProblem problem = TestProblem::FromSoc(MakeD695());
+  SweepOptions options;
+  options.min_width = 1;
+  options.max_width = max_width;
+  return SweepWidths(problem, options);
+}
+
+TEST(SweepTest, CoversEveryWidth) {
+  const auto sweep = D695Sweep(24);
+  ASSERT_EQ(sweep.size(), 24u);
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    EXPECT_EQ(sweep[i].tam_width, static_cast<int>(i) + 1);
+    EXPECT_GT(sweep[i].test_time, 0);
+    EXPECT_EQ(sweep[i].data_volume,
+              static_cast<std::int64_t>(sweep[i].tam_width) * sweep[i].test_time);
+  }
+}
+
+TEST(SweepTest, TimeTrendsDownWithWidth) {
+  const auto sweep = D695Sweep(48);
+  // The heuristic is not strictly monotone point-to-point, but the trend must
+  // hold: T at the widest point is far below T at width 1, and the curve
+  // never rises above its running minimum by more than a few percent.
+  EXPECT_LT(sweep.back().test_time, sweep.front().test_time / 10);
+  Time running_min = sweep.front().test_time;
+  for (const auto& p : sweep) {
+    EXPECT_LE(static_cast<double>(p.test_time),
+              1.10 * static_cast<double>(running_min))
+        << "W=" << p.tam_width;
+    running_min = std::min(running_min, p.test_time);
+  }
+}
+
+TEST(SweepTest, MinPointsAreConsistent) {
+  const auto sweep = D695Sweep();
+  const SweepPoint t_min = MinTimePoint(sweep);
+  const SweepPoint d_min = MinVolumePoint(sweep);
+  for (const auto& p : sweep) {
+    EXPECT_GE(p.test_time, t_min.test_time);
+    EXPECT_GE(p.data_volume, d_min.data_volume);
+  }
+  // Paper Section 5: the width minimizing D is below the width minimizing T.
+  EXPECT_LE(d_min.tam_width, t_min.tam_width);
+}
+
+TEST(SweepTest, VolumeIsNonMonotonic) {
+  const auto sweep = D695Sweep();
+  bool rises = false;
+  bool falls = false;
+  for (std::size_t i = 1; i < sweep.size(); ++i) {
+    rises |= sweep[i].data_volume > sweep[i - 1].data_volume;
+    falls |= sweep[i].data_volume < sweep[i - 1].data_volume;
+  }
+  EXPECT_TRUE(rises);
+  EXPECT_TRUE(falls);
+}
+
+TEST(SweepTest, LocalVolumeMinimaExist) {
+  const auto sweep = D695Sweep();
+  const auto minima = LocalVolumeMinima(sweep);
+  EXPECT_GE(minima.size(), 2u) << "expected several local minima (paper Fig. 9b)";
+  // Each reported index is a genuine local minimum vs. strict neighbors.
+  for (std::size_t idx : minima) {
+    if (idx > 0) {
+      EXPECT_GE(sweep[idx - 1].data_volume, sweep[idx].data_volume);
+    }
+  }
+}
+
+TEST(SweepTest, VolumeLocalMinimaSitAtTimeDrops) {
+  // Paper Fig. 9(b): D's local minima coincide with Pareto points of T —
+  // i.e. at a local minimum the time just dropped (or it's the first point).
+  const auto sweep = D695Sweep();
+  const auto minima = LocalVolumeMinima(sweep);
+  for (std::size_t idx : minima) {
+    if (idx == 0) continue;
+    EXPECT_LT(sweep[idx].test_time, sweep[idx - 1].test_time)
+        << "W=" << sweep[idx].tam_width;
+  }
+}
+
+TEST(SweepTest, SkipsNothingOnValidInput) {
+  const TestProblem problem = TestProblem::FromSoc(MakeP22810s());
+  SweepOptions options;
+  options.min_width = 10;
+  options.max_width = 14;
+  const auto sweep = SweepWidths(problem, options);
+  EXPECT_EQ(sweep.size(), 5u);
+}
+
+}  // namespace
+}  // namespace soctest

@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include "util/ascii_plot.h"
+#include "util/csv.h"
+#include "util/table.h"
+
+namespace soctest {
+namespace {
+
+TEST(CsvWriterTest, HeaderAndRows) {
+  CsvWriter csv({"w", "time"});
+  EXPECT_TRUE(csv.Add(16, 41232));
+  EXPECT_TRUE(csv.Add(32, 20616));
+  EXPECT_EQ(csv.ToString(), "w,time\n16,41232\n32,20616\n");
+  EXPECT_EQ(csv.rows(), 2u);
+  EXPECT_EQ(csv.columns(), 2u);
+}
+
+TEST(CsvWriterTest, RejectsArityMismatch) {
+  CsvWriter csv({"a", "b"});
+  EXPECT_FALSE(csv.AddRow({"only-one"}));
+  EXPECT_EQ(csv.rows(), 0u);
+}
+
+TEST(CsvWriterTest, EscapesSpecialCharacters) {
+  CsvWriter csv({"name"});
+  EXPECT_TRUE(csv.AddRow({"a,b"}));
+  EXPECT_TRUE(csv.AddRow({"say \"hi\""}));
+  EXPECT_TRUE(csv.AddRow({"line\nbreak"}));
+  const std::string s = csv.ToString();
+  EXPECT_NE(s.find("\"a,b\""), std::string::npos);
+  EXPECT_NE(s.find("\"say \"\"hi\"\"\""), std::string::npos);
+  EXPECT_NE(s.find("\"line\nbreak\""), std::string::npos);
+}
+
+TEST(CsvWriterTest, WritesFile) {
+  CsvWriter csv({"x"});
+  csv.Add(1);
+  const std::string path = testing::TempDir() + "/soctest_csv_test.csv";
+  EXPECT_TRUE(csv.WriteFile(path));
+  EXPECT_FALSE(csv.WriteFile("/nonexistent-dir/zzz.csv"));
+}
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter t({"SOC", "cycles"}, {Align::kLeft, Align::kRight});
+  EXPECT_TRUE(t.AddRow({"d695", "41232"}));
+  EXPECT_TRUE(t.AddRow({"p93791s", "9"}));
+  const std::string s = t.ToString();
+  EXPECT_NE(s.find("| d695    |"), std::string::npos);
+  EXPECT_NE(s.find("|      9 |"), std::string::npos);
+}
+
+TEST(TablePrinterTest, RejectsWrongArity) {
+  TablePrinter t({"a", "b"});
+  EXPECT_FALSE(t.AddRow({"x"}));
+}
+
+TEST(TablePrinterTest, SeparatorsRenderedOnce) {
+  TablePrinter t({"a"});
+  t.AddRow({"1"});
+  t.AddSeparator();
+  t.AddSeparator();  // duplicate collapses
+  t.AddRow({"2"});
+  const std::string s = t.ToString();
+  // header rule + post-header rule + one mid rule + final rule = 4 rules
+  std::size_t rules = 0;
+  std::size_t pos = 0;
+  while ((pos = s.find("+--", pos)) != std::string::npos) {
+    ++rules;
+    pos += 3;
+  }
+  EXPECT_EQ(rules, 4u);
+}
+
+TEST(AsciiPlotTest, RendersSeriesWithinBounds) {
+  AsciiPlot plot(40, 10);
+  plot.SetTitle("T vs W");
+  plot.AddSeries({1, 2, 3, 4}, {10, 8, 6, 4}, '*');
+  const std::string s = plot.Render();
+  EXPECT_NE(s.find("T vs W"), std::string::npos);
+  EXPECT_NE(s.find('*'), std::string::npos);
+}
+
+TEST(AsciiPlotTest, EmptyPlotDoesNotCrash) {
+  AsciiPlot plot(40, 10);
+  EXPECT_EQ(plot.Render(), "(empty plot)\n");
+}
+
+TEST(AsciiPlotTest, SinglePointPlots) {
+  AsciiPlot plot(20, 6);
+  plot.AddSeries({5}, {5}, 'o');
+  EXPECT_NE(plot.Render().find('o'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace soctest

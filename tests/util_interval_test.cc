@@ -1,0 +1,117 @@
+#include "util/interval.h"
+
+#include <gtest/gtest.h>
+
+namespace soctest {
+namespace {
+
+TEST(IntervalTest, LengthAndEmptiness) {
+  EXPECT_EQ((Interval{2, 7}.length()), 5);
+  EXPECT_TRUE((Interval{3, 3}.empty()));
+  EXPECT_TRUE((Interval{5, 2}.empty()));
+  EXPECT_EQ((Interval{5, 2}.length()), 0);
+}
+
+TEST(IntervalTest, ContainsIsHalfOpen) {
+  const Interval iv{2, 5};
+  EXPECT_FALSE(iv.Contains(1));
+  EXPECT_TRUE(iv.Contains(2));
+  EXPECT_TRUE(iv.Contains(4));
+  EXPECT_FALSE(iv.Contains(5));
+}
+
+TEST(OverlapsTest, SharedInteriorOverlaps) {
+  EXPECT_TRUE(Overlaps({0, 10}, {5, 15}));
+  EXPECT_TRUE(Overlaps({5, 15}, {0, 10}));
+  EXPECT_TRUE(Overlaps({0, 10}, {2, 3}));
+}
+
+TEST(OverlapsTest, TouchingEndpointsDoNotOverlap) {
+  EXPECT_FALSE(Overlaps({0, 5}, {5, 10}));
+  EXPECT_FALSE(Overlaps({5, 10}, {0, 5}));
+}
+
+TEST(OverlapsTest, EmptyNeverOverlaps) {
+  EXPECT_FALSE(Overlaps({3, 3}, {0, 10}));
+  EXPECT_FALSE(Overlaps({0, 10}, {7, 7}));
+}
+
+TEST(IntersectTest, ComputesSharedSpan) {
+  const Interval iv = Intersect({0, 10}, {5, 15});
+  EXPECT_EQ(iv.begin, 5);
+  EXPECT_EQ(iv.end, 10);
+  EXPECT_TRUE(Intersect({0, 5}, {7, 9}).empty());
+}
+
+TEST(StepProfileTest, MaxOfOverlappingWeights) {
+  StepProfile p;
+  p.Add({0, 10}, 3);
+  p.Add({5, 15}, 4);
+  EXPECT_EQ(p.Max(), 7);
+  EXPECT_EQ(p.ValueAt(0), 3);
+  EXPECT_EQ(p.ValueAt(5), 7);
+  EXPECT_EQ(p.ValueAt(10), 4);
+  EXPECT_EQ(p.ValueAt(15), 0);
+  EXPECT_EQ(p.ValueAt(-1), 0);
+}
+
+TEST(StepProfileTest, EmptyProfile) {
+  StepProfile p;
+  EXPECT_EQ(p.Max(), 0);
+  EXPECT_EQ(p.ValueAt(0), 0);
+  EXPECT_EQ(p.Area(), 0);
+}
+
+TEST(StepProfileTest, IgnoresEmptyAndZeroWeight) {
+  StepProfile p;
+  p.Add({5, 5}, 10);
+  p.Add({0, 10}, 0);
+  EXPECT_EQ(p.Max(), 0);
+}
+
+TEST(StepProfileTest, AreaIsWeightTimesLength) {
+  StepProfile p;
+  p.Add({0, 10}, 2);
+  p.Add({5, 20}, 3);
+  EXPECT_EQ(p.Area(), 2 * 10 + 3 * 15);
+}
+
+TEST(StepProfileTest, NegativeWeightsCancel) {
+  StepProfile p;
+  p.Add({0, 10}, 5);
+  p.Add({2, 8}, -5);
+  EXPECT_EQ(p.ValueAt(5), 0);
+  EXPECT_EQ(p.Max(), 5);
+}
+
+TEST(StepProfileTest, FlattenMergesSimultaneousEvents) {
+  StepProfile p;
+  p.Add({0, 5}, 1);
+  p.Add({5, 10}, 1);  // release+acquire at t=5 must not create a step
+  const auto steps = p.Flatten();
+  ASSERT_EQ(steps.breakpoints.size(), 2u);
+  EXPECT_EQ(steps.breakpoints[0], 0);
+  EXPECT_EQ(steps.values[0], 1);
+  EXPECT_EQ(steps.breakpoints[1], 10);
+  EXPECT_EQ(steps.values[1], 0);
+}
+
+TEST(NormalizeIntervalsTest, MergesOverlapsAndAdjacency) {
+  auto merged = NormalizeIntervals({{5, 7}, {0, 3}, {3, 5}, {10, 12}});
+  ASSERT_EQ(merged.size(), 2u);
+  EXPECT_EQ(merged[0], (Interval{0, 7}));
+  EXPECT_EQ(merged[1], (Interval{10, 12}));
+}
+
+TEST(NormalizeIntervalsTest, DropsEmpty) {
+  auto merged = NormalizeIntervals({{4, 4}, {9, 2}});
+  EXPECT_TRUE(merged.empty());
+}
+
+TEST(TotalCoverageTest, CountsEachInstantOnce) {
+  EXPECT_EQ(TotalCoverage({{0, 10}, {5, 15}, {20, 21}}), 16);
+  EXPECT_EQ(TotalCoverage({}), 0);
+}
+
+}  // namespace
+}  // namespace soctest

@@ -1,0 +1,174 @@
+#include "core/validator.h"
+
+#include <gtest/gtest.h>
+
+#include "core/optimizer.h"
+#include "soc/benchmarks.h"
+
+namespace soctest {
+namespace {
+
+// Builds a known-good schedule via the optimizer, then corrupts it in
+// specific ways and checks the validator flags each corruption.
+class ValidatorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    problem_ = TestProblem::FromSoc(MakeD695());
+    OptimizerParams params;
+    params.tam_width = 32;
+    auto result = Optimize(problem_, params);
+    ASSERT_TRUE(result.ok());
+    schedule_ = std::move(result.schedule);
+  }
+
+  TestProblem problem_;
+  Schedule schedule_;
+};
+
+TEST_F(ValidatorTest, AcceptsOptimizerOutput) {
+  const auto violations = ValidateSchedule(problem_, schedule_);
+  EXPECT_TRUE(violations.empty()) << FormatViolations(violations);
+  EXPECT_TRUE(IsValidSchedule(problem_, schedule_));
+}
+
+TEST_F(ValidatorTest, DetectsMissingCore) {
+  schedule_.mutable_entries().pop_back();
+  EXPECT_FALSE(IsValidSchedule(problem_, schedule_));
+}
+
+TEST_F(ValidatorTest, DetectsDuplicateCore) {
+  schedule_.Add(schedule_.entries().front());
+  EXPECT_FALSE(IsValidSchedule(problem_, schedule_));
+}
+
+TEST_F(ValidatorTest, DetectsUnknownCoreId) {
+  schedule_.mutable_entries().front().core = 99;
+  EXPECT_FALSE(IsValidSchedule(problem_, schedule_));
+}
+
+TEST_F(ValidatorTest, DetectsWidthOverflow) {
+  // Stretch one core's width beyond the bin: aggregate profile must trip.
+  auto& entry = schedule_.mutable_entries().front();
+  entry.assigned_width = schedule_.tam_width() + 1;
+  for (auto& seg : entry.segments) seg.width = entry.assigned_width;
+  EXPECT_FALSE(IsValidSchedule(problem_, schedule_));
+}
+
+TEST_F(ValidatorTest, DetectsDurationTampering) {
+  auto& entry = schedule_.mutable_entries().front();
+  entry.segments.back().span.end += 1;
+  EXPECT_FALSE(IsValidSchedule(problem_, schedule_));
+}
+
+TEST_F(ValidatorTest, DetectsSegmentWidthMismatch) {
+  auto& entry = schedule_.mutable_entries().front();
+  // Keep duration identical but lie about the segment width.
+  entry.segments.front().width -= 1;
+  EXPECT_FALSE(IsValidSchedule(problem_, schedule_));
+}
+
+TEST_F(ValidatorTest, DetectsNegativeTime) {
+  auto& entry = schedule_.mutable_entries().front();
+  const Time len = entry.segments.front().span.length();
+  entry.segments.front().span.begin = -5;
+  entry.segments.front().span.end = -5 + len;
+  EXPECT_FALSE(IsValidSchedule(problem_, schedule_));
+}
+
+TEST_F(ValidatorTest, DetectsPreemptionOverLimit) {
+  auto& entry = schedule_.mutable_entries().front();
+  // Fabricate a split: same total duration but two segments, zero budget.
+  const auto seg = entry.segments.front();
+  const Time mid = seg.span.begin + seg.span.length() / 2;
+  ASSERT_GT(seg.span.length(), 1);
+  entry.segments.clear();
+  entry.segments.push_back({{seg.span.begin, mid}, seg.width});
+  entry.segments.push_back({{mid + 10, seg.span.end + 10}, seg.width});
+  entry.preemptions = 0;  // lies: 2 segments need >= 1 preemption
+  EXPECT_FALSE(IsValidSchedule(problem_, schedule_));
+}
+
+TEST_F(ValidatorTest, DetectsPrecedenceViolation) {
+  TestProblem constrained = problem_;
+  // Add a precedence edge the schedule certainly violates: the last-ending
+  // core must precede the first-beginning one.
+  CoreId last_end = 0;
+  CoreId first_begin = 0;
+  Time latest = -1;
+  Time earliest = -1;
+  for (const auto& e : schedule_.entries()) {
+    if (e.EndTime() > latest) {
+      latest = e.EndTime();
+      last_end = e.core;
+    }
+    if (earliest < 0 || e.BeginTime() < earliest) {
+      earliest = e.BeginTime();
+      first_begin = e.core;
+    }
+  }
+  ASSERT_NE(last_end, first_begin);
+  constrained.precedence = PrecedenceGraph(constrained.soc.num_cores());
+  constrained.precedence.Add(last_end, first_begin);
+  EXPECT_FALSE(IsValidSchedule(constrained, schedule_));
+}
+
+TEST_F(ValidatorTest, DetectsConcurrencyViolation) {
+  // Find two overlapping cores and declare them mutually exclusive.
+  TestProblem constrained = problem_;
+  bool planted = false;
+  const auto& entries = schedule_.entries();
+  for (std::size_t i = 0; i < entries.size() && !planted; ++i) {
+    for (std::size_t j = i + 1; j < entries.size() && !planted; ++j) {
+      for (const auto& a : entries[i].segments) {
+        for (const auto& b : entries[j].segments) {
+          if (Overlaps(a.span, b.span)) {
+            constrained.concurrency.Add(entries[i].core, entries[j].core);
+            planted = true;
+          }
+        }
+      }
+    }
+  }
+  ASSERT_TRUE(planted) << "schedule unexpectedly fully serial";
+  EXPECT_FALSE(IsValidSchedule(constrained, schedule_));
+}
+
+TEST_F(ValidatorTest, DetectsPowerViolation) {
+  TestProblem constrained = problem_;
+  constrained.power = PowerModel::FromSoc(constrained.soc, 1.0);
+  // Shrink the budget below what the (unconstrained) schedule actually draws.
+  StepProfile profile;
+  for (const auto& e : schedule_.entries()) {
+    for (const auto& seg : e.segments) {
+      profile.Add(seg.span, constrained.power.PowerOf(e.core));
+    }
+  }
+  const auto peak = profile.Max();
+  ASSERT_GT(peak, constrained.power.MaxCorePower())
+      << "schedule never overlaps two cores; cannot plant a power violation";
+  constrained.power.set_pmax(peak - 1);
+  EXPECT_FALSE(IsValidSchedule(constrained, schedule_));
+}
+
+TEST_F(ValidatorTest, FormatViolationsListsEachProblem) {
+  schedule_.mutable_entries().pop_back();
+  const auto violations = ValidateSchedule(problem_, schedule_);
+  ASSERT_FALSE(violations.empty());
+  const std::string text = FormatViolations(violations);
+  EXPECT_NE(text.find("missing"), std::string::npos);
+}
+
+TEST_F(ValidatorTest, ExactDurationCheckCanBeDisabled) {
+  auto& entry = schedule_.mutable_entries().front();
+  entry.segments.back().span.end += 1;
+  ValidationOptions options;
+  options.check_exact_durations = false;
+  // Still must satisfy capacity etc., which a 1-cycle stretch rarely breaks.
+  const auto violations = ValidateSchedule(problem_, schedule_, options);
+  for (const auto& v : violations) {
+    EXPECT_EQ(v.message.find("active time"), std::string::npos) << v.message;
+  }
+}
+
+}  // namespace
+}  // namespace soctest

@@ -1,0 +1,138 @@
+#include "core/wire_assign.h"
+
+#include <gtest/gtest.h>
+
+#include "core/optimizer.h"
+#include "soc/benchmarks.h"
+
+namespace soctest {
+namespace {
+
+Schedule TwoCoreSchedule() {
+  Schedule s("demo", 8);
+  CoreSchedule a;
+  a.core = 0;
+  a.assigned_width = 5;
+  a.segments.push_back({{0, 100}, 5});
+  s.Add(a);
+  CoreSchedule b;
+  b.core = 1;
+  b.assigned_width = 3;
+  b.segments.push_back({{50, 150}, 3});
+  s.Add(b);
+  return s;
+}
+
+TEST(WireAssignTest, GrantsMatchSegmentWidths) {
+  const Schedule s = TwoCoreSchedule();
+  const auto wires = AssignWires(s);
+  ASSERT_TRUE(wires.has_value());
+  ASSERT_EQ(wires->grants.size(), 2u);
+  EXPECT_EQ(wires->grants[0].wires.size(), 5u);
+  EXPECT_EQ(wires->grants[1].wires.size(), 3u);
+  EXPECT_FALSE(CheckWireAssignment(s, *wires).has_value());
+}
+
+TEST(WireAssignTest, FailsWhenCapacityExceeded) {
+  Schedule s("overflow", 4);
+  CoreSchedule a;
+  a.core = 0;
+  a.assigned_width = 3;
+  a.segments.push_back({{0, 10}, 3});
+  s.Add(a);
+  CoreSchedule b;
+  b.core = 1;
+  b.assigned_width = 3;
+  b.segments.push_back({{5, 15}, 3});
+  s.Add(b);
+  EXPECT_FALSE(AssignWires(s).has_value());
+}
+
+TEST(WireAssignTest, ReleasedWiresAreReused) {
+  Schedule s("reuse", 4);
+  CoreSchedule a;
+  a.core = 0;
+  a.assigned_width = 4;
+  a.segments.push_back({{0, 10}, 4});
+  s.Add(a);
+  CoreSchedule b;
+  b.core = 1;
+  b.assigned_width = 4;
+  b.segments.push_back({{10, 20}, 4});  // back-to-back reuse at t=10
+  s.Add(b);
+  const auto wires = AssignWires(s);
+  ASSERT_TRUE(wires.has_value());
+  EXPECT_FALSE(CheckWireAssignment(s, *wires).has_value());
+}
+
+TEST(WireAssignTest, ForkDetection) {
+  // Core 1 arrives when wires {0,1} are busy, then core 0's release leaves a
+  // hole; core 2 must fork around it.
+  Schedule s("fork", 6);
+  CoreSchedule a;
+  a.core = 0;
+  a.assigned_width = 2;
+  a.segments.push_back({{0, 10}, 2});  // wires 0-1
+  s.Add(a);
+  CoreSchedule b;
+  b.core = 1;
+  b.assigned_width = 2;
+  b.segments.push_back({{0, 30}, 2});  // wires 2-3
+  s.Add(b);
+  CoreSchedule c;
+  c.core = 2;
+  c.assigned_width = 3;
+  c.segments.push_back({{10, 25}, 3});  // wires 0,1 + 4 -> forked
+  s.Add(c);
+  const auto wires = AssignWires(s);
+  ASSERT_TRUE(wires.has_value());
+  const auto& grant_c = wires->grants[2];
+  EXPECT_EQ(grant_c.core, 2);
+  EXPECT_GT(grant_c.NumFragments(), 1);
+  EXPECT_GT(wires->ForkShare(), 0.0);
+  EXPECT_FALSE(CheckWireAssignment(s, *wires).has_value());
+}
+
+TEST(WireAssignTest, ContiguousGrantHasOneFragment) {
+  const Schedule s = TwoCoreSchedule();
+  const auto wires = AssignWires(s);
+  ASSERT_TRUE(wires.has_value());
+  EXPECT_EQ(wires->grants[0].NumFragments(), 1);
+  EXPECT_EQ(wires->MaxFragments(), 1);
+  EXPECT_DOUBLE_EQ(wires->ForkShare(), 0.0);
+}
+
+TEST(WireAssignTest, CheckCatchesDoubleBooking) {
+  const Schedule s = TwoCoreSchedule();
+  auto wires = AssignWires(s);
+  ASSERT_TRUE(wires.has_value());
+  // Corrupt: give core 1 a wire already used by core 0 in the overlap.
+  wires->grants[1].wires[0] = wires->grants[0].wires[0];
+  EXPECT_TRUE(CheckWireAssignment(s, *wires).has_value());
+}
+
+TEST(WireAssignTest, CheckCatchesOutOfRangeWire) {
+  const Schedule s = TwoCoreSchedule();
+  auto wires = AssignWires(s);
+  ASSERT_TRUE(wires.has_value());
+  wires->grants[0].wires[0] = 99;
+  EXPECT_TRUE(CheckWireAssignment(s, *wires).has_value());
+}
+
+TEST(WireAssignTest, WorksOnRealOptimizerOutput) {
+  for (const auto& soc : AllBenchmarkSocs()) {
+    TestProblem problem = MakeBenchmarkProblem(soc, false);
+    OptimizerParams params;
+    params.tam_width = 24;
+    params.allow_preemption = true;
+    const auto result = Optimize(problem, params);
+    ASSERT_TRUE(result.ok()) << soc.name();
+    const auto wires = AssignWires(result.schedule);
+    ASSERT_TRUE(wires.has_value()) << soc.name();
+    EXPECT_FALSE(CheckWireAssignment(result.schedule, *wires).has_value())
+        << soc.name();
+  }
+}
+
+}  // namespace
+}  // namespace soctest

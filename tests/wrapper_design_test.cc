@@ -1,0 +1,165 @@
+#include "wrapper/wrapper_design.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "soc/benchmarks.h"
+
+namespace soctest {
+namespace {
+
+CoreSpec SeqCore(int inputs, int outputs, std::int64_t patterns,
+                 std::vector<int> chains) {
+  CoreSpec c;
+  c.name = "seq";
+  c.num_inputs = inputs;
+  c.num_outputs = outputs;
+  c.num_patterns = patterns;
+  c.scan_chain_lengths = std::move(chains);
+  return c;
+}
+
+TEST(WrapperDesignTest, CombinationalSingleChain) {
+  CoreSpec c;
+  c.name = "comb";
+  c.num_inputs = 10;
+  c.num_outputs = 4;
+  c.num_patterns = 7;
+  const WrapperConfig config = DesignWrapper(c, 1);
+  EXPECT_EQ(config.used_width, 1);
+  EXPECT_EQ(config.scan_in_length, 10);
+  EXPECT_EQ(config.scan_out_length, 4);
+  // T = (1 + max(si, so)) * p + min(si, so)
+  EXPECT_EQ(config.TestTime(7), (1 + 10) * 7 + 4);
+}
+
+TEST(WrapperDesignTest, CombinationalWidthSplitsIoCells) {
+  CoreSpec c;
+  c.name = "comb";
+  c.num_inputs = 10;
+  c.num_outputs = 10;
+  c.num_patterns = 1;
+  const WrapperConfig config = DesignWrapper(c, 5);
+  EXPECT_EQ(config.used_width, 5);
+  EXPECT_EQ(config.scan_in_length, 2);  // 10 cells over 5 chains
+  EXPECT_EQ(config.scan_out_length, 2);
+}
+
+TEST(WrapperDesignTest, SingleScanChainAtWidthOne) {
+  const CoreSpec c = SeqCore(3, 2, 10, {20});
+  const WrapperConfig config = DesignWrapper(c, 1);
+  EXPECT_EQ(config.scan_in_length, 23);   // 20 scan + 3 inputs
+  EXPECT_EQ(config.scan_out_length, 22);  // 20 scan + 2 outputs
+  EXPECT_EQ(config.TestTime(10), (1 + 23) * 10 + 22);
+}
+
+TEST(WrapperDesignTest, BalancesChainsAcrossWidth) {
+  const CoreSpec c = SeqCore(0, 0, 1, {10, 10, 10, 10});
+  const WrapperConfig two = DesignWrapper(c, 2);
+  EXPECT_EQ(two.scan_in_length, 20);  // two internal chains per wrapper chain
+  const WrapperConfig four = DesignWrapper(c, 4);
+  EXPECT_EQ(four.scan_in_length, 10);
+}
+
+TEST(WrapperDesignTest, BfdHandlesUnequalChains) {
+  // 9+1 vs 5+5 split: BFD (longest first into emptiest) gives {9,1}+{5,5}=10.
+  const CoreSpec c = SeqCore(0, 0, 1, {9, 5, 5, 1});
+  const WrapperConfig config = DesignWrapper(c, 2);
+  EXPECT_EQ(config.scan_in_length, 10);
+}
+
+TEST(WrapperDesignTest, WidthBeyondUsefulIsClamped) {
+  const CoreSpec c = SeqCore(2, 2, 5, {7, 7});
+  const WrapperConfig config = DesignWrapper(c, 64);
+  EXPECT_LE(config.used_width, c.MaxUsefulWidth());
+  // Extra width can't reduce the longest internal chain.
+  EXPECT_GE(config.scan_in_length, 7);
+}
+
+TEST(WrapperDesignTest, NoEmptyChainsEmitted) {
+  const CoreSpec c = SeqCore(1, 1, 5, {30});
+  const WrapperConfig config = DesignWrapper(c, 8);
+  for (const auto& chain : config.chains) {
+    EXPECT_GT(chain.scan_cells + chain.input_cells + chain.output_cells, 0);
+  }
+}
+
+TEST(WrapperDesignTest, AllInternalChainsPlacedExactlyOnce) {
+  const CoreSpec c = SeqCore(5, 5, 5, {12, 9, 7, 5, 3});
+  const WrapperConfig config = DesignWrapper(c, 3);
+  std::vector<int> placed;
+  std::int64_t scan_total = 0;
+  int in_cells = 0;
+  int out_cells = 0;
+  for (const auto& chain : config.chains) {
+    placed.insert(placed.end(), chain.internal_chains.begin(),
+                  chain.internal_chains.end());
+    scan_total += chain.scan_cells;
+    in_cells += chain.input_cells;
+    out_cells += chain.output_cells;
+  }
+  std::sort(placed.begin(), placed.end());
+  EXPECT_EQ(placed, (std::vector<int>{0, 1, 2, 3, 4}));
+  EXPECT_EQ(scan_total, c.TotalScanCells());
+  EXPECT_EQ(in_cells, c.ScanInIoCells());
+  EXPECT_EQ(out_cells, c.ScanOutIoCells());
+}
+
+TEST(WrapperDesignTest, BidirsCountOnBothSides) {
+  CoreSpec c = SeqCore(2, 2, 4, {});
+  c.num_bidirs = 3;
+  const WrapperConfig config = DesignWrapper(c, 1);
+  EXPECT_EQ(config.scan_in_length, 5);
+  EXPECT_EQ(config.scan_out_length, 5);
+}
+
+// Property suite: wrapper invariants across the d695 cores and all widths.
+class WrapperPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(WrapperPropertyTest, ScanLengthsNonIncreasingInWidth) {
+  const Soc soc = MakeD695();
+  const CoreSpec& core = soc.core(GetParam());
+  std::int64_t prev_max = -1;
+  for (int w = 1; w <= 64; ++w) {
+    const WrapperConfig config = DesignWrapper(core, w);
+    const std::int64_t len =
+        std::max(config.scan_in_length, config.scan_out_length);
+    if (prev_max >= 0) {
+      // BFD is heuristic but on these structures width never hurts by more
+      // than the longest internal chain; assert the practical invariant that
+      // the max never grows.
+      EXPECT_LE(len, prev_max) << core.name << " w=" << w;
+    }
+    prev_max = len;
+  }
+}
+
+TEST_P(WrapperPropertyTest, UsedWidthNeverExceedsRequest) {
+  const Soc soc = MakeD695();
+  const CoreSpec& core = soc.core(GetParam());
+  for (int w = 1; w <= 64; ++w) {
+    const WrapperConfig config = DesignWrapper(core, w);
+    EXPECT_GE(config.used_width, 1);
+    EXPECT_LE(config.used_width, w);
+  }
+}
+
+TEST_P(WrapperPropertyTest, TestTimePositiveAndConsistent) {
+  const Soc soc = MakeD695();
+  const CoreSpec& core = soc.core(GetParam());
+  for (int w : {1, 2, 4, 8, 16, 32, 64}) {
+    const WrapperConfig config = DesignWrapper(core, w);
+    const Time t = config.TestTime(core.num_patterns);
+    EXPECT_GT(t, 0);
+    EXPECT_EQ(t, WrapperTestTime(core, w));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(D695Cores, WrapperPropertyTest, ::testing::Range(0, 10),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return MakeD695().core(info.param).name;
+                         });
+
+}  // namespace
+}  // namespace soctest

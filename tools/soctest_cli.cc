@@ -1,0 +1,285 @@
+// soctest_cli — command-line driver for the library.
+//
+// Subcommands:
+//   benchmarks                               list embedded benchmark SOCs
+//   wrapper   <soc> <core> [--wmax N]        T(w) curve + Pareto widths
+//   schedule  <soc> --width W [--preempt] [--power-factor F]
+//             [--s N] [--delta N] [--sweep] [--gantt] [--wires]
+//             [--json PATH] [--csv PATH] [--svg PATH]
+//   sweep     <soc> [--min N] [--max N] [--rho R] [--csv PATH]
+//   lowerbound <soc> --width W
+//   advise    <soc> [--threshold R] [--max-budget N]   preemption budgets
+//
+// <soc> is either an embedded benchmark name (d695, p22810s, p34392s,
+// p93791s) or a path to a .soc file.
+#include <cstdio>
+#include <fstream>
+
+#include "baseline/lower_bound.h"
+#include "core/gantt.h"
+#include "core/idle_analysis.h"
+#include "core/optimizer.h"
+#include "core/preemption_advisor.h"
+#include "core/validator.h"
+#include "core/wire_assign.h"
+#include "io/schedule_export.h"
+#include "soc/benchmarks.h"
+#include "soc/soc_parser.h"
+#include "tdv/effective_width.h"
+#include "util/args.h"
+#include "util/strings.h"
+#include "util/table.h"
+#include "wrapper/pareto.h"
+
+using namespace soctest;
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: soctest_cli <benchmarks|wrapper|schedule|sweep|"
+               "lowerbound|advise> ...\n"
+               "run with a subcommand and --help-style args; see the header "
+               "of tools/soctest_cli.cc\n");
+  return 2;
+}
+
+// Loads an SOC (with optional declared constraints) by benchmark name or
+// file path. Returns nullopt after printing an error.
+std::optional<TestProblem> LoadProblem(const std::string& spec) {
+  const Soc embedded = BenchmarkByName(spec);
+  if (embedded.num_cores() > 0) return TestProblem::FromSoc(embedded);
+  const ParseResult parsed = ParseSocFile(spec);
+  if (const auto* err = std::get_if<ParseError>(&parsed)) {
+    std::fprintf(stderr, "%s:%d: %s\n", spec.c_str(), err->line,
+                 err->message.c_str());
+    return std::nullopt;
+  }
+  return TestProblem::FromParsed(std::get<ParsedSoc>(parsed));
+}
+
+bool WriteFileOrWarn(const std::string& path, const std::string& content) {
+  std::ofstream f(path);
+  if (!f) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  f << content;
+  std::printf("wrote %s\n", path.c_str());
+  return true;
+}
+
+int CmdBenchmarks() {
+  TablePrinter table({"name", "cores", "total test bits"}, {Align::kLeft});
+  for (const auto& soc : AllBenchmarkSocs()) {
+    table.AddRow({soc.name(), std::to_string(soc.num_cores()),
+                  WithCommas(soc.TotalTestBits())});
+  }
+  std::fputs(table.ToString().c_str(), stdout);
+  return 0;
+}
+
+int CmdWrapper(int argc, const char* const* argv) {
+  ArgParser args({}, {"wmax"});
+  if (!args.Parse(argc, argv, 2) || args.positional().size() != 2) {
+    std::fprintf(stderr, "usage: soctest_cli wrapper <soc> <core> [--wmax N]\n");
+    return 2;
+  }
+  const auto problem = LoadProblem(args.positional()[0]);
+  if (!problem) return 1;
+  const CoreId core = problem->soc.FindCore(args.positional()[1]);
+  if (core == kNoCore) {
+    std::fprintf(stderr, "no core named '%s'\n", args.positional()[1].c_str());
+    return 1;
+  }
+  const int wmax = static_cast<int>(args.IntOr("wmax", 64));
+  const TimeCurve curve(problem->soc.core(core), std::max(1, wmax));
+  TablePrinter table({"w", "T(w) cycles", "Pareto"});
+  const auto pareto = ParetoPoints(curve);
+  for (int w = 1; w <= curve.w_max(); ++w) {
+    bool is_pareto = false;
+    for (const auto& p : pareto) is_pareto |= p.width == w;
+    table.AddRow({std::to_string(w), WithCommas(curve.TimeAt(w)),
+                  is_pareto ? "*" : ""});
+  }
+  std::fputs(table.ToString().c_str(), stdout);
+  return 0;
+}
+
+int CmdSchedule(int argc, const char* const* argv) {
+  ArgParser args({"preempt", "sweep", "gantt", "wires"},
+                 {"width", "power-factor", "s", "delta", "json", "csv", "svg"});
+  if (!args.Parse(argc, argv, 2) || args.positional().size() != 1) {
+    std::fprintf(stderr, "usage: soctest_cli schedule <soc> --width W "
+                         "[--preempt] [--power-factor F] [--s N] [--delta N] "
+                         "[--sweep] [--gantt] [--wires] [--json P] [--csv P] "
+                         "[--svg P]\n%s\n",
+                 args.Error().c_str());
+    return 2;
+  }
+  auto problem = LoadProblem(args.positional()[0]);
+  if (!problem) return 1;
+
+  const double power_factor = args.DoubleOr("power-factor", 0.0);
+  if (power_factor > 0.0) {
+    problem->power = PowerModel::FromSoc(problem->soc, power_factor);
+  }
+
+  OptimizerParams params;
+  params.tam_width = static_cast<int>(args.IntOr("width", 32));
+  params.s_percent = args.DoubleOr("s", 5.0);
+  params.delta = static_cast<int>(args.IntOr("delta", 1));
+  params.allow_preemption = args.HasFlag("preempt");
+  if (!args.ok()) {
+    std::fprintf(stderr, "%s\n", args.Error().c_str());
+    return 2;
+  }
+
+  const OptimizerResult result = args.HasFlag("sweep")
+                                     ? OptimizeBestOverParams(*problem, params)
+                                     : Optimize(*problem, params);
+  if (!result.ok()) {
+    std::fprintf(stderr, "scheduling failed: %s\n", result.error->c_str());
+    return 1;
+  }
+
+  const auto violations = ValidateSchedule(*problem, result.schedule);
+  const auto lb = ComputeLowerBound(problem->soc, params.tam_width, params.w_max);
+  std::printf("%s @ W=%d: makespan %s cycles (LB %s, +%.1f%%), valid: %s\n",
+              problem->soc.name().c_str(), params.tam_width,
+              WithCommas(result.makespan).c_str(),
+              WithCommas(lb.value()).c_str(),
+              100.0 * (static_cast<double>(result.makespan) /
+                           static_cast<double>(lb.value()) -
+                       1.0),
+              violations.empty() ? "yes" : "NO");
+  if (!violations.empty()) {
+    std::fputs(FormatViolations(violations).c_str(), stderr);
+    return 1;
+  }
+  std::fputs(FormatIdleReport(AnalyzeIdle(result.schedule), 3).c_str(), stdout);
+
+  if (args.HasFlag("gantt")) {
+    std::fputs(RenderCoreGantt(problem->soc, result.schedule).c_str(), stdout);
+  }
+  std::optional<WireAssignment> wires;
+  if (args.HasFlag("wires") || args.Option("svg")) {
+    wires = AssignWires(result.schedule);
+  }
+  if (args.HasFlag("wires") && wires) {
+    std::fputs(RenderWireGantt(problem->soc, result.schedule, *wires).c_str(),
+               stdout);
+  }
+  if (const auto path = args.Option("json")) {
+    WriteFileOrWarn(*path, ScheduleToJson(problem->soc, result.schedule));
+  }
+  if (const auto path = args.Option("csv")) {
+    WriteFileOrWarn(*path, ScheduleToCsv(problem->soc, result.schedule));
+  }
+  if (const auto path = args.Option("svg")) {
+    WriteFileOrWarn(*path, ScheduleToSvg(problem->soc, result.schedule));
+  }
+  return 0;
+}
+
+int CmdSweep(int argc, const char* const* argv) {
+  ArgParser args({}, {"min", "max", "rho", "csv"});
+  if (!args.Parse(argc, argv, 2) || args.positional().size() != 1) {
+    std::fprintf(stderr, "usage: soctest_cli sweep <soc> [--min N] [--max N] "
+                         "[--rho R] [--csv P]\n%s\n",
+                 args.Error().c_str());
+    return 2;
+  }
+  const auto problem = LoadProblem(args.positional()[0]);
+  if (!problem) return 1;
+  SweepOptions options;
+  options.min_width = static_cast<int>(args.IntOr("min", 8));
+  options.max_width = static_cast<int>(args.IntOr("max", 64));
+  const double rho = args.DoubleOr("rho", 0.5);
+  if (!args.ok()) {
+    std::fprintf(stderr, "%s\n", args.Error().c_str());
+    return 2;
+  }
+  const auto sweep = SweepWidths(*problem, options);
+  if (sweep.empty()) {
+    std::fprintf(stderr, "sweep produced no points\n");
+    return 1;
+  }
+  const auto curve = CostCurve(sweep, rho);
+  std::string csv = "w,time_cycles,volume_bits,cost\n";
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    csv += StrFormat("%d,%lld,%lld,%.4f\n", sweep[i].tam_width,
+                     static_cast<long long>(sweep[i].test_time),
+                     static_cast<long long>(sweep[i].data_volume),
+                     curve[i].cost);
+  }
+  if (const auto path = args.Option("csv")) {
+    WriteFileOrWarn(*path, csv);
+  } else {
+    std::fputs(csv.c_str(), stdout);
+  }
+  const TradeoffRow row = MakeTradeoffRow(sweep, rho);
+  std::printf("effective width W_E(rho=%.2f) = %d (C=%.3f, T=%s, D=%s)\n", rho,
+              row.effective_width, row.min_cost,
+              WithCommas(row.time_at_effective).c_str(),
+              WithCommas(row.volume_at_effective).c_str());
+  return 0;
+}
+
+int CmdLowerBound(int argc, const char* const* argv) {
+  ArgParser args({}, {"width"});
+  if (!args.Parse(argc, argv, 2) || args.positional().size() != 1) {
+    std::fprintf(stderr, "usage: soctest_cli lowerbound <soc> --width W\n");
+    return 2;
+  }
+  const auto problem = LoadProblem(args.positional()[0]);
+  if (!problem) return 1;
+  const int width = static_cast<int>(args.IntOr("width", 32));
+  const auto lb = ComputeLowerBound(problem->soc, width, 64);
+  std::printf("LB(W=%d) = %s cycles  (bottleneck %s via core %d, area bound "
+              "%s from %s wire-cycles)\n",
+              width, WithCommas(lb.value()).c_str(),
+              WithCommas(lb.bottleneck_bound).c_str(), lb.bottleneck_core,
+              WithCommas(lb.area_bound).c_str(),
+              WithCommas(lb.total_min_area).c_str());
+  return 0;
+}
+
+int CmdAdvise(int argc, const char* const* argv) {
+  ArgParser args({}, {"threshold", "max-budget"});
+  if (!args.Parse(argc, argv, 2) || args.positional().size() != 1) {
+    std::fprintf(stderr, "usage: soctest_cli advise <soc> [--threshold R] "
+                         "[--max-budget N]\n");
+    return 2;
+  }
+  const auto problem = LoadProblem(args.positional()[0]);
+  if (!problem) return 1;
+  AdvisorParams params;
+  params.ratio_threshold = args.DoubleOr("threshold", 50.0);
+  params.max_budget = static_cast<int>(args.IntOr("max-budget", 3));
+  TablePrinter table({"core", "T@16 (cycles)", "flush (s_i+s_o)",
+                      "T/flush", "recommended budget"},
+                     {Align::kLeft});
+  for (const auto& advice : AdvisePreemption(problem->soc, params)) {
+    table.AddRow({problem->soc.core(advice.core).name,
+                  WithCommas(advice.test_time), WithCommas(advice.flush_cost),
+                  StrFormat("%.1f", advice.ratio),
+                  std::to_string(advice.recommended_budget)});
+  }
+  std::fputs(table.ToString().c_str(), stdout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string cmd = argv[1];
+  if (cmd == "benchmarks") return CmdBenchmarks();
+  if (cmd == "wrapper") return CmdWrapper(argc, argv);
+  if (cmd == "schedule") return CmdSchedule(argc, argv);
+  if (cmd == "sweep") return CmdSweep(argc, argv);
+  if (cmd == "lowerbound") return CmdLowerBound(argc, argv);
+  if (cmd == "advise") return CmdAdvise(argc, argv);
+  return Usage();
+}
