@@ -1,0 +1,60 @@
+#!/usr/bin/env sh
+# Build every benchmark in Release and run each one, recording wall-clock
+# timings. Each bench writes bench_results/BENCH_<name>.json, seeding the
+# per-bench timing trajectory tracked across PRs.
+#
+# Usage: bench/run_all.sh [build-dir]   (default: build)
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build_dir=${1:-"$repo_root/build"}
+out_dir=$repo_root/bench_results
+mkdir -p "$out_dir"
+
+cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release
+cmake --build "$build_dir" --target bench_all -j
+# The benches run with bench_results/ as cwd, so the build dir must be
+# absolute by the time the loop resolves binary paths.
+build_dir=$(CDPATH= cd -- "$build_dir" && pwd)
+
+# Millisecond timer: GNU date gives nanoseconds; fall back to second
+# resolution where %N is unsupported.
+now_ms() {
+  ns=$(date +%s%N 2>/dev/null || true)
+  case $ns in
+    ''|*[!0-9]*) echo $(( $(date +%s) * 1000 )) ;;
+    *) echo $((ns / 1000000)) ;;
+  esac
+}
+
+status=0
+for exe in "$build_dir"/bench/*; do
+  [ -f "$exe" ] && [ -x "$exe" ] || continue
+  name=$(basename "$exe")
+  case $name in
+    CMakeFiles|cmake_install.cmake|*.cmake|CTestTestfile*) continue ;;
+  esac
+  printf '== %s ==\n' "$name"
+  start=$(now_ms)
+  if (cd "$out_dir" && "$exe" >"$out_dir/$name.out" 2>&1); then
+    bench_status=ok
+  else
+    bench_status=failed
+    status=1
+  fi
+  end=$(now_ms)
+  elapsed=$((end - start))
+  printf '   %s: %s ms (%s)\n' "$bench_status" "$elapsed" "$name"
+  cat >"$out_dir/BENCH_$name.json" <<EOF
+{
+  "bench": "$name",
+  "status": "$bench_status",
+  "wall_ms": $elapsed,
+  "build_type": "Release",
+  "log": "bench_results/$name.out"
+}
+EOF
+done
+
+echo "timings written to $out_dir/BENCH_*.json"
+exit $status

@@ -47,7 +47,9 @@ TEST(LowerBoundTest, BottleneckBoundMonotoneInWidth) {
   Time prev = -1;
   for (int w = 4; w <= 64; w += 4) {
     const auto lb = ComputeLowerBound(soc, w, 64);
-    if (prev >= 0) EXPECT_LE(lb.bottleneck_bound, prev);
+    if (prev >= 0) {
+      EXPECT_LE(lb.bottleneck_bound, prev);
+    }
     prev = lb.bottleneck_bound;
   }
 }

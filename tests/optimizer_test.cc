@@ -73,7 +73,9 @@ TEST(OptimizerTest, MakespanNonIncreasingInWidth) {
     params.tam_width = w;
     const auto result = OptimizeBestOverParams(problem, params);
     ASSERT_TRUE(result.ok());
-    if (prev >= 0) EXPECT_LE(result.makespan, prev) << "W=" << w;
+    if (prev >= 0) {
+      EXPECT_LE(result.makespan, prev) << "W=" << w;
+    }
     prev = result.makespan;
   }
 }

@@ -37,7 +37,9 @@ TEST(TimeCurveTest, SaturationWidthIsFirstFloorWidth) {
   const TimeCurve curve(BigCore(), 64);
   const int sat = curve.SaturationWidth();
   EXPECT_EQ(curve.TimeAt(sat), curve.TimeAt(64));
-  if (sat > 1) EXPECT_GT(curve.TimeAt(sat - 1), curve.TimeAt(sat));
+  if (sat > 1) {
+    EXPECT_GT(curve.TimeAt(sat - 1), curve.TimeAt(sat));
+  }
 }
 
 TEST(ParetoPointsTest, StrictlyDecreasingTimes) {
