@@ -33,6 +33,7 @@ double TimeIt(Fn&& fn) {
 int main() {
   const Soc soc = MakeD695();
   const TestProblem problem = TestProblem::FromSoc(soc);
+  const CompiledProblem compiled(problem);
 
   std::printf("=== Baseline comparison on %s ===\n\n", soc.name().c_str());
 
@@ -44,11 +45,13 @@ int main() {
     params.tam_width = w;
     OptimizerResult flexible;
     const double flex_s =
-        TimeIt([&] { flexible = Optimize(problem, params); });
+        TimeIt([&] { flexible = Optimize(compiled, params); });
     if (!flexible.ok()) {
       std::fprintf(stderr, "flexible scheduling failed\n");
       return 1;
     }
+    std::printf("MAKESPAN soc=d695 w=%d mode=flexible cycles=%lld\n", w,
+                static_cast<long long>(flexible.makespan));
     for (int buses : {2, 3}) {
       FixedWidthOptions options;
       options.num_buses = buses;
@@ -75,11 +78,16 @@ int main() {
       {Align::kLeft});
   for (const auto& bench : AllBenchmarkSocs()) {
     const TestProblem bench_problem = TestProblem::FromSoc(bench);
+    const CompiledProblem bench_compiled(bench_problem);
     for (int w : {24, 48}) {
       OptimizerParams params;
       params.tam_width = w;
-      const auto flexible = OptimizeBestOverParams(bench_problem, params);
+      const auto flexible =
+          OptimizeBestOverParams(bench_compiled, params, /*threads=*/0);
       if (!flexible.ok()) return 1;
+      std::printf("MAKESPAN soc=%s w=%d mode=flexible_best cycles=%lld\n",
+                  bench.name().c_str(), w,
+                  static_cast<long long>(flexible.makespan));
       ShelfOptions ffdh;
       ffdh.policy = ShelfPolicy::kFirstFitDecreasingHeight;
       ShelfOptions nfdh;

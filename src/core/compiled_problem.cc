@@ -1,0 +1,47 @@
+#include "core/compiled_problem.h"
+
+#include <algorithm>
+
+namespace soctest {
+
+CompiledProblem::CompiledProblem(const TestProblem& problem, int w_max)
+    : problem_(&problem), w_max_(w_max) {
+  if (w_max_ < 1) {
+    error_ = "w_max must be >= 1";
+    return;
+  }
+  if (auto invalid = problem.soc.Validate()) {
+    error_ = *invalid;
+    return;
+  }
+  rects_.reserve(static_cast<std::size_t>(problem.soc.num_cores()));
+  for (const auto& core : problem.soc.cores()) {
+    // Clip only by w_max here: the compiled artifacts must serve every SOC
+    // TAM width, so the per-width clipping happens in RectsFor.
+    rects_.emplace_back(core, w_max_, w_max_);
+  }
+}
+
+std::vector<RectangleSet> CompiledProblem::RectsFor(int tam_width) const {
+  std::vector<RectangleSet> out;
+  out.reserve(rects_.size());
+  for (const auto& rect : rects_) {
+    out.emplace_back(rect.core_id(), rect.curve(), tam_width);
+  }
+  return out;
+}
+
+SocBounds CompiledProblem::Bounds(int tam_width) const {
+  SocBounds out;
+  for (const auto& rect : rects_) {
+    // Same clipping rule as the rectangle sets the scheduler packs
+    // (RectsFor): RectangleSet owns the clipped min-time/min-area math.
+    out.bottleneck_time = std::max(out.bottleneck_time,
+                                   rect.MinTimeAtMost(tam_width));
+    out.total_min_area += rect.MinAreaAtMost(tam_width);
+    out.serial_time += rect.curve().TimeAt(1);
+  }
+  return out;
+}
+
+}  // namespace soctest

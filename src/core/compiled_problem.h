@@ -1,0 +1,113 @@
+// CompiledProblem — the immutable per-core artifacts of the wrapper pipeline,
+// built ONCE per TestProblem and shared by every scheduler run.
+//
+// The co-optimization (core/optimizer.h) is a greedy packer that production
+// callers wrap in restarts: the S/delta parameter grid, the local-search
+// improver, and the tester-data-volume width sweeps all re-run the scheduler
+// hundreds of times on the same SOC. Historically every run re-derived every
+// core's wrapper designs, time curve T(w), Pareto points, and rectangle set
+// from scratch — by far the dominant cost of a restart. CompiledProblem
+// splits the pipeline in two:
+//
+//   compile (once)      TestProblem -> { TimeCurve, Pareto points,
+//                                        RectangleSet, max useful width,
+//                                        flush penalties, SOC bounds }
+//   search/schedule (N) CompiledProblem + OptimizerParams -> Schedule
+//
+// Everything here is immutable after construction and safe to share across
+// threads without synchronization (see search/driver.h), which is what makes
+// the parallel restart grid possible. The compiled artifacts are evaluated up
+// to `w_max` and are independent of the SOC TAM width, so one CompiledProblem
+// serves sweeps over tam_width as well: RectsFor(tam_width) clips the
+// compiled curves to a concrete bin height without re-running wrapper design.
+//
+// Lifetime: CompiledProblem stores a reference to the TestProblem; the
+// problem must outlive it (same convention as TamScheduleOptimizer).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/problem.h"
+#include "wrapper/rectangles.h"
+
+namespace soctest {
+
+// Default per-core curve evaluation bound (the paper uses 64). Shared by
+// CompiledProblem's constructor and OptimizerParams::w_max so the two
+// defaults cannot drift apart (a mismatch is a runtime error in Run()).
+inline constexpr int kDefaultWMax = 64;
+
+// SOC-level aggregates over the rectangle sets clipped to a TAM width. These
+// are the lower-bound ingredients the optimizer's deadline sizing bisects
+// against (and the two terms of the Section 6 scheduling lower bound).
+struct SocBounds {
+  Time bottleneck_time = 0;        // max_i T_i at the clipped top width
+  std::int64_t total_min_area = 0; // sum_i min_w (w * T_i(w)), clipped
+  Time serial_time = 0;            // sum_i T_i(1): serial width-1 upper bound
+
+  // ceil(total_min_area / tam_width): the area term of the lower bound.
+  Time AreaBound(int tam_width) const {
+    if (tam_width <= 0) return 0;
+    return (total_min_area + tam_width - 1) / tam_width;
+  }
+
+  // max(bottleneck, area): no schedule at this width can finish earlier.
+  Time LowerBound(int tam_width) const {
+    const Time area = AreaBound(tam_width);
+    return bottleneck_time > area ? bottleneck_time : area;
+  }
+};
+
+class CompiledProblem {
+ public:
+  // Compiles every core's wrapper artifacts up to `w_max` (paper: 64). On an
+  // invalid input (w_max < 1, or Soc::Validate failure) no artifacts are
+  // built and error() carries the reason; the optimizer propagates it.
+  explicit CompiledProblem(const TestProblem& problem,
+                           int w_max = kDefaultWMax);
+
+  const TestProblem& problem() const { return *problem_; }
+  int w_max() const { return w_max_; }
+  int num_cores() const { return static_cast<int>(rects_.size()); }
+
+  bool ok() const { return !error_.has_value(); }
+  const std::optional<std::string>& error() const { return error_; }
+
+  // Per-core artifacts (valid only when ok()).
+  const TimeCurve& curve(CoreId c) const {
+    return rects_[static_cast<std::size_t>(c)].curve();
+  }
+  const std::vector<ParetoPoint>& pareto(CoreId c) const {
+    return rects_[static_cast<std::size_t>(c)].pareto();
+  }
+  const RectangleSet& rect(CoreId c) const {
+    return rects_[static_cast<std::size_t>(c)];
+  }
+
+  // Highest width worth wiring to core c (its top Pareto width at w_max);
+  // assigning more wires cannot reduce its test time.
+  int max_useful_width(CoreId c) const { return rect(c).MaxWidth(); }
+
+  // (s_i + s_o) scan flush/reload cost of core c's wrapper at `width` — the
+  // per-preemption penalty. O(1): recorded during compilation.
+  Time FlushPenalty(CoreId c, int width) const {
+    return curve(c).FlushAt(width < 1 ? 1 : width);
+  }
+
+  // Rectangle sets clipped to a concrete SOC TAM width. Cheap: copies the
+  // compiled curves and re-clips the Pareto points; no wrapper design runs.
+  std::vector<RectangleSet> RectsFor(int tam_width) const;
+
+  // Aggregates of RectsFor(tam_width) without materializing it.
+  SocBounds Bounds(int tam_width) const;
+
+ private:
+  const TestProblem* problem_;
+  int w_max_ = 0;
+  std::optional<std::string> error_;
+  std::vector<RectangleSet> rects_;  // clipped only by w_max
+};
+
+}  // namespace soctest

@@ -27,13 +27,20 @@ int NeighborWidth(const RectangleSet& rect, int width, bool up) {
 
 ImproverResult ImproveSchedule(const TestProblem& problem,
                                const ImproverParams& params) {
+  const CompiledProblem compiled(problem, params.optimizer.w_max);
+  return ImproveSchedule(compiled, params);
+}
+
+ImproverResult ImproveSchedule(const CompiledProblem& compiled,
+                               const ImproverParams& params) {
   ImproverResult result;
-  result.best = OptimizeBestOverParams(problem, params.optimizer);
+  result.best = OptimizeBestOverParams(compiled, params.optimizer, params.threads);
   if (!result.best.ok()) return result;
   result.initial_makespan = result.best.makespan;
 
-  const auto rects = BuildRectangleSets(problem.soc, params.optimizer.w_max,
-                                        params.optimizer.tam_width);
+  // Clipped views of the compiled curves — no wrapper re-design.
+  const auto rects = compiled.RectsFor(params.optimizer.tam_width);
+  const TestProblem& problem = compiled.problem();
 
   // Current width assignment = the best run's preferred widths.
   std::vector<int> widths;
@@ -59,7 +66,7 @@ ImproverResult ImproveSchedule(const TestProblem& problem,
     if (candidate == widths) continue;
 
     move_params.preferred_width_override = candidate;
-    OptimizerResult attempt = Optimize(problem, move_params);
+    OptimizerResult attempt = Optimize(compiled, move_params);
     if (!attempt.ok()) continue;
     if (attempt.makespan < result.best.makespan) {
       result.best = std::move(attempt);

@@ -24,6 +24,9 @@ struct ImproverParams {
   // Each attempt nudges this many cores' preferred widths to a neighboring
   // Pareto width (up or down one step).
   int cores_per_move = 2;
+  // Worker threads for the initial restart-grid search (0 = hardware). The
+  // hill climb itself is sequential: each move's acceptance feeds the next.
+  int threads = 1;
 };
 
 struct ImproverResult {
@@ -34,8 +37,12 @@ struct ImproverResult {
 };
 
 // Runs OptimizeBestOverParams for the starting point, then hill-climbs.
-// Propagates the underlying error if the problem is unschedulable.
+// Propagates the underlying error if the problem is unschedulable. The
+// CompiledProblem overload reuses artifacts compiled once — every move then
+// costs only a scheduler run; the TestProblem overload compiles privately.
 ImproverResult ImproveSchedule(const TestProblem& problem,
+                               const ImproverParams& params);
+ImproverResult ImproveSchedule(const CompiledProblem& compiled,
                                const ImproverParams& params);
 
 }  // namespace soctest

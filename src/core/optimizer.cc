@@ -3,8 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "search/driver.h"
 #include "util/strings.h"
-#include "wrapper/wrapper_design.h"
 
 namespace soctest {
 
@@ -33,15 +33,25 @@ TestProblem TestProblem::FromParsed(const ParsedSoc& parsed) {
   return p;
 }
 
+TamScheduleOptimizer::TamScheduleOptimizer(const CompiledProblem& compiled,
+                                           OptimizerParams params)
+    : compiled_(&compiled),
+      problem_(&compiled.problem()),
+      params_(std::move(params)),
+      conflict_(&problem_->precedence, &problem_->concurrency,
+                &problem_->power) {}
+
 TamScheduleOptimizer::TamScheduleOptimizer(const TestProblem& problem,
                                            OptimizerParams params)
-    : problem_(problem),
-      params_(params),
+    : owned_(std::make_unique<CompiledProblem>(problem, params.w_max)),
+      compiled_(owned_.get()),
+      problem_(&problem),
+      params_(std::move(params)),
       conflict_(&problem.precedence, &problem.concurrency, &problem.power) {}
 
 std::vector<CoreId> TamScheduleOptimizer::ActiveCores() const {
   std::vector<CoreId> out;
-  for (CoreId c = 0; c < problem_.soc.num_cores(); ++c) {
+  for (CoreId c = 0; c < problem_->soc.num_cores(); ++c) {
     if (state_[static_cast<std::size_t>(c)].running) out.push_back(c);
   }
   return out;
@@ -49,9 +59,9 @@ std::vector<CoreId> TamScheduleOptimizer::ActiveCores() const {
 
 std::int64_t TamScheduleOptimizer::ActivePower() const {
   std::int64_t total = 0;
-  for (CoreId c = 0; c < problem_.soc.num_cores(); ++c) {
+  for (CoreId c = 0; c < problem_->soc.num_cores(); ++c) {
     if (state_[static_cast<std::size_t>(c)].running) {
-      total += problem_.power.PowerOf(c);
+      total += problem_->power.PowerOf(c);
     }
   }
   return total;
@@ -72,9 +82,9 @@ bool TamScheduleOptimizer::IsBlocked(CoreId core) const {
 }
 
 Time TamScheduleOptimizer::PreemptionPenalty(CoreId core, int width) const {
-  const WrapperConfig config =
-      DesignWrapper(problem_.soc.core(core), std::max(1, width));
-  return config.scan_in_length + config.scan_out_length;
+  // O(1): the flush length (s_i + s_o) was recorded per width while the
+  // curve was compiled, so resuming a test no longer re-runs wrapper design.
+  return compiled_->FlushPenalty(core, std::max(1, width));
 }
 
 void TamScheduleOptimizer::Admit(CoreId core, int width) {
@@ -105,7 +115,7 @@ bool TamScheduleOptimizer::AdmitLimitReached() {
     CoreId best = kNoCore;
     Time best_rem = -1;
     const int avail = AvailableWidth();
-    for (CoreId c = 0; c < problem_.soc.num_cores(); ++c) {
+    for (CoreId c = 0; c < problem_->soc.num_cores(); ++c) {
       const auto& s = state_[static_cast<std::size_t>(c)];
       if (!s.begun || s.running || s.complete) continue;
       if (s.preemptions < s.max_preemptions) continue;  // still preemptible
@@ -136,7 +146,7 @@ bool TamScheduleOptimizer::AdmitRanked() {
     int width;
   };
   std::vector<Candidate> candidates;
-  for (CoreId c = 0; c < problem_.soc.num_cores(); ++c) {
+  for (CoreId c = 0; c < problem_->soc.num_cores(); ++c) {
     const auto& s = state_[static_cast<std::size_t>(c)];
     if (s.running || s.complete) continue;
     if (s.begun) {
@@ -208,7 +218,7 @@ bool TamScheduleOptimizer::AdmitIdleFill() {
     if (avail <= 0) break;
     CoreId best = kNoCore;
     int best_pref = 0;
-    for (CoreId c = 0; c < problem_.soc.num_cores(); ++c) {
+    for (CoreId c = 0; c < problem_->soc.num_cores(); ++c) {
       const auto& s = state_[static_cast<std::size_t>(c)];
       if (s.begun || s.running || s.complete) continue;
       if (s.preferred_width > avail + params_.idle_fill_slack) continue;
@@ -246,7 +256,7 @@ bool TamScheduleOptimizer::AdmitInsertFill() {
     CoreId best = kNoCore;
     Time best_time = -1;
     int best_width = 0;
-    for (CoreId c = 0; c < problem_.soc.num_cores(); ++c) {
+    for (CoreId c = 0; c < problem_->soc.num_cores(); ++c) {
       const auto& s = state_[static_cast<std::size_t>(c)];
       if (s.begun || s.running || s.complete) continue;
       const auto& rect = rects_[static_cast<std::size_t>(c)];
@@ -280,7 +290,7 @@ bool TamScheduleOptimizer::BoostJustStarted() {
     CoreId best = kNoCore;
     Time best_gain = 0;
     int best_new_width = 0;
-    for (CoreId c = 0; c < problem_.soc.num_cores(); ++c) {
+    for (CoreId c = 0; c < problem_->soc.num_cores(); ++c) {
       const auto& s = state_[static_cast<std::size_t>(c)];
       if (!s.running || s.first_begin != now_) continue;
       const auto& rect = rects_[static_cast<std::size_t>(c)];
@@ -319,7 +329,7 @@ void TamScheduleOptimizer::AdvanceTime() {
   }
   assert(min_rem > 0 && "AdvanceTime requires at least one running core");
   const Time new_time = now_ + min_rem;
-  for (CoreId c = 0; c < problem_.soc.num_cores(); ++c) {
+  for (CoreId c = 0; c < problem_->soc.num_cores(); ++c) {
     auto& s = state_[static_cast<std::size_t>(c)];
     if (!s.running) continue;
     // Extend the last segment if contiguous at the same width.
@@ -355,37 +365,49 @@ OptimizerResult TamScheduleOptimizer::Run() {
     result.error = "w_max must be >= 1";
     return result;
   }
-  if (auto problem = problem_.soc.Validate()) {
+  if (!compiled_->ok()) {
+    result.error = *compiled_->error();
+    return result;
+  }
+  if (params_.w_max != compiled_->w_max()) {
+    result.error = StrFormat(
+        "params.w_max (%d) does not match the CompiledProblem's w_max (%d)",
+        params_.w_max, compiled_->w_max());
+    return result;
+  }
+  if (auto problem = problem_->soc.Validate()) {
     result.error = *problem;
     return result;
   }
-  if (problem_.precedence.HasCycle()) {
+  if (problem_->precedence.HasCycle()) {
     result.error = "precedence constraints form a cycle";
     return result;
   }
-  if (!problem_.power.unlimited()) {
-    for (const auto& core : problem_.soc.cores()) {
-      if (problem_.power.PowerOf(core.id) > problem_.power.pmax()) {
+  if (!problem_->power.unlimited()) {
+    for (const auto& core : problem_->soc.cores()) {
+      if (problem_->power.PowerOf(core.id) > problem_->power.pmax()) {
         result.error = StrFormat(
             "core '%s' has power %lld > Pmax %lld and can never be scheduled",
             core.name.c_str(),
-            static_cast<long long>(problem_.power.PowerOf(core.id)),
-            static_cast<long long>(problem_.power.pmax()));
+            static_cast<long long>(problem_->power.PowerOf(core.id)),
+            static_cast<long long>(problem_->power.pmax()));
         return result;
       }
     }
   }
 
   // ---- Initialize (paper Fig. 5) ----------------------------------------
-  rects_ = BuildRectangleSets(problem_.soc, params_.w_max, params_.tam_width);
+  // The wrapper artifacts were compiled once (CompiledProblem); clipping them
+  // to this run's TAM width is cheap and runs no wrapper design.
+  rects_ = compiled_->RectsFor(params_.tam_width);
   preferred_.clear();
   if (!params_.preferred_width_override.empty()) {
     if (params_.preferred_width_override.size() !=
-        static_cast<std::size_t>(problem_.soc.num_cores())) {
+        static_cast<std::size_t>(problem_->soc.num_cores())) {
       result.error = "preferred_width_override must have one entry per core";
       return result;
     }
-    for (CoreId c = 0; c < problem_.soc.num_cores(); ++c) {
+    for (CoreId c = 0; c < problem_->soc.num_cores(); ++c) {
       const int w = params_.preferred_width_override[static_cast<std::size_t>(c)];
       preferred_.push_back(rects_[static_cast<std::size_t>(c)].SnapWidth(
           std::clamp(w, 1, params_.tam_width)));
@@ -397,15 +419,11 @@ OptimizerResult TamScheduleOptimizer::Run() {
     // tests then start together and finish together near the area bound
     // instead of serializing behind each other. Width demand is
     // non-increasing in M, so the bisection is exact.
-    Time lo = 0;  // lower bound on the deadline (exclusive of feasibility)
-    Time hi = 0;
-    std::int64_t total_area = 0;
-    for (const auto& rect : rects_) {
-      total_area += rect.MinArea();
-      lo = std::max(lo, rect.MinTime());
-      hi += rect.curve().TimeAt(1);  // serial, width-1 upper bound
-    }
-    lo = std::max(lo, (total_area + params_.tam_width - 1) / params_.tam_width);
+    const SocBounds bounds = compiled_->Bounds(params_.tam_width);
+    // Deadline window: the SOC lower bound (bottleneck/area terms, owned by
+    // the compiled problem) up to the serial width-1 time.
+    Time lo = bounds.LowerBound(params_.tam_width);
+    Time hi = bounds.serial_time;
 
     auto width_for_deadline = [this](const RectangleSet& rect, Time deadline) {
       int pref = rect.MaxWidth();  // fastest width if the deadline is unmet
@@ -453,17 +471,17 @@ OptimizerResult TamScheduleOptimizer::Run() {
     }
   }
 
-  const auto n = static_cast<std::size_t>(problem_.soc.num_cores());
+  const auto n = static_cast<std::size_t>(problem_->soc.num_cores());
   state_.assign(n, CoreState{});
   completed_.assign(n, false);
   for (std::size_t i = 0; i < n; ++i) {
     state_[i].preferred_width = preferred_[i];
     state_[i].max_preemptions =
-        params_.allow_preemption ? problem_.soc.cores()[i].max_preemptions : 0;
+        params_.allow_preemption ? problem_->soc.cores()[i].max_preemptions : 0;
   }
   now_ = 0;
   rounds_ = 0;
-  incomplete_ = problem_.soc.num_cores();
+  incomplete_ = problem_->soc.num_cores();
 
   // ---- Main loop (paper Fig. 4) ------------------------------------------
   while (incomplete_ > 0) {
@@ -488,8 +506,8 @@ OptimizerResult TamScheduleOptimizer::Run() {
   }
 
   // ---- Emit schedule -----------------------------------------------------
-  result.schedule = Schedule(problem_.soc.name(), params_.tam_width);
-  for (CoreId c = 0; c < problem_.soc.num_cores(); ++c) {
+  result.schedule = Schedule(problem_->soc.name(), params_.tam_width);
+  for (CoreId c = 0; c < problem_->soc.num_cores(); ++c) {
     const auto& s = state_[static_cast<std::size_t>(c)];
     CoreSchedule entry;
     entry.core = c;
@@ -519,32 +537,22 @@ OptimizerResult Optimize(const TestProblem& problem,
   return TamScheduleOptimizer(problem, params).Run();
 }
 
+OptimizerResult Optimize(const CompiledProblem& compiled,
+                         const OptimizerParams& params) {
+  return TamScheduleOptimizer(compiled, params).Run();
+}
+
 OptimizerResult OptimizeBestOverParams(const TestProblem& problem,
-                                       OptimizerParams params) {
-  OptimizerResult best;
-  bool have = false;
-  for (AdmissionRank rank : {AdmissionRank::kTime, AdmissionRank::kArea}) {
-    params.rank = rank;
-    for (int sizing = 0; sizing < 2; ++sizing) {
-      params.deadline_sizing = sizing == 1;
-      for (int s = 1; s <= 10; ++s) {
-        for (int d = 0; d <= 4; ++d) {
-          params.s_percent = s;
-          params.delta = d;
-          OptimizerResult r = Optimize(problem, params);
-          if (!r.ok()) {
-            if (!have) best = std::move(r);  // propagate the error if all fail
-            continue;
-          }
-          if (!have || r.makespan < best.makespan) {
-            best = std::move(r);
-            have = true;
-          }
-        }
-      }
-    }
-  }
-  return best;
+                                       OptimizerParams params, int threads) {
+  const CompiledProblem compiled(problem, params.w_max);
+  return OptimizeBestOverParams(compiled, std::move(params), threads);
+}
+
+OptimizerResult OptimizeBestOverParams(const CompiledProblem& compiled,
+                                       OptimizerParams params, int threads) {
+  SearchOptions options;
+  options.threads = threads;
+  return RunRestartSearch(compiled, params, options).best;
 }
 
 }  // namespace soctest

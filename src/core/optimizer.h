@@ -31,10 +31,12 @@
 //     scan flush/reload (paper Section 4, Assign line 5).
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "core/compiled_problem.h"
 #include "core/conflict.h"
 #include "core/problem.h"
 #include "core/schedule.h"
@@ -55,8 +57,9 @@ struct OptimizerParams {
   int tam_width = 32;
 
   // Per-core maximum TAM width / reference width for preferred-width
-  // selection (the paper uses 64).
-  int w_max = 64;
+  // selection (the paper uses 64). Must match the CompiledProblem's w_max
+  // when scheduling against pre-compiled artifacts.
+  int w_max = kDefaultWMax;
 
   // Preferred-width heuristic knobs (paper script-S in [1,10], script-D in
   // [0,4]).
@@ -123,6 +126,14 @@ struct OptimizerResult {
 
 class TamScheduleOptimizer {
  public:
+  // Schedules against pre-compiled wrapper artifacts (the fast path: restart
+  // drivers build one CompiledProblem and run many optimizers against it).
+  // `compiled` must outlive the optimizer; params.w_max must match
+  // compiled.w_max() or Run() reports an error.
+  TamScheduleOptimizer(const CompiledProblem& compiled, OptimizerParams params);
+
+  // Compatibility path: compiles the problem privately (at params.w_max),
+  // then schedules. One-shot callers keep working unchanged.
   TamScheduleOptimizer(const TestProblem& problem, OptimizerParams params);
 
   // Runs the full co-optimization. Deterministic for fixed inputs.
@@ -170,7 +181,9 @@ class TamScheduleOptimizer {
   // (s_i + s_o) preemption penalty for `core` at `width`.
   Time PreemptionPenalty(CoreId core, int width) const;
 
-  const TestProblem& problem_;
+  std::unique_ptr<CompiledProblem> owned_;  // compatibility ctor only
+  const CompiledProblem* compiled_;
+  const TestProblem* problem_;
   OptimizerParams params_;
   ConflictPolicy conflict_;
 
@@ -183,13 +196,22 @@ class TamScheduleOptimizer {
   int rounds_ = 0;
 };
 
-// Convenience wrapper: build + run in one call.
+// Convenience wrappers: build + run in one call. The TestProblem overload
+// compiles the wrapper artifacts privately; the CompiledProblem overload
+// reuses artifacts compiled once (the fast path for restart loops).
 OptimizerResult Optimize(const TestProblem& problem, const OptimizerParams& params);
+OptimizerResult Optimize(const CompiledProblem& compiled,
+                         const OptimizerParams& params);
 
-// Sweeps the paper's parameter grid (S in [1,10], delta in [0,4]) and returns
-// the result with the smallest makespan (ties: smaller S, then smaller delta).
-// This reproduces Table 1's "best over all parameter values" methodology.
+// Sweeps the paper's restart grid (rank x sizing x S in [1,10] x delta in
+// [0,4]; see search/grid.h for the canonical order) on `threads` workers and
+// returns the smallest-makespan result. Tie-break, explicit and guaranteed:
+// equal makespans resolve to the smallest grid index — the first winner the
+// historical serial loop would have found — so the result is bit-identical
+// for every thread count. threads = 1 is serial; 0 uses the hardware.
 OptimizerResult OptimizeBestOverParams(const TestProblem& problem,
-                                       OptimizerParams params);
+                                       OptimizerParams params, int threads = 1);
+OptimizerResult OptimizeBestOverParams(const CompiledProblem& compiled,
+                                       OptimizerParams params, int threads = 1);
 
 }  // namespace soctest

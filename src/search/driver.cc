@@ -1,0 +1,59 @@
+#include "search/driver.h"
+
+#include <algorithm>
+
+#include "search/thread_pool.h"
+
+namespace soctest {
+
+SearchOutcome RunRestartSearch(const CompiledProblem& compiled,
+                               const std::vector<RestartConfig>& grid,
+                               const SearchOptions& options) {
+  SearchOutcome outcome;
+  outcome.evaluated = static_cast<int>(grid.size());
+  if (grid.empty()) {
+    outcome.best.error = "restart search given an empty grid";
+    return outcome;
+  }
+
+  // Figure of merit per configuration, indexed by grid position; -1 marks an
+  // infeasible configuration. Slots are disjoint, so workers never contend.
+  std::vector<Time> makespans(grid.size(), -1);
+  {
+    // Never spawn more workers than there are configurations.
+    const int workers = std::min(ResolveThreadCount(options.threads),
+                                 static_cast<int>(grid.size()));
+    ThreadPool pool(workers);
+    pool.ParallelFor(grid.size(), [&](std::size_t i) {
+      const OptimizerResult r = Optimize(compiled, grid[i].params);
+      if (r.ok()) makespans[i] = r.makespan;
+    });
+  }
+
+  // Serial, totally ordered reduction: (makespan, grid index) lexicographic.
+  int best = -1;
+  for (std::size_t i = 0; i < makespans.size(); ++i) {
+    if (makespans[i] < 0) continue;
+    ++outcome.feasible;
+    if (best < 0 || makespans[i] < makespans[static_cast<std::size_t>(best)]) {
+      best = static_cast<int>(i);
+    }
+  }
+  outcome.best_config = best;
+
+  // Materialize the winner (or configuration 0's error when all failed); the
+  // scheduler is deterministic, so this reproduces the evaluated run exactly.
+  const std::size_t pick = best < 0 ? 0 : static_cast<std::size_t>(best);
+  outcome.best = Optimize(compiled, grid[pick].params);
+
+  if (options.keep_trace) outcome.makespans = std::move(makespans);
+  return outcome;
+}
+
+SearchOutcome RunRestartSearch(const CompiledProblem& compiled,
+                               const OptimizerParams& base,
+                               const SearchOptions& options) {
+  return RunRestartSearch(compiled, BuildRestartGrid(base), options);
+}
+
+}  // namespace soctest

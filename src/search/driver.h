@@ -1,0 +1,57 @@
+// SearchDriver — evaluates a restart grid against a shared CompiledProblem
+// on a worker pool and reduces deterministically.
+//
+// Contract: for a fixed CompiledProblem and grid, the outcome is bit-identical
+// for every thread count. Three ingredients make that true:
+//   1. the scheduler is deterministic for fixed inputs and never mutates the
+//      CompiledProblem (it is immutable and shared read-only);
+//   2. every configuration's figure of merit lands in its own grid-indexed
+//      slot, so evaluation order cannot matter;
+//   3. the reduction is serial and totally ordered: smallest makespan wins,
+//      ties break on the smaller grid index (the canonical serial order, see
+//      search/grid.h).
+// The winner is then re-run once to materialize the full schedule — cheaper
+// than retaining one schedule per configuration, and identical by (1).
+#pragma once
+
+#include <vector>
+
+#include "core/compiled_problem.h"
+#include "core/optimizer.h"
+#include "search/grid.h"
+
+namespace soctest {
+
+struct SearchOptions {
+  // Worker threads for the grid evaluation. 0 means "use the hardware"
+  // (hardware_concurrency), any value < 1 after resolution clamps to 1 —
+  // see ResolveThreadCount in search/thread_pool.h.
+  int threads = 1;
+
+  // When true, SearchOutcome::makespans records every configuration's
+  // makespan (-1 for infeasible ones) for diagnostics and tests.
+  bool keep_trace = false;
+};
+
+struct SearchOutcome {
+  // The minimum-makespan result; on total failure, the error result of
+  // configuration 0 (grid errors are configuration-independent: they stem
+  // from the problem or the TAM width, which the grid does not vary).
+  OptimizerResult best;
+  int best_config = -1;  // grid index of the winner; -1 when all failed
+  int evaluated = 0;     // configurations run
+  int feasible = 0;      // configurations that produced a schedule
+  std::vector<Time> makespans;  // per-config trace (only when keep_trace)
+};
+
+// Evaluates every configuration of `grid` and reduces as described above.
+SearchOutcome RunRestartSearch(const CompiledProblem& compiled,
+                               const std::vector<RestartConfig>& grid,
+                               const SearchOptions& options);
+
+// Convenience: the canonical grid over `base` (BuildRestartGrid).
+SearchOutcome RunRestartSearch(const CompiledProblem& compiled,
+                               const OptimizerParams& base,
+                               const SearchOptions& options);
+
+}  // namespace soctest

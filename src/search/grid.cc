@@ -1,0 +1,25 @@
+#include "search/grid.h"
+
+namespace soctest {
+
+std::vector<RestartConfig> BuildRestartGrid(const OptimizerParams& base) {
+  std::vector<RestartConfig> grid;
+  grid.reserve(2 * 2 * 10 * 5);
+  OptimizerParams params = base;
+  for (AdmissionRank rank : {AdmissionRank::kTime, AdmissionRank::kArea}) {
+    params.rank = rank;
+    for (int sizing = 0; sizing < 2; ++sizing) {
+      params.deadline_sizing = sizing == 1;
+      for (int s = 1; s <= 10; ++s) {
+        for (int d = 0; d <= 4; ++d) {
+          params.s_percent = s;
+          params.delta = d;
+          grid.push_back({static_cast<int>(grid.size()), params});
+        }
+      }
+    }
+  }
+  return grid;
+}
+
+}  // namespace soctest

@@ -1,0 +1,38 @@
+// The restart grid: the flat, canonically ordered work list of scheduler
+// configurations that OptimizeBestOverParams sweeps (paper Table 1's "best
+// over all parameter values" methodology, extended with the deadline-sizing
+// mode and the admission-rank ablation).
+//
+// The grid order IS the tie-break: when two configurations produce the same
+// makespan, the one with the smaller grid index wins (see search/driver.h).
+// Keeping the enumeration in one place makes that rule explicit and lets the
+// serial and parallel drivers provably agree.
+#pragma once
+
+#include <vector>
+
+#include "core/optimizer.h"
+
+namespace soctest {
+
+// One restart of the search: a complete scheduler configuration plus its
+// position in the canonical order.
+struct RestartConfig {
+  int index = 0;
+  OptimizerParams params;
+};
+
+// Enumerates the canonical grid on top of `base` (tam_width, preemption mode
+// etc. are taken from `base`; the swept fields are overwritten):
+//
+//   rank    in { kTime, kArea }          (admission ordering)
+//   sizing  in { per-core, deadline }    (preferred-width mode)
+//   S       in [1, 10]                   (percent slack)
+//   delta   in [0, 4]                    (Pareto bump window)
+//
+// in that nesting order — 200 configurations, index 0 first. This is exactly
+// the order the historical serial loop used, so "smallest index wins ties"
+// reproduces its "first configuration found wins" behavior.
+std::vector<RestartConfig> BuildRestartGrid(const OptimizerParams& base);
+
+}  // namespace soctest

@@ -1,0 +1,100 @@
+#include "search/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+
+namespace soctest {
+
+int ResolveThreadCount(int requested) {
+  // Cap absurd requests (e.g. --threads 100000) below typical process
+  // thread limits; the pool is for CPU-bound schedulers, so nothing is
+  // gained beyond hardware scale anyway.
+  constexpr int kMaxThreads = 1024;
+  if (requested > 0) return std::min(requested, kMaxThreads);
+  if (requested == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    if (hw > 0) return std::min(static_cast<int>(hw), kMaxThreads);
+  }
+  return 1;
+}
+
+ThreadPool::ThreadPool(int threads) {
+  const int n = ResolveThreadCount(threads);
+  if (n <= 1) return;  // serial pool: everything runs inline, no OS threads
+  workers_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  task_ready_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  if (workers_.empty()) {  // serial pool: run on the caller's thread
+    task();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    tasks_.push(std::move(task));
+  }
+  task_ready_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      task_ready_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+      if (tasks_.empty()) return;  // stopping_ and drained
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
+}
+
+void ThreadPool::ParallelFor(std::size_t n,
+                             const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  const std::size_t fanout = std::min<std::size_t>(workers_.size(), n);
+  if (fanout <= 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  // One shared claim counter; each worker drains indices until exhausted.
+  // Completion is tracked under a dedicated mutex so the waiter cannot miss
+  // the final notification.
+  auto next = std::make_shared<std::atomic<std::size_t>>(0);
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+  std::size_t done = 0;
+
+  for (std::size_t w = 0; w < fanout; ++w) {
+    Submit([&, next] {
+      for (std::size_t i = next->fetch_add(1); i < n; i = next->fetch_add(1)) {
+        fn(i);
+      }
+      // Notify while holding the lock: the waiter may destroy done_cv the
+      // moment it observes completion, so the notify must finish before the
+      // waiter can re-acquire the mutex.
+      std::lock_guard<std::mutex> lock(done_mutex);
+      ++done;
+      done_cv.notify_one();
+    });
+  }
+
+  std::unique_lock<std::mutex> lock(done_mutex);
+  done_cv.wait(lock, [&] { return done == fanout; });
+}
+
+}  // namespace soctest

@@ -1,0 +1,66 @@
+// A small fixed-size worker pool for the restart search driver and the
+// width-sweep evaluators.
+//
+// Design notes:
+//  * Tasks must not throw — the schedulers report failure through their
+//    result types, never via exceptions.
+//  * ParallelFor is the workhorse: it distributes [0, n) over the workers
+//    with an atomic work counter and blocks until every index has run. With
+//    one worker (or one item) it degenerates to a plain inline loop, so the
+//    `threads = 1` path is literally the serial code path — no pool overhead
+//    and trivially deterministic. Parallel callers are expected to write
+//    results into per-index slots and reduce serially afterwards; that is
+//    what makes the search driver's output bit-identical to serial.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace soctest {
+
+// Resolves a user-facing thread-count request (e.g. a --threads flag):
+// 0 means "use the hardware", negative values and unknown hardware clamp to
+// 1. The result is always >= 1.
+int ResolveThreadCount(int requested);
+
+class ThreadPool {
+ public:
+  // Spawns ResolveThreadCount(threads) workers. A resolved count of 1 is the
+  // serial pool: no OS threads are created and Submit/ParallelFor run on the
+  // caller's thread.
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Parallelism on offer, >= 1 (a serial pool counts the caller's thread).
+  int size() const {
+    return workers_.empty() ? 1 : static_cast<int>(workers_.size());
+  }
+
+  // Enqueues a task for any worker; on a serial pool, runs it inline. The
+  // task must not throw.
+  void Submit(std::function<void()> task);
+
+  // Runs fn(i) for every i in [0, n), spread across the workers; returns
+  // when all n calls have completed. fn must not throw; calls to ParallelFor
+  // must not be nested on the same pool.
+  void ParallelFor(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable task_ready_;
+  bool stopping_ = false;
+};
+
+}  // namespace soctest

@@ -2,24 +2,56 @@
 
 #include <algorithm>
 #include <cassert>
+#include <optional>
+
+#include "search/thread_pool.h"
 
 namespace soctest {
 
 std::vector<SweepPoint> SweepWidths(const TestProblem& problem,
                                     const SweepOptions& options) {
-  std::vector<SweepPoint> out;
-  OptimizerParams params = options.optimizer;
-  for (int w = std::max(1, options.min_width); w <= options.max_width; ++w) {
-    params.tam_width = w;
-    const OptimizerResult result = options.best_over_params
-                                       ? OptimizeBestOverParams(problem, params)
-                                       : Optimize(problem, params);
-    if (!result.ok()) continue;
+  const CompiledProblem compiled(problem, options.optimizer.w_max);
+  return SweepWidths(compiled, options);
+}
+
+std::vector<SweepPoint> SweepWidths(const CompiledProblem& compiled,
+                                    const SweepOptions& options) {
+  const int min_width = std::max(1, options.min_width);
+  if (options.max_width < min_width) return {};
+
+  // One slot per width: workers never contend, and collecting the slots in
+  // index order makes the parallel sweep's output identical to serial.
+  const auto n = static_cast<std::size_t>(options.max_width - min_width + 1);
+  std::vector<std::optional<SweepPoint>> slots(n);
+  // When the width range is narrower than the thread budget, hand the spare
+  // parallelism to each point's inner restart grid (its own nested pool) so
+  // short sweeps with best_over_params still use the whole machine. The
+  // inner search is deterministic at any thread count, so this cannot change
+  // the output.
+  const int budget = ResolveThreadCount(options.threads);
+  const int inner_threads =
+      options.best_over_params ? std::max(1, budget / static_cast<int>(n)) : 1;
+  ThreadPool pool(std::min(budget, static_cast<int>(n)));
+  pool.ParallelFor(n, [&](std::size_t i) {
+    OptimizerParams params = options.optimizer;
+    params.tam_width = min_width + static_cast<int>(i);
+    const OptimizerResult result =
+        options.best_over_params
+            ? OptimizeBestOverParams(compiled, params, inner_threads)
+            : Optimize(compiled, params);
+    if (!result.ok()) return;
     SweepPoint point;
-    point.tam_width = w;
+    point.tam_width = params.tam_width;
     point.test_time = result.makespan;
-    point.data_volume = static_cast<std::int64_t>(w) * result.makespan;
-    out.push_back(point);
+    point.data_volume =
+        static_cast<std::int64_t>(params.tam_width) * result.makespan;
+    slots[i] = point;
+  });
+
+  std::vector<SweepPoint> out;
+  out.reserve(n);
+  for (const auto& slot : slots) {
+    if (slot) out.push_back(*slot);
   }
   return out;
 }

@@ -29,11 +29,17 @@ struct SweepOptions {
   int max_width = 80;            // paper Fig. 9 sweeps to 80
   OptimizerParams optimizer;     // tam_width is overridden per point
   bool best_over_params = false; // sweep S/delta at every width (slow)
+  int threads = 1;               // workers across width points (0 = hardware)
 };
 
 // Schedules the SOC at every width in [min_width, max_width] and records
 // T and D. Points where scheduling fails (impossible inputs) are skipped.
+// The wrapper artifacts are compiled once and shared by every point; with
+// threads > 1 the points are evaluated in parallel, and the result is
+// identical for every thread count (each width owns its output slot).
 std::vector<SweepPoint> SweepWidths(const TestProblem& problem,
+                                    const SweepOptions& options);
+std::vector<SweepPoint> SweepWidths(const CompiledProblem& compiled,
                                     const SweepOptions& options);
 
 // Minimum-T and minimum-D points of a sweep (first minimizer on ties,

@@ -16,6 +16,17 @@ RectangleSet::RectangleSet(const CoreSpec& core, int w_max, int w_limit)
   assert(!pareto_.empty());  // width 1 is always Pareto-optimal
 }
 
+RectangleSet::RectangleSet(CoreId core_id, TimeCurve curve, int w_limit)
+    : core_id_(core_id),
+      w_limit_(std::max(1, std::min(curve.w_max(), w_limit))),
+      curve_(std::move(curve)) {
+  const auto all = ParetoPoints(curve_);
+  for (const auto& p : all) {
+    if (p.width <= w_limit_) pareto_.push_back(p);
+  }
+  assert(!pareto_.empty());  // width 1 is always Pareto-optimal
+}
+
 Time RectangleSet::TimeAtWidth(int w) const {
   return curve_.TimeAt(SnapWidth(w));
 }
@@ -29,9 +40,22 @@ int RectangleSet::MaxWidth() const { return pareto_.back().width; }
 
 Time RectangleSet::MinTime() const { return pareto_.back().time; }
 
-std::int64_t RectangleSet::MinArea() const {
+std::int64_t RectangleSet::MinArea() const { return MinAreaAtMost(w_limit_); }
+
+Time RectangleSet::MinTimeAtMost(int w) const {
+  w = std::clamp(w, 1, w_limit_);
+  Time best = pareto_.front().time;  // width 1 is always Pareto-optimal
+  for (const auto& p : pareto_) {
+    if (p.width <= w) best = p.time;  // sorted by width, time decreasing
+  }
+  return best;
+}
+
+std::int64_t RectangleSet::MinAreaAtMost(int w) const {
+  w = std::clamp(w, 1, w_limit_);
   std::int64_t best = -1;
   for (const auto& p : pareto_) {
+    if (p.width > w) continue;
     const std::int64_t area = static_cast<std::int64_t>(p.width) * p.time;
     if (best < 0 || area < best) best = area;
   }

@@ -22,6 +22,13 @@ class RectangleSet {
   // per-core curve evaluation (the paper uses 64).
   RectangleSet(const CoreSpec& core, int w_max, int w_limit);
 
+  // Builds the set from an already-computed curve, clipping to w_limit. This
+  // skips the expensive wrapper re-design entirely: `curve` was evaluated up
+  // to its own w_max, which bounds the candidate widths exactly as the other
+  // constructor's w_max does. CompiledProblem uses this to derive per-TAM-
+  // width rectangle sets from curves compiled once per core.
+  RectangleSet(CoreId core_id, TimeCurve curve, int w_limit);
+
   CoreId core_id() const { return core_id_; }
   const TimeCurve& curve() const { return curve_; }
   const std::vector<ParetoPoint>& pareto() const { return pareto_; }
@@ -42,6 +49,13 @@ class RectangleSet {
   // Minimal packing area over candidates: min_w (w * T(w)). This is the
   // core's contribution to the area lower bound.
   std::int64_t MinArea() const;
+
+  // MinTime/MinArea restricted to candidates of width <= w (w is clamped
+  // into [1, w_limit] exactly like SnapWidth). These keep derived clips —
+  // e.g. CompiledProblem::Bounds evaluating a narrower TAM width — on the
+  // same clipping rule as the rectangles the scheduler packs.
+  Time MinTimeAtMost(int w) const;
+  std::int64_t MinAreaAtMost(int w) const;
 
  private:
   CoreId core_id_ = kNoCore;

@@ -10,11 +10,15 @@ namespace soctest {
 TimeCurve::TimeCurve(const CoreSpec& core, int w_max) {
   assert(w_max >= 1);
   times_.reserve(static_cast<std::size_t>(w_max));
+  flushes_.reserve(static_cast<std::size_t>(w_max));
   Time best = 0;
+  Time flush = 0;
   const int useful = core.MaxUsefulWidth();
   for (int w = 1; w <= w_max; ++w) {
     if (w <= useful || times_.empty()) {
-      best = WrapperTestTime(core, w);
+      const WrapperConfig config = DesignWrapper(core, w);
+      best = config.TestTime(core.num_patterns);
+      flush = config.scan_in_length + config.scan_out_length;
     }
     // Defensive monotonicity: BFD is a heuristic, so a larger width could in
     // principle produce a (slightly) worse partition. The deliverable curve
@@ -22,6 +26,7 @@ TimeCurve::TimeCurve(const CoreSpec& core, int w_max) {
     // clamp to the best time seen so far.
     if (!times_.empty()) best = std::min(best, times_.back());
     times_.push_back(best);
+    flushes_.push_back(flush);
   }
 }
 
@@ -29,6 +34,12 @@ Time TimeCurve::TimeAt(int w) const {
   assert(!times_.empty());
   w = std::clamp(w, 1, w_max());
   return times_[static_cast<std::size_t>(w - 1)];
+}
+
+Time TimeCurve::FlushAt(int w) const {
+  assert(!flushes_.empty());
+  w = std::clamp(w, 1, w_max());
+  return flushes_[static_cast<std::size_t>(w - 1)];
 }
 
 int TimeCurve::SaturationWidth() const {

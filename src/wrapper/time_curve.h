@@ -26,6 +26,13 @@ class TimeCurve {
   // T(w); w is clamped into [1, w_max].
   Time TimeAt(int w) const;
 
+  // Scan flush/reload cost (s_i + s_o) of the wrapper designed at width w —
+  // the per-preemption penalty the scheduler pays when a test resumes after a
+  // gap (paper Section 4, Assign line 5). Recorded for free while computing
+  // T(w), so the scheduler never has to re-run wrapper design. w is clamped
+  // into [1, w_max].
+  Time FlushAt(int w) const;
+
   // Smallest width whose time is <= the time at w_max (i.e. the width beyond
   // which extra wires buy nothing). This is the highest Pareto width.
   int SaturationWidth() const;
@@ -33,7 +40,8 @@ class TimeCurve {
   const std::vector<Time>& times() const { return times_; }
 
  private:
-  std::vector<Time> times_;  // times_[w-1] = T(w)
+  std::vector<Time> times_;    // times_[w-1] = T(w)
+  std::vector<Time> flushes_;  // flushes_[w-1] = s_i + s_o at width w
 };
 
 }  // namespace soctest

@@ -51,6 +51,33 @@ TEST(ArgParserTest, TypedAccessorsWithDefaults) {
   EXPECT_TRUE(parser.ok());
 }
 
+// The CLI's parallel-search flags: --threads takes a worker count (0 = use
+// the hardware) and --search is a boolean switch for the restart-grid
+// search. Mirrors the parser configuration in tools/soctest_cli.cc.
+TEST(ArgParserTest, ThreadsAndSearchFlags) {
+  ArgParser parser({"search", "sweep"}, {"width", "threads"});
+  const auto argv =
+      Argv({"prog", "d695", "--width", "16", "--search", "--threads", "0"});
+  ASSERT_TRUE(parser.Parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_TRUE(parser.HasFlag("search"));
+  EXPECT_FALSE(parser.HasFlag("sweep"));
+  EXPECT_EQ(parser.IntOr("threads", 1), 0);
+  EXPECT_TRUE(parser.ok());
+
+  // Default when --threads is omitted: the CLI passes 0 ("use the
+  // hardware") for both the schedule and sweep subcommands.
+  ArgParser defaulted({"search", "sweep"}, {"width", "threads"});
+  const auto argv2 = Argv({"prog", "d695", "--width", "16"});
+  ASSERT_TRUE(defaulted.Parse(static_cast<int>(argv2.size()), argv2.data()));
+  EXPECT_FALSE(defaulted.HasFlag("search"));
+  EXPECT_EQ(defaulted.IntOr("threads", 0), 0);
+
+  // --threads requires a value.
+  ArgParser missing({"search"}, {"threads"});
+  const auto argv3 = Argv({"prog", "--threads"});
+  EXPECT_FALSE(missing.Parse(static_cast<int>(argv3.size()), argv3.data()));
+}
+
 TEST(ArgParserTest, BadIntegerSurfacesError) {
   ArgParser parser({}, {"n"});
   const auto argv = Argv({"prog", "--n", "seven"});

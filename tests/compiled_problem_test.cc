@@ -1,0 +1,168 @@
+#include "core/compiled_problem.h"
+
+#include <gtest/gtest.h>
+
+#include "baseline/lower_bound.h"
+#include "core/optimizer.h"
+#include "soc/benchmarks.h"
+#include "soc/generator.h"
+#include "wrapper/wrapper_design.h"
+
+namespace soctest {
+namespace {
+
+TestProblem GeneratedProblem(std::uint64_t seed, int cores) {
+  GeneratorParams params;
+  params.seed = seed;
+  params.num_cores = cores;
+  return TestProblem::FromSoc(GenerateSoc(params));
+}
+
+// The compiled curves must be the same object the wrapper layer would build
+// fresh: same times at every width, same flush (s_i + s_o) lengths.
+TEST(CompiledProblemTest, CurvesMatchFreshTimeCurves) {
+  const TestProblem problem = TestProblem::FromSoc(MakeD695());
+  const CompiledProblem compiled(problem, 64);
+  ASSERT_TRUE(compiled.ok());
+  ASSERT_EQ(compiled.num_cores(), problem.soc.num_cores());
+  for (CoreId c = 0; c < problem.soc.num_cores(); ++c) {
+    const TimeCurve fresh(problem.soc.core(c), 64);
+    EXPECT_EQ(compiled.curve(c).times(), fresh.times()) << "core " << c;
+    for (int w = 1; w <= 64; ++w) {
+      EXPECT_EQ(compiled.curve(c).FlushAt(w), fresh.FlushAt(w))
+          << "core " << c << " width " << w;
+    }
+  }
+}
+
+// FlushAt must agree with an actual wrapper design at every Pareto width —
+// those are the widths the scheduler assigns, so the preemption penalty the
+// compiled path charges must be bit-identical to re-running DesignWrapper.
+TEST(CompiledProblemTest, FlushPenaltyMatchesDesignWrapper) {
+  const TestProblem problem = TestProblem::FromSoc(MakeD695());
+  const CompiledProblem compiled(problem, 64);
+  ASSERT_TRUE(compiled.ok());
+  for (CoreId c = 0; c < problem.soc.num_cores(); ++c) {
+    for (const auto& p : compiled.pareto(c)) {
+      const WrapperConfig config = DesignWrapper(problem.soc.core(c), p.width);
+      EXPECT_EQ(compiled.FlushPenalty(c, p.width),
+                config.scan_in_length + config.scan_out_length)
+          << "core " << c << " width " << p.width;
+    }
+  }
+}
+
+// RectsFor must reproduce BuildRectangleSets for any TAM width clip.
+TEST(CompiledProblemTest, RectsForMatchesFreshRectangleSets) {
+  const TestProblem problem = GeneratedProblem(7, 12);
+  const CompiledProblem compiled(problem, 64);
+  ASSERT_TRUE(compiled.ok());
+  for (int tam_width : {1, 5, 16, 32, 64, 100}) {
+    const auto fresh = BuildRectangleSets(problem.soc, 64, tam_width);
+    const auto derived = compiled.RectsFor(tam_width);
+    ASSERT_EQ(derived.size(), fresh.size());
+    for (std::size_t i = 0; i < fresh.size(); ++i) {
+      EXPECT_EQ(derived[i].core_id(), fresh[i].core_id());
+      EXPECT_EQ(derived[i].pareto(), fresh[i].pareto())
+          << "core " << i << " W " << tam_width;
+      EXPECT_EQ(derived[i].MaxWidth(), fresh[i].MaxWidth());
+      EXPECT_EQ(derived[i].MinTime(), fresh[i].MinTime());
+      EXPECT_EQ(derived[i].MinArea(), fresh[i].MinArea());
+      for (int w = 1; w <= tam_width + 2; ++w) {
+        ASSERT_EQ(derived[i].SnapWidth(w), fresh[i].SnapWidth(w));
+        ASSERT_EQ(derived[i].TimeAtWidth(w), fresh[i].TimeAtWidth(w));
+      }
+    }
+  }
+}
+
+TEST(CompiledProblemTest, MaxUsefulWidthIsTopParetoWidth) {
+  const TestProblem problem = TestProblem::FromSoc(MakeD695());
+  const CompiledProblem compiled(problem, 64);
+  ASSERT_TRUE(compiled.ok());
+  for (CoreId c = 0; c < problem.soc.num_cores(); ++c) {
+    EXPECT_EQ(compiled.max_useful_width(c), compiled.pareto(c).back().width);
+    EXPECT_EQ(compiled.max_useful_width(c), compiled.curve(c).SaturationWidth());
+  }
+}
+
+// The bound aggregates must agree with the baseline lower-bound module.
+TEST(CompiledProblemTest, BoundsMatchComputeLowerBound) {
+  const TestProblem problem = GeneratedProblem(11, 10);
+  const CompiledProblem compiled(problem, 64);
+  ASSERT_TRUE(compiled.ok());
+  for (int tam_width : {8, 16, 32, 48}) {
+    const SocBounds bounds = compiled.Bounds(tam_width);
+    const auto lb = ComputeLowerBound(problem.soc, tam_width, 64);
+    EXPECT_EQ(bounds.bottleneck_time, lb.bottleneck_bound);
+    EXPECT_EQ(bounds.total_min_area, lb.total_min_area);
+    EXPECT_EQ(bounds.AreaBound(tam_width), lb.area_bound);
+    EXPECT_EQ(bounds.LowerBound(tam_width), lb.value());
+  }
+  // serial_time: the width-1 schedule run back to back.
+  Time serial = 0;
+  for (CoreId c = 0; c < problem.soc.num_cores(); ++c) {
+    serial += compiled.curve(c).TimeAt(1);
+  }
+  EXPECT_EQ(compiled.Bounds(16).serial_time, serial);
+}
+
+// Scheduling against the compiled problem must be bit-identical to the
+// compile-per-run compatibility path, preemption overheads included.
+TEST(CompiledProblemTest, OptimizeCompiledMatchesOptimizeProblem) {
+  const TestProblem problem = MakeBenchmarkProblem(MakeP22810s(), true);
+  const CompiledProblem compiled(problem, 64);
+  ASSERT_TRUE(compiled.ok());
+  for (const bool preempt : {false, true}) {
+    OptimizerParams params;
+    params.tam_width = 24;
+    params.allow_preemption = preempt;
+    const OptimizerResult fresh = Optimize(problem, params);
+    const OptimizerResult reused = Optimize(compiled, params);
+    ASSERT_TRUE(fresh.ok());
+    ASSERT_TRUE(reused.ok());
+    EXPECT_EQ(fresh.makespan, reused.makespan);
+    EXPECT_EQ(fresh.admission_rounds, reused.admission_rounds);
+    ASSERT_EQ(fresh.schedule.entries().size(), reused.schedule.entries().size());
+    for (std::size_t i = 0; i < fresh.schedule.entries().size(); ++i) {
+      const auto& a = fresh.schedule.entries()[i];
+      const auto& b = reused.schedule.entries()[i];
+      EXPECT_EQ(a.assigned_width, b.assigned_width);
+      EXPECT_EQ(a.preemptions, b.preemptions);
+      EXPECT_EQ(a.overhead_cycles, b.overhead_cycles);
+      ASSERT_EQ(a.segments.size(), b.segments.size());
+      for (std::size_t s = 0; s < a.segments.size(); ++s) {
+        EXPECT_EQ(a.segments[s].span, b.segments[s].span);
+        EXPECT_EQ(a.segments[s].width, b.segments[s].width);
+      }
+    }
+  }
+}
+
+TEST(CompiledProblemTest, InvalidWmaxReportsError) {
+  const TestProblem problem = TestProblem::FromSoc(MakeD695());
+  const CompiledProblem compiled(problem, 0);
+  EXPECT_FALSE(compiled.ok());
+  OptimizerParams params;
+  params.tam_width = 16;
+  params.w_max = 0;
+  const OptimizerResult result = Optimize(compiled, params);
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(CompiledProblemTest, WmaxMismatchReportsError) {
+  const TestProblem problem = TestProblem::FromSoc(MakeD695());
+  const CompiledProblem compiled(problem, 32);
+  ASSERT_TRUE(compiled.ok());
+  OptimizerParams params;  // default w_max = 64 != 32
+  params.tam_width = 16;
+  const OptimizerResult result = Optimize(compiled, params);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.error->find("w_max"), std::string::npos);
+
+  params.w_max = 32;
+  EXPECT_TRUE(Optimize(compiled, params).ok());
+}
+
+}  // namespace
+}  // namespace soctest

@@ -1,0 +1,199 @@
+#include "search/driver.h"
+
+#include <gtest/gtest.h>
+
+#include "core/validator.h"
+#include "search/thread_pool.h"
+#include "soc/benchmarks.h"
+#include "soc/generator.h"
+
+namespace soctest {
+namespace {
+
+TestProblem GeneratedProblem(std::uint64_t seed, int cores) {
+  GeneratorParams params;
+  params.seed = seed;
+  params.num_cores = cores;
+  params.max_preemptions = 2;
+  return TestProblem::FromSoc(GenerateSoc(params));
+}
+
+void ExpectIdenticalSchedules(const Schedule& a, const Schedule& b) {
+  EXPECT_EQ(a.tam_width(), b.tam_width());
+  EXPECT_EQ(a.Makespan(), b.Makespan());
+  ASSERT_EQ(a.entries().size(), b.entries().size());
+  for (std::size_t i = 0; i < a.entries().size(); ++i) {
+    const auto& ea = a.entries()[i];
+    const auto& eb = b.entries()[i];
+    EXPECT_EQ(ea.core, eb.core);
+    EXPECT_EQ(ea.assigned_width, eb.assigned_width);
+    EXPECT_EQ(ea.preemptions, eb.preemptions);
+    EXPECT_EQ(ea.overhead_cycles, eb.overhead_cycles);
+    ASSERT_EQ(ea.segments.size(), eb.segments.size()) << "core " << ea.core;
+    for (std::size_t s = 0; s < ea.segments.size(); ++s) {
+      EXPECT_EQ(ea.segments[s].span, eb.segments[s].span);
+      EXPECT_EQ(ea.segments[s].width, eb.segments[s].width);
+    }
+  }
+}
+
+TEST(ThreadPoolTest, ResolveThreadCountGuards) {
+  EXPECT_EQ(ResolveThreadCount(1), 1);
+  EXPECT_EQ(ResolveThreadCount(7), 7);
+  // 0 means "use the hardware", which is always at least one thread.
+  EXPECT_GE(ResolveThreadCount(0), 1);
+  // Negative requests clamp to 1 instead of spawning nothing.
+  EXPECT_EQ(ResolveThreadCount(-1), 1);
+  EXPECT_EQ(ResolveThreadCount(-100), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4);
+  std::vector<int> hits(1000, 0);
+  pool.ParallelFor(hits.size(), [&](std::size_t i) { hits[i] += 1; });
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    ASSERT_EQ(hits[i], 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, SingleWorkerRunsInline) {
+  ThreadPool pool(1);
+  const auto caller = std::this_thread::get_id();
+  std::thread::id seen;
+  pool.ParallelFor(1, [&](std::size_t) { seen = std::this_thread::get_id(); });
+  EXPECT_EQ(seen, caller);  // threads=1 is literally the serial code path
+}
+
+TEST(SearchGridTest, CanonicalOrderAndSize) {
+  OptimizerParams base;
+  base.tam_width = 24;
+  const auto grid = BuildRestartGrid(base);
+  ASSERT_EQ(grid.size(), 200u);  // 2 ranks x 2 sizings x 10 S x 5 delta
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    EXPECT_EQ(grid[i].index, static_cast<int>(i));
+    EXPECT_EQ(grid[i].params.tam_width, 24);  // base fields preserved
+  }
+  // Nesting order: rank is the outermost axis, delta the innermost.
+  EXPECT_EQ(grid[0].params.rank, AdmissionRank::kTime);
+  EXPECT_FALSE(grid[0].params.deadline_sizing);
+  EXPECT_DOUBLE_EQ(grid[0].params.s_percent, 1.0);
+  EXPECT_EQ(grid[0].params.delta, 0);
+  EXPECT_EQ(grid[1].params.delta, 1);
+  EXPECT_DOUBLE_EQ(grid[5].params.s_percent, 2.0);
+  EXPECT_TRUE(grid[50].params.deadline_sizing);
+  EXPECT_EQ(grid[100].params.rank, AdmissionRank::kArea);
+}
+
+// The headline determinism contract: the restart search returns an identical
+// best schedule for every thread count, on d695 and d695-style generated
+// SOCs, with and without preemption.
+TEST(SearchDriverTest, ParallelSearchBitIdenticalToSerial) {
+  std::vector<TestProblem> problems;
+  problems.push_back(TestProblem::FromSoc(MakeD695()));
+  problems.push_back(GeneratedProblem(3, 10));
+  problems.push_back(GeneratedProblem(17, 12));
+  for (const auto& problem : problems) {
+    const CompiledProblem compiled(problem);
+    ASSERT_TRUE(compiled.ok());
+    for (const bool preempt : {false, true}) {
+      OptimizerParams params;
+      params.tam_width = 24;
+      params.allow_preemption = preempt;
+
+      SearchOptions serial;
+      serial.threads = 1;
+      const SearchOutcome one = RunRestartSearch(compiled, params, serial);
+
+      SearchOptions parallel;
+      parallel.threads = 8;
+      const SearchOutcome eight = RunRestartSearch(compiled, params, parallel);
+
+      ASSERT_TRUE(one.best.ok());
+      ASSERT_TRUE(eight.best.ok());
+      EXPECT_EQ(one.best_config, eight.best_config);
+      EXPECT_EQ(one.best.makespan, eight.best.makespan);
+      ExpectIdenticalSchedules(one.best.schedule, eight.best.schedule);
+      EXPECT_TRUE(IsValidSchedule(problem, eight.best.schedule));
+    }
+  }
+}
+
+// The documented tie-break: among all configurations achieving the minimum
+// makespan, the smallest grid index wins — independent of evaluation order.
+TEST(SearchDriverTest, TieBreakPicksSmallestGridIndex) {
+  const TestProblem problem = GeneratedProblem(5, 8);
+  const CompiledProblem compiled(problem);
+  ASSERT_TRUE(compiled.ok());
+  OptimizerParams params;
+  params.tam_width = 16;
+  SearchOptions options;
+  options.threads = 8;
+  options.keep_trace = true;
+  const SearchOutcome outcome = RunRestartSearch(compiled, params, options);
+  ASSERT_TRUE(outcome.best.ok());
+  ASSERT_EQ(outcome.makespans.size(), 200u);
+  EXPECT_EQ(outcome.evaluated, 200);
+
+  int expected = -1;
+  for (std::size_t i = 0; i < outcome.makespans.size(); ++i) {
+    if (outcome.makespans[i] < 0) continue;
+    if (expected < 0 ||
+        outcome.makespans[i] <
+            outcome.makespans[static_cast<std::size_t>(expected)]) {
+      expected = static_cast<int>(i);
+    }
+  }
+  EXPECT_EQ(outcome.best_config, expected);
+  EXPECT_EQ(outcome.best.makespan,
+            outcome.makespans[static_cast<std::size_t>(expected)]);
+  // The winner's makespan is the grid minimum, and every smaller index is
+  // strictly worse (that is exactly what "smallest index on ties" means).
+  for (int i = 0; i < expected; ++i) {
+    const Time m = outcome.makespans[static_cast<std::size_t>(i)];
+    EXPECT_TRUE(m < 0 || m > outcome.best.makespan) << "config " << i;
+  }
+}
+
+// OptimizeBestOverParams is the user-facing wrapper of the driver; its
+// compatibility (TestProblem) overload and compiled overload must agree at
+// every thread count.
+TEST(SearchDriverTest, OptimizeBestOverParamsThreadInvariant) {
+  const TestProblem problem = GeneratedProblem(9, 10);
+  const CompiledProblem compiled(problem);
+  OptimizerParams params;
+  params.tam_width = 20;
+  const OptimizerResult compat = OptimizeBestOverParams(problem, params);
+  const OptimizerResult t1 = OptimizeBestOverParams(compiled, params, 1);
+  const OptimizerResult t8 = OptimizeBestOverParams(compiled, params, 8);
+  ASSERT_TRUE(compat.ok());
+  ASSERT_TRUE(t1.ok());
+  ASSERT_TRUE(t8.ok());
+  EXPECT_EQ(compat.makespan, t1.makespan);
+  EXPECT_EQ(t1.makespan, t8.makespan);
+  ExpectIdenticalSchedules(compat.schedule, t1.schedule);
+  ExpectIdenticalSchedules(t1.schedule, t8.schedule);
+}
+
+// Unschedulable inputs surface one deterministic error, not a race on which
+// configuration failed "first".
+TEST(SearchDriverTest, AllConfigsFailingPropagatesError) {
+  Soc soc("invalid");
+  CoreSpec core;
+  core.name = "empty";  // no patterns/IO: Soc::Validate rejects it
+  soc.AddCore(core);
+  const TestProblem problem = TestProblem::FromSoc(std::move(soc));
+  const CompiledProblem compiled(problem);
+  EXPECT_FALSE(compiled.ok());
+  OptimizerParams params;
+  params.tam_width = 16;
+  SearchOptions options;
+  options.threads = 4;
+  const SearchOutcome outcome = RunRestartSearch(compiled, params, options);
+  EXPECT_FALSE(outcome.best.ok());
+  EXPECT_EQ(outcome.best_config, -1);
+  EXPECT_EQ(outcome.feasible, 0);
+}
+
+}  // namespace
+}  // namespace soctest

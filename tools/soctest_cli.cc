@@ -4,9 +4,9 @@
 //   benchmarks                               list embedded benchmark SOCs
 //   wrapper   <soc> <core> [--wmax N]        T(w) curve + Pareto widths
 //   schedule  <soc> --width W [--preempt] [--power-factor F]
-//             [--s N] [--delta N] [--sweep] [--gantt] [--wires]
-//             [--json PATH] [--csv PATH] [--svg PATH]
-//   sweep     <soc> [--min N] [--max N] [--rho R] [--csv PATH]
+//             [--s N] [--delta N] [--search] [--threads N] [--gantt]
+//             [--wires] [--json PATH] [--csv PATH] [--svg PATH]
+//   sweep     <soc> [--min N] [--max N] [--rho R] [--threads N] [--csv PATH]
 //   lowerbound <soc> --width W
 //   advise    <soc> [--threshold R] [--max-budget N]   preemption budgets
 //
@@ -107,13 +107,16 @@ int CmdWrapper(int argc, const char* const* argv) {
 }
 
 int CmdSchedule(int argc, const char* const* argv) {
-  ArgParser args({"preempt", "sweep", "gantt", "wires"},
-                 {"width", "power-factor", "s", "delta", "json", "csv", "svg"});
+  // --search runs the restart-grid search (paper parameter sweep) on
+  // --threads workers; --sweep is the historical spelling of --search.
+  ArgParser args({"preempt", "sweep", "search", "gantt", "wires"},
+                 {"width", "power-factor", "s", "delta", "threads", "json",
+                  "csv", "svg"});
   if (!args.Parse(argc, argv, 2) || args.positional().size() != 1) {
     std::fprintf(stderr, "usage: soctest_cli schedule <soc> --width W "
                          "[--preempt] [--power-factor F] [--s N] [--delta N] "
-                         "[--sweep] [--gantt] [--wires] [--json P] [--csv P] "
-                         "[--svg P]\n%s\n",
+                         "[--search] [--threads N] [--gantt] [--wires] "
+                         "[--json P] [--csv P] [--svg P]\n%s\n",
                  args.Error().c_str());
     return 2;
   }
@@ -130,14 +133,19 @@ int CmdSchedule(int argc, const char* const* argv) {
   params.s_percent = args.DoubleOr("s", 5.0);
   params.delta = static_cast<int>(args.IntOr("delta", 1));
   params.allow_preemption = args.HasFlag("preempt");
+  // Default 0 = all hardware threads, matching the sweep subcommand.
+  const int threads = static_cast<int>(args.IntOr("threads", 0));
   if (!args.ok()) {
     std::fprintf(stderr, "%s\n", args.Error().c_str());
     return 2;
   }
 
-  const OptimizerResult result = args.HasFlag("sweep")
-                                     ? OptimizeBestOverParams(*problem, params)
-                                     : Optimize(*problem, params);
+  // Compile once, then search/schedule against the shared artifacts.
+  const CompiledProblem compiled(*problem, params.w_max);
+  const OptimizerResult result =
+      args.HasFlag("search") || args.HasFlag("sweep")
+          ? OptimizeBestOverParams(compiled, params, threads)
+          : Optimize(compiled, params);
   if (!result.ok()) {
     std::fprintf(stderr, "scheduling failed: %s\n", result.error->c_str());
     return 1;
@@ -183,10 +191,10 @@ int CmdSchedule(int argc, const char* const* argv) {
 }
 
 int CmdSweep(int argc, const char* const* argv) {
-  ArgParser args({}, {"min", "max", "rho", "csv"});
+  ArgParser args({}, {"min", "max", "rho", "threads", "csv"});
   if (!args.Parse(argc, argv, 2) || args.positional().size() != 1) {
     std::fprintf(stderr, "usage: soctest_cli sweep <soc> [--min N] [--max N] "
-                         "[--rho R] [--csv P]\n%s\n",
+                         "[--rho R] [--threads N] [--csv P]\n%s\n",
                  args.Error().c_str());
     return 2;
   }
@@ -195,6 +203,7 @@ int CmdSweep(int argc, const char* const* argv) {
   SweepOptions options;
   options.min_width = static_cast<int>(args.IntOr("min", 8));
   options.max_width = static_cast<int>(args.IntOr("max", 64));
+  options.threads = static_cast<int>(args.IntOr("threads", 0));
   const double rho = args.DoubleOr("rho", 0.5);
   if (!args.ok()) {
     std::fprintf(stderr, "%s\n", args.Error().c_str());
