@@ -9,6 +9,7 @@
 
 #include "baseline/lower_bound.h"
 #include "core/optimizer.h"
+#include "search/driver.h"
 #include "soc/benchmarks.h"
 #include "util/strings.h"
 #include "util/table.h"
@@ -102,5 +103,46 @@ int main() {
     delta_table.AddRow(row);
   }
   std::fputs(delta_table.ToString().c_str(), stdout);
+
+  std::printf("\n=== Ablation: restart-grid quality vs. restarts ===\n"
+              "(canonical 200-config grid vs. the wide grid with rank=width,\n"
+              " idle-fill slack, and preemption-budget axes; threads=0)\n\n");
+  TablePrinter grid_table({"SOC", "W", "restarts 200", "makespan",
+                           "restarts wide", "makespan (wide)", "gain"});
+  for (const auto& soc : AllBenchmarkSocs()) {
+    const TestProblem problem = TestProblem::FromSoc(soc);
+    const CompiledProblem compiled(problem);
+    for (int w : {24, 48}) {
+      OptimizerParams base;
+      base.tam_width = w;
+      base.allow_preemption = true;
+      SearchOptions options;
+      options.threads = 0;
+      const SearchOutcome narrow = RunRestartSearch(compiled, base, options);
+      options.extent = GridExtent::kWide;
+      const SearchOutcome wide = RunRestartSearch(compiled, base, options);
+      if (!narrow.best.ok() || !wide.best.ok()) return 1;
+      std::printf("MAKESPAN soc=%s w=%d mode=grid200 cycles=%lld\n",
+                  soc.name().c_str(), w,
+                  static_cast<long long>(narrow.best.makespan));
+      std::printf("MAKESPAN soc=%s w=%d mode=gridwide cycles=%lld\n",
+                  soc.name().c_str(), w,
+                  static_cast<long long>(wide.best.makespan));
+      std::printf("STATS bench=ablation soc=%s w=%d restarts200=%d "
+                  "restartswide=%d makespan200=%lld makespanwide=%lld\n",
+                  soc.name().c_str(), w, narrow.evaluated, wide.evaluated,
+                  static_cast<long long>(narrow.best.makespan),
+                  static_cast<long long>(wide.best.makespan));
+      grid_table.AddRow(
+          {soc.name(), std::to_string(w), std::to_string(narrow.evaluated),
+           WithCommas(narrow.best.makespan), std::to_string(wide.evaluated),
+           WithCommas(wide.best.makespan),
+           StrFormat("%.2f%%",
+                     100.0 * (1.0 - static_cast<double>(wide.best.makespan) /
+                                        static_cast<double>(
+                                            narrow.best.makespan)))});
+    }
+  }
+  std::fputs(grid_table.ToString().c_str(), stdout);
   return 0;
 }

@@ -3,7 +3,11 @@
 // threading scalability, validation, and wire assignment throughput.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+
 #include "core/compiled_problem.h"
+#include "core/exact.h"
+#include "core/improver.h"
 #include "core/optimizer.h"
 #include "core/validator.h"
 #include "core/wire_assign.h"
@@ -82,16 +86,114 @@ BENCHMARK(BM_CompiledProblemBuild)->Unit(benchmark::kMillisecond);
 
 // One scheduler run against pre-compiled artifacts. Compare against
 // BM_OptimizeSoc/64 (which compiles per call) for the compile-once win.
+// Arg 0 allocates fresh per run (the historical inner loop); arg 1 reuses a
+// ScheduleWorkspace across runs (the restart-loop fast path) — the delta is
+// the per-run allocation cost the workspace removes (rectangle re-clipping,
+// state vectors, admission scratch).
 void BM_OptimizeCompiled64(benchmark::State& state) {
   const TestProblem& problem = Generated64();
   const CompiledProblem compiled(problem);
   OptimizerParams params;
   params.tam_width = 32;
+  const bool reuse_workspace = state.range(0) == 1;
+  ScheduleWorkspace ws;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(Optimize(compiled, params));
+    if (reuse_workspace) {
+      benchmark::DoNotOptimize(Optimize(compiled, params, ws));
+    } else {
+      benchmark::DoNotOptimize(Optimize(compiled, params));
+    }
   }
 }
-BENCHMARK(BM_OptimizeCompiled64)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_OptimizeCompiled64)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
+// The batched parallel hill climb (restart search + K-candidate rounds) at
+// 1 and 8 worker threads. Results are bit-identical across thread counts;
+// per-improvement wall-clock is what moves. MAKESPAN/STATS lines feed
+// bench/run_all.sh's quality trajectory.
+void BM_ImproveCompiled64(benchmark::State& state) {
+  const TestProblem& problem = Generated64();
+  const CompiledProblem compiled(problem);
+  ImproverParams params;
+  params.optimizer.tam_width = 32;
+  params.iterations = 64;
+  params.batch = 8;
+  params.threads = static_cast<int>(state.range(0));
+  ImproverResult last;
+  for (auto _ : state) {
+    last = ImproveSchedule(compiled, params);
+    benchmark::DoNotOptimize(last);
+  }
+  state.counters["improvements"] =
+      static_cast<double>(last.improvements);
+  if (last.best.ok()) {
+    std::printf("MAKESPAN soc=gen64 w=32 mode=improve threads=%d cycles=%lld\n",
+                params.threads, static_cast<long long>(last.best.makespan));
+    std::printf("STATS bench=improve threads=%d improvements=%d attempts=%d "
+                "rounds=%d initial=%lld final=%lld\n",
+                params.threads, last.improvements, last.attempts, last.rounds,
+                static_cast<long long>(last.initial_makespan),
+                static_cast<long long>(last.best.makespan));
+  }
+}
+BENCHMARK(BM_ImproveCompiled64)
+    ->Arg(1)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+// Exact branch-and-bound, cold (arg 0) vs. warm-started from the restart
+// search's best (arg 1). The warm tree is strictly smaller; the optimum is
+// identical. Node counts land in the counters and a STATS line.
+void BM_ExactWarmStart(benchmark::State& state) {
+  GeneratorParams gen;
+  gen.seed = 21;
+  gen.num_cores = 6;
+  gen.min_inputs = 2;
+  gen.max_inputs = 24;
+  gen.min_outputs = 2;
+  gen.max_outputs = 24;
+  gen.min_patterns = 5;
+  gen.max_patterns = 60;
+  gen.min_chains = 1;
+  gen.max_chains = 5;
+  gen.min_chain_len = 4;
+  gen.max_chain_len = 40;
+  const Soc soc = GenerateSoc(gen);
+  const int w = 8;
+  ExactPackOptions options;
+  options.max_nodes = 20'000'000;
+  const bool warm = state.range(0) == 1;
+  if (warm) {
+    const TestProblem problem = TestProblem::FromSoc(soc);
+    const CompiledProblem compiled(problem);
+    OptimizerParams params;
+    params.tam_width = w;
+    const auto heuristic = OptimizeBestOverParams(compiled, params, 0);
+    if (!heuristic.ok()) {
+      state.SkipWithError("heuristic warm source failed");
+      return;
+    }
+    SeedWarmStart(options, heuristic);
+  }
+  std::int64_t nodes = 0;
+  for (auto _ : state) {
+    const auto result = ExactPack(soc, w, options);
+    nodes = result ? result->nodes_explored : -1;
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["nodes"] = static_cast<double>(nodes);
+  std::printf("STATS bench=exact_warm_start warm=%d nodes=%lld\n", warm ? 1 : 0,
+              static_cast<long long>(nodes));
+}
+BENCHMARK(BM_ExactWarmStart)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
 
 // The full 200-restart sweep on a 64-core SOC at 1/2/4/8 worker threads.
 // The result is bit-identical across thread counts; only wall-clock moves.

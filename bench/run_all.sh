@@ -3,7 +3,10 @@
 # timings AND result quality. Each bench writes bench_results/BENCH_<name>.json
 # with the wall-clock plus every "MAKESPAN key=value ..." line the bench
 # printed, parsed into a "makespans" array — so schedule-quality regressions
-# show up in the cross-PR trajectory, not just speed.
+# show up in the cross-PR trajectory, not just speed. "STATS key=value ..."
+# lines (B&B node counts, improver acceptance rates, restart counts) are
+# parsed the same way into a "stats" array; CI uploads bench_results/ as an
+# artifact so the perf trajectory is visible per PR.
 #
 # Usage: bench/run_all.sh [build-dir]   (default: build)
 set -eu
@@ -29,6 +32,26 @@ now_ms() {
   esac
 }
 
+# "<TAG> a=1 b=x" lines from a bench log -> JSON objects; integers stay
+# unquoted. Shared by the MAKESPAN (quality) and STATS (search effort)
+# extraction below.
+parse_kv_lines() {
+  awk -v tag="$1" '
+    $1 == tag {
+      obj = ""
+      for (i = 2; i <= NF; ++i) {
+        eq = index($i, "=")
+        if (eq == 0) continue
+        key = substr($i, 1, eq - 1)
+        val = substr($i, eq + 1)
+        if (val !~ /^-?[0-9]+$/) val = "\"" val "\""
+        obj = obj (obj == "" ? "" : ", ") "\"" key "\": " val
+      }
+      printf "%s    {%s}", sep, obj
+      sep = ",\n"
+    }' "$2"
+}
+
 status=0
 for exe in "$build_dir"/bench/*; do
   [ -f "$exe" ] && [ -x "$exe" ] || continue
@@ -47,25 +70,19 @@ for exe in "$build_dir"/bench/*; do
   end=$(now_ms)
   elapsed=$((end - start))
   printf '   %s: %s ms (%s)\n' "$bench_status" "$elapsed" "$name"
-  # "MAKESPAN a=1 b=x" lines -> JSON objects; integers stay unquoted.
-  makespans=$(awk '
-    /^MAKESPAN / {
-      obj = ""
-      for (i = 2; i <= NF; ++i) {
-        eq = index($i, "=")
-        if (eq == 0) continue
-        key = substr($i, 1, eq - 1)
-        val = substr($i, eq + 1)
-        if (val !~ /^-?[0-9]+$/) val = "\"" val "\""
-        obj = obj (obj == "" ? "" : ", ") "\"" key "\": " val
-      }
-      printf "%s    {%s}", sep, obj
-      sep = ",\n"
-    }' "$out_dir/$name.out")
+  makespans=$(parse_kv_lines MAKESPAN "$out_dir/$name.out")
   if [ -n "$makespans" ]; then
     makespans=$(printf '[\n%s\n  ]' "$makespans")
   else
     makespans='[]'
+  fi
+  # "STATS key=value" lines: search-effort / quality counters (B&B nodes,
+  # improver acceptance, restart counts) for the cross-PR trajectory.
+  stats=$(parse_kv_lines STATS "$out_dir/$name.out")
+  if [ -n "$stats" ]; then
+    stats=$(printf '[\n%s\n  ]' "$stats")
+  else
+    stats='[]'
   fi
   cat >"$out_dir/BENCH_$name.json" <<EOF
 {
@@ -74,7 +91,8 @@ for exe in "$build_dir"/bench/*; do
   "wall_ms": $elapsed,
   "build_type": "Release",
   "log": "bench_results/$name.out",
-  "makespans": $makespans
+  "makespans": $makespans,
+  "stats": $stats
 }
 EOF
 done

@@ -1,11 +1,19 @@
 #include "core/compiled_problem.h"
 
 #include <algorithm>
+#include <atomic>
 
 namespace soctest {
 
+namespace {
+std::uint64_t NextCompilationId() {
+  static std::atomic<std::uint64_t> counter{0};
+  return ++counter;  // 0 is reserved for "no compilation" in caches
+}
+}  // namespace
+
 CompiledProblem::CompiledProblem(const TestProblem& problem, int w_max)
-    : problem_(&problem), w_max_(w_max) {
+    : problem_(&problem), w_max_(w_max), id_(NextCompilationId()) {
   if (w_max_ < 1) {
     error_ = "w_max must be >= 1";
     return;

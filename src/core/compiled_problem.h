@@ -25,6 +25,7 @@
 // problem must outlive it (same convention as TamScheduleOptimizer).
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <vector>
@@ -72,6 +73,12 @@ class CompiledProblem {
   int w_max() const { return w_max_; }
   int num_cores() const { return static_cast<int>(rects_.size()); }
 
+  // Process-unique identity of this compilation (monotonic, never reused).
+  // Caches keyed on a CompiledProblem (e.g. ScheduleWorkspace's clipped
+  // rectangle sets) compare ids instead of addresses, so a new problem
+  // allocated where a dead one lived can never serve stale artifacts.
+  std::uint64_t id() const { return id_; }
+
   bool ok() const { return !error_.has_value(); }
   const std::optional<std::string>& error() const { return error_; }
 
@@ -106,6 +113,7 @@ class CompiledProblem {
  private:
   const TestProblem* problem_;
   int w_max_ = 0;
+  std::uint64_t id_ = 0;
   std::optional<std::string> error_;
   std::vector<RectangleSet> rects_;  // clipped only by w_max
 };

@@ -134,7 +134,79 @@ void Branch(SearchState& s) {
   }
 }
 
+// Installs the warm solution as the first incumbent by descending the warm
+// width assignment before any branching: cores are placed in the order
+// Branch picks them (largest min_area first, smallest id on ties), each at
+// its warm candidate rectangle, at the earliest active start where it fits.
+// This is incumbent construction, not search — it does not touch s.nodes —
+// and it can only lower s.best, so the branched tree only shrinks.
+void DiveWarmStart(SearchState& s, const std::vector<int>& warm_widths) {
+  const std::size_t n = s.placed.size();
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&s](std::size_t a, std::size_t b) {
+    if (s.min_area[a] != s.min_area[b]) return s.min_area[a] > s.min_area[b];
+    return a < b;
+  });
+
+  Time makespan = 0;
+  for (const std::size_t c : order) {
+    // Largest candidate width <= the warm width (the warm width itself
+    // unless trimming dropped it); candidates are sorted by width, and
+    // width 1 is always retained.
+    const auto& cands = s.candidates[c];
+    std::size_t choice = 0;
+    for (std::size_t i = 0; i < cands.size(); ++i) {
+      if (cands[i].width <= warm_widths[c]) choice = i;
+    }
+    const Candidate cand = cands[choice];
+
+    std::vector<Time> starts{0};
+    for (std::size_t p = 0; p < n; ++p) {
+      if (s.is_placed[p]) starts.push_back(s.placed[p].end);
+    }
+    std::sort(starts.begin(), starts.end());
+    for (const Time start : starts) {
+      // The latest start (every placed core already ended) always fits, so
+      // the dive never fails.
+      if (!Fits(s, start, cand.time, cand.width)) continue;
+      s.placed[c] = Placement{start, start + cand.time, cand.width,
+                              static_cast<int>(choice)};
+      s.is_placed[c] = true;
+      makespan = std::max(makespan, start + cand.time);
+      break;
+    }
+  }
+  if (makespan > 0 && makespan < s.best) {
+    s.best = makespan;
+    s.best_placed = s.placed;
+  }
+  s.placed.assign(n, Placement{});
+  s.is_placed.assign(n, false);
+}
+
 }  // namespace
+
+void SeedWarmStart(ExactPackOptions& options, const OptimizerResult& warm) {
+  // Refusal clears any previously-seeded fields so one options object can be
+  // reused across instances without a stale bound leaking into the next run.
+  // A preempted schedule lives outside P_NPS's search space; its makespan is
+  // not a sound exclusive bound for the non-preemptive B&B (see header).
+  if (!warm.ok() || warm.makespan <= 0 ||
+      warm.schedule.TotalPreemptions() > 0) {
+    options.warm_makespan = 0;
+    options.warm_schedule = Schedule();
+    options.warm_widths.clear();
+    return;
+  }
+  options.warm_makespan = warm.makespan;
+  options.warm_schedule = warm.schedule;
+  options.warm_widths.clear();
+  options.warm_widths.reserve(warm.assignments.size());
+  for (const auto& a : warm.assignments) {
+    options.warm_widths.push_back(a.assigned_width);
+  }
+}
 
 std::optional<ExactPackResult> ExactPack(const Soc& soc, int tam_width,
                                          const ExactPackOptions& options) {
@@ -168,18 +240,34 @@ std::optional<ExactPackResult> ExactPack(const Soc& soc, int tam_width,
     s.floor_time.push_back(rect.MinTime());
     s.remaining_area += rect.MinArea();
   }
+
   s.placed.assign(static_cast<std::size_t>(soc.num_cores()), Placement{});
   s.is_placed.assign(static_cast<std::size_t>(soc.num_cores()), false);
 
-  // Incumbent: the rectangle-packing heuristic (upper bound, +1 so an equal
-  // exact solution is still recorded).
-  const TestProblem problem = TestProblem::FromSoc(soc);
-  OptimizerParams params;
-  params.tam_width = tam_width;
-  params.w_max = options.w_max;
-  const auto heuristic = Optimize(problem, params);
-  s.best = heuristic.ok() ? heuristic.makespan + 1
-                          : std::numeric_limits<Time>::max() / 2;
+  // Incumbent seeding. Warm path: the caller-supplied feasible makespan
+  // (e.g. the restart search's best over the whole parameter grid) bounds
+  // the search EXCLUSIVELY — only strictly better solutions are worth
+  // finding, because options.warm_schedule already realizes warm_makespan —
+  // and the internal heuristic run is skipped entirely (every real warm
+  // source dominates a single default-parameter run). Cold path: one
+  // heuristic run, inclusive (+1) bound so an equal exact solution is still
+  // materialized from the tree.
+  const bool warm = options.warm_makespan > 0;
+  OptimizerResult heuristic;  // cold path only
+  if (warm) {
+    s.best = options.warm_makespan;
+    if (static_cast<int>(options.warm_widths.size()) == soc.num_cores()) {
+      DiveWarmStart(s, options.warm_widths);
+    }
+  } else {
+    const TestProblem problem = TestProblem::FromSoc(soc);
+    OptimizerParams params;
+    params.tam_width = tam_width;
+    params.w_max = options.w_max;
+    heuristic = Optimize(problem, params);
+    s.best = heuristic.ok() ? heuristic.makespan + 1
+                            : std::numeric_limits<Time>::max() / 2;
+  }
 
   Branch(s);
 
@@ -187,10 +275,16 @@ std::optional<ExactPackResult> ExactPack(const Soc& soc, int tam_width,
   result.nodes_explored = s.nodes;
   result.proven_optimal = !s.truncated;
   if (s.best_placed.empty()) {
-    // Heuristic was already optimal (nothing strictly better found): rebuild
-    // its schedule as the exact answer.
-    result.makespan = heuristic.makespan;
-    result.schedule = heuristic.schedule;
+    // Nothing strictly better than the starting incumbent was found: that
+    // incumbent — the warm solution, or the cold path's heuristic — is the
+    // optimum (or, under truncation, the best known solution).
+    if (warm) {
+      result.makespan = options.warm_makespan;
+      result.schedule = options.warm_schedule;
+    } else {
+      result.makespan = heuristic.makespan;
+      result.schedule = heuristic.schedule;
+    }
     return result;
   }
   result.makespan = s.best;

@@ -16,7 +16,9 @@
 
 #include <cstdint>
 #include <optional>
+#include <vector>
 
+#include "core/optimizer.h"
 #include "core/problem.h"
 #include "core/schedule.h"
 
@@ -32,6 +34,33 @@ struct ExactPackOptions {
   std::int64_t max_nodes = 5'000'000;
   // Hard cap on instance size; larger SOCs return nullopt immediately.
   int max_cores = 10;
+
+  // Warm start (ROADMAP "exact-solver warm starts"). When warm_makespan > 0
+  // it must be the makespan of a known-feasible NON-PREEMPTIVE schedule —
+  // typically the parallel restart search's best; use SeedWarmStart, which
+  // enforces that — and the B&B prunes EXCLUSIVELY at it:
+  // only strictly better solutions are searched for. If the tree is
+  // exhausted without finding one, the warm solution itself is proven
+  // optimal and `warm_schedule` is returned. The warm path also skips the
+  // cold path's internal heuristic run (the bound is the caller's
+  // responsibility; every real warm source dominates that single run). The
+  // candidate enumeration order is untouched, so the warm tree is a subset
+  // of the cold tree — strictly smaller whenever the cold search expands
+  // any node that cannot beat the warm bound (in particular whenever it
+  // merely re-discovers an optimum the restart search already found).
+  Time warm_makespan = 0;
+  // The warm solution's schedule; copied into the result when the B&B
+  // proves nothing strictly better exists. Required when warm_makespan > 0.
+  Schedule warm_schedule;
+  // Optional width assignment of the warm solution (one entry per core,
+  // e.g. OptimizerResult::assignments[i].assigned_width). Before branching,
+  // the solver DIVES this assignment — places every core at its warm
+  // rectangle in branch order at the earliest feasible start — and installs
+  // the result as the first incumbent if it beats the bound. The dive is
+  // incumbent construction, not search: it is not counted in
+  // nodes_explored and can only tighten the bound. Ignored when the size
+  // does not match the core count.
+  std::vector<int> warm_widths;
 };
 
 struct ExactPackResult {
@@ -46,5 +75,15 @@ struct ExactPackResult {
 // targets the pure packing problem the heuristic's quality is judged on.
 std::optional<ExactPackResult> ExactPack(const Soc& soc, int tam_width,
                                          const ExactPackOptions& options = {});
+
+// Seeds `options`' warm-start fields (makespan bound, schedule, per-core
+// widths) from a heuristic result — the restart search's or the improver's
+// best. The single place the warm contract is spelled out. No-op when the
+// result is an error OR when its schedule preempts any test: ExactPack
+// solves the NON-preemptive problem P_NPS, and a preemptive makespan can
+// undercut the packing optimum — seeding it would make the B&B "prove" a
+// bound no schedule in its own search space achieves. Callers therefore
+// need no ok()/preemption dance of their own.
+void SeedWarmStart(ExactPackOptions& options, const OptimizerResult& warm);
 
 }  // namespace soctest

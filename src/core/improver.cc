@@ -1,8 +1,11 @@
 #include "core/improver.h"
 
 #include <algorithm>
+#include <utility>
 #include <vector>
 
+#include "search/driver.h"
+#include "search/thread_pool.h"
 #include "util/rng.h"
 #include "wrapper/rectangles.h"
 
@@ -34,13 +37,17 @@ ImproverResult ImproveSchedule(const TestProblem& problem,
 ImproverResult ImproveSchedule(const CompiledProblem& compiled,
                                const ImproverParams& params) {
   ImproverResult result;
-  result.best = OptimizeBestOverParams(compiled, params.optimizer, params.threads);
+  SearchOptions search;
+  search.threads = params.threads;
+  search.extent = params.grid;
+  result.best = RunRestartSearch(compiled, params.optimizer, search).best;
   if (!result.best.ok()) return result;
   result.initial_makespan = result.best.makespan;
 
   // Clipped views of the compiled curves — no wrapper re-design.
   const auto rects = compiled.RectsFor(params.optimizer.tam_width);
   const TestProblem& problem = compiled.problem();
+  const int num_cores = problem.soc.num_cores();
 
   // Current width assignment = the best run's preferred widths.
   std::vector<int> widths;
@@ -50,27 +57,71 @@ ImproverResult ImproveSchedule(const CompiledProblem& compiled,
   }
 
   Rng rng(params.seed);
-  OptimizerParams move_params = params.optimizer;
-  move_params.preferred_width_override = widths;  // installed per move below
+  // More candidates per round than total attempts would be dead weight.
+  const int batch = std::max(1, std::min(params.batch, params.iterations));
+  result.batch = batch;
+  // Candidates are generated serially from the RNG (below), so the pool size
+  // affects only wall-clock, never the stream. One workspace per worker slot
+  // keeps each worker's scheduler runs allocation-free after its first.
+  ThreadPool pool(std::min(ResolveThreadCount(params.threads), batch));
+  std::vector<ScheduleWorkspace> workspaces(
+      static_cast<std::size_t>(pool.size()));
 
-  for (int it = 0; it < params.iterations; ++it) {
-    ++result.attempts;
-    std::vector<int> candidate = widths;
-    for (int m = 0; m < params.cores_per_move; ++m) {
-      const auto core = static_cast<std::size_t>(
-          rng.UniformInt(0, problem.soc.num_cores() - 1));
-      const bool up = rng.Bernoulli(0.5);
-      candidate[core] =
-          NeighborWidth(rects[core], candidate[core], up);
+  std::vector<std::vector<int>> candidates(static_cast<std::size_t>(batch));
+  std::vector<OptimizerResult> evaluated(static_cast<std::size_t>(batch));
+
+  while (result.attempts < params.iterations) {
+    // ---- Draw this round's candidates (serial: RNG order is canonical) ----
+    const int want = std::min(batch, params.iterations - result.attempts);
+    int k = 0;  // candidates worth evaluating this round
+    for (int j = 0; j < want; ++j) {
+      ++result.attempts;
+      std::vector<int>& candidate = candidates[static_cast<std::size_t>(k)];
+      candidate = widths;
+      for (int m = 0; m < params.cores_per_move; ++m) {
+        const auto core =
+            static_cast<std::size_t>(rng.UniformInt(0, num_cores - 1));
+        const bool up = rng.Bernoulli(0.5);
+        candidate[core] = NeighborWidth(rects[core], candidate[core], up);
+      }
+      if (candidate == widths) continue;  // no-op move: draw, don't evaluate
+      // Duplicate of an earlier candidate this round: a second evaluation
+      // would return the same makespan at a larger index, so the reduction
+      // could never pick it — skip the redundant scheduler run. (The RNG
+      // stream is untouched; only the evaluation set shrinks.)
+      bool duplicate = false;
+      for (int p = 0; p < k && !duplicate; ++p) {
+        duplicate = candidate == candidates[static_cast<std::size_t>(p)];
+      }
+      if (duplicate) continue;
+      ++k;
     }
-    if (candidate == widths) continue;
+    if (k == 0) continue;
+    ++result.rounds;
 
-    move_params.preferred_width_override = candidate;
-    OptimizerResult attempt = Optimize(compiled, move_params);
-    if (!attempt.ok()) continue;
-    if (attempt.makespan < result.best.makespan) {
-      result.best = std::move(attempt);
-      widths = std::move(candidate);
+    // ---- Evaluate the batch on the pool (per-index slots) -----------------
+    pool.ParallelForWorker(
+        static_cast<std::size_t>(k), [&](std::size_t worker, std::size_t i) {
+          OptimizerParams move_params = params.optimizer;
+          move_params.preferred_width_override = candidates[i];
+          evaluated[i] =
+              Optimize(compiled, move_params, workspaces[worker]);
+        });
+
+    // ---- Serial reduction: best improving candidate, smallest index wins --
+    int pick = -1;
+    for (int i = 0; i < k; ++i) {
+      const OptimizerResult& attempt = evaluated[static_cast<std::size_t>(i)];
+      if (!attempt.ok()) continue;
+      if (attempt.makespan >= result.best.makespan) continue;
+      if (pick < 0 ||
+          attempt.makespan < evaluated[static_cast<std::size_t>(pick)].makespan) {
+        pick = i;
+      }
+    }
+    if (pick >= 0) {
+      result.best = std::move(evaluated[static_cast<std::size_t>(pick)]);
+      widths = std::move(candidates[static_cast<std::size_t>(pick)]);
       ++result.improvements;
     }
   }

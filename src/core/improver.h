@@ -7,36 +7,56 @@
 // widths around the best greedy solution and re-run the packer, keeping
 // improvements — a randomized hill climb over the width-assignment space.
 //
-// Deterministic for a fixed seed; never returns a worse schedule than its
-// starting point.
+// The climb is batched and parallel: each round draws `batch` candidate
+// width vectors from the RNG (serially, so the random stream never depends
+// on thread count), evaluates them concurrently against the shared
+// CompiledProblem — one reusable ScheduleWorkspace per worker — and accepts
+// the best improving candidate, ties broken by the smallest candidate index.
+// That reduction mirrors search/driver.h's (makespan, index) rule, so the
+// result is bit-identical for every thread count; batch = 1 reproduces the
+// historical one-move-at-a-time climb exactly.
+//
+// Deterministic for a fixed seed and batch size; never returns a worse
+// schedule than its starting point.
 #pragma once
 
 #include <cstdint>
 
 #include "core/optimizer.h"
+#include "search/grid.h"
 
 namespace soctest {
 
 struct ImproverParams {
   OptimizerParams optimizer;   // base configuration (tam_width etc.)
+  // Restart grid swept for the starting point (kWide adds the extended
+  // axes; see search/grid.h).
+  GridExtent grid = GridExtent::kCanonical;
   std::uint64_t seed = 1;
-  int iterations = 200;        // perturbation attempts
+  int iterations = 200;        // perturbation attempts (across all rounds)
   // Each attempt nudges this many cores' preferred widths to a neighboring
   // Pareto width (up or down one step).
   int cores_per_move = 2;
-  // Worker threads for the initial restart-grid search (0 = hardware). The
-  // hill climb itself is sequential: each move's acceptance feeds the next.
-  int threads = 1;
+  // Worker threads for the initial restart-grid search AND the batched move
+  // evaluation (0 = hardware, matching OptimizerParams/CLI conventions).
+  int threads = 0;
+  // Candidate moves evaluated per hill-climb round. All of a round's
+  // candidates perturb the same base solution; the best improving one is
+  // accepted. Values < 1 clamp to 1 (the sequential climb).
+  int batch = 8;
 };
 
 struct ImproverResult {
   OptimizerResult best;
   Time initial_makespan = 0;
   int improvements = 0;        // accepted moves
-  int attempts = 0;
+  int attempts = 0;            // candidates drawn (skipped no-ops included)
+  int rounds = 0;              // batched rounds evaluated
+  int batch = 0;               // effective round size (params.batch clamped)
 };
 
-// Runs OptimizeBestOverParams for the starting point, then hill-climbs.
+// Runs the restart-grid search (at the params.grid extent) for the starting
+// point, then hill-climbs.
 // Propagates the underlying error if the problem is unschedulable. The
 // CompiledProblem overload reuses artifacts compiled once — every move then
 // costs only a scheduler run; the TestProblem overload compiles privately.

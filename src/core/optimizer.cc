@@ -49,35 +49,12 @@ TamScheduleOptimizer::TamScheduleOptimizer(const TestProblem& problem,
       params_(std::move(params)),
       conflict_(&problem.precedence, &problem.concurrency, &problem.power) {}
 
-std::vector<CoreId> TamScheduleOptimizer::ActiveCores() const {
-  std::vector<CoreId> out;
-  for (CoreId c = 0; c < problem_->soc.num_cores(); ++c) {
-    if (state_[static_cast<std::size_t>(c)].running) out.push_back(c);
-  }
-  return out;
-}
-
-std::int64_t TamScheduleOptimizer::ActivePower() const {
-  std::int64_t total = 0;
-  for (CoreId c = 0; c < problem_->soc.num_cores(); ++c) {
-    if (state_[static_cast<std::size_t>(c)].running) {
-      total += problem_->power.PowerOf(c);
-    }
-  }
-  return total;
-}
-
-int TamScheduleOptimizer::AvailableWidth() const {
-  int used = 0;
-  for (const auto& s : state_) {
-    if (s.running) used += s.assigned_width;
-  }
-  return params_.tam_width - used;
-}
-
 bool TamScheduleOptimizer::IsBlocked(CoreId core) const {
+  // The active set, its power sum, and the used width are tracked
+  // incrementally (Admit/AdvanceTime), so a conflict check is O(active) with
+  // no allocation — it used to rescan every core and build a fresh vector.
   return conflict_
-      .Blocked(core, completed_, ActiveCores(), ActivePower())
+      .Blocked(core, ws_->completed, ws_->active, active_power_)
       .has_value();
 }
 
@@ -88,9 +65,9 @@ Time TamScheduleOptimizer::PreemptionPenalty(CoreId core, int width) const {
 }
 
 void TamScheduleOptimizer::Admit(CoreId core, int width) {
-  auto& s = state_[static_cast<std::size_t>(core)];
+  auto& s = ws_->state[static_cast<std::size_t>(core)];
   assert(!s.running && !s.complete);
-  const auto& rect = rects_[static_cast<std::size_t>(core)];
+  const auto& rect = ws_->rects[static_cast<std::size_t>(core)];
   if (!s.begun) {
     s.assigned_width = rect.SnapWidth(width);
     s.time_remaining = rect.TimeAtWidth(s.assigned_width);
@@ -105,6 +82,9 @@ void TamScheduleOptimizer::Admit(CoreId core, int width) {
     s.overhead += penalty;
   }
   s.running = true;
+  ws_->active.push_back(core);
+  used_width_ += s.assigned_width;
+  active_power_ += problem_->power.PowerOf(core);
 }
 
 bool TamScheduleOptimizer::AdmitLimitReached() {
@@ -116,7 +96,7 @@ bool TamScheduleOptimizer::AdmitLimitReached() {
     Time best_rem = -1;
     const int avail = AvailableWidth();
     for (CoreId c = 0; c < problem_->soc.num_cores(); ++c) {
-      const auto& s = state_[static_cast<std::size_t>(c)];
+      const auto& s = ws_->state[static_cast<std::size_t>(c)];
       if (!s.begun || s.running || s.complete) continue;
       if (s.preemptions < s.max_preemptions) continue;  // still preemptible
       if (s.assigned_width > avail) continue;
@@ -127,7 +107,7 @@ bool TamScheduleOptimizer::AdmitLimitReached() {
       }
     }
     if (best == kNoCore) break;
-    Admit(best, state_[static_cast<std::size_t>(best)].assigned_width);
+    Admit(best, ws_->state[static_cast<std::size_t>(best)].assigned_width);
     any = true;
   }
   return any;
@@ -139,21 +119,17 @@ bool TamScheduleOptimizer::AdmitRanked() {
   // decreasing remaining test time. In non-preemptive mode paused cores rank
   // strictly ahead of unstarted ones, which makes pausing impossible in
   // practice (they are all re-admitted instantly after every Update).
-  struct Candidate {
-    CoreId core;
-    Time remaining;
-    bool begun;
-    int width;
-  };
-  std::vector<Candidate> candidates;
+  using Candidate = ScheduleWorkspace::Candidate;
+  std::vector<Candidate>& candidates = ws_->candidates;  // reused scratch
+  candidates.clear();
   for (CoreId c = 0; c < problem_->soc.num_cores(); ++c) {
-    const auto& s = state_[static_cast<std::size_t>(c)];
+    const auto& s = ws_->state[static_cast<std::size_t>(c)];
     if (s.running || s.complete) continue;
     if (s.begun) {
       candidates.push_back({c, s.time_remaining, true, s.assigned_width});
     } else {
       candidates.push_back(
-          {c, rects_[static_cast<std::size_t>(c)].TimeAtWidth(s.preferred_width),
+          {c, ws_->rects[static_cast<std::size_t>(c)].TimeAtWidth(s.preferred_width),
            false, s.preferred_width});
     }
   }
@@ -182,7 +158,7 @@ bool TamScheduleOptimizer::AdmitRanked() {
 
   bool any = false;
   for (const auto& cand : candidates) {
-    const auto& s = state_[static_cast<std::size_t>(cand.core)];
+    const auto& s = ws_->state[static_cast<std::size_t>(cand.core)];
     if (s.running) continue;  // defensive; set is rebuilt per round
     const int avail = AvailableWidth();
     int width = cand.width;
@@ -192,10 +168,11 @@ bool TamScheduleOptimizer::AdmitRanked() {
       // finishes within the running critical path.
       if (!params_.enable_insert_fill || cand.begun || avail <= 0) continue;
       Time critical = 0;
-      for (const auto& st : state_) {
-        if (st.running) critical = std::max(critical, st.time_remaining);
+      for (const CoreId a : ws_->active) {
+        critical = std::max(critical,
+                            ws_->state[static_cast<std::size_t>(a)].time_remaining);
       }
-      const auto& rect = rects_[static_cast<std::size_t>(cand.core)];
+      const auto& rect = ws_->rects[static_cast<std::size_t>(cand.core)];
       const int shrunk = rect.SnapWidth(avail);
       if (shrunk > avail || rect.TimeAtWidth(shrunk) > critical) continue;
       width = shrunk;
@@ -219,7 +196,7 @@ bool TamScheduleOptimizer::AdmitIdleFill() {
     CoreId best = kNoCore;
     int best_pref = 0;
     for (CoreId c = 0; c < problem_->soc.num_cores(); ++c) {
-      const auto& s = state_[static_cast<std::size_t>(c)];
+      const auto& s = ws_->state[static_cast<std::size_t>(c)];
       if (s.begun || s.running || s.complete) continue;
       if (s.preferred_width > avail + params_.idle_fill_slack) continue;
       if (s.preferred_width <= avail) continue;  // ranked admission's job
@@ -231,7 +208,7 @@ bool TamScheduleOptimizer::AdmitIdleFill() {
       }
     }
     if (best == kNoCore) break;
-    const int width = rects_[static_cast<std::size_t>(best)].SnapWidth(avail);
+    const int width = ws_->rects[static_cast<std::size_t>(best)].SnapWidth(avail);
     if (width <= 0 || width > avail) break;
     Admit(best, width);
     any = true;
@@ -249,17 +226,18 @@ bool TamScheduleOptimizer::AdmitInsertFill() {
     const int avail = AvailableWidth();
     if (avail <= 0) break;
     Time critical = 0;  // longest remaining active test
-    for (const auto& s : state_) {
-      if (s.running) critical = std::max(critical, s.time_remaining);
+    for (const CoreId a : ws_->active) {
+      critical = std::max(critical,
+                          ws_->state[static_cast<std::size_t>(a)].time_remaining);
     }
     if (critical == 0) break;  // nothing active: not an insertion situation
     CoreId best = kNoCore;
     Time best_time = -1;
     int best_width = 0;
     for (CoreId c = 0; c < problem_->soc.num_cores(); ++c) {
-      const auto& s = state_[static_cast<std::size_t>(c)];
+      const auto& s = ws_->state[static_cast<std::size_t>(c)];
       if (s.begun || s.running || s.complete) continue;
-      const auto& rect = rects_[static_cast<std::size_t>(c)];
+      const auto& rect = ws_->rects[static_cast<std::size_t>(c)];
       const int width = rect.SnapWidth(avail);
       if (width > avail) continue;
       const Time t = rect.TimeAtWidth(width);
@@ -291,9 +269,9 @@ bool TamScheduleOptimizer::BoostJustStarted() {
     Time best_gain = 0;
     int best_new_width = 0;
     for (CoreId c = 0; c < problem_->soc.num_cores(); ++c) {
-      const auto& s = state_[static_cast<std::size_t>(c)];
+      const auto& s = ws_->state[static_cast<std::size_t>(c)];
       if (!s.running || s.first_begin != now_) continue;
-      const auto& rect = rects_[static_cast<std::size_t>(c)];
+      const auto& rect = ws_->rects[static_cast<std::size_t>(c)];
       const int new_width = rect.SnapWidth(s.assigned_width + avail);
       if (new_width <= s.assigned_width) continue;
       const Time gain =
@@ -305,12 +283,13 @@ bool TamScheduleOptimizer::BoostJustStarted() {
       }
     }
     if (best == kNoCore) break;
-    auto& s = state_[static_cast<std::size_t>(best)];
+    auto& s = ws_->state[static_cast<std::size_t>(best)];
     // The core started at `now_` and has made no progress yet, so replacing
     // its rectangle is free: adopt the wider width and its (shorter) time.
+    used_width_ += best_new_width - s.assigned_width;
     s.assigned_width = best_new_width;
     s.time_remaining =
-        rects_[static_cast<std::size_t>(best)].TimeAtWidth(best_new_width) +
+        ws_->rects[static_cast<std::size_t>(best)].TimeAtWidth(best_new_width) +
         s.overhead;
     any = true;
   }
@@ -322,16 +301,14 @@ void TamScheduleOptimizer::AdvanceTime() {
   // completion, close the elapsed segments, retire completed tests, and pause
   // the rest for re-contention.
   Time min_rem = -1;
-  for (const auto& s : state_) {
-    if (s.running && (min_rem < 0 || s.time_remaining < min_rem)) {
-      min_rem = s.time_remaining;
-    }
+  for (const CoreId a : ws_->active) {
+    const auto& s = ws_->state[static_cast<std::size_t>(a)];
+    if (min_rem < 0 || s.time_remaining < min_rem) min_rem = s.time_remaining;
   }
   assert(min_rem > 0 && "AdvanceTime requires at least one running core");
   const Time new_time = now_ + min_rem;
-  for (CoreId c = 0; c < problem_->soc.num_cores(); ++c) {
-    auto& s = state_[static_cast<std::size_t>(c)];
-    if (!s.running) continue;
+  for (const CoreId c : ws_->active) {
+    auto& s = ws_->state[static_cast<std::size_t>(c)];
     // Extend the last segment if contiguous at the same width.
     if (!s.segments.empty() && s.segments.back().span.end == now_ &&
         s.segments.back().width == s.assigned_width) {
@@ -345,15 +322,25 @@ void TamScheduleOptimizer::AdvanceTime() {
     s.end_time = new_time;
     if (s.time_remaining <= 0) {
       s.complete = true;
-      completed_[static_cast<std::size_t>(c)] = true;
+      ws_->completed[static_cast<std::size_t>(c)] = true;
       --incomplete_;
     }
   }
+  // Every running test paused or retired: the active set drains in one step.
+  ws_->active.clear();
+  used_width_ = 0;
+  active_power_ = 0;
   now_ = new_time;
   ++rounds_;
 }
 
 OptimizerResult TamScheduleOptimizer::Run() {
+  if (!default_ws_) default_ws_ = std::make_unique<ScheduleWorkspace>();
+  return Run(*default_ws_);
+}
+
+OptimizerResult TamScheduleOptimizer::Run(ScheduleWorkspace& ws) {
+  ws_ = &ws;
   OptimizerResult result;
 
   // ---- Input validation -------------------------------------------------
@@ -398,9 +385,20 @@ OptimizerResult TamScheduleOptimizer::Run() {
 
   // ---- Initialize (paper Fig. 5) ----------------------------------------
   // The wrapper artifacts were compiled once (CompiledProblem); clipping them
-  // to this run's TAM width is cheap and runs no wrapper design.
-  rects_ = compiled_->RectsFor(params_.tam_width);
-  preferred_.clear();
+  // to this run's TAM width is cheap and runs no wrapper design. The clipped
+  // sets are immutable during a run, so a reused workspace keeps them across
+  // runs while (compiled, tam_width) is unchanged — restart grids and
+  // improver moves share one TAM width, making every run after the first
+  // clip-free.
+  if (ws_->rects_source_id != compiled_->id() ||
+      ws_->rects_tam_width != params_.tam_width) {
+    ws_->rects = compiled_->RectsFor(params_.tam_width);
+    ws_->rects_source_id = compiled_->id();
+    ws_->rects_tam_width = params_.tam_width;
+  }
+  const std::vector<RectangleSet>& rects = ws_->rects;
+  std::vector<int>& preferred = ws_->preferred;
+  preferred.clear();
   if (!params_.preferred_width_override.empty()) {
     if (params_.preferred_width_override.size() !=
         static_cast<std::size_t>(problem_->soc.num_cores())) {
@@ -409,7 +407,7 @@ OptimizerResult TamScheduleOptimizer::Run() {
     }
     for (CoreId c = 0; c < problem_->soc.num_cores(); ++c) {
       const int w = params_.preferred_width_override[static_cast<std::size_t>(c)];
-      preferred_.push_back(rects_[static_cast<std::size_t>(c)].SnapWidth(
+      preferred.push_back(rects[static_cast<std::size_t>(c)].SnapWidth(
           std::clamp(w, 1, params_.tam_width)));
     }
   } else if (params_.deadline_sizing) {
@@ -437,7 +435,7 @@ OptimizerResult TamScheduleOptimizer::Run() {
     };
     auto demand = [&](Time deadline) {
       int total = 0;
-      for (const auto& rect : rects_) total += width_for_deadline(rect, deadline);
+      for (const auto& rect : rects) total += width_for_deadline(rect, deadline);
       return total;
     };
 
@@ -460,28 +458,38 @@ OptimizerResult TamScheduleOptimizer::Run() {
     // S% relaxes the deadline slightly, adding sweep diversity.
     deadline = static_cast<Time>(static_cast<double>(deadline) *
                                  (1.0 + params_.s_percent / 100.0));
-    for (const auto& rect : rects_) {
-      preferred_.push_back(width_for_deadline(rect, deadline));
+    for (const auto& rect : rects) {
+      preferred.push_back(width_for_deadline(rect, deadline));
     }
   } else {
     PreferredWidthParams pw{params_.s_percent, params_.delta};
-    for (const auto& rect : rects_) {
+    for (const auto& rect : rects) {
       const int pref = PreferredWidth(rect.curve(), pw);
-      preferred_.push_back(rect.SnapWidth(std::min(pref, params_.tam_width)));
+      preferred.push_back(rect.SnapWidth(std::min(pref, params_.tam_width)));
     }
   }
 
   const auto n = static_cast<std::size_t>(problem_->soc.num_cores());
-  state_.assign(n, CoreState{});
-  completed_.assign(n, false);
+  ws_->state.resize(n);
+  ws_->completed.assign(n, false);
+  ws_->active.clear();
   for (std::size_t i = 0; i < n; ++i) {
-    state_[i].preferred_width = preferred_[i];
-    state_[i].max_preemptions =
-        params_.allow_preemption ? problem_->soc.cores()[i].max_preemptions : 0;
+    auto& s = ws_->state[i];
+    s.Reset();
+    s.preferred_width = preferred[i];
+    if (params_.allow_preemption) {
+      s.max_preemptions = problem_->soc.cores()[i].max_preemptions;
+      if (params_.preemption_budget_override >= 0) {
+        s.max_preemptions =
+            std::min(s.max_preemptions, params_.preemption_budget_override);
+      }
+    }
   }
   now_ = 0;
   rounds_ = 0;
   incomplete_ = problem_->soc.num_cores();
+  used_width_ = 0;
+  active_power_ = 0;
 
   // ---- Main loop (paper Fig. 4) ------------------------------------------
   while (incomplete_ > 0) {
@@ -492,7 +500,7 @@ OptimizerResult TamScheduleOptimizer::Run() {
     progress |= AdmitInsertFill();
     BoostJustStarted();
 
-    if (ActiveCores().empty()) {
+    if (ws_->active.empty()) {
       if (!progress) {
         // Structurally unreachable for valid inputs (see DESIGN.md): with an
         // empty active set, power and concurrency cannot block, and an
@@ -508,11 +516,11 @@ OptimizerResult TamScheduleOptimizer::Run() {
   // ---- Emit schedule -----------------------------------------------------
   result.schedule = Schedule(problem_->soc.name(), params_.tam_width);
   for (CoreId c = 0; c < problem_->soc.num_cores(); ++c) {
-    const auto& s = state_[static_cast<std::size_t>(c)];
+    auto& s = ws_->state[static_cast<std::size_t>(c)];
     CoreSchedule entry;
     entry.core = c;
     entry.assigned_width = s.assigned_width;
-    entry.segments = s.segments;
+    entry.segments = std::move(s.segments);
     entry.preemptions = s.preemptions;
     entry.overhead_cycles = s.overhead;
     result.schedule.Add(std::move(entry));
@@ -522,7 +530,7 @@ OptimizerResult TamScheduleOptimizer::Run() {
     assignment.preferred_width = s.preferred_width;
     assignment.assigned_width = s.assigned_width;
     assignment.test_time =
-        rects_[static_cast<std::size_t>(c)].TimeAtWidth(s.assigned_width);
+        rects[static_cast<std::size_t>(c)].TimeAtWidth(s.assigned_width);
     assignment.scheduled_time = assignment.test_time + s.overhead;
     assignment.preemptions = s.preemptions;
     result.assignments.push_back(assignment);
@@ -540,6 +548,11 @@ OptimizerResult Optimize(const TestProblem& problem,
 OptimizerResult Optimize(const CompiledProblem& compiled,
                          const OptimizerParams& params) {
   return TamScheduleOptimizer(compiled, params).Run();
+}
+
+OptimizerResult Optimize(const CompiledProblem& compiled,
+                         const OptimizerParams& params, ScheduleWorkspace& ws) {
+  return TamScheduleOptimizer(compiled, params).Run(ws);
 }
 
 OptimizerResult OptimizeBestOverParams(const TestProblem& problem,

@@ -69,6 +69,13 @@ struct OptimizerParams {
   // Idle-time rectangle insertion window (paper: 3 wires).
   int idle_fill_slack = 3;
 
+  // Caps every core's preemption budget at this value when >= 0 (ignored in
+  // non-preemptive mode). A cap can only tighten CoreSpec::max_preemptions —
+  // never raise it past what the hardware declares — so schedules stay valid
+  // under the per-core validator check. Swept as a wide-grid axis
+  // (search/grid.h).
+  int preemption_budget_override = -1;
+
   // Master switch for preemption. When false every core is treated as
   // non-preemptable regardless of CoreSpec::max_preemptions (Table 1's
   // "non-preemptive" column).
@@ -124,6 +131,76 @@ struct OptimizerResult {
   bool ok() const { return !error.has_value(); }
 };
 
+// Reusable scratch for TamScheduleOptimizer::Run — the allocation sink for
+// restart loops. One scheduler run needs per-core state vectors, an admission
+// candidate list, the active-core set, and (dominating everything) the
+// rectangle sets clipped to the run's TAM width. Callers that run the
+// scheduler many times against one CompiledProblem (the restart driver, the
+// hill-climb improver, the width sweeps) pass one workspace per worker thread
+// and every run after the first reuses the previous run's buffers; the
+// clipped rectangle sets are additionally cached while (compiled, tam_width)
+// is unchanged, which removes the largest per-run allocation entirely.
+//
+// Reuse never changes results: every field is (re)initialized by Run before
+// use, and the rectangle cache holds immutable values. A workspace is NOT
+// thread-safe — give each worker its own. The rectangle cache is keyed by
+// CompiledProblem::id() — a process-unique, never-reused compilation
+// identity — so one workspace can safely serve runs against different
+// compiled problems (each switch just rebuilds the cache). Treat the
+// members as opaque.
+struct ScheduleWorkspace {
+  // Per-core scheduling state, reset per run. (`segments` is moved into the
+  // emitted schedule at the end of a run, so its buffer is not retained.)
+  struct CoreState {
+    // Static after Initialize.
+    int preferred_width = 0;
+    int max_preemptions = 0;
+
+    // Dynamic.
+    int assigned_width = 0;
+    bool begun = false;
+    bool running = false;
+    bool complete = false;
+    Time first_begin = 0;
+    Time end_time = 0;      // last instant the core was running (pause/finish)
+    Time time_remaining = 0;
+    int preemptions = 0;
+    std::vector<ScheduleSegment> segments;
+    Time overhead = 0;
+
+    void Reset() {
+      preferred_width = 0;
+      max_preemptions = 0;
+      assigned_width = 0;
+      begun = running = complete = false;
+      first_begin = end_time = time_remaining = 0;
+      preemptions = 0;
+      segments.clear();
+      overhead = 0;
+    }
+  };
+
+  // One admission candidate (AdmitRanked scratch).
+  struct Candidate {
+    CoreId core;
+    Time remaining;
+    bool begun;
+    int width;
+  };
+
+  // Rectangle sets clipped to `rects_tam_width`, cached while the
+  // (compilation id, TAM width) pair is unchanged.
+  std::uint64_t rects_source_id = 0;  // 0 = cache empty
+  int rects_tam_width = 0;
+  std::vector<RectangleSet> rects;
+
+  std::vector<int> preferred;
+  std::vector<CoreState> state;
+  std::vector<bool> completed;
+  std::vector<Candidate> candidates;
+  std::vector<CoreId> active;  // cores currently running, admission order
+};
+
 class TamScheduleOptimizer {
  public:
   // Schedules against pre-compiled wrapper artifacts (the fast path: restart
@@ -136,31 +213,15 @@ class TamScheduleOptimizer {
   // then schedules. One-shot callers keep working unchanged.
   TamScheduleOptimizer(const TestProblem& problem, OptimizerParams params);
 
-  // Runs the full co-optimization. Deterministic for fixed inputs.
+  // Runs the full co-optimization. Deterministic for fixed inputs, and
+  // independent of the workspace's prior contents: Run(ws) with a reused
+  // workspace is bit-identical to Run() with a fresh one. The no-argument
+  // overload allocates a private workspace.
   OptimizerResult Run();
-
-  // Rectangle sets built during Initialize (exposed for tests/benches).
-  const std::vector<RectangleSet>& rectangle_sets() const { return rects_; }
-  const std::vector<int>& preferred_widths() const { return preferred_; }
+  OptimizerResult Run(ScheduleWorkspace& ws);
 
  private:
-  struct CoreState {
-    // Static after Initialize.
-    int preferred_width = 0;
-    int max_preemptions = 0;
-
-    // Dynamic.
-    int assigned_width = 0;
-    bool begun = false;
-    bool running = false;
-    bool complete = false;
-    Time first_begin = 0;
-    Time end_time = 0;        // last instant the core was running (pause/finish)
-    Time time_remaining = 0;
-    int preemptions = 0;
-    std::vector<ScheduleSegment> segments;
-    Time overhead = 0;
-  };
+  using CoreState = ScheduleWorkspace::CoreState;
 
   // Admission helpers; all return true if at least one core was scheduled.
   bool AdmitLimitReached();
@@ -174,9 +235,7 @@ class TamScheduleOptimizer {
   void Admit(CoreId core, int width);
 
   bool IsBlocked(CoreId core) const;
-  std::vector<CoreId> ActiveCores() const;
-  std::int64_t ActivePower() const;
-  int AvailableWidth() const;
+  int AvailableWidth() const { return params_.tam_width - used_width_; }
 
   // (s_i + s_o) preemption penalty for `core` at `width`.
   Time PreemptionPenalty(CoreId core, int width) const;
@@ -187,10 +246,12 @@ class TamScheduleOptimizer {
   OptimizerParams params_;
   ConflictPolicy conflict_;
 
-  std::vector<RectangleSet> rects_;
-  std::vector<int> preferred_;
-  std::vector<CoreState> state_;
-  std::vector<bool> completed_;
+  // Per-run state lives in the workspace; these track the active set
+  // incrementally so admission never rescans all cores per candidate.
+  std::unique_ptr<ScheduleWorkspace> default_ws_;  // Run() overload only
+  ScheduleWorkspace* ws_ = nullptr;
+  int used_width_ = 0;
+  std::int64_t active_power_ = 0;
   Time now_ = 0;
   int incomplete_ = 0;
   int rounds_ = 0;
@@ -202,6 +263,11 @@ class TamScheduleOptimizer {
 OptimizerResult Optimize(const TestProblem& problem, const OptimizerParams& params);
 OptimizerResult Optimize(const CompiledProblem& compiled,
                          const OptimizerParams& params);
+
+// Fast path for restart loops: like the CompiledProblem overload but reuses
+// `ws` across calls (see ScheduleWorkspace). Same result, fewer allocations.
+OptimizerResult Optimize(const CompiledProblem& compiled,
+                         const OptimizerParams& params, ScheduleWorkspace& ws);
 
 // Sweeps the paper's restart grid (rank x sizing x S in [1,10] x delta in
 // [0,4]; see search/grid.h for the canonical order) on `threads` workers and

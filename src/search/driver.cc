@@ -19,13 +19,19 @@ SearchOutcome RunRestartSearch(const CompiledProblem& compiled,
   // Figure of merit per configuration, indexed by grid position; -1 marks an
   // infeasible configuration. Slots are disjoint, so workers never contend.
   std::vector<Time> makespans(grid.size(), -1);
+  // One reusable workspace per worker slot: every restart after a slot's
+  // first reuses its buffers and clipped rectangle sets (the grid shares
+  // one TAM width), so the inner loop stops re-allocating per restart.
+  // Slot 0 outlives the pool to serve the winner's materialization below.
+  std::vector<ScheduleWorkspace> workspaces;
   {
     // Never spawn more workers than there are configurations.
     const int workers = std::min(ResolveThreadCount(options.threads),
                                  static_cast<int>(grid.size()));
     ThreadPool pool(workers);
-    pool.ParallelFor(grid.size(), [&](std::size_t i) {
-      const OptimizerResult r = Optimize(compiled, grid[i].params);
+    workspaces.resize(static_cast<std::size_t>(pool.size()));
+    pool.ParallelForWorker(grid.size(), [&](std::size_t w, std::size_t i) {
+      const OptimizerResult r = Optimize(compiled, grid[i].params, workspaces[w]);
       if (r.ok()) makespans[i] = r.makespan;
     });
   }
@@ -44,7 +50,7 @@ SearchOutcome RunRestartSearch(const CompiledProblem& compiled,
   // Materialize the winner (or configuration 0's error when all failed); the
   // scheduler is deterministic, so this reproduces the evaluated run exactly.
   const std::size_t pick = best < 0 ? 0 : static_cast<std::size_t>(best);
-  outcome.best = Optimize(compiled, grid[pick].params);
+  outcome.best = Optimize(compiled, grid[pick].params, workspaces[0]);
 
   if (options.keep_trace) outcome.makespans = std::move(makespans);
   return outcome;
@@ -53,7 +59,8 @@ SearchOutcome RunRestartSearch(const CompiledProblem& compiled,
 SearchOutcome RunRestartSearch(const CompiledProblem& compiled,
                                const OptimizerParams& base,
                                const SearchOptions& options) {
-  return RunRestartSearch(compiled, BuildRestartGrid(base), options);
+  return RunRestartSearch(compiled, BuildRestartGrid(base, options.extent),
+                          options);
 }
 
 }  // namespace soctest

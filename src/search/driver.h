@@ -31,6 +31,11 @@ struct SearchOptions {
   // When true, SearchOutcome::makespans records every configuration's
   // makespan (-1 for infeasible ones) for diagnostics and tests.
   bool keep_trace = false;
+
+  // Which grid the OptimizerParams convenience overload enumerates (the
+  // explicit-grid overload ignores this). kWide appends the extended axes
+  // after the canonical 200, so ties still prefer canonical configurations.
+  GridExtent extent = GridExtent::kCanonical;
 };
 
 struct SearchOutcome {

@@ -1,22 +1,64 @@
 #include "search/grid.h"
 
 namespace soctest {
+namespace {
 
-std::vector<RestartConfig> BuildRestartGrid(const OptimizerParams& base) {
-  std::vector<RestartConfig> grid;
-  grid.reserve(2 * 2 * 10 * 5);
-  OptimizerParams params = base;
-  for (AdmissionRank rank : {AdmissionRank::kTime, AdmissionRank::kArea}) {
+// Appends rank x sizing x S x delta combinations to `grid`, preserving the
+// canonical nesting order (rank outermost, delta innermost) within the block.
+void AppendBlock(std::vector<RestartConfig>& grid, OptimizerParams params,
+                 std::initializer_list<AdmissionRank> ranks,
+                 std::initializer_list<int> s_values,
+                 std::initializer_list<int> deltas) {
+  for (AdmissionRank rank : ranks) {
     params.rank = rank;
     for (int sizing = 0; sizing < 2; ++sizing) {
       params.deadline_sizing = sizing == 1;
-      for (int s = 1; s <= 10; ++s) {
-        for (int d = 0; d <= 4; ++d) {
+      for (int s : s_values) {
+        for (int d : deltas) {
           params.s_percent = s;
           params.delta = d;
           grid.push_back({static_cast<int>(grid.size()), params});
         }
       }
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<RestartConfig> BuildRestartGrid(const OptimizerParams& base,
+                                            GridExtent extent) {
+  std::vector<RestartConfig> grid;
+  grid.reserve(extent == GridExtent::kWide ? 660 : 200);
+
+  // Canonical block: 2 ranks x 2 sizings x S in [1,10] x delta in [0,4].
+  AppendBlock(grid, base, {AdmissionRank::kTime, AdmissionRank::kArea},
+              {1, 2, 3, 4, 5, 6, 7, 8, 9, 10}, {0, 1, 2, 3, 4});
+  if (extent == GridExtent::kCanonical) return grid;
+
+  // Wide block 1: the strip-packing admission order over the full sub-grid.
+  AppendBlock(grid, base, {AdmissionRank::kWidth},
+              {1, 2, 3, 4, 5, 6, 7, 8, 9, 10}, {0, 1, 2, 3, 4});
+
+  // Wide block 2: idle-fill slack around the paper's fixed 3-wire window,
+  // on a coarser S/delta sub-grid to keep the extended sweep bounded.
+  for (int slack : {0, 1, 6}) {
+    OptimizerParams params = base;
+    params.idle_fill_slack = slack;
+    AppendBlock(grid, params, {AdmissionRank::kTime, AdmissionRank::kArea},
+                {1, 3, 5, 7, 9}, {0, 1, 2});
+  }
+
+  // Wide block 3 (preemptive base only): cap every core's preemption budget.
+  // The cap can only tighten what the CoreSpec declares, so every
+  // configuration stays valid under the per-core validator check; budget 0
+  // adds the non-preemptive point to a preemptive sweep.
+  if (base.allow_preemption) {
+    for (int budget : {0, 1, 2}) {
+      OptimizerParams params = base;
+      params.preemption_budget_override = budget;
+      AppendBlock(grid, params, {AdmissionRank::kTime, AdmissionRank::kArea},
+                  {1, 3, 5, 7, 9}, {0, 1, 2});
     }
   }
   return grid;

@@ -22,8 +22,25 @@ struct RestartConfig {
   OptimizerParams params;
 };
 
-// Enumerates the canonical grid on top of `base` (tam_width, preemption mode
-// etc. are taken from `base`; the swept fields are overwritten):
+// How much of the restart space to enumerate.
+//
+//   kCanonical — the historical 200-configuration grid (below).
+//   kWide      — the canonical grid FIRST (indices 0-199 bit-identical, so
+//                equal-makespan ties still resolve to a canonical
+//                configuration), then the wider axes the ROADMAP calls out,
+//                which the parallel driver absorbs for free:
+//                  * rank = kWidth (strip-packing order) over the full
+//                    sizing x S x delta sub-grid (+100),
+//                  * idle-fill slack in {0, 1, 6} (the paper fixes 3) over
+//                    rank x sizing x S in {1,3,5,7,9} x delta in {0,1,2}
+//                    (+180),
+//                  * preemption budget caps in {0, 1, 2} over the same
+//                    sub-grid (+180, preemptive base only — the cap tightens
+//                    CoreSpec::max_preemptions, never raises it).
+enum class GridExtent { kCanonical, kWide };
+
+// Enumerates the grid on top of `base` (tam_width, preemption mode etc. are
+// taken from `base`; the swept fields are overwritten):
 //
 //   rank    in { kTime, kArea }          (admission ordering)
 //   sizing  in { per-core, deadline }    (preferred-width mode)
@@ -32,7 +49,9 @@ struct RestartConfig {
 //
 // in that nesting order — 200 configurations, index 0 first. This is exactly
 // the order the historical serial loop used, so "smallest index wins ties"
-// reproduces its "first configuration found wins" behavior.
-std::vector<RestartConfig> BuildRestartGrid(const OptimizerParams& base);
+// reproduces its "first configuration found wins" behavior. kWide appends
+// the extended axes documented above after the canonical block.
+std::vector<RestartConfig> BuildRestartGrid(
+    const OptimizerParams& base, GridExtent extent = GridExtent::kCanonical);
 
 }  // namespace soctest

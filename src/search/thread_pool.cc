@@ -64,10 +64,16 @@ void ThreadPool::WorkerLoop() {
 
 void ThreadPool::ParallelFor(std::size_t n,
                              const std::function<void(std::size_t)>& fn) {
+  ParallelForWorker(n, [&fn](std::size_t, std::size_t i) { fn(i); });
+}
+
+void ThreadPool::ParallelForWorker(
+    std::size_t n,
+    const std::function<void(std::size_t worker, std::size_t i)>& fn) {
   if (n == 0) return;
   const std::size_t fanout = std::min<std::size_t>(workers_.size(), n);
   if (fanout <= 1) {
-    for (std::size_t i = 0; i < n; ++i) fn(i);
+    for (std::size_t i = 0; i < n; ++i) fn(0, i);
     return;
   }
 
@@ -80,9 +86,9 @@ void ThreadPool::ParallelFor(std::size_t n,
   std::size_t done = 0;
 
   for (std::size_t w = 0; w < fanout; ++w) {
-    Submit([&, next] {
+    Submit([&, next, w] {
       for (std::size_t i = next->fetch_add(1); i < n; i = next->fetch_add(1)) {
-        fn(i);
+        fn(w, i);
       }
       // Notify while holding the lock: the waiter may destroy done_cv the
       // moment it observes completion, so the notify must finish before the

@@ -53,6 +53,14 @@ class ThreadPool {
   // must not be nested on the same pool.
   void ParallelFor(std::size_t n, const std::function<void(std::size_t)>& fn);
 
+  // Like ParallelFor, but hands fn a worker slot in [0, size()) alongside the
+  // index. Each slot is claimed by exactly one concurrent drain loop, so
+  // callers can give every slot its own scratch (e.g. a ScheduleWorkspace)
+  // with no synchronization. The serial pool always passes slot 0.
+  void ParallelForWorker(
+      std::size_t n,
+      const std::function<void(std::size_t worker, std::size_t i)>& fn);
+
  private:
   void WorkerLoop();
 

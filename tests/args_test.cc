@@ -78,6 +78,33 @@ TEST(ArgParserTest, ThreadsAndSearchFlags) {
   EXPECT_FALSE(missing.Parse(static_cast<int>(argv3.size()), argv3.data()));
 }
 
+// The CLI's batched-improver flags: --improve takes the perturbation count,
+// --improver-threads the evaluation workers (0 = hardware), --batch the
+// candidates per round; --wide switches the restart grid to the extended
+// axes. Mirrors the schedule-subcommand parser in tools/soctest_cli.cc.
+TEST(ArgParserTest, ImproverAndWideGridFlags) {
+  ArgParser parser({"search", "wide"},
+                   {"width", "improve", "improver-threads", "batch"});
+  const auto argv = Argv({"prog", "d695", "--width", "16", "--improve", "50",
+                          "--improver-threads", "0", "--batch", "4", "--wide"});
+  ASSERT_TRUE(parser.Parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_EQ(parser.IntOr("improve", 0), 50);
+  EXPECT_EQ(parser.IntOr("improver-threads", 1), 0);
+  EXPECT_EQ(parser.IntOr("batch", 8), 4);
+  EXPECT_TRUE(parser.HasFlag("wide"));
+  EXPECT_TRUE(parser.ok());
+
+  // Defaults when omitted: improver off, hardware threads, batch 8.
+  ArgParser defaulted({"search", "wide"},
+                      {"width", "improve", "improver-threads", "batch"});
+  const auto argv2 = Argv({"prog", "d695", "--width", "16"});
+  ASSERT_TRUE(defaulted.Parse(static_cast<int>(argv2.size()), argv2.data()));
+  EXPECT_EQ(defaulted.IntOr("improve", 0), 0);
+  EXPECT_EQ(defaulted.IntOr("improver-threads", 0), 0);
+  EXPECT_EQ(defaulted.IntOr("batch", 8), 8);
+  EXPECT_FALSE(defaulted.HasFlag("wide"));
+}
+
 TEST(ArgParserTest, BadIntegerSurfacesError) {
   ArgParser parser({}, {"n"});
   const auto argv = Argv({"prog", "--n", "seven"});

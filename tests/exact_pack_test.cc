@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "baseline/lower_bound.h"
+#include "core/improver.h"
 #include "core/optimizer.h"
 #include "core/validator.h"
 #include "soc/generator.h"
@@ -112,6 +113,101 @@ TEST(ExactPackTest, NodeCapMarksUnproven) {
   EXPECT_FALSE(result->proven_optimal);
   // Still returns the heuristic-quality incumbent.
   EXPECT_GT(result->makespan, 0);
+}
+
+// Warm starting from the parallel search's best must return the identical
+// optimum while exploring strictly fewer B&B nodes: the warm bound is
+// exclusive (the warm schedule already realizes it) and the candidate order
+// is untouched, so the warm tree is a strict subtree of the cold one on
+// every instance where the cold search expands any node that cannot beat
+// the warm solution.
+TEST(ExactPackTest, WarmStartSameOptimumStrictlyFewerNodes) {
+  for (std::uint64_t seed : {3u, 4u, 5u, 6u}) {
+    const Soc soc = TinySoc(5, seed);
+    const int w = 8;
+    const auto cold = ExactPack(soc, w);
+    ASSERT_TRUE(cold.has_value()) << seed;
+    ASSERT_TRUE(cold->proven_optimal) << seed;
+
+    const TestProblem problem = TestProblem::FromSoc(soc);
+    ImproverParams improver;
+    improver.optimizer.tam_width = w;
+    improver.iterations = 64;
+    const ImproverResult heuristic = ImproveSchedule(problem, improver);
+    ASSERT_TRUE(heuristic.best.ok());
+
+    ExactPackOptions options;
+    SeedWarmStart(options, heuristic.best);
+    const auto warm = ExactPack(soc, w, options);
+    ASSERT_TRUE(warm.has_value()) << seed;
+    EXPECT_TRUE(warm->proven_optimal) << seed;
+    EXPECT_EQ(warm->makespan, cold->makespan) << seed;
+    EXPECT_LT(warm->nodes_explored, cold->nodes_explored) << seed;
+    // The returned schedule realizes the optimum whichever side supplied it.
+    EXPECT_EQ(warm->schedule.Makespan(), warm->makespan) << seed;
+  }
+}
+
+// SeedWarmStart refuses sources the B&B cannot soundly prune against: error
+// results and preemptive schedules (ExactPack solves the non-preemptive
+// P_NPS, which a preempted makespan can undercut).
+TEST(ExactPackTest, SeedWarmStartRefusesUnsoundSources) {
+  OptimizerResult preemptive;
+  preemptive.makespan = 100;
+  preemptive.schedule = Schedule("warm", 8);
+  CoreSchedule entry;
+  entry.core = 0;
+  entry.assigned_width = 2;
+  entry.preemptions = 1;
+  entry.segments.push_back(ScheduleSegment{Interval{0, 50}, 2});
+  entry.segments.push_back(ScheduleSegment{Interval{60, 110}, 2});
+  preemptive.schedule.Add(std::move(entry));
+
+  ExactPackOptions options;
+  SeedWarmStart(options, preemptive);
+  EXPECT_EQ(options.warm_makespan, 0);  // refused: preempted schedule
+
+  OptimizerResult failed;
+  failed.error = "unschedulable";
+  SeedWarmStart(options, failed);
+  EXPECT_EQ(options.warm_makespan, 0);  // refused: error result
+
+  // A clean non-preemptive result seeds all three fields.
+  const Soc soc = TinySoc(3, 1);
+  const TestProblem problem = TestProblem::FromSoc(soc);
+  OptimizerParams params;
+  params.tam_width = 6;
+  const OptimizerResult good = Optimize(problem, params);
+  ASSERT_TRUE(good.ok());
+  SeedWarmStart(options, good);
+  EXPECT_EQ(options.warm_makespan, good.makespan);
+  EXPECT_EQ(options.warm_schedule.Makespan(), good.makespan);
+  EXPECT_EQ(static_cast<int>(options.warm_widths.size()), soc.num_cores());
+
+  // Refusing a later source clears the earlier seed, so one options object
+  // reused across instances can never carry a stale bound forward.
+  SeedWarmStart(options, failed);
+  EXPECT_EQ(options.warm_makespan, 0);
+  EXPECT_TRUE(options.warm_widths.empty());
+}
+
+// When the warm solution IS optimal, the B&B proves it without ever
+// recording an incumbent and hands the warm schedule back unchanged.
+TEST(ExactPackTest, WarmStartAtOptimumReturnsWarmSchedule) {
+  const Soc soc = TinySoc(5, 7);
+  const int w = 10;
+  const auto cold = ExactPack(soc, w);
+  ASSERT_TRUE(cold.has_value());
+  ASSERT_TRUE(cold->proven_optimal);
+
+  ExactPackOptions options;
+  options.warm_makespan = cold->makespan;  // provably optimal bound
+  options.warm_schedule = cold->schedule;
+  const auto warm = ExactPack(soc, w, options);
+  ASSERT_TRUE(warm.has_value());
+  EXPECT_TRUE(warm->proven_optimal);
+  EXPECT_EQ(warm->makespan, cold->makespan);
+  EXPECT_EQ(warm->schedule.Makespan(), cold->makespan);
 }
 
 TEST(ExactPackTest, HeuristicWithinHonestBandOfOptimal) {

@@ -4,9 +4,34 @@
 
 #include "core/validator.h"
 #include "soc/benchmarks.h"
+#include "soc/generator.h"
 
 namespace soctest {
 namespace {
+
+// Full bit-equality of two improver outcomes: same trajectory (attempt and
+// acceptance counters), same winning makespan, and an identical schedule.
+void ExpectIdenticalOutcomes(const ImproverResult& a, const ImproverResult& b) {
+  ASSERT_TRUE(a.best.ok());
+  ASSERT_TRUE(b.best.ok());
+  EXPECT_EQ(a.initial_makespan, b.initial_makespan);
+  EXPECT_EQ(a.best.makespan, b.best.makespan);
+  EXPECT_EQ(a.improvements, b.improvements);
+  EXPECT_EQ(a.attempts, b.attempts);
+  EXPECT_EQ(a.rounds, b.rounds);
+  ASSERT_EQ(a.best.schedule.entries().size(), b.best.schedule.entries().size());
+  for (std::size_t i = 0; i < a.best.schedule.entries().size(); ++i) {
+    const auto& ea = a.best.schedule.entries()[i];
+    const auto& eb = b.best.schedule.entries()[i];
+    EXPECT_EQ(ea.core, eb.core);
+    EXPECT_EQ(ea.assigned_width, eb.assigned_width);
+    ASSERT_EQ(ea.segments.size(), eb.segments.size()) << "core " << ea.core;
+    for (std::size_t s = 0; s < ea.segments.size(); ++s) {
+      EXPECT_EQ(ea.segments[s].span, eb.segments[s].span);
+      EXPECT_EQ(ea.segments[s].width, eb.segments[s].width);
+    }
+  }
+}
 
 TEST(ImproverTest, NeverWorseThanStartingPoint) {
   const TestProblem problem = TestProblem::FromSoc(MakeD695());
@@ -59,6 +84,68 @@ TEST(ImproverTest, RespectsConstraintsWhileImproving) {
   ASSERT_TRUE(result.best.ok());
   const auto violations = ValidateSchedule(problem, result.best.schedule);
   EXPECT_TRUE(violations.empty()) << FormatViolations(violations);
+}
+
+// The batched-climb determinism contract: for a fixed seed and batch size,
+// the hill climb is bit-identical at every thread count — candidates are
+// drawn serially from the RNG and reduced by (makespan, candidate index),
+// exactly the search driver's rule.
+TEST(ImproverTest, BatchedClimbBitIdenticalAcrossThreads) {
+  const TestProblem problem = TestProblem::FromSoc(MakeD695());
+  const CompiledProblem compiled(problem);
+  for (const int batch : {1, 4, 8}) {
+    ImproverParams params;
+    params.optimizer.tam_width = 32;
+    params.iterations = 48;
+    params.seed = 11;
+    params.batch = batch;
+    params.threads = 1;
+    const ImproverResult serial = ImproveSchedule(compiled, params);
+    params.threads = 8;
+    const ImproverResult parallel = ImproveSchedule(compiled, params);
+    SCOPED_TRACE("batch " + std::to_string(batch));
+    ExpectIdenticalOutcomes(serial, parallel);
+    const auto violations = ValidateSchedule(problem, parallel.best.schedule);
+    EXPECT_TRUE(violations.empty()) << FormatViolations(violations);
+  }
+}
+
+// Same contract on a generated 64-core SOC (the production-scale shape the
+// benches track), including preemption.
+TEST(ImproverTest, BatchedClimbBitIdenticalOnGenerated64) {
+  GeneratorParams gen;
+  gen.seed = 99;
+  gen.num_cores = 64;
+  gen.max_preemptions = 2;
+  const TestProblem problem = TestProblem::FromSoc(GenerateSoc(gen));
+  const CompiledProblem compiled(problem);
+  ImproverParams params;
+  params.optimizer.tam_width = 32;
+  params.optimizer.allow_preemption = true;
+  params.iterations = 24;
+  params.seed = 5;
+  params.batch = 8;
+  params.threads = 1;
+  const ImproverResult serial = ImproveSchedule(compiled, params);
+  params.threads = 8;
+  const ImproverResult parallel = ImproveSchedule(compiled, params);
+  ExpectIdenticalOutcomes(serial, parallel);
+  EXPECT_LE(parallel.best.makespan, parallel.initial_makespan);
+}
+
+// batch=1 is the historical sequential climb: one candidate per round,
+// accepted iff improving. The counters must reflect that shape.
+TEST(ImproverTest, BatchOneIsTheSequentialClimb) {
+  const TestProblem problem = TestProblem::FromSoc(MakeD695());
+  ImproverParams params;
+  params.optimizer.tam_width = 48;
+  params.iterations = 30;
+  params.batch = 1;
+  const ImproverResult result = ImproveSchedule(problem, params);
+  ASSERT_TRUE(result.best.ok());
+  EXPECT_EQ(result.attempts, 30);
+  EXPECT_LE(result.rounds, result.attempts);
+  EXPECT_LE(result.best.makespan, result.initial_makespan);
 }
 
 TEST(OptimizerOverrideTest, OverrideWidthsAreHonored) {

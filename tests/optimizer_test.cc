@@ -251,6 +251,68 @@ TEST(OptimizerTest, AblationHeuristicsNeverBreakValidity) {
   }
 }
 
+// A reused ScheduleWorkspace is pure scratch: runs with one workspace across
+// changing parameters AND changing TAM widths (which invalidates its
+// rectangle cache) are bit-identical to fresh runs.
+TEST(OptimizerTest, WorkspaceReuseBitIdenticalAcrossRuns) {
+  const TestProblem problem = TestProblem::FromSoc(MakeD695());
+  const CompiledProblem compiled(problem);
+  ScheduleWorkspace ws;
+  // Revisit width 24 after 32 to prove the cache invalidates and re-fills.
+  const int widths[] = {24, 32, 24};
+  const double s_values[] = {5.0, 2.0, 9.0};
+  for (int i = 0; i < 3; ++i) {
+    OptimizerParams params;
+    params.tam_width = widths[i];
+    params.s_percent = s_values[i];
+    params.allow_preemption = i == 1;
+    const auto fresh = Optimize(compiled, params);
+    const auto reused = Optimize(compiled, params, ws);
+    ASSERT_TRUE(fresh.ok()) << i;
+    ASSERT_TRUE(reused.ok()) << i;
+    EXPECT_EQ(fresh.makespan, reused.makespan) << i;
+    EXPECT_EQ(fresh.admission_rounds, reused.admission_rounds) << i;
+    ASSERT_EQ(fresh.schedule.entries().size(), reused.schedule.entries().size());
+    for (std::size_t c = 0; c < fresh.schedule.entries().size(); ++c) {
+      const auto& ef = fresh.schedule.entries()[c];
+      const auto& er = reused.schedule.entries()[c];
+      ASSERT_EQ(ef.segments.size(), er.segments.size())
+          << "run " << i << " core " << c;
+      for (std::size_t s = 0; s < ef.segments.size(); ++s) {
+        EXPECT_EQ(ef.segments[s].span, er.segments[s].span);
+        EXPECT_EQ(ef.segments[s].width, er.segments[s].width);
+      }
+    }
+  }
+}
+
+// The preemption-budget cap can only tighten CoreSpec budgets: capping at 0
+// forbids preemption entirely, and a cap above every spec budget changes
+// nothing.
+TEST(OptimizerTest, PreemptionBudgetOverrideCapsSpecBudgets) {
+  TestProblem problem = TestProblem::FromSoc(MakeD695());
+  for (int c = 0; c < problem.soc.num_cores(); ++c) {
+    problem.soc.mutable_core(c).max_preemptions = 2;
+  }
+  OptimizerParams params;
+  params.tam_width = 24;
+  params.allow_preemption = true;
+  const auto uncapped = Optimize(problem, params);
+  ASSERT_TRUE(uncapped.ok());
+
+  params.preemption_budget_override = 0;
+  const auto capped = Optimize(problem, params);
+  ASSERT_TRUE(capped.ok());
+  EXPECT_EQ(capped.schedule.TotalPreemptions(), 0);
+
+  params.preemption_budget_override = 99;  // above every spec budget: no-op
+  const auto loose = Optimize(problem, params);
+  ASSERT_TRUE(loose.ok());
+  EXPECT_EQ(loose.makespan, uncapped.makespan);
+  EXPECT_EQ(loose.schedule.TotalPreemptions(),
+            uncapped.schedule.TotalPreemptions());
+}
+
 TEST(OptimizerTest, NonPreemptiveSchedulesHaveOneSegmentPerCore) {
   const TestProblem problem = TestProblem::FromSoc(MakeD695());
   OptimizerParams params;

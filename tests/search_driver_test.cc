@@ -85,6 +85,65 @@ TEST(SearchGridTest, CanonicalOrderAndSize) {
   EXPECT_EQ(grid[100].params.rank, AdmissionRank::kArea);
 }
 
+// The wide grid extends the canonical one: indices 0-199 are bit-identical
+// (so equal-makespan ties still resolve to a canonical configuration), and
+// the appended blocks sweep the extended axes.
+TEST(SearchGridTest, WideGridExtendsCanonical) {
+  OptimizerParams base;
+  base.tam_width = 24;
+  const auto canonical = BuildRestartGrid(base);
+  const auto wide = BuildRestartGrid(base, GridExtent::kWide);
+  // 200 canonical + 100 rank=width + 3*60 idle-fill slack (non-preemptive
+  // base: no preemption-budget block).
+  ASSERT_EQ(wide.size(), 480u);
+  for (std::size_t i = 0; i < canonical.size(); ++i) {
+    EXPECT_EQ(wide[i].index, static_cast<int>(i));
+    EXPECT_EQ(wide[i].params.rank, canonical[i].params.rank);
+    EXPECT_EQ(wide[i].params.deadline_sizing, canonical[i].params.deadline_sizing);
+    EXPECT_DOUBLE_EQ(wide[i].params.s_percent, canonical[i].params.s_percent);
+    EXPECT_EQ(wide[i].params.delta, canonical[i].params.delta);
+    EXPECT_EQ(wide[i].params.idle_fill_slack, canonical[i].params.idle_fill_slack);
+  }
+  // Block order after the canonical 200: rank=width, then idle-fill slack.
+  EXPECT_EQ(wide[200].params.rank, AdmissionRank::kWidth);
+  EXPECT_EQ(wide[300].params.idle_fill_slack, 0);
+  EXPECT_EQ(wide[360].params.idle_fill_slack, 1);
+  EXPECT_EQ(wide[420].params.idle_fill_slack, 6);
+  for (const auto& config : wide) {
+    EXPECT_EQ(config.params.preemption_budget_override, -1);
+  }
+
+  // A preemptive base appends the budget-cap block {0, 1, 2}.
+  base.allow_preemption = true;
+  const auto preemptive = BuildRestartGrid(base, GridExtent::kWide);
+  ASSERT_EQ(preemptive.size(), 660u);
+  EXPECT_EQ(preemptive[480].params.preemption_budget_override, 0);
+  EXPECT_EQ(preemptive[540].params.preemption_budget_override, 1);
+  EXPECT_EQ(preemptive[600].params.preemption_budget_override, 2);
+}
+
+// The wide grid contains the canonical one as its prefix, so its best can
+// never be worse — and the search stays thread-invariant over it.
+TEST(SearchDriverTest, WideSearchNeverWorseAndThreadInvariant) {
+  const TestProblem problem = TestProblem::FromSoc(MakeD695());
+  const CompiledProblem compiled(problem);
+  OptimizerParams params;
+  params.tam_width = 24;
+  SearchOptions options;
+  options.threads = 1;
+  const SearchOutcome narrow = RunRestartSearch(compiled, params, options);
+  options.extent = GridExtent::kWide;
+  const SearchOutcome wide1 = RunRestartSearch(compiled, params, options);
+  options.threads = 8;
+  const SearchOutcome wide8 = RunRestartSearch(compiled, params, options);
+  ASSERT_TRUE(narrow.best.ok());
+  ASSERT_TRUE(wide1.best.ok());
+  ASSERT_TRUE(wide8.best.ok());
+  EXPECT_LE(wide1.best.makespan, narrow.best.makespan);
+  EXPECT_EQ(wide1.best_config, wide8.best_config);
+  ExpectIdenticalSchedules(wide1.best.schedule, wide8.best.schedule);
+}
+
 // The headline determinism contract: the restart search returns an identical
 // best schedule for every thread count, on d695 and d695-style generated
 // SOCs, with and without preemption.

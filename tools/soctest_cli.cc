@@ -14,15 +14,18 @@
 // p93791s) or a path to a .soc file.
 #include <cstdio>
 #include <fstream>
+#include <utility>
 
 #include "baseline/lower_bound.h"
 #include "core/gantt.h"
 #include "core/idle_analysis.h"
+#include "core/improver.h"
 #include "core/optimizer.h"
 #include "core/preemption_advisor.h"
 #include "core/validator.h"
 #include "core/wire_assign.h"
 #include "io/schedule_export.h"
+#include "search/driver.h"
 #include "soc/benchmarks.h"
 #include "soc/soc_parser.h"
 #include "tdv/effective_width.h"
@@ -109,14 +112,20 @@ int CmdWrapper(int argc, const char* const* argv) {
 int CmdSchedule(int argc, const char* const* argv) {
   // --search runs the restart-grid search (paper parameter sweep) on
   // --threads workers; --sweep is the historical spelling of --search.
-  ArgParser args({"preempt", "sweep", "search", "gantt", "wires"},
-                 {"width", "power-factor", "s", "delta", "threads", "json",
-                  "csv", "svg"});
+  // --wide widens the grid with the extended axes (rank=width, idle-fill
+  // slack, preemption budget caps). --improve N runs the batched hill-climb
+  // improver for N perturbation attempts on top of the restart search
+  // (composing with --wide), evaluating --batch candidates per round on
+  // --improver-threads workers (default: the --threads value).
+  ArgParser args({"preempt", "sweep", "search", "wide", "gantt", "wires"},
+                 {"width", "power-factor", "s", "delta", "threads", "improve",
+                  "improver-threads", "batch", "json", "csv", "svg"});
   if (!args.Parse(argc, argv, 2) || args.positional().size() != 1) {
     std::fprintf(stderr, "usage: soctest_cli schedule <soc> --width W "
                          "[--preempt] [--power-factor F] [--s N] [--delta N] "
-                         "[--search] [--threads N] [--gantt] [--wires] "
-                         "[--json P] [--csv P] [--svg P]\n%s\n",
+                         "[--search] [--wide] [--threads N] [--improve N] "
+                         "[--improver-threads N] [--batch K] [--gantt] "
+                         "[--wires] [--json P] [--csv P] [--svg P]\n%s\n",
                  args.Error().c_str());
     return 2;
   }
@@ -135,17 +144,63 @@ int CmdSchedule(int argc, const char* const* argv) {
   params.allow_preemption = args.HasFlag("preempt");
   // Default 0 = all hardware threads, matching the sweep subcommand.
   const int threads = static_cast<int>(args.IntOr("threads", 0));
+  const int improve_iters = static_cast<int>(args.IntOr("improve", 0));
+  // Falls back to --threads so one thread flag governs both search modes.
+  const int improver_threads =
+      static_cast<int>(args.IntOr("improver-threads", threads));
+  const int batch = static_cast<int>(args.IntOr("batch", 8));
+  const GridExtent extent =
+      args.HasFlag("wide") ? GridExtent::kWide : GridExtent::kCanonical;
   if (!args.ok()) {
     std::fprintf(stderr, "%s\n", args.Error().c_str());
     return 2;
   }
+  const bool searching = args.HasFlag("search") || args.HasFlag("sweep");
+  // Silently ignoring a mode-shaping flag misleads more than a warning.
+  if (improve_iters <= 0) {
+    for (const char* dep : {"batch", "improver-threads"}) {
+      if (args.Option(dep)) {
+        std::fprintf(stderr,
+                     "warning: --%s shapes only the improver and has no "
+                     "effect without --improve\n", dep);
+      }
+    }
+    if (!searching && args.HasFlag("wide")) {
+      std::fprintf(stderr,
+                   "warning: --wide has no effect without --search or "
+                   "--improve; running a single schedule\n");
+    }
+  }
 
   // Compile once, then search/schedule against the shared artifacts.
   const CompiledProblem compiled(*problem, params.w_max);
-  const OptimizerResult result =
-      args.HasFlag("search") || args.HasFlag("sweep")
-          ? OptimizeBestOverParams(compiled, params, threads)
-          : Optimize(compiled, params);
+  OptimizerResult result;
+  if (improve_iters > 0) {
+    // Restart search + batched parallel hill climb (core/improver.h).
+    ImproverParams improver;
+    improver.optimizer = params;
+    improver.grid = extent;
+    improver.iterations = improve_iters;
+    improver.threads = improver_threads;
+    improver.batch = batch;
+    ImproverResult improved = ImproveSchedule(compiled, improver);
+    if (improved.best.ok()) {
+      std::printf("improver: %s -> %s cycles (%d accepted / %d attempts, "
+                  "%d rounds of %d)\n",
+                  WithCommas(improved.initial_makespan).c_str(),
+                  WithCommas(improved.best.makespan).c_str(),
+                  improved.improvements, improved.attempts, improved.rounds,
+                  improved.batch);
+    }
+    result = std::move(improved.best);
+  } else if (searching) {
+    SearchOptions options;
+    options.threads = threads;
+    options.extent = extent;
+    result = RunRestartSearch(compiled, params, options).best;
+  } else {
+    result = Optimize(compiled, params);
+  }
   if (!result.ok()) {
     std::fprintf(stderr, "scheduling failed: %s\n", result.error->c_str());
     return 1;
