@@ -11,6 +11,7 @@
 #include "core/optimizer.h"
 #include "core/validator.h"
 #include "core/wire_assign.h"
+#include "service/batch_scheduler.h"
 #include "soc/benchmarks.h"
 #include "soc/generator.h"
 #include "wrapper/rectangles.h"
@@ -213,6 +214,84 @@ BENCHMARK(BM_RestartSweep64)
     ->Arg(1)
     ->Arg(2)
     ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+// The batch-serving layer at 1 and 8 worker threads: a mixed request list
+// over 12 distinct generated SOCs plus 6 repeats of the most recent ones
+// (18 requests), so the CompiledProblem cache serves hits and — capacity 8
+// against 12 distinct SOCs — evictions as well as cold compiles. Results
+// are bit-identical across thread counts; wall-clock and the STATS cache
+// counters are what move.
+void BM_BatchServe(benchmark::State& state) {
+  static const std::vector<BatchRequest> requests = [] {
+    std::vector<BatchRequest> list;
+    for (int s = 0; s < 12; ++s) {
+      GeneratorParams gen;
+      gen.seed = 100 + static_cast<std::uint64_t>(s);
+      gen.num_cores = 12 + 2 * (s % 5);
+      ParsedSoc parsed;
+      parsed.soc = GenerateSoc(gen);
+      BatchRequest req;
+      req.soc_spec = parsed.soc.name();
+      req.soc = std::move(parsed);
+      req.tam_width = 16 + 8 * (s % 3);
+      switch (s % 3) {
+        case 0:
+          req.mode = BatchMode::kSchedule;
+          req.search = true;
+          break;
+        case 1:
+          req.mode = BatchMode::kImprove;
+          req.iterations = 16;
+          req.batch = 4;
+          break;
+        default:
+          req.mode = BatchMode::kSweep;
+          req.sweep_min = req.tam_width - 6;
+          break;
+      }
+      list.push_back(std::move(req));
+    }
+    // Repeats at the tail, of the most recently compiled SOCs: resident
+    // under LRU, so they exercise the hit path at every thread count.
+    for (int s = 6; s < 12; ++s) {
+      list.push_back(list[static_cast<std::size_t>(s)]);
+    }
+    return list;
+  }();
+
+  const int threads = static_cast<int>(state.range(0));
+  BatchOptions options;
+  options.threads = threads;
+  options.shards = 4;
+  options.cache_entries = 8;  // below the 12 distinct SOCs: evictions too
+  BatchOutcome last;
+  for (auto _ : state) {
+    BatchScheduler scheduler(options);  // cold cache per iteration
+    last = scheduler.Run(requests);
+    benchmark::DoNotOptimize(last);
+  }
+  state.counters["requests"] = static_cast<double>(last.results.size());
+  state.counters["cache_hits"] = static_cast<double>(last.cache.hits);
+  long long total = 0;
+  for (const BatchItemResult& item : last.results) {
+    if (item.ok()) total += static_cast<long long>(item.makespan);
+  }
+  std::printf("MAKESPAN soc=batch12 w=mixed mode=batch threads=%d "
+              "cycles=%lld\n", threads, total);
+  std::printf("STATS bench=batch_serve threads=%d requests=%d served=%d "
+              "cache_hits=%lld cache_misses=%lld cache_evictions=%lld "
+              "compiles=%lld\n",
+              threads, static_cast<int>(last.results.size()), last.served,
+              static_cast<long long>(last.cache.hits),
+              static_cast<long long>(last.cache.misses),
+              static_cast<long long>(last.cache.evictions),
+              static_cast<long long>(last.cache.compiles));
+}
+BENCHMARK(BM_BatchServe)
+    ->Arg(1)
     ->Arg(8)
     ->Unit(benchmark::kMillisecond)
     ->Iterations(1);

@@ -5,8 +5,10 @@
 # printed, parsed into a "makespans" array — so schedule-quality regressions
 # show up in the cross-PR trajectory, not just speed. "STATS key=value ..."
 # lines (B&B node counts, improver acceptance rates, restart counts) are
-# parsed the same way into a "stats" array; CI uploads bench_results/ as an
-# artifact so the perf trajectory is visible per PR.
+# parsed the same way into a "stats" array (B&B node counts, improver
+# acceptance rates, and the batch-serving layer's cache hit/miss/eviction and
+# requests-served counters from BM_BatchServe); CI uploads bench_results/ as
+# an artifact so the perf trajectory is visible per PR.
 #
 # Usage: bench/run_all.sh [build-dir]   (default: build)
 set -eu

@@ -4,8 +4,9 @@
 #include <utility>
 #include <vector>
 
+#include "runtime/thread_pool.h"
+#include "runtime/workspace_pool.h"
 #include "search/driver.h"
-#include "search/thread_pool.h"
 #include "util/rng.h"
 #include "wrapper/rectangles.h"
 
@@ -64,8 +65,7 @@ ImproverResult ImproveSchedule(const CompiledProblem& compiled,
   // affects only wall-clock, never the stream. One workspace per worker slot
   // keeps each worker's scheduler runs allocation-free after its first.
   ThreadPool pool(std::min(ResolveThreadCount(params.threads), batch));
-  std::vector<ScheduleWorkspace> workspaces(
-      static_cast<std::size_t>(pool.size()));
+  WorkspacePool workspaces(pool);
 
   std::vector<std::vector<int>> candidates(static_cast<std::size_t>(batch));
   std::vector<OptimizerResult> evaluated(static_cast<std::size_t>(batch));
@@ -105,7 +105,7 @@ ImproverResult ImproveSchedule(const CompiledProblem& compiled,
           OptimizerParams move_params = params.optimizer;
           move_params.preferred_width_override = candidates[i];
           evaluated[i] =
-              Optimize(compiled, move_params, workspaces[worker]);
+              Optimize(compiled, move_params, workspaces.slot(worker));
         });
 
     // ---- Serial reduction: best improving candidate, smallest index wins --

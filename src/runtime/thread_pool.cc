@@ -1,4 +1,4 @@
-#include "search/thread_pool.h"
+#include "runtime/thread_pool.h"
 
 #include <algorithm>
 #include <atomic>

@@ -1,5 +1,8 @@
-// A small fixed-size worker pool for the restart search driver and the
-// width-sweep evaluators.
+// A small fixed-size worker pool — the shared concurrency primitive of the
+// runtime layer. Every parallel consumer in the codebase (the restart search
+// driver, the hill-climb improver, the width-sweep evaluators, and the
+// multi-SOC batch-serving layer) draws its workers from here, so the
+// determinism conventions below are stated once and inherited everywhere.
 //
 // Design notes:
 //  * Tasks must not throw — the schedulers report failure through their

@@ -1,0 +1,13 @@
+#include "runtime/workspace_pool.h"
+
+#include "runtime/thread_pool.h"
+
+namespace soctest {
+
+WorkspacePool::WorkspacePool(int slots)
+    : slots_(static_cast<std::size_t>(slots < 1 ? 1 : slots)) {}
+
+WorkspacePool::WorkspacePool(const ThreadPool& pool)
+    : WorkspacePool(pool.size()) {}
+
+}  // namespace soctest

@@ -1,0 +1,48 @@
+// WorkspacePool — one ScheduleWorkspace per ThreadPool worker slot.
+//
+// Every parallel scheduler consumer follows the same pattern: distribute work
+// items over a ThreadPool with ParallelForWorker, give each worker slot its
+// own reusable ScheduleWorkspace, and write results into per-item slots so
+// the serial reduction afterwards is order-independent. The workspace half of
+// that pattern used to be re-implemented at each call site (the restart
+// driver, the improver); this class names it once so the search layer, the
+// width sweeps, and the batch-serving layer all share it.
+//
+// A pool's slots are never handed to two concurrent drain loops (that is
+// ParallelForWorker's contract), so no synchronization is needed here. Reuse
+// across calls is safe because TamScheduleOptimizer::Run reinitializes every
+// workspace field before use — results are bit-identical to fresh
+// workspaces, only the allocations disappear.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/optimizer.h"
+
+namespace soctest {
+
+class ThreadPool;
+
+class WorkspacePool {
+ public:
+  // One workspace per slot; `slots` < 1 clamps to 1 (the serial slot 0).
+  explicit WorkspacePool(int slots);
+
+  // Sized to pool.size(): a slot for every worker ParallelForWorker can pass.
+  explicit WorkspacePool(const ThreadPool& pool);
+
+  WorkspacePool(const WorkspacePool&) = delete;
+  WorkspacePool& operator=(const WorkspacePool&) = delete;
+
+  int size() const { return static_cast<int>(slots_.size()); }
+
+  // The workspace owned by `worker` (the slot index ParallelForWorker hands
+  // out). The reference stays valid for the life of the pool.
+  ScheduleWorkspace& slot(std::size_t worker) { return slots_[worker]; }
+
+ private:
+  std::vector<ScheduleWorkspace> slots_;
+};
+
+}  // namespace soctest

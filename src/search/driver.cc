@@ -1,42 +1,27 @@
 #include "search/driver.h"
 
 #include <algorithm>
+#include <utility>
 
-#include "search/thread_pool.h"
+#include "runtime/thread_pool.h"
+#include "runtime/workspace_pool.h"
 
 namespace soctest {
+namespace {
 
-SearchOutcome RunRestartSearch(const CompiledProblem& compiled,
-                               const std::vector<RestartConfig>& grid,
-                               const SearchOptions& options) {
+// The shared back half of every overload: the serial, totally ordered
+// (makespan, grid index) reduction over the per-config figures of merit,
+// then one re-run of the winner (or configuration 0's error when all
+// failed) to materialize the schedule. Keeping this in one place is what
+// lets the pooled and caller-workspace overloads provably agree.
+SearchOutcome ReduceAndMaterialize(const CompiledProblem& compiled,
+                                   const std::vector<RestartConfig>& grid,
+                                   bool keep_trace,
+                                   std::vector<Time> makespans,
+                                   ScheduleWorkspace& ws) {
   SearchOutcome outcome;
   outcome.evaluated = static_cast<int>(grid.size());
-  if (grid.empty()) {
-    outcome.best.error = "restart search given an empty grid";
-    return outcome;
-  }
 
-  // Figure of merit per configuration, indexed by grid position; -1 marks an
-  // infeasible configuration. Slots are disjoint, so workers never contend.
-  std::vector<Time> makespans(grid.size(), -1);
-  // One reusable workspace per worker slot: every restart after a slot's
-  // first reuses its buffers and clipped rectangle sets (the grid shares
-  // one TAM width), so the inner loop stops re-allocating per restart.
-  // Slot 0 outlives the pool to serve the winner's materialization below.
-  std::vector<ScheduleWorkspace> workspaces;
-  {
-    // Never spawn more workers than there are configurations.
-    const int workers = std::min(ResolveThreadCount(options.threads),
-                                 static_cast<int>(grid.size()));
-    ThreadPool pool(workers);
-    workspaces.resize(static_cast<std::size_t>(pool.size()));
-    pool.ParallelForWorker(grid.size(), [&](std::size_t w, std::size_t i) {
-      const OptimizerResult r = Optimize(compiled, grid[i].params, workspaces[w]);
-      if (r.ok()) makespans[i] = r.makespan;
-    });
-  }
-
-  // Serial, totally ordered reduction: (makespan, grid index) lexicographic.
   int best = -1;
   for (std::size_t i = 0; i < makespans.size(); ++i) {
     if (makespans[i] < 0) continue;
@@ -50,10 +35,64 @@ SearchOutcome RunRestartSearch(const CompiledProblem& compiled,
   // Materialize the winner (or configuration 0's error when all failed); the
   // scheduler is deterministic, so this reproduces the evaluated run exactly.
   const std::size_t pick = best < 0 ? 0 : static_cast<std::size_t>(best);
-  outcome.best = Optimize(compiled, grid[pick].params, workspaces[0]);
+  outcome.best = Optimize(compiled, grid[pick].params, ws);
 
-  if (options.keep_trace) outcome.makespans = std::move(makespans);
+  if (keep_trace) outcome.makespans = std::move(makespans);
   return outcome;
+}
+
+}  // namespace
+
+SearchOutcome RunRestartSearch(const CompiledProblem& compiled,
+                               const std::vector<RestartConfig>& grid,
+                               const SearchOptions& options) {
+  if (grid.empty()) {
+    SearchOutcome outcome;
+    outcome.best.error = "restart search given an empty grid";
+    return outcome;
+  }
+
+  // Figure of merit per configuration, indexed by grid position; -1 marks an
+  // infeasible configuration. Slots are disjoint, so workers never contend.
+  std::vector<Time> makespans(grid.size(), -1);
+  // One reusable workspace per worker slot: every restart after a slot's
+  // first reuses its buffers and clipped rectangle sets (the grid shares
+  // one TAM width), so the inner loop stops re-allocating per restart.
+  // The pool outlives the ThreadPool so slot 0 can serve the winner's
+  // materialization.
+  // Never spawn more workers than there are configurations.
+  const int workers = std::min(ResolveThreadCount(options.threads),
+                               static_cast<int>(grid.size()));
+  WorkspacePool workspaces(workers);
+  {
+    ThreadPool pool(workers);
+    pool.ParallelForWorker(grid.size(), [&](std::size_t w, std::size_t i) {
+      const OptimizerResult r =
+          Optimize(compiled, grid[i].params, workspaces.slot(w));
+      if (r.ok()) makespans[i] = r.makespan;
+    });
+  }
+
+  return ReduceAndMaterialize(compiled, grid, options.keep_trace,
+                              std::move(makespans), workspaces.slot(0));
+}
+
+SearchOutcome RunRestartSearch(const CompiledProblem& compiled,
+                               const std::vector<RestartConfig>& grid,
+                               ScheduleWorkspace& ws) {
+  if (grid.empty()) {
+    SearchOutcome outcome;
+    outcome.best.error = "restart search given an empty grid";
+    return outcome;
+  }
+
+  std::vector<Time> makespans(grid.size(), -1);
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    const OptimizerResult r = Optimize(compiled, grid[i].params, ws);
+    if (r.ok()) makespans[i] = r.makespan;
+  }
+  return ReduceAndMaterialize(compiled, grid, /*keep_trace=*/false,
+                              std::move(makespans), ws);
 }
 
 SearchOutcome RunRestartSearch(const CompiledProblem& compiled,

@@ -25,7 +25,7 @@ namespace soctest {
 struct SearchOptions {
   // Worker threads for the grid evaluation. 0 means "use the hardware"
   // (hardware_concurrency), any value < 1 after resolution clamps to 1 —
-  // see ResolveThreadCount in search/thread_pool.h.
+  // see ResolveThreadCount in runtime/thread_pool.h.
   int threads = 1;
 
   // When true, SearchOutcome::makespans records every configuration's
@@ -53,6 +53,14 @@ struct SearchOutcome {
 SearchOutcome RunRestartSearch(const CompiledProblem& compiled,
                                const std::vector<RestartConfig>& grid,
                                const SearchOptions& options);
+
+// Serial evaluation reusing a caller-owned workspace across every
+// configuration — the batch-serving layer's per-worker path, where the
+// request level owns all parallelism. Bit-identical to the pooled overload
+// at any thread count (same grid, same reduction; keep_trace off).
+SearchOutcome RunRestartSearch(const CompiledProblem& compiled,
+                               const std::vector<RestartConfig>& grid,
+                               ScheduleWorkspace& ws);
 
 // Convenience: the canonical grid over `base` (BuildRestartGrid).
 SearchOutcome RunRestartSearch(const CompiledProblem& compiled,

@@ -1,0 +1,110 @@
+#include "service/batch_scheduler.h"
+
+#include <utility>
+
+#include "core/improver.h"
+#include "search/driver.h"
+#include "search/grid.h"
+
+namespace soctest {
+
+BatchScheduler::BatchScheduler(const BatchOptions& options)
+    : options_(options),
+      cache_(CompiledProblemCache::Options{options.shards,
+                                           options.cache_entries}),
+      pool_(options.threads),
+      workspaces_(pool_) {}
+
+BatchItemResult BatchScheduler::Serve(const BatchRequest& request, int index,
+                                      ScheduleWorkspace& ws) {
+  BatchItemResult item;
+  item.index = index;
+  item.soc_name = request.soc.soc.name();
+  item.mode = request.mode;
+  item.tam_width = request.tam_width;
+
+  const std::shared_ptr<const CompiledProblem> compiled =
+      cache_.GetOrCompile(request.soc, options_.w_max, &item.cache_hit);
+  if (!compiled->ok()) {
+    item.error = *compiled->error();
+    return item;
+  }
+
+  OptimizerParams params;
+  params.tam_width = request.tam_width;
+  params.w_max = options_.w_max;
+  params.s_percent = request.s_percent;
+  params.delta = request.delta;
+  params.allow_preemption = request.preempt;
+  const GridExtent extent =
+      request.wide ? GridExtent::kWide : GridExtent::kCanonical;
+
+  switch (request.mode) {
+    case BatchMode::kSchedule: {
+      // A single greedy run, or the restart grid drained serially on this
+      // worker's workspace — the driver's own serial overload, so the
+      // reduction contract lives in exactly one place (search/driver.cc).
+      item.result =
+          request.search
+              ? RunRestartSearch(*compiled, BuildRestartGrid(params, extent),
+                                 ws)
+                    .best
+              : Optimize(*compiled, params, ws);
+      break;
+    }
+    case BatchMode::kImprove: {
+      // The improver (like the sweep below) manages its own serial workspace
+      // internally, reused across all of this request's iterations — the
+      // worker's `ws` would add nothing: its rectangle cache holds one
+      // (problem, width) key, which heterogeneous requests invalidate anyway.
+      ImproverParams improver;
+      improver.optimizer = params;
+      improver.grid = extent;
+      improver.iterations = request.iterations;
+      improver.batch = request.batch;
+      improver.seed = request.seed;
+      improver.threads = 1;  // all parallelism lives at the request level
+      item.result = ImproveSchedule(*compiled, improver).best;
+      break;
+    }
+    case BatchMode::kSweep: {
+      SweepOptions sweep;
+      sweep.min_width = request.sweep_min;
+      sweep.max_width =
+          request.sweep_max > 0 ? request.sweep_max : request.tam_width;
+      sweep.optimizer = params;
+      sweep.threads = 1;  // all parallelism lives at the request level
+      item.sweep = SweepWidths(*compiled, sweep);
+      if (item.sweep.empty()) {
+        item.error = "sweep produced no feasible points";
+      } else {
+        item.makespan = MinTimePoint(item.sweep).test_time;
+      }
+      return item;
+    }
+  }
+
+  if (!item.result.ok()) {
+    item.error = *item.result.error;
+  } else {
+    item.makespan = item.result.makespan;
+  }
+  return item;
+}
+
+BatchOutcome BatchScheduler::Run(const std::vector<BatchRequest>& requests) {
+  BatchOutcome outcome;
+  outcome.results.resize(requests.size());
+  pool_.ParallelForWorker(
+      requests.size(), [&](std::size_t worker, std::size_t i) {
+        outcome.results[i] = Serve(requests[i], static_cast<int>(i),
+                                   workspaces_.slot(worker));
+      });
+  for (const BatchItemResult& item : outcome.results) {
+    if (item.ok()) ++outcome.served;
+  }
+  outcome.cache = cache_.stats();
+  return outcome;
+}
+
+}  // namespace soctest

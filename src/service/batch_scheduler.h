@@ -1,0 +1,97 @@
+// BatchScheduler — the multi-SOC batch-serving layer.
+//
+// Generalizes the restart driver's parallelism one level up: where
+// search/driver.h distributes restarts-within-one-SOC over a worker pool,
+// BatchScheduler distributes requests-across-SOCs over the same runtime
+// primitives (runtime/thread_pool.h + runtime/workspace_pool.h), with a
+// sharded CompiledProblemCache (service/problem_cache.h) owning the compiled
+// wrapper artifacts across requests.
+//
+// Determinism contract — the same one as search/driver.h, one level up: the
+// result vector is bit-identical for every (threads, shards) combination.
+// Three ingredients make that true:
+//   1. each request is served entirely serially on one worker (the inner
+//      search / improver / sweep all run at threads = 1), and every serving
+//      path is deterministic for fixed inputs;
+//   2. each request writes its result into its own request-indexed slot, so
+//      execution order cannot matter;
+//   3. the cache can only change WHEN a CompiledProblem is built, never what
+//      it contains — compilation is deterministic, so a cache hit, a miss,
+//      and a post-eviction recompile all serve identical artifacts.
+// Cache STATS (hits/misses/compiles) describe work done and may vary with
+// interleaving; results never do.
+//
+// A BatchScheduler is long-lived: the cache and the worker pool persist
+// across Run() calls, so a service loop pays compilation once per distinct
+// (SOC, w_max) for as long as the entry stays resident. Run() itself is not
+// re-entrant (one Run at a time per scheduler).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/optimizer.h"
+#include "runtime/thread_pool.h"
+#include "runtime/workspace_pool.h"
+#include "service/problem_cache.h"
+#include "service/request.h"
+#include "tdv/data_volume.h"
+
+namespace soctest {
+
+struct BatchOptions {
+  int threads = 0;        // workers serving requests (0 = hardware)
+  int shards = 4;         // CompiledProblemCache shards
+  int cache_entries = 64; // total cache capacity across shards
+  int w_max = kDefaultWMax;  // compilation bound shared by every request
+};
+
+// One request's outcome, in the slot matching its position in the input.
+struct BatchItemResult {
+  int index = -1;
+  std::string soc_name;
+  BatchMode mode = BatchMode::kSchedule;
+  int tam_width = 0;
+  bool cache_hit = false;  // served from resident compiled artifacts
+
+  // The figure every mode reports: the schedule makespan for schedule and
+  // improve, the minimum test time over the sweep range for sweep; -1 on
+  // failure.
+  Time makespan = -1;
+
+  OptimizerResult result;        // schedule / improve modes (sweep: empty)
+  std::vector<SweepPoint> sweep; // sweep mode
+
+  std::optional<std::string> error;
+  bool ok() const { return !error.has_value(); }
+};
+
+struct BatchOutcome {
+  std::vector<BatchItemResult> results;  // results[i] answers requests[i]
+  CacheStats cache;                      // cumulative across Run() calls
+  int served = 0;                        // results with ok()
+};
+
+class BatchScheduler {
+ public:
+  explicit BatchScheduler(const BatchOptions& options);
+
+  // Serves every request and reduces into a request-indexed result vector;
+  // see the determinism contract above.
+  BatchOutcome Run(const std::vector<BatchRequest>& requests);
+
+  const CompiledProblemCache& cache() const { return cache_; }
+  int threads() const { return pool_.size(); }
+
+ private:
+  BatchItemResult Serve(const BatchRequest& request, int index,
+                        ScheduleWorkspace& ws);
+
+  BatchOptions options_;
+  CompiledProblemCache cache_;
+  ThreadPool pool_;
+  WorkspacePool workspaces_;
+};
+
+}  // namespace soctest

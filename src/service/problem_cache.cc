@@ -1,0 +1,122 @@
+#include "service/problem_cache.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace soctest {
+
+CompiledProblemCache::CompiledProblemCache(const Options& options) {
+  const int capacity = std::max(1, options.capacity);
+  // The capacity is a hard bound on resident entries, so distribute it by
+  // floor (and never spin up more shards than entries): shards * per-shard
+  // <= capacity always holds, at the cost of some shards under-filling when
+  // shards does not divide capacity.
+  const int shards = std::min(std::max(1, options.shards), capacity);
+  capacity_per_shard_ = std::max(1, capacity / shards);
+  shards_.reserve(static_cast<std::size_t>(shards));
+  for (int i = 0; i < shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+std::string CompiledProblemCache::CanonicalKey(const ParsedSoc& parsed) {
+  return SerializeSoc(parsed);
+}
+
+std::uint64_t CompiledProblemCache::KeyHash(const std::string& canonical,
+                                            int w_max) {
+  // FNV-1a over the canonical text, then the four w_max bytes.
+  std::uint64_t h = 14695981039346656037ull;
+  const auto mix = [&h](unsigned char byte) {
+    h ^= byte;
+    h *= 1099511628211ull;
+  };
+  for (const char c : canonical) mix(static_cast<unsigned char>(c));
+  for (int i = 0; i < 4; ++i) {
+    mix(static_cast<unsigned char>((static_cast<unsigned>(w_max) >> (8 * i)) &
+                                   0xff));
+  }
+  return h;
+}
+
+std::shared_ptr<CompiledProblemCache::Entry> CompiledProblemCache::Compile(
+    const ParsedSoc& parsed, std::string canonical, int w_max) {
+  auto entry = std::make_shared<Entry>();
+  entry->canonical = std::move(canonical);
+  entry->w_max = w_max;
+  entry->problem = TestProblem::FromParsed(parsed);
+  // Built only after `problem` has its final address inside the entry.
+  entry->compiled = std::make_unique<CompiledProblem>(entry->problem, w_max);
+  return entry;
+}
+
+std::shared_ptr<const CompiledProblem> CompiledProblemCache::GetOrCompile(
+    const ParsedSoc& parsed, int w_max, bool* was_hit) {
+  std::string canonical = CanonicalKey(parsed);
+  const std::uint64_t hash = KeyHash(canonical, w_max);
+  Shard& shard = *shards_[hash % shards_.size()];
+
+  const auto matches = [&](const Entry& e) {
+    return e.w_max == w_max && e.canonical == canonical;
+  };
+
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    const auto it = shard.index.find(hash);
+    if (it != shard.index.end() && matches(**it->second)) {
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      ++shard.hits;
+      if (was_hit != nullptr) *was_hit = true;
+      const std::shared_ptr<Entry>& entry = shard.lru.front();
+      return {entry, entry->compiled.get()};
+    }
+  }
+
+  // Miss: compile outside the lock so other shard keys keep flowing. (The
+  // canonical text moves into the entry; compare via entry->canonical below.)
+  std::shared_ptr<Entry> entry = Compile(parsed, std::move(canonical), w_max);
+
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  ++shard.misses;
+  ++shard.compiles;
+  if (was_hit != nullptr) *was_hit = false;
+  const auto it = shard.index.find(hash);
+  if (it != shard.index.end()) {
+    if ((*it->second)->w_max == w_max &&
+        (*it->second)->canonical == entry->canonical) {
+      // Lost a same-key race: adopt the winner's entry, drop ours.
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      const std::shared_ptr<Entry>& resident = shard.lru.front();
+      return {resident, resident->compiled.get()};
+    }
+    // 64-bit hash collision between different keys: the newcomer replaces
+    // the squatter (the index holds one entry per hash).
+    shard.lru.erase(it->second);
+    shard.index.erase(it);
+    ++shard.evictions;
+  }
+  shard.lru.push_front(entry);
+  shard.index[hash] = shard.lru.begin();
+  while (static_cast<int>(shard.lru.size()) > capacity_per_shard_) {
+    const std::shared_ptr<Entry>& victim = shard.lru.back();
+    shard.index.erase(KeyHash(victim->canonical, victim->w_max));
+    shard.lru.pop_back();
+    ++shard.evictions;
+  }
+  return {entry, entry->compiled.get()};
+}
+
+CacheStats CompiledProblemCache::stats() const {
+  CacheStats out;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    out.hits += shard->hits;
+    out.misses += shard->misses;
+    out.evictions += shard->evictions;
+    out.compiles += shard->compiles;
+    out.entries += static_cast<int>(shard->lru.size());
+  }
+  return out;
+}
+
+}  // namespace soctest

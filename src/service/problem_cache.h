@@ -1,0 +1,124 @@
+// CompiledProblemCache — a sharded, LRU-bounded cache of CompiledProblems
+// for the multi-SOC batch-serving layer.
+//
+// A long-lived service answering schedule requests for many SOCs pays the
+// wrapper-compilation cost (CompiledProblem construction — by far the
+// dominant cost of a cold request, see core/compiled_problem.h) once per
+// distinct (SOC, w_max) pair instead of once per request. The cache is the
+// layer that owns those artifacts across requests:
+//
+//   * Keyed by content, not provenance: the key is the canonical .soc
+//     serialization of the parsed SOC plus its declared constraints
+//     (SerializeSoc round-trips the format), paired with w_max. Two request
+//     files pointing at byte-different paths with the same SOC hit the same
+//     entry; routing uses a 64-bit FNV-1a hash of that canonical text.
+//   * Sharded: entries are distributed over N independently locked shards by
+//     key hash, so concurrent requests for different SOCs never contend on
+//     one mutex. Shard count shapes contention only — never results.
+//   * LRU-bounded per shard: each shard holds at most floor(capacity /
+//     shards) entries (minimum 1; the shard count itself clamps to the
+//     capacity) and evicts its least recently used — so the total resident
+//     count never exceeds Options::capacity.
+//   * Eviction-safe handout: lookups return shared_ptr<const CompiledProblem>
+//     aliased to the cache entry (which owns the TestProblem the compiled
+//     artifacts reference), so an in-flight request keeps its problem alive
+//     even if the entry is evicted mid-request. Compilation is deterministic,
+//     so a recompiled entry is indistinguishable from the evicted one —
+//     eviction can never change a schedule.
+//
+// Thread safety: all methods are safe to call concurrently. On a miss the
+// compile runs outside the shard lock; two racing requesters for the same
+// key may both compile, and the loser adopts the winner's entry (both count
+// as misses — the stats describe work done, not an interleaving-independent
+// quantity; results are interleaving-independent regardless).
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/compiled_problem.h"
+#include "core/problem.h"
+#include "soc/soc_parser.h"
+
+namespace soctest {
+
+// Point-in-time counters, aggregated over all shards.
+struct CacheStats {
+  std::int64_t hits = 0;
+  std::int64_t misses = 0;     // lookups that compiled (includes lost races)
+  std::int64_t evictions = 0;  // entries dropped by the LRU bound
+  std::int64_t compiles = 0;   // CompiledProblems actually built
+  int entries = 0;             // currently resident
+};
+
+class CompiledProblemCache {
+ public:
+  struct Options {
+    int shards = 4;     // < 1 clamps to 1; > capacity clamps to capacity
+    int capacity = 64;  // hard total entry bound across shards; < 1 clamps to 1
+  };
+
+  explicit CompiledProblemCache(const Options& options);
+
+  CompiledProblemCache(const CompiledProblemCache&) = delete;
+  CompiledProblemCache& operator=(const CompiledProblemCache&) = delete;
+
+  // The canonical cache identity of a parsed SOC: its serialized text, which
+  // captures the cores, constraints, and power budget byte-for-byte.
+  static std::string CanonicalKey(const ParsedSoc& parsed);
+
+  // 64-bit FNV-1a of (canonical, w_max): shard router and hash-map key.
+  static std::uint64_t KeyHash(const std::string& canonical, int w_max);
+
+  // Returns the compiled artifacts for `parsed` at `w_max`, compiling and
+  // inserting on a miss. The returned pointer (and the TestProblem it
+  // references) stays valid for the caller's lifetime regardless of later
+  // evictions. `was_hit`, when non-null, reports whether this lookup was
+  // served from cache. A CompiledProblem that failed to compile (!ok()) is
+  // cached too: the error is deterministic, so re-asking cannot fix it.
+  std::shared_ptr<const CompiledProblem> GetOrCompile(const ParsedSoc& parsed,
+                                                      int w_max,
+                                                      bool* was_hit = nullptr);
+
+  CacheStats stats() const;
+  int shards() const { return static_cast<int>(shards_.size()); }
+  int capacity_per_shard() const { return capacity_per_shard_; }
+
+ private:
+  // One cached compilation. `problem` must never move after `compiled` is
+  // built (the CompiledProblem holds a reference into it), which the
+  // heap-allocated, never-relocated Entry guarantees.
+  struct Entry {
+    std::string canonical;
+    int w_max = 0;
+    TestProblem problem;
+    std::unique_ptr<CompiledProblem> compiled;
+  };
+
+  struct Shard {
+    mutable std::mutex mutex;
+    // Front = most recently used. The map indexes the list by key hash;
+    // hash collisions fall back to comparing (canonical, w_max) exactly.
+    std::list<std::shared_ptr<Entry>> lru;
+    std::unordered_map<std::uint64_t,
+                       std::list<std::shared_ptr<Entry>>::iterator>
+        index;
+    std::int64_t hits = 0;
+    std::int64_t misses = 0;
+    std::int64_t evictions = 0;
+    std::int64_t compiles = 0;
+  };
+
+  static std::shared_ptr<Entry> Compile(const ParsedSoc& parsed,
+                                        std::string canonical, int w_max);
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  int capacity_per_shard_ = 1;
+};
+
+}  // namespace soctest

@@ -1,0 +1,227 @@
+#include "service/request.h"
+
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "soc/benchmarks.h"
+#include "util/strings.h"
+
+namespace soctest {
+namespace {
+
+RequestParseError Err(const std::string& file, int line, std::string message) {
+  return RequestParseError{file, line, std::move(message)};
+}
+
+// Loads the <soc> token: embedded benchmark name first, file path second.
+// Returns an error message ("" on success) so the caller owns the file:line.
+std::string LoadSoc(const std::string& spec, ParsedSoc& out) {
+  const Soc embedded = BenchmarkByName(spec);
+  if (embedded.num_cores() > 0) {
+    out = ParsedSoc{};
+    out.soc = embedded;
+    return "";
+  }
+  ParseResult parsed = ParseSocFile(spec);
+  if (const auto* err = std::get_if<ParseError>(&parsed)) {
+    return StrFormat("cannot load soc '%s': %s", spec.c_str(),
+                     err->ToString().c_str());
+  }
+  out = std::move(std::get<ParsedSoc>(parsed));
+  return "";
+}
+
+// Applies one key=value flag. Returns an error message or "".
+std::string ApplyFlag(BatchRequest& req, const std::string& key,
+                      const std::string& value) {
+  const auto as_int = ParseInt(value);
+  const auto as_double = ParseDouble(value);
+  const auto bool_flag = [&](bool& out) -> std::string {
+    if (!as_int || (*as_int != 0 && *as_int != 1)) {
+      return StrFormat("%s expects 0 or 1", key.c_str());
+    }
+    out = *as_int == 1;
+    return "";
+  };
+  const auto positive_int = [&](int& out) -> std::string {
+    if (!as_int || *as_int <= 0) {
+      return StrFormat("%s expects a positive integer", key.c_str());
+    }
+    out = static_cast<int>(*as_int);
+    return "";
+  };
+
+  // Shared flags first, then mode-specific ones; a flag on the wrong mode is
+  // an error rather than a silent no-op.
+  if (key == "preempt") return bool_flag(req.preempt);
+  if (key == "s") {
+    if (!as_double || *as_double <= 0) return "s expects a positive percent";
+    req.s_percent = *as_double;
+    return "";
+  }
+  if (key == "delta") {
+    if (!as_int || *as_int < 0) return "delta expects a non-negative integer";
+    req.delta = static_cast<int>(*as_int);
+    return "";
+  }
+  if (key == "wide" && req.mode != BatchMode::kSweep) {
+    return bool_flag(req.wide);
+  }
+  if (req.mode == BatchMode::kSchedule) {
+    if (key == "search") return bool_flag(req.search);
+  } else if (req.mode == BatchMode::kImprove) {
+    if (key == "iters") return positive_int(req.iterations);
+    if (key == "batch") return positive_int(req.batch);
+    if (key == "seed") {
+      if (!as_int || *as_int < 0) return "seed expects a non-negative integer";
+      req.seed = static_cast<std::uint64_t>(*as_int);
+      return "";
+    }
+  } else if (req.mode == BatchMode::kSweep) {
+    if (key == "min") return positive_int(req.sweep_min);
+    if (key == "max") return positive_int(req.sweep_max);
+  }
+  return StrFormat("unknown flag '%s' for mode %s", key.c_str(),
+                   BatchModeName(req.mode));
+}
+
+}  // namespace
+
+const char* BatchModeName(BatchMode mode) {
+  switch (mode) {
+    case BatchMode::kSchedule: return "schedule";
+    case BatchMode::kImprove: return "improve";
+    case BatchMode::kSweep: return "sweep";
+  }
+  return "?";
+}
+
+std::string FormatRequestLine(const BatchRequest& request) {
+  const BatchRequest defaults;
+  std::string out = StrFormat("%s %d %s", request.soc_spec.c_str(),
+                              request.tam_width, BatchModeName(request.mode));
+  if (request.preempt) out += " preempt=1";
+  if (request.s_percent != defaults.s_percent) {
+    out += StrFormat(" s=%g", request.s_percent);
+  }
+  if (request.delta != defaults.delta) {
+    out += StrFormat(" delta=%d", request.delta);
+  }
+  if (request.search) out += " search=1";
+  if (request.wide) out += " wide=1";
+  if (request.mode == BatchMode::kImprove) {
+    if (request.iterations != defaults.iterations) {
+      out += StrFormat(" iters=%d", request.iterations);
+    }
+    if (request.batch != defaults.batch) {
+      out += StrFormat(" batch=%d", request.batch);
+    }
+    if (request.seed != defaults.seed) {
+      out += StrFormat(" seed=%llu",
+                       static_cast<unsigned long long>(request.seed));
+    }
+  }
+  if (request.mode == BatchMode::kSweep) {
+    if (request.sweep_min != defaults.sweep_min) {
+      out += StrFormat(" min=%d", request.sweep_min);
+    }
+    if (request.sweep_max != defaults.sweep_max) {
+      out += StrFormat(" max=%d", request.sweep_max);
+    }
+  }
+  return out;
+}
+
+std::string RequestParseError::ToString() const {
+  if (line > 0) {
+    return StrFormat("%s:%d: %s", file.c_str(), line, message.c_str());
+  }
+  return StrFormat("%s: %s", file.c_str(), message.c_str());
+}
+
+RequestFileResult ParseRequestText(const std::string& text,
+                                   const std::string& file) {
+  std::vector<BatchRequest> out;
+  const std::vector<std::string> lines = SplitLines(text);
+  for (std::size_t li = 0; li < lines.size(); ++li) {
+    const int line_no = static_cast<int>(li) + 1;
+    std::string line = lines[li];
+    if (const auto hash = line.find('#'); hash != std::string::npos) {
+      line.resize(hash);
+    }
+    const auto tokens = SplitWhitespace(line);
+    if (tokens.empty()) continue;
+    if (tokens.size() < 3) {
+      return Err(file, line_no,
+                 "expected '<soc> <width> <mode> [key=value ...]'");
+    }
+
+    BatchRequest req;
+    req.soc_spec = tokens[0];
+
+    const auto width = ParseInt(tokens[1]);
+    if (!width || *width <= 0) {
+      return Err(file, line_no,
+                 StrFormat("bad width '%s' (expected a positive integer)",
+                           tokens[1].c_str()));
+    }
+    req.tam_width = static_cast<int>(*width);
+
+    const std::string mode = ToLower(tokens[2]);
+    if (mode == "schedule") {
+      req.mode = BatchMode::kSchedule;
+    } else if (mode == "improve") {
+      req.mode = BatchMode::kImprove;
+    } else if (mode == "sweep") {
+      req.mode = BatchMode::kSweep;
+    } else {
+      return Err(file, line_no,
+                 StrFormat("unknown mode '%s' (expected schedule, improve, "
+                           "or sweep)", tokens[2].c_str()));
+    }
+
+    for (std::size_t t = 3; t < tokens.size(); ++t) {
+      const auto eq = tokens[t].find('=');
+      if (eq == std::string::npos || eq == 0) {
+        return Err(file, line_no,
+                   StrFormat("bad flag '%s' (expected key=value)",
+                             tokens[t].c_str()));
+      }
+      const std::string problem = ApplyFlag(req, ToLower(tokens[t].substr(0, eq)),
+                                            tokens[t].substr(eq + 1));
+      if (!problem.empty()) return Err(file, line_no, problem);
+    }
+    if (req.mode == BatchMode::kSchedule && req.wide && !req.search) {
+      // Serve() consults the grid extent only when searching; diagnose the
+      // contradiction here rather than silently running a single greedy pass.
+      return Err(file, line_no, "wide=1 requires search=1 in schedule mode");
+    }
+    if (req.mode == BatchMode::kSweep) {
+      // sweep_max = 0 defaults to the width column — validate the range the
+      // sweep will actually run, so a bad min fails here with file:line
+      // instead of surfacing later as a bogus "no feasible points".
+      const int effective_max =
+          req.sweep_max > 0 ? req.sweep_max : req.tam_width;
+      if (effective_max < req.sweep_min) {
+        return Err(file, line_no, "sweep max is below min");
+      }
+    }
+
+    if (std::string problem = LoadSoc(req.soc_spec, req.soc); !problem.empty()) {
+      return Err(file, line_no, std::move(problem));
+    }
+    out.push_back(std::move(req));
+  }
+  return out;
+}
+
+RequestFileResult LoadRequestFile(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) return RequestParseError{path, 0, "cannot open file"};
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  return ParseRequestText(ss.str(), path);
+}
+
+}  // namespace soctest

@@ -1,0 +1,95 @@
+// Batch request model + request-file parser for the batch-serving layer.
+//
+// A request file is line-oriented ('#' starts a comment, blank lines are
+// ignored); each line is one schedule request:
+//
+//   <soc> <width> <mode> [key=value ...]
+//
+//   <soc>    embedded benchmark name (d695, p22810s, ...) or a .soc file path
+//   <width>  the SOC TAM width to schedule at (positive integer)
+//   <mode>   schedule | improve | sweep
+//
+// Optional key=value flags (any order; unknown keys and keys that do not
+// apply to the line's mode are diagnosed with file:line):
+//
+//   all modes: preempt={0,1}  s=<percent>  delta=<int>
+//   schedule:  search={0,1}  wide={0,1}   (restart-grid search / wide grid;
+//                                          wide=1 requires search=1)
+//   improve:   iters=<n>  batch=<k>  seed=<n>  wide={0,1}
+//   sweep:     min=<w>  max=<w>              (default: min=1, max=<width>)
+//
+// Example:
+//
+//   d695        24 schedule search=1
+//   designs/a.soc 32 improve iters=64 batch=8 preempt=1
+//   d695        16 sweep min=8 max=16
+//
+// The parser loads each line's SOC eagerly (so every diagnostic carries the
+// request file's line), via soc/benchmarks.h for embedded names and
+// soc/soc_parser.h for paths.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "soc/soc_parser.h"
+
+namespace soctest {
+
+enum class BatchMode { kSchedule, kImprove, kSweep };
+
+// "schedule" / "improve" / "sweep".
+const char* BatchModeName(BatchMode mode);
+
+struct BatchRequest {
+  std::string soc_spec;  // the <soc> token as written (diagnostics/reports)
+  ParsedSoc soc;         // loaded SOC + declared constraints
+  int tam_width = 32;
+  BatchMode mode = BatchMode::kSchedule;
+
+  // Shared scheduler knobs.
+  bool preempt = false;
+  double s_percent = 5.0;
+  int delta = 1;
+
+  // schedule mode: run the restart-grid search instead of a single greedy
+  // pass; `wide` selects the extended grid (also honored by improve mode).
+  bool search = false;
+  bool wide = false;
+
+  // improve mode.
+  int iterations = 32;
+  int batch = 8;
+  std::uint64_t seed = 1;
+
+  // sweep mode; sweep_max = 0 means "the tam_width column".
+  int sweep_min = 1;
+  int sweep_max = 0;
+};
+
+// One request back as a request-file line (no <soc> re-serialization — the
+// original spec token is reused). Non-default flags only, fixed order, so
+// Parse(Format(r)) reproduces r field-for-field: the round-trip contract.
+std::string FormatRequestLine(const BatchRequest& request);
+
+struct RequestParseError {
+  std::string file;  // request file (label passed to ParseRequestText)
+  int line = 0;      // 1-based; 0 = file-level
+  std::string message;
+
+  std::string ToString() const;  // "file:line: message"
+};
+
+using RequestFileResult =
+    std::variant<std::vector<BatchRequest>, RequestParseError>;
+
+// Parses request lines from text; `file` labels diagnostics.
+RequestFileResult ParseRequestText(const std::string& text,
+                                   const std::string& file);
+
+// Reads and parses a request file from disk.
+RequestFileResult LoadRequestFile(const std::string& path);
+
+}  // namespace soctest

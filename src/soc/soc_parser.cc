@@ -15,7 +15,7 @@ struct PendingEdge {
 };
 
 ParseError Err(int line, std::string message) {
-  return ParseError{line, std::move(message)};
+  return ParseError{line, std::move(message), /*file=*/{}};
 }
 
 // Parses "key value..." core attribute lines. Returns an error message or "".
@@ -75,6 +75,17 @@ std::string ApplyCoreAttribute(CoreSpec& core, const std::string& key,
 }
 
 }  // namespace
+
+std::string ParseError::ToString() const {
+  if (!file.empty()) {
+    if (line > 0) {
+      return StrFormat("%s:%d: %s", file.c_str(), line, message.c_str());
+    }
+    return StrFormat("%s: %s", file.c_str(), message.c_str());
+  }
+  if (line > 0) return StrFormat("line %d: %s", line, message.c_str());
+  return message;
+}
 
 ParseResult ParseSocText(const std::string& text) {
   ParsedSoc out;
@@ -198,10 +209,14 @@ ParseResult ParseSocText(const std::string& text) {
 
 ParseResult ParseSocFile(const std::string& path) {
   std::ifstream f(path);
-  if (!f) return ParseError{0, StrFormat("cannot open '%s'", path.c_str())};
+  if (!f) return ParseError{0, "cannot open file", path};
   std::ostringstream ss;
   ss << f.rdbuf();
-  return ParseSocText(ss.str());
+  ParseResult result = ParseSocText(ss.str());
+  // Annotate every text-level error with its source file so callers juggling
+  // many SOCs (the batch-serving layer) can attribute failures.
+  if (auto* err = std::get_if<ParseError>(&result)) err->file = path;
+  return result;
 }
 
 std::string SerializeSoc(const ParsedSoc& parsed) {

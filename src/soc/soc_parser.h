@@ -45,6 +45,14 @@ struct ParsedSoc {
 struct ParseError {
   int line = 0;  // 1-based line of the problem; 0 = file-level
   std::string message;
+  // Source file of the failing input. ParseSocFile fills it in so multi-SOC
+  // batch failures attribute to the right file; ParseSocText leaves it empty.
+  std::string file;
+
+  // "file:line: message" with the parts that are known: the file prefix only
+  // when `file` is set, the line only when > 0 ("file: message" and
+  // "line N: message" are the degenerate forms; a bare message otherwise).
+  std::string ToString() const;
 };
 
 using ParseResult = std::variant<ParsedSoc, ParseError>;

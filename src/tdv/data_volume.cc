@@ -4,7 +4,8 @@
 #include <cassert>
 #include <optional>
 
-#include "search/thread_pool.h"
+#include "runtime/thread_pool.h"
+#include "runtime/workspace_pool.h"
 
 namespace soctest {
 
@@ -32,13 +33,20 @@ std::vector<SweepPoint> SweepWidths(const CompiledProblem& compiled,
   const int inner_threads =
       options.best_over_params ? std::max(1, budget / static_cast<int>(n)) : 1;
   ThreadPool pool(std::min(budget, static_cast<int>(n)));
-  pool.ParallelFor(n, [&](std::size_t i) {
+  // One ScheduleWorkspace per worker, reused across every width the worker
+  // drains: the state vectors and admission scratch survive from width to
+  // width, and only the clipped rectangle sets rebuild when the workspace's
+  // cached (problem, width) key changes. Reuse cannot change results — Run
+  // reinitializes the workspace per run — so the sweep points stay
+  // bit-identical to the historical fresh-workspace-per-width path.
+  WorkspacePool workspaces(pool);
+  pool.ParallelForWorker(n, [&](std::size_t worker, std::size_t i) {
     OptimizerParams params = options.optimizer;
     params.tam_width = min_width + static_cast<int>(i);
     const OptimizerResult result =
         options.best_over_params
             ? OptimizeBestOverParams(compiled, params, inner_threads)
-            : Optimize(compiled, params);
+            : Optimize(compiled, params, workspaces.slot(worker));
     if (!result.ok()) return;
     SweepPoint point;
     point.tam_width = params.tam_width;

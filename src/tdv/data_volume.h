@@ -35,8 +35,11 @@ struct SweepOptions {
 // Schedules the SOC at every width in [min_width, max_width] and records
 // T and D. Points where scheduling fails (impossible inputs) are skipped.
 // The wrapper artifacts are compiled once and shared by every point; with
-// threads > 1 the points are evaluated in parallel, and the result is
-// identical for every thread count (each width owns its output slot).
+// threads > 1 the points are evaluated in parallel — one reusable
+// ScheduleWorkspace per pool worker (runtime/workspace_pool.h), kept across
+// all the widths that worker drains — and the result is identical for every
+// thread count (each width owns its output slot, and workspace reuse never
+// changes a run's output).
 std::vector<SweepPoint> SweepWidths(const TestProblem& problem,
                                     const SweepOptions& options);
 std::vector<SweepPoint> SweepWidths(const CompiledProblem& compiled,

@@ -3,7 +3,6 @@
 #include <gtest/gtest.h>
 
 #include "core/validator.h"
-#include "search/thread_pool.h"
 #include "soc/benchmarks.h"
 #include "soc/generator.h"
 
@@ -35,34 +34,6 @@ void ExpectIdenticalSchedules(const Schedule& a, const Schedule& b) {
       EXPECT_EQ(ea.segments[s].width, eb.segments[s].width);
     }
   }
-}
-
-TEST(ThreadPoolTest, ResolveThreadCountGuards) {
-  EXPECT_EQ(ResolveThreadCount(1), 1);
-  EXPECT_EQ(ResolveThreadCount(7), 7);
-  // 0 means "use the hardware", which is always at least one thread.
-  EXPECT_GE(ResolveThreadCount(0), 1);
-  // Negative requests clamp to 1 instead of spawning nothing.
-  EXPECT_EQ(ResolveThreadCount(-1), 1);
-  EXPECT_EQ(ResolveThreadCount(-100), 1);
-}
-
-TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
-  ThreadPool pool(4);
-  EXPECT_EQ(pool.size(), 4);
-  std::vector<int> hits(1000, 0);
-  pool.ParallelFor(hits.size(), [&](std::size_t i) { hits[i] += 1; });
-  for (std::size_t i = 0; i < hits.size(); ++i) {
-    ASSERT_EQ(hits[i], 1) << "index " << i;
-  }
-}
-
-TEST(ThreadPoolTest, SingleWorkerRunsInline) {
-  ThreadPool pool(1);
-  const auto caller = std::this_thread::get_id();
-  std::thread::id seen;
-  pool.ParallelFor(1, [&](std::size_t) { seen = std::this_thread::get_id(); });
-  EXPECT_EQ(seen, caller);  // threads=1 is literally the serial code path
 }
 
 TEST(SearchGridTest, CanonicalOrderAndSize) {
@@ -212,6 +183,32 @@ TEST(SearchDriverTest, TieBreakPicksSmallestGridIndex) {
     const Time m = outcome.makespans[static_cast<std::size_t>(i)];
     EXPECT_TRUE(m < 0 || m > outcome.best.makespan) << "config " << i;
   }
+}
+
+// The caller-workspace serial overload (the batch-serving layer's per-worker
+// path) must agree with the pooled overload at every thread count — they
+// share one reduction, and this pins the contract.
+TEST(SearchDriverTest, CallerWorkspaceOverloadMatchesPooled) {
+  const TestProblem problem = GeneratedProblem(3, 10);
+  const CompiledProblem compiled(problem);
+  ASSERT_TRUE(compiled.ok());
+  OptimizerParams params;
+  params.tam_width = 24;
+  const auto grid = BuildRestartGrid(params);
+  SearchOptions options;
+  options.threads = 8;
+  const SearchOutcome pooled = RunRestartSearch(compiled, grid, options);
+  ScheduleWorkspace ws;
+  const SearchOutcome serial = RunRestartSearch(compiled, grid, ws);
+  ASSERT_TRUE(pooled.best.ok());
+  ASSERT_TRUE(serial.best.ok());
+  EXPECT_EQ(pooled.best_config, serial.best_config);
+  EXPECT_EQ(pooled.feasible, serial.feasible);
+  ExpectIdenticalSchedules(pooled.best.schedule, serial.best.schedule);
+
+  const SearchOutcome empty = RunRestartSearch(compiled, {}, ws);
+  EXPECT_FALSE(empty.best.ok());
+  EXPECT_EQ(empty.best_config, -1);
 }
 
 // OptimizeBestOverParams is the user-facing wrapper of the driver; its

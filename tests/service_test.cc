@@ -1,0 +1,401 @@
+// Tests for the batch-serving layer: the sharded CompiledProblemCache, the
+// request-file parser, and the BatchScheduler determinism contract (batch
+// results bit-identical for every threads x shards combination — the same
+// bar as search/driver.h, one level up).
+#include "service/batch_scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/validator.h"
+#include "service/problem_cache.h"
+#include "service/request.h"
+#include "soc/benchmarks.h"
+#include "soc/generator.h"
+#include "soc/soc_parser.h"
+
+namespace soctest {
+namespace {
+
+ParsedSoc ParsedFromSoc(Soc soc) {
+  ParsedSoc parsed;
+  parsed.soc = std::move(soc);
+  return parsed;
+}
+
+ParsedSoc GeneratedParsed(std::uint64_t seed, int cores) {
+  GeneratorParams params;
+  params.seed = seed;
+  params.num_cores = cores;
+  params.max_preemptions = 2;
+  return ParsedFromSoc(GenerateSoc(params));
+}
+
+// A mixed 8-request workload over three SOCs: every mode, duplicated SOCs
+// (cache hits), and a repeated (soc, width, mode) triple (identical slots).
+std::vector<BatchRequest> MixedRequests() {
+  std::vector<BatchRequest> requests;
+  const ParsedSoc d695 = ParsedFromSoc(MakeD695());
+  const ParsedSoc gen_a = GeneratedParsed(3, 10);
+  const ParsedSoc gen_b = GeneratedParsed(17, 12);
+
+  const auto add = [&requests](const ParsedSoc& soc, int width, BatchMode mode) {
+    BatchRequest req;
+    req.soc_spec = soc.soc.name();
+    req.soc = soc;
+    req.tam_width = width;
+    req.mode = mode;
+    req.iterations = 12;
+    req.batch = 4;
+    req.sweep_min = width - 4;
+    requests.push_back(std::move(req));
+    return &requests.back();
+  };
+
+  add(d695, 24, BatchMode::kSchedule)->search = true;
+  add(gen_a, 16, BatchMode::kSchedule);
+  add(d695, 16, BatchMode::kSweep);
+  add(gen_b, 24, BatchMode::kImprove);
+  add(gen_a, 16, BatchMode::kSchedule);  // duplicate of request 1
+  add(d695, 32, BatchMode::kSchedule)->preempt = true;
+  add(gen_b, 20, BatchMode::kSchedule)->search = true;
+  add(d695, 24, BatchMode::kImprove)->seed = 7;
+  return requests;
+}
+
+void ExpectIdenticalItems(const BatchItemResult& a, const BatchItemResult& b) {
+  EXPECT_EQ(a.index, b.index);
+  EXPECT_EQ(a.soc_name, b.soc_name);
+  EXPECT_EQ(a.ok(), b.ok());
+  EXPECT_EQ(a.makespan, b.makespan);
+  ASSERT_EQ(a.sweep.size(), b.sweep.size());
+  for (std::size_t i = 0; i < a.sweep.size(); ++i) {
+    EXPECT_EQ(a.sweep[i].tam_width, b.sweep[i].tam_width);
+    EXPECT_EQ(a.sweep[i].test_time, b.sweep[i].test_time);
+    EXPECT_EQ(a.sweep[i].data_volume, b.sweep[i].data_volume);
+  }
+  const auto& sa = a.result.schedule;
+  const auto& sb = b.result.schedule;
+  ASSERT_EQ(sa.entries().size(), sb.entries().size());
+  for (std::size_t i = 0; i < sa.entries().size(); ++i) {
+    const auto& ea = sa.entries()[i];
+    const auto& eb = sb.entries()[i];
+    EXPECT_EQ(ea.core, eb.core);
+    EXPECT_EQ(ea.assigned_width, eb.assigned_width);
+    EXPECT_EQ(ea.preemptions, eb.preemptions);
+    ASSERT_EQ(ea.segments.size(), eb.segments.size());
+    for (std::size_t s = 0; s < ea.segments.size(); ++s) {
+      EXPECT_EQ(ea.segments[s].span, eb.segments[s].span);
+      EXPECT_EQ(ea.segments[s].width, eb.segments[s].width);
+    }
+  }
+}
+
+// The headline contract: bit-identical results for every (threads, shards)
+// combination. threads=1 shards=1 is the reference serial serving loop.
+TEST(BatchSchedulerTest, ResultsBitIdenticalAcrossThreadsAndShards) {
+  const std::vector<BatchRequest> requests = MixedRequests();
+
+  BatchOptions reference_options;
+  reference_options.threads = 1;
+  reference_options.shards = 1;
+  BatchScheduler reference(reference_options);
+  const BatchOutcome expected = reference.Run(requests);
+  ASSERT_EQ(expected.results.size(), requests.size());
+  ASSERT_EQ(expected.served, static_cast<int>(requests.size()));
+
+  for (const int threads : {1, 8}) {
+    for (const int shards : {1, 4}) {
+      BatchOptions options;
+      options.threads = threads;
+      options.shards = shards;
+      BatchScheduler scheduler(options);
+      const BatchOutcome outcome = scheduler.Run(requests);
+      ASSERT_EQ(outcome.results.size(), requests.size());
+      EXPECT_EQ(outcome.served, expected.served);
+      for (std::size_t i = 0; i < requests.size(); ++i) {
+        SCOPED_TRACE(testing::Message() << "threads=" << threads
+                                        << " shards=" << shards << " req=" << i);
+        ExpectIdenticalItems(outcome.results[i], expected.results[i]);
+      }
+    }
+  }
+
+  // Duplicate requests land identical results in their own slots.
+  ExpectIdenticalItems(expected.results[1], [&] {
+    BatchItemResult copy = expected.results[4];
+    copy.index = expected.results[1].index;
+    copy.cache_hit = expected.results[1].cache_hit;
+    return copy;
+  }());
+
+  // Spot-check validity: served schedules satisfy the full validator.
+  const TestProblem d695 = TestProblem::FromParsed(requests[0].soc);
+  EXPECT_TRUE(IsValidSchedule(d695, expected.results[0].result.schedule));
+}
+
+// Eviction pressure: with a 1-entry cache, alternating SOCs evict each other
+// every request, and the post-eviction recompile serves a schedule
+// bit-identical to the cached one's.
+TEST(BatchSchedulerTest, EvictionRecompileIsBitIdentical) {
+  const ParsedSoc a = GeneratedParsed(3, 10);
+  const ParsedSoc b = GeneratedParsed(17, 12);
+  std::vector<BatchRequest> requests;
+  for (int round = 0; round < 2; ++round) {
+    for (const ParsedSoc* soc : {&a, &b}) {
+      BatchRequest req;
+      req.soc_spec = soc->soc.name();
+      req.soc = *soc;
+      req.tam_width = 16;
+      requests.push_back(std::move(req));
+    }
+  }
+
+  BatchOptions options;
+  options.threads = 1;  // serial: the eviction sequence is deterministic
+  options.shards = 1;
+  options.cache_entries = 1;
+  BatchScheduler scheduler(options);
+  const BatchOutcome outcome = scheduler.Run(requests);
+  ASSERT_EQ(outcome.served, 4);
+
+  // Requests 0/2 and 1/3 are identical; every one was compiled fresh.
+  ExpectIdenticalItems(outcome.results[0], [&] {
+    BatchItemResult copy = outcome.results[2];
+    copy.index = 0;
+    return copy;
+  }());
+  ExpectIdenticalItems(outcome.results[1], [&] {
+    BatchItemResult copy = outcome.results[3];
+    copy.index = 1;
+    return copy;
+  }());
+  EXPECT_EQ(outcome.cache.hits, 0);
+  EXPECT_EQ(outcome.cache.compiles, 4);
+  EXPECT_GE(outcome.cache.evictions, 3);
+  EXPECT_EQ(outcome.cache.entries, 1);
+}
+
+TEST(CompiledProblemCacheTest, HitsShareOneCompilation) {
+  CompiledProblemCache cache({/*shards=*/4, /*capacity=*/8});
+  const ParsedSoc d695 = ParsedFromSoc(MakeD695());
+  bool hit = true;
+  const auto first = cache.GetOrCompile(d695, kDefaultWMax, &hit);
+  EXPECT_FALSE(hit);
+  const auto second = cache.GetOrCompile(d695, kDefaultWMax, &hit);
+  EXPECT_TRUE(hit);
+  EXPECT_EQ(first.get(), second.get());  // literally the same artifacts
+  ASSERT_TRUE(first->ok());
+  // A different w_max is a different key.
+  const auto third = cache.GetOrCompile(d695, 32, &hit);
+  EXPECT_FALSE(hit);
+  EXPECT_NE(first.get(), third.get());
+  const CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1);
+  EXPECT_EQ(stats.misses, 2);
+  EXPECT_EQ(stats.compiles, 2);
+  EXPECT_EQ(stats.entries, 2);
+}
+
+// The handout survives eviction: an in-flight shared_ptr keeps the evicted
+// entry (and the TestProblem its artifacts reference) alive and usable.
+TEST(CompiledProblemCacheTest, HandoutSurvivesEviction) {
+  CompiledProblemCache cache({/*shards=*/1, /*capacity=*/1});
+  const ParsedSoc a = GeneratedParsed(3, 10);
+  const ParsedSoc b = GeneratedParsed(17, 12);
+  const auto held = cache.GetOrCompile(a, kDefaultWMax);
+  cache.GetOrCompile(b, kDefaultWMax);  // evicts a
+  EXPECT_GE(cache.stats().evictions, 1);
+  ASSERT_TRUE(held->ok());
+  OptimizerParams params;
+  params.tam_width = 16;
+  const OptimizerResult result = Optimize(*held, params);
+  ASSERT_TRUE(result.ok());  // the referenced TestProblem is still alive
+
+  // And the recompiled entry schedules bit-identically to the evicted one.
+  const auto recompiled = cache.GetOrCompile(a, kDefaultWMax);
+  const OptimizerResult again = Optimize(*recompiled, params);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(result.makespan, again.makespan);
+}
+
+// Options::capacity is a hard bound: shards clamp to it and per-shard
+// capacity floors, so the resident total can never exceed it.
+TEST(CompiledProblemCacheTest, CapacityIsAHardTotalBound) {
+  CompiledProblemCache cache({/*shards=*/4, /*capacity=*/1});
+  EXPECT_EQ(cache.shards(), 1);
+  EXPECT_EQ(cache.capacity_per_shard(), 1);
+  cache.GetOrCompile(GeneratedParsed(3, 10), kDefaultWMax);
+  cache.GetOrCompile(GeneratedParsed(17, 12), kDefaultWMax);
+  cache.GetOrCompile(ParsedFromSoc(MakeD695()), kDefaultWMax);
+  EXPECT_EQ(cache.stats().entries, 1);
+
+  CompiledProblemCache uneven({/*shards=*/4, /*capacity=*/6});
+  EXPECT_EQ(uneven.shards(), 4);
+  EXPECT_EQ(uneven.capacity_per_shard(), 1);  // floor(6/4): total bound 4 <= 6
+}
+
+TEST(CompiledProblemCacheTest, KeyIsContentNotProvenance) {
+  // Two independently constructed ParsedSocs with equal content share a key.
+  const ParsedSoc first = GeneratedParsed(3, 10);
+  const ParsedSoc second = GeneratedParsed(3, 10);
+  EXPECT_EQ(CompiledProblemCache::CanonicalKey(first),
+            CompiledProblemCache::CanonicalKey(second));
+  EXPECT_NE(CompiledProblemCache::KeyHash(
+                CompiledProblemCache::CanonicalKey(first), 64),
+            CompiledProblemCache::KeyHash(
+                CompiledProblemCache::CanonicalKey(first), 32));
+  CompiledProblemCache cache({/*shards=*/2, /*capacity=*/4});
+  bool hit = true;
+  cache.GetOrCompile(first, 64, &hit);
+  EXPECT_FALSE(hit);
+  cache.GetOrCompile(second, 64, &hit);
+  EXPECT_TRUE(hit);
+}
+
+TEST(RequestParserTest, ParsesModesAndFlags) {
+  const std::string text =
+      "# comment line\n"
+      "\n"
+      "d695 24 schedule search=1 wide=1 preempt=1 s=2.5 delta=3\n"
+      "d695 16 improve iters=50 batch=4 seed=9\n"
+      "d695 20 sweep min=8 max=18\n";
+  const RequestFileResult result = ParseRequestText(text, "requests.txt");
+  const auto* requests = std::get_if<std::vector<BatchRequest>>(&result);
+  ASSERT_NE(requests, nullptr)
+      << std::get<RequestParseError>(result).ToString();
+  ASSERT_EQ(requests->size(), 3u);
+
+  const BatchRequest& schedule = (*requests)[0];
+  EXPECT_EQ(schedule.soc_spec, "d695");
+  EXPECT_EQ(schedule.soc.soc.name(), "d695");
+  EXPECT_EQ(schedule.tam_width, 24);
+  EXPECT_EQ(schedule.mode, BatchMode::kSchedule);
+  EXPECT_TRUE(schedule.search);
+  EXPECT_TRUE(schedule.wide);
+  EXPECT_TRUE(schedule.preempt);
+  EXPECT_DOUBLE_EQ(schedule.s_percent, 2.5);
+  EXPECT_EQ(schedule.delta, 3);
+
+  const BatchRequest& improve = (*requests)[1];
+  EXPECT_EQ(improve.mode, BatchMode::kImprove);
+  EXPECT_EQ(improve.iterations, 50);
+  EXPECT_EQ(improve.batch, 4);
+  EXPECT_EQ(improve.seed, 9u);
+
+  const BatchRequest& sweep = (*requests)[2];
+  EXPECT_EQ(sweep.mode, BatchMode::kSweep);
+  EXPECT_EQ(sweep.sweep_min, 8);
+  EXPECT_EQ(sweep.sweep_max, 18);
+}
+
+// Round-trip contract: Parse(Format(r)) reproduces every field.
+TEST(RequestParserTest, FormatParseRoundTrip) {
+  const std::string text =
+      "d695 24 schedule search=1 wide=1 preempt=1 s=2.5 delta=3\n"
+      "d695 16 improve iters=50 batch=4 seed=9\n"
+      "d695 20 sweep min=8 max=18\n"
+      "d695 32 schedule\n";
+  const auto first = std::get<std::vector<BatchRequest>>(
+      ParseRequestText(text, "requests.txt"));
+  std::string formatted;
+  for (const BatchRequest& req : first) {
+    formatted += FormatRequestLine(req) + "\n";
+  }
+  const auto second = std::get<std::vector<BatchRequest>>(
+      ParseRequestText(formatted, "requests.txt"));
+  ASSERT_EQ(first.size(), second.size());
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    SCOPED_TRACE(FormatRequestLine(first[i]));
+    EXPECT_EQ(first[i].soc_spec, second[i].soc_spec);
+    EXPECT_EQ(first[i].tam_width, second[i].tam_width);
+    EXPECT_EQ(first[i].mode, second[i].mode);
+    EXPECT_EQ(first[i].preempt, second[i].preempt);
+    EXPECT_DOUBLE_EQ(first[i].s_percent, second[i].s_percent);
+    EXPECT_EQ(first[i].delta, second[i].delta);
+    EXPECT_EQ(first[i].search, second[i].search);
+    EXPECT_EQ(first[i].wide, second[i].wide);
+    EXPECT_EQ(first[i].iterations, second[i].iterations);
+    EXPECT_EQ(first[i].batch, second[i].batch);
+    EXPECT_EQ(first[i].seed, second[i].seed);
+    EXPECT_EQ(first[i].sweep_min, second[i].sweep_min);
+    EXPECT_EQ(first[i].sweep_max, second[i].sweep_max);
+  }
+}
+
+struct MalformedCase {
+  const char* label;
+  const char* line;
+  int error_line;
+  const char* needle;  // must appear in the message
+};
+
+class RequestParserMalformedTest
+    : public testing::TestWithParam<MalformedCase> {};
+
+TEST_P(RequestParserMalformedTest, DiagnosesWithFileAndLine) {
+  const std::string text = std::string("d695 16 schedule\n") + GetParam().line + "\n";
+  const RequestFileResult result = ParseRequestText(text, "req.txt");
+  const auto* err = std::get_if<RequestParseError>(&result);
+  ASSERT_NE(err, nullptr) << GetParam().label;
+  EXPECT_EQ(err->file, "req.txt");
+  EXPECT_EQ(err->line, GetParam().error_line);
+  EXPECT_NE(err->message.find(GetParam().needle), std::string::npos)
+      << "message: " << err->message;
+  // file:line: prefix is part of the printed diagnostic.
+  EXPECT_EQ(err->ToString().find("req.txt:2: "), 0u) << err->ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, RequestParserMalformedTest,
+    testing::Values(
+        MalformedCase{"too_few_tokens", "d695 16", 2, "expected"},
+        MalformedCase{"bad_width", "d695 zero schedule", 2, "bad width"},
+        MalformedCase{"bad_mode", "d695 16 anneal", 2, "unknown mode"},
+        MalformedCase{"bad_flag_shape", "d695 16 schedule wide", 2, "key=value"},
+        MalformedCase{"unknown_flag", "d695 16 schedule fast=1", 2,
+                      "unknown flag"},
+        MalformedCase{"flag_wrong_mode", "d695 16 schedule iters=5", 2,
+                      "unknown flag"},
+        MalformedCase{"bad_value", "d695 16 improve iters=-2", 2,
+                      "positive integer"},
+        MalformedCase{"sweep_inverted", "d695 16 sweep min=12 max=8", 2,
+                      "below min"},
+        MalformedCase{"sweep_min_over_defaulted_max", "d695 16 sweep min=20",
+                      2, "below min"},
+        MalformedCase{"wide_without_search", "d695 16 schedule wide=1", 2,
+                      "requires search=1"},
+        MalformedCase{"missing_soc", "no_such.soc 16 schedule", 2,
+                      "cannot load soc"}),
+    [](const testing::TestParamInfo<MalformedCase>& info) {
+      return info.param.label;
+    });
+
+// LoadRequestFile plumbs the on-disk path into diagnostics.
+TEST(RequestParserTest, LoadRequestFileReportsPath) {
+  const std::string path = testing::TempDir() + "/soctest_bad_requests.txt";
+  {
+    std::ofstream f(path);
+    f << "d695 16 schedule\n"
+      << "d695 16 warp\n";
+  }
+  const RequestFileResult result = LoadRequestFile(path);
+  const auto* err = std::get_if<RequestParseError>(&result);
+  ASSERT_NE(err, nullptr);
+  EXPECT_EQ(err->file, path);
+  EXPECT_EQ(err->line, 2);
+  std::remove(path.c_str());
+
+  const RequestFileResult missing = LoadRequestFile(path + ".nope");
+  const auto* missing_err = std::get_if<RequestParseError>(&missing);
+  ASSERT_NE(missing_err, nullptr);
+  EXPECT_EQ(missing_err->line, 0);
+  EXPECT_NE(missing_err->ToString().find("cannot open"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace soctest

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <fstream>
 
 #include "soc/benchmarks.h"
@@ -147,7 +148,35 @@ TEST(SocParserTest, CommentsAndBlankLinesIgnored) {
 TEST(SocParserTest, FileNotFound) {
   const auto result = ParseSocFile("/does/not/exist.soc");
   ASSERT_TRUE(std::holds_alternative<ParseError>(result));
-  EXPECT_EQ(std::get<ParseError>(result).line, 0);
+  const auto& err = std::get<ParseError>(result);
+  EXPECT_EQ(err.line, 0);
+  // File-level error: "path: message", no line component.
+  EXPECT_EQ(err.file, "/does/not/exist.soc");
+  EXPECT_EQ(err.ToString(), "/does/not/exist.soc: cannot open file");
+}
+
+// Errors from files carry "<path>:<line>: <message>" so multi-SOC batch
+// failures attribute to the right file and line.
+TEST(SocParserTest, FileErrorsCarryPathAndLine) {
+  const std::string path = testing::TempDir() + "/parser_error_test.soc";
+  {
+    std::ofstream f(path);
+    f << "soc a\ncore x\nbogus 1\nend\n";
+  }
+  const auto result = ParseSocFile(path);
+  ASSERT_TRUE(std::holds_alternative<ParseError>(result));
+  const auto& err = std::get<ParseError>(result);
+  EXPECT_EQ(err.file, path);
+  EXPECT_EQ(err.line, 3);
+  EXPECT_EQ(err.ToString(), path + ":3: unknown core attribute 'bogus'");
+
+  // Text-level parses stay file-less: "line N: message".
+  const auto text_result = ParseSocText("soc a\ncore x\nbogus 1\nend\n");
+  ASSERT_TRUE(std::holds_alternative<ParseError>(text_result));
+  const auto& text_err = std::get<ParseError>(text_result);
+  EXPECT_TRUE(text_err.file.empty());
+  EXPECT_EQ(text_err.ToString(), "line 3: unknown core attribute 'bogus'");
+  std::remove(path.c_str());
 }
 
 TEST(SocParserTest, ParsesFromFile) {

@@ -42,6 +42,40 @@ TEST(SweepTest, TimeTrendsDownWithWidth) {
   }
 }
 
+// Satellite contract for the pooled-workspace sweep: the per-worker
+// ScheduleWorkspace reuse (and the parallel path generally) is bit-identical
+// to the historical fresh-workspace-per-width serial loop.
+TEST(SweepTest, PooledWorkspaceSweepBitIdenticalToFreshPerWidth) {
+  const TestProblem problem = TestProblem::FromSoc(MakeD695());
+  const CompiledProblem compiled(problem);
+  ASSERT_TRUE(compiled.ok());
+  SweepOptions options;
+  options.min_width = 4;
+  options.max_width = 28;
+
+  // The historical path: a fresh private workspace per width.
+  std::vector<SweepPoint> expected;
+  for (int w = options.min_width; w <= options.max_width; ++w) {
+    OptimizerParams params = options.optimizer;
+    params.tam_width = w;
+    const OptimizerResult result = Optimize(compiled, params);
+    ASSERT_TRUE(result.ok()) << "W=" << w;
+    expected.push_back({w, result.makespan,
+                        static_cast<std::int64_t>(w) * result.makespan});
+  }
+
+  for (const int threads : {1, 4}) {
+    options.threads = threads;
+    const auto sweep = SweepWidths(compiled, options);
+    ASSERT_EQ(sweep.size(), expected.size()) << "threads=" << threads;
+    for (std::size_t i = 0; i < sweep.size(); ++i) {
+      EXPECT_EQ(sweep[i].tam_width, expected[i].tam_width);
+      EXPECT_EQ(sweep[i].test_time, expected[i].test_time) << "threads=" << threads;
+      EXPECT_EQ(sweep[i].data_volume, expected[i].data_volume);
+    }
+  }
+}
+
 TEST(SweepTest, MinPointsAreConsistent) {
   const auto sweep = D695Sweep();
   const SweepPoint t_min = MinTimePoint(sweep);

@@ -7,6 +7,10 @@
 //             [--s N] [--delta N] [--search] [--threads N] [--gantt]
 //             [--wires] [--json PATH] [--csv PATH] [--svg PATH]
 //   sweep     <soc> [--min N] [--max N] [--rho R] [--threads N] [--csv PATH]
+//   batch     <request-file> [--threads N] [--shards N] [--cache-entries N]
+//             serve many SOC requests off the shared CompiledProblem cache
+//             (one request per line: "<soc> <width> <mode> [key=value ...]";
+//             see src/service/request.h for the format)
 //   lowerbound <soc> --width W
 //   advise    <soc> [--threshold R] [--max-budget N]   preemption budgets
 //
@@ -26,6 +30,7 @@
 #include "core/wire_assign.h"
 #include "io/schedule_export.h"
 #include "search/driver.h"
+#include "service/batch_scheduler.h"
 #include "soc/benchmarks.h"
 #include "soc/soc_parser.h"
 #include "tdv/effective_width.h"
@@ -40,7 +45,7 @@ namespace {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: soctest_cli <benchmarks|wrapper|schedule|sweep|"
+               "usage: soctest_cli <benchmarks|wrapper|schedule|sweep|batch|"
                "lowerbound|advise> ...\n"
                "run with a subcommand and --help-style args; see the header "
                "of tools/soctest_cli.cc\n");
@@ -54,8 +59,7 @@ std::optional<TestProblem> LoadProblem(const std::string& spec) {
   if (embedded.num_cores() > 0) return TestProblem::FromSoc(embedded);
   const ParseResult parsed = ParseSocFile(spec);
   if (const auto* err = std::get_if<ParseError>(&parsed)) {
-    std::fprintf(stderr, "%s:%d: %s\n", spec.c_str(), err->line,
-                 err->message.c_str());
+    std::fprintf(stderr, "%s\n", err->ToString().c_str());
     return std::nullopt;
   }
   return TestProblem::FromParsed(std::get<ParsedSoc>(parsed));
@@ -290,6 +294,62 @@ int CmdSweep(int argc, const char* const* argv) {
   return 0;
 }
 
+int CmdBatch(int argc, const char* const* argv) {
+  ArgParser args({}, {"threads", "shards", "cache-entries"});
+  if (!args.Parse(argc, argv, 2) || args.positional().size() != 1) {
+    std::fprintf(stderr, "usage: soctest_cli batch <request-file> "
+                         "[--threads N] [--shards N] [--cache-entries N]\n%s\n",
+                 args.Error().c_str());
+    return 2;
+  }
+  BatchOptions options;
+  options.threads = static_cast<int>(args.IntOr("threads", 0));
+  options.shards = static_cast<int>(args.IntOr("shards", 4));
+  options.cache_entries = static_cast<int>(args.IntOr("cache-entries", 64));
+  if (!args.ok()) {
+    std::fprintf(stderr, "%s\n", args.Error().c_str());
+    return 2;
+  }
+
+  const RequestFileResult loaded = LoadRequestFile(args.positional()[0]);
+  if (const auto* err = std::get_if<RequestParseError>(&loaded)) {
+    std::fprintf(stderr, "%s\n", err->ToString().c_str());
+    return 1;
+  }
+  const auto& requests = std::get<std::vector<BatchRequest>>(loaded);
+  if (requests.empty()) {
+    std::fprintf(stderr, "request file has no requests\n");
+    return 1;
+  }
+
+  BatchScheduler scheduler(options);
+  const BatchOutcome outcome = scheduler.Run(requests);
+  for (const BatchItemResult& item : outcome.results) {
+    if (!item.ok()) {
+      std::fprintf(stderr, "req %d (%s @ W=%d, %s): %s\n", item.index,
+                   item.soc_name.c_str(), item.tam_width,
+                   BatchModeName(item.mode), item.error->c_str());
+      continue;
+    }
+    std::printf("MAKESPAN req=%d soc=%s w=%d mode=%s cycles=%lld cache=%s\n",
+                item.index, item.soc_name.c_str(), item.tam_width,
+                BatchModeName(item.mode),
+                static_cast<long long>(item.makespan),
+                item.cache_hit ? "hit" : "miss");
+  }
+  std::printf("STATS bench=batch requests=%d served=%d threads=%d shards=%d "
+              "cache_hits=%lld cache_misses=%lld cache_evictions=%lld "
+              "compiles=%lld entries=%d\n",
+              static_cast<int>(requests.size()), outcome.served,
+              scheduler.threads(), scheduler.cache().shards(),
+              static_cast<long long>(outcome.cache.hits),
+              static_cast<long long>(outcome.cache.misses),
+              static_cast<long long>(outcome.cache.evictions),
+              static_cast<long long>(outcome.cache.compiles),
+              outcome.cache.entries);
+  return outcome.served == static_cast<int>(requests.size()) ? 0 : 1;
+}
+
 int CmdLowerBound(int argc, const char* const* argv) {
   ArgParser args({}, {"width"});
   if (!args.Parse(argc, argv, 2) || args.positional().size() != 1) {
@@ -343,6 +403,7 @@ int main(int argc, char** argv) {
   if (cmd == "wrapper") return CmdWrapper(argc, argv);
   if (cmd == "schedule") return CmdSchedule(argc, argv);
   if (cmd == "sweep") return CmdSweep(argc, argv);
+  if (cmd == "batch") return CmdBatch(argc, argv);
   if (cmd == "lowerbound") return CmdLowerBound(argc, argv);
   if (cmd == "advise") return CmdAdvise(argc, argv);
   return Usage();
