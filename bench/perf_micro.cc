@@ -296,6 +296,80 @@ BENCHMARK(BM_BatchServe)
     ->Unit(benchmark::kMillisecond)
     ->Iterations(1);
 
+// Cross-request deduplication on a request list with heavy repetition: 4
+// distinct requests over 2 SOCs, each repeated 6x and interleaved so
+// identical requests land in flight together. state.range(0) toggles dedup;
+// the MAKESPAN totals must match between the two — dedup may only change
+// how much work runs, never what the batch returns.
+void BM_BatchDedup(benchmark::State& state) {
+  static const std::vector<BatchRequest> requests = [] {
+    std::vector<BatchRequest> distinct;
+    for (int s = 0; s < 2; ++s) {
+      GeneratorParams gen;
+      gen.seed = 200 + static_cast<std::uint64_t>(s);
+      gen.num_cores = 12 + 4 * s;
+      ParsedSoc parsed;
+      parsed.soc = GenerateSoc(gen);
+      BatchRequest search;
+      search.soc_spec = parsed.soc.name();
+      search.soc = parsed;
+      search.tam_width = 16 + 8 * s;
+      search.mode = BatchMode::kSchedule;
+      search.search = true;
+      distinct.push_back(search);
+      BatchRequest improve;
+      improve.soc_spec = parsed.soc.name();
+      improve.soc = std::move(parsed);
+      improve.tam_width = 24;
+      improve.mode = BatchMode::kImprove;
+      improve.iterations = 16;
+      improve.batch = 4;
+      distinct.push_back(improve);
+    }
+    std::vector<BatchRequest> list;
+    for (int repeat = 0; repeat < 6; ++repeat) {
+      for (const BatchRequest& req : distinct) list.push_back(req);
+    }
+    return list;
+  }();
+
+  const bool dedup = state.range(0) != 0;
+  BatchOptions options;
+  options.threads = 8;
+  options.shards = 4;
+  options.dedup = dedup;
+  BatchOutcome last;
+  for (auto _ : state) {
+    BatchScheduler scheduler(options);  // cold caches per iteration
+    last = scheduler.Run(requests);
+    benchmark::DoNotOptimize(last);
+  }
+  state.counters["requests"] = static_cast<double>(last.results.size());
+  const std::int64_t evaluations =
+      dedup ? last.dedup.misses
+            : static_cast<std::int64_t>(last.results.size());
+  state.counters["evaluations"] = static_cast<double>(evaluations);
+  long long total = 0;
+  for (const BatchItemResult& item : last.results) {
+    if (item.ok()) total += static_cast<long long>(item.makespan);
+  }
+  std::printf("MAKESPAN soc=batchdup w=mixed mode=batch dedup=%d "
+              "cycles=%lld\n", dedup ? 1 : 0, total);
+  std::printf("STATS bench=batch_dedup dedup=%d requests=%d served=%d "
+              "evaluations=%lld dedup_hits=%lld dedup_joins=%lld "
+              "compiles=%lld\n",
+              dedup ? 1 : 0, static_cast<int>(last.results.size()),
+              last.served, static_cast<long long>(evaluations),
+              static_cast<long long>(last.dedup.hits),
+              static_cast<long long>(last.dedup.joins),
+              static_cast<long long>(last.cache.compiles));
+}
+BENCHMARK(BM_BatchDedup)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
 void BM_ValidateSchedule(benchmark::State& state) {
   const TestProblem problem = TestProblem::FromSoc(MakeP93791s());
   OptimizerParams params;

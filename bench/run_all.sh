@@ -6,9 +6,10 @@
 # show up in the cross-PR trajectory, not just speed. "STATS key=value ..."
 # lines (B&B node counts, improver acceptance rates, restart counts) are
 # parsed the same way into a "stats" array (B&B node counts, improver
-# acceptance rates, and the batch-serving layer's cache hit/miss/eviction and
-# requests-served counters from BM_BatchServe); CI uploads bench_results/ as
-# an artifact so the perf trajectory is visible per PR.
+# acceptance rates, the batch-serving layer's cache hit/miss/eviction and
+# requests-served counters from BM_BatchServe, and the cross-request
+# dedup evaluations/hits/joins counters from BM_BatchDedup); CI uploads
+# bench_results/ as an artifact so the perf trajectory is visible per PR.
 #
 # Usage: bench/run_all.sh [build-dir]   (default: build)
 set -eu

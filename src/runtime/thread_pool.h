@@ -60,6 +60,14 @@ class ThreadPool {
   // index. Each slot is claimed by exactly one concurrent drain loop, so
   // callers can give every slot its own scratch (e.g. a ScheduleWorkspace)
   // with no synchronization. The serial pool always passes slot 0.
+  //
+  // Blocking-join discipline: because indices are claimed one at a time and
+  // run to completion, a task may safely block on a result another in-flight
+  // task is producing (the batch scheduler's single-flight dedup does) — the
+  // producer is guaranteed to be running on another worker. A task must
+  // never wait on work that has not yet STARTED (an unclaimed index, or a
+  // task behind it in the queue): every worker could block and no one would
+  // be left to run the producer.
   void ParallelForWorker(
       std::size_t n,
       const std::function<void(std::size_t worker, std::size_t i)>& fn);

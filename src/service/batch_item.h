@@ -1,0 +1,40 @@
+// BatchItemResult — one batch request's outcome.
+//
+// Split out of batch_scheduler.h so the result cache (result_cache.h) can
+// store results without depending on the scheduler that produces them.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/optimizer.h"
+#include "service/request.h"
+#include "tdv/data_volume.h"
+
+namespace soctest {
+
+// One request's outcome, in the slot matching its position in the input.
+// Deliberately free of work-done annotations (which lookup hit, missed, or
+// joined): those vary with thread interleaving and dedup, and the result
+// vector is covered by the bit-identity contract. Aggregate counters live in
+// CacheStats / ResultCacheStats on the BatchOutcome.
+struct BatchItemResult {
+  int index = -1;
+  std::string soc_name;
+  BatchMode mode = BatchMode::kSchedule;
+  int tam_width = 0;
+
+  // The figure every mode reports: the schedule makespan for schedule and
+  // improve, the minimum test time over the sweep range for sweep; -1 on
+  // failure.
+  Time makespan = -1;
+
+  OptimizerResult result;        // schedule / improve modes (sweep: empty)
+  std::vector<SweepPoint> sweep; // sweep mode
+
+  std::optional<std::string> error;
+  bool ok() const { return !error.has_value(); }
+};
+
+}  // namespace soctest

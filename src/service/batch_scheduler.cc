@@ -12,11 +12,54 @@ BatchScheduler::BatchScheduler(const BatchOptions& options)
     : options_(options),
       cache_(CompiledProblemCache::Options{options.shards,
                                            options.cache_entries}),
+      results_(ResultCache::Options{options.shards, options.result_entries}),
       pool_(options.threads),
       workspaces_(pool_) {}
 
 BatchItemResult BatchScheduler::Serve(const BatchRequest& request, int index,
                                       ScheduleWorkspace& ws) {
+  // One canonical SOC serialization per request — shared by the result key
+  // and the compiled-problem lookup, which would otherwise each run
+  // SerializeSoc on the same ParsedSoc.
+  std::string canonical = CompiledProblemCache::CanonicalKey(request.soc);
+  if (!options_.dedup) {
+    return Evaluate(request, index, std::move(canonical), ws);
+  }
+
+  const std::string key =
+      ResultCache::CanonicalKey(request, options_.w_max, canonical);
+  const ResultCache::Lookup found = results_.Begin(key);
+  std::shared_ptr<const BatchItemResult> resident = found.result;
+  if (found.leader) {
+    // The pool contract already forbids throwing tasks, but an uncommitted
+    // key would park every joiner forever — publish an error result on
+    // unwind as a backstop.
+    struct CommitBackstop {
+      ResultCache& cache;
+      const std::string& key;
+      bool armed = true;
+      ~CommitBackstop() {
+        if (!armed) return;
+        BatchItemResult aborted;
+        aborted.error = "evaluation aborted before publishing a result";
+        cache.Commit(key, std::move(aborted));
+      }
+    } backstop{results_, key};
+    resident = results_.Commit(
+        key, Evaluate(request, /*index=*/-1, std::move(canonical), ws));
+    backstop.armed = false;
+  }
+  // The resident copy is index-neutral (the leader evaluates with -1), so
+  // hit, join, and leader all read the same bytes and patch their own slot
+  // index — a dedup-served result is indistinguishable from an evaluation.
+  BatchItemResult item = *resident;
+  item.index = index;
+  return item;
+}
+
+BatchItemResult BatchScheduler::Evaluate(const BatchRequest& request,
+                                         int index, std::string canonical,
+                                         ScheduleWorkspace& ws) {
   BatchItemResult item;
   item.index = index;
   item.soc_name = request.soc.soc.name();
@@ -24,7 +67,7 @@ BatchItemResult BatchScheduler::Serve(const BatchRequest& request, int index,
   item.tam_width = request.tam_width;
 
   const std::shared_ptr<const CompiledProblem> compiled =
-      cache_.GetOrCompile(request.soc, options_.w_max, &item.cache_hit);
+      cache_.GetOrCompile(request.soc, std::move(canonical), options_.w_max);
   if (!compiled->ok()) {
     item.error = *compiled->error();
     return item;
@@ -104,6 +147,7 @@ BatchOutcome BatchScheduler::Run(const std::vector<BatchRequest>& requests) {
     if (item.ok()) ++outcome.served;
   }
   outcome.cache = cache_.stats();
+  outcome.dedup = results_.stats();
   return outcome;
 }
 

@@ -8,8 +8,8 @@
 // wrapper artifacts across requests.
 //
 // Determinism contract — the same one as search/driver.h, one level up: the
-// result vector is bit-identical for every (threads, shards) combination.
-// Three ingredients make that true:
+// result vector is bit-identical for every (threads, shards, dedup on/off)
+// combination. Four ingredients make that true:
 //   1. each request is served entirely serially on one worker (the inner
 //      search / improver / sweep all run at threads = 1), and every serving
 //      path is deterministic for fixed inputs;
@@ -17,9 +17,14 @@
 //      execution order cannot matter;
 //   3. the cache can only change WHEN a CompiledProblem is built, never what
 //      it contains — compilation is deterministic, so a cache hit, a miss,
-//      and a post-eviction recompile all serve identical artifacts.
-// Cache STATS (hits/misses/compiles) describe work done and may vary with
-// interleaving; results never do.
+//      and a post-eviction recompile all serve identical artifacts;
+//   4. cross-request dedup (options.dedup + service/result_cache.h) can only
+//      change WHICH request evaluates, never what any request receives —
+//      identical requests evaluate identically, so a result served from the
+//      result cache (or adopted from an in-flight evaluation) is
+//      bit-identical to the evaluation it displaced.
+// Cache STATS (hits/misses/compiles, dedup hits/joins) describe work done
+// and may vary with interleaving; results never do.
 //
 // A BatchScheduler is long-lived: the cache and the worker pool persist
 // across Run() calls, so a service loop pays compilation once per distinct
@@ -27,49 +32,37 @@
 // re-entrant (one Run at a time per scheduler).
 #pragma once
 
-#include <optional>
 #include <string>
 #include <vector>
 
 #include "core/optimizer.h"
 #include "runtime/thread_pool.h"
 #include "runtime/workspace_pool.h"
+#include "service/batch_item.h"
 #include "service/problem_cache.h"
 #include "service/request.h"
-#include "tdv/data_volume.h"
+#include "service/result_cache.h"
 
 namespace soctest {
 
 struct BatchOptions {
   int threads = 0;        // workers serving requests (0 = hardware)
-  int shards = 4;         // CompiledProblemCache shards
-  int cache_entries = 64; // total cache capacity across shards
+  int shards = 4;         // CompiledProblemCache / ResultCache shards
+  int cache_entries = 64; // total compiled-problem capacity across shards
   int w_max = kDefaultWMax;  // compilation bound shared by every request
-};
 
-// One request's outcome, in the slot matching its position in the input.
-struct BatchItemResult {
-  int index = -1;
-  std::string soc_name;
-  BatchMode mode = BatchMode::kSchedule;
-  int tam_width = 0;
-  bool cache_hit = false;  // served from resident compiled artifacts
-
-  // The figure every mode reports: the schedule makespan for schedule and
-  // improve, the minimum test time over the sweep range for sweep; -1 on
-  // failure.
-  Time makespan = -1;
-
-  OptimizerResult result;        // schedule / improve modes (sweep: empty)
-  std::vector<SweepPoint> sweep; // sweep mode
-
-  std::optional<std::string> error;
-  bool ok() const { return !error.has_value(); }
+  // Cross-request deduplication: serve semantically identical requests one
+  // evaluation (service/result_cache.h), with single-flight coordination for
+  // identical requests in flight concurrently. Off by default — a batch with
+  // no repetition pays the canonical-key formatting for nothing.
+  bool dedup = false;
+  int result_entries = 256;  // total ResultCache capacity across shards
 };
 
 struct BatchOutcome {
   std::vector<BatchItemResult> results;  // results[i] answers requests[i]
   CacheStats cache;                      // cumulative across Run() calls
+  ResultCacheStats dedup;                // all-zero when options.dedup is off
   int served = 0;                        // results with ok()
 };
 
@@ -82,14 +75,23 @@ class BatchScheduler {
   BatchOutcome Run(const std::vector<BatchRequest>& requests);
 
   const CompiledProblemCache& cache() const { return cache_; }
+  const ResultCache& results() const { return results_; }
   int threads() const { return pool_.size(); }
 
  private:
+  // Dedup front door: result-cache hit / in-flight join, or evaluate as the
+  // leader and publish. Falls through to Evaluate when dedup is off.
   BatchItemResult Serve(const BatchRequest& request, int index,
                         ScheduleWorkspace& ws);
 
+  // One full evaluation (compile lookup + search/improve/sweep). `canonical`
+  // is the request SOC's canonical serialization, computed once in Serve.
+  BatchItemResult Evaluate(const BatchRequest& request, int index,
+                           std::string canonical, ScheduleWorkspace& ws);
+
   BatchOptions options_;
   CompiledProblemCache cache_;
+  ResultCache results_;
   ThreadPool pool_;
   WorkspacePool workspaces_;
 };

@@ -4,6 +4,17 @@
 #include <utility>
 
 namespace soctest {
+namespace {
+
+// Test hook for KeyHash; see SetKeyHashHookForTest.
+std::uint64_t (*g_key_hash_hook)(const std::string&, int) = nullptr;
+
+}  // namespace
+
+void CompiledProblemCache::SetKeyHashHookForTest(
+    std::uint64_t (*hook)(const std::string&, int)) {
+  g_key_hash_hook = hook;
+}
 
 CompiledProblemCache::CompiledProblemCache(const Options& options) {
   const int capacity = std::max(1, options.capacity);
@@ -25,6 +36,7 @@ std::string CompiledProblemCache::CanonicalKey(const ParsedSoc& parsed) {
 
 std::uint64_t CompiledProblemCache::KeyHash(const std::string& canonical,
                                             int w_max) {
+  if (g_key_hash_hook != nullptr) return g_key_hash_hook(canonical, w_max);
   // FNV-1a over the canonical text, then the four w_max bytes.
   std::uint64_t h = 14695981039346656037ull;
   const auto mix = [&h](unsigned char byte) {
@@ -52,7 +64,11 @@ std::shared_ptr<CompiledProblemCache::Entry> CompiledProblemCache::Compile(
 
 std::shared_ptr<const CompiledProblem> CompiledProblemCache::GetOrCompile(
     const ParsedSoc& parsed, int w_max, bool* was_hit) {
-  std::string canonical = CanonicalKey(parsed);
+  return GetOrCompile(parsed, CanonicalKey(parsed), w_max, was_hit);
+}
+
+std::shared_ptr<const CompiledProblem> CompiledProblemCache::GetOrCompile(
+    const ParsedSoc& parsed, std::string canonical, int w_max, bool* was_hit) {
   const std::uint64_t hash = KeyHash(canonical, w_max);
   Shard& shard = *shards_[hash % shards_.size()];
 
@@ -90,10 +106,11 @@ std::shared_ptr<const CompiledProblem> CompiledProblemCache::GetOrCompile(
       return {resident, resident->compiled.get()};
     }
     // 64-bit hash collision between different keys: the newcomer replaces
-    // the squatter (the index holds one entry per hash).
+    // the squatter (the index holds one entry per hash). Counted apart from
+    // capacity evictions — growing the cache cannot fix a collision.
     shard.lru.erase(it->second);
     shard.index.erase(it);
-    ++shard.evictions;
+    ++shard.collisions;
   }
   shard.lru.push_front(entry);
   shard.index[hash] = shard.lru.begin();
@@ -113,6 +130,7 @@ CacheStats CompiledProblemCache::stats() const {
     out.hits += shard->hits;
     out.misses += shard->misses;
     out.evictions += shard->evictions;
+    out.collisions += shard->collisions;
     out.compiles += shard->compiles;
     out.entries += static_cast<int>(shard->lru.size());
   }

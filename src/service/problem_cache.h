@@ -51,7 +51,10 @@ namespace soctest {
 struct CacheStats {
   std::int64_t hits = 0;
   std::int64_t misses = 0;     // lookups that compiled (includes lost races)
-  std::int64_t evictions = 0;  // entries dropped by the LRU bound
+  std::int64_t evictions = 0;  // entries dropped by the LRU capacity bound
+  std::int64_t collisions = 0; // distinct keys displaced by a 64-bit hash
+                               // collision (not a capacity signal: two hot
+                               // colliding keys thrash at any capacity)
   std::int64_t compiles = 0;   // CompiledProblems actually built
   int entries = 0;             // currently resident
 };
@@ -75,6 +78,12 @@ class CompiledProblemCache {
   // 64-bit FNV-1a of (canonical, w_max): shard router and hash-map key.
   static std::uint64_t KeyHash(const std::string& canonical, int w_max);
 
+  // Test-only: overrides KeyHash (pass nullptr to restore) so suites can
+  // force hash collisions between distinct keys. Not safe to flip while
+  // other threads are inside GetOrCompile.
+  static void SetKeyHashHookForTest(std::uint64_t (*hook)(const std::string&,
+                                                          int));
+
   // Returns the compiled artifacts for `parsed` at `w_max`, compiling and
   // inserting on a miss. The returned pointer (and the TestProblem it
   // references) stays valid for the caller's lifetime regardless of later
@@ -82,6 +91,14 @@ class CompiledProblemCache {
   // served from cache. A CompiledProblem that failed to compile (!ok()) is
   // cached too: the error is deterministic, so re-asking cannot fix it.
   std::shared_ptr<const CompiledProblem> GetOrCompile(const ParsedSoc& parsed,
+                                                      int w_max,
+                                                      bool* was_hit = nullptr);
+
+  // As above, with CanonicalKey(parsed) precomputed by the caller — the
+  // batch scheduler serializes each request's SOC once and shares the text
+  // between the result-cache key and this lookup.
+  std::shared_ptr<const CompiledProblem> GetOrCompile(const ParsedSoc& parsed,
+                                                      std::string canonical,
                                                       int w_max,
                                                       bool* was_hit = nullptr);
 
@@ -111,6 +128,7 @@ class CompiledProblemCache {
     std::int64_t hits = 0;
     std::int64_t misses = 0;
     std::int64_t evictions = 0;
+    std::int64_t collisions = 0;
     std::int64_t compiles = 0;
   };
 

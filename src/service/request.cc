@@ -1,6 +1,7 @@
 #include "service/request.h"
 
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <utility>
 
@@ -14,16 +15,11 @@ RequestParseError Err(const std::string& file, int line, std::string message) {
   return RequestParseError{file, line, std::move(message)};
 }
 
-// Loads the <soc> token: embedded benchmark name first, file path second.
+// Loads the <soc> token (soc/benchmarks.h LoadSocSpec: file-on-disk first,
+// embedded benchmark second, `file:`/`bench:` prefixes to force either).
 // Returns an error message ("" on success) so the caller owns the file:line.
 std::string LoadSoc(const std::string& spec, ParsedSoc& out) {
-  const Soc embedded = BenchmarkByName(spec);
-  if (embedded.num_cores() > 0) {
-    out = ParsedSoc{};
-    out.soc = embedded;
-    return "";
-  }
-  ParseResult parsed = ParseSocFile(spec);
+  ParseResult parsed = LoadSocSpec(spec);
   if (const auto* err = std::get_if<ParseError>(&parsed)) {
     return StrFormat("cannot load soc '%s': %s", spec.c_str(),
                      err->ToString().c_str());
@@ -44,9 +40,16 @@ std::string ApplyFlag(BatchRequest& req, const std::string& key,
     out = *as_int == 1;
     return "";
   };
+  // Every int-typed knob range-checks against INT_MAX before narrowing:
+  // "iters=4294967297" must be an error, not a silent 1.
   const auto positive_int = [&](int& out) -> std::string {
     if (!as_int || *as_int <= 0) {
       return StrFormat("%s expects a positive integer", key.c_str());
+    }
+    if (*as_int > std::numeric_limits<int>::max()) {
+      return StrFormat("%s value %lld is out of range (max %d)", key.c_str(),
+                       static_cast<long long>(*as_int),
+                       std::numeric_limits<int>::max());
     }
     out = static_cast<int>(*as_int);
     return "";
@@ -62,6 +65,11 @@ std::string ApplyFlag(BatchRequest& req, const std::string& key,
   }
   if (key == "delta") {
     if (!as_int || *as_int < 0) return "delta expects a non-negative integer";
+    if (*as_int > std::numeric_limits<int>::max()) {
+      return StrFormat("delta value %lld is out of range (max %d)",
+                       static_cast<long long>(*as_int),
+                       std::numeric_limits<int>::max());
+    }
     req.delta = static_cast<int>(*as_int);
     return "";
   }
@@ -74,8 +82,12 @@ std::string ApplyFlag(BatchRequest& req, const std::string& key,
     if (key == "iters") return positive_int(req.iterations);
     if (key == "batch") return positive_int(req.batch);
     if (key == "seed") {
-      if (!as_int || *as_int < 0) return "seed expects a non-negative integer";
-      req.seed = static_cast<std::uint64_t>(*as_int);
+      // Full uint64 range: the improver's seed is 64-bit, and Format emits
+      // it as %llu — an int64 parse would reject everything >= 2^63 that
+      // Format can produce, breaking the round-trip contract.
+      const auto as_uint = ParseUint(value);
+      if (!as_uint) return "seed expects a non-negative integer";
+      req.seed = *as_uint;
       return "";
     }
   } else if (req.mode == BatchMode::kSweep) {
@@ -97,20 +109,32 @@ const char* BatchModeName(BatchMode mode) {
   return "?";
 }
 
-std::string FormatRequestLine(const BatchRequest& request) {
+std::string FormatRequestParams(const BatchRequest& request) {
   const BatchRequest defaults;
-  std::string out = StrFormat("%s %d %s", request.soc_spec.c_str(),
-                              request.tam_width, BatchModeName(request.mode));
+  std::string out =
+      StrFormat("%d %s", request.tam_width, BatchModeName(request.mode));
   if (request.preempt) out += " preempt=1";
   if (request.s_percent != defaults.s_percent) {
-    out += StrFormat(" s=%g", request.s_percent);
+    // %.17g: enough digits that ParseDouble reproduces the exact value — a
+    // rounded "s" would re-parse to a different request (and a different
+    // dedup key) than the one formatted.
+    out += StrFormat(" s=%.17g", request.s_percent);
   }
   if (request.delta != defaults.delta) {
     out += StrFormat(" delta=%d", request.delta);
   }
-  if (request.search) out += " search=1";
-  if (request.wide) out += " wide=1";
+  // Emit each remaining flag only for modes whose ApplyFlag accepts it, and
+  // only when Serve() actually consults it — so every formatted line
+  // re-parses, and two requests that schedule identically format identically
+  // (the canonical-key property the dedup layer builds on). Concretely:
+  // `search` applies to schedule mode only, and `wide` only matters when a
+  // restart grid is actually built (schedule search=1, or improve mode).
+  if (request.mode == BatchMode::kSchedule && request.search) {
+    out += " search=1";
+    if (request.wide) out += " wide=1";
+  }
   if (request.mode == BatchMode::kImprove) {
+    if (request.wide) out += " wide=1";
     if (request.iterations != defaults.iterations) {
       out += StrFormat(" iters=%d", request.iterations);
     }
@@ -131,6 +155,10 @@ std::string FormatRequestLine(const BatchRequest& request) {
     }
   }
   return out;
+}
+
+std::string FormatRequestLine(const BatchRequest& request) {
+  return request.soc_spec + " " + FormatRequestParams(request);
 }
 
 std::string RequestParseError::ToString() const {
@@ -165,6 +193,12 @@ RequestFileResult ParseRequestText(const std::string& text,
       return Err(file, line_no,
                  StrFormat("bad width '%s' (expected a positive integer)",
                            tokens[1].c_str()));
+    }
+    if (*width > std::numeric_limits<int>::max()) {
+      // Without this check the narrowing below turns 4294967297 into 1.
+      return Err(file, line_no,
+                 StrFormat("width %s is out of range (max %d)",
+                           tokens[1].c_str(), std::numeric_limits<int>::max()));
     }
     req.tam_width = static_cast<int>(*width);
 

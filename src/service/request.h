@@ -5,7 +5,10 @@
 //
 //   <soc> <width> <mode> [key=value ...]
 //
-//   <soc>    embedded benchmark name (d695, p22810s, ...) or a .soc file path
+//   <soc>    embedded benchmark name (d695, p22810s, ...) or a .soc file
+//            path; an existing file wins over a benchmark of the same name,
+//            and the explicit forms "bench:<name>" / "file:<path>" force
+//            either resolution (soc/benchmarks.h LoadSocSpec)
 //   <width>  the SOC TAM width to schedule at (positive integer)
 //   <mode>   schedule | improve | sweep
 //
@@ -70,9 +73,20 @@ struct BatchRequest {
 };
 
 // One request back as a request-file line (no <soc> re-serialization — the
-// original spec token is reused). Non-default flags only, fixed order, so
-// Parse(Format(r)) reproduces r field-for-field: the round-trip contract.
+// original spec token is reused). Non-default flags only, fixed order, each
+// flag emitted only for modes that accept it and only when it shapes what
+// Serve() runs. Two consequences, both load-bearing:
+//   * Format output always re-parses, and Parse(Format(r)) reproduces every
+//     semantic field of r — the round-trip contract;
+//   * two requests that schedule identically format identically, which is
+//     what lets the line double as the dedup canonical key
+//     (service/result_cache.h).
 std::string FormatRequestLine(const BatchRequest& request);
+
+// The line minus the leading <soc> token: "<width> <mode> [key=value ...]".
+// This is the parameter half of the dedup key — the SOC half is hashed from
+// content, not from the spec token, so two spellings of one SOC dedup.
+std::string FormatRequestParams(const BatchRequest& request);
 
 struct RequestParseError {
   std::string file;  // request file (label passed to ParseRequestText)

@@ -1,0 +1,159 @@
+#include "service/result_cache.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "service/problem_cache.h"
+#include "util/strings.h"
+
+namespace soctest {
+namespace {
+
+// Test hook for KeyHash; see SetKeyHashHookForTest.
+std::uint64_t (*g_key_hash_hook)(const std::string&) = nullptr;
+
+// FNV-1a with a caller-chosen offset basis. CanonicalKey concatenates two
+// differently seeded 64-bit digests of the SOC text into a 128-bit content
+// hash: the key must identify the SOC essentially collision-free, because a
+// content-hash collision here would silently serve the wrong schedule (the
+// exact-text fallback that saves the problem cache has nothing to compare —
+// the SOC text is not part of the result key).
+std::uint64_t Fnv1a(const std::string& text, std::uint64_t basis) {
+  std::uint64_t h = basis;
+  for (const char c : text) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+void ResultCache::SetKeyHashHookForTest(
+    std::uint64_t (*hook)(const std::string&)) {
+  g_key_hash_hook = hook;
+}
+
+ResultCache::ResultCache(const Options& options) {
+  const int capacity = std::max(1, options.capacity);
+  // Same bound discipline as the problem cache: shards * per-shard capacity
+  // never exceeds the requested total.
+  const int shards = std::min(std::max(1, options.shards), capacity);
+  capacity_per_shard_ = std::max(1, capacity / shards);
+  shards_.reserve(static_cast<std::size_t>(shards));
+  for (int i = 0; i < shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+std::string ResultCache::CanonicalKey(const BatchRequest& request, int w_max) {
+  return CanonicalKey(request, w_max,
+                      CompiledProblemCache::CanonicalKey(request.soc));
+}
+
+std::string ResultCache::CanonicalKey(const BatchRequest& request, int w_max,
+                                      const std::string& soc_canonical) {
+  return StrFormat(
+      "%016llx%016llx w%d %s",
+      static_cast<unsigned long long>(
+          Fnv1a(soc_canonical, 14695981039346656037ull)),
+      static_cast<unsigned long long>(
+          Fnv1a(soc_canonical, 0x9e3779b97f4a7c15ull)),
+      w_max, FormatRequestParams(request).c_str());
+}
+
+std::uint64_t ResultCache::KeyHash(const std::string& key) {
+  if (g_key_hash_hook != nullptr) return g_key_hash_hook(key);
+  return Fnv1a(key, 14695981039346656037ull);
+}
+
+ResultCache::Lookup ResultCache::Begin(const std::string& key) {
+  const std::uint64_t hash = KeyHash(key);
+  Shard& shard = *shards_[hash % shards_.size()];
+
+  std::shared_future<std::shared_ptr<const BatchItemResult>> wait_on;
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    const auto it = shard.index.find(hash);
+    if (it != shard.index.end() && it->second->key == key) {
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      ++shard.hits;
+      return {shard.lru.front().result, /*leader=*/false, /*joined=*/false};
+    }
+    const auto in = shard.inflight.find(key);
+    if (in == shard.inflight.end()) {
+      auto flight = std::make_shared<InFlight>();
+      flight->future = flight->promise.get_future().share();
+      shard.inflight.emplace(key, std::move(flight));
+      ++shard.misses;
+      return {nullptr, /*leader=*/true, /*joined=*/false};
+    }
+    ++shard.joins;
+    wait_on = in->second->future;
+  }
+  // Block outside the shard lock: other keys keep flowing while we wait for
+  // the leader (who is already running — see the deadlock note on the class).
+  return {wait_on.get(), /*leader=*/false, /*joined=*/true};
+}
+
+std::shared_ptr<const BatchItemResult> ResultCache::Commit(
+    const std::string& key, BatchItemResult result) {
+  auto resident = std::make_shared<const BatchItemResult>(std::move(result));
+  const std::uint64_t hash = KeyHash(key);
+  Shard& shard = *shards_[hash % shards_.size()];
+
+  std::shared_ptr<InFlight> flight;
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    const auto in = shard.inflight.find(key);
+    if (in != shard.inflight.end()) {
+      flight = std::move(in->second);
+      shard.inflight.erase(in);
+    }
+    const auto it = shard.index.find(hash);
+    if (it != shard.index.end()) {
+      if (it->second->key == key) {
+        // Can only happen on a Commit without a matching Begin (the in-flight
+        // entry excludes a second leader); refresh the resident result.
+        it->second->result = resident;
+        shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      } else {
+        // Hash collision between distinct keys: the newcomer replaces the
+        // squatter (the index holds one entry per hash). Counted apart from
+        // capacity evictions — growing the cache cannot fix a collision.
+        shard.lru.erase(it->second);
+        shard.index.erase(it);
+        ++shard.collisions;
+      }
+    }
+    if (shard.index.find(hash) == shard.index.end()) {
+      shard.lru.push_front(Entry{key, resident});
+      shard.index[hash] = shard.lru.begin();
+      while (static_cast<int>(shard.lru.size()) > capacity_per_shard_) {
+        shard.index.erase(KeyHash(shard.lru.back().key));
+        shard.lru.pop_back();
+        ++shard.evictions;
+      }
+    }
+  }
+  // Wake joiners off the shard lock; an evicted-before-woken entry is fine,
+  // the future holds its own reference.
+  if (flight) flight->promise.set_value(resident);
+  return resident;
+}
+
+ResultCacheStats ResultCache::stats() const {
+  ResultCacheStats out;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    out.hits += shard->hits;
+    out.joins += shard->joins;
+    out.misses += shard->misses;
+    out.evictions += shard->evictions;
+    out.collisions += shard->collisions;
+    out.entries += static_cast<int>(shard->lru.size());
+  }
+  return out;
+}
+
+}  // namespace soctest

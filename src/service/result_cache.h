@@ -1,0 +1,144 @@
+// ResultCache — cross-request, single-flight deduplication of batch results.
+//
+// The problem cache (service/problem_cache.h) removes re-COMPILATION; this
+// cache removes re-EVALUATION. Two request lines with the same semantic
+// identity — same SOC content, same w_max, same mode, same value for every
+// parameter that mode consumes — pay one restart-grid / improver / sweep run
+// between them, and both receive the same BatchItemResult. Determinism is
+// what makes that safe: every serving path is deterministic for fixed
+// inputs, so a cached result is bit-identical to the evaluation it displaced
+// and dedup can never change batch output (the scheduler's (threads, shards,
+// dedup) bit-identity contract in service/batch_scheduler.h).
+//
+// Identity is textual — see CanonicalKey: a 128-bit content hash of the
+// SOC's canonical serialization (never the spec token: `d695`, a copy of it
+// on disk, and `file:./d695` all dedup together), the compilation bound
+// w_max, and the hardened FormatRequestParams encoding, which emits exactly
+// the parameters the request's mode consults. Lookup compares full key
+// strings, so a 64-bit routing-hash collision between distinct keys can
+// displace a resident entry (counted in `collisions`) but can never serve
+// the wrong schedule.
+//
+// Single-flight: when an identical request arrives while the first is still
+// evaluating, it blocks on the leader's future instead of starting a
+// duplicate evaluation — the problem cache's adopt-the-winner race
+// discipline, strengthened from "both compute, loser adopts" to "only the
+// leader computes" (evaluations cost orders of magnitude more than
+// compiles). The wait cannot deadlock on the batch scheduler's fixed worker
+// pool: a follower only ever blocks on a key whose leader registered the
+// in-flight entry from inside its own evaluation turn, i.e. the leader is
+// already running to completion on another worker.
+#pragma once
+
+#include <cstdint>
+#include <future>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "service/batch_item.h"
+#include "service/request.h"
+
+namespace soctest {
+
+// Point-in-time counters, aggregated over all shards. hits + joins is the
+// work saved; misses is the evaluations actually run.
+struct ResultCacheStats {
+  std::int64_t hits = 0;       // served from a completed resident result
+  std::int64_t joins = 0;      // waited on an in-flight evaluation
+  std::int64_t misses = 0;     // evaluations started (Begin returned leader)
+  std::int64_t evictions = 0;  // entries dropped by the LRU capacity bound
+  std::int64_t collisions = 0; // distinct keys displaced by a hash collision
+  int entries = 0;             // currently resident
+};
+
+class ResultCache {
+ public:
+  struct Options {
+    int shards = 4;      // < 1 clamps to 1; > capacity clamps to capacity
+    int capacity = 256;  // hard total entry bound across shards; < 1 clamps
+  };
+
+  explicit ResultCache(const Options& options);
+
+  ResultCache(const ResultCache&) = delete;
+  ResultCache& operator=(const ResultCache&) = delete;
+
+  // The canonical dedup identity of `request` served at `w_max`:
+  //   "<128-bit SOC content hash> w<w_max> <FormatRequestParams(request)>"
+  // The second overload takes the SOC's canonical serialization
+  // (CompiledProblemCache::CanonicalKey) precomputed, so a caller that also
+  // feeds the problem cache serializes the SOC once.
+  static std::string CanonicalKey(const BatchRequest& request, int w_max);
+  static std::string CanonicalKey(const BatchRequest& request, int w_max,
+                                  const std::string& soc_canonical);
+
+  // 64-bit FNV-1a of the key: shard router and completed-entry index.
+  static std::uint64_t KeyHash(const std::string& key);
+
+  // Test-only: overrides KeyHash (pass nullptr to restore) so suites can
+  // force collisions. Not safe to flip while other threads are inside
+  // Begin/Commit.
+  static void SetKeyHashHookForTest(std::uint64_t (*hook)(const std::string&));
+
+  // Exactly one of the two shapes on return:
+  //   * result != nullptr (leader == false): a resident result (hit), or an
+  //     in-flight leader's result this call blocked for (joined == true);
+  //   * result == nullptr, leader == true: the caller owns the evaluation
+  //     and MUST call Commit(key, ...) exactly once, error results included
+  //     (failures are as deterministic as successes, so they cache too —
+  //     and an uncommitted key would block joiners forever).
+  struct Lookup {
+    std::shared_ptr<const BatchItemResult> result;
+    bool leader = false;
+    bool joined = false;
+  };
+  Lookup Begin(const std::string& key);
+
+  // Publishes the leader's result: wakes every joiner with it, inserts it
+  // into the LRU (with collision / capacity accounting), and returns the
+  // resident copy. The caller's per-request fields (index) are expected to
+  // be neutral — every consumer, leader included, patches its own.
+  std::shared_ptr<const BatchItemResult> Commit(const std::string& key,
+                                                BatchItemResult result);
+
+  ResultCacheStats stats() const;
+  int shards() const { return static_cast<int>(shards_.size()); }
+  int capacity_per_shard() const { return capacity_per_shard_; }
+
+ private:
+  struct Entry {
+    std::string key;
+    std::shared_ptr<const BatchItemResult> result;
+  };
+
+  // One pending evaluation. Joiners wait on `future` outside the shard lock;
+  // the map below is keyed by the exact key string (not the hash), so a
+  // routing-hash collision can never join the wrong evaluation.
+  struct InFlight {
+    std::promise<std::shared_ptr<const BatchItemResult>> promise;
+    std::shared_future<std::shared_ptr<const BatchItemResult>> future;
+  };
+
+  struct Shard {
+    mutable std::mutex mutex;
+    // Front = most recently used. The index maps key hash -> list position;
+    // hash collisions fall back to comparing the key strings exactly.
+    std::list<Entry> lru;
+    std::unordered_map<std::uint64_t, std::list<Entry>::iterator> index;
+    std::unordered_map<std::string, std::shared_ptr<InFlight>> inflight;
+    std::int64_t hits = 0;
+    std::int64_t joins = 0;
+    std::int64_t misses = 0;
+    std::int64_t evictions = 0;
+    std::int64_t collisions = 0;
+  };
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  int capacity_per_shard_ = 1;
+};
+
+}  // namespace soctest

@@ -1,8 +1,10 @@
 #include "soc/benchmarks.h"
 
 #include <algorithm>
+#include <filesystem>
 
 #include "soc/generator.h"
+#include "util/strings.h"
 
 namespace soctest {
 namespace {
@@ -156,6 +158,36 @@ Soc BenchmarkByName(const std::string& name) {
   if (name == "p34392s" || name == "p34392") return MakeP34392s();
   if (name == "p93791s" || name == "p93791") return MakeP93791s();
   return Soc();
+}
+
+ParseResult LoadSocSpec(const std::string& spec) {
+  const auto embedded = [](const std::string& name) -> ParseResult {
+    Soc soc = BenchmarkByName(name);
+    if (soc.num_cores() == 0) {
+      return ParseError{0, StrFormat("unknown benchmark '%s'", name.c_str()),
+                        name};
+    }
+    ParsedSoc parsed;
+    parsed.soc = std::move(soc);
+    return parsed;
+  };
+  if (StartsWith(spec, "bench:")) return embedded(spec.substr(6));
+  if (StartsWith(spec, "file:")) return ParseSocFile(spec.substr(5));
+
+  // Bare token: an existing file wins over an embedded benchmark of the same
+  // name (use the explicit prefixes to force either resolution).
+  std::error_code ec;
+  if (std::filesystem::is_regular_file(spec, ec)) return ParseSocFile(spec);
+  if (Soc soc = BenchmarkByName(spec); soc.num_cores() > 0) {
+    ParsedSoc parsed;
+    parsed.soc = std::move(soc);
+    return parsed;
+  }
+  return ParseError{
+      0,
+      StrFormat("'%s' is neither an embedded benchmark nor a readable .soc "
+                "file", spec.c_str()),
+      spec};
 }
 
 TestProblem MakeBenchmarkProblem(Soc soc, bool with_power_budget) {

@@ -16,6 +16,7 @@
 
 #include "core/problem.h"
 #include "soc/soc.h"
+#include "soc/soc_parser.h"
 
 namespace soctest {
 
@@ -32,6 +33,15 @@ std::vector<Soc> AllBenchmarkSocs();
 
 // Looks a benchmark up by name; returns an empty SOC (0 cores) when unknown.
 Soc BenchmarkByName(const std::string& name);
+
+// Resolves an SOC spec token (the <soc> argument of soctest_cli and the
+// batch request format) to a parsed SOC:
+//   "bench:<name>"  an embedded benchmark, by name only;
+//   "file:<path>"   a .soc file, by path only;
+//   anything else   an existing file on disk first, the benchmark table
+//                   second — so a local file named `d695` is loaded, not
+//                   silently shadowed by the embedded benchmark.
+ParseResult LoadSocSpec(const std::string& spec);
 
 // The Table-1 experiment configuration for a benchmark SOC:
 //  * preemption budget 2 for the larger cores (paper Section 6),

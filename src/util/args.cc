@@ -1,6 +1,7 @@
 #include "util/args.h"
 
 #include <algorithm>
+#include <limits>
 
 #include "util/strings.h"
 
@@ -85,6 +86,17 @@ std::int64_t ArgParser::IntOr(const std::string& name, std::int64_t def) {
     return def;
   }
   return *parsed;
+}
+
+int ArgParser::Int32Or(const std::string& name, int def) {
+  const std::int64_t wide = IntOr(name, def);
+  if (wide < std::numeric_limits<int>::min() ||
+      wide > std::numeric_limits<int>::max()) {
+    error_ = StrFormat("option --%s: %lld is out of range", name.c_str(),
+                       static_cast<long long>(wide));
+    return def;
+  }
+  return static_cast<int>(wide);
 }
 
 double ArgParser::DoubleOr(const std::string& name, double def) {

@@ -4,6 +4,7 @@
 // arguments; unknown flags are collected as errors so tools can fail fast.
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <optional>
 #include <string>
@@ -28,6 +29,10 @@ class ArgParser {
   // Typed accessors with defaults; parse failures surface via Error().
   std::string StringOr(const std::string& name, const std::string& def) const;
   std::int64_t IntOr(const std::string& name, std::int64_t def);
+  // IntOr narrowed to int with a range check: "--width 4294967297" is an
+  // error (via Error()), not a silent 1. Every int-typed option should go
+  // through this instead of static_cast<int>(IntOr(...)).
+  int Int32Or(const std::string& name, int def);
   double DoubleOr(const std::string& name, double def);
 
   const std::vector<std::string>& positional() const { return positional_; }

@@ -60,6 +60,17 @@ std::optional<std::int64_t> ParseInt(std::string_view s) {
   return value;
 }
 
+std::optional<std::uint64_t> ParseUint(std::string_view s) {
+  s = TrimView(s);
+  if (s.empty()) return std::nullopt;
+  std::uint64_t value = 0;
+  const auto* first = s.data();
+  const auto* last = s.data() + s.size();
+  auto [ptr, ec] = std::from_chars(first, last, value);
+  if (ec != std::errc() || ptr != last) return std::nullopt;
+  return value;
+}
+
 std::optional<double> ParseDouble(std::string_view s) {
   s = TrimView(s);
   if (s.empty()) return std::nullopt;

@@ -1,6 +1,7 @@
 // Small string helpers shared by the .soc parser and report writers.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -23,6 +24,9 @@ std::vector<std::string> SplitLines(std::string_view s);
 
 // Strict integer / double parsing; returns nullopt on any trailing garbage.
 std::optional<std::int64_t> ParseInt(std::string_view s);
+// Unsigned variant covering the full uint64 range (rejects any '-' sign);
+// for values like RNG seeds that int64 parsing would truncate at 2^63.
+std::optional<std::uint64_t> ParseUint(std::string_view s);
 std::optional<double> ParseDouble(std::string_view s);
 
 bool StartsWith(std::string_view s, std::string_view prefix);

@@ -51,6 +51,29 @@ TEST(ArgParserTest, TypedAccessorsWithDefaults) {
   EXPECT_TRUE(parser.ok());
 }
 
+// Int32Or narrows with a range check: the CLI's int-typed options must
+// reject 2^32 + 1 instead of silently truncating it to 1.
+TEST(ArgParserTest, Int32OrRejectsOutOfRangeValues) {
+  ArgParser parser({}, {"width", "seed", "low"});
+  const auto argv = Argv({"prog", "--width", "4294967297", "--seed", "7",
+                          "--low", "-4294967297"});
+  ASSERT_TRUE(parser.Parse(static_cast<int>(argv.size()), argv.data()));
+
+  EXPECT_EQ(parser.Int32Or("seed", 1), 7);
+  EXPECT_EQ(parser.Int32Or("missing", 42), 42);
+  EXPECT_TRUE(parser.ok());
+
+  EXPECT_EQ(parser.Int32Or("width", 3), 3);  // default back, error recorded
+  EXPECT_FALSE(parser.ok());
+  EXPECT_NE(parser.Error().find("out of range"), std::string::npos);
+
+  ArgParser negative({}, {"low"});
+  const auto argv2 = Argv({"prog", "--low", "-4294967297"});
+  ASSERT_TRUE(negative.Parse(static_cast<int>(argv2.size()), argv2.data()));
+  EXPECT_EQ(negative.Int32Or("low", -3), -3);
+  EXPECT_FALSE(negative.ok());
+}
+
 // The CLI's parallel-search flags: --threads takes a worker count (0 = use
 // the hardware) and --search is a boolean switch for the restart-grid
 // search. Mirrors the parser configuration in tools/soctest_cli.cc.

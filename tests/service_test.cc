@@ -1,22 +1,28 @@
 // Tests for the batch-serving layer: the sharded CompiledProblemCache, the
-// request-file parser, and the BatchScheduler determinism contract (batch
-// results bit-identical for every threads x shards combination — the same
-// bar as search/driver.h, one level up).
+// request-file parser, the cross-request ResultCache (canonical keys,
+// single-flight, collision accounting), and the BatchScheduler determinism
+// contract (batch results bit-identical for every threads x shards x dedup
+// combination — the same bar as search/driver.h, one level up).
 #include "service/batch_scheduler.h"
 
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
+#include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/validator.h"
 #include "service/problem_cache.h"
 #include "service/request.h"
+#include "service/result_cache.h"
 #include "soc/benchmarks.h"
 #include "soc/generator.h"
 #include "soc/soc_parser.h"
+#include "util/rng.h"
 
 namespace soctest {
 namespace {
@@ -95,6 +101,27 @@ void ExpectIdenticalItems(const BatchItemResult& a, const BatchItemResult& b) {
   }
 }
 
+// Restores the (global) cache hash hooks even when an assertion fails.
+struct ProblemHashHookGuard {
+  explicit ProblemHashHookGuard(std::uint64_t (*hook)(const std::string&,
+                                                      int)) {
+    CompiledProblemCache::SetKeyHashHookForTest(hook);
+  }
+  ~ProblemHashHookGuard() {
+    CompiledProblemCache::SetKeyHashHookForTest(nullptr);
+  }
+};
+
+struct ResultHashHookGuard {
+  explicit ResultHashHookGuard(std::uint64_t (*hook)(const std::string&)) {
+    ResultCache::SetKeyHashHookForTest(hook);
+  }
+  ~ResultHashHookGuard() { ResultCache::SetKeyHashHookForTest(nullptr); }
+};
+
+std::uint64_t CollideProblemHash(const std::string&, int) { return 42; }
+std::uint64_t CollideResultHash(const std::string&) { return 42; }
+
 // The headline contract: bit-identical results for every (threads, shards)
 // combination. threads=1 shards=1 is the reference serial serving loop.
 TEST(BatchSchedulerTest, ResultsBitIdenticalAcrossThreadsAndShards) {
@@ -129,7 +156,6 @@ TEST(BatchSchedulerTest, ResultsBitIdenticalAcrossThreadsAndShards) {
   ExpectIdenticalItems(expected.results[1], [&] {
     BatchItemResult copy = expected.results[4];
     copy.index = expected.results[1].index;
-    copy.cache_hit = expected.results[1].cache_hit;
     return copy;
   }());
 
@@ -178,6 +204,127 @@ TEST(BatchSchedulerTest, EvictionRecompileIsBitIdentical) {
   EXPECT_EQ(outcome.cache.compiles, 4);
   EXPECT_GE(outcome.cache.evictions, 3);
   EXPECT_EQ(outcome.cache.entries, 1);
+}
+
+// Cross-request dedup must be invisible in the results: a duplicate-heavy
+// batch returns bit-identical output for every (dedup, threads, shards)
+// combination, while the dedup-on runs evaluate strictly fewer times than
+// they serve.
+TEST(BatchSchedulerTest, DedupOnOffBitIdenticalAcrossThreadsAndShards) {
+  std::vector<BatchRequest> requests = MixedRequests();
+  const std::vector<BatchRequest> once = requests;
+  requests.insert(requests.end(), once.begin(), once.end());  // every line x2
+
+  BatchOptions reference_options;
+  reference_options.threads = 1;
+  reference_options.shards = 1;
+  reference_options.dedup = false;
+  BatchScheduler reference(reference_options);
+  const BatchOutcome expected = reference.Run(requests);
+  ASSERT_EQ(expected.served, static_cast<int>(requests.size()));
+  EXPECT_EQ(expected.dedup.hits + expected.dedup.joins + expected.dedup.misses,
+            0);  // dedup off: the result cache is never consulted
+
+  for (const bool dedup : {false, true}) {
+    for (const int threads : {1, 8}) {
+      for (const int shards : {1, 4}) {
+        if (!dedup && threads == 1 && shards == 1) continue;  // the reference
+        BatchOptions options;
+        options.threads = threads;
+        options.shards = shards;
+        options.dedup = dedup;
+        BatchScheduler scheduler(options);
+        const BatchOutcome outcome = scheduler.Run(requests);
+        ASSERT_EQ(outcome.results.size(), requests.size());
+        EXPECT_EQ(outcome.served, expected.served);
+        for (std::size_t i = 0; i < requests.size(); ++i) {
+          SCOPED_TRACE(testing::Message()
+                       << "dedup=" << dedup << " threads=" << threads
+                       << " shards=" << shards << " req=" << i);
+          ExpectIdenticalItems(outcome.results[i], expected.results[i]);
+        }
+        if (dedup) {
+          // Strictly fewer evaluations than requests, the rest dedup-served.
+          EXPECT_LT(outcome.dedup.misses,
+                    static_cast<std::int64_t>(requests.size()));
+          EXPECT_EQ(outcome.dedup.hits + outcome.dedup.joins +
+                        outcome.dedup.misses,
+                    static_cast<std::int64_t>(requests.size()));
+          EXPECT_GT(outcome.dedup.hits + outcome.dedup.joins, 0);
+        }
+      }
+    }
+  }
+}
+
+// Single-flight at the scheduler level: a batch of identical requests wide
+// enough to be in flight together still evaluates exactly once — the other
+// workers either join the leader's in-flight evaluation or hit the resident
+// result, they never start a second one.
+TEST(BatchSchedulerTest, IdenticalConcurrentRequestsEvaluateOnce) {
+  BatchRequest req;
+  const ParsedSoc soc = GeneratedParsed(3, 10);
+  req.soc_spec = soc.soc.name();
+  req.soc = soc;
+  req.tam_width = 16;
+  req.mode = BatchMode::kSchedule;
+  req.search = true;
+  const std::vector<BatchRequest> requests(8, req);
+
+  BatchOptions options;
+  options.threads = 8;
+  options.shards = 4;
+  options.dedup = true;
+  BatchScheduler scheduler(options);
+  const BatchOutcome outcome = scheduler.Run(requests);
+  ASSERT_EQ(outcome.served, 8);
+  EXPECT_EQ(outcome.dedup.misses, 1);  // exactly one evaluation
+  EXPECT_EQ(outcome.dedup.hits + outcome.dedup.joins, 7);
+  for (std::size_t i = 1; i < requests.size(); ++i) {
+    ExpectIdenticalItems(outcome.results[i], [&] {
+      BatchItemResult copy = outcome.results[0];
+      copy.index = outcome.results[i].index;
+      return copy;
+    }());
+  }
+}
+
+// Result-cache eviction pressure: with a 1-entry result cache, alternating
+// requests evict each other every time, and every re-evaluation is
+// bit-identical to the first one.
+TEST(BatchSchedulerTest, DedupEvictionReevaluatesBitIdentical) {
+  const ParsedSoc a = GeneratedParsed(3, 10);
+  const ParsedSoc b = GeneratedParsed(17, 12);
+  std::vector<BatchRequest> requests;
+  for (int round = 0; round < 2; ++round) {
+    for (const ParsedSoc* soc : {&a, &b}) {
+      BatchRequest req;
+      req.soc_spec = soc->soc.name();
+      req.soc = *soc;
+      req.tam_width = 16;
+      requests.push_back(std::move(req));
+    }
+  }
+
+  BatchOptions options;
+  options.threads = 1;  // serial: the eviction sequence is deterministic
+  options.shards = 1;
+  options.dedup = true;
+  options.result_entries = 1;
+  BatchScheduler scheduler(options);
+  const BatchOutcome outcome = scheduler.Run(requests);
+  ASSERT_EQ(outcome.served, 4);
+  EXPECT_EQ(outcome.dedup.misses, 4);  // every lookup re-evaluated
+  EXPECT_EQ(outcome.dedup.hits, 0);
+  EXPECT_EQ(outcome.dedup.evictions, 3);
+  EXPECT_EQ(outcome.dedup.entries, 1);
+  for (const int pair : {0, 1}) {
+    ExpectIdenticalItems(outcome.results[static_cast<std::size_t>(pair)], [&] {
+      BatchItemResult copy = outcome.results[static_cast<std::size_t>(pair + 2)];
+      copy.index = pair;
+      return copy;
+    }());
+  }
 }
 
 TEST(CompiledProblemCacheTest, HitsShareOneCompilation) {
@@ -257,6 +404,179 @@ TEST(CompiledProblemCacheTest, KeyIsContentNotProvenance) {
   EXPECT_TRUE(hit);
 }
 
+// A 64-bit hash collision between distinct keys replaces the resident entry
+// and is counted as a collision, NOT as a capacity eviction (a bigger cache
+// cannot fix a collision, so conflating the two misleads capacity tuning).
+TEST(CompiledProblemCacheTest, HashCollisionCountsSeparatelyFromEviction) {
+  ProblemHashHookGuard guard(&CollideProblemHash);  // every key hashes to 42
+  CompiledProblemCache cache({/*shards=*/1, /*capacity=*/8});
+  const ParsedSoc a = GeneratedParsed(3, 6);
+  const ParsedSoc b = GeneratedParsed(17, 8);
+
+  bool hit = true;
+  const auto held = cache.GetOrCompile(a, kDefaultWMax, &hit);
+  EXPECT_FALSE(hit);
+  // Distinct key, same hash: never served the wrong artifacts...
+  const auto other = cache.GetOrCompile(b, kDefaultWMax, &hit);
+  EXPECT_FALSE(hit);
+  EXPECT_NE(held.get(), other.get());
+  // ...and the displacement is a collision, not an eviction (capacity 8 is
+  // nowhere near full).
+  CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.collisions, 1);
+  EXPECT_EQ(stats.evictions, 0);
+  EXPECT_EQ(stats.entries, 1);
+
+  // The displaced handout stays usable, and re-asking recompiles (a miss —
+  // the two hot keys thrash, which is exactly what the counter surfaces).
+  ASSERT_TRUE(held->ok());
+  cache.GetOrCompile(a, kDefaultWMax, &hit);
+  EXPECT_FALSE(hit);
+  stats = cache.stats();
+  EXPECT_EQ(stats.collisions, 2);
+  EXPECT_EQ(stats.evictions, 0);
+}
+
+TEST(ResultCacheTest, CanonicalKeyIsContentAndSemanticsNotSpelling) {
+  BatchRequest base;
+  base.soc_spec = "d695";
+  base.soc = ParsedFromSoc(MakeD695());
+  base.tam_width = 16;
+
+  // The spec token is NOT part of the identity — content is.
+  BatchRequest renamed = base;
+  renamed.soc_spec = "designs/copy_of_d695.soc";
+  EXPECT_EQ(ResultCache::CanonicalKey(base, 64),
+            ResultCache::CanonicalKey(renamed, 64));
+
+  // Different SOC content, same spec token: different key.
+  BatchRequest other_soc = base;
+  other_soc.soc = GeneratedParsed(3, 10);
+  EXPECT_NE(ResultCache::CanonicalKey(base, 64),
+            ResultCache::CanonicalKey(other_soc, 64));
+
+  // Every semantic parameter is part of the identity.
+  EXPECT_NE(ResultCache::CanonicalKey(base, 64),
+            ResultCache::CanonicalKey(base, 32));  // w_max
+  BatchRequest wider = base;
+  wider.tam_width = 24;
+  EXPECT_NE(ResultCache::CanonicalKey(base, 64),
+            ResultCache::CanonicalKey(wider, 64));
+  BatchRequest preempting = base;
+  preempting.preempt = true;
+  EXPECT_NE(ResultCache::CanonicalKey(base, 64),
+            ResultCache::CanonicalKey(preempting, 64));
+
+  // A flag the mode never consults is NOT part of the identity: wide without
+  // search changes nothing about a schedule-mode run, so the keys match...
+  BatchRequest wide_no_search = base;
+  wide_no_search.wide = true;
+  EXPECT_EQ(ResultCache::CanonicalKey(base, 64),
+            ResultCache::CanonicalKey(wide_no_search, 64));
+  // ...while wide WITH search selects a different grid: different key.
+  BatchRequest searching = base;
+  searching.search = true;
+  BatchRequest wide_search = searching;
+  wide_search.wide = true;
+  EXPECT_NE(ResultCache::CanonicalKey(searching, 64),
+            ResultCache::CanonicalKey(wide_search, 64));
+}
+
+TEST(ResultCacheTest, SingleFlightJoinersAdoptTheLeadersResult) {
+  ResultCache cache({/*shards=*/1, /*capacity=*/8});
+  const std::string key = "request-under-evaluation";
+
+  const ResultCache::Lookup leader = cache.Begin(key);
+  ASSERT_TRUE(leader.leader);
+  EXPECT_EQ(leader.result, nullptr);
+
+  // Two identical requests arrive while the leader is "evaluating". Each
+  // blocks inside Begin until the leader commits.
+  std::vector<std::shared_ptr<const BatchItemResult>> adopted(2);
+  std::vector<bool> was_leader(2, true), was_join(2, false);
+  std::vector<std::thread> joiners;
+  for (int i = 0; i < 2; ++i) {
+    joiners.emplace_back([&cache, &key, &adopted, &was_leader, &was_join, i] {
+      const ResultCache::Lookup found = cache.Begin(key);
+      was_leader[static_cast<std::size_t>(i)] = found.leader;
+      was_join[static_cast<std::size_t>(i)] = found.joined;
+      adopted[static_cast<std::size_t>(i)] = found.result;
+    });
+  }
+  // Joins are counted at Begin, before the blocking wait — so this observes
+  // both joiners parked on the in-flight future.
+  while (cache.stats().joins < 2) std::this_thread::yield();
+
+  BatchItemResult result;
+  result.soc_name = "x";
+  result.makespan = 42;
+  const std::shared_ptr<const BatchItemResult> resident =
+      cache.Commit(key, std::move(result));
+  for (std::thread& t : joiners) t.join();
+
+  for (int i = 0; i < 2; ++i) {
+    EXPECT_FALSE(was_leader[static_cast<std::size_t>(i)]);
+    EXPECT_TRUE(was_join[static_cast<std::size_t>(i)]);
+    // Literally the same object the leader published, not a re-evaluation.
+    EXPECT_EQ(adopted[static_cast<std::size_t>(i)].get(), resident.get());
+  }
+  const ResultCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.misses, 1);
+  EXPECT_EQ(stats.joins, 2);
+  EXPECT_EQ(stats.entries, 1);
+
+  // After the commit the key is a plain hit.
+  const ResultCache::Lookup after = cache.Begin(key);
+  EXPECT_FALSE(after.leader);
+  EXPECT_FALSE(after.joined);
+  EXPECT_EQ(after.result.get(), resident.get());
+  EXPECT_EQ(cache.stats().hits, 1);
+}
+
+TEST(ResultCacheTest, HashCollisionReplacesButNeverServesWrongKey) {
+  ResultHashHookGuard guard(&CollideResultHash);  // every key hashes to 42
+  ResultCache cache({/*shards=*/1, /*capacity=*/8});
+
+  ResultCache::Lookup first = cache.Begin("key-a");
+  ASSERT_TRUE(first.leader);
+  BatchItemResult ra;
+  ra.makespan = 1;
+  cache.Commit("key-a", std::move(ra));
+
+  // Same hash, different key: a miss (never a wrong-key hit), whose commit
+  // displaces the squatter as a collision, not an eviction.
+  ResultCache::Lookup second = cache.Begin("key-b");
+  ASSERT_TRUE(second.leader);
+  BatchItemResult rb;
+  rb.makespan = 2;
+  cache.Commit("key-b", std::move(rb));
+
+  ResultCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.collisions, 1);
+  EXPECT_EQ(stats.evictions, 0);
+  EXPECT_EQ(stats.entries, 1);
+
+  const ResultCache::Lookup hit = cache.Begin("key-b");
+  ASSERT_NE(hit.result, nullptr);
+  EXPECT_EQ(hit.result->makespan, 2);
+  // The displaced key re-evaluates.
+  EXPECT_TRUE(cache.Begin("key-a").leader);
+}
+
+TEST(ResultCacheTest, CapacityIsAHardTotalBound) {
+  ResultCache cache({/*shards=*/4, /*capacity=*/1});
+  EXPECT_EQ(cache.shards(), 1);
+  EXPECT_EQ(cache.capacity_per_shard(), 1);
+  for (const char* key : {"a", "b", "c"}) {
+    ASSERT_TRUE(cache.Begin(key).leader);
+    cache.Commit(key, BatchItemResult{});
+  }
+  const ResultCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.entries, 1);
+  EXPECT_EQ(stats.evictions, 2);
+  EXPECT_EQ(stats.collisions, 0);
+}
+
 TEST(RequestParserTest, ParsesModesAndFlags) {
   const std::string text =
       "# comment line\n"
@@ -286,6 +606,16 @@ TEST(RequestParserTest, ParsesModesAndFlags) {
   EXPECT_EQ(improve.iterations, 50);
   EXPECT_EQ(improve.batch, 4);
   EXPECT_EQ(improve.seed, 9u);
+
+  // Seeds above int64 range are valid uint64 values, not parse errors.
+  const RequestFileResult big_seed = ParseRequestText(
+      "d695 16 improve seed=18446744073709551615\n", "seed.txt");
+  const auto* big = std::get_if<std::vector<BatchRequest>>(&big_seed);
+  ASSERT_NE(big, nullptr) << std::get<RequestParseError>(big_seed).ToString();
+  EXPECT_EQ((*big)[0].seed, 18446744073709551615ull);
+  const RequestFileResult neg_seed =
+      ParseRequestText("d695 16 improve seed=-1\n", "seed.txt");
+  EXPECT_NE(std::get_if<RequestParseError>(&neg_seed), nullptr);
 
   const BatchRequest& sweep = (*requests)[2];
   EXPECT_EQ(sweep.mode, BatchMode::kSweep);
@@ -327,6 +657,182 @@ TEST(RequestParserTest, FormatParseRoundTrip) {
   }
 }
 
+// The randomized half of the round-trip contract: for any valid request
+// (fields populated the way the parser itself would), Parse(Format(r))
+// reproduces every field, and Format is idempotent across the round trip.
+// This property is what qualifies FormatRequestParams as the textual half of
+// the dedup canonical key.
+TEST(RequestParserTest, FormatParseRoundTripRandomizedProperty) {
+  Rng rng(20260728);
+  for (int trial = 0; trial < 100; ++trial) {
+    BatchRequest req;
+    req.soc_spec = "d695";
+    req.tam_width = static_cast<int>(rng.UniformInt(1, 64));
+    req.preempt = rng.Bernoulli(0.5);
+    if (rng.Bernoulli(0.5)) {
+      // Full-precision doubles: %.17g must reproduce every bit.
+      req.s_percent = rng.UniformDouble() * 30.0 + 0.125;
+    }
+    if (rng.Bernoulli(0.5)) req.delta = static_cast<int>(rng.UniformInt(0, 6));
+    switch (rng.UniformInt(0, 2)) {
+      case 0:
+        req.mode = BatchMode::kSchedule;
+        req.search = rng.Bernoulli(0.5);
+        if (req.search) req.wide = rng.Bernoulli(0.5);
+        break;
+      case 1:
+        req.mode = BatchMode::kImprove;
+        req.iterations = static_cast<int>(rng.UniformInt(1, 200));
+        req.batch = static_cast<int>(rng.UniformInt(1, 16));
+        req.seed = rng.Next();  // full uint64 range round-trips
+        req.wide = rng.Bernoulli(0.5);
+        break;
+      default:
+        req.mode = BatchMode::kSweep;
+        req.sweep_min =
+            static_cast<int>(rng.UniformInt(1, req.tam_width));
+        if (rng.Bernoulli(0.5)) {
+          req.sweep_max = static_cast<int>(rng.UniformInt(req.sweep_min, 80));
+        }
+        break;
+    }
+
+    const std::string line = FormatRequestLine(req);
+    SCOPED_TRACE(testing::Message() << "trial " << trial << ": " << line);
+    const RequestFileResult result = ParseRequestText(line + "\n", "rt.txt");
+    const auto* parsed = std::get_if<std::vector<BatchRequest>>(&result);
+    ASSERT_NE(parsed, nullptr)
+        << std::get<RequestParseError>(result).ToString();
+    ASSERT_EQ(parsed->size(), 1u);
+    const BatchRequest& back = (*parsed)[0];
+    EXPECT_EQ(back.soc_spec, req.soc_spec);
+    EXPECT_EQ(back.tam_width, req.tam_width);
+    EXPECT_EQ(back.mode, req.mode);
+    EXPECT_EQ(back.preempt, req.preempt);
+    EXPECT_DOUBLE_EQ(back.s_percent, req.s_percent);
+    EXPECT_EQ(back.delta, req.delta);
+    EXPECT_EQ(back.search, req.search);
+    EXPECT_EQ(back.wide, req.wide);
+    EXPECT_EQ(back.iterations, req.iterations);
+    EXPECT_EQ(back.batch, req.batch);
+    EXPECT_EQ(back.seed, req.seed);
+    EXPECT_EQ(back.sweep_min, req.sweep_min);
+    EXPECT_EQ(back.sweep_max, req.sweep_max);
+    EXPECT_EQ(FormatRequestLine(back), line);  // idempotent
+  }
+}
+
+// Hand-built requests may carry junk in fields their mode never consults
+// (test fixtures and benches do). Format must not leak those into the line:
+// the output always re-parses, with every consulted field intact.
+TEST(RequestParserTest, FormatIsParseableForNonCanonicalRequests) {
+  std::vector<BatchRequest> awkward;
+
+  BatchRequest wide_no_search;  // schedule mode ignores wide without search
+  wide_no_search.mode = BatchMode::kSchedule;
+  wide_no_search.wide = true;
+  wide_no_search.iterations = 99;  // improve-only junk
+  wide_no_search.sweep_min = 5;    // sweep-only junk
+  awkward.push_back(wide_no_search);
+
+  BatchRequest improve_with_search;  // improve mode has no search flag
+  improve_with_search.mode = BatchMode::kImprove;
+  improve_with_search.search = true;
+  improve_with_search.wide = true;
+  improve_with_search.iterations = 7;
+  awkward.push_back(improve_with_search);
+
+  BatchRequest sweep_with_everything;  // sweep rejects search/wide/iters
+  sweep_with_everything.mode = BatchMode::kSweep;
+  sweep_with_everything.search = true;
+  sweep_with_everything.wide = true;
+  sweep_with_everything.iterations = 3;
+  sweep_with_everything.sweep_min = 4;
+  sweep_with_everything.sweep_max = 12;
+  sweep_with_everything.preempt = true;
+  awkward.push_back(sweep_with_everything);
+
+  for (BatchRequest& req : awkward) {
+    req.soc_spec = "d695";
+    req.tam_width = 16;
+    const std::string line = FormatRequestLine(req);
+    SCOPED_TRACE(line);
+    const RequestFileResult result = ParseRequestText(line + "\n", "fmt.txt");
+    const auto* parsed = std::get_if<std::vector<BatchRequest>>(&result);
+    ASSERT_NE(parsed, nullptr)
+        << std::get<RequestParseError>(result).ToString();
+    ASSERT_EQ(parsed->size(), 1u);
+    EXPECT_EQ((*parsed)[0].mode, req.mode);
+    EXPECT_EQ((*parsed)[0].tam_width, req.tam_width);
+    EXPECT_EQ((*parsed)[0].preempt, req.preempt);
+    if (req.mode == BatchMode::kImprove) {
+      EXPECT_EQ((*parsed)[0].iterations, req.iterations);
+      EXPECT_EQ((*parsed)[0].wide, req.wide);
+    }
+    if (req.mode == BatchMode::kSweep) {
+      EXPECT_EQ((*parsed)[0].sweep_min, req.sweep_min);
+      EXPECT_EQ((*parsed)[0].sweep_max, req.sweep_max);
+    }
+  }
+}
+
+// Spec resolution: an existing file on disk wins over an embedded benchmark
+// of the same name, and the explicit prefixes force either resolution.
+TEST(RequestParserTest, FileOnDiskShadowsBenchmarkName) {
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::path(testing::TempDir()) / "soctest_shadow";
+  fs::create_directories(dir);
+  // A local file literally named `d695` whose content is a different SOC.
+  const ParsedSoc generated = GeneratedParsed(3, 4);
+  { std::ofstream f(dir / "d695"); f << SerializeSoc(generated); }
+  const int embedded_cores = MakeD695().num_cores();
+  ASSERT_NE(generated.soc.num_cores(), embedded_cores);
+
+  const fs::path old_cwd = fs::current_path();
+  fs::current_path(dir);
+  const RequestFileResult result = ParseRequestText(
+      "d695 16 schedule\n"
+      "bench:d695 16 schedule\n"
+      "file:d695 16 schedule\n",
+      "shadow.txt");
+  fs::current_path(old_cwd);
+
+  const auto* requests = std::get_if<std::vector<BatchRequest>>(&result);
+  ASSERT_NE(requests, nullptr)
+      << std::get<RequestParseError>(result).ToString();
+  ASSERT_EQ(requests->size(), 3u);
+  // Bare token: the file, not the embedded benchmark.
+  EXPECT_EQ((*requests)[0].soc.soc.num_cores(), generated.soc.num_cores());
+  EXPECT_EQ((*requests)[0].soc.soc.name(), generated.soc.name());
+  // bench: forces the embedded benchmark even with the file present.
+  EXPECT_EQ((*requests)[1].soc.soc.num_cores(), embedded_cores);
+  EXPECT_EQ((*requests)[1].soc.soc.name(), "d695");
+  // file: forces the filesystem.
+  EXPECT_EQ((*requests)[2].soc.soc.num_cores(), generated.soc.num_cores());
+
+  fs::remove_all(dir);
+}
+
+TEST(RequestParserTest, LoadSocSpecDiagnosesBothResolutions) {
+  // Unknown benchmark under bench:, even if a file of that name exists.
+  const ParseResult unknown = LoadSocSpec("bench:not_a_benchmark");
+  const auto* err = std::get_if<ParseError>(&unknown);
+  ASSERT_NE(err, nullptr);
+  EXPECT_NE(err->ToString().find("unknown benchmark"), std::string::npos);
+
+  // A bare token matching neither names both possibilities.
+  const ParseResult neither = LoadSocSpec("no_such_thing");
+  const auto* neither_err = std::get_if<ParseError>(&neither);
+  ASSERT_NE(neither_err, nullptr);
+  EXPECT_NE(neither_err->ToString().find("neither"), std::string::npos);
+
+  // Without a file in the way, the bare token still resolves embedded.
+  const ParseResult embedded = LoadSocSpec("d695");
+  const auto* parsed = std::get_if<ParsedSoc>(&embedded);
+  ASSERT_NE(parsed, nullptr);
+  EXPECT_EQ(parsed->soc.name(), "d695");
+}
+
 struct MalformedCase {
   const char* label;
   const char* line;
@@ -363,6 +869,18 @@ INSTANTIATE_TEST_SUITE_P(
                       "unknown flag"},
         MalformedCase{"bad_value", "d695 16 improve iters=-2", 2,
                       "positive integer"},
+        // Overflow values must be range errors, not silent int truncation
+        // (4294967297 = 2^32 + 1 narrows to 1 without the check).
+        MalformedCase{"width_overflow", "d695 4294967297 schedule", 2,
+                      "out of range"},
+        MalformedCase{"iters_overflow", "d695 16 improve iters=4294967297", 2,
+                      "out of range"},
+        MalformedCase{"batch_overflow", "d695 16 improve batch=2147483648", 2,
+                      "out of range"},
+        MalformedCase{"delta_overflow", "d695 16 schedule delta=4294967297", 2,
+                      "out of range"},
+        MalformedCase{"sweep_min_overflow", "d695 16 sweep min=4294967297", 2,
+                      "out of range"},
         MalformedCase{"sweep_inverted", "d695 16 sweep min=12 max=8", 2,
                       "below min"},
         MalformedCase{"sweep_min_over_defaulted_max", "d695 16 sweep min=20",

@@ -67,6 +67,18 @@ TEST(ParseIntTest, RejectsGarbage) {
   EXPECT_FALSE(ParseInt("1 2").has_value());
 }
 
+TEST(ParseUintTest, CoversFullRangeAndRejectsSigns) {
+  EXPECT_EQ(ParseUint("42"), 42u);
+  EXPECT_EQ(ParseUint("0"), 0u);
+  // Above int64 range — the values ParseInt cannot represent.
+  EXPECT_EQ(ParseUint("9223372036854775808"), 9223372036854775808ull);
+  EXPECT_EQ(ParseUint("18446744073709551615"), 18446744073709551615ull);
+  EXPECT_FALSE(ParseUint("18446744073709551616").has_value());  // 2^64
+  EXPECT_FALSE(ParseUint("-1").has_value());
+  EXPECT_FALSE(ParseUint("").has_value());
+  EXPECT_FALSE(ParseUint("12x").has_value());
+}
+
 TEST(ParseDoubleTest, ValidAndInvalid) {
   EXPECT_DOUBLE_EQ(ParseDouble("2.5").value(), 2.5);
   EXPECT_DOUBLE_EQ(ParseDouble("-1e3").value(), -1000.0);

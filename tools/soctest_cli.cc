@@ -8,14 +8,17 @@
 //             [--wires] [--json PATH] [--csv PATH] [--svg PATH]
 //   sweep     <soc> [--min N] [--max N] [--rho R] [--threads N] [--csv PATH]
 //   batch     <request-file> [--threads N] [--shards N] [--cache-entries N]
+//             [--dedup] [--result-entries N]
 //             serve many SOC requests off the shared CompiledProblem cache
 //             (one request per line: "<soc> <width> <mode> [key=value ...]";
-//             see src/service/request.h for the format)
+//             see src/service/request.h for the format); --dedup serves
+//             identical request lines one evaluation
 //   lowerbound <soc> --width W
 //   advise    <soc> [--threshold R] [--max-budget N]   preemption budgets
 //
 // <soc> is either an embedded benchmark name (d695, p22810s, p34392s,
-// p93791s) or a path to a .soc file.
+// p93791s) or a path to a .soc file; an existing file wins over a benchmark
+// of the same name, and "bench:<name>" / "file:<path>" force either.
 #include <cstdio>
 #include <fstream>
 #include <utility>
@@ -52,12 +55,12 @@ int Usage() {
   return 2;
 }
 
-// Loads an SOC (with optional declared constraints) by benchmark name or
-// file path. Returns nullopt after printing an error.
+// Loads an SOC (with optional declared constraints) by spec token — an
+// existing file wins over an embedded benchmark of the same name, and
+// "bench:<name>" / "file:<path>" force either resolution (LoadSocSpec).
+// Returns nullopt after printing an error.
 std::optional<TestProblem> LoadProblem(const std::string& spec) {
-  const Soc embedded = BenchmarkByName(spec);
-  if (embedded.num_cores() > 0) return TestProblem::FromSoc(embedded);
-  const ParseResult parsed = ParseSocFile(spec);
+  const ParseResult parsed = LoadSocSpec(spec);
   if (const auto* err = std::get_if<ParseError>(&parsed)) {
     std::fprintf(stderr, "%s\n", err->ToString().c_str());
     return std::nullopt;
@@ -99,7 +102,7 @@ int CmdWrapper(int argc, const char* const* argv) {
     std::fprintf(stderr, "no core named '%s'\n", args.positional()[1].c_str());
     return 1;
   }
-  const int wmax = static_cast<int>(args.IntOr("wmax", 64));
+  const int wmax = args.Int32Or("wmax", 64);
   const TimeCurve curve(problem->soc.core(core), std::max(1, wmax));
   TablePrinter table({"w", "T(w) cycles", "Pareto"});
   const auto pareto = ParetoPoints(curve);
@@ -142,17 +145,17 @@ int CmdSchedule(int argc, const char* const* argv) {
   }
 
   OptimizerParams params;
-  params.tam_width = static_cast<int>(args.IntOr("width", 32));
+  params.tam_width = args.Int32Or("width", 32);
   params.s_percent = args.DoubleOr("s", 5.0);
-  params.delta = static_cast<int>(args.IntOr("delta", 1));
+  params.delta = args.Int32Or("delta", 1);
   params.allow_preemption = args.HasFlag("preempt");
   // Default 0 = all hardware threads, matching the sweep subcommand.
-  const int threads = static_cast<int>(args.IntOr("threads", 0));
-  const int improve_iters = static_cast<int>(args.IntOr("improve", 0));
+  const int threads = args.Int32Or("threads", 0);
+  const int improve_iters = args.Int32Or("improve", 0);
   // Falls back to --threads so one thread flag governs both search modes.
   const int improver_threads =
-      static_cast<int>(args.IntOr("improver-threads", threads));
-  const int batch = static_cast<int>(args.IntOr("batch", 8));
+      args.Int32Or("improver-threads", threads);
+  const int batch = args.Int32Or("batch", 8);
   const GridExtent extent =
       args.HasFlag("wide") ? GridExtent::kWide : GridExtent::kCanonical;
   if (!args.ok()) {
@@ -260,9 +263,9 @@ int CmdSweep(int argc, const char* const* argv) {
   const auto problem = LoadProblem(args.positional()[0]);
   if (!problem) return 1;
   SweepOptions options;
-  options.min_width = static_cast<int>(args.IntOr("min", 8));
-  options.max_width = static_cast<int>(args.IntOr("max", 64));
-  options.threads = static_cast<int>(args.IntOr("threads", 0));
+  options.min_width = args.Int32Or("min", 8);
+  options.max_width = args.Int32Or("max", 64);
+  options.threads = args.Int32Or("threads", 0);
   const double rho = args.DoubleOr("rho", 0.5);
   if (!args.ok()) {
     std::fprintf(stderr, "%s\n", args.Error().c_str());
@@ -295,17 +298,25 @@ int CmdSweep(int argc, const char* const* argv) {
 }
 
 int CmdBatch(int argc, const char* const* argv) {
-  ArgParser args({}, {"threads", "shards", "cache-entries"});
+  // --dedup serves semantically identical request lines one evaluation
+  // (cross-request result deduplication with single-flight coordination);
+  // --result-entries bounds the result cache it fills. Batch output is
+  // bit-identical with and without it — only the STATS line can tell.
+  ArgParser args({"dedup"},
+                 {"threads", "shards", "cache-entries", "result-entries"});
   if (!args.Parse(argc, argv, 2) || args.positional().size() != 1) {
     std::fprintf(stderr, "usage: soctest_cli batch <request-file> "
-                         "[--threads N] [--shards N] [--cache-entries N]\n%s\n",
+                         "[--threads N] [--shards N] [--cache-entries N] "
+                         "[--dedup] [--result-entries N]\n%s\n",
                  args.Error().c_str());
     return 2;
   }
   BatchOptions options;
-  options.threads = static_cast<int>(args.IntOr("threads", 0));
-  options.shards = static_cast<int>(args.IntOr("shards", 4));
-  options.cache_entries = static_cast<int>(args.IntOr("cache-entries", 64));
+  options.threads = args.Int32Or("threads", 0);
+  options.shards = args.Int32Or("shards", 4);
+  options.cache_entries = args.Int32Or("cache-entries", 64);
+  options.dedup = args.HasFlag("dedup");
+  options.result_entries = args.Int32Or("result-entries", 256);
   if (!args.ok()) {
     std::fprintf(stderr, "%s\n", args.Error().c_str());
     return 2;
@@ -331,22 +342,38 @@ int CmdBatch(int argc, const char* const* argv) {
                    BatchModeName(item.mode), item.error->c_str());
       continue;
     }
-    std::printf("MAKESPAN req=%d soc=%s w=%d mode=%s cycles=%lld cache=%s\n",
+    // No cache/dedup annotations here: which request hits, misses, or joins
+    // varies with thread interleaving, and MAKESPAN lines are the output the
+    // (threads, shards, dedup) bit-identity contract covers. Work-done
+    // counters live on the STATS line below.
+    std::printf("MAKESPAN req=%d soc=%s w=%d mode=%s cycles=%lld\n",
                 item.index, item.soc_name.c_str(), item.tam_width,
                 BatchModeName(item.mode),
-                static_cast<long long>(item.makespan),
-                item.cache_hit ? "hit" : "miss");
+                static_cast<long long>(item.makespan));
   }
+  // evaluations: search/improve/sweep runs actually executed (failed ones
+  // included — both paths evaluate and report them) — with dedup on, the
+  // result-cache misses; without it, every request.
+  const long long evaluations =
+      options.dedup ? outcome.dedup.misses
+                    : static_cast<long long>(requests.size());
   std::printf("STATS bench=batch requests=%d served=%d threads=%d shards=%d "
               "cache_hits=%lld cache_misses=%lld cache_evictions=%lld "
-              "compiles=%lld entries=%d\n",
+              "cache_collisions=%lld compiles=%lld entries=%d "
+              "dedup=%d evaluations=%lld dedup_hits=%lld dedup_joins=%lld "
+              "dedup_evictions=%lld result_entries=%d\n",
               static_cast<int>(requests.size()), outcome.served,
               scheduler.threads(), scheduler.cache().shards(),
               static_cast<long long>(outcome.cache.hits),
               static_cast<long long>(outcome.cache.misses),
               static_cast<long long>(outcome.cache.evictions),
+              static_cast<long long>(outcome.cache.collisions),
               static_cast<long long>(outcome.cache.compiles),
-              outcome.cache.entries);
+              outcome.cache.entries, options.dedup ? 1 : 0, evaluations,
+              static_cast<long long>(outcome.dedup.hits),
+              static_cast<long long>(outcome.dedup.joins),
+              static_cast<long long>(outcome.dedup.evictions),
+              outcome.dedup.entries);
   return outcome.served == static_cast<int>(requests.size()) ? 0 : 1;
 }
 
@@ -358,7 +385,7 @@ int CmdLowerBound(int argc, const char* const* argv) {
   }
   const auto problem = LoadProblem(args.positional()[0]);
   if (!problem) return 1;
-  const int width = static_cast<int>(args.IntOr("width", 32));
+  const int width = args.Int32Or("width", 32);
   const auto lb = ComputeLowerBound(problem->soc, width, 64);
   std::printf("LB(W=%d) = %s cycles  (bottleneck %s via core %d, area bound "
               "%s from %s wire-cycles)\n",
@@ -380,7 +407,7 @@ int CmdAdvise(int argc, const char* const* argv) {
   if (!problem) return 1;
   AdvisorParams params;
   params.ratio_threshold = args.DoubleOr("threshold", 50.0);
-  params.max_budget = static_cast<int>(args.IntOr("max-budget", 3));
+  params.max_budget = args.Int32Or("max-budget", 3);
   TablePrinter table({"core", "T@16 (cycles)", "flush (s_i+s_o)",
                       "T/flush", "recommended budget"},
                      {Align::kLeft});
