@@ -12,6 +12,7 @@
 #include "core/validator.h"
 #include "core/wire_assign.h"
 #include "service/batch_scheduler.h"
+#include "service/core_cache.h"
 #include "soc/benchmarks.h"
 #include "soc/generator.h"
 #include "wrapper/rectangles.h"
@@ -77,13 +78,44 @@ const TestProblem& Generated64() {
 }
 
 // The compile stage on its own: what every restart historically re-paid.
+// Arg 0 compiles the whole SOC cold. Arg 1 is the incremental path a
+// near-duplicate takes through the core-artifact cache: each iteration edits
+// a different core of the (resident) base SOC, so the variant fetches 63
+// cached cores, compiles the one edited core, and assembles. The artifacts
+// are bit-identical either way; the delta is ~the cost of 63 core compiles.
 void BM_CompiledProblemBuild(benchmark::State& state) {
   const TestProblem& problem = Generated64();
+  if (state.range(0) == 0) {
+    for (auto _ : state) {
+      benchmark::DoNotOptimize(CompiledProblem(problem));
+    }
+    return;
+  }
+  CoreArtifactCache cache(CoreArtifactCache::Options{4, 4096});
+  for (const auto& core : problem.soc.cores()) {
+    cache.GetOrCompile(core, kDefaultWMax);  // warm: the base SOC is resident
+  }
+  int edit = 0;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(CompiledProblem(problem));
+    Soc variant_soc = problem.soc;
+    CoreSpec& edited = variant_soc.mutable_core(
+        static_cast<CoreId>(edit % variant_soc.num_cores()));
+    edited.num_patterns += 1 + edit;  // a never-before-seen core each time
+    const TestProblem variant = TestProblem::FromSoc(variant_soc);
+    std::vector<CompiledCorePtr> cores;
+    cores.reserve(static_cast<std::size_t>(variant.soc.num_cores()));
+    for (const auto& core : variant.soc.cores()) {
+      cores.push_back(cache.GetOrCompile(core, kDefaultWMax));
+    }
+    benchmark::DoNotOptimize(
+        CompiledProblem(variant, kDefaultWMax, std::move(cores)));
+    ++edit;
   }
 }
-BENCHMARK(BM_CompiledProblemBuild)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_CompiledProblemBuild)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
 
 // One scheduler run against pre-compiled artifacts. Compare against
 // BM_OptimizeSoc/64 (which compiles per call) for the compile-once win.
@@ -293,6 +325,81 @@ void BM_BatchServe(benchmark::State& state) {
 BENCHMARK(BM_BatchServe)
     ->Arg(1)
     ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+// Variant-heavy traffic — the workload the core-artifact cache exists for:
+// 64 requests over a 64-core base SOC and 63 near-duplicates, each editing
+// one core's pattern count. Every request misses the whole-SOC cache (all 64
+// SOCs are distinct), so arg 0 (core cache off) pays 64 full compiles where
+// arg 1 (core cache on) pays 64 base-core compiles once plus one edited core
+// per variant. MAKESPAN totals must be bit-identical between the two — the
+// cache changes how compilation is paid for, never what it produces.
+void BM_BatchServeVariants(benchmark::State& state) {
+  static const std::vector<BatchRequest> requests = [] {
+    GeneratorParams gen;
+    gen.seed = 99;
+    gen.num_cores = 64;
+    const Soc base = GenerateSoc(gen);
+    std::vector<BatchRequest> list;
+    for (int v = 0; v < 64; ++v) {
+      ParsedSoc parsed;
+      parsed.soc = base;
+      parsed.soc.set_name(base.name() + "_v" + std::to_string(v));
+      if (v > 0) {
+        // 7 is coprime with 64: every variant edits a different core, and
+        // the distinct offsets make every edited core new to the cache.
+        CoreSpec& edited = parsed.soc.mutable_core(
+            static_cast<CoreId>((v * 7) % base.num_cores()));
+        edited.num_patterns += v;
+      }
+      BatchRequest req;
+      req.soc_spec = parsed.soc.name();
+      req.soc = std::move(parsed);
+      req.tam_width = 32;
+      req.mode = BatchMode::kSchedule;
+      list.push_back(std::move(req));
+    }
+    return list;
+  }();
+
+  BatchOptions options;
+  options.threads = 8;
+  options.shards = 4;
+  options.cache_entries = 64;
+  options.core_cache_entries = state.range(0) == 1 ? 4096 : 0;
+  BatchOutcome last;
+  for (auto _ : state) {
+    BatchScheduler scheduler(options);  // cold caches per iteration
+    last = scheduler.Run(requests);
+    benchmark::DoNotOptimize(last);
+  }
+  state.counters["compiles"] = static_cast<double>(last.cache.compiles);
+  state.counters["core_compiles"] = static_cast<double>(last.core.compiles);
+  long long total = 0;
+  for (const BatchItemResult& item : last.results) {
+    if (item.ok()) total += static_cast<long long>(item.makespan);
+  }
+  std::printf("MAKESPAN soc=gen64vars w=32 mode=batch core_cache=%d "
+              "cycles=%lld\n",
+              static_cast<int>(state.range(0)), total);
+  std::printf("STATS bench=batch_variants core_cache=%d requests=%d "
+              "served=%d compiles=%lld core_hits=%lld core_misses=%lld "
+              "core_evictions=%lld core_collisions=%lld core_compiles=%lld "
+              "core_entries=%d\n",
+              static_cast<int>(state.range(0)),
+              static_cast<int>(last.results.size()), last.served,
+              static_cast<long long>(last.cache.compiles),
+              static_cast<long long>(last.core.hits),
+              static_cast<long long>(last.core.misses),
+              static_cast<long long>(last.core.evictions),
+              static_cast<long long>(last.core.collisions),
+              static_cast<long long>(last.core.compiles),
+              last.core.entries);
+}
+BENCHMARK(BM_BatchServeVariants)
+    ->Arg(0)
+    ->Arg(1)
     ->Unit(benchmark::kMillisecond)
     ->Iterations(1);
 

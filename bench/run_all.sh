@@ -7,9 +7,12 @@
 # lines (B&B node counts, improver acceptance rates, restart counts) are
 # parsed the same way into a "stats" array (B&B node counts, improver
 # acceptance rates, the batch-serving layer's cache hit/miss/eviction and
-# requests-served counters from BM_BatchServe, and the cross-request
-# dedup evaluations/hits/joins counters from BM_BatchDedup); CI uploads
-# bench_results/ as an artifact so the perf trajectory is visible per PR.
+# requests-served counters from BM_BatchServe, the cross-request dedup
+# evaluations/hits/joins counters from BM_BatchDedup, the core-artifact
+# cache core_hits/core_misses/core_compiles counters from the variant-heavy
+# BM_BatchServeVariants, and multisite_ate's batch-optimal width and batch
+# cost per SOC); CI uploads bench_results/ as an artifact so the perf
+# trajectory is visible per PR.
 #
 # Usage: bench/run_all.sh [build-dir]   (default: build)
 set -eu

@@ -1,0 +1,12 @@
+#include "core/compiled_core.h"
+
+namespace soctest {
+
+CompiledCore::CompiledCore(const CoreSpec& core, int w_max)
+    // TimeCurve runs DesignWrapper per width; the from-curve RectangleSet
+    // constructor then derives the Pareto points without re-designing —
+    // identical artifacts to RectangleSet(core, w_max, w_max), minus the
+    // spec's core id (kNoCore keeps the artifact position-free).
+    : w_max_(w_max), rect_(kNoCore, TimeCurve(core, w_max), w_max) {}
+
+}  // namespace soctest

@@ -1,0 +1,64 @@
+// CompiledCore — one core's immutable compiled wrapper artifacts, as an
+// independently shareable unit.
+//
+// Everything the scheduler ever reads about a single core — the time curve
+// T(w) with its recorded scan-flush lengths, the Pareto points, the
+// rectangle set clipped to w_max, the max useful width — is a pure function
+// of (CoreSpec wrapper fields, w_max); see soc/core_hash.h for the exact
+// field contract. CompiledCore packages that unit so a CompiledProblem is
+// ASSEMBLED from per-core artifacts instead of owning them: near-duplicate
+// SOCs (one core swapped, everything else identical) share N-1 of their N
+// artifacts through the core-artifact cache (service/core_cache.h), and a
+// variant compile pays for one core instead of the whole SOC.
+//
+// A CompiledCore is self-contained — it copies what it needs from the
+// CoreSpec and holds no references — so a handout survives both the spec it
+// was compiled from and any cache eviction. It is immutable after
+// construction and safe to share across threads and across CompiledProblems
+// without synchronization.
+//
+// Position independence: the artifact must serve core index 3 of one SOC
+// and index 7 of another, so its RectangleSet carries core_id == kNoCore.
+// CompiledProblem::RectsFor() re-attaches the per-problem core ids when it
+// materializes the clipped sets the scheduler packs.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "soc/core_spec.h"
+#include "wrapper/rectangles.h"
+
+namespace soctest {
+
+class CompiledCore {
+ public:
+  // Runs wrapper design at every width in [1, w_max] (the expensive step a
+  // cache hit skips). Requires w_max >= 1 and a valid CoreSpec — callers
+  // validate the SOC before compiling (CompiledProblem's constructors do).
+  CompiledCore(const CoreSpec& core, int w_max);
+
+  int w_max() const { return w_max_; }
+
+  // The artifact set, clipped only by w_max (core_id == kNoCore; see above).
+  const RectangleSet& rect() const { return rect_; }
+  const TimeCurve& curve() const { return rect_.curve(); }
+  const std::vector<ParetoPoint>& pareto() const { return rect_.pareto(); }
+
+  // Highest width worth wiring (top Pareto width at w_max).
+  int max_useful_width() const { return rect_.MaxWidth(); }
+
+  // (s_i + s_o) scan flush/reload cost at `width` — the per-preemption
+  // penalty. O(1): recorded during curve evaluation.
+  Time FlushPenalty(int width) const {
+    return rect_.curve().FlushAt(width < 1 ? 1 : width);
+  }
+
+ private:
+  int w_max_ = 0;
+  RectangleSet rect_;
+};
+
+using CompiledCorePtr = std::shared_ptr<const CompiledCore>;
+
+}  // namespace soctest

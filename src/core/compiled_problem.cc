@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <utility>
 
 namespace soctest {
 
@@ -12,38 +13,63 @@ std::uint64_t NextCompilationId() {
 }
 }  // namespace
 
-CompiledProblem::CompiledProblem(const TestProblem& problem, int w_max)
-    : problem_(&problem), w_max_(w_max), id_(NextCompilationId()) {
+bool CompiledProblem::ValidateInputs() {
   if (w_max_ < 1) {
     error_ = "w_max must be >= 1";
-    return;
+    return false;
   }
-  if (auto invalid = problem.soc.Validate()) {
+  if (auto invalid = problem_->soc.Validate()) {
     error_ = *invalid;
-    return;
+    return false;
   }
-  rects_.reserve(static_cast<std::size_t>(problem.soc.num_cores()));
+  return true;
+}
+
+CompiledProblem::CompiledProblem(const TestProblem& problem, int w_max)
+    : problem_(&problem), w_max_(w_max), id_(NextCompilationId()) {
+  if (!ValidateInputs()) return;
+  cores_.reserve(static_cast<std::size_t>(problem.soc.num_cores()));
   for (const auto& core : problem.soc.cores()) {
     // Clip only by w_max here: the compiled artifacts must serve every SOC
     // TAM width, so the per-width clipping happens in RectsFor.
-    rects_.emplace_back(core, w_max_, w_max_);
+    cores_.push_back(std::make_shared<const CompiledCore>(core, w_max_));
   }
+}
+
+CompiledProblem::CompiledProblem(const TestProblem& problem, int w_max,
+                                 std::vector<CompiledCorePtr> cores)
+    : problem_(&problem), w_max_(w_max), id_(NextCompilationId()) {
+  if (!ValidateInputs()) return;
+  if (static_cast<int>(cores.size()) != problem.soc.num_cores()) {
+    error_ = "assembly core count does not match the SOC";
+    return;
+  }
+  for (const CompiledCorePtr& core : cores) {
+    if (core == nullptr || core->w_max() != w_max_) {
+      error_ = "assembly core artifact missing or compiled at another w_max";
+      return;
+    }
+  }
+  cores_ = std::move(cores);
 }
 
 std::vector<RectangleSet> CompiledProblem::RectsFor(int tam_width) const {
   std::vector<RectangleSet> out;
-  out.reserve(rects_.size());
-  for (const auto& rect : rects_) {
-    out.emplace_back(rect.core_id(), rect.curve(), tam_width);
+  out.reserve(cores_.size());
+  for (std::size_t i = 0; i < cores_.size(); ++i) {
+    // The shared artifacts are position-free; the per-problem core id (==
+    // index, the Soc::AddCore invariant) is attached here.
+    out.emplace_back(static_cast<CoreId>(i), cores_[i]->curve(), tam_width);
   }
   return out;
 }
 
 SocBounds CompiledProblem::Bounds(int tam_width) const {
   SocBounds out;
-  for (const auto& rect : rects_) {
+  for (const CompiledCorePtr& core : cores_) {
     // Same clipping rule as the rectangle sets the scheduler packs
     // (RectsFor): RectangleSet owns the clipped min-time/min-area math.
+    const RectangleSet& rect = core->rect();
     out.bottleneck_time = std::max(out.bottleneck_time,
                                    rect.MinTimeAtMost(tam_width));
     out.total_min_area += rect.MinAreaAtMost(tam_width);

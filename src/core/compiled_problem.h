@@ -14,6 +14,16 @@
 //                                        flush penalties, SOC bounds }
 //   search/schedule (N) CompiledProblem + OptimizerParams -> Schedule
 //
+// The per-core artifacts themselves are CompiledCore values
+// (core/compiled_core.h) held by shared_ptr: a CompiledProblem is an
+// ASSEMBLY of per-core units plus cheap SOC-level aggregation, not a
+// monolith. The compiling constructor builds every unit fresh; the assembly
+// constructor accepts pre-built (typically cached — service/core_cache.h)
+// units, which is what makes a near-duplicate SOC compile ~1/N of the cost:
+// N-1 cores come from the shared artifact cache and only the edited core
+// runs wrapper design. Both paths produce bit-identical artifacts, because
+// core compilation is a deterministic function of (core spec, w_max).
+//
 // Everything here is immutable after construction and safe to share across
 // threads without synchronization (see search/driver.h), which is what makes
 // the parallel restart grid possible. The compiled artifacts are evaluated up
@@ -22,14 +32,17 @@
 // compiled curves to a concrete bin height without re-running wrapper design.
 //
 // Lifetime: CompiledProblem stores a reference to the TestProblem; the
-// problem must outlive it (same convention as TamScheduleOptimizer).
+// problem must outlive it (same convention as TamScheduleOptimizer). The
+// CompiledCores are co-owned and outlive any cache they came from.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "core/compiled_core.h"
 #include "core/problem.h"
 #include "wrapper/rectangles.h"
 
@@ -69,9 +82,19 @@ class CompiledProblem {
   explicit CompiledProblem(const TestProblem& problem,
                            int w_max = kDefaultWMax);
 
+  // Assembles from pre-built per-core artifacts: cores[i] must be the
+  // compiled artifacts of problem.soc.cores()[i] at this same `w_max` (the
+  // core-artifact cache guarantees it by keying on content — see
+  // service/core_cache.h). Validation matches the compiling constructor; a
+  // malformed handoff (size or w_max mismatch, null unit) is reported
+  // through error() rather than trusted. Deterministic compilation makes
+  // the two constructors indistinguishable downstream.
+  CompiledProblem(const TestProblem& problem, int w_max,
+                  std::vector<CompiledCorePtr> cores);
+
   const TestProblem& problem() const { return *problem_; }
   int w_max() const { return w_max_; }
-  int num_cores() const { return static_cast<int>(rects_.size()); }
+  int num_cores() const { return static_cast<int>(cores_.size()); }
 
   // Process-unique identity of this compilation (monotonic, never reused).
   // Caches keyed on a CompiledProblem (e.g. ScheduleWorkspace's clipped
@@ -83,24 +106,27 @@ class CompiledProblem {
   const std::optional<std::string>& error() const { return error_; }
 
   // Per-core artifacts (valid only when ok()).
-  const TimeCurve& curve(CoreId c) const {
-    return rects_[static_cast<std::size_t>(c)].curve();
-  }
+  const TimeCurve& curve(CoreId c) const { return unit(c).curve(); }
   const std::vector<ParetoPoint>& pareto(CoreId c) const {
-    return rects_[static_cast<std::size_t>(c)].pareto();
+    return unit(c).pareto();
   }
-  const RectangleSet& rect(CoreId c) const {
-    return rects_[static_cast<std::size_t>(c)];
+  // Clipped only by w_max; core_id() is kNoCore (artifacts are shared across
+  // problems and carry no position — RectsFor() attaches the real ids).
+  const RectangleSet& rect(CoreId c) const { return unit(c).rect(); }
+
+  // The shareable per-core unit itself (e.g. to seed another assembly).
+  const CompiledCorePtr& core_artifact(CoreId c) const {
+    return cores_[static_cast<std::size_t>(c)];
   }
 
   // Highest width worth wiring to core c (its top Pareto width at w_max);
   // assigning more wires cannot reduce its test time.
-  int max_useful_width(CoreId c) const { return rect(c).MaxWidth(); }
+  int max_useful_width(CoreId c) const { return unit(c).max_useful_width(); }
 
   // (s_i + s_o) scan flush/reload cost of core c's wrapper at `width` — the
   // per-preemption penalty. O(1): recorded during compilation.
   Time FlushPenalty(CoreId c, int width) const {
-    return curve(c).FlushAt(width < 1 ? 1 : width);
+    return unit(c).FlushPenalty(width);
   }
 
   // Rectangle sets clipped to a concrete SOC TAM width. Cheap: copies the
@@ -111,11 +137,19 @@ class CompiledProblem {
   SocBounds Bounds(int tam_width) const;
 
  private:
+  const CompiledCore& unit(CoreId c) const {
+    return *cores_[static_cast<std::size_t>(c)];
+  }
+
+  // Shared validation; returns false (with error_ set) when no artifacts
+  // may be built.
+  bool ValidateInputs();
+
   const TestProblem* problem_;
   int w_max_ = 0;
   std::uint64_t id_ = 0;
   std::optional<std::string> error_;
-  std::vector<RectangleSet> rects_;  // clipped only by w_max
+  std::vector<CompiledCorePtr> cores_;  // [i] compiled from soc.cores()[i]
 };
 
 }  // namespace soctest

@@ -11,7 +11,8 @@ namespace soctest {
 BatchScheduler::BatchScheduler(const BatchOptions& options)
     : options_(options),
       cache_(CompiledProblemCache::Options{options.shards,
-                                           options.cache_entries}),
+                                           options.cache_entries,
+                                           options.core_cache_entries}),
       results_(ResultCache::Options{options.shards, options.result_entries}),
       pool_(options.threads),
       workspaces_(pool_) {}
@@ -148,6 +149,7 @@ BatchOutcome BatchScheduler::Run(const std::vector<BatchRequest>& requests) {
   }
   outcome.cache = cache_.stats();
   outcome.dedup = results_.stats();
+  outcome.core = cache_.core_stats();
   return outcome;
 }
 

@@ -57,12 +57,20 @@ struct BatchOptions {
   // no repetition pays the canonical-key formatting for nothing.
   bool dedup = false;
   int result_entries = 256;  // total ResultCache capacity across shards
+
+  // Per-core artifact cache layered under the compiled-problem cache
+  // (service/core_cache.h): a whole-SOC miss fetches or compiles each core
+  // individually, so near-duplicate SOCs compile ~1/N of the cost. On by
+  // default — core compilation is deterministic, so results are bit-identical
+  // with the cache on, off, or at any capacity. 0 disables.
+  int core_cache_entries = 4096;
 };
 
 struct BatchOutcome {
   std::vector<BatchItemResult> results;  // results[i] answers requests[i]
   CacheStats cache;                      // cumulative across Run() calls
   ResultCacheStats dedup;                // all-zero when options.dedup is off
+  CoreCacheStats core;                   // all-zero when the core cache is off
   int served = 0;                        // results with ok()
 };
 

@@ -1,0 +1,115 @@
+#include "service/core_cache.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace soctest {
+namespace {
+
+// Test hook for KeyHash; see SetKeyHashHookForTest.
+CoreHash128 (*g_key_hash_hook)(const std::string&, int) = nullptr;
+
+}  // namespace
+
+void CoreArtifactCache::SetKeyHashHookForTest(
+    CoreHash128 (*hook)(const std::string&, int)) {
+  g_key_hash_hook = hook;
+}
+
+CoreArtifactCache::CoreArtifactCache(const Options& options) {
+  const int capacity = std::max(1, options.capacity);
+  // The capacity is a hard bound on resident entries, so distribute it by
+  // floor (and never spin up more shards than entries): shards * per-shard
+  // <= capacity always holds.
+  const int shards = std::min(std::max(1, options.shards), capacity);
+  capacity_per_shard_ = std::max(1, capacity / shards);
+  shards_.reserve(static_cast<std::size_t>(shards));
+  for (int i = 0; i < shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+std::string CoreArtifactCache::CanonicalKey(const CoreSpec& core) {
+  return CanonicalCoreText(core);
+}
+
+CoreHash128 CoreArtifactCache::KeyHash(const std::string& canonical,
+                                       int w_max) {
+  if (g_key_hash_hook != nullptr) return g_key_hash_hook(canonical, w_max);
+  return CoreContentHash(canonical, w_max);
+}
+
+CompiledCorePtr CoreArtifactCache::GetOrCompile(const CoreSpec& core,
+                                                int w_max, bool* was_hit) {
+  std::string canonical = CanonicalKey(core);
+  const CoreHash128 hash = KeyHash(canonical, w_max);
+  Shard& shard = *shards_[hash.lo % shards_.size()];
+
+  const auto matches = [&](const Entry& e) {
+    return e.w_max == w_max && e.canonical == canonical;
+  };
+
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    const auto it = shard.index.find(hash);
+    if (it != shard.index.end() && matches(*it->second)) {
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      ++shard.hits;
+      if (was_hit != nullptr) *was_hit = true;
+      return shard.lru.front().core;
+    }
+  }
+
+  // Miss: compile outside the lock so other cores keep flowing — this is
+  // the expensive step (one wrapper design per width up to w_max). (The
+  // canonical text moves into the entry; compare via entry.canonical below.)
+  Entry entry;
+  entry.canonical = std::move(canonical);
+  entry.w_max = w_max;
+  entry.core = std::make_shared<const CompiledCore>(core, w_max);
+
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  ++shard.misses;
+  ++shard.compiles;
+  if (was_hit != nullptr) *was_hit = false;
+  const auto it = shard.index.find(hash);
+  if (it != shard.index.end()) {
+    if (it->second->w_max == w_max &&
+        it->second->canonical == entry.canonical) {
+      // Lost a same-key race: adopt the winner's entry, drop ours.
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      return shard.lru.front().core;
+    }
+    // 128-bit hash collision between different keys: the newcomer replaces
+    // the squatter (the index holds one entry per hash). Counted apart from
+    // capacity evictions — growing the cache cannot fix a collision.
+    shard.lru.erase(it->second);
+    shard.index.erase(it);
+    ++shard.collisions;
+  }
+  shard.lru.push_front(std::move(entry));
+  shard.index[hash] = shard.lru.begin();
+  while (static_cast<int>(shard.lru.size()) > capacity_per_shard_) {
+    const Entry& victim = shard.lru.back();
+    shard.index.erase(KeyHash(victim.canonical, victim.w_max));
+    shard.lru.pop_back();
+    ++shard.evictions;
+  }
+  return shard.lru.front().core;
+}
+
+CoreCacheStats CoreArtifactCache::stats() const {
+  CoreCacheStats out;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    out.hits += shard->hits;
+    out.misses += shard->misses;
+    out.evictions += shard->evictions;
+    out.collisions += shard->collisions;
+    out.compiles += shard->compiles;
+    out.entries += static_cast<int>(shard->lru.size());
+  }
+  return out;
+}
+
+}  // namespace soctest

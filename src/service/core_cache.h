@@ -1,0 +1,132 @@
+// CoreArtifactCache — a sharded, LRU-bounded cache of per-core compiled
+// wrapper artifacts (core/compiled_core.h), shared across SOC compilations.
+//
+// Production traffic is dominated by VARIANTS: the same SOC with one core
+// swapped, a tweaked power cap, a different w_max. The compiled-problem
+// cache (service/problem_cache.h) keys on the whole-SOC content hash, so
+// any one-core edit misses it and — without this layer — recompiles all N
+// cores. Because every per-core artifact is a pure function of (core
+// wrapper fields, w_max) (the soc/core_hash.h contract), this cache makes a
+// variant compile cost ~1/N: N-1 cores are fetched, one is compiled.
+//
+// The contracts match CompiledProblemCache's, one level down:
+//
+//   * Keyed by content, not provenance: the key is the per-core canonical
+//     text (CanonicalCoreText — wrapper fields only, never the core's name,
+//     SOC, or position) paired with w_max; routing and indexing use the
+//     128-bit content hash (CoreContentHash), so distinct cores essentially
+//     never share an index slot. Lookup still compares the canonical text
+//     exactly — even a forced 128-bit collision (SetKeyHashHookForTest) can
+//     displace an entry but never serve the wrong artifacts.
+//   * Sharded: entries are distributed over N independently locked shards
+//     by hash, so one SOC's cores compile without contending on one mutex.
+//     Shard count shapes contention only — never results.
+//   * LRU-bounded per shard: each shard holds at most floor(capacity /
+//     shards) entries (minimum 1; the shard count clamps to the capacity),
+//     so the total resident count never exceeds Options::capacity.
+//   * Eviction-safe handout: a CompiledCore is self-contained (no external
+//     references), so the shared_ptr handout trivially outlives eviction —
+//     and every CompiledProblem assembled from it co-owns it.
+//   * Same-key races adopt the winner: on a miss the compile runs outside
+//     the shard lock; two racing requesters for one core may both compile,
+//     and the loser adopts the winner's entry (both count as misses — the
+//     stats describe work done, not an interleaving-independent quantity;
+//     results are interleaving-independent regardless, because core
+//     compilation is deterministic).
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/compiled_core.h"
+#include "soc/core_hash.h"
+#include "soc/core_spec.h"
+
+namespace soctest {
+
+// Point-in-time counters, aggregated over all shards.
+struct CoreCacheStats {
+  std::int64_t hits = 0;
+  std::int64_t misses = 0;     // lookups that compiled (includes lost races)
+  std::int64_t evictions = 0;  // entries dropped by the LRU capacity bound
+  std::int64_t collisions = 0; // distinct keys displaced by a 128-bit hash
+                               // collision (not a capacity signal: two hot
+                               // colliding keys thrash at any capacity)
+  std::int64_t compiles = 0;   // CompiledCores actually built
+  int entries = 0;             // currently resident
+};
+
+class CoreArtifactCache {
+ public:
+  struct Options {
+    int shards = 4;       // < 1 clamps to 1; > capacity clamps to capacity
+    int capacity = 4096;  // hard total entry bound across shards; < 1 clamps
+  };
+
+  explicit CoreArtifactCache(const Options& options);
+
+  CoreArtifactCache(const CoreArtifactCache&) = delete;
+  CoreArtifactCache& operator=(const CoreArtifactCache&) = delete;
+
+  // The canonical cache identity of a core: its compile-relevant fields
+  // only (soc/core_hash.h).
+  static std::string CanonicalKey(const CoreSpec& core);
+
+  // 128-bit content hash of (canonical, w_max): shard router and index key.
+  static CoreHash128 KeyHash(const std::string& canonical, int w_max);
+
+  // Test-only: overrides KeyHash (pass nullptr to restore) so suites can
+  // force 128-bit hash collisions between distinct cores. Not safe to flip
+  // while other threads are inside GetOrCompile.
+  static void SetKeyHashHookForTest(CoreHash128 (*hook)(const std::string&,
+                                                        int));
+
+  // Returns the compiled artifacts for `core` at `w_max`, compiling and
+  // inserting on a miss. The returned pointer stays valid for the caller's
+  // lifetime regardless of later evictions. `was_hit`, when non-null,
+  // reports whether this lookup was served from cache. Requires a valid
+  // core spec and w_max >= 1 (callers validate the SOC before compiling).
+  CompiledCorePtr GetOrCompile(const CoreSpec& core, int w_max,
+                               bool* was_hit = nullptr);
+
+  CoreCacheStats stats() const;
+  int shards() const { return static_cast<int>(shards_.size()); }
+  int capacity_per_shard() const { return capacity_per_shard_; }
+
+ private:
+  struct Entry {
+    std::string canonical;
+    int w_max = 0;
+    CompiledCorePtr core;
+  };
+
+  struct Shard {
+    mutable std::mutex mutex;
+    // Front = most recently used. The map indexes the list by the 128-bit
+    // content hash; a collision falls back to comparing (canonical, w_max)
+    // exactly.
+    std::list<Entry> lru;
+    struct Hash128Hasher {
+      std::size_t operator()(const CoreHash128& h) const {
+        return static_cast<std::size_t>(h.lo);
+      }
+    };
+    std::unordered_map<CoreHash128, std::list<Entry>::iterator, Hash128Hasher>
+        index;
+    std::int64_t hits = 0;
+    std::int64_t misses = 0;
+    std::int64_t evictions = 0;
+    std::int64_t collisions = 0;
+    std::int64_t compiles = 0;
+  };
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  int capacity_per_shard_ = 1;
+};
+
+}  // namespace soctest

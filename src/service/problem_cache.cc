@@ -28,6 +28,10 @@ CompiledProblemCache::CompiledProblemCache(const Options& options) {
   for (int i = 0; i < shards; ++i) {
     shards_.push_back(std::make_unique<Shard>());
   }
+  if (options.core_entries > 0) {
+    core_cache_ = std::make_unique<CoreArtifactCache>(
+        CoreArtifactCache::Options{options.shards, options.core_entries});
+  }
 }
 
 std::string CompiledProblemCache::CanonicalKey(const ParsedSoc& parsed) {
@@ -52,13 +56,29 @@ std::uint64_t CompiledProblemCache::KeyHash(const std::string& canonical,
 }
 
 std::shared_ptr<CompiledProblemCache::Entry> CompiledProblemCache::Compile(
-    const ParsedSoc& parsed, std::string canonical, int w_max) {
+    const ParsedSoc& parsed, std::string canonical, int w_max) const {
   auto entry = std::make_shared<Entry>();
   entry->canonical = std::move(canonical);
   entry->w_max = w_max;
   entry->problem = TestProblem::FromParsed(parsed);
   // Built only after `problem` has its final address inside the entry.
-  entry->compiled = std::make_unique<CompiledProblem>(entry->problem, w_max);
+  // Incremental path: fetch each core's artifacts from the core cache and
+  // assemble. Guarded on the same validation the compiling constructor runs,
+  // so an invalid spec takes the monolithic path (which records the error)
+  // and never pollutes the core cache.
+  if (core_cache_ != nullptr && w_max >= 1 &&
+      !entry->problem.soc.Validate().has_value()) {
+    std::vector<CompiledCorePtr> cores;
+    cores.reserve(
+        static_cast<std::size_t>(entry->problem.soc.num_cores()));
+    for (const auto& core : entry->problem.soc.cores()) {
+      cores.push_back(core_cache_->GetOrCompile(core, w_max));
+    }
+    entry->compiled = std::make_unique<CompiledProblem>(entry->problem, w_max,
+                                                        std::move(cores));
+  } else {
+    entry->compiled = std::make_unique<CompiledProblem>(entry->problem, w_max);
+  }
   return entry;
 }
 
@@ -135,6 +155,11 @@ CacheStats CompiledProblemCache::stats() const {
     out.entries += static_cast<int>(shard->lru.size());
   }
   return out;
+}
+
+CoreCacheStats CompiledProblemCache::core_stats() const {
+  if (core_cache_ == nullptr) return CoreCacheStats{};
+  return core_cache_->stats();
 }
 
 }  // namespace soctest

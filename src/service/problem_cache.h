@@ -31,6 +31,15 @@
 // key may both compile, and the loser adopts the winner's entry (both count
 // as misses — the stats describe work done, not an interleaving-independent
 // quantity; results are interleaving-independent regardless).
+//
+// Incremental compilation: with Options::core_entries > 0 the cache layers a
+// CoreArtifactCache (service/core_cache.h) UNDER itself — a whole-SOC miss
+// fetches or compiles each core's artifacts individually and assembles the
+// CompiledProblem from them, so a near-duplicate SOC (one core edited) pays
+// one core's wrapper design instead of N. Core compilation is deterministic,
+// so the assembled problem is bit-identical to a monolithic compile and
+// nothing above this layer (BatchScheduler, ResultCache, the (threads,
+// shards, dedup) bit-identity contract) can tell the difference.
 #pragma once
 
 #include <cstdint>
@@ -43,6 +52,7 @@
 
 #include "core/compiled_problem.h"
 #include "core/problem.h"
+#include "service/core_cache.h"
 #include "soc/soc_parser.h"
 
 namespace soctest {
@@ -64,6 +74,10 @@ class CompiledProblemCache {
   struct Options {
     int shards = 4;     // < 1 clamps to 1; > capacity clamps to capacity
     int capacity = 64;  // hard total entry bound across shards; < 1 clamps to 1
+    // Capacity of the per-core artifact cache layered under this one
+    // (service/core_cache.h); 0 disables it, making every whole-SOC miss a
+    // monolithic compile. Either way the compiled artifacts are bit-identical.
+    int core_entries = 0;
   };
 
   explicit CompiledProblemCache(const Options& options);
@@ -106,6 +120,12 @@ class CompiledProblemCache {
   int shards() const { return static_cast<int>(shards_.size()); }
   int capacity_per_shard() const { return capacity_per_shard_; }
 
+  // The per-core artifact cache, or nullptr when Options::core_entries == 0.
+  const CoreArtifactCache* core_cache() const { return core_cache_.get(); }
+
+  // Core-level counters; all zeros when the core cache is disabled.
+  CoreCacheStats core_stats() const;
+
  private:
   // One cached compilation. `problem` must never move after `compiled` is
   // built (the CompiledProblem holds a reference into it), which the
@@ -132,11 +152,15 @@ class CompiledProblemCache {
     std::int64_t compiles = 0;
   };
 
-  static std::shared_ptr<Entry> Compile(const ParsedSoc& parsed,
-                                        std::string canonical, int w_max);
+  // Builds a cache entry, compiling the SOC. With the core cache enabled and
+  // a valid (soc, w_max), fetches each core's artifacts from it and uses the
+  // assembly constructor; otherwise compiles monolithically.
+  std::shared_ptr<Entry> Compile(const ParsedSoc& parsed,
+                                 std::string canonical, int w_max) const;
 
   std::vector<std::unique_ptr<Shard>> shards_;
   int capacity_per_shard_ = 1;
+  std::unique_ptr<CoreArtifactCache> core_cache_;
 };
 
 }  // namespace soctest

@@ -1,0 +1,46 @@
+#include "soc/core_hash.h"
+
+#include "util/strings.h"
+
+namespace soctest {
+namespace {
+
+// FNV-1a over the canonical text, then the four w_max bytes — the same
+// mixing discipline as CompiledProblemCache::KeyHash, with a caller-chosen
+// offset basis so two seeds yield independent 64-bit digests.
+std::uint64_t Fnv1a(const std::string& text, int w_max, std::uint64_t basis) {
+  std::uint64_t h = basis;
+  const auto mix = [&h](unsigned char byte) {
+    h ^= byte;
+    h *= 1099511628211ull;
+  };
+  for (const char c : text) mix(static_cast<unsigned char>(c));
+  for (int i = 0; i < 4; ++i) {
+    mix(static_cast<unsigned char>((static_cast<unsigned>(w_max) >> (8 * i)) &
+                                   0xff));
+  }
+  return h;
+}
+
+}  // namespace
+
+std::string CanonicalCoreText(const CoreSpec& core) {
+  std::string out =
+      StrFormat("io %d %d %d\npatterns %lld\nchains", core.num_inputs,
+                core.num_outputs, core.num_bidirs,
+                static_cast<long long>(core.num_patterns));
+  for (const int len : core.scan_chain_lengths) out += StrFormat(" %d", len);
+  out += '\n';
+  return out;
+}
+
+CoreHash128 CoreContentHash(const std::string& canonical, int w_max) {
+  return {Fnv1a(canonical, w_max, 14695981039346656037ull),
+          Fnv1a(canonical, w_max, 0x9e3779b97f4a7c15ull)};
+}
+
+CoreHash128 CoreContentHash(const CoreSpec& core, int w_max) {
+  return CoreContentHash(CanonicalCoreText(core), w_max);
+}
+
+}  // namespace soctest

@@ -1,0 +1,56 @@
+// Canonical per-core serialization + 128-bit content hash — the cache
+// identity of one core's COMPILED wrapper artifacts (core/compiled_core.h)
+// in the core-artifact cache (service/core_cache.h).
+//
+// The wrapper pipeline consumes only a core's functional terminal counts,
+// pattern count, and internal scan-chain lengths (wrapper/wrapper_design.h):
+// the time curve T(w), scan-flush lengths, Pareto points, and rectangle set
+// are pure functions of those fields plus the evaluation bound w_max. The
+// canonical text therefore covers EXACTLY those fields — never the core's
+// name, id, power, hierarchy parent, resource ids, or preemption budget,
+// which shape scheduling but not the compiled artifacts. Consequences, both
+// intentional:
+//
+//   * two cores agreeing on the canonical text share compiled artifacts
+//     byte-for-byte, regardless of which SOC they appear in, their position
+//     within it, or what they are called — this is what makes a one-core SOC
+//     edit compile ~1/N of the whole-SOC cost;
+//   * an edit touching only scheduling attributes (power cap, priority,
+//     preemption budget, hierarchy) keeps the core's artifacts cached.
+//
+// Scan-chain ORDER is part of the identity: wrapper design is only known to
+// be deterministic for a fixed input order, so two cores listing the same
+// lengths in different orders conservatively hash apart.
+//
+// The 128-bit hash is two independently seeded 64-bit FNV-1a digests of
+// (canonical text, w_max) — the same construction as the result cache's SOC
+// content hash (service/result_cache.h). The artifact cache still compares
+// canonical texts exactly on lookup, so even a full 128-bit collision can
+// displace an entry but never serve the wrong artifacts.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "soc/core_spec.h"
+
+namespace soctest {
+
+struct CoreHash128 {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+
+  bool operator==(const CoreHash128&) const = default;
+};
+
+// The canonical compile-identity text of `core`: terminals, patterns, and
+// scan chains only (see the contract above). Stable across releases only in
+// the sense that equal texts mean equal artifacts — it is a cache key, not a
+// file format.
+std::string CanonicalCoreText(const CoreSpec& core);
+
+// 128-bit content hash of (canonical text, w_max).
+CoreHash128 CoreContentHash(const std::string& canonical, int w_max);
+CoreHash128 CoreContentHash(const CoreSpec& core, int w_max);
+
+}  // namespace soctest

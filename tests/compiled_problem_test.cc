@@ -164,5 +164,64 @@ TEST(CompiledProblemTest, WmaxMismatchReportsError) {
   EXPECT_TRUE(Optimize(compiled, params).ok());
 }
 
+// The assembly constructor reproduces the compiling constructor exactly when
+// handed that compile's own units, and schedules identically through the
+// optimizer — the bit-identity the incremental compile path rests on.
+TEST(CompiledProblemTest, AssemblyFromOwnUnitsMatchesCompile) {
+  const TestProblem problem = GeneratedProblem(7, 12);
+  const CompiledProblem compiled(problem, 64);
+  ASSERT_TRUE(compiled.ok());
+
+  std::vector<CompiledCorePtr> units;
+  for (CoreId c = 0; c < compiled.num_cores(); ++c) {
+    units.push_back(compiled.core_artifact(c));
+  }
+  const CompiledProblem assembled(problem, 64, std::move(units));
+  ASSERT_TRUE(assembled.ok());
+  EXPECT_NE(assembled.id(), compiled.id());  // a distinct compilation...
+  for (CoreId c = 0; c < compiled.num_cores(); ++c) {
+    // ...sharing the per-core units themselves, not copies.
+    EXPECT_EQ(assembled.core_artifact(c).get(), compiled.core_artifact(c).get());
+  }
+
+  OptimizerParams params;
+  params.tam_width = 24;
+  const OptimizerResult a = Optimize(assembled, params);
+  const OptimizerResult b = Optimize(compiled, params);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a.makespan, b.makespan);
+}
+
+// A malformed handoff is reported through error(), never trusted: the
+// assembly constructor validates unit count, w_max agreement, and non-null
+// units with the same rigor the compiling constructor applies to its inputs.
+TEST(CompiledProblemTest, AssemblyRejectsMalformedHandoffs) {
+  const TestProblem problem = GeneratedProblem(7, 12);
+  const CompiledProblem compiled(problem, 64);
+  ASSERT_TRUE(compiled.ok());
+  const auto units_of = [&](int n) {
+    std::vector<CompiledCorePtr> units;
+    for (CoreId c = 0; c < n; ++c) units.push_back(compiled.core_artifact(c));
+    return units;
+  };
+
+  const CompiledProblem short_handoff(problem, 64, units_of(11));
+  EXPECT_FALSE(short_handoff.ok());
+
+  std::vector<CompiledCorePtr> with_null = units_of(12);
+  with_null[3] = nullptr;
+  const CompiledProblem null_unit(problem, 64, std::move(with_null));
+  EXPECT_FALSE(null_unit.ok());
+
+  // Units compiled at another w_max answer different widths: rejected.
+  const CompiledProblem wrong_wmax(problem, 32, units_of(12));
+  EXPECT_FALSE(wrong_wmax.ok());
+
+  // The invalid-input checks run before any unit is accepted.
+  const CompiledProblem bad_wmax(problem, 0, units_of(12));
+  EXPECT_FALSE(bad_wmax.ok());
+}
+
 }  // namespace
 }  // namespace soctest

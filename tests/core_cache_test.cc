@@ -1,0 +1,238 @@
+// Tests for the per-core artifact cache (service/core_cache.h): content-keyed
+// identity over wrapper fields only, shared handouts, eviction safety, the
+// capacity bound, and the collision-vs-eviction accounting — the same
+// contracts as CompiledProblemCache, one level down.
+#include "service/core_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "core/compiled_core.h"
+#include "core/compiled_problem.h"
+#include "soc/benchmarks.h"
+#include "soc/core_hash.h"
+
+namespace soctest {
+namespace {
+
+CoreSpec SmallCore() {
+  CoreSpec core;
+  core.name = "small";
+  core.num_inputs = 6;
+  core.num_outputs = 4;
+  core.num_bidirs = 1;
+  core.num_patterns = 30;
+  core.scan_chain_lengths = {24, 18, 7};
+  return core;
+}
+
+// RAII hook guard, mirroring service_test's ProblemHashHookGuard.
+struct CoreHashHookGuard {
+  explicit CoreHashHookGuard(CoreHash128 (*hook)(const std::string&, int)) {
+    CoreArtifactCache::SetKeyHashHookForTest(hook);
+  }
+  ~CoreHashHookGuard() { CoreArtifactCache::SetKeyHashHookForTest(nullptr); }
+};
+
+CoreHash128 CollideCoreHash(const std::string&, int) { return {42, 42}; }
+
+TEST(CoreHashTest, CanonicalTextCoversWrapperFieldsOnly) {
+  CoreSpec core = SmallCore();
+  const std::string base = CanonicalCoreText(core);
+
+  // Scheduling-only fields never change the compiled artifacts, so they are
+  // not part of the identity: variants sharing wrapper fields share a key.
+  core.name = "renamed";
+  core.id = 7;
+  core.power = 999;
+  core.parent = 3;
+  core.resources = {1, 2};
+  core.max_preemptions = 2;
+  EXPECT_EQ(CanonicalCoreText(core), base);
+
+  // Every wrapper field is part of the identity.
+  CoreSpec edited = SmallCore();
+  edited.num_inputs += 1;
+  EXPECT_NE(CanonicalCoreText(edited), base);
+  edited = SmallCore();
+  edited.num_outputs += 1;
+  EXPECT_NE(CanonicalCoreText(edited), base);
+  edited = SmallCore();
+  edited.num_bidirs += 1;
+  EXPECT_NE(CanonicalCoreText(edited), base);
+  edited = SmallCore();
+  edited.num_patterns += 1;
+  EXPECT_NE(CanonicalCoreText(edited), base);
+  edited = SmallCore();
+  edited.scan_chain_lengths.push_back(5);
+  EXPECT_NE(CanonicalCoreText(edited), base);
+  // Chain ORDER is identity too (conservative: wrapper design is order-
+  // dependent in principle, so reordered chains never share artifacts).
+  edited = SmallCore();
+  edited.scan_chain_lengths = {7, 18, 24};
+  EXPECT_NE(CanonicalCoreText(edited), base);
+}
+
+TEST(CoreHashTest, HashCoversTextAndWMax) {
+  const std::string text = CanonicalCoreText(SmallCore());
+  EXPECT_EQ(CoreContentHash(text, 64), CoreContentHash(text, 64));
+  EXPECT_FALSE(CoreContentHash(text, 64) == CoreContentHash(text, 32));
+  EXPECT_FALSE(CoreContentHash(text, 64) == CoreContentHash(text + "x", 64));
+  // The two 64-bit halves are independently seeded digests.
+  const CoreHash128 h = CoreContentHash(text, 64);
+  EXPECT_NE(h.hi, h.lo);
+}
+
+TEST(CoreArtifactCacheTest, HitsShareOneCompilation) {
+  CoreArtifactCache cache({/*shards=*/4, /*capacity=*/8});
+  bool hit = true;
+  const CompiledCorePtr first = cache.GetOrCompile(SmallCore(), 64, &hit);
+  EXPECT_FALSE(hit);
+  // A renamed, repowered copy of the same wrapper is the same key: content,
+  // not provenance.
+  CoreSpec renamed = SmallCore();
+  renamed.name = "other";
+  renamed.power = 123;
+  const CompiledCorePtr second = cache.GetOrCompile(renamed, 64, &hit);
+  EXPECT_TRUE(hit);
+  EXPECT_EQ(first.get(), second.get());  // literally the same artifacts
+  // A different w_max is a different key.
+  const CompiledCorePtr third = cache.GetOrCompile(SmallCore(), 32, &hit);
+  EXPECT_FALSE(hit);
+  EXPECT_NE(first.get(), third.get());
+  EXPECT_EQ(third->w_max(), 32);
+  const CoreCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1);
+  EXPECT_EQ(stats.misses, 2);
+  EXPECT_EQ(stats.compiles, 2);
+  EXPECT_EQ(stats.entries, 2);
+}
+
+// The handout survives eviction, and a recompiled entry carries bit-identical
+// artifacts — eviction can never change a schedule.
+TEST(CoreArtifactCacheTest, HandoutSurvivesEvictionBitIdentical) {
+  CoreArtifactCache cache({/*shards=*/1, /*capacity=*/1});
+  const CompiledCorePtr held = cache.GetOrCompile(SmallCore(), 64);
+
+  CoreSpec other = SmallCore();
+  other.num_patterns += 5;
+  cache.GetOrCompile(other, 64);  // evicts SmallCore's entry
+  EXPECT_GE(cache.stats().evictions, 1);
+
+  // The displaced handout stays fully usable (CompiledCore is
+  // self-contained) and the recompile is indistinguishable from it.
+  const CompiledCorePtr recompiled = cache.GetOrCompile(SmallCore(), 64);
+  EXPECT_NE(held.get(), recompiled.get());
+  EXPECT_EQ(held->pareto(), recompiled->pareto());
+  EXPECT_EQ(held->max_useful_width(), recompiled->max_useful_width());
+  for (int w = 1; w <= 64; ++w) {
+    ASSERT_EQ(held->curve().TimeAt(w), recompiled->curve().TimeAt(w));
+    ASSERT_EQ(held->FlushPenalty(w), recompiled->FlushPenalty(w));
+  }
+}
+
+TEST(CoreArtifactCacheTest, CapacityIsAHardTotalBound) {
+  CoreArtifactCache cache({/*shards=*/4, /*capacity=*/1});
+  EXPECT_EQ(cache.shards(), 1);
+  EXPECT_EQ(cache.capacity_per_shard(), 1);
+  for (int i = 0; i < 3; ++i) {
+    CoreSpec core = SmallCore();
+    core.num_patterns += i;
+    cache.GetOrCompile(core, 64);
+  }
+  EXPECT_EQ(cache.stats().entries, 1);
+
+  CoreArtifactCache uneven({/*shards=*/4, /*capacity=*/6});
+  EXPECT_EQ(uneven.shards(), 4);
+  EXPECT_EQ(uneven.capacity_per_shard(), 1);  // floor(6/4): total bound 4 <= 6
+}
+
+// A 128-bit hash collision between distinct cores replaces the resident
+// entry and is counted as a collision, NOT as a capacity eviction (a bigger
+// cache cannot fix a collision, so conflating the two misleads tuning) — and
+// the exact canonical-text compare means it never serves wrong artifacts.
+TEST(CoreArtifactCacheTest, HashCollisionCountsSeparatelyFromEviction) {
+  CoreHashHookGuard guard(&CollideCoreHash);  // every key hashes to {42,42}
+  CoreArtifactCache cache({/*shards=*/1, /*capacity=*/8});
+  CoreSpec other = SmallCore();
+  other.num_patterns += 11;
+
+  bool hit = true;
+  const CompiledCorePtr held = cache.GetOrCompile(SmallCore(), 64, &hit);
+  EXPECT_FALSE(hit);
+  // Distinct core, same hash: never served the wrong artifacts...
+  const CompiledCorePtr displacing = cache.GetOrCompile(other, 64, &hit);
+  EXPECT_FALSE(hit);
+  EXPECT_NE(held.get(), displacing.get());
+  EXPECT_NE(held->curve().TimeAt(1), displacing->curve().TimeAt(1));
+  // ...and the displacement is a collision, not an eviction (capacity 8 is
+  // nowhere near full).
+  CoreCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.collisions, 1);
+  EXPECT_EQ(stats.evictions, 0);
+  EXPECT_EQ(stats.entries, 1);
+
+  // Re-asking for the displaced core recompiles (a miss — the two hot keys
+  // thrash, which is exactly what the counter surfaces).
+  cache.GetOrCompile(SmallCore(), 64, &hit);
+  EXPECT_FALSE(hit);
+  stats = cache.stats();
+  EXPECT_EQ(stats.collisions, 2);
+  EXPECT_EQ(stats.evictions, 0);
+}
+
+// Concurrent same-key requesters may all compile, but every one of them
+// returns the single resident entry (losers adopt the winner).
+TEST(CoreArtifactCacheTest, ConcurrentSameKeyRequestersAdoptOneEntry) {
+  CoreArtifactCache cache({/*shards=*/2, /*capacity=*/8});
+  constexpr int kThreads = 8;
+  std::vector<CompiledCorePtr> results(kThreads);
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&cache, &results, t] {
+        results[static_cast<std::size_t>(t)] =
+            cache.GetOrCompile(SmallCore(), 64);
+      });
+    }
+    for (std::thread& thread : threads) thread.join();
+  }
+  for (const CompiledCorePtr& result : results) {
+    ASSERT_NE(result, nullptr);
+    EXPECT_EQ(result.get(), results[0].get());
+  }
+  const CoreCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.entries, 1);
+  EXPECT_EQ(stats.hits + stats.misses, kThreads);
+  EXPECT_GE(stats.compiles, 1);
+}
+
+// The cached unit is exactly what a monolithic CompiledProblem builds: fetch
+// d695's cores from the cache, assemble, and compare against a cold compile.
+TEST(CoreArtifactCacheTest, AssembledProblemMatchesColdCompile) {
+  CoreArtifactCache cache({/*shards=*/4, /*capacity=*/64});
+  const TestProblem problem = TestProblem::FromSoc(MakeD695());
+
+  std::vector<CompiledCorePtr> units;
+  for (const CoreSpec& core : problem.soc.cores()) {
+    units.push_back(cache.GetOrCompile(core, 64));
+  }
+  const CompiledProblem assembled(problem, 64, std::move(units));
+  const CompiledProblem cold(problem, 64);
+  ASSERT_TRUE(assembled.ok());
+  ASSERT_TRUE(cold.ok());
+  for (CoreId c = 0; c < problem.soc.num_cores(); ++c) {
+    EXPECT_EQ(assembled.pareto(c), cold.pareto(c));
+    EXPECT_EQ(assembled.max_useful_width(c), cold.max_useful_width(c));
+    for (int w = 1; w <= 64; ++w) {
+      ASSERT_EQ(assembled.curve(c).TimeAt(w), cold.curve(c).TimeAt(w));
+      ASSERT_EQ(assembled.FlushPenalty(c, w), cold.FlushPenalty(c, w));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace soctest

@@ -11,6 +11,7 @@
 #include <filesystem>
 #include <fstream>
 #include <memory>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
@@ -435,6 +436,147 @@ TEST(CompiledProblemCacheTest, HashCollisionCountsSeparatelyFromEviction) {
   stats = cache.stats();
   EXPECT_EQ(stats.collisions, 2);
   EXPECT_EQ(stats.evictions, 0);
+}
+
+// Incremental compilation — the core-artifact cache's headline property:
+// editing 1 of 64 cores compiles the variant with EXACTLY 63 per-core cache
+// hits and one fresh core compile, shares the 63 unedited units
+// pointer-for-pointer with the base compile, and assembles artifacts
+// bit-identical to a cold, cache-free compile.
+TEST(CompiledProblemCacheTest, OneEditedCoreOf64IsExactly63CoreHits) {
+  ParsedSoc base = GeneratedParsed(99, 64);
+  // Force all-distinct per-core identities so the hit accounting is exact
+  // (the generator is free to emit two cores with equal wrapper fields, and
+  // an intra-SOC duplicate would turn a miss into a hit).
+  for (CoreId c = 0; c < base.soc.num_cores(); ++c) {
+    base.soc.mutable_core(c).num_patterns += c;
+  }
+  std::set<std::string> identities;
+  for (const CoreSpec& core : base.soc.cores()) {
+    identities.insert(CoreArtifactCache::CanonicalKey(core));
+  }
+  ASSERT_EQ(identities.size(), 64u);
+
+  ParsedSoc variant = base;
+  variant.soc.mutable_core(20).num_patterns += 1000;
+
+  CompiledProblemCache cache(
+      {/*shards=*/4, /*capacity=*/8, /*core_entries=*/4096});
+  const auto first = cache.GetOrCompile(base, kDefaultWMax);
+  ASSERT_TRUE(first->ok());
+  CoreCacheStats stats = cache.core_stats();
+  EXPECT_EQ(stats.hits, 0);
+  EXPECT_EQ(stats.misses, 64);
+
+  bool hit = true;
+  const auto second = cache.GetOrCompile(variant, kDefaultWMax, &hit);
+  EXPECT_FALSE(hit);  // the whole-SOC cache misses on any one-core edit...
+  ASSERT_TRUE(second->ok());
+  stats = cache.core_stats();
+  EXPECT_EQ(stats.hits, 63);  // ...but 63 of the 64 cores come from cache
+  EXPECT_EQ(stats.misses, 65);
+  EXPECT_EQ(stats.compiles, 65);
+
+  for (CoreId c = 0; c < second->num_cores(); ++c) {
+    if (c == 20) {
+      EXPECT_NE(second->core_artifact(c).get(),
+                first->core_artifact(c).get());
+    } else {
+      EXPECT_EQ(second->core_artifact(c).get(),
+                first->core_artifact(c).get());
+    }
+  }
+
+  // The assembly is bit-identical to a cold compile that never saw a cache.
+  const TestProblem cold_problem = TestProblem::FromParsed(variant);
+  const CompiledProblem cold(cold_problem, kDefaultWMax);
+  ASSERT_TRUE(cold.ok());
+  for (CoreId c = 0; c < cold.num_cores(); ++c) {
+    EXPECT_EQ(second->pareto(c), cold.pareto(c));
+    EXPECT_EQ(second->max_useful_width(c), cold.max_useful_width(c));
+    for (int w = 1; w <= kDefaultWMax; ++w) {
+      ASSERT_EQ(second->curve(c).TimeAt(w), cold.curve(c).TimeAt(w));
+      ASSERT_EQ(second->FlushPenalty(c, w), cold.FlushPenalty(c, w));
+    }
+  }
+}
+
+// The core cache must be invisible in batch results: a variant-heavy batch
+// (a 64-core base plus near-duplicates editing one core each, and a
+// duplicate line for the dedup runs) returns bit-identical output for every
+// (threads, shards, dedup, core cache on/off) combination. Only the STATS
+// counters may move.
+TEST(BatchSchedulerTest, CoreCacheOnOffBitIdenticalAcrossThreadsShardsDedup) {
+  const ParsedSoc base = GeneratedParsed(99, 64);
+  std::vector<BatchRequest> requests;
+  for (int v = 0; v < 3; ++v) {
+    ParsedSoc variant = base;
+    variant.soc.set_name(base.soc.name() + "_v" + std::to_string(v));
+    if (v > 0) variant.soc.mutable_core(7 * v).num_patterns += v;
+    BatchRequest req;
+    req.soc_spec = variant.soc.name();
+    req.soc = std::move(variant);
+    req.tam_width = 24;
+    req.mode = BatchMode::kSchedule;
+    requests.push_back(std::move(req));
+  }
+  requests.push_back(requests[1]);  // identical line: dedup has work to do
+
+  // Serial core-cache accounting, computed rather than assumed: the three
+  // distinct SOCs run 3 x 64 per-core lookups (the duplicate line hits the
+  // whole-SOC cache or the result cache and looks nothing up); every
+  // distinct core identity misses once and every repeat hits.
+  std::set<std::string> distinct_cores;
+  for (int v = 0; v < 3; ++v) {
+    for (const CoreSpec& core : requests[static_cast<std::size_t>(v)]
+                                    .soc.soc.cores()) {
+      distinct_cores.insert(CoreArtifactCache::CanonicalKey(core));
+    }
+  }
+  const auto serial_misses = static_cast<std::int64_t>(distinct_cores.size());
+  const std::int64_t serial_hits = 3 * 64 - serial_misses;
+
+  BatchOptions reference_options;
+  reference_options.threads = 1;
+  reference_options.shards = 1;
+  reference_options.core_cache_entries = 0;  // reference: monolithic compiles
+  BatchScheduler reference(reference_options);
+  const BatchOutcome expected = reference.Run(requests);
+  ASSERT_EQ(expected.served, static_cast<int>(requests.size()));
+  EXPECT_EQ(expected.core.hits + expected.core.misses, 0);  // cache off
+
+  for (const int core_entries : {0, 4096}) {
+    for (const int threads : {1, 8}) {
+      for (const int shards : {1, 4}) {
+        for (const bool dedup : {false, true}) {
+          BatchOptions options;
+          options.threads = threads;
+          options.shards = shards;
+          options.dedup = dedup;
+          options.core_cache_entries = core_entries;
+          BatchScheduler scheduler(options);
+          const BatchOutcome outcome = scheduler.Run(requests);
+          ASSERT_EQ(outcome.results.size(), requests.size());
+          EXPECT_EQ(outcome.served, expected.served);
+          if (core_entries == 0) {
+            EXPECT_EQ(outcome.core.hits + outcome.core.misses, 0);
+          } else if (threads == 1) {
+            EXPECT_EQ(outcome.core.hits, serial_hits);
+            EXPECT_EQ(outcome.core.misses, serial_misses);
+          } else {
+            EXPECT_GT(outcome.core.hits, 0);
+          }
+          for (std::size_t i = 0; i < requests.size(); ++i) {
+            SCOPED_TRACE(testing::Message()
+                         << "core_entries=" << core_entries
+                         << " threads=" << threads << " shards=" << shards
+                         << " dedup=" << dedup << " req=" << i);
+            ExpectIdenticalItems(outcome.results[i], expected.results[i]);
+          }
+        }
+      }
+    }
+  }
 }
 
 TEST(ResultCacheTest, CanonicalKeyIsContentAndSemanticsNotSpelling) {

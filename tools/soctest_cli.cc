@@ -8,7 +8,7 @@
 //             [--wires] [--json PATH] [--csv PATH] [--svg PATH]
 //   sweep     <soc> [--min N] [--max N] [--rho R] [--threads N] [--csv PATH]
 //   batch     <request-file> [--threads N] [--shards N] [--cache-entries N]
-//             [--dedup] [--result-entries N]
+//             [--dedup] [--result-entries N] [--core-cache-entries N]
 //             serve many SOC requests off the shared CompiledProblem cache
 //             (one request per line: "<soc> <width> <mode> [key=value ...]";
 //             see src/service/request.h for the format); --dedup serves
@@ -302,12 +302,13 @@ int CmdBatch(int argc, const char* const* argv) {
   // (cross-request result deduplication with single-flight coordination);
   // --result-entries bounds the result cache it fills. Batch output is
   // bit-identical with and without it — only the STATS line can tell.
-  ArgParser args({"dedup"},
-                 {"threads", "shards", "cache-entries", "result-entries"});
+  ArgParser args({"dedup"}, {"threads", "shards", "cache-entries",
+                             "result-entries", "core-cache-entries"});
   if (!args.Parse(argc, argv, 2) || args.positional().size() != 1) {
     std::fprintf(stderr, "usage: soctest_cli batch <request-file> "
                          "[--threads N] [--shards N] [--cache-entries N] "
-                         "[--dedup] [--result-entries N]\n%s\n",
+                         "[--dedup] [--result-entries N] "
+                         "[--core-cache-entries N]\n%s\n",
                  args.Error().c_str());
     return 2;
   }
@@ -317,6 +318,10 @@ int CmdBatch(int argc, const char* const* argv) {
   options.cache_entries = args.Int32Or("cache-entries", 64);
   options.dedup = args.HasFlag("dedup");
   options.result_entries = args.Int32Or("result-entries", 256);
+  // Per-core artifact cache under the compiled-problem cache: near-duplicate
+  // SOCs recompile only their edited cores. 0 disables; makespans are
+  // bit-identical either way.
+  options.core_cache_entries = args.Int32Or("core-cache-entries", 4096);
   if (!args.ok()) {
     std::fprintf(stderr, "%s\n", args.Error().c_str());
     return 2;
@@ -361,7 +366,9 @@ int CmdBatch(int argc, const char* const* argv) {
               "cache_hits=%lld cache_misses=%lld cache_evictions=%lld "
               "cache_collisions=%lld compiles=%lld entries=%d "
               "dedup=%d evaluations=%lld dedup_hits=%lld dedup_joins=%lld "
-              "dedup_evictions=%lld result_entries=%d\n",
+              "dedup_evictions=%lld result_entries=%d "
+              "core_hits=%lld core_misses=%lld core_evictions=%lld "
+              "core_collisions=%lld core_compiles=%lld core_entries=%d\n",
               static_cast<int>(requests.size()), outcome.served,
               scheduler.threads(), scheduler.cache().shards(),
               static_cast<long long>(outcome.cache.hits),
@@ -373,7 +380,13 @@ int CmdBatch(int argc, const char* const* argv) {
               static_cast<long long>(outcome.dedup.hits),
               static_cast<long long>(outcome.dedup.joins),
               static_cast<long long>(outcome.dedup.evictions),
-              outcome.dedup.entries);
+              outcome.dedup.entries,
+              static_cast<long long>(outcome.core.hits),
+              static_cast<long long>(outcome.core.misses),
+              static_cast<long long>(outcome.core.evictions),
+              static_cast<long long>(outcome.core.collisions),
+              static_cast<long long>(outcome.core.compiles),
+              outcome.core.entries);
   return outcome.served == static_cast<int>(requests.size()) ? 0 : 1;
 }
 
