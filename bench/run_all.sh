@@ -14,10 +14,30 @@
 # cost per SOC); CI uploads bench_results/ as an artifact so the perf
 # trajectory is visible per PR.
 #
-# Usage: bench/run_all.sh [build-dir]   (default: build)
+# Usage: bench/run_all.sh [--filter <regex>] [build-dir]   (default: build)
+#   --filter runs only the bench executables whose basename matches the
+#   (extended) regex — e.g. `bench/run_all.sh --filter perf_micro` while
+#   iterating on one bench.
 set -eu
 
 repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+filter=
+while [ $# -gt 0 ]; do
+  case $1 in
+    --filter)
+      [ $# -ge 2 ] || { echo "error: --filter needs a regex" >&2; exit 2; }
+      filter=$2
+      shift 2
+      ;;
+    --filter=*)
+      filter=${1#--filter=}
+      shift
+      ;;
+    *)
+      break
+      ;;
+  esac
+done
 build_dir=${1:-"$repo_root/build"}
 out_dir=$repo_root/bench_results
 mkdir -p "$out_dir"
@@ -65,6 +85,9 @@ for exe in "$build_dir"/bench/*; do
   case $name in
     CMakeFiles|cmake_install.cmake|*.cmake|CTestTestfile*) continue ;;
   esac
+  if [ -n "$filter" ] && ! printf '%s\n' "$name" | grep -Eq -- "$filter"; then
+    continue
+  fi
   printf '== %s ==\n' "$name"
   start=$(now_ms)
   if (cd "$out_dir" && "$exe" >"$out_dir/$name.out" 2>&1); then

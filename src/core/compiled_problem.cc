@@ -58,8 +58,11 @@ std::vector<RectangleSet> CompiledProblem::RectsFor(int tam_width) const {
   out.reserve(cores_.size());
   for (std::size_t i = 0; i < cores_.size(); ++i) {
     // The shared artifacts are position-free; the per-problem core id (==
-    // index, the Soc::AddCore invariant) is attached here.
-    out.emplace_back(static_cast<CoreId>(i), cores_[i]->curve(), tam_width);
+    // index, the Soc::AddCore invariant) is attached here. The unit's Pareto
+    // points were extracted at compile time, so clipping is a prefix copy —
+    // no Pareto re-extraction per (problem, TAM width).
+    out.emplace_back(static_cast<CoreId>(i), cores_[i]->curve(),
+                     cores_[i]->pareto(), tam_width);
   }
   return out;
 }

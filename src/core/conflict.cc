@@ -3,34 +3,63 @@
 #include "util/strings.h"
 
 namespace soctest {
+namespace {
 
-std::optional<std::string> ConflictPolicy::Blocked(
-    CoreId candidate, const std::vector<bool>& completed,
-    const std::vector<CoreId>& active, std::int64_t active_power) const {
-  if (precedence_ != nullptr && candidate < precedence_->num_cores()) {
-    for (CoreId pred : precedence_->PredecessorsOf(candidate)) {
-      if (!completed[static_cast<std::size_t>(pred)]) {
+// Shared body: `Completed` is any callable mapping core index -> finished?
+// (vector<bool> indexing or CoreBitset::test). Kept a template so the two
+// public overloads cannot drift apart.
+template <typename Completed>
+std::optional<std::string> BlockedImpl(const PrecedenceGraph* precedence,
+                                       const ConcurrencySet* concurrency,
+                                       const PowerModel* power,
+                                       CoreId candidate,
+                                       const Completed& completed,
+                                       const std::vector<CoreId>& active,
+                                       std::int64_t active_power) {
+  if (precedence != nullptr && candidate < precedence->num_cores()) {
+    for (CoreId pred : precedence->PredecessorsOf(candidate)) {
+      if (!completed(static_cast<std::size_t>(pred))) {
         return StrFormat("precedence: core %d must complete first", pred);
       }
     }
   }
-  if (concurrency_ != nullptr) {
+  if (concurrency != nullptr) {
     for (CoreId other : active) {
-      if (concurrency_->Conflicts(candidate, other)) {
+      if (concurrency->Conflicts(candidate, other)) {
         return StrFormat("concurrency: conflicts with active core %d", other);
       }
     }
   }
-  if (power_ != nullptr && !power_->unlimited()) {
-    const std::int64_t p = power_->PowerOf(candidate);
-    if (!power_->Fits(active_power, p)) {
+  if (power != nullptr && !power->unlimited()) {
+    const std::int64_t p = power->PowerOf(candidate);
+    if (!power->Fits(active_power, p)) {
       return StrFormat("power: load %lld + %lld exceeds Pmax %lld",
                        static_cast<long long>(active_power),
                        static_cast<long long>(p),
-                       static_cast<long long>(power_->pmax()));
+                       static_cast<long long>(power->pmax()));
     }
   }
   return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<std::string> ConflictPolicy::Blocked(
+    CoreId candidate, const std::vector<bool>& completed,
+    const std::vector<CoreId>& active, std::int64_t active_power) const {
+  return BlockedImpl(
+      precedence_, concurrency_, power_, candidate,
+      [&completed](std::size_t c) { return static_cast<bool>(completed[c]); },
+      active, active_power);
+}
+
+std::optional<std::string> ConflictPolicy::Blocked(
+    CoreId candidate, const CoreBitset& completed,
+    const std::vector<CoreId>& active, std::int64_t active_power) const {
+  return BlockedImpl(
+      precedence_, concurrency_, power_, candidate,
+      [&completed](std::size_t c) { return completed.test(c); }, active,
+      active_power);
 }
 
 }  // namespace soctest

@@ -15,6 +15,7 @@
 #include "constraints/concurrency.h"
 #include "constraints/power.h"
 #include "constraints/precedence.h"
+#include "util/bitset.h"
 
 namespace soctest {
 
@@ -29,6 +30,14 @@ class ConflictPolicy {
   // lists currently-running cores; `active_power` is their power sum.
   std::optional<std::string> Blocked(CoreId candidate,
                                      const std::vector<bool>& completed,
+                                     const std::vector<CoreId>& active,
+                                     std::int64_t active_power) const;
+
+  // Same check against the scheduler's bitset completion state (the hot-path
+  // layout — see ScheduleWorkspace). Both overloads answer identically for
+  // identical membership.
+  std::optional<std::string> Blocked(CoreId candidate,
+                                     const CoreBitset& completed,
                                      const std::vector<CoreId>& active,
                                      std::int64_t active_power) const;
 

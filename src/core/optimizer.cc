@@ -6,6 +6,33 @@
 #include "search/driver.h"
 #include "util/strings.h"
 
+// Hot-path notes (PR 7). The admission loop runs thousands of times per
+// served request, so its inner helpers are structured around three ideas,
+// none of which may change results (the reference implementation in
+// tests/reference_optimizer.cc is the bit-identity oracle):
+//
+//   * Struct-of-arrays state. Scans read dense arrays (time_remaining[],
+//     assigned_width[]) and word-sized status bitsets instead of striding
+//     over CoreState structs.
+//   * Width-bucketed admission index. Paused cores sit in buckets keyed by
+//     their fixed resume width; unstarted cores in buckets keyed by
+//     preferred width. A selection over "cores that fit `avail` wires" scans
+//     only the buckets whose width fits and prunes the rest unseen. Pruning
+//     is sound because a bucket's width is the *minimum* TAM allocation its
+//     members accept in that role: a paused core must resume at exactly
+//     assigned_width, and the idle-fill window is defined directly on
+//     preferred width.
+//   * Selection instead of sorting. AdmitRanked admits candidates in a
+//     total order; a heap pops them in exactly full-sort order but stops at
+//     the first point where no further admission is possible (avail == 0),
+//     and single-winner selections (limit-reached, idle fill, insert fill)
+//     walk candidates best-first and call the O(active) conflict check only
+//     until the first unblocked winner. Deferred conflict checks are sound
+//     because within one admission phase blockedness is monotone — admitting
+//     a core can only add conflicts, and nothing completes — so a candidate
+//     observed blocked stays blocked for the rest of the phase, and the
+//     first unblocked candidate in best-first order is exactly the max the
+//     historical scan-everything loop picked.
 namespace soctest {
 
 TestProblem TestProblem::FromSoc(Soc soc) {
@@ -33,6 +60,27 @@ TestProblem TestProblem::FromParsed(const ParsedSoc& parsed) {
   return p;
 }
 
+namespace {
+
+// Removes one occurrence of `core`, preserving the bucket's order (the
+// unstarted buckets are kept in ascending core-id order for tie-breaks).
+void OrderedBucketErase(std::vector<CoreId>& bucket, CoreId core) {
+  const auto it = std::find(bucket.begin(), bucket.end(), core);
+  assert(it != bucket.end());
+  bucket.erase(it);
+}
+
+// Removes one occurrence of `core`; order not preserved (the paused buckets
+// are consumed through order-independent best-first selection).
+void UnorderedBucketErase(std::vector<CoreId>& bucket, CoreId core) {
+  const auto it = std::find(bucket.begin(), bucket.end(), core);
+  assert(it != bucket.end());
+  *it = bucket.back();
+  bucket.pop_back();
+}
+
+}  // namespace
+
 TamScheduleOptimizer::TamScheduleOptimizer(const CompiledProblem& compiled,
                                            OptimizerParams params)
     : compiled_(&compiled),
@@ -54,7 +102,7 @@ bool TamScheduleOptimizer::IsBlocked(CoreId core) const {
   // incrementally (Admit/AdvanceTime), so a conflict check is O(active) with
   // no allocation — it used to rescan every core and build a fresh vector.
   return conflict_
-      .Blocked(core, ws_->completed, ws_->active, active_power_)
+      .Blocked(core, ws_->complete, ws_->active, active_power_)
       .has_value();
 }
 
@@ -64,53 +112,127 @@ Time TamScheduleOptimizer::PreemptionPenalty(CoreId core, int width) const {
   return compiled_->FlushPenalty(core, std::max(1, width));
 }
 
+int TamScheduleOptimizer::SnapLut(CoreId c, int w) const {
+  w = std::clamp(w, 0, ws_->rects_tam_width);
+  return ws_->snap_lut[static_cast<std::size_t>(c) *
+                           static_cast<std::size_t>(ws_->lut_stride) +
+                       static_cast<std::size_t>(w)];
+}
+
+Time TamScheduleOptimizer::TimeLut(CoreId c, int w) const {
+  w = std::clamp(w, 0, ws_->rects_tam_width);
+  return ws_->time_lut[static_cast<std::size_t>(c) *
+                           static_cast<std::size_t>(ws_->lut_stride) +
+                       static_cast<std::size_t>(w)];
+}
+
 void TamScheduleOptimizer::Admit(CoreId core, int width) {
-  auto& s = ws_->state[static_cast<std::size_t>(core)];
-  assert(!s.running && !s.complete);
-  const auto& rect = ws_->rects[static_cast<std::size_t>(core)];
-  if (!s.begun) {
-    s.assigned_width = rect.SnapWidth(width);
-    s.time_remaining = rect.TimeAtWidth(s.assigned_width);
-    s.begun = true;
-    s.first_begin = now_;
-    s.end_time = now_;
-  } else if (s.end_time < now_) {
-    // Resuming after a gap: one preemption event and a scan flush/reload.
-    ++s.preemptions;
-    const Time penalty = PreemptionPenalty(core, s.assigned_width);
-    s.time_remaining += penalty;
-    s.overhead += penalty;
+  const auto u = static_cast<std::size_t>(core);
+  assert(!ws_->running.test(u) && !ws_->complete.test(u));
+  if (!ws_->begun.test(u)) {
+    const int w = SnapLut(core, width);
+    ws_->assigned_width[u] = w;
+    ws_->time_remaining[u] = TimeLut(core, w);
+    ws_->begun.set(u);
+    ws_->unstarted.reset(u);
+    OrderedBucketErase(
+        ws_->unstarted_by_pref[static_cast<std::size_t>(ws_->preferred[u])],
+        core);
+    ws_->first_begin[u] = now_;
+    ws_->end_time[u] = now_;
+    ws_->started_now.push_back(core);
+  } else {
+    UnorderedBucketErase(
+        ws_->paused_by_width[static_cast<std::size_t>(ws_->assigned_width[u])],
+        core);
+    --ws_->paused_count;
+    if (ws_->end_time[u] < now_) {
+      // Resuming after a gap: one preemption event and a scan flush/reload.
+      ++ws_->preemptions[u];
+      const Time penalty = PreemptionPenalty(core, ws_->assigned_width[u]);
+      ws_->time_remaining[u] += penalty;
+      ws_->overhead[u] += penalty;
+    }
   }
-  s.running = true;
+  ws_->running.set(u);
   ws_->active.push_back(core);
-  used_width_ += s.assigned_width;
+  used_width_ += ws_->assigned_width[u];
   active_power_ += problem_->power.PowerOf(core);
+  active_critical_ = std::max(active_critical_, ws_->time_remaining[u]);
 }
 
 bool TamScheduleOptimizer::AdmitLimitReached() {
   // Paper Priority 1: paused cores that may not be preempted (again) resume
   // before anything else claims wires; largest remaining time first.
-  bool any = false;
-  while (true) {
-    CoreId best = kNoCore;
-    Time best_rem = -1;
-    const int avail = AvailableWidth();
-    for (CoreId c = 0; c < problem_->soc.num_cores(); ++c) {
-      const auto& s = ws_->state[static_cast<std::size_t>(c)];
-      if (!s.begun || s.running || s.complete) continue;
-      if (s.preemptions < s.max_preemptions) continue;  // still preemptible
-      if (s.assigned_width > avail) continue;
-      if (IsBlocked(c)) continue;
-      if (s.time_remaining > best_rem) {
-        best = c;
-        best_rem = s.time_remaining;
-      }
+  if (ws_->paused_count == 0) return false;
+  const int avail0 = AvailableWidth();
+  if (avail0 <= 0) return false;
+
+  // Gather the eligible set from the width buckets: only buckets whose
+  // resume width fits the free wires are scanned; wider ones are pruned
+  // unseen. Eligibility cannot grow during this phase (no core pauses, and
+  // budgets only tighten), so one gather suffices.
+  std::vector<ScheduleWorkspace::Candidate>& eligible = ws_->eligible;
+  eligible.clear();
+  const int fit = std::min(avail0, params_.tam_width);
+  for (int w = 1; w <= fit; ++w) {
+    for (const CoreId c : ws_->paused_by_width[static_cast<std::size_t>(w)]) {
+      ++candidates_examined_;
+      const auto u = static_cast<std::size_t>(c);
+      if (ws_->preemptions[u] < ws_->max_preemptions[u]) continue;  // preemptible
+      eligible.push_back({c, ws_->time_remaining[u], true, w});
     }
-    if (best == kNoCore) break;
-    Admit(best, ws_->state[static_cast<std::size_t>(best)].assigned_width);
+  }
+  for (int w = fit + 1; w <= params_.tam_width; ++w) {
+    if (!ws_->paused_by_width[static_cast<std::size_t>(w)].empty()) {
+      ++buckets_skipped_;
+    }
+  }
+  if (eligible.empty()) return false;
+
+  // Best-first walk (largest remaining time, then smallest core id — the
+  // historical ascending-id scan's tie-break). Every skip is permanent:
+  // avail only shrinks, so a non-fitting candidate never fits later, and
+  // blockedness is monotone within the phase, so a blocked candidate stays
+  // blocked. One pass therefore reproduces the pick-max-admit-repeat loop.
+  std::sort(eligible.begin(), eligible.end(),
+            [](const ScheduleWorkspace::Candidate& a,
+               const ScheduleWorkspace::Candidate& b) {
+              if (a.remaining != b.remaining) return a.remaining > b.remaining;
+              return a.core < b.core;
+            });
+  bool any = false;
+  for (const auto& cand : eligible) {
+    if (cand.width > AvailableWidth()) continue;
+    if (IsBlocked(cand.core)) continue;
+    Admit(cand.core, cand.width);
     any = true;
   }
   return any;
+}
+
+bool TamScheduleOptimizer::RankedBefore(
+    const ScheduleWorkspace::Candidate& a,
+    const ScheduleWorkspace::Candidate& b) const {
+  if (!params_.allow_preemption && a.begun != b.begun) {
+    return a.begun;  // paused cores first (paper P2 before P3)
+  }
+  switch (params_.rank) {
+    case AdmissionRank::kWidth:
+      if (a.width != b.width) return a.width > b.width;
+      break;
+    case AdmissionRank::kArea: {
+      const auto aa = static_cast<std::int64_t>(a.width) * a.remaining;
+      const auto ab = static_cast<std::int64_t>(b.width) * b.remaining;
+      if (aa != ab) return aa > ab;
+      break;
+    }
+    case AdmissionRank::kTime:
+      break;
+  }
+  if (a.remaining != b.remaining) return a.remaining > b.remaining;
+  if (a.begun != b.begun) return a.begun;  // stable tie-break
+  return a.core < b.core;
 }
 
 bool TamScheduleOptimizer::AdmitRanked() {
@@ -122,59 +244,46 @@ bool TamScheduleOptimizer::AdmitRanked() {
   using Candidate = ScheduleWorkspace::Candidate;
   std::vector<Candidate>& candidates = ws_->candidates;  // reused scratch
   candidates.clear();
-  for (CoreId c = 0; c < problem_->soc.num_cores(); ++c) {
-    const auto& s = ws_->state[static_cast<std::size_t>(c)];
-    if (s.running || s.complete) continue;
-    if (s.begun) {
-      candidates.push_back({c, s.time_remaining, true, s.assigned_width});
-    } else {
+  for (int w = 1; w <= params_.tam_width; ++w) {
+    for (const CoreId c : ws_->paused_by_width[static_cast<std::size_t>(w)]) {
       candidates.push_back(
-          {c, ws_->rects[static_cast<std::size_t>(c)].TimeAtWidth(s.preferred_width),
-           false, s.preferred_width});
+          {c, ws_->time_remaining[static_cast<std::size_t>(c)], true, w});
     }
   }
-  std::sort(candidates.begin(), candidates.end(),
-            [this](const Candidate& a, const Candidate& b) {
-              if (!params_.allow_preemption && a.begun != b.begun) {
-                return a.begun;  // paused cores first (paper P2 before P3)
-              }
-              switch (params_.rank) {
-                case AdmissionRank::kWidth:
-                  if (a.width != b.width) return a.width > b.width;
-                  break;
-                case AdmissionRank::kArea: {
-                  const auto aa = static_cast<std::int64_t>(a.width) * a.remaining;
-                  const auto ab = static_cast<std::int64_t>(b.width) * b.remaining;
-                  if (aa != ab) return aa > ab;
-                  break;
-                }
-                case AdmissionRank::kTime:
-                  break;
-              }
-              if (a.remaining != b.remaining) return a.remaining > b.remaining;
-              if (a.begun != b.begun) return a.begun;  // stable tie-break
-              return a.core < b.core;
-            });
+  ws_->unstarted.ForEachSet([&](std::size_t u) {
+    const auto c = static_cast<CoreId>(u);
+    const int pw = ws_->preferred[u];
+    candidates.push_back({c, TimeLut(c, pw), false, pw});
+  });
+
+  // RankedBefore is a strict total order, so popping a heap built on it
+  // yields exactly the full-sort order — but admission can stop at the first
+  // pop that finds the TAM exhausted (every remaining candidate would be
+  // skipped), leaving the tail unsorted and unexamined.
+  const auto heap_comp = [this](const Candidate& a, const Candidate& b) {
+    return RankedBefore(b, a);
+  };
+  std::make_heap(candidates.begin(), candidates.end(), heap_comp);
+  auto heap_end = candidates.end();
 
   bool any = false;
-  for (const auto& cand : candidates) {
-    const auto& s = ws_->state[static_cast<std::size_t>(cand.core)];
-    if (s.running) continue;  // defensive; set is rebuilt per round
+  while (heap_end != candidates.begin()) {
     const int avail = AvailableWidth();
+    if (avail <= 0) break;  // nothing further can be admitted or shrunk
+    std::pop_heap(candidates.begin(), heap_end, heap_comp);
+    --heap_end;
+    const Candidate& cand = *heap_end;
+    ++candidates_examined_;
     int width = cand.width;
     if (width > avail) {
       // Inline shrink-to-fit (part of the insert-fill family): an unstarted
       // core may start narrower than preferred when the slower test still
       // finishes within the running critical path.
-      if (!params_.enable_insert_fill || cand.begun || avail <= 0) continue;
-      Time critical = 0;
-      for (const CoreId a : ws_->active) {
-        critical = std::max(critical,
-                            ws_->state[static_cast<std::size_t>(a)].time_remaining);
+      if (!params_.enable_insert_fill || cand.begun) continue;
+      const int shrunk = SnapLut(cand.core, avail);
+      if (shrunk > avail || TimeLut(cand.core, shrunk) > active_critical_) {
+        continue;
       }
-      const auto& rect = ws_->rects[static_cast<std::size_t>(cand.core)];
-      const int shrunk = rect.SnapWidth(avail);
-      if (shrunk > avail || rect.TimeAtWidth(shrunk) > critical) continue;
       width = shrunk;
     }
     if (IsBlocked(cand.core)) continue;
@@ -187,28 +296,34 @@ bool TamScheduleOptimizer::AdmitRanked() {
 bool TamScheduleOptimizer::AdmitIdleFill() {
   // Paper lines 13-14: rather than leaving the remaining wires idle, admit an
   // unstarted core whose preferred width is within `idle_fill_slack` wires of
-  // what is available, at the largest Pareto width that actually fits.
+  // what is available, at the largest Pareto width that actually fits. The
+  // candidates are exactly the preferred-width buckets in the window
+  // (avail, avail + slack]; walking them in ascending width and, within a
+  // bucket, ascending core id reproduces the historical smallest-preferred-
+  // width-first-id selection, and the first unblocked core wins.
   if (!params_.enable_idle_fill) return false;
   bool any = false;
   while (true) {
     const int avail = AvailableWidth();
     if (avail <= 0) break;
+    const int hi = std::min(avail + params_.idle_fill_slack, params_.tam_width);
     CoreId best = kNoCore;
-    int best_pref = 0;
-    for (CoreId c = 0; c < problem_->soc.num_cores(); ++c) {
-      const auto& s = ws_->state[static_cast<std::size_t>(c)];
-      if (s.begun || s.running || s.complete) continue;
-      if (s.preferred_width > avail + params_.idle_fill_slack) continue;
-      if (s.preferred_width <= avail) continue;  // ranked admission's job
-      if (IsBlocked(c)) continue;
-      // Paper: pick the core with the smallest preferred width (closest fit).
-      if (best == kNoCore || s.preferred_width < best_pref) {
+    for (int w = avail + 1; w <= hi && best == kNoCore; ++w) {
+      for (const CoreId c :
+           ws_->unstarted_by_pref[static_cast<std::size_t>(w)]) {
+        ++candidates_examined_;
+        if (IsBlocked(c)) continue;
         best = c;
-        best_pref = s.preferred_width;
+        break;
+      }
+    }
+    for (int w = hi + 1; w <= params_.tam_width; ++w) {
+      if (!ws_->unstarted_by_pref[static_cast<std::size_t>(w)].empty()) {
+        ++buckets_skipped_;
       }
     }
     if (best == kNoCore) break;
-    const int width = ws_->rects[static_cast<std::size_t>(best)].SnapWidth(avail);
+    const int width = SnapLut(best, avail);
     if (width <= 0 || width > avail) break;
     Admit(best, width);
     any = true;
@@ -225,31 +340,45 @@ bool TamScheduleOptimizer::AdmitInsertFill() {
   while (true) {
     const int avail = AvailableWidth();
     if (avail <= 0) break;
-    Time critical = 0;  // longest remaining active test
-    for (const CoreId a : ws_->active) {
-      critical = std::max(critical,
-                          ws_->state[static_cast<std::size_t>(a)].time_remaining);
-    }
+    const Time critical = active_critical_;  // longest remaining active test
     if (critical == 0) break;  // nothing active: not an insertion situation
+    // Collect the unstarted cores whose shrunk-to-fit test stays within the
+    // critical path; the per-width LUT makes each probe two flat loads.
+    std::vector<ScheduleWorkspace::Candidate>& eligible = ws_->eligible;
+    eligible.clear();
+    ws_->unstarted.ForEachSet([&](std::size_t u) {
+      const auto c = static_cast<CoreId>(u);
+      ++candidates_examined_;
+      const int width = SnapLut(c, avail);
+      if (width > avail) return;
+      const Time t = TimeLut(c, width);
+      if (t > critical) return;
+      eligible.push_back({c, t, false, width});
+    });
+    if (eligible.empty()) break;
+    // Prefer the insertion that converts the most idle area into work:
+    // largest time, smallest core id on ties (eligible is in ascending id
+    // order, so a strict > keeps the first of equals). The conflict check is
+    // deferred to the winner: if it is blocked it stays blocked for this
+    // phase, so drop it and re-select.
     CoreId best = kNoCore;
     Time best_time = -1;
     int best_width = 0;
-    for (CoreId c = 0; c < problem_->soc.num_cores(); ++c) {
-      const auto& s = ws_->state[static_cast<std::size_t>(c)];
-      if (s.begun || s.running || s.complete) continue;
-      const auto& rect = ws_->rects[static_cast<std::size_t>(c)];
-      const int width = rect.SnapWidth(avail);
-      if (width > avail) continue;
-      const Time t = rect.TimeAtWidth(width);
-      if (t > critical) continue;  // would stretch the critical path
-      if (IsBlocked(c)) continue;
-      // Prefer the insertion that converts the most idle area into work.
-      if (t > best_time) {
-        best = c;
-        best_time = t;
-        best_width = width;
+    while (!eligible.empty()) {
+      std::size_t pick = 0;
+      for (std::size_t i = 1; i < eligible.size(); ++i) {
+        if (eligible[i].remaining > eligible[pick].remaining) pick = i;
       }
+      const auto cand = eligible[pick];
+      if (!IsBlocked(cand.core)) {
+        best = cand.core;
+        best_time = cand.remaining;
+        best_width = cand.width;
+        break;
+      }
+      eligible.erase(eligible.begin() + static_cast<std::ptrdiff_t>(pick));
     }
+    (void)best_time;
     if (best == kNoCore) break;
     Admit(best, best_width);
     any = true;
@@ -259,7 +388,11 @@ bool TamScheduleOptimizer::AdmitInsertFill() {
 
 bool TamScheduleOptimizer::BoostJustStarted() {
   // Paper lines 15-16: grant leftover wires to the just-started core that
-  // benefits the most, snapping to its Pareto grid.
+  // benefits the most, snapping to its Pareto grid. The candidates are
+  // exactly ws_->started_now (cores first admitted at now_; all still
+  // running, since nothing pauses before the next Update). The list is in
+  // admission order, so the tie-break compares core ids explicitly to keep
+  // the historical smallest-id-wins rule.
   if (!params_.enable_width_boost) return false;
   bool any = false;
   while (true) {
@@ -268,29 +401,26 @@ bool TamScheduleOptimizer::BoostJustStarted() {
     CoreId best = kNoCore;
     Time best_gain = 0;
     int best_new_width = 0;
-    for (CoreId c = 0; c < problem_->soc.num_cores(); ++c) {
-      const auto& s = ws_->state[static_cast<std::size_t>(c)];
-      if (!s.running || s.first_begin != now_) continue;
-      const auto& rect = ws_->rects[static_cast<std::size_t>(c)];
-      const int new_width = rect.SnapWidth(s.assigned_width + avail);
-      if (new_width <= s.assigned_width) continue;
+    for (const CoreId c : ws_->started_now) {
+      const auto u = static_cast<std::size_t>(c);
+      const int new_width = SnapLut(c, ws_->assigned_width[u] + avail);
+      if (new_width <= ws_->assigned_width[u]) continue;
       const Time gain =
-          rect.TimeAtWidth(s.assigned_width) - rect.TimeAtWidth(new_width);
-      if (gain > best_gain) {
+          TimeLut(c, ws_->assigned_width[u]) - TimeLut(c, new_width);
+      if (gain > best_gain ||
+          (gain == best_gain && best != kNoCore && gain > 0 && c < best)) {
         best = c;
         best_gain = gain;
         best_new_width = new_width;
       }
     }
     if (best == kNoCore) break;
-    auto& s = ws_->state[static_cast<std::size_t>(best)];
+    const auto u = static_cast<std::size_t>(best);
     // The core started at `now_` and has made no progress yet, so replacing
     // its rectangle is free: adopt the wider width and its (shorter) time.
-    used_width_ += best_new_width - s.assigned_width;
-    s.assigned_width = best_new_width;
-    s.time_remaining =
-        ws_->rects[static_cast<std::size_t>(best)].TimeAtWidth(best_new_width) +
-        s.overhead;
+    used_width_ += best_new_width - ws_->assigned_width[u];
+    ws_->assigned_width[u] = best_new_width;
+    ws_->time_remaining[u] = TimeLut(best, best_new_width) + ws_->overhead[u];
     any = true;
   }
   return any;
@@ -302,34 +432,41 @@ void TamScheduleOptimizer::AdvanceTime() {
   // the rest for re-contention.
   Time min_rem = -1;
   for (const CoreId a : ws_->active) {
-    const auto& s = ws_->state[static_cast<std::size_t>(a)];
-    if (min_rem < 0 || s.time_remaining < min_rem) min_rem = s.time_remaining;
+    const Time rem = ws_->time_remaining[static_cast<std::size_t>(a)];
+    if (min_rem < 0 || rem < min_rem) min_rem = rem;
   }
   assert(min_rem > 0 && "AdvanceTime requires at least one running core");
   const Time new_time = now_ + min_rem;
   for (const CoreId c : ws_->active) {
-    auto& s = ws_->state[static_cast<std::size_t>(c)];
+    const auto u = static_cast<std::size_t>(c);
     // Extend the last segment if contiguous at the same width.
-    if (!s.segments.empty() && s.segments.back().span.end == now_ &&
-        s.segments.back().width == s.assigned_width) {
-      s.segments.back().span.end = new_time;
+    auto& segs = ws_->segments[u];
+    if (!segs.empty() && segs.back().span.end == now_ &&
+        segs.back().width == ws_->assigned_width[u]) {
+      segs.back().span.end = new_time;
     } else {
-      s.segments.push_back(
-          ScheduleSegment{Interval{now_, new_time}, s.assigned_width});
+      segs.push_back(
+          ScheduleSegment{Interval{now_, new_time}, ws_->assigned_width[u]});
     }
-    s.time_remaining -= min_rem;
-    s.running = false;
-    s.end_time = new_time;
-    if (s.time_remaining <= 0) {
-      s.complete = true;
-      ws_->completed[static_cast<std::size_t>(c)] = true;
+    ws_->time_remaining[u] -= min_rem;
+    ws_->running.reset(u);
+    ws_->end_time[u] = new_time;
+    if (ws_->time_remaining[u] <= 0) {
+      ws_->complete.set(u);
       --incomplete_;
+    } else {
+      // Paused: enters the admission index at its fixed resume width.
+      ws_->paused_by_width[static_cast<std::size_t>(ws_->assigned_width[u])]
+          .push_back(c);
+      ++ws_->paused_count;
     }
   }
   // Every running test paused or retired: the active set drains in one step.
   ws_->active.clear();
+  ws_->started_now.clear();
   used_width_ = 0;
   active_power_ = 0;
+  active_critical_ = 0;
   now_ = new_time;
   ++rounds_;
 }
@@ -386,29 +523,47 @@ OptimizerResult TamScheduleOptimizer::Run(ScheduleWorkspace& ws) {
   // ---- Initialize (paper Fig. 5) ----------------------------------------
   // The wrapper artifacts were compiled once (CompiledProblem); clipping them
   // to this run's TAM width is cheap and runs no wrapper design. The clipped
-  // sets are immutable during a run, so a reused workspace keeps them across
-  // runs while (compiled, tam_width) is unchanged — restart grids and
-  // improver moves share one TAM width, making every run after the first
-  // clip-free.
+  // sets — and the flat per-width snap/time tables derived from them — are
+  // immutable during a run, so a reused workspace keeps them across runs
+  // while (compiled, tam_width) is unchanged — restart grids and improver
+  // moves share one TAM width, making every run after the first clip-free.
+  const auto n = static_cast<std::size_t>(problem_->soc.num_cores());
   if (ws_->rects_source_id != compiled_->id() ||
       ws_->rects_tam_width != params_.tam_width) {
     ws_->rects = compiled_->RectsFor(params_.tam_width);
     ws_->rects_source_id = compiled_->id();
     ws_->rects_tam_width = params_.tam_width;
+    // Per-width lookup tables: one flat row per core, filled by walking the
+    // (already sorted) Pareto list once — snap_lut[w] is the largest Pareto
+    // width <= w and time_lut[w] its test time, with the SnapWidth clamp to
+    // [1, w_limit] baked in at the row edges.
+    const int stride = params_.tam_width + 1;
+    ws_->lut_stride = stride;
+    ws_->snap_lut.assign(n * static_cast<std::size_t>(stride), 0);
+    ws_->time_lut.assign(n * static_cast<std::size_t>(stride), 0);
+    for (std::size_t c = 0; c < n; ++c) {
+      const auto& pareto = ws_->rects[c].pareto();
+      int* snap_row = ws_->snap_lut.data() + c * static_cast<std::size_t>(stride);
+      Time* time_row = ws_->time_lut.data() + c * static_cast<std::size_t>(stride);
+      std::size_t k = 0;
+      for (int w = 0; w < stride; ++w) {
+        while (k + 1 < pareto.size() && pareto[k + 1].width <= w) ++k;
+        snap_row[w] = pareto[k].width;
+        time_row[w] = pareto[k].time;
+      }
+    }
   }
   const std::vector<RectangleSet>& rects = ws_->rects;
   std::vector<int>& preferred = ws_->preferred;
   preferred.clear();
   if (!params_.preferred_width_override.empty()) {
-    if (params_.preferred_width_override.size() !=
-        static_cast<std::size_t>(problem_->soc.num_cores())) {
+    if (params_.preferred_width_override.size() != n) {
       result.error = "preferred_width_override must have one entry per core";
       return result;
     }
     for (CoreId c = 0; c < problem_->soc.num_cores(); ++c) {
       const int w = params_.preferred_width_override[static_cast<std::size_t>(c)];
-      preferred.push_back(rects[static_cast<std::size_t>(c)].SnapWidth(
-          std::clamp(w, 1, params_.tam_width)));
+      preferred.push_back(SnapLut(c, std::clamp(w, 1, params_.tam_width)));
     }
   } else if (params_.deadline_sizing) {
     // Size all cores against a common deadline M: each core gets the
@@ -469,27 +624,51 @@ OptimizerResult TamScheduleOptimizer::Run(ScheduleWorkspace& ws) {
     }
   }
 
-  const auto n = static_cast<std::size_t>(problem_->soc.num_cores());
-  ws_->state.resize(n);
-  ws_->completed.assign(n, false);
-  ws_->active.clear();
+  // ---- Reset the SoA state and the admission index ----------------------
+  ws_->max_preemptions.assign(n, 0);
+  ws_->assigned_width.assign(n, 0);
+  ws_->time_remaining.assign(n, 0);
+  ws_->first_begin.assign(n, 0);
+  ws_->end_time.assign(n, 0);
+  ws_->preemptions.assign(n, 0);
+  ws_->overhead.assign(n, 0);
+  ws_->segments.resize(n);
+  for (auto& segs : ws_->segments) segs.clear();
+  ws_->begun.AssignClear(n);
+  ws_->running.AssignClear(n);
+  ws_->complete.AssignClear(n);
+  ws_->unstarted.AssignSet(n);
+  const auto buckets = static_cast<std::size_t>(params_.tam_width) + 1;
+  ws_->paused_by_width.resize(std::max(ws_->paused_by_width.size(), buckets));
+  for (auto& bucket : ws_->paused_by_width) bucket.clear();
+  ws_->paused_count = 0;
+  ws_->unstarted_by_pref.resize(
+      std::max(ws_->unstarted_by_pref.size(), buckets));
+  for (auto& bucket : ws_->unstarted_by_pref) bucket.clear();
   for (std::size_t i = 0; i < n; ++i) {
-    auto& s = ws_->state[i];
-    s.Reset();
-    s.preferred_width = preferred[i];
-    if (params_.allow_preemption) {
-      s.max_preemptions = problem_->soc.cores()[i].max_preemptions;
+    // Ascending core id per bucket: the idle-fill tie-break order.
+    ws_->unstarted_by_pref[static_cast<std::size_t>(preferred[i])].push_back(
+        static_cast<CoreId>(i));
+  }
+  ws_->started_now.clear();
+  if (params_.allow_preemption) {
+    for (std::size_t i = 0; i < n; ++i) {
+      int budget = problem_->soc.cores()[i].max_preemptions;
       if (params_.preemption_budget_override >= 0) {
-        s.max_preemptions =
-            std::min(s.max_preemptions, params_.preemption_budget_override);
+        budget = std::min(budget, params_.preemption_budget_override);
       }
+      ws_->max_preemptions[i] = budget;
     }
   }
+  ws_->active.clear();
   now_ = 0;
   rounds_ = 0;
   incomplete_ = problem_->soc.num_cores();
   used_width_ = 0;
   active_power_ = 0;
+  active_critical_ = 0;
+  candidates_examined_ = 0;
+  buckets_skipped_ = 0;
 
   // ---- Main loop (paper Fig. 4) ------------------------------------------
   while (incomplete_ > 0) {
@@ -516,27 +695,28 @@ OptimizerResult TamScheduleOptimizer::Run(ScheduleWorkspace& ws) {
   // ---- Emit schedule -----------------------------------------------------
   result.schedule = Schedule(problem_->soc.name(), params_.tam_width);
   for (CoreId c = 0; c < problem_->soc.num_cores(); ++c) {
-    auto& s = ws_->state[static_cast<std::size_t>(c)];
+    const auto u = static_cast<std::size_t>(c);
     CoreSchedule entry;
     entry.core = c;
-    entry.assigned_width = s.assigned_width;
-    entry.segments = std::move(s.segments);
-    entry.preemptions = s.preemptions;
-    entry.overhead_cycles = s.overhead;
+    entry.assigned_width = ws_->assigned_width[u];
+    entry.segments = std::move(ws_->segments[u]);
+    entry.preemptions = ws_->preemptions[u];
+    entry.overhead_cycles = ws_->overhead[u];
     result.schedule.Add(std::move(entry));
 
     CoreAssignment assignment;
     assignment.core = c;
-    assignment.preferred_width = s.preferred_width;
-    assignment.assigned_width = s.assigned_width;
-    assignment.test_time =
-        rects[static_cast<std::size_t>(c)].TimeAtWidth(s.assigned_width);
-    assignment.scheduled_time = assignment.test_time + s.overhead;
-    assignment.preemptions = s.preemptions;
+    assignment.preferred_width = ws_->preferred[u];
+    assignment.assigned_width = ws_->assigned_width[u];
+    assignment.test_time = TimeLut(c, ws_->assigned_width[u]);
+    assignment.scheduled_time = assignment.test_time + ws_->overhead[u];
+    assignment.preemptions = ws_->preemptions[u];
     result.assignments.push_back(assignment);
   }
   result.makespan = result.schedule.Makespan();
   result.admission_rounds = rounds_;
+  result.candidates_examined = candidates_examined_;
+  result.buckets_skipped = buckets_skipped_;
   return result;
 }
 

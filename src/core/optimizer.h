@@ -125,6 +125,16 @@ struct OptimizerResult {
   Time makespan = 0;
   int admission_rounds = 0;  // number of Update events
 
+  // Admission-selection effort counters (deterministic for fixed inputs,
+  // like the schedule itself). `candidates_examined` counts candidates the
+  // admission helpers actually looked at; `buckets_skipped` counts non-empty
+  // width buckets the admission index pruned without scanning because their
+  // width could not fit the free wires. Together they quantify the pruning
+  // the bucketed index buys over the historical scan-everything loops; the
+  // perf benches surface them in STATS lines.
+  std::int64_t candidates_examined = 0;
+  std::int64_t buckets_skipped = 0;
+
   // Set when the input was unschedulable; the schedule is empty then.
   std::optional<std::string> error;
 
@@ -148,39 +158,19 @@ struct OptimizerResult {
 // identity — so one workspace can safely serve runs against different
 // compiled problems (each switch just rebuilds the cache). Treat the
 // members as opaque.
+//
+// Layout (PR 7): the per-core state is struct-of-arrays. Admission scans
+// used to stride over an array of CoreState structs — each one dragging a
+// std::vector<ScheduleSegment> and two Times past the two ints a scan
+// actually reads — so every hot loop now touches a dense array of exactly
+// the field it needs, and the boolean flags are CoreBitset words so
+// "iterate the unstarted cores" skips 64 finished cores per word. On top of
+// the arrays sit the admission index (paused/unstarted cores bucketed by the
+// minimum TAM width they can use — see AdmitLimitReached/AdmitIdleFill) and
+// flat per-width snap/time lookup tables derived from the clipped rectangle
+// sets, cached under the same (compilation id, TAM width) key.
 struct ScheduleWorkspace {
-  // Per-core scheduling state, reset per run. (`segments` is moved into the
-  // emitted schedule at the end of a run, so its buffer is not retained.)
-  struct CoreState {
-    // Static after Initialize.
-    int preferred_width = 0;
-    int max_preemptions = 0;
-
-    // Dynamic.
-    int assigned_width = 0;
-    bool begun = false;
-    bool running = false;
-    bool complete = false;
-    Time first_begin = 0;
-    Time end_time = 0;      // last instant the core was running (pause/finish)
-    Time time_remaining = 0;
-    int preemptions = 0;
-    std::vector<ScheduleSegment> segments;
-    Time overhead = 0;
-
-    void Reset() {
-      preferred_width = 0;
-      max_preemptions = 0;
-      assigned_width = 0;
-      begun = running = complete = false;
-      first_begin = end_time = time_remaining = 0;
-      preemptions = 0;
-      segments.clear();
-      overhead = 0;
-    }
-  };
-
-  // One admission candidate (AdmitRanked scratch).
+  // One admission candidate (selection scratch).
   struct Candidate {
     CoreId core;
     Time remaining;
@@ -188,16 +178,58 @@ struct ScheduleWorkspace {
     int width;
   };
 
-  // Rectangle sets clipped to `rects_tam_width`, cached while the
-  // (compilation id, TAM width) pair is unchanged.
+  // ---- (compilation id, TAM width)-keyed cache --------------------------
+  // Rectangle sets clipped to `rects_tam_width`, plus the flat per-width
+  // lookup tables derived from them, cached while the key is unchanged.
   std::uint64_t rects_source_id = 0;  // 0 = cache empty
   int rects_tam_width = 0;
   std::vector<RectangleSet> rects;
+  // snap_lut[c * lut_stride + w] = rects[c].SnapWidth(w) and
+  // time_lut[c * lut_stride + w] = rects[c].TimeAtWidth(w) for w in
+  // [0, rects_tam_width]; lut_stride = rects_tam_width + 1. Admission does
+  // millions of these lookups per sweep — a flat load beats re-walking the
+  // Pareto list every time, and the fill loop is branch-light.
+  int lut_stride = 0;
+  std::vector<int> snap_lut;
+  std::vector<Time> time_lut;
 
-  std::vector<int> preferred;
-  std::vector<CoreState> state;
-  std::vector<bool> completed;
-  std::vector<Candidate> candidates;
+  // ---- Per-core state, struct-of-arrays, reset per run ------------------
+  std::vector<int> preferred;        // preferred width (static after init)
+  std::vector<int> max_preemptions;  // static after init
+  std::vector<int> assigned_width;
+  std::vector<Time> time_remaining;
+  std::vector<Time> first_begin;
+  std::vector<Time> end_time;   // last instant the core ran (pause/finish)
+  std::vector<int> preemptions;
+  std::vector<Time> overhead;
+  // Moved into the emitted schedule at the end of a run (buffer not kept).
+  std::vector<std::vector<ScheduleSegment>> segments;
+
+  // Status bitsets. complete doubles as the conflict policy's "finished"
+  // membership; unstarted (= !begun and !complete) is what the idle/insert
+  // fill heuristics iterate.
+  CoreBitset begun;
+  CoreBitset running;
+  CoreBitset complete;
+  CoreBitset unstarted;
+
+  // ---- Admission index --------------------------------------------------
+  // Paused cores bucketed by their (fixed) assigned width: a paused core can
+  // only resume onto >= assigned_width free wires, so admission rescans only
+  // the buckets that fit and prunes the rest unseen. Unstarted cores are
+  // bucketed by preferred width for the idle-fill window lookup; each bucket
+  // keeps ascending core-id order (the selection tie-break). Membership is
+  // maintained incrementally by Admit/AdvanceTime.
+  std::vector<std::vector<CoreId>> paused_by_width;
+  std::vector<std::vector<CoreId>> unstarted_by_pref;
+  int paused_count = 0;
+  // Cores first admitted at the current time (the width-boost candidates);
+  // cleared whenever time advances.
+  std::vector<CoreId> started_now;
+
+  // Selection scratch.
+  std::vector<Candidate> candidates;  // AdmitRanked's heap
+  std::vector<Candidate> eligible;    // deferred-conflict selection lists
   std::vector<CoreId> active;  // cores currently running, admission order
 };
 
@@ -221,8 +253,6 @@ class TamScheduleOptimizer {
   OptimizerResult Run(ScheduleWorkspace& ws);
 
  private:
-  using CoreState = ScheduleWorkspace::CoreState;
-
   // Admission helpers; all return true if at least one core was scheduled.
   bool AdmitLimitReached();
   bool AdmitRanked();
@@ -231,11 +261,24 @@ class TamScheduleOptimizer {
   bool BoostJustStarted();
   void AdvanceTime();  // paper's Update
 
-  // Starts/resumes `core` at `width` now. Handles preemption accounting.
+  // Starts/resumes `core` at `width` now. Handles preemption accounting and
+  // the admission-index bookkeeping (bucket removal, status bits).
   void Admit(CoreId core, int width);
 
   bool IsBlocked(CoreId core) const;
   int AvailableWidth() const { return params_.tam_width - used_width_; }
+
+  // Flat per-width lookups (== rects[c].SnapWidth/TimeAtWidth; see
+  // ScheduleWorkspace::snap_lut). `w` may exceed the TAM width only through
+  // the defensive clamp; admission always passes w in [0, tam_width].
+  int SnapLut(CoreId c, int w) const;
+  Time TimeLut(CoreId c, int w) const;
+
+  // Candidate ordering for AdmitRanked (paper priorities 2/3): true when a
+  // precedes b. A total order (core id last), so heap-pop order == the
+  // historical full-sort order.
+  bool RankedBefore(const ScheduleWorkspace::Candidate& a,
+                    const ScheduleWorkspace::Candidate& b) const;
 
   // (s_i + s_o) preemption penalty for `core` at `width`.
   Time PreemptionPenalty(CoreId core, int width) const;
@@ -252,9 +295,16 @@ class TamScheduleOptimizer {
   ScheduleWorkspace* ws_ = nullptr;
   int used_width_ = 0;
   std::int64_t active_power_ = 0;
+  // max time_remaining over the active set (the running critical path the
+  // insertion heuristics compare against); maintained by Admit, reset when
+  // the active set drains. Only consumed before BoostJustStarted can shorten
+  // an active test, so no downward maintenance is needed.
+  Time active_critical_ = 0;
   Time now_ = 0;
   int incomplete_ = 0;
   int rounds_ = 0;
+  std::int64_t candidates_examined_ = 0;
+  std::int64_t buckets_skipped_ = 0;
 };
 
 // Convenience wrappers: build + run in one call. The TestProblem overload

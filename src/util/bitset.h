@@ -1,0 +1,86 @@
+// CoreBitset — a dense dynamic bitset over 64-bit words, sized to the SOC's
+// core count. The scheduler's per-core status flags (begun/running/complete/
+// unstarted) live in these instead of std::vector<bool>: a membership scan
+// touches n/64 cache-resident words and skips empty words wholesale, which is
+// what makes "iterate the incomplete cores" O(set bits) instead of O(n) in
+// the admission hot path. Iteration order is ascending index — the same
+// order as the historical `for (CoreId c = 0; ...)` loops — so selection
+// tie-breaks ("first core found wins") are preserved bit-for-bit.
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace soctest {
+
+class CoreBitset {
+ public:
+  CoreBitset() = default;
+
+  // Resizes to `n` bits, all clear / all set. Reuses the word buffer, so a
+  // reused workspace re-Assigns without reallocating.
+  void AssignClear(std::size_t n) {
+    size_ = n;
+    words_.assign(WordCount(n), 0);
+  }
+  void AssignSet(std::size_t n) {
+    size_ = n;
+    words_.assign(WordCount(n), ~std::uint64_t{0});
+    ClearTail();
+  }
+
+  std::size_t size() const { return size_; }
+
+  bool test(std::size_t i) const {
+    return (words_[i >> 6] >> (i & 63)) & 1u;
+  }
+  void set(std::size_t i) { words_[i >> 6] |= std::uint64_t{1} << (i & 63); }
+  void reset(std::size_t i) { words_[i >> 6] &= ~(std::uint64_t{1} << (i & 63)); }
+
+  bool any() const {
+    for (const std::uint64_t w : words_) {
+      if (w != 0) return true;
+    }
+    return false;
+  }
+
+  std::size_t count() const {
+    std::size_t n = 0;
+    for (const std::uint64_t w : words_) {
+      n += static_cast<std::size_t>(std::popcount(w));
+    }
+    return n;
+  }
+
+  // Calls fn(index) for every set bit in ascending index order.
+  template <typename Fn>
+  void ForEachSet(Fn&& fn) const {
+    for (std::size_t wi = 0; wi < words_.size(); ++wi) {
+      std::uint64_t w = words_[wi];
+      while (w != 0) {
+        const int bit = std::countr_zero(w);
+        fn((wi << 6) + static_cast<std::size_t>(bit));
+        w &= w - 1;  // clear lowest set bit
+      }
+    }
+  }
+
+ private:
+  static std::size_t WordCount(std::size_t n) { return (n + 63) >> 6; }
+
+  // Bits past size_ must stay clear so any()/count()/ForEachSet never see
+  // phantom cores.
+  void ClearTail() {
+    const std::size_t tail = size_ & 63;
+    if (tail != 0 && !words_.empty()) {
+      words_.back() &= (std::uint64_t{1} << tail) - 1;
+    }
+  }
+
+  std::size_t size_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace soctest

@@ -27,6 +27,19 @@ RectangleSet::RectangleSet(CoreId core_id, TimeCurve curve, int w_limit)
   assert(!pareto_.empty());  // width 1 is always Pareto-optimal
 }
 
+RectangleSet::RectangleSet(CoreId core_id, TimeCurve curve,
+                           const std::vector<ParetoPoint>& pareto, int w_limit)
+    : core_id_(core_id),
+      w_limit_(std::max(1, std::min(curve.w_max(), w_limit))),
+      curve_(std::move(curve)) {
+  // `pareto` is sorted by width, so the clip is the longest prefix with
+  // width <= w_limit_: find its length, then bulk-copy.
+  std::size_t len = 0;
+  while (len < pareto.size() && pareto[len].width <= w_limit_) ++len;
+  pareto_.assign(pareto.begin(), pareto.begin() + static_cast<std::ptrdiff_t>(len));
+  assert(!pareto_.empty());  // width 1 is always Pareto-optimal
+}
+
 Time RectangleSet::TimeAtWidth(int w) const {
   return curve_.TimeAt(SnapWidth(w));
 }

@@ -29,6 +29,16 @@ class RectangleSet {
   // width rectangle sets from curves compiled once per core.
   RectangleSet(CoreId core_id, TimeCurve curve, int w_limit);
 
+  // Fast clipping path: the curve AND its Pareto points were both computed
+  // already (CompiledCore stores them), so clipping to w_limit is a plain
+  // prefix copy of `pareto` — one branch-light loop, no Pareto re-extraction
+  // over the curve. Exact by construction: whether width w is Pareto-optimal
+  // depends only on T(w) vs T(w-1), so clipping the domain to [1, w_limit]
+  // clips the Pareto set to the same prefix. `pareto` must be the Pareto
+  // points of `curve` (sorted by increasing width).
+  RectangleSet(CoreId core_id, TimeCurve curve,
+               const std::vector<ParetoPoint>& pareto, int w_limit);
+
   CoreId core_id() const { return core_id_; }
   const TimeCurve& curve() const { return curve_; }
   const std::vector<ParetoPoint>& pareto() const { return pareto_; }

@@ -1,0 +1,201 @@
+// Old-vs-new scheduler equivalence: the PR-7 hot-path refactor (struct-of-
+// arrays state, width-bucketed admission index, heap selection, per-width
+// LUTs) must be a pure performance change. Every case runs the production
+// TamScheduleOptimizer and the frozen pre-refactor copy
+// (tests/reference_optimizer.cc) on the same problem and requires the full
+// result to match bit for bit: every segment of every core's schedule, every
+// assignment diagnostic, the makespan, and the admission-round count.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/optimizer.h"
+#include "soc/benchmarks.h"
+#include "soc/generator.h"
+#include "reference_optimizer.h"
+
+namespace soctest {
+namespace {
+
+struct IndexCase {
+  std::string name;
+  std::uint64_t seed = 0;  // 0 = d695, else generated with this seed
+  int num_cores = 0;
+  int tam_width = 32;
+  bool preemptive = false;
+  bool constrained = false;  // hierarchy + resources + power cap + precedence
+};
+
+std::string CaseName(const ::testing::TestParamInfo<IndexCase>& info) {
+  return info.param.name;
+}
+
+TestProblem BuildProblem(const IndexCase& ic) {
+  TestProblem problem;
+  if (ic.seed == 0) {
+    problem = TestProblem::FromSoc(MakeD695());
+  } else {
+    GeneratorParams params;
+    params.name = "idx";
+    params.seed = ic.seed;
+    params.num_cores = ic.num_cores;
+    params.min_inputs = 1;
+    params.max_inputs = 80;
+    params.min_outputs = 1;
+    params.max_outputs = 80;
+    params.min_patterns = 1;
+    params.max_patterns = 300;
+    params.min_chains = 1;
+    params.max_chains = 12;
+    params.min_chain_len = 1;
+    params.max_chain_len = 90;
+    params.max_preemptions = ic.preemptive ? 2 : 0;
+    if (ic.constrained) {
+      params.child_probability = 0.2;
+      params.num_resources = 2;
+      params.resource_probability = 0.3;
+    }
+    problem = TestProblem::FromSoc(GenerateSoc(params));
+  }
+  if (ic.constrained) {
+    problem.power = PowerModel::FromSoc(problem.soc, 2.0);
+    if (problem.soc.num_cores() >= 4) {
+      problem.precedence.Add(0, 2);
+      problem.precedence.Add(1, 3);
+    }
+  }
+  return problem;
+}
+
+// The parameter variations the refactor touched: candidate ranking (heap
+// order), sizing modes (LUT-backed preferred widths), and each admission
+// heuristic toggled off (the restructured selection loops).
+std::vector<OptimizerParams> ParamGrid(const IndexCase& ic) {
+  OptimizerParams base;
+  base.tam_width = ic.tam_width;
+  base.allow_preemption = ic.preemptive;
+  std::vector<OptimizerParams> grid;
+  grid.push_back(base);
+  grid.push_back(base);
+  grid.back().rank = AdmissionRank::kWidth;
+  grid.push_back(base);
+  grid.back().rank = AdmissionRank::kArea;
+  grid.push_back(base);
+  grid.back().deadline_sizing = true;
+  grid.push_back(base);
+  grid.back().enable_idle_fill = false;
+  grid.push_back(base);
+  grid.back().enable_insert_fill = false;
+  grid.push_back(base);
+  grid.back().enable_width_boost = false;
+  if (ic.preemptive) {
+    grid.push_back(base);
+    grid.back().preemption_budget_override = 1;
+  }
+  return grid;
+}
+
+void ExpectBitIdentical(const OptimizerResult& ref, const OptimizerResult& got,
+                        const std::string& label) {
+  ASSERT_EQ(ref.ok(), got.ok()) << label;
+  if (!ref.ok()) return;
+  EXPECT_EQ(ref.makespan, got.makespan) << label;
+  EXPECT_EQ(ref.admission_rounds, got.admission_rounds) << label;
+
+  ASSERT_EQ(ref.schedule.entries().size(), got.schedule.entries().size())
+      << label;
+  for (std::size_t i = 0; i < ref.schedule.entries().size(); ++i) {
+    const CoreSchedule& r = ref.schedule.entries()[i];
+    const CoreSchedule& g = got.schedule.entries()[i];
+    const std::string at = label + " core " + std::to_string(r.core);
+    EXPECT_EQ(r.core, g.core) << at;
+    EXPECT_EQ(r.assigned_width, g.assigned_width) << at;
+    EXPECT_EQ(r.preemptions, g.preemptions) << at;
+    EXPECT_EQ(r.overhead_cycles, g.overhead_cycles) << at;
+    ASSERT_EQ(r.segments.size(), g.segments.size()) << at;
+    for (std::size_t s = 0; s < r.segments.size(); ++s) {
+      EXPECT_EQ(r.segments[s].span.begin, g.segments[s].span.begin) << at;
+      EXPECT_EQ(r.segments[s].span.end, g.segments[s].span.end) << at;
+      EXPECT_EQ(r.segments[s].width, g.segments[s].width) << at;
+    }
+  }
+
+  ASSERT_EQ(ref.assignments.size(), got.assignments.size()) << label;
+  for (std::size_t i = 0; i < ref.assignments.size(); ++i) {
+    const CoreAssignment& r = ref.assignments[i];
+    const CoreAssignment& g = got.assignments[i];
+    const std::string at = label + " assignment " + std::to_string(r.core);
+    EXPECT_EQ(r.core, g.core) << at;
+    EXPECT_EQ(r.preferred_width, g.preferred_width) << at;
+    EXPECT_EQ(r.assigned_width, g.assigned_width) << at;
+    EXPECT_EQ(r.test_time, g.test_time) << at;
+    EXPECT_EQ(r.scheduled_time, g.scheduled_time) << at;
+    EXPECT_EQ(r.preemptions, g.preemptions) << at;
+  }
+}
+
+class AdmissionIndexTest : public ::testing::TestWithParam<IndexCase> {};
+
+TEST_P(AdmissionIndexTest, BitIdenticalToReference) {
+  const IndexCase ic = GetParam();
+  const TestProblem problem = BuildProblem(ic);
+  const CompiledProblem compiled(problem);
+  ASSERT_TRUE(compiled.ok());
+  ScheduleWorkspace reused;  // also covers workspace reuse across the grid
+  int variant = 0;
+  for (const OptimizerParams& params : ParamGrid(ic)) {
+    const std::string label = ic.name + " variant " + std::to_string(variant++);
+    const OptimizerResult ref = testref::ReferenceOptimize(compiled, params);
+    const OptimizerResult fresh = Optimize(compiled, params);
+    ExpectBitIdentical(ref, fresh, label + " (fresh ws)");
+    const OptimizerResult warm = Optimize(compiled, params, reused);
+    ExpectBitIdentical(ref, warm, label + " (reused ws)");
+  }
+}
+
+// The effort counters are part of the deterministic contract: fixed inputs
+// give fixed counts, and a reused workspace must not change them (stale
+// bucket or bitset state leaking across runs would show up here first).
+TEST_P(AdmissionIndexTest, CountersDeterministicAndReuseInvariant) {
+  const IndexCase ic = GetParam();
+  const TestProblem problem = BuildProblem(ic);
+  const CompiledProblem compiled(problem);
+  ASSERT_TRUE(compiled.ok());
+  OptimizerParams params;
+  params.tam_width = ic.tam_width;
+  params.allow_preemption = ic.preemptive;
+
+  const OptimizerResult fresh = Optimize(compiled, params);
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_GT(fresh.candidates_examined, 0);
+
+  ScheduleWorkspace ws;
+  const OptimizerResult first = Optimize(compiled, params, ws);
+  const OptimizerResult second = Optimize(compiled, params, ws);
+  for (const OptimizerResult* r : {&first, &second}) {
+    ASSERT_TRUE(r->ok());
+    EXPECT_EQ(fresh.makespan, r->makespan);
+    EXPECT_EQ(fresh.candidates_examined, r->candidates_examined);
+    EXPECT_EQ(fresh.buckets_skipped, r->buckets_skipped);
+  }
+}
+
+std::vector<IndexCase> MakeCases() {
+  std::vector<IndexCase> cases;
+  cases.push_back({"d695_w16_np_free", 0, 0, 16, false, false});
+  cases.push_back({"d695_w32_pre_con", 0, 0, 32, true, true});
+  cases.push_back({"gen8_w13_np_con", 81, 8, 13, false, true});
+  cases.push_back({"gen8_w32_pre_free", 82, 8, 32, true, false});
+  cases.push_back({"gen16_w24_pre_con", 83, 16, 24, true, true});
+  cases.push_back({"gen32_w32_np_free", 84, 32, 32, false, false});
+  cases.push_back({"gen32_w16_pre_con", 85, 32, 16, true, true});
+  cases.push_back({"gen64_w32_pre_con", 99, 64, 32, true, true});
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AdmissionIndexEquivalence, AdmissionIndexTest,
+                         ::testing::ValuesIn(MakeCases()), CaseName);
+
+}  // namespace
+}  // namespace soctest

@@ -69,5 +69,43 @@ TEST_F(ConflictPolicyTest, MultipleActiveConflictsDetected) {
   EXPECT_TRUE(policy.Blocked(0, completed_, {1, 2, 3}, 0).has_value());
 }
 
+// The CoreBitset overload (the scheduler's hot-path completion state) must
+// answer exactly like the vector<bool> overload for identical membership,
+// across every constraint kind.
+TEST_F(ConflictPolicyTest, BitsetOverloadMatchesVectorOverload) {
+  precedence_.Add(0, 1);
+  concurrency_.Add(1, 2);
+  ConflictPolicy policy(&precedence_, &concurrency_, &power_);
+
+  CoreBitset completed_bits;
+  completed_bits.AssignClear(4);
+  const std::vector<CoreId> active_sets[] = {{}, {2}, {3}, {1, 2, 3}};
+  for (int done = 0; done < 2; ++done) {
+    if (done == 1) {
+      completed_[0] = true;
+      completed_bits.set(0);
+    }
+    for (const auto& active : active_sets) {
+      for (CoreId c = 0; c < 4; ++c) {
+        for (std::int64_t drawn : {0, 20, 45}) {
+          EXPECT_EQ(policy.Blocked(c, completed_, active, drawn).has_value(),
+                    policy.Blocked(c, completed_bits, active, drawn).has_value())
+              << "core " << c << " done=" << done << " power=" << drawn;
+        }
+      }
+    }
+  }
+}
+
+TEST_F(ConflictPolicyTest, BitsetPrecedenceUnblocksOnCompletion) {
+  precedence_.Add(0, 1);
+  ConflictPolicy policy(&precedence_, &concurrency_, &power_);
+  CoreBitset completed;
+  completed.AssignClear(4);
+  EXPECT_TRUE(policy.Blocked(1, completed, {}, 0).has_value());
+  completed.set(0);
+  EXPECT_FALSE(policy.Blocked(1, completed, {}, 0).has_value());
+}
+
 }  // namespace
 }  // namespace soctest

@@ -1,0 +1,518 @@
+// Frozen copy of the pre-refactor TamScheduleOptimizer (see the header).
+// This is the historical core/optimizer.cc admission loop, verbatim except
+// for mechanical adaptation: the per-run state lives in local vectors here
+// (the old ScheduleWorkspace::CoreState array-of-structs layout) instead of
+// the reusable workspace, and helpers are members of a local class. Any
+// behavioral edit to this file defeats its purpose as the bit-identity
+// oracle — do not "improve" it.
+#include "reference_optimizer.h"
+
+#include <algorithm>
+#include <cassert>
+#include <memory>
+#include <vector>
+
+#include "util/strings.h"
+
+namespace soctest {
+namespace testref {
+namespace {
+
+struct RefCoreState {
+  int preferred_width = 0;
+  int max_preemptions = 0;
+
+  int assigned_width = 0;
+  bool begun = false;
+  bool running = false;
+  bool complete = false;
+  Time first_begin = 0;
+  Time end_time = 0;
+  Time time_remaining = 0;
+  int preemptions = 0;
+  std::vector<ScheduleSegment> segments;
+  Time overhead = 0;
+};
+
+struct RefCandidate {
+  CoreId core;
+  Time remaining;
+  bool begun;
+  int width;
+};
+
+class ReferenceScheduler {
+ public:
+  ReferenceScheduler(const CompiledProblem& compiled, OptimizerParams params)
+      : compiled_(&compiled),
+        problem_(&compiled.problem()),
+        params_(std::move(params)),
+        conflict_(&problem_->precedence, &problem_->concurrency,
+                  &problem_->power) {}
+
+  OptimizerResult Run();
+
+ private:
+  bool AdmitLimitReached();
+  bool AdmitRanked();
+  bool AdmitIdleFill();
+  bool AdmitInsertFill();
+  bool BoostJustStarted();
+  void AdvanceTime();
+  void Admit(CoreId core, int width);
+  bool IsBlocked(CoreId core) const;
+  int AvailableWidth() const { return params_.tam_width - used_width_; }
+  Time PreemptionPenalty(CoreId core, int width) const {
+    return compiled_->FlushPenalty(core, std::max(1, width));
+  }
+
+  const CompiledProblem* compiled_;
+  const TestProblem* problem_;
+  OptimizerParams params_;
+  ConflictPolicy conflict_;
+
+  std::vector<RectangleSet> rects_;
+  std::vector<RefCoreState> state_;
+  std::vector<bool> completed_;
+  std::vector<CoreId> active_;
+  int used_width_ = 0;
+  std::int64_t active_power_ = 0;
+  Time now_ = 0;
+  int incomplete_ = 0;
+  int rounds_ = 0;
+};
+
+bool ReferenceScheduler::IsBlocked(CoreId core) const {
+  return conflict_.Blocked(core, completed_, active_, active_power_)
+      .has_value();
+}
+
+void ReferenceScheduler::Admit(CoreId core, int width) {
+  auto& s = state_[static_cast<std::size_t>(core)];
+  assert(!s.running && !s.complete);
+  const auto& rect = rects_[static_cast<std::size_t>(core)];
+  if (!s.begun) {
+    s.assigned_width = rect.SnapWidth(width);
+    s.time_remaining = rect.TimeAtWidth(s.assigned_width);
+    s.begun = true;
+    s.first_begin = now_;
+    s.end_time = now_;
+  } else if (s.end_time < now_) {
+    ++s.preemptions;
+    const Time penalty = PreemptionPenalty(core, s.assigned_width);
+    s.time_remaining += penalty;
+    s.overhead += penalty;
+  }
+  s.running = true;
+  active_.push_back(core);
+  used_width_ += s.assigned_width;
+  active_power_ += problem_->power.PowerOf(core);
+}
+
+bool ReferenceScheduler::AdmitLimitReached() {
+  bool any = false;
+  while (true) {
+    CoreId best = kNoCore;
+    Time best_rem = -1;
+    const int avail = AvailableWidth();
+    for (CoreId c = 0; c < problem_->soc.num_cores(); ++c) {
+      const auto& s = state_[static_cast<std::size_t>(c)];
+      if (!s.begun || s.running || s.complete) continue;
+      if (s.preemptions < s.max_preemptions) continue;
+      if (s.assigned_width > avail) continue;
+      if (IsBlocked(c)) continue;
+      if (s.time_remaining > best_rem) {
+        best = c;
+        best_rem = s.time_remaining;
+      }
+    }
+    if (best == kNoCore) break;
+    Admit(best, state_[static_cast<std::size_t>(best)].assigned_width);
+    any = true;
+  }
+  return any;
+}
+
+bool ReferenceScheduler::AdmitRanked() {
+  std::vector<RefCandidate> candidates;
+  for (CoreId c = 0; c < problem_->soc.num_cores(); ++c) {
+    const auto& s = state_[static_cast<std::size_t>(c)];
+    if (s.running || s.complete) continue;
+    if (s.begun) {
+      candidates.push_back({c, s.time_remaining, true, s.assigned_width});
+    } else {
+      candidates.push_back(
+          {c,
+           rects_[static_cast<std::size_t>(c)].TimeAtWidth(s.preferred_width),
+           false, s.preferred_width});
+    }
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [this](const RefCandidate& a, const RefCandidate& b) {
+              if (!params_.allow_preemption && a.begun != b.begun) {
+                return a.begun;
+              }
+              switch (params_.rank) {
+                case AdmissionRank::kWidth:
+                  if (a.width != b.width) return a.width > b.width;
+                  break;
+                case AdmissionRank::kArea: {
+                  const auto aa = static_cast<std::int64_t>(a.width) * a.remaining;
+                  const auto ab = static_cast<std::int64_t>(b.width) * b.remaining;
+                  if (aa != ab) return aa > ab;
+                  break;
+                }
+                case AdmissionRank::kTime:
+                  break;
+              }
+              if (a.remaining != b.remaining) return a.remaining > b.remaining;
+              if (a.begun != b.begun) return a.begun;
+              return a.core < b.core;
+            });
+
+  bool any = false;
+  for (const auto& cand : candidates) {
+    const auto& s = state_[static_cast<std::size_t>(cand.core)];
+    if (s.running) continue;
+    const int avail = AvailableWidth();
+    int width = cand.width;
+    if (width > avail) {
+      if (!params_.enable_insert_fill || cand.begun || avail <= 0) continue;
+      Time critical = 0;
+      for (const CoreId a : active_) {
+        critical = std::max(critical,
+                            state_[static_cast<std::size_t>(a)].time_remaining);
+      }
+      const auto& rect = rects_[static_cast<std::size_t>(cand.core)];
+      const int shrunk = rect.SnapWidth(avail);
+      if (shrunk > avail || rect.TimeAtWidth(shrunk) > critical) continue;
+      width = shrunk;
+    }
+    if (IsBlocked(cand.core)) continue;
+    Admit(cand.core, width);
+    any = true;
+  }
+  return any;
+}
+
+bool ReferenceScheduler::AdmitIdleFill() {
+  if (!params_.enable_idle_fill) return false;
+  bool any = false;
+  while (true) {
+    const int avail = AvailableWidth();
+    if (avail <= 0) break;
+    CoreId best = kNoCore;
+    int best_pref = 0;
+    for (CoreId c = 0; c < problem_->soc.num_cores(); ++c) {
+      const auto& s = state_[static_cast<std::size_t>(c)];
+      if (s.begun || s.running || s.complete) continue;
+      if (s.preferred_width > avail + params_.idle_fill_slack) continue;
+      if (s.preferred_width <= avail) continue;
+      if (IsBlocked(c)) continue;
+      if (best == kNoCore || s.preferred_width < best_pref) {
+        best = c;
+        best_pref = s.preferred_width;
+      }
+    }
+    if (best == kNoCore) break;
+    const int width = rects_[static_cast<std::size_t>(best)].SnapWidth(avail);
+    if (width <= 0 || width > avail) break;
+    Admit(best, width);
+    any = true;
+  }
+  return any;
+}
+
+bool ReferenceScheduler::AdmitInsertFill() {
+  if (!params_.enable_insert_fill) return false;
+  bool any = false;
+  while (true) {
+    const int avail = AvailableWidth();
+    if (avail <= 0) break;
+    Time critical = 0;
+    for (const CoreId a : active_) {
+      critical = std::max(critical,
+                          state_[static_cast<std::size_t>(a)].time_remaining);
+    }
+    if (critical == 0) break;
+    CoreId best = kNoCore;
+    Time best_time = -1;
+    int best_width = 0;
+    for (CoreId c = 0; c < problem_->soc.num_cores(); ++c) {
+      const auto& s = state_[static_cast<std::size_t>(c)];
+      if (s.begun || s.running || s.complete) continue;
+      const auto& rect = rects_[static_cast<std::size_t>(c)];
+      const int width = rect.SnapWidth(avail);
+      if (width > avail) continue;
+      const Time t = rect.TimeAtWidth(width);
+      if (t > critical) continue;
+      if (IsBlocked(c)) continue;
+      if (t > best_time) {
+        best = c;
+        best_time = t;
+        best_width = width;
+      }
+    }
+    if (best == kNoCore) break;
+    Admit(best, best_width);
+    any = true;
+  }
+  return any;
+}
+
+bool ReferenceScheduler::BoostJustStarted() {
+  if (!params_.enable_width_boost) return false;
+  bool any = false;
+  while (true) {
+    const int avail = AvailableWidth();
+    if (avail <= 0) break;
+    CoreId best = kNoCore;
+    Time best_gain = 0;
+    int best_new_width = 0;
+    for (CoreId c = 0; c < problem_->soc.num_cores(); ++c) {
+      const auto& s = state_[static_cast<std::size_t>(c)];
+      if (!s.running || s.first_begin != now_) continue;
+      const auto& rect = rects_[static_cast<std::size_t>(c)];
+      const int new_width = rect.SnapWidth(s.assigned_width + avail);
+      if (new_width <= s.assigned_width) continue;
+      const Time gain =
+          rect.TimeAtWidth(s.assigned_width) - rect.TimeAtWidth(new_width);
+      if (gain > best_gain) {
+        best = c;
+        best_gain = gain;
+        best_new_width = new_width;
+      }
+    }
+    if (best == kNoCore) break;
+    auto& s = state_[static_cast<std::size_t>(best)];
+    used_width_ += best_new_width - s.assigned_width;
+    s.assigned_width = best_new_width;
+    s.time_remaining =
+        rects_[static_cast<std::size_t>(best)].TimeAtWidth(best_new_width) +
+        s.overhead;
+    any = true;
+  }
+  return any;
+}
+
+void ReferenceScheduler::AdvanceTime() {
+  Time min_rem = -1;
+  for (const CoreId a : active_) {
+    const auto& s = state_[static_cast<std::size_t>(a)];
+    if (min_rem < 0 || s.time_remaining < min_rem) min_rem = s.time_remaining;
+  }
+  assert(min_rem > 0 && "AdvanceTime requires at least one running core");
+  const Time new_time = now_ + min_rem;
+  for (const CoreId c : active_) {
+    auto& s = state_[static_cast<std::size_t>(c)];
+    if (!s.segments.empty() && s.segments.back().span.end == now_ &&
+        s.segments.back().width == s.assigned_width) {
+      s.segments.back().span.end = new_time;
+    } else {
+      s.segments.push_back(
+          ScheduleSegment{Interval{now_, new_time}, s.assigned_width});
+    }
+    s.time_remaining -= min_rem;
+    s.running = false;
+    s.end_time = new_time;
+    if (s.time_remaining <= 0) {
+      s.complete = true;
+      completed_[static_cast<std::size_t>(c)] = true;
+      --incomplete_;
+    }
+  }
+  active_.clear();
+  used_width_ = 0;
+  active_power_ = 0;
+  now_ = new_time;
+  ++rounds_;
+}
+
+OptimizerResult ReferenceScheduler::Run() {
+  OptimizerResult result;
+
+  // ---- Input validation -------------------------------------------------
+  if (params_.tam_width < 1) {
+    result.error = "tam_width must be >= 1";
+    return result;
+  }
+  if (params_.w_max < 1) {
+    result.error = "w_max must be >= 1";
+    return result;
+  }
+  if (!compiled_->ok()) {
+    result.error = *compiled_->error();
+    return result;
+  }
+  if (params_.w_max != compiled_->w_max()) {
+    result.error = StrFormat(
+        "params.w_max (%d) does not match the CompiledProblem's w_max (%d)",
+        params_.w_max, compiled_->w_max());
+    return result;
+  }
+  if (auto problem = problem_->soc.Validate()) {
+    result.error = *problem;
+    return result;
+  }
+  if (problem_->precedence.HasCycle()) {
+    result.error = "precedence constraints form a cycle";
+    return result;
+  }
+  if (!problem_->power.unlimited()) {
+    for (const auto& core : problem_->soc.cores()) {
+      if (problem_->power.PowerOf(core.id) > problem_->power.pmax()) {
+        result.error = StrFormat(
+            "core '%s' has power %lld > Pmax %lld and can never be scheduled",
+            core.name.c_str(),
+            static_cast<long long>(problem_->power.PowerOf(core.id)),
+            static_cast<long long>(problem_->power.pmax()));
+        return result;
+      }
+    }
+  }
+
+  // ---- Initialize (paper Fig. 5) ----------------------------------------
+  rects_ = compiled_->RectsFor(params_.tam_width);
+  const std::vector<RectangleSet>& rects = rects_;
+  std::vector<int> preferred;
+  if (!params_.preferred_width_override.empty()) {
+    if (params_.preferred_width_override.size() !=
+        static_cast<std::size_t>(problem_->soc.num_cores())) {
+      result.error = "preferred_width_override must have one entry per core";
+      return result;
+    }
+    for (CoreId c = 0; c < problem_->soc.num_cores(); ++c) {
+      const int w = params_.preferred_width_override[static_cast<std::size_t>(c)];
+      preferred.push_back(rects[static_cast<std::size_t>(c)].SnapWidth(
+          std::clamp(w, 1, params_.tam_width)));
+    }
+  } else if (params_.deadline_sizing) {
+    const SocBounds bounds = compiled_->Bounds(params_.tam_width);
+    Time lo = bounds.LowerBound(params_.tam_width);
+    Time hi = bounds.serial_time;
+
+    auto width_for_deadline = [this](const RectangleSet& rect, Time deadline) {
+      int pref = rect.MaxWidth();
+      for (const auto& p : rect.pareto()) {
+        if (p.time <= deadline) {
+          pref = p.width;
+          break;
+        }
+      }
+      return rect.SnapWidth(std::min(pref, params_.tam_width));
+    };
+    auto demand = [&](Time deadline) {
+      int total = 0;
+      for (const auto& rect : rects) total += width_for_deadline(rect, deadline);
+      return total;
+    };
+
+    Time deadline = hi;
+    if (demand(lo) <= params_.tam_width) {
+      deadline = lo;
+    } else {
+      while (lo + 1 < hi) {
+        const Time mid = lo + (hi - lo) / 2;
+        if (demand(mid) <= params_.tam_width) {
+          hi = mid;
+        } else {
+          lo = mid;
+        }
+      }
+      deadline = hi;
+    }
+    deadline = static_cast<Time>(static_cast<double>(deadline) *
+                                 (1.0 + params_.s_percent / 100.0));
+    for (const auto& rect : rects) {
+      preferred.push_back(width_for_deadline(rect, deadline));
+    }
+  } else {
+    PreferredWidthParams pw{params_.s_percent, params_.delta};
+    for (const auto& rect : rects) {
+      const int pref = PreferredWidth(rect.curve(), pw);
+      preferred.push_back(rect.SnapWidth(std::min(pref, params_.tam_width)));
+    }
+  }
+
+  const auto n = static_cast<std::size_t>(problem_->soc.num_cores());
+  state_.assign(n, RefCoreState{});
+  completed_.assign(n, false);
+  active_.clear();
+  for (std::size_t i = 0; i < n; ++i) {
+    auto& s = state_[i];
+    s.preferred_width = preferred[i];
+    if (params_.allow_preemption) {
+      s.max_preemptions = problem_->soc.cores()[i].max_preemptions;
+      if (params_.preemption_budget_override >= 0) {
+        s.max_preemptions =
+            std::min(s.max_preemptions, params_.preemption_budget_override);
+      }
+    }
+  }
+  now_ = 0;
+  rounds_ = 0;
+  incomplete_ = problem_->soc.num_cores();
+  used_width_ = 0;
+  active_power_ = 0;
+
+  // ---- Main loop (paper Fig. 4) ------------------------------------------
+  while (incomplete_ > 0) {
+    bool progress = false;
+    progress |= AdmitLimitReached();
+    progress |= AdmitRanked();
+    progress |= AdmitIdleFill();
+    progress |= AdmitInsertFill();
+    BoostJustStarted();
+
+    if (active_.empty()) {
+      if (!progress) {
+        result.error = "scheduler deadlock: no core admissible";
+        return result;
+      }
+      continue;
+    }
+    AdvanceTime();
+  }
+
+  // ---- Emit schedule -----------------------------------------------------
+  result.schedule = Schedule(problem_->soc.name(), params_.tam_width);
+  for (CoreId c = 0; c < problem_->soc.num_cores(); ++c) {
+    auto& s = state_[static_cast<std::size_t>(c)];
+    CoreSchedule entry;
+    entry.core = c;
+    entry.assigned_width = s.assigned_width;
+    entry.segments = std::move(s.segments);
+    entry.preemptions = s.preemptions;
+    entry.overhead_cycles = s.overhead;
+    result.schedule.Add(std::move(entry));
+
+    CoreAssignment assignment;
+    assignment.core = c;
+    assignment.preferred_width = s.preferred_width;
+    assignment.assigned_width = s.assigned_width;
+    assignment.test_time =
+        rects[static_cast<std::size_t>(c)].TimeAtWidth(s.assigned_width);
+    assignment.scheduled_time = assignment.test_time + s.overhead;
+    assignment.preemptions = s.preemptions;
+    result.assignments.push_back(assignment);
+  }
+  result.makespan = result.schedule.Makespan();
+  result.admission_rounds = rounds_;
+  return result;
+}
+
+}  // namespace
+
+OptimizerResult ReferenceOptimize(const CompiledProblem& compiled,
+                                  const OptimizerParams& params) {
+  return ReferenceScheduler(compiled, params).Run();
+}
+
+OptimizerResult ReferenceOptimize(const TestProblem& problem,
+                                  const OptimizerParams& params) {
+  const CompiledProblem compiled(problem, params.w_max);
+  return ReferenceOptimize(compiled, params);
+}
+
+}  // namespace testref
+}  // namespace soctest

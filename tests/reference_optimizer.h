@@ -1,0 +1,34 @@
+// Reference scheduler — a frozen copy of the pre-PR-7 TamScheduleOptimizer
+// admission loop, kept test-only as the oracle for the hot-path refactor.
+//
+// The production scheduler (core/optimizer.cc) was restructured for speed:
+// struct-of-arrays core state, a width-bucketed admission index, heap-based
+// candidate selection with early exit, and per-width lookup tables. All of
+// that is required to be a pure performance change — bit-identical schedules,
+// assignments, and admission-round counts for every input. This file keeps
+// the original rebuild-everything / sort-everything implementation (array-of-
+// structs state, full candidate sort per round, linear scans over all cores)
+// so the property suite can diff the two end to end.
+//
+// Deliberately unoptimized and allocation-heavy: its value is being obviously
+// equivalent to the historical code, not being fast. Test-only — never link
+// this into the library or tools.
+#pragma once
+
+#include "core/optimizer.h"
+
+namespace soctest {
+namespace testref {
+
+// Runs the frozen reference algorithm against pre-compiled artifacts.
+// Equivalent (bit-for-bit) to soctest::Optimize(compiled, params) before the
+// admission-index refactor; the new scheduler must keep matching it.
+OptimizerResult ReferenceOptimize(const CompiledProblem& compiled,
+                                  const OptimizerParams& params);
+
+// Compatibility overload: compiles privately at params.w_max, then runs.
+OptimizerResult ReferenceOptimize(const TestProblem& problem,
+                                  const OptimizerParams& params);
+
+}  // namespace testref
+}  // namespace soctest

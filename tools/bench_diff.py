@@ -1,0 +1,186 @@
+#!/usr/bin/env python3
+"""Compare two bench_results JSON files (or directories of them).
+
+bench/run_all.sh writes one BENCH_<name>.json per bench binary, holding the
+wall-clock plus every "MAKESPAN key=value" and "STATS key=value" line the
+bench printed, parsed into "makespans" / "stats" object arrays. This tool
+diffs a baseline capture against a current one:
+
+  * "makespans" must match exactly (order-sensitive) — schedule quality is
+    deterministic for fixed inputs, so any drift is a real behavior change.
+  * "stats" must match exactly after dropping the volatile keys — counters
+    that depend on thread interleaving (cache hit/miss/eviction splits,
+    compile counts, dedup hits/joins) legitimately differ across machines
+    and runs, so they are ignored by default; everything else (improver
+    improvements/attempts/rounds, B&B node counts, admission rounds and the
+    scheduler's candidates_examined/buckets_skipped) is deterministic and
+    compared.
+  * wall_ms deltas are reported for information only — they never fail the
+    diff (CI machines vary too much for a hard wall-clock gate).
+
+Exit status: 0 when all compared files match, 1 on any mismatch, 2 on usage
+or missing-file errors.
+
+Usage:
+  tools/bench_diff.py BASELINE.json CURRENT.json
+  tools/bench_diff.py baseline_dir/ current_dir/   # matches BENCH_*.json by name
+  ... [--ignore-key KEY]...   # extend the volatile-key list
+"""
+
+import argparse
+import json
+import os
+import sys
+
+# Stats keys that depend on thread/shard interleaving or machine parallelism
+# rather than on the algorithms under test. Everything not listed here is
+# treated as deterministic and diffed strictly.
+DEFAULT_IGNORED_KEYS = frozenset({
+    "cache_hits",
+    "cache_misses",
+    "cache_evictions",
+    "compiles",
+    "core_hits",
+    "core_misses",
+    "core_evictions",
+    "core_collisions",
+    "core_compiles",
+    "core_entries",
+    "dedup_hits",
+    "dedup_joins",
+    "evaluations",
+})
+
+
+def load(path):
+    with open(path, "r", encoding="utf-8") as f:
+        return json.load(f)
+
+
+def strip_ignored(entries, ignored):
+    return [
+        {k: v for k, v in entry.items() if k not in ignored}
+        for entry in entries
+    ]
+
+
+def diff_entry_lists(label, base, cur, out):
+    """Appends human-readable mismatch lines to `out`; returns match bool."""
+    if base == cur:
+        return True
+    out.append(f"  {label}: MISMATCH")
+    if len(base) != len(cur):
+        out.append(f"    entry count: baseline {len(base)} vs current {len(cur)}")
+    for i, (b, c) in enumerate(zip(base, cur)):
+        if b != c:
+            out.append(f"    [{i}] baseline: {json.dumps(b, sort_keys=True)}")
+            out.append(f"    [{i}]  current: {json.dumps(c, sort_keys=True)}")
+    for i in range(min(len(base), len(cur)), len(base)):
+        out.append(f"    [{i}] only in baseline: {json.dumps(base[i], sort_keys=True)}")
+    for i in range(min(len(base), len(cur)), len(cur)):
+        out.append(f"    [{i}] only in current:  {json.dumps(cur[i], sort_keys=True)}")
+    return False
+
+
+def compare_files(base_path, cur_path, ignored):
+    base = load(base_path)
+    cur = load(cur_path)
+    name = base.get("bench", os.path.basename(base_path))
+    lines = [f"== {name} =="]
+    ok = True
+
+    base_wall = base.get("wall_ms")
+    cur_wall = cur.get("wall_ms")
+    if isinstance(base_wall, (int, float)) and isinstance(cur_wall, (int, float)):
+        delta = cur_wall - base_wall
+        pct = (100.0 * delta / base_wall) if base_wall else float("inf")
+        lines.append(
+            f"  wall_ms: {base_wall} -> {cur_wall} ({delta:+d} ms, {pct:+.1f}%)"
+            " [informational]"
+        )
+
+    if base.get("status") != cur.get("status"):
+        lines.append(
+            f"  status: MISMATCH baseline={base.get('status')!r}"
+            f" current={cur.get('status')!r}"
+        )
+        ok = False
+
+    ok &= diff_entry_lists(
+        "makespans", base.get("makespans", []), cur.get("makespans", []), lines
+    )
+    ok &= diff_entry_lists(
+        "stats (volatile keys ignored)",
+        strip_ignored(base.get("stats", []), ignored),
+        strip_ignored(cur.get("stats", []), ignored),
+        lines,
+    )
+    if ok:
+        lines.append("  makespans/stats: identical")
+    return ok, lines
+
+
+def collect_pairs(base_arg, cur_arg):
+    """Yields (baseline, current) file pairs; raises FileNotFoundError."""
+    if os.path.isdir(base_arg) != os.path.isdir(cur_arg):
+        raise ValueError("pass two files or two directories, not a mix")
+    if not os.path.isdir(base_arg):
+        return [(base_arg, cur_arg)]
+    names = sorted(
+        n for n in os.listdir(base_arg)
+        if n.startswith("BENCH_") and n.endswith(".json")
+    )
+    if not names:
+        raise ValueError(f"no BENCH_*.json files in {base_arg}")
+    pairs = []
+    for n in names:
+        cur_path = os.path.join(cur_arg, n)
+        if not os.path.exists(cur_path):
+            raise FileNotFoundError(f"{cur_path} (present in baseline dir)")
+        pairs.append((os.path.join(base_arg, n), cur_path))
+    return pairs
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        description="Diff bench_results JSON against a baseline."
+    )
+    parser.add_argument("baseline", help="baseline BENCH_*.json file or directory")
+    parser.add_argument("current", help="current BENCH_*.json file or directory")
+    parser.add_argument(
+        "--ignore-key",
+        action="append",
+        default=[],
+        metavar="KEY",
+        help="additional stats key to ignore (repeatable)",
+    )
+    args = parser.parse_args(argv)
+
+    ignored = DEFAULT_IGNORED_KEYS | set(args.ignore_key)
+    try:
+        pairs = collect_pairs(args.baseline, args.current)
+    except (ValueError, FileNotFoundError) as e:
+        print(f"bench_diff: error: {e}", file=sys.stderr)
+        return 2
+
+    all_ok = True
+    for base_path, cur_path in pairs:
+        try:
+            ok, lines = compare_files(base_path, cur_path, ignored)
+        except (OSError, json.JSONDecodeError) as e:
+            print(f"bench_diff: error reading {base_path} vs {cur_path}: {e}",
+                  file=sys.stderr)
+            return 2
+        print("\n".join(lines))
+        all_ok &= ok
+
+    if not all_ok:
+        print("bench_diff: FAIL — deterministic results drifted from the "
+              "baseline (regenerate it only for an intentional change)")
+        return 1
+    print("bench_diff: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
