@@ -1,0 +1,170 @@
+// Load bench for the TCP serving front-end: an in-process SocServer under a
+// duplicate-heavy multi-connection workload — the shape a production SOC
+// test service actually sees (many clients asking about the same few
+// designs), and the case the dedup + core-cache stack exists for.
+//
+// Output follows the bench contract (bench/run_all.sh):
+//  * MAKESPAN lines for the DISTINCT requests — deterministic response
+//    content, gated strictly by tools/bench_diff.py;
+//  * one "STATS bench=load_server ..." line with throughput (qps) and
+//    latency percentiles — volatile keys bench_diff default-ignores.
+//
+// The bench fails (non-zero) if any request is shed, any response is an
+// ERROR line, or any duplicate answers different bytes than its first
+// occurrence — load must never break the bit-identity contract.
+#include <cstdio>
+#include <chrono>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/net/client.h"
+#include "service/net/soc_server.h"
+#include "util/strings.h"
+
+using namespace soctest;
+
+namespace {
+
+// The distinct request pool; every client cycles through it, so all but the
+// first evaluation of each line is dedup food.
+const std::vector<std::string>& DistinctRequests() {
+  static const std::vector<std::string> kPool = {
+      "d695 16 schedule",
+      "d695 20 schedule",
+      "d695 24 schedule",
+      "d695 28 schedule preempt=1",
+      "d695 16 sweep min=12",
+      "d695 24 improve iters=8 batch=2 seed=7",
+  };
+  return kPool;
+}
+
+struct ClientRun {
+  std::vector<std::string> responses;  // indexed by req (arrival order varies)
+  bool ok = false;
+};
+
+// One client connection: send `rounds` passes over the pool, half-close,
+// read everything back, index responses by their req= tag.
+ClientRun RunClient(int port, int rounds) {
+  ClientRun run;
+  LineClient client;
+  std::string error;
+  if (!client.Connect(port, &error)) {
+    std::fprintf(stderr, "connect: %s\n", error.c_str());
+    return run;
+  }
+  const auto& pool = DistinctRequests();
+  const std::size_t total = pool.size() * static_cast<std::size_t>(rounds);
+  for (int r = 0; r < rounds; ++r) {
+    for (const std::string& line : pool) {
+      if (!client.SendLine(line)) return run;
+    }
+  }
+  client.ShutdownWrite();
+
+  std::map<int, std::string> by_index;
+  while (auto line = client.ReadLine(30000)) {
+    const std::size_t tag = line->find("req=");
+    if (tag == std::string::npos) return run;
+    by_index[std::stoi(line->substr(tag + 4))] = std::move(*line);
+  }
+  if (by_index.size() != total) {
+    std::fprintf(stderr, "client got %zu/%zu responses\n", by_index.size(),
+                 total);
+    return run;
+  }
+  run.responses.reserve(total);
+  for (auto& [index, line] : by_index) run.responses.push_back(std::move(line));
+  run.ok = true;
+  return run;
+}
+
+}  // namespace
+
+int main() {
+  constexpr int kClients = 4;
+  constexpr int kRounds = 10;
+
+  ServerOptions options;
+  options.batch.threads = 0;  // hardware
+  options.batch.dedup = true;
+  options.admission_depth = 1024;  // this bench measures throughput, not sheds
+  options.write_buffer_lines = 1024;
+  SocServer server(options);
+  std::string error;
+  if (!server.Start(&error)) {
+    std::fprintf(stderr, "start: %s\n", error.c_str());
+    return 1;
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<ClientRun> runs(kClients);
+  {
+    std::vector<std::thread> clients;
+    clients.reserve(kClients);
+    for (int c = 0; c < kClients; ++c) {
+      clients.emplace_back([&runs, c, port = server.port()] {
+        runs[static_cast<std::size_t>(c)] = RunClient(port, kRounds);
+      });
+    }
+    for (std::thread& t : clients) t.join();
+  }
+  const auto elapsed_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                              std::chrono::steady_clock::now() - start)
+                              .count();
+
+  const auto& pool = DistinctRequests();
+  const int total_requests = kClients * kRounds * static_cast<int>(pool.size());
+  for (const ClientRun& run : runs) {
+    if (!run.ok) return 1;
+  }
+  // Every duplicate (across rounds AND across connections) must answer the
+  // exact bytes of its first occurrence, modulo the req= tag.
+  const auto strip_req = [](const std::string& line) {
+    const std::size_t tag = line.find(' ', line.find("req="));
+    return line.substr(tag == std::string::npos ? 0 : tag);
+  };
+  for (const ClientRun& run : runs) {
+    for (std::size_t i = 0; i < run.responses.size(); ++i) {
+      const std::string& first = runs[0].responses[i % pool.size()];
+      if (run.responses[i].rfind("MAKESPAN ", 0) != 0 ||
+          strip_req(run.responses[i]) != strip_req(first)) {
+        std::fprintf(stderr, "response divergence at %zu:\n  %s\n  %s\n", i,
+                     run.responses[i].c_str(), first.c_str());
+        return 1;
+      }
+    }
+  }
+
+  // Deterministic content: the distinct responses, once.
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    std::printf("%s\n", runs[0].responses[i].c_str());
+  }
+
+  const ServerStats stats = server.stats();
+  const double qps = elapsed_us > 0
+                         ? static_cast<double>(total_requests) * 1e6 /
+                               static_cast<double>(elapsed_us)
+                         : 0.0;
+  std::printf(
+      "STATS bench=load_server clients=%d requests=%d served=%lld "
+      "shed_overload=%lld shed_deadline=%lld responses_dropped=%lld "
+      "queue_depth_peak=%lld dedup_hits=%lld dedup_joins=%lld "
+      "elapsed_us=%lld qps=%d p50_service_us=%lld p99_service_us=%lld\n",
+      kClients, total_requests, static_cast<long long>(stats.served),
+      static_cast<long long>(stats.shed_overload),
+      static_cast<long long>(stats.shed_deadline),
+      static_cast<long long>(stats.responses_dropped),
+      static_cast<long long>(stats.queue_depth_peak),
+      static_cast<long long>(server.scheduler().results().stats().hits),
+      static_cast<long long>(server.scheduler().results().stats().joins),
+      static_cast<long long>(elapsed_us), static_cast<int>(qps),
+      static_cast<long long>(stats.p50_service_us),
+      static_cast<long long>(stats.p99_service_us));
+
+  server.Stop();
+  return stats.served == total_requests ? 0 : 1;
+}

@@ -17,7 +17,7 @@ BatchScheduler::BatchScheduler(const BatchOptions& options)
       pool_(options.threads),
       workspaces_(pool_) {}
 
-BatchItemResult BatchScheduler::Serve(const BatchRequest& request, int index,
+BatchItemResult BatchScheduler::ServeOne(const BatchRequest& request, int index,
                                       ScheduleWorkspace& ws) {
   // One canonical SOC serialization per request — shared by the result key
   // and the compiled-problem lookup, which would otherwise each run
@@ -141,7 +141,7 @@ BatchOutcome BatchScheduler::Run(const std::vector<BatchRequest>& requests) {
   outcome.results.resize(requests.size());
   pool_.ParallelForWorker(
       requests.size(), [&](std::size_t worker, std::size_t i) {
-        outcome.results[i] = Serve(requests[i], static_cast<int>(i),
+        outcome.results[i] = ServeOne(requests[i], static_cast<int>(i),
                                    workspaces_.slot(worker));
       });
   for (const BatchItemResult& item : outcome.results) {

@@ -82,18 +82,24 @@ class BatchScheduler {
   // see the determinism contract above.
   BatchOutcome Run(const std::vector<BatchRequest>& requests);
 
+  // Serves ONE request on a caller-owned workspace — the entry the TCP
+  // front-end (service/net/soc_server.h) drives from its own worker
+  // threads. This is exactly the per-request path Run() distributes, so a
+  // request served over a socket is bit-identical to the same request in an
+  // offline batch. Thread-safe: the caches are sharded and the dedup path
+  // is single-flight; concurrent callers need only distinct workspaces.
+  // `index` is the caller's slot/sequence tag, echoed in the result.
+  BatchItemResult ServeOne(const BatchRequest& request, int index,
+                           ScheduleWorkspace& ws);
+
   const CompiledProblemCache& cache() const { return cache_; }
   const ResultCache& results() const { return results_; }
   int threads() const { return pool_.size(); }
 
  private:
-  // Dedup front door: result-cache hit / in-flight join, or evaluate as the
-  // leader and publish. Falls through to Evaluate when dedup is off.
-  BatchItemResult Serve(const BatchRequest& request, int index,
-                        ScheduleWorkspace& ws);
 
   // One full evaluation (compile lookup + search/improve/sweep). `canonical`
-  // is the request SOC's canonical serialization, computed once in Serve.
+  // is the request SOC's canonical serialization, computed once in ServeOne.
   BatchItemResult Evaluate(const BatchRequest& request, int index,
                            std::string canonical, ScheduleWorkspace& ws);
 

@@ -1,0 +1,90 @@
+// BoundedQueue — the admission queue between connection readers and the
+// serving workers, and the reason the server's memory is bounded.
+//
+// The DAQ-front-end shape (bounded stage, explicit shed, drop accounting):
+// readers TryPush and handle `false` by shedding with an explicit ERROR
+// response — there is no blocking push, so a flooded server answers
+// "overloaded" instead of growing a queue or stalling its readers. Workers
+// Pop (blocking); Close() wakes them all and lets the queue drain: pops
+// keep succeeding until empty, so closing never discards queued work —
+// what happens to the drained items (serve vs shed) is the worker's drain
+// policy, not the queue's.
+//
+// `peak()` records the high-water depth ever reached — the capacity-planning
+// counter the STATS line reports as queue_depth_peak.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <utility>
+
+namespace soctest {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  // depth < 1 clamps to 1 — a zero-depth admission queue would shed every
+  // request, which is never what a config meant.
+  explicit BoundedQueue(int depth) : depth_(depth < 1 ? 1 : depth) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  // False when full or closed — the caller owes the item an explicit shed.
+  bool TryPush(T item) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_ || static_cast<int>(items_.size()) >= depth_) return false;
+      items_.push_back(std::move(item));
+      if (static_cast<std::int64_t>(items_.size()) > peak_) {
+        peak_ = static_cast<std::int64_t>(items_.size());
+      }
+    }
+    ready_.notify_one();
+    return true;
+  }
+
+  // Blocks until an item is available or the queue is closed AND empty
+  // (drained); false only in the latter case.
+  bool Pop(T& out) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    ready_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return false;
+    out = std::move(items_.front());
+    items_.pop_front();
+    return true;
+  }
+
+  // Rejects future pushes and wakes every blocked Pop; idempotent.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    ready_.notify_all();
+  }
+
+  int depth() const { return depth_; }
+
+  int size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return static_cast<int>(items_.size());
+  }
+
+  std::int64_t peak() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return peak_;
+  }
+
+ private:
+  const int depth_;
+  mutable std::mutex mutex_;
+  std::condition_variable ready_;
+  std::deque<T> items_;
+  bool closed_ = false;
+  std::int64_t peak_ = 0;
+};
+
+}  // namespace soctest

@@ -1,0 +1,69 @@
+#include "service/net/client.h"
+
+#include <utility>
+
+namespace soctest {
+
+bool LineClient::Connect(int port, std::string* error) {
+  std::string problem;
+  Socket socket = ConnectToLoopback(port, &problem);
+  if (!socket.valid()) {
+    if (error != nullptr) *error = problem;
+    return false;
+  }
+  socket_ = std::move(socket);
+  buffer_.clear();
+  return true;
+}
+
+bool LineClient::SendLine(const std::string& line) {
+  if (!socket_.valid()) return false;
+  std::string payload = line;
+  payload += '\n';
+  return WriteAll(socket_.fd(), payload);
+}
+
+bool LineClient::SendRaw(const std::string& bytes) {
+  if (!socket_.valid()) return false;
+  return WriteAll(socket_.fd(), bytes);
+}
+
+std::optional<std::string> LineClient::ReadLine(int timeout_ms) {
+  while (true) {
+    const std::size_t newline = buffer_.find('\n');
+    if (newline != std::string::npos) {
+      std::string line = buffer_.substr(0, newline);
+      buffer_.erase(0, newline + 1);
+      return line;
+    }
+    if (!socket_.valid()) return std::nullopt;
+    if (timeout_ms >= 0) {
+      const int readable = PollReadable(socket_.fd(), timeout_ms);
+      if (readable <= 0) return std::nullopt;  // timeout or poll error
+    }
+    char chunk[4096];
+    const long got = ReadSome(socket_.fd(), chunk, sizeof(chunk));
+    if (got <= 0) {
+      // EOF / error: whatever is buffered has no terminator — drop it, the
+      // protocol only ever speaks whole lines.
+      socket_.Close();
+      return std::nullopt;
+    }
+    buffer_.append(chunk, static_cast<std::size_t>(got));
+  }
+}
+
+void LineClient::ShutdownWrite() { socket_.ShutdownWrite(); }
+
+std::vector<std::string> LineClient::ReadRemaining(int timeout_ms) {
+  std::vector<std::string> lines;
+  while (auto line = ReadLine(timeout_ms)) lines.push_back(std::move(*line));
+  return lines;
+}
+
+void LineClient::Close() {
+  socket_.Close();
+  buffer_.clear();
+}
+
+}  // namespace soctest

@@ -1,0 +1,53 @@
+// LineClient — the minimal loopback client for the request-line protocol.
+//
+// Exists for the loopback CTests and bench/load_server: connect, send
+// request lines, read response lines. It is deliberately blocking and
+// single-threaded per instance — test clients want determinism, not
+// throughput — but ReadLine takes a timeout so a test that expects NO
+// response (a shed connection, a stalled writer) can assert that without
+// hanging CTest.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "service/net/socket.h"
+
+namespace soctest {
+
+class LineClient {
+ public:
+  LineClient() = default;
+
+  // Connects to 127.0.0.1:port. False (with *error) on failure.
+  bool Connect(int port, std::string* error);
+
+  bool connected() const { return socket_.valid(); }
+
+  // Sends `line` + '\n'. False when the connection is dead.
+  bool SendLine(const std::string& line);
+
+  // Sends bytes exactly as given — the seam for testing unterminated lines
+  // and oversized floods. False when the connection is dead.
+  bool SendRaw(const std::string& bytes);
+
+  // Next '\n'-terminated line (terminator stripped), or nullopt on EOF /
+  // error / timeout. timeout_ms < 0 blocks indefinitely.
+  std::optional<std::string> ReadLine(int timeout_ms = -1);
+
+  // Half-close: tells the server this client is done sending. Responses can
+  // still be read — the drain tests end exactly this way.
+  void ShutdownWrite();
+
+  // Reads lines until EOF (or until a single read stalls past timeout_ms).
+  std::vector<std::string> ReadRemaining(int timeout_ms = 5000);
+
+  void Close();
+
+ private:
+  Socket socket_;
+  std::string buffer_;  // bytes read past the last returned line
+};
+
+}  // namespace soctest

@@ -1,0 +1,65 @@
+// FaultInjector — the deterministic failure seam of the serving front-end.
+//
+// Every degraded path the server promises to survive (accept failure, a
+// client whose reads or writes die mid-stream, a reader too slow to drain
+// its responses, an evaluation that outlives its deadline) is reachable on
+// demand through this struct, so the CTest suites exercise them as ordinary
+// assertions instead of hoping a stress run stumbles into the right race.
+//
+// A server is given at most one injector (ServerOptions::faults, normally
+// nullptr); tests own it and flip the knobs below. Budget counters
+// (fail_accepts/fail_reads/fail_writes) are consumed one per I/O attempt via
+// Consume; gates (hold_workers, stall_new_connection_writes) stay in force
+// until the test clears them. All fields are atomic so tests mutate them
+// while server threads run — no locks, no ordering requirements beyond
+// "eventually observed", which the polling sites guarantee.
+#pragma once
+
+#include <atomic>
+
+namespace soctest {
+
+struct FaultInjector {
+  // The next N accept()ed connections are dropped as if accept failed
+  // (counted in ServerStats::accept_errors; the accept loop keeps going).
+  std::atomic<int> fail_accepts{0};
+
+  // The next N socket reads across all connections fail as if the peer
+  // vanished: the connection tears down through the same path a real
+  // ECONNRESET takes (counted in ServerStats::read_errors).
+  std::atomic<int> fail_reads{0};
+
+  // The next N response writes fail; the writing connection is closed and
+  // the failure counted (ServerStats::write_errors).
+  std::atomic<int> fail_writes{0};
+
+  // While set, workers park BEFORE popping the admission queue, so a test
+  // can fill the queue to a known depth (overflow shedding) or let queued
+  // deadlines expire (deadline shedding) with zero scheduling races.
+  std::atomic<bool> hold_workers{false};
+
+  // Sleep this long before each evaluation — a deterministic "slow SOC"
+  // for drain and backlog tests.
+  std::atomic<int> eval_delay_ms{0};
+
+  // Connections accepted while this is set have their writer stalled for
+  // the connection's whole life (the flag is snapshotted at accept, so
+  // clearing it afterwards un-stalls nobody) — a deterministic slow reader
+  // whose response buffer fills while later connections stay live. The
+  // stall yields to Stop() so a drain never waits on it.
+  std::atomic<bool> stall_new_connection_writes{false};
+
+  // Decrements `budget` if positive; true when a fault was consumed.
+  static bool Consume(std::atomic<int>& budget) {
+    int current = budget.load(std::memory_order_relaxed);
+    while (current > 0) {
+      if (budget.compare_exchange_weak(current, current - 1,
+                                       std::memory_order_relaxed)) {
+        return true;
+      }
+    }
+    return false;
+  }
+};
+
+}  // namespace soctest

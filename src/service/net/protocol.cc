@@ -1,0 +1,98 @@
+#include "service/net/protocol.h"
+
+#include <limits>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "util/strings.h"
+
+namespace soctest {
+
+namespace {
+
+// Strips transport-level `deadline_ms=` from the token stream, leaving the
+// request grammar's tokens untouched (see the header for why this happens
+// before the request parser runs). Returns an error string or "".
+std::string ExtractTransportParams(std::vector<std::string>& tokens,
+                                   std::optional<int>& deadline_ms) {
+  std::vector<std::string> kept;
+  kept.reserve(tokens.size());
+  for (std::string& token : tokens) {
+    const std::string_view view(token);
+    constexpr std::string_view kKey = "deadline_ms=";
+    if (!StartsWith(view, kKey)) {
+      kept.push_back(std::move(token));
+      continue;
+    }
+    const auto value = ParseInt(view.substr(kKey.size()));
+    if (!value || *value <= 0 || *value > std::numeric_limits<int>::max()) {
+      return "deadline_ms expects a positive integer of milliseconds";
+    }
+    deadline_ms = static_cast<int>(*value);
+  }
+  tokens = std::move(kept);
+  return "";
+}
+
+}  // namespace
+
+NetLine ParseNetLine(const std::string& line) {
+  NetLine out;
+  // A socket delivers raw bytes: embedded NUL and '\r' must parse as
+  // ordinary (request-breaking) characters, not crash anything downstream.
+  std::string_view view = TrimView(line);
+  if (view.empty() || view.front() == '#') return out;  // kSkip
+  if (ToLower(view) == "stats") {
+    out.kind = NetLine::Kind::kStats;
+    return out;
+  }
+
+  std::vector<std::string> tokens = SplitWhitespace(view);
+  if (const std::string problem = ExtractTransportParams(tokens, out.deadline_ms);
+      !problem.empty()) {
+    out.kind = NetLine::Kind::kError;
+    out.error = problem;
+    return out;
+  }
+  std::string request_text;
+  for (const std::string& token : tokens) {
+    if (!request_text.empty()) request_text += ' ';
+    request_text += token;
+  }
+
+  // The request-file parser IS the network request parser — one grammar, one
+  // set of diagnostics, one round-trip contract. It loads the SOC eagerly,
+  // so a kRequest result is fully served off embedded/compiled state.
+  RequestFileResult parsed = ParseRequestText(request_text, "request");
+  if (auto* err = std::get_if<RequestParseError>(&parsed)) {
+    out.kind = NetLine::Kind::kError;
+    out.error = std::move(err->message);
+    return out;
+  }
+  auto& requests = std::get<std::vector<BatchRequest>>(parsed);
+  if (requests.size() != 1) {
+    // Unreachable for a non-blank single line, but the protocol promises
+    // totality, not cleverness.
+    out.kind = NetLine::Kind::kError;
+    out.error = "expected exactly one request on the line";
+    return out;
+  }
+  out.kind = NetLine::Kind::kRequest;
+  out.request = std::move(requests.front());
+  return out;
+}
+
+std::string FormatMakespanLine(const BatchItemResult& item) {
+  return StrFormat("MAKESPAN req=%d soc=%s w=%d mode=%s cycles=%lld",
+                   item.index, item.soc_name.c_str(), item.tam_width,
+                   BatchModeName(item.mode),
+                   static_cast<long long>(item.makespan));
+}
+
+std::string FormatErrorLine(int request_index, const char* kind,
+                            const std::string& detail) {
+  return StrFormat("ERROR req=%d %s: %s", request_index, kind, detail.c_str());
+}
+
+}  // namespace soctest

@@ -1,0 +1,72 @@
+// Wire protocol of the TCP serving front-end — and the place the offline
+// batch path and the socket path meet.
+//
+// Requests: one request-file line per network line (the EXACT grammar of
+// service/request.h — "<soc> <width> <mode> [key=value ...]"), optionally
+// carrying transport-level parameters the request grammar never sees:
+//
+//   deadline_ms=<n>   per-request service budget; a request still queued
+//                     when it expires is shed, never evaluated
+//
+// Transport parameters are stripped here, BEFORE the request parser runs,
+// for a load-bearing reason: they shape serving (shed or not), not
+// scheduling (what a served request computes), so they must not enter
+// FormatRequestParams or the dedup canonical key — two lines differing only
+// in deadline_ms dedup to one evaluation.
+//
+// Blank lines and '#' comments are skipped without consuming a request
+// index, mirroring the request-file parser, so the i-th request on a
+// connection is the i-th request of the same text fed to `soctest_cli
+// batch`. The control verb "STATS" (a line of its own) returns a counters
+// line and also consumes no index.
+//
+// Responses: one line per request, tagged with the per-connection request
+// index (responses to a pipelined connection may arrive out of order):
+//
+//   MAKESPAN req=<i> soc=<name> w=<w> mode=<m> cycles=<c>   (success)
+//   ERROR req=<i> <kind>: <detail>                          (failure)
+//
+// with <kind> one of: parse (bad request line), overloaded (admission queue
+// full), deadline (budget expired while queued), draining (shed by the
+// graceful-drain hard stop), eval (the evaluation itself failed).
+// FormatMakespanLine is byte-for-byte the MAKESPAN line `soctest_cli batch`
+// prints — the bit-identity contract between the socket path and the
+// offline path is anchored on this one formatter.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "service/batch_item.h"
+#include "service/request.h"
+
+namespace soctest {
+
+// One parsed network line, exactly one of the four shapes.
+struct NetLine {
+  enum class Kind {
+    kSkip,     // blank / comment: no request index consumed
+    kStats,    // control verb: respond with the server counters line
+    kRequest,  // a well-formed request (+ optional transport deadline)
+    kError,    // malformed: `error` says why, a parse ERROR response is owed
+  };
+  Kind kind = Kind::kSkip;
+  BatchRequest request;                 // kRequest only
+  std::optional<int> deadline_ms;       // kRequest only; nullopt = server default
+  std::string error;                    // kError only
+};
+
+// Parses one network line (no trailing newline; a trailing '\r' is
+// tolerated — CRLF clients exist). Total: any byte sequence yields one of
+// the four shapes, never a crash — fuzz-tested alongside the .soc parser.
+NetLine ParseNetLine(const std::string& line);
+
+// "MAKESPAN req=<i> soc=<s> w=<w> mode=<m> cycles=<c>" — shared verbatim by
+// the batch CLI and the server (see the bit-identity note above).
+std::string FormatMakespanLine(const BatchItemResult& item);
+
+// "ERROR req=<i> <kind>: <detail>".
+std::string FormatErrorLine(int request_index, const char* kind,
+                            const std::string& detail);
+
+}  // namespace soctest

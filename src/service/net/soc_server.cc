@@ -1,0 +1,529 @@
+#include "service/net/soc_server.h"
+
+#include <condition_variable>
+#include <deque>
+#include <utility>
+
+#include "service/net/protocol.h"
+#include "util/strings.h"
+
+namespace soctest {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// A stream without newlines cannot be resynchronized, so a line this long
+// is answered with a parse error and the connection is closed — the bound
+// that keeps a hostile client from growing the read buffer without limit.
+constexpr std::size_t kMaxLineBytes = std::size_t{1} << 20;
+
+// The server's workers call ServeOne directly, so the scheduler's internal
+// pool must stay serial (a pool sized to batch.threads would add idle OS
+// threads the server never uses).
+BatchOptions SerialSchedulerOptions(BatchOptions batch) {
+  batch.threads = 1;
+  return batch;
+}
+
+}  // namespace
+
+// Per-connection state. The reader parses and admits requests, the writer
+// drains the bounded outbox; both hold `mutex` only for queue/flag flips,
+// never across I/O, so a stalled socket can block only its own thread.
+struct SocServer::Connection {
+  Socket socket;
+  std::mutex mutex;
+  std::condition_variable out_ready;
+  std::deque<std::string> outbox;  // bounded by options.write_buffer_lines
+  bool closed = false;        // fd shut down; nothing further is queued
+  bool reader_done = false;   // EOF/teardown seen; writer may exit once idle
+  int inflight = 0;           // requests admitted but not yet answered
+  bool stall_writes = false;  // fault-injected slow reader (set at accept)
+  std::thread reader;
+  std::thread writer;
+  std::atomic<bool> reader_exited{false};
+  std::atomic<bool> writer_exited{false};
+};
+
+SocServer::SocServer(const ServerOptions& options)
+    : options_(options),
+      scheduler_(SerialSchedulerOptions(options.batch)),
+      workspaces_(ResolveThreadCount(options.batch.threads)),
+      queue_(options.admission_depth) {}
+
+SocServer::~SocServer() { Stop(); }
+
+bool SocServer::Start(std::string* error) {
+  if (started_.load()) {
+    if (error) *error = "server already started";
+    return false;
+  }
+  ListenResult listen = ListenOnLoopback(options_.port, /*backlog=*/128);
+  if (!listen.socket.valid()) {
+    if (error) *error = listen.error;
+    return false;
+  }
+  listener_ = std::move(listen.socket);
+  port_ = listen.port;
+  started_.store(true);
+
+  const int workers = workspaces_.size();
+  worker_threads_.reserve(static_cast<std::size_t>(workers));
+  for (int slot = 0; slot < workers; ++slot) {
+    worker_threads_.emplace_back(&SocServer::WorkerLoop, this, slot);
+  }
+  accept_thread_ = std::thread(&SocServer::AcceptLoop, this);
+  return true;
+}
+
+void SocServer::AcceptLoop() {
+  while (!stopping_.load()) {
+    // The poll timeout doubles as the reap cadence for finished connections
+    // and bounds how long Stop() waits for this loop to notice stopping_.
+    const int readable = PollReadable(listener_.fd(), 100);
+    ReapFinishedConnections(/*all=*/false);
+    if (stopping_.load() || readable <= 0) continue;
+
+    std::string error;
+    Socket sock = AcceptConnection(listener_, &error);
+    if (!sock.valid()) {
+      accept_errors_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    if (options_.faults &&
+        FaultInjector::Consume(options_.faults->fail_accepts)) {
+      accept_errors_.fetch_add(1, std::memory_order_relaxed);
+      continue;  // dropped as if accept() itself had failed
+    }
+    if (active_connections_.load() >= options_.max_connections) {
+      // Refuse explicitly — the one response this connection will ever get
+      // says why, instead of a silent close the client must guess about.
+      connections_refused_.fetch_add(1, std::memory_order_relaxed);
+      WriteAll(sock.fd(),
+               FormatErrorLine(-1, "overloaded",
+                               StrFormat("connection limit reached (max %d)",
+                                         options_.max_connections)) +
+                   "\n");
+      continue;
+    }
+
+    accepted_.fetch_add(1, std::memory_order_relaxed);
+    active_connections_.fetch_add(1);
+    auto conn = std::make_shared<Connection>();
+    SetSendTimeout(sock.fd(), options_.send_timeout_ms);
+    conn->socket = std::move(sock);
+    conn->stall_writes =
+        options_.faults && options_.faults->stall_new_connection_writes.load();
+    {
+      std::lock_guard<std::mutex> lock(connections_mutex_);
+      connections_.push_back(conn);
+    }
+    conn->reader = std::thread(&SocServer::ReaderLoop, this, conn);
+    conn->writer = std::thread(&SocServer::WriterLoop, this, conn);
+  }
+}
+
+void SocServer::ReaderLoop(std::shared_ptr<Connection> conn) {
+  std::string buffer;
+  char chunk[4096];
+  int seq = 0;
+  int idle_ms = 0;
+  constexpr int kPollStepMs = 100;
+
+  while (!stopping_.load()) {
+    {
+      std::lock_guard<std::mutex> lock(conn->mutex);
+      if (conn->closed) break;
+    }
+    const int readable = PollReadable(conn->socket.fd(), kPollStepMs);
+    if (readable < 0) {
+      read_errors_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    }
+    if (readable == 0) {
+      idle_ms += kPollStepMs;
+      if (options_.idle_timeout_ms > 0 && idle_ms >= options_.idle_timeout_ms) {
+        bool quiet;
+        {
+          std::lock_guard<std::mutex> lock(conn->mutex);
+          quiet = conn->inflight == 0 && conn->outbox.empty();
+        }
+        if (quiet) {
+          // Nothing owed in either direction: reap the dead client.
+          timeouts_.fetch_add(1, std::memory_order_relaxed);
+          break;
+        }
+        idle_ms = 0;  // responses pending — the client is waiting on us
+      }
+      continue;
+    }
+    if (options_.faults &&
+        FaultInjector::Consume(options_.faults->fail_reads)) {
+      read_errors_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    }
+    const ssize_t n = ReadSome(conn->socket.fd(), chunk, sizeof(chunk));
+    if (n < 0) {
+      read_errors_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    }
+    if (n == 0) {
+      // EOF: the client finished sending. A final unterminated line still
+      // counts — half-close after the last request needs no trailing '\n'.
+      if (!buffer.empty()) HandleLine(conn, seq, buffer);
+      break;
+    }
+    idle_ms = 0;
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    std::size_t newline;
+    while ((newline = buffer.find('\n')) != std::string::npos) {
+      std::string line = buffer.substr(0, newline);
+      buffer.erase(0, newline + 1);
+      HandleLine(conn, seq, line);
+    }
+    if (buffer.size() > kMaxLineBytes) {
+      parse_errors_.fetch_add(1, std::memory_order_relaxed);
+      PushResponse(conn, FormatErrorLine(seq, "parse",
+                                         "request line exceeds 1 MiB"));
+      break;
+    }
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(conn->mutex);
+    conn->reader_done = true;
+  }
+  conn->out_ready.notify_all();
+  conn->reader_exited.store(true);
+}
+
+void SocServer::HandleLine(const std::shared_ptr<Connection>& conn, int& seq,
+                           const std::string& line) {
+  NetLine parsed = ParseNetLine(line);
+  switch (parsed.kind) {
+    case NetLine::Kind::kSkip:
+      return;
+    case NetLine::Kind::kStats:
+      PushResponse(conn, StatsLine());
+      return;
+    case NetLine::Kind::kError:
+      // Malformed lines consume a request index so responses on a pipelined
+      // connection stay alignable with what the client sent.
+      parse_errors_.fetch_add(1, std::memory_order_relaxed);
+      PushResponse(conn, FormatErrorLine(seq++, "parse", parsed.error));
+      return;
+    case NetLine::Kind::kRequest:
+      break;
+  }
+
+  const int index = seq++;
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  Queued item;
+  item.conn = conn;
+  item.seq = index;
+  item.request = std::move(parsed.request);
+  const int deadline_ms = parsed.deadline_ms.value_or(options_.deadline_ms);
+  if (deadline_ms > 0) {
+    item.has_deadline = true;
+    item.deadline = Clock::now() + std::chrono::milliseconds(deadline_ms);
+  }
+  {
+    std::lock_guard<std::mutex> lock(conn->mutex);
+    ++conn->inflight;
+  }
+  if (!queue_.TryPush(std::move(item))) {
+    // Bounded admission: shed NOW with an explicit line — the reader never
+    // blocks, the queue never grows past its depth.
+    shed_overload_.fetch_add(1, std::memory_order_relaxed);
+    PushResponse(conn,
+                 FormatErrorLine(index, "overloaded",
+                                 StrFormat("admission queue full (depth %d)",
+                                           queue_.depth())));
+    FinishRequest(conn);
+  }
+}
+
+void SocServer::WorkerLoop(int slot) {
+  Queued item;
+  for (;;) {
+    if (options_.faults) {
+      // Test seam: park BEFORE popping so suites can fill the queue or let
+      // deadlines expire with no scheduling race.
+      while (options_.faults->hold_workers.load() && !stopping_.load()) {
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+      }
+    }
+    if (!queue_.Pop(item)) break;
+
+    const auto now = Clock::now();
+    if (stopping_.load() && now >= drain_deadline_) {
+      // Drain hard stop: the budget is spent, but every queued request
+      // still gets its response — a shed, never a silent drop.
+      shed_drain_.fetch_add(1, std::memory_order_relaxed);
+      PushResponse(item.conn, FormatErrorLine(item.seq, "draining",
+                                              "server shutting down"));
+      FinishRequest(item.conn);
+      item = Queued{};
+      continue;
+    }
+    if (item.has_deadline && now > item.deadline) {
+      // Deadline check at DEQUEUE: work that waited out its budget is shed
+      // before it costs an evaluation.
+      shed_deadline_.fetch_add(1, std::memory_order_relaxed);
+      PushResponse(item.conn,
+                   FormatErrorLine(item.seq, "deadline",
+                                   "deadline expired before evaluation"));
+      FinishRequest(item.conn);
+      item = Queued{};
+      continue;
+    }
+    if (options_.faults) {
+      const int delay_ms = options_.faults->eval_delay_ms.load();
+      if (delay_ms > 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+      }
+    }
+
+    const auto start = Clock::now();
+    const BatchItemResult result =
+        scheduler_.ServeOne(item.request, item.seq, workspaces_.slot(slot));
+    service_us_.Record(std::chrono::duration_cast<std::chrono::microseconds>(
+                           Clock::now() - start)
+                           .count());
+    if (result.ok()) {
+      served_.fetch_add(1, std::memory_order_relaxed);
+      PushResponse(item.conn, FormatMakespanLine(result));
+    } else {
+      eval_failures_.fetch_add(1, std::memory_order_relaxed);
+      PushResponse(item.conn,
+                   FormatErrorLine(item.seq, "eval", *result.error));
+    }
+    FinishRequest(item.conn);
+    item = Queued{};  // release the connection reference promptly
+  }
+}
+
+void SocServer::PushResponse(const std::shared_ptr<Connection>& conn,
+                             std::string line) {
+  line += '\n';
+  bool overflow = false;
+  {
+    std::lock_guard<std::mutex> lock(conn->mutex);
+    if (conn->closed) {
+      responses_dropped_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    if (static_cast<int>(conn->outbox.size()) >= options_.write_buffer_lines) {
+      // Slow client: its outbox is full and the writer is not draining.
+      // Close THIS connection rather than stall a shared worker or buffer
+      // without bound — the drops are counted, never silent.
+      conn->closed = true;
+      overflow = true;
+      responses_dropped_.fetch_add(
+          static_cast<std::int64_t>(conn->outbox.size()) + 1,
+          std::memory_order_relaxed);
+      conn->outbox.clear();
+    } else {
+      conn->outbox.push_back(std::move(line));
+      responses_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  if (overflow) {
+    slow_client_closed_.fetch_add(1, std::memory_order_relaxed);
+    conn->socket.ShutdownBoth();
+  }
+  conn->out_ready.notify_all();
+}
+
+void SocServer::FinishRequest(const std::shared_ptr<Connection>& conn) {
+  {
+    std::lock_guard<std::mutex> lock(conn->mutex);
+    --conn->inflight;
+  }
+  // The writer's exit predicate watches inflight reach zero.
+  conn->out_ready.notify_all();
+}
+
+void SocServer::WriterLoop(std::shared_ptr<Connection> conn) {
+  for (;;) {
+    std::string line;
+    {
+      std::unique_lock<std::mutex> lock(conn->mutex);
+      conn->out_ready.wait(lock, [&] {
+        return conn->closed || !conn->outbox.empty() ||
+               (conn->reader_done && conn->inflight == 0);
+      });
+      if (conn->closed) break;
+      if (conn->outbox.empty()) {
+        if (conn->reader_done && conn->inflight == 0) break;  // fully flushed
+        continue;
+      }
+      if (conn->stall_writes && !stopping_.load()) {
+        // Fault-injected slow reader (snapshotted at accept, so it stalls
+        // ONLY this connection): leave the line queued so backpressure
+        // builds in the outbox, where the overflow policy can see it.
+        lock.unlock();
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+        continue;
+      }
+      line = std::move(conn->outbox.front());
+      conn->outbox.pop_front();
+    }
+
+    bool failed = options_.faults &&
+                  FaultInjector::Consume(options_.faults->fail_writes);
+    if (!failed) failed = !WriteAll(conn->socket.fd(), line);
+    if (failed) {
+      write_errors_.fetch_add(1, std::memory_order_relaxed);
+      std::size_t dropped;
+      {
+        std::lock_guard<std::mutex> lock(conn->mutex);
+        conn->closed = true;
+        dropped = conn->outbox.size() + 1;  // + the line in hand
+        conn->outbox.clear();
+      }
+      responses_dropped_.fetch_add(static_cast<std::int64_t>(dropped),
+                                   std::memory_order_relaxed);
+      conn->socket.ShutdownBoth();
+      break;
+    }
+  }
+
+  // Either torn down (closed) or flushed after the reader finished; both
+  // ways the client gets EOF rather than a half-dead connection.
+  {
+    std::lock_guard<std::mutex> lock(conn->mutex);
+    conn->closed = true;
+  }
+  conn->out_ready.notify_all();
+  conn->socket.ShutdownBoth();
+  conn->writer_exited.store(true);
+  active_connections_.fetch_sub(1);
+}
+
+void SocServer::ReapFinishedConnections(bool all) {
+  std::vector<std::shared_ptr<Connection>> finished;
+  {
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    auto keep = connections_.begin();
+    for (auto& conn : connections_) {
+      const bool done =
+          all || (conn->reader_exited.load() && conn->writer_exited.load());
+      if (done) {
+        finished.push_back(std::move(conn));
+      } else {
+        *keep++ = std::move(conn);
+      }
+    }
+    connections_.erase(keep, connections_.end());
+  }
+  for (auto& conn : finished) {
+    if (conn->reader.joinable()) conn->reader.join();
+    if (conn->writer.joinable()) conn->writer.join();
+  }
+}
+
+void SocServer::Stop() {
+  std::lock_guard<std::mutex> lock(stop_mutex_);
+  if (!started_.load() || stopped_.load()) return;
+
+  // Publish the drain deadline BEFORE stopping_: workers read it only after
+  // observing stopping_ == true, so the plain write is ordered by the
+  // atomic store.
+  drain_deadline_ = Clock::now() + std::chrono::milliseconds(options_.drain_ms);
+  stopping_.store(true);
+
+  // 1. Stop accepting. The accept loop notices stopping_ within its poll
+  //    step; shutting the listener down also wakes a blocked poll.
+  listener_.ShutdownBoth();
+  accept_thread_.join();
+
+  // 2. Stop reading: half-close every connection's read side so readers see
+  //    EOF promptly instead of waiting out their poll step.
+  {
+    std::lock_guard<std::mutex> conns(connections_mutex_);
+    for (auto& conn : connections_) conn->socket.ShutdownRead();
+  }
+
+  // 3. Drain the admission queue: no new pushes; workers keep popping until
+  //    empty, serving while the drain budget lasts and shedding after.
+  queue_.Close();
+  for (std::thread& worker : worker_threads_) worker.join();
+
+  // 4. Flush and join every connection. Writers exit once drained (every
+  //    admitted request has produced its response by now) or once a write
+  //    fails; the kernel send timeout bounds a client that stopped reading.
+  ReapFinishedConnections(/*all=*/true);
+  stopped_.store(true);
+}
+
+ServerStats SocServer::stats() const {
+  ServerStats s;
+  s.accepted = accepted_.load(std::memory_order_relaxed);
+  s.accept_errors = accept_errors_.load(std::memory_order_relaxed);
+  s.connections_refused = connections_refused_.load(std::memory_order_relaxed);
+  s.requests = requests_.load(std::memory_order_relaxed);
+  s.parse_errors = parse_errors_.load(std::memory_order_relaxed);
+  s.responses = responses_.load(std::memory_order_relaxed);
+  s.responses_dropped = responses_dropped_.load(std::memory_order_relaxed);
+  s.served = served_.load(std::memory_order_relaxed);
+  s.eval_failures = eval_failures_.load(std::memory_order_relaxed);
+  s.shed_overload = shed_overload_.load(std::memory_order_relaxed);
+  s.shed_deadline = shed_deadline_.load(std::memory_order_relaxed);
+  s.shed_drain = shed_drain_.load(std::memory_order_relaxed);
+  s.timeouts = timeouts_.load(std::memory_order_relaxed);
+  s.read_errors = read_errors_.load(std::memory_order_relaxed);
+  s.write_errors = write_errors_.load(std::memory_order_relaxed);
+  s.slow_client_closed = slow_client_closed_.load(std::memory_order_relaxed);
+  s.queue_depth_peak = queue_.peak();
+  s.service_time_count = service_us_.count();
+  s.p50_service_us = service_us_.Percentile(50.0);
+  s.p99_service_us = service_us_.Percentile(99.0);
+  return s;
+}
+
+std::string SocServer::StatsLine() const {
+  const ServerStats s = stats();
+  const CacheStats cache = scheduler_.cache().stats();
+  const ResultCacheStats dedup = scheduler_.results().stats();
+  const CoreCacheStats core = scheduler_.cache().core_stats();
+  return StrFormat(
+      "STATS server accepted=%lld accept_errors=%lld connections_refused=%lld "
+      "requests=%lld parse_errors=%lld responses=%lld responses_dropped=%lld "
+      "served=%lld eval_failures=%lld shed_overload=%lld shed_deadline=%lld "
+      "shed_drain=%lld timeouts=%lld read_errors=%lld write_errors=%lld "
+      "slow_client_closed=%lld queue_depth_peak=%lld service_time_count=%lld "
+      "p50_service_us=%lld p99_service_us=%lld cache_hits=%lld "
+      "cache_misses=%lld compiles=%lld dedup_hits=%lld dedup_joins=%lld "
+      "core_hits=%lld core_compiles=%lld",
+      static_cast<long long>(s.accepted),
+      static_cast<long long>(s.accept_errors),
+      static_cast<long long>(s.connections_refused),
+      static_cast<long long>(s.requests),
+      static_cast<long long>(s.parse_errors),
+      static_cast<long long>(s.responses),
+      static_cast<long long>(s.responses_dropped),
+      static_cast<long long>(s.served),
+      static_cast<long long>(s.eval_failures),
+      static_cast<long long>(s.shed_overload),
+      static_cast<long long>(s.shed_deadline),
+      static_cast<long long>(s.shed_drain),
+      static_cast<long long>(s.timeouts),
+      static_cast<long long>(s.read_errors),
+      static_cast<long long>(s.write_errors),
+      static_cast<long long>(s.slow_client_closed),
+      static_cast<long long>(s.queue_depth_peak),
+      static_cast<long long>(s.service_time_count),
+      static_cast<long long>(s.p50_service_us),
+      static_cast<long long>(s.p99_service_us),
+      static_cast<long long>(cache.hits),
+      static_cast<long long>(cache.misses),
+      static_cast<long long>(cache.compiles),
+      static_cast<long long>(dedup.hits),
+      static_cast<long long>(dedup.joins),
+      static_cast<long long>(core.hits),
+      static_cast<long long>(core.compiles));
+}
+
+}  // namespace soctest

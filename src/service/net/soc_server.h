@@ -1,0 +1,184 @@
+// SocServer — the hardened TCP serving front-end over BatchScheduler.
+//
+// The serving stack (core cache → problem cache → result cache → batch
+// scheduler) previously stopped at `soctest_cli batch <file>`; this class
+// is its ingress, built failure-first: every stage between the socket and
+// the schedulers is a bounded queue with an explicit shed path, so overload
+// degrades into accounted ERROR lines instead of unbounded memory, silent
+// drops, or a wedged process.
+//
+//   accept loop ──► per-connection reader ──► bounded admission queue
+//                                                     │ TryPush fails:
+//                                                     │ ERROR overloaded
+//                                              worker threads (deadline
+//                                              check at dequeue: expired
+//                                              work is shed, never run)
+//                                                     │
+//                per-connection writer ◄── bounded per-connection outbox
+//                (slow reader stalls — or loses — only its own connection)
+//
+// Robustness contracts, each enforced by a deterministic fault-injection
+// test (service/net/fault_injector.h):
+//  * Bounded admission: the queue holds at most admission_depth requests;
+//    overflow answers `ERROR req=i overloaded: ...` immediately and counts
+//    shed_overload. Readers never block on admission.
+//  * Deadline budgets: a request carries deadline_ms= (or the server
+//    default); expiry is checked when a WORKER DEQUEUES it, so work that
+//    waited out its budget is shed (shed_deadline) without evaluating.
+//  * Write backpressure: responses queue per connection, bounded by
+//    write_buffer_lines, drained by that connection's writer with a kernel
+//    send timeout behind it. A full outbox or a dead write closes THAT
+//    connection (slow_client_closed / write_errors); workers never block on
+//    any client's socket.
+//  * Idle reaping: a connection with nothing in flight and no bytes for
+//    idle_timeout_ms is closed (timeouts).
+//  * Graceful drain: Stop() stops accepting, half-closes reads, then lets
+//    workers drain the queue — serving while the drain_ms budget lasts,
+//    shedding `ERROR ... draining:` once it runs out — flushes writers, and
+//    joins everything. Every admitted request gets exactly one response;
+//    the hard-stop bound is drain_ms + one in-flight evaluation + the send
+//    timeout.
+//
+// Results are bit-identical to the offline batch path by construction: both
+// go through BatchScheduler::ServeOne and print responses with the same
+// formatter (service/net/protocol.h), for every (threads, shards, dedup,
+// core-cache) setting — the loopback CTest asserts the bytes.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "runtime/workspace_pool.h"
+#include "service/batch_scheduler.h"
+#include "service/net/admission_queue.h"
+#include "service/net/fault_injector.h"
+#include "service/net/socket.h"
+#include "util/histogram.h"
+
+namespace soctest {
+
+struct ServerOptions {
+  int port = 0;              // 0 = kernel-assigned (see SocServer::port())
+  // batch.threads is the number of serving worker threads (0 = hardware);
+  // the rest of BatchOptions (shards, cache capacities, dedup, w_max) shape
+  // the shared caches exactly as in offline batch mode. The scheduler's own
+  // pool stays serial — the server's workers drive ServeOne directly.
+  BatchOptions batch;
+  int admission_depth = 128; // bounded admission queue (requests)
+  int deadline_ms = 0;       // default per-request budget; 0 = none
+  int idle_timeout_ms = 10000;  // reap idle connections; 0 = never
+  int drain_ms = 2000;       // graceful-drain budget in Stop()
+  int max_connections = 64;  // concurrent connections; excess is refused
+  int write_buffer_lines = 256;  // per-connection response outbox bound
+  int send_timeout_ms = 2000;    // kernel-level write stall bound
+  FaultInjector* faults = nullptr;  // test seam; normally nullptr
+};
+
+// Counters the STATS verb reports. Monotonic over the server's life except
+// queue_depth_peak (high-water) and the percentile snapshots.
+struct ServerStats {
+  std::int64_t accepted = 0;          // connections taken in
+  std::int64_t accept_errors = 0;     // accept() failures (injected or real)
+  std::int64_t connections_refused = 0;  // over max_connections
+  std::int64_t requests = 0;          // well-formed request lines admitted or shed
+  std::int64_t parse_errors = 0;      // malformed lines answered ERROR parse
+  std::int64_t responses = 0;         // lines queued to some connection outbox
+  std::int64_t responses_dropped = 0; // queued lines lost to a dead/slow client
+  std::int64_t served = 0;            // evaluations that returned ok()
+  std::int64_t eval_failures = 0;     // evaluations that returned an error
+  std::int64_t shed_overload = 0;     // admission queue full
+  std::int64_t shed_deadline = 0;     // budget expired while queued
+  std::int64_t shed_drain = 0;        // drain hard stop
+  std::int64_t timeouts = 0;          // idle connections reaped
+  std::int64_t read_errors = 0;       // connection reads that died
+  std::int64_t write_errors = 0;      // connection writes that died
+  std::int64_t slow_client_closed = 0;  // outbox overflow closes
+  std::int64_t queue_depth_peak = 0;  // admission-queue high water
+  std::int64_t service_time_count = 0;  // evaluations measured
+  std::int64_t p50_service_us = 0;    // conservative bucket upper bounds
+  std::int64_t p99_service_us = 0;
+};
+
+class SocServer {
+ public:
+  explicit SocServer(const ServerOptions& options);
+  ~SocServer();  // Stop()s if still running
+
+  SocServer(const SocServer&) = delete;
+  SocServer& operator=(const SocServer&) = delete;
+
+  // Binds, listens, and spawns the accept loop + worker threads. False with
+  // `*error` set on failure (port in use, no fds, ...); Start is one-shot.
+  bool Start(std::string* error);
+
+  // The bound port — the useful one when options.port was 0.
+  int port() const { return port_; }
+
+  // Graceful drain (see the header comment); idempotent, safe concurrently.
+  void Stop();
+
+  ServerStats stats() const;
+
+  // The "STATS server ..." counters line the STATS verb answers with —
+  // exposed so the CLI and benches print the same bytes a client would see.
+  std::string StatsLine() const;
+
+  const BatchScheduler& scheduler() const { return scheduler_; }
+
+ private:
+  struct Connection;
+  struct Queued {
+    std::shared_ptr<Connection> conn;
+    int seq = 0;  // per-connection request index
+    BatchRequest request;
+    std::chrono::steady_clock::time_point deadline{};  // epoch == none
+    bool has_deadline = false;
+  };
+
+  void AcceptLoop();
+  void ReaderLoop(std::shared_ptr<Connection> conn);
+  void WriterLoop(std::shared_ptr<Connection> conn);
+  void WorkerLoop(int slot);
+
+  void HandleLine(const std::shared_ptr<Connection>& conn, int& seq,
+                  const std::string& line);
+  void PushResponse(const std::shared_ptr<Connection>& conn,
+                    std::string line);
+  void FinishRequest(const std::shared_ptr<Connection>& conn);
+  void ReapFinishedConnections(bool all);
+
+  ServerOptions options_;
+  BatchScheduler scheduler_;
+  WorkspacePool workspaces_;
+  BoundedQueue<Queued> queue_;
+  FixedBucketHistogram service_us_;
+
+  Socket listener_;
+  int port_ = 0;
+  std::atomic<bool> started_{false};
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> stopped_{false};
+  std::chrono::steady_clock::time_point drain_deadline_{};
+  std::mutex stop_mutex_;
+
+  std::thread accept_thread_;
+  std::vector<std::thread> worker_threads_;
+  std::mutex connections_mutex_;
+  std::vector<std::shared_ptr<Connection>> connections_;
+  std::atomic<int> active_connections_{0};
+
+  // Counters (relaxed atomics; snapshotted by stats()).
+  std::atomic<std::int64_t> accepted_{0}, accept_errors_{0},
+      connections_refused_{0}, requests_{0}, parse_errors_{0}, responses_{0},
+      responses_dropped_{0}, served_{0}, eval_failures_{0}, shed_overload_{0},
+      shed_deadline_{0}, shed_drain_{0}, timeouts_{0}, read_errors_{0},
+      write_errors_{0}, slow_client_closed_{0};
+};
+
+}  // namespace soctest

@@ -1,0 +1,154 @@
+#include "service/net/socket.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "util/strings.h"
+
+namespace soctest {
+
+namespace {
+
+std::string ErrnoText(const char* what) {
+  return StrFormat("%s: %s", what, std::strerror(errno));
+}
+
+sockaddr_in LoopbackAddr(int port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  return addr;
+}
+
+}  // namespace
+
+void Socket::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Socket::ShutdownRead() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RD);
+}
+
+void Socket::ShutdownWrite() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_WR);
+}
+
+void Socket::ShutdownBoth() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+ListenResult ListenOnLoopback(int port, int backlog) {
+  ListenResult result;
+  Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!sock.valid()) {
+    result.error = ErrnoText("socket");
+    return result;
+  }
+  // Restart-friendly: a drained server's port is reusable immediately
+  // instead of sitting in TIME_WAIT.
+  const int one = 1;
+  ::setsockopt(sock.fd(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr = LoopbackAddr(port);
+  if (::bind(sock.fd(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    result.error = ErrnoText("bind");
+    return result;
+  }
+  if (::listen(sock.fd(), backlog) != 0) {
+    result.error = ErrnoText("listen");
+    return result;
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(sock.fd(), reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    result.error = ErrnoText("getsockname");
+    return result;
+  }
+  result.port = ntohs(addr.sin_port);
+  result.socket = std::move(sock);
+  return result;
+}
+
+Socket AcceptConnection(const Socket& listener, std::string* error) {
+  for (;;) {
+    const int fd = ::accept(listener.fd(), nullptr, nullptr);
+    if (fd >= 0) return Socket(fd);
+    if (errno == EINTR) continue;
+    if (error) *error = ErrnoText("accept");
+    return Socket();
+  }
+}
+
+Socket ConnectToLoopback(int port, std::string* error) {
+  Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!sock.valid()) {
+    if (error) *error = ErrnoText("socket");
+    return Socket();
+  }
+  sockaddr_in addr = LoopbackAddr(port);
+  for (;;) {
+    if (::connect(sock.fd(), reinterpret_cast<sockaddr*>(&addr),
+                  sizeof(addr)) == 0) {
+      return sock;
+    }
+    if (errno == EINTR) continue;
+    if (error) *error = ErrnoText("connect");
+    return Socket();
+  }
+}
+
+int PollReadable(int fd, int timeout_ms) {
+  pollfd pfd{};
+  pfd.fd = fd;
+  pfd.events = POLLIN;
+  for (;;) {
+    const int r = ::poll(&pfd, 1, timeout_ms);
+    if (r >= 0) return r > 0 ? 1 : 0;
+    if (errno == EINTR) continue;
+    return -1;
+  }
+}
+
+ssize_t ReadSome(int fd, char* buf, std::size_t len) {
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, len);
+    if (n >= 0) return n;
+    if (errno == EINTR) continue;
+    return -1;
+  }
+}
+
+bool WriteAll(int fd, std::string_view data) {
+  std::size_t written = 0;
+  while (written < data.size()) {
+    // MSG_NOSIGNAL: a peer that closed mid-write yields EPIPE, not SIGPIPE —
+    // a dead client must never take the server process down.
+    const ssize_t n = ::send(fd, data.data() + written, data.size() - written,
+                             MSG_NOSIGNAL);
+    if (n > 0) {
+      written += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return false;
+  }
+  return true;
+}
+
+bool SetSendTimeout(int fd, int timeout_ms) {
+  timeval tv{};
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = (timeout_ms % 1000) * 1000;
+  return ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv)) == 0;
+}
+
+}  // namespace soctest

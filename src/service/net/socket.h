@@ -1,0 +1,79 @@
+// Thin RAII + error-string wrappers over the POSIX socket calls the serving
+// front-end uses. Nothing here knows about the protocol or the server; the
+// contract is just "no leaked fds, no EINTR surprises, errors as values".
+//
+// All factory helpers bind/connect on the IPv4 loopback interface: the
+// front-end is an ingress for co-located load balancers and tests, and
+// binding 127.0.0.1 keeps a dev box from accidentally exposing a port.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <sys/types.h>
+
+namespace soctest {
+
+// Move-only owner of a socket fd; closes on destruction.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { Close(); }
+
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept {
+    if (this != &other) {
+      Close();
+      fd_ = other.fd_;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  int fd() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  void Close();
+
+  // Half-close helpers; safe on an already-closed socket.
+  void ShutdownRead();
+  void ShutdownWrite();
+  void ShutdownBoth();
+
+ private:
+  int fd_ = -1;
+};
+
+// Creates a listening TCP socket on 127.0.0.1:`port` (0 = kernel-assigned;
+// the bound port is written back). Invalid socket + `error` on failure.
+struct ListenResult {
+  Socket socket;
+  int port = 0;
+  std::string error;
+};
+ListenResult ListenOnLoopback(int port, int backlog);
+
+// Blocking accept; invalid Socket on error (errno text in *error if set).
+Socket AcceptConnection(const Socket& listener, std::string* error);
+
+// Blocking connect to 127.0.0.1:`port`; invalid Socket + *error on failure.
+Socket ConnectToLoopback(int port, std::string* error);
+
+// poll() for readability: 1 = readable (or peer closed), 0 = timeout,
+// -1 = error. Retries EINTR.
+int PollReadable(int fd, int timeout_ms);
+
+// One read(); returns bytes read, 0 on EOF, -1 on error. Retries EINTR.
+ssize_t ReadSome(int fd, char* buf, std::size_t len);
+
+// Writes all of `data`, retrying partial writes and EINTR; false on error
+// (including a send timeout, if one is set on the socket).
+bool WriteAll(int fd, std::string_view data);
+
+// Bounds how long a blocking send may stall on a full socket buffer before
+// failing — the kernel-level half of the slow-client defense.
+bool SetSendTimeout(int fd, int timeout_ms);
+
+}  // namespace soctest

@@ -1,0 +1,59 @@
+#include "util/histogram.h"
+
+#include <bit>
+#include <cmath>
+
+namespace soctest {
+
+namespace {
+
+// Bucket index for a non-negative value: its bit width, clamped to the
+// fixed range. bit_width(0) == 0, bit_width(1) == 1, bit_width(700) == 10.
+int BucketFor(std::int64_t value) {
+  const int width = std::bit_width(static_cast<std::uint64_t>(value));
+  return width < FixedBucketHistogram::kBuckets
+             ? width
+             : FixedBucketHistogram::kBuckets - 1;
+}
+
+}  // namespace
+
+void FixedBucketHistogram::Record(std::int64_t value) {
+  if (value < 0) value = 0;
+  buckets_[BucketFor(value)].fetch_add(1, std::memory_order_relaxed);
+}
+
+std::int64_t FixedBucketHistogram::count() const {
+  std::int64_t total = 0;
+  for (const auto& bucket : buckets_) {
+    total += bucket.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+std::int64_t FixedBucketHistogram::BucketUpperBound(int bucket) {
+  if (bucket <= 0) return 0;
+  if (bucket >= kBuckets) bucket = kBuckets - 1;
+  return (std::int64_t{1} << bucket) - 1;
+}
+
+std::int64_t FixedBucketHistogram::Percentile(double p) const {
+  const std::int64_t total = count();
+  if (total == 0) return 0;
+  if (p < 0.0) p = 0.0;
+  if (p > 100.0) p = 100.0;
+  // Nearest-rank: the smallest bucket whose cumulative count reaches
+  // ceil(p/100 * total), i.e. the bucket holding the p-th value.
+  std::int64_t rank = static_cast<std::int64_t>(
+      std::ceil((p / 100.0) * static_cast<double>(total)));
+  if (rank < 1) rank = 1;
+  if (rank > total) rank = total;
+  std::int64_t cumulative = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    cumulative += buckets_[i].load(std::memory_order_relaxed);
+    if (cumulative >= rank) return BucketUpperBound(i);
+  }
+  return BucketUpperBound(kBuckets - 1);
+}
+
+}  // namespace soctest

@@ -1,0 +1,56 @@
+// FixedBucketHistogram — a lock-free latency histogram with power-of-two
+// buckets, built for the serving front-end's service-time percentiles.
+//
+// Recording must be cheap enough to sit on the request hot path and safe to
+// call from every worker thread concurrently, so the histogram is a fixed
+// array of relaxed atomic counters: bucket i counts values whose bit width
+// is i, i.e. the half-open range [2^(i-1), 2^i) with bucket 0 holding zero.
+// 40 buckets cover every microsecond count up to ~6 days — service times
+// saturate into the last bucket instead of indexing out of bounds.
+//
+// Percentile(p) walks the cumulative counts and reports the UPPER bound of
+// the bucket holding the p-th value, so the answer is conservative (a true
+// p99 of 700us reports 1024us, never 512us) and deterministic for a fixed
+// set of recorded values. The coarse buckets are the point: the serving
+// counters these feed (STATS lines, BENCH_*.json) are trend telemetry, not
+// measurements — and a fixed layout means no allocation, no rebinning, and
+// no lock anywhere.
+//
+// Relaxed ordering is deliberate: counts published while other threads are
+// still recording can be momentarily short, which a stats snapshot
+// tolerates; totals are exact once writers quiesce (e.g. after a drain).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+
+namespace soctest {
+
+class FixedBucketHistogram {
+ public:
+  static constexpr int kBuckets = 40;
+
+  FixedBucketHistogram() = default;
+  FixedBucketHistogram(const FixedBucketHistogram&) = delete;
+  FixedBucketHistogram& operator=(const FixedBucketHistogram&) = delete;
+
+  // Records one value (negative values clamp to 0). Thread-safe, wait-free.
+  void Record(std::int64_t value);
+
+  // Total values recorded.
+  std::int64_t count() const;
+
+  // Upper bound of the bucket containing the p-th percentile value
+  // (0 < p <= 100), computed by nearest-rank over the bucket counts.
+  // Returns 0 when nothing has been recorded.
+  std::int64_t Percentile(double p) const;
+
+  // The inclusive upper bound of bucket i: 0, 1, 3, 7, ... 2^i - 1.
+  static std::int64_t BucketUpperBound(int bucket);
+
+ private:
+  std::array<std::atomic<std::int64_t>, kBuckets> buckets_{};
+};
+
+}  // namespace soctest

@@ -1,0 +1,668 @@
+// Tests for the TCP serving front-end (service/net/): the line protocol,
+// the bounded admission queue, and SocServer's robustness contracts — every
+// degraded path (overload shed, deadline shed, slow reader, dead client,
+// graceful drain) driven deterministically through the FaultInjector seam,
+// plus the headline guarantee: responses over a socket are bit-identical to
+// the offline batch path for every (threads, shards, dedup) setting.
+#include "service/net/soc_server.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <map>
+#include <string>
+#include <thread>
+#include <variant>
+#include <vector>
+
+#include "service/batch_scheduler.h"
+#include "service/net/admission_queue.h"
+#include "service/net/client.h"
+#include "service/net/fault_injector.h"
+#include "service/net/protocol.h"
+#include "service/request.h"
+
+namespace soctest {
+namespace {
+
+using namespace std::chrono_literals;
+
+// ---------------------------------------------------------------------------
+// BoundedQueue
+
+TEST(BoundedQueueTest, DepthClampsToAtLeastOne) {
+  BoundedQueue<int> queue(0);
+  EXPECT_EQ(queue.depth(), 1);
+  EXPECT_TRUE(queue.TryPush(1));
+  EXPECT_FALSE(queue.TryPush(2));
+}
+
+TEST(BoundedQueueTest, TryPushFailsWhenFullAndTracksPeak) {
+  BoundedQueue<int> queue(2);
+  EXPECT_TRUE(queue.TryPush(1));
+  EXPECT_TRUE(queue.TryPush(2));
+  EXPECT_FALSE(queue.TryPush(3));
+  EXPECT_EQ(queue.size(), 2);
+  EXPECT_EQ(queue.peak(), 2);
+  int out = 0;
+  EXPECT_TRUE(queue.Pop(out));
+  EXPECT_EQ(out, 1);
+  EXPECT_EQ(queue.peak(), 2);  // high water survives the pop
+}
+
+TEST(BoundedQueueTest, CloseDrainsRatherThanDiscards) {
+  BoundedQueue<int> queue(4);
+  ASSERT_TRUE(queue.TryPush(7));
+  ASSERT_TRUE(queue.TryPush(8));
+  queue.Close();
+  EXPECT_FALSE(queue.TryPush(9));  // closed to new work...
+  int out = 0;
+  EXPECT_TRUE(queue.Pop(out));  // ...but queued work still pops
+  EXPECT_EQ(out, 7);
+  EXPECT_TRUE(queue.Pop(out));
+  EXPECT_EQ(out, 8);
+  EXPECT_FALSE(queue.Pop(out));  // closed AND empty: done
+}
+
+TEST(BoundedQueueTest, CloseWakesBlockedPop) {
+  BoundedQueue<int> queue(1);
+  std::thread popper([&queue] {
+    int out = 0;
+    EXPECT_FALSE(queue.Pop(out));
+  });
+  std::this_thread::sleep_for(20ms);
+  queue.Close();
+  popper.join();
+}
+
+// ---------------------------------------------------------------------------
+// Protocol
+
+TEST(ProtocolTest, BlankAndCommentLinesAreSkipped) {
+  EXPECT_EQ(ParseNetLine("").kind, NetLine::Kind::kSkip);
+  EXPECT_EQ(ParseNetLine("   \r").kind, NetLine::Kind::kSkip);
+  EXPECT_EQ(ParseNetLine("# comment").kind, NetLine::Kind::kSkip);
+}
+
+TEST(ProtocolTest, StatsVerbIsCaseInsensitive) {
+  EXPECT_EQ(ParseNetLine("stats").kind, NetLine::Kind::kStats);
+  EXPECT_EQ(ParseNetLine("  STATS \r").kind, NetLine::Kind::kStats);
+}
+
+TEST(ProtocolTest, ParsesRequestLine) {
+  const NetLine line = ParseNetLine("d695 16 improve iters=8 seed=3");
+  ASSERT_EQ(line.kind, NetLine::Kind::kRequest);
+  EXPECT_EQ(line.request.soc_spec, "d695");
+  EXPECT_EQ(line.request.tam_width, 16);
+  EXPECT_EQ(line.request.mode, BatchMode::kImprove);
+  EXPECT_EQ(line.request.iterations, 8);
+  EXPECT_EQ(line.request.seed, 3u);
+  EXPECT_FALSE(line.deadline_ms.has_value());
+}
+
+TEST(ProtocolTest, DeadlineIsTransportLevelAndNeverReachesTheRequest) {
+  const NetLine plain = ParseNetLine("d695 16 schedule");
+  const NetLine budgeted = ParseNetLine("d695 16 deadline_ms=250 schedule");
+  ASSERT_EQ(plain.kind, NetLine::Kind::kRequest);
+  ASSERT_EQ(budgeted.kind, NetLine::Kind::kRequest);
+  ASSERT_TRUE(budgeted.deadline_ms.has_value());
+  EXPECT_EQ(*budgeted.deadline_ms, 250);
+  // The canonical dedup key must be byte-identical with and without the
+  // transport param — a deadline can never split a dedup bucket.
+  EXPECT_EQ(FormatRequestParams(plain.request),
+            FormatRequestParams(budgeted.request));
+}
+
+TEST(ProtocolTest, BadDeadlineIsAnError) {
+  EXPECT_EQ(ParseNetLine("d695 16 schedule deadline_ms=0").kind,
+            NetLine::Kind::kError);
+  EXPECT_EQ(ParseNetLine("d695 16 schedule deadline_ms=soon").kind,
+            NetLine::Kind::kError);
+}
+
+TEST(ProtocolTest, MalformedRequestsAreErrorsNotCrashes) {
+  EXPECT_EQ(ParseNetLine("d695").kind, NetLine::Kind::kError);
+  EXPECT_EQ(ParseNetLine("d695 16 interpolate").kind, NetLine::Kind::kError);
+  EXPECT_EQ(ParseNetLine("no-such-soc 16 schedule").kind,
+            NetLine::Kind::kError);
+  EXPECT_EQ(ParseNetLine(std::string("d695 16 schedule\0junk", 21)).kind,
+            NetLine::Kind::kError);
+}
+
+// ---------------------------------------------------------------------------
+// SocServer helpers
+
+ServerOptions BaseOptions() {
+  ServerOptions options;
+  options.batch.threads = 2;
+  options.batch.shards = 2;
+  options.batch.dedup = true;
+  options.admission_depth = 64;
+  options.idle_timeout_ms = 0;  // tests own connection lifetimes
+  options.drain_ms = 10000;
+  return options;
+}
+
+class RunningServer {
+ public:
+  explicit RunningServer(const ServerOptions& options) : server_(options) {
+    std::string error;
+    EXPECT_TRUE(server_.Start(&error)) << error;
+  }
+  SocServer* operator->() { return &server_; }
+  SocServer& operator*() { return server_; }
+
+  LineClient Connect() {
+    LineClient client;
+    std::string error;
+    EXPECT_TRUE(client.Connect(server_.port(), &error)) << error;
+    return client;
+  }
+
+  // Spins until `predicate(stats())` holds or the deadline passes.
+  bool WaitFor(const std::function<bool(const ServerStats&)>& predicate,
+               std::chrono::milliseconds deadline = 5000ms) {
+    const auto until = std::chrono::steady_clock::now() + deadline;
+    while (std::chrono::steady_clock::now() < until) {
+      if (predicate(server_.stats())) return true;
+      std::this_thread::sleep_for(2ms);
+    }
+    return predicate(server_.stats());
+  }
+
+ private:
+  SocServer server_;
+};
+
+// The mixed workload the bit-identity matrix serves: every mode, duplicate
+// lines (dedup food), and a cache-straining width mix — all on the embedded
+// d695 benchmark so nothing touches the filesystem.
+std::vector<std::string> MixedLines() {
+  return {
+      "d695 24 schedule search=1",
+      "d695 16 schedule",
+      "d695 16 sweep min=12",
+      "d695 24 improve iters=8 batch=2 seed=7",
+      "d695 16 schedule",
+      "d695 32 schedule preempt=1",
+      "d695 16 sweep min=12",
+      "d695 24 improve iters=8 batch=2 seed=7",
+  };
+}
+
+// Serves MixedLines offline through BatchScheduler::Run and formats each
+// result exactly as the server would — the expected bytes on the wire.
+std::vector<std::string> OfflineExpectedLines() {
+  std::string text;
+  for (const std::string& line : MixedLines()) text += line + '\n';
+  RequestFileResult parsed = ParseRequestText(text, "request");
+  auto* requests = std::get_if<std::vector<BatchRequest>>(&parsed);
+  EXPECT_NE(requests, nullptr);
+  BatchOptions options;
+  options.threads = 1;
+  options.shards = 1;
+  options.dedup = false;
+  BatchScheduler scheduler(options);
+  const BatchOutcome outcome = scheduler.Run(*requests);
+  std::vector<std::string> lines;
+  for (const BatchItemResult& item : outcome.results) {
+    EXPECT_TRUE(item.ok()) << *item.error;
+    lines.push_back(FormatMakespanLine(item));
+  }
+  return lines;
+}
+
+// Sorts response lines by their "req=N" tag — responses may arrive in any
+// completion order; request indices realign them with what was sent.
+std::vector<std::string> SortByRequestIndex(std::vector<std::string> lines) {
+  std::map<int, std::string> by_index;
+  for (std::string& line : lines) {
+    const std::size_t tag = line.find("req=");
+    EXPECT_NE(tag, std::string::npos) << line;
+    if (tag == std::string::npos) continue;
+    by_index[std::stoi(line.substr(tag + 4))] = std::move(line);
+  }
+  std::vector<std::string> sorted;
+  sorted.reserve(by_index.size());
+  for (auto& [index, line] : by_index) sorted.push_back(std::move(line));
+  return sorted;
+}
+
+// ---------------------------------------------------------------------------
+// Bit-identity: socket responses == offline batch bytes, across the matrix.
+
+TEST(SocServerTest, ResponsesBitIdenticalToOfflineBatchAcrossMatrix) {
+  const std::vector<std::string> expected = OfflineExpectedLines();
+  ASSERT_EQ(expected.size(), MixedLines().size());
+
+  for (const int threads : {1, 8}) {
+    for (const int shards : {1, 4}) {
+      for (const bool dedup : {false, true}) {
+        ServerOptions options = BaseOptions();
+        options.batch.threads = threads;
+        options.batch.shards = shards;
+        options.batch.dedup = dedup;
+        RunningServer server(options);
+        LineClient client = server.Connect();
+        for (const std::string& line : MixedLines()) {
+          ASSERT_TRUE(client.SendLine(line));
+        }
+        client.ShutdownWrite();
+        std::vector<std::string> responses = client.ReadRemaining();
+        ASSERT_EQ(responses.size(), expected.size())
+            << "threads=" << threads << " shards=" << shards
+            << " dedup=" << dedup;
+        responses = SortByRequestIndex(std::move(responses));
+        EXPECT_EQ(responses, expected)
+            << "threads=" << threads << " shards=" << shards
+            << " dedup=" << dedup;
+        server->Stop();
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Protocol behavior over a live socket.
+
+TEST(SocServerTest, StatsVerbAnswersTheCountersLine) {
+  RunningServer server(BaseOptions());
+  LineClient client = server.Connect();
+  ASSERT_TRUE(client.SendLine("d695 16 schedule"));
+  ASSERT_TRUE(client.SendLine("stats"));
+  client.ShutdownWrite();
+  const std::vector<std::string> responses = client.ReadRemaining();
+  ASSERT_EQ(responses.size(), 2u);
+  bool saw_stats = false;
+  for (const std::string& line : responses) {
+    if (line.rfind("STATS server ", 0) == 0) {
+      saw_stats = true;
+      EXPECT_NE(line.find("accepted=1"), std::string::npos) << line;
+      EXPECT_NE(line.find("shed_overload=0"), std::string::npos) << line;
+    }
+  }
+  EXPECT_TRUE(saw_stats);
+}
+
+TEST(SocServerTest, MalformedLinesAnswerParseErrorsAndKeepSequence) {
+  RunningServer server(BaseOptions());
+  LineClient client = server.Connect();
+  ASSERT_TRUE(client.SendLine("d695 16 frobnicate"));  // bad mode -> req=0
+  ASSERT_TRUE(client.SendLine("# a comment consumes nothing"));
+  ASSERT_TRUE(client.SendLine(""));
+  ASSERT_TRUE(client.SendLine("d695 16 schedule"));  // -> req=1
+  client.ShutdownWrite();
+  std::vector<std::string> responses = client.ReadRemaining();
+  ASSERT_EQ(responses.size(), 2u);
+  responses = SortByRequestIndex(std::move(responses));
+  EXPECT_EQ(responses[0].rfind("ERROR req=0 parse:", 0), 0u) << responses[0];
+  EXPECT_EQ(responses[1].rfind("MAKESPAN req=1 ", 0), 0u) << responses[1];
+  EXPECT_EQ(server->stats().parse_errors, 1);
+}
+
+TEST(SocServerTest, FinalLineWithoutNewlineStillServes) {
+  RunningServer server(BaseOptions());
+  LineClient client = server.Connect();
+  // Half-close after an UNTERMINATED final line: EOF must flush it as a
+  // request rather than drop it.
+  ASSERT_TRUE(client.SendRaw("d695 16 schedule\nd695 24 schedule"));
+  client.ShutdownWrite();
+  const std::vector<std::string> responses = client.ReadRemaining();
+  EXPECT_EQ(responses.size(), 2u);
+}
+
+TEST(SocServerTest, OversizedLineAnswersParseErrorAndCloses) {
+  RunningServer server(BaseOptions());
+  LineClient client = server.Connect();
+  // > 1 MiB with no newline anywhere: the server must cap its read buffer,
+  // answer a parse error, and close — the send may die mid-flood once the
+  // server gives up reading, so its return value proves nothing.
+  const std::string flood((std::size_t{1} << 20) + 8192, 'x');
+  (void)client.SendRaw(flood);
+  ASSERT_TRUE(server.WaitFor(
+      [](const ServerStats& s) { return s.parse_errors == 1; }));
+  // The connection is torn down (possibly by RST, which can discard the
+  // buffered error line) — the client must see the stream end, not a hang.
+  (void)client.ReadRemaining(5000);
+  EXPECT_EQ(server->stats().parse_errors, 1);
+}
+
+TEST(SocServerTest, EvalFailureAnswersErrorLine) {
+  // A SOC whose only core exceeds the power budget parses fine but cannot
+  // be scheduled — the failure must surface at EVALUATION as an ERROR line.
+  const std::filesystem::path path =
+      std::filesystem::temp_directory_path() / "soctest_net_infeasible.soc";
+  {
+    std::ofstream out(path);
+    out << "soc hot\ncore only\n  inputs 4\n  outputs 4\n  patterns 10\n"
+           "  power 100\nend\npowermax 10\n";
+  }
+  RunningServer server(BaseOptions());
+  LineClient client = server.Connect();
+  ASSERT_TRUE(client.SendLine("file:" + path.string() + " 16 schedule"));
+  client.ShutdownWrite();
+  const std::vector<std::string> responses = client.ReadRemaining();
+  std::filesystem::remove(path);
+  ASSERT_EQ(responses.size(), 1u);
+  EXPECT_EQ(responses[0].rfind("ERROR req=0 ", 0), 0u) << responses[0];
+  EXPECT_EQ(server->stats().eval_failures, 1);
+}
+
+// ---------------------------------------------------------------------------
+// Overload shedding.
+
+TEST(SocServerTest, AdmissionOverflowShedsExplicitly) {
+  FaultInjector faults;
+  faults.hold_workers.store(true);  // park workers so the queue fills
+  ServerOptions options = BaseOptions();
+  options.batch.threads = 1;
+  options.admission_depth = 2;
+  options.faults = &faults;
+  RunningServer server(options);
+
+  LineClient client = server.Connect();
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(client.SendLine("d695 16 schedule"));
+  }
+  // Workers are parked, the queue holds 2: exactly 3 requests shed NOW.
+  ASSERT_TRUE(server.WaitFor(
+      [](const ServerStats& s) { return s.shed_overload == 3; }));
+  faults.hold_workers.store(false);
+
+  client.ShutdownWrite();
+  std::vector<std::string> responses = client.ReadRemaining();
+  ASSERT_EQ(responses.size(), 5u);
+  responses = SortByRequestIndex(std::move(responses));
+  int makespans = 0;
+  int overloaded = 0;
+  for (const std::string& line : responses) {
+    if (line.rfind("MAKESPAN ", 0) == 0) ++makespans;
+    if (line.find("overloaded: admission queue full") != std::string::npos) {
+      ++overloaded;
+    }
+  }
+  EXPECT_EQ(makespans, 2);
+  EXPECT_EQ(overloaded, 3);
+  const ServerStats stats = server->stats();
+  EXPECT_EQ(stats.shed_overload, 3);
+  EXPECT_EQ(stats.queue_depth_peak, 2);
+  EXPECT_EQ(stats.served, 2);
+}
+
+// ---------------------------------------------------------------------------
+// Deadline budgets.
+
+TEST(SocServerTest, ExpiredDeadlinesAreShedBeforeEvaluation) {
+  FaultInjector faults;
+  faults.hold_workers.store(true);
+  ServerOptions options = BaseOptions();
+  options.batch.threads = 1;
+  options.faults = &faults;
+  RunningServer server(options);
+
+  LineClient client = server.Connect();
+  ASSERT_TRUE(client.SendLine("d695 16 schedule deadline_ms=40"));
+  ASSERT_TRUE(client.SendLine("d695 24 schedule deadline_ms=40"));
+  ASSERT_TRUE(client.SendLine("d695 20 schedule"));  // no budget: must serve
+  ASSERT_TRUE(server.WaitFor(
+      [](const ServerStats& s) { return s.requests == 3; }));
+  std::this_thread::sleep_for(120ms);  // let both budgets expire while queued
+  faults.hold_workers.store(false);
+
+  client.ShutdownWrite();
+  std::vector<std::string> responses = client.ReadRemaining();
+  ASSERT_EQ(responses.size(), 3u);
+  responses = SortByRequestIndex(std::move(responses));
+  EXPECT_NE(responses[0].find("deadline: deadline expired"), std::string::npos)
+      << responses[0];
+  EXPECT_NE(responses[1].find("deadline: deadline expired"), std::string::npos)
+      << responses[1];
+  EXPECT_EQ(responses[2].rfind("MAKESPAN req=2 ", 0), 0u) << responses[2];
+  const ServerStats stats = server->stats();
+  EXPECT_EQ(stats.shed_deadline, 2);
+  EXPECT_EQ(stats.served, 1);
+  EXPECT_EQ(stats.service_time_count, 1);  // shed work was never evaluated
+}
+
+TEST(SocServerTest, ServerDefaultDeadlineApplies) {
+  FaultInjector faults;
+  faults.hold_workers.store(true);
+  ServerOptions options = BaseOptions();
+  options.batch.threads = 1;
+  options.deadline_ms = 30;  // every request inherits this budget
+  options.faults = &faults;
+  RunningServer server(options);
+
+  LineClient client = server.Connect();
+  ASSERT_TRUE(client.SendLine("d695 16 schedule"));
+  ASSERT_TRUE(server.WaitFor(
+      [](const ServerStats& s) { return s.requests == 1; }));
+  std::this_thread::sleep_for(100ms);
+  faults.hold_workers.store(false);
+
+  client.ShutdownWrite();
+  const std::vector<std::string> responses = client.ReadRemaining();
+  ASSERT_EQ(responses.size(), 1u);
+  EXPECT_NE(responses[0].find("deadline:"), std::string::npos) << responses[0];
+  EXPECT_EQ(server->stats().shed_deadline, 1);
+}
+
+// ---------------------------------------------------------------------------
+// Slow readers stall (and lose) only their own connection.
+
+TEST(SocServerTest, SlowReaderStallsOnlyItsOwnConnection) {
+  FaultInjector faults;
+  faults.stall_new_connection_writes.store(true);
+  ServerOptions options = BaseOptions();
+  options.batch.threads = 1;
+  options.write_buffer_lines = 4;
+  options.faults = &faults;
+  RunningServer server(options);
+
+  // Connection A is accepted while the stall flag is up: its writer never
+  // drains, so its responses pile into the bounded outbox.
+  LineClient slow = server.Connect();
+  ASSERT_TRUE(server.WaitFor(
+      [](const ServerStats& s) { return s.accepted == 1; }));
+  faults.stall_new_connection_writes.store(false);
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(slow.SendLine("d695 16 schedule"));
+  }
+  ASSERT_TRUE(server.WaitFor(
+      [](const ServerStats& s) { return s.responses >= 3; }));
+
+  // Connection B, accepted after the flag cleared, is served normally WHILE
+  // A sits stalled — the whole point: one slow reader cannot wedge serving.
+  LineClient fast = server.Connect();
+  ASSERT_TRUE(fast.SendLine("d695 24 schedule"));
+  const auto fast_response = fast.ReadLine(5000);
+  ASSERT_TRUE(fast_response.has_value());
+  EXPECT_EQ(fast_response->rfind("MAKESPAN req=0 ", 0), 0u) << *fast_response;
+  fast.Close();
+
+  // Push A's outbox past its bound: the 5th undrained response closes A
+  // with every queued line counted dropped — bounded memory, no stall of
+  // anyone else, no silent loss.
+  for (int i = 0; i < 2; ++i) {
+    ASSERT_TRUE(slow.SendLine("d695 16 schedule"));
+  }
+  ASSERT_TRUE(server.WaitFor(
+      [](const ServerStats& s) { return s.slow_client_closed == 1; }));
+  const ServerStats stats = server->stats();
+  EXPECT_EQ(stats.slow_client_closed, 1);
+  EXPECT_EQ(stats.responses_dropped, 5);  // 4 queued + the one that overflowed
+  EXPECT_EQ(slow.ReadRemaining(2000).size(), 0u);  // A got nothing, then EOF
+}
+
+// ---------------------------------------------------------------------------
+// Idle reaping and injected I/O failures.
+
+TEST(SocServerTest, IdleConnectionsAreReaped) {
+  ServerOptions options = BaseOptions();
+  options.idle_timeout_ms = 200;
+  RunningServer server(options);
+  LineClient client = server.Connect();
+  ASSERT_TRUE(server.WaitFor(
+      [](const ServerStats& s) { return s.timeouts == 1; }));
+  EXPECT_FALSE(client.ReadLine(2000).has_value());  // EOF, not a hang
+}
+
+TEST(SocServerTest, InjectedAcceptFailureDropsOnlyThatConnection) {
+  FaultInjector faults;
+  faults.fail_accepts.store(1);
+  ServerOptions options = BaseOptions();
+  options.faults = &faults;
+  RunningServer server(options);
+
+  LineClient doomed = server.Connect();  // TCP connects, server drops it
+  EXPECT_FALSE(doomed.ReadLine(3000).has_value());
+  ASSERT_TRUE(server.WaitFor(
+      [](const ServerStats& s) { return s.accept_errors == 1; }));
+
+  LineClient fine = server.Connect();
+  ASSERT_TRUE(fine.SendLine("d695 16 schedule"));
+  EXPECT_TRUE(fine.ReadLine(5000).has_value());
+}
+
+TEST(SocServerTest, InjectedReadFailureTearsDownCleanly) {
+  FaultInjector faults;
+  faults.fail_reads.store(1);
+  ServerOptions options = BaseOptions();
+  options.faults = &faults;
+  RunningServer server(options);
+
+  LineClient doomed = server.Connect();
+  ASSERT_TRUE(doomed.SendLine("d695 16 schedule"));
+  ASSERT_TRUE(server.WaitFor(
+      [](const ServerStats& s) { return s.read_errors == 1; }));
+  EXPECT_FALSE(doomed.ReadLine(3000).has_value());  // EOF
+
+  LineClient fine = server.Connect();
+  ASSERT_TRUE(fine.SendLine("d695 16 schedule"));
+  EXPECT_TRUE(fine.ReadLine(5000).has_value());
+}
+
+TEST(SocServerTest, InjectedWriteFailureCountsDroppedResponses) {
+  FaultInjector faults;
+  faults.fail_writes.store(1);
+  ServerOptions options = BaseOptions();
+  options.faults = &faults;
+  RunningServer server(options);
+
+  LineClient doomed = server.Connect();
+  ASSERT_TRUE(doomed.SendLine("d695 16 schedule"));
+  ASSERT_TRUE(server.WaitFor([](const ServerStats& s) {
+    return s.write_errors == 1 && s.responses_dropped >= 1;
+  }));
+  EXPECT_FALSE(doomed.ReadLine(3000).has_value());
+
+  LineClient fine = server.Connect();
+  ASSERT_TRUE(fine.SendLine("d695 16 schedule"));
+  EXPECT_TRUE(fine.ReadLine(5000).has_value());
+}
+
+TEST(SocServerTest, ConnectionLimitRefusesWithAnExplicitLine) {
+  ServerOptions options = BaseOptions();
+  options.max_connections = 1;
+  RunningServer server(options);
+
+  LineClient holder = server.Connect();
+  ASSERT_TRUE(server.WaitFor(
+      [](const ServerStats& s) { return s.accepted == 1; }));
+  LineClient refused = server.Connect();
+  const auto line = refused.ReadLine(5000);
+  ASSERT_TRUE(line.has_value());
+  EXPECT_NE(line->find("overloaded: connection limit reached"),
+            std::string::npos)
+      << *line;
+  EXPECT_EQ(server->stats().connections_refused, 1);
+
+  // The held connection still works.
+  ASSERT_TRUE(holder.SendLine("d695 16 schedule"));
+  EXPECT_TRUE(holder.ReadLine(5000).has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Graceful drain.
+
+TEST(SocServerTest, GracefulDrainServesEverythingQueued) {
+  FaultInjector faults;
+  faults.hold_workers.store(true);
+  ServerOptions options = BaseOptions();
+  options.batch.threads = 2;
+  options.drain_ms = 30000;  // generous budget: everything must SERVE
+  options.faults = &faults;
+  RunningServer server(options);
+
+  LineClient client = server.Connect();
+  constexpr int kRequests = 6;
+  for (int i = 0; i < kRequests; ++i) {
+    ASSERT_TRUE(client.SendLine("d695 16 schedule"));
+  }
+  ASSERT_TRUE(server.WaitFor(
+      [](const ServerStats& s) { return s.requests == kRequests; }));
+
+  // Stop() with the queue still full: workers un-park on stopping_, drain
+  // the queue inside the budget, writers flush, and ONLY then Stop returns.
+  server->Stop();
+  faults.hold_workers.store(false);  // (already released by stopping_)
+
+  const std::vector<std::string> responses = client.ReadRemaining();
+  ASSERT_EQ(responses.size(), static_cast<std::size_t>(kRequests));
+  for (const std::string& line : responses) {
+    EXPECT_EQ(line.rfind("MAKESPAN ", 0), 0u) << line;
+  }
+  const ServerStats stats = server->stats();
+  EXPECT_EQ(stats.served, kRequests);
+  EXPECT_EQ(stats.shed_drain, 0);
+  EXPECT_EQ(stats.responses_dropped, 0);
+}
+
+TEST(SocServerTest, DrainHardStopShedsButAnswersEveryRequest) {
+  FaultInjector faults;
+  faults.hold_workers.store(true);
+  ServerOptions options = BaseOptions();
+  options.batch.threads = 1;
+  options.drain_ms = 0;  // budget already spent: every queued request sheds
+  options.faults = &faults;
+  RunningServer server(options);
+
+  LineClient client = server.Connect();
+  constexpr int kRequests = 4;
+  for (int i = 0; i < kRequests; ++i) {
+    ASSERT_TRUE(client.SendLine("d695 16 schedule"));
+  }
+  ASSERT_TRUE(server.WaitFor(
+      [](const ServerStats& s) { return s.requests == kRequests; }));
+  server->Stop();
+
+  // Zero lost responses even at hard stop: every admitted request answers,
+  // as a shed rather than a result.
+  const std::vector<std::string> responses = client.ReadRemaining();
+  ASSERT_EQ(responses.size(), static_cast<std::size_t>(kRequests));
+  for (const std::string& line : responses) {
+    EXPECT_NE(line.find("draining: server shutting down"), std::string::npos)
+        << line;
+  }
+  const ServerStats stats = server->stats();
+  EXPECT_EQ(stats.shed_drain, kRequests);
+  EXPECT_EQ(stats.served, 0);
+  EXPECT_EQ(stats.responses_dropped, 0);
+}
+
+TEST(SocServerTest, StopIsIdempotentAndDestructorSafe) {
+  ServerOptions options = BaseOptions();
+  RunningServer server(options);
+  LineClient client = server.Connect();
+  ASSERT_TRUE(client.SendLine("d695 16 schedule"));
+  EXPECT_TRUE(client.ReadLine(5000).has_value());
+  server->Stop();
+  server->Stop();  // second Stop is a no-op; destructor Stop()s again
+}
+
+}  // namespace
+}  // namespace soctest

@@ -1,7 +1,12 @@
-// Robustness suite: the .soc parser must never crash and must return either
-// a valid SOC or a located error, for arbitrarily mutated inputs.
+// Robustness suite: the .soc parser, the request-line parser, and the
+// network line protocol must never crash and must return either a valid
+// result or a located error, for arbitrarily mutated inputs.
 #include <gtest/gtest.h>
 
+#include <variant>
+
+#include "service/net/protocol.h"
+#include "service/request.h"
 #include "soc/benchmarks.h"
 #include "soc/soc_parser.h"
 #include "util/rng.h"
@@ -26,6 +31,34 @@ void ExpectParserTotal(const std::string& text) {
     const auto& err = std::get<ParseError>(result);
     EXPECT_FALSE(err.message.empty());
     EXPECT_GE(err.line, 0);
+  }
+}
+
+// Checks the request parser's postcondition on arbitrary text: every input
+// yields either well-formed requests or a RequestParseError with a sane
+// file:line locus — never a crash, never an empty diagnostic.
+void ExpectRequestParserTotal(const std::string& text) {
+  const RequestFileResult result = ParseRequestText(text, "fuzz");
+  if (const auto* requests =
+          std::get_if<std::vector<BatchRequest>>(&result)) {
+    for (const BatchRequest& req : *requests) {
+      EXPECT_GT(req.tam_width, 0);
+      EXPECT_FALSE(req.soc_spec.empty());
+    }
+  } else {
+    const auto& err = std::get<RequestParseError>(result);
+    EXPECT_FALSE(err.message.empty());
+    EXPECT_EQ(err.file, "fuzz");
+    EXPECT_GE(err.line, 1);
+  }
+  // The network protocol wraps the same parser per line plus transport
+  // params; it must be equally total (kSkip/kStats/kRequest/kError, with a
+  // non-empty diagnostic on kError).
+  for (const std::string& line : SplitLines(text)) {
+    const NetLine parsed = ParseNetLine(line);
+    if (parsed.kind == NetLine::Kind::kError) {
+      EXPECT_FALSE(parsed.error.empty());
+    }
   }
 }
 
@@ -80,8 +113,81 @@ TEST_P(ParserFuzzTest, TruncationsNeverCrash) {
   }
 }
 
+// The request grammar is line-oriented and small; mutate a healthy request
+// file the same three ways the .soc fuzz does (character edits, random byte
+// junk including NUL/CR, truncated key=value tails).
+TEST_P(ParserFuzzTest, RequestLineMutationsNeverCrash) {
+  Rng rng(GetParam() ^ 0x9e3779b9);
+  const std::string text =
+      "d695 16 schedule\n"
+      "d695 24 schedule search=1 deadline_ms=100\n"
+      "d695 24 improve iters=8 batch=2 seed=7\n"
+      "d695 16 sweep min=12 max=16\n";
+  for (int round = 0; round < 50; ++round) {
+    std::string mutated = text;
+    const int edits = static_cast<int>(rng.UniformInt(1, 5));
+    for (int e = 0; e < edits; ++e) {
+      if (mutated.empty()) break;
+      const auto pos = static_cast<std::size_t>(
+          rng.UniformInt(0, static_cast<std::int64_t>(mutated.size()) - 1));
+      const auto op = rng.UniformInt(0, 2);
+      // Full byte range, not just printable: embedded NUL, CR, and high
+      // bytes must parse as request-breaking characters, not crash.
+      if (op == 0) {
+        mutated[pos] = static_cast<char>(rng.UniformInt(0, 255));
+      } else if (op == 1) {
+        mutated.erase(pos, 1);
+      } else {
+        mutated.insert(pos, 1, static_cast<char>(rng.UniformInt(0, 255)));
+      }
+    }
+    ExpectRequestParserTotal(mutated);
+  }
+}
+
+TEST_P(ParserFuzzTest, RequestLineTruncationsNeverCrash) {
+  Rng rng(GetParam() ^ 0x51ed);
+  const std::string text =
+      "d695 24 improve iters=12 batch=4 seed=99 deadline_ms=250\n";
+  for (int round = 0; round < 30; ++round) {
+    const auto cut = static_cast<std::size_t>(
+        rng.UniformInt(0, static_cast<std::int64_t>(text.size())));
+    // "d695 16 improve iters=" and friends: truncated key=value tails must
+    // produce located errors, not crashes or silent defaults.
+    ExpectRequestParserTotal(text.substr(0, cut));
+  }
+}
+
+TEST_P(ParserFuzzTest, RequestRandomByteJunkNeverCrashes) {
+  Rng rng(GetParam() ^ 0xdeadbeef);
+  for (int round = 0; round < 30; ++round) {
+    const auto size = static_cast<std::size_t>(rng.UniformInt(0, 512));
+    std::string junk(size, '\0');
+    for (char& c : junk) c = static_cast<char>(rng.UniformInt(0, 255));
+    ExpectRequestParserTotal(junk);
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, ParserFuzzTest,
                          ::testing::Values(101u, 202u, 303u, 404u));
+
+TEST(RequestHostileInputTest, PathologicalRequestLines) {
+  // Oversized single line (far past any sane request).
+  ExpectRequestParserTotal("d695 16 schedule " + std::string(1 << 16, 'x') +
+                           "\n");
+  // Truncated key=value in every position.
+  ExpectRequestParserTotal("d695 16 improve iters=\n");
+  ExpectRequestParserTotal("d695 16 improve =8\n");
+  ExpectRequestParserTotal("d695 16 improve iters\n");
+  ExpectRequestParserTotal("d695 16 schedule deadline_ms=\n");
+  // Embedded NUL and CR inside tokens.
+  ExpectRequestParserTotal(std::string("d695 16 sch\0edule\n", 18));
+  ExpectRequestParserTotal("d695 16\r schedule\r\n");
+  // Numeric edges.
+  ExpectRequestParserTotal("d695 99999999999999999999 schedule\n");
+  ExpectRequestParserTotal("d695 -4 schedule\n");
+  ExpectRequestParserTotal("d695 16 improve seed=18446744073709551617\n");
+}
 
 TEST(ParserHostileInputTest, PathologicalDocuments) {
   ExpectParserTotal(std::string(1 << 16, 'x'));

@@ -675,6 +675,53 @@ TEST(ResultCacheTest, SingleFlightJoinersAdoptTheLeadersResult) {
   EXPECT_EQ(cache.stats().hits, 1);
 }
 
+TEST(ResultCacheTest, LeaderErrorPropagatesToEveryBlockedJoiner) {
+  // Stress the single-flight ERROR path: the leader's evaluation fails
+  // while 8 joiners sit blocked in Begin. Every joiner must receive the
+  // published error result — the same object, no hang, no partial adoption,
+  // no joiner promoted to re-evaluate.
+  ResultCache cache({/*shards=*/1, /*capacity=*/8});
+  const std::string key = "request-that-will-fail";
+
+  const ResultCache::Lookup leader = cache.Begin(key);
+  ASSERT_TRUE(leader.leader);
+
+  constexpr int kJoiners = 8;
+  std::vector<std::shared_ptr<const BatchItemResult>> adopted(kJoiners);
+  std::vector<bool> was_leader(kJoiners, true);
+  std::vector<std::thread> joiners;
+  joiners.reserve(kJoiners);
+  for (int i = 0; i < kJoiners; ++i) {
+    joiners.emplace_back([&cache, &key, &adopted, &was_leader, i] {
+      const ResultCache::Lookup found = cache.Begin(key);
+      was_leader[static_cast<std::size_t>(i)] = found.leader;
+      adopted[static_cast<std::size_t>(i)] = found.result;
+    });
+  }
+  // Joins are counted at Begin, before the blocking wait: all 8 parked.
+  while (cache.stats().joins < kJoiners) std::this_thread::yield();
+
+  BatchItemResult failure;
+  failure.soc_name = "x";
+  failure.makespan = -1;
+  failure.error = "evaluation failed: no feasible schedule";
+  const std::shared_ptr<const BatchItemResult> resident =
+      cache.Commit(key, std::move(failure));
+  for (std::thread& t : joiners) t.join();
+
+  for (int i = 0; i < kJoiners; ++i) {
+    EXPECT_FALSE(was_leader[static_cast<std::size_t>(i)]);
+    ASSERT_NE(adopted[static_cast<std::size_t>(i)], nullptr);
+    // The SAME published error object, not a re-evaluation or a blank.
+    EXPECT_EQ(adopted[static_cast<std::size_t>(i)].get(), resident.get());
+    EXPECT_FALSE(adopted[static_cast<std::size_t>(i)]->ok());
+  }
+  const ResultCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.misses, 1);
+  EXPECT_EQ(stats.joins, kJoiners);
+  EXPECT_EQ(stats.hits, 0);
+}
+
 TEST(ResultCacheTest, HashCollisionReplacesButNeverServesWrongKey) {
   ResultHashHookGuard guard(&CollideResultHash);  // every key hashes to 42
   ResultCache cache({/*shards=*/1, /*capacity=*/8});

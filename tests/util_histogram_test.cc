@@ -1,0 +1,90 @@
+// Tests for util/histogram.h — the fixed-bucket latency histogram behind the
+// server's p50/p99 service-time counters.
+#include "util/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+namespace soctest {
+namespace {
+
+TEST(FixedBucketHistogramTest, EmptyHistogramReportsZero) {
+  FixedBucketHistogram h;
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_EQ(h.Percentile(50.0), 0);
+  EXPECT_EQ(h.Percentile(99.0), 0);
+}
+
+TEST(FixedBucketHistogramTest, BucketUpperBoundsArePowersOfTwoMinusOne) {
+  EXPECT_EQ(FixedBucketHistogram::BucketUpperBound(0), 0);
+  EXPECT_EQ(FixedBucketHistogram::BucketUpperBound(1), 1);
+  EXPECT_EQ(FixedBucketHistogram::BucketUpperBound(2), 3);
+  EXPECT_EQ(FixedBucketHistogram::BucketUpperBound(3), 7);
+  EXPECT_EQ(FixedBucketHistogram::BucketUpperBound(10), 1023);
+}
+
+TEST(FixedBucketHistogramTest, PercentileReportsConservativeUpperBound) {
+  FixedBucketHistogram h;
+  // 700 has bit width 10 -> bucket 10, upper bound 1023: the reported p50
+  // must bound the true value from above, never below.
+  h.Record(700);
+  EXPECT_EQ(h.count(), 1);
+  EXPECT_EQ(h.Percentile(50.0), 1023);
+  EXPECT_EQ(h.Percentile(99.0), 1023);
+}
+
+TEST(FixedBucketHistogramTest, NearestRankSplitsAcrossBuckets) {
+  FixedBucketHistogram h;
+  // 99 values in bucket 3 (values of 5: range [4,8)) and 1 value far above:
+  // p50 sits in the low bucket, p99.9-ish rank lands the high one only at
+  // p100.
+  for (int i = 0; i < 99; ++i) h.Record(5);
+  h.Record(1 << 20);
+  EXPECT_EQ(h.count(), 100);
+  EXPECT_EQ(h.Percentile(50.0), 7);
+  EXPECT_EQ(h.Percentile(99.0), 7);
+  EXPECT_EQ(h.Percentile(100.0), (1 << 21) - 1);
+}
+
+TEST(FixedBucketHistogramTest, ZeroAndNegativeClampToBucketZero) {
+  FixedBucketHistogram h;
+  h.Record(0);
+  h.Record(-17);
+  EXPECT_EQ(h.count(), 2);
+  EXPECT_EQ(h.Percentile(50.0), 0);
+  EXPECT_EQ(h.Percentile(100.0), 0);
+}
+
+TEST(FixedBucketHistogramTest, HugeValuesSaturateIntoLastBucket) {
+  FixedBucketHistogram h;
+  h.Record(std::int64_t{1} << 62);  // way past the 40-bucket range
+  EXPECT_EQ(h.count(), 1);
+  EXPECT_EQ(h.Percentile(50.0),
+            FixedBucketHistogram::BucketUpperBound(
+                FixedBucketHistogram::kBuckets - 1));
+}
+
+TEST(FixedBucketHistogramTest, ConcurrentRecordsAllLand) {
+  FixedBucketHistogram h;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      for (int i = 0; i < kPerThread; ++i) h.Record((t + 1) * 100);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(h.count(), static_cast<std::int64_t>(kThreads) * kPerThread);
+  // All values live in [100, 800] -> buckets 7..10; the p100 upper bound is
+  // 1023 and the p1 lower bucket bound is 127.
+  EXPECT_EQ(h.Percentile(100.0), 1023);
+  EXPECT_EQ(h.Percentile(1.0), 127);
+}
+
+}  // namespace
+}  // namespace soctest

@@ -1,0 +1,23 @@
+# Asserts the `soctest_cli batch` failure contract: a batch containing a
+# request that cannot be served must exit NON-zero, still print MAKESPAN
+# lines for the requests that did serve, and report the failure count on the
+# STATS line. Run with:
+#   cmake -DCLI=<soctest_cli> -DREQUESTS=<request-file> -P this_file
+execute_process(
+  COMMAND ${CLI} batch ${REQUESTS} --threads 2
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err
+  RESULT_VARIABLE code)
+
+if(code EQUAL 0)
+  message(FATAL_ERROR "batch with a failing request exited 0; stdout:\n${out}")
+endif()
+if(NOT out MATCHES "MAKESPAN req=0 ")
+  message(FATAL_ERROR "missing MAKESPAN for the servable request:\n${out}")
+endif()
+if(NOT out MATCHES "failed=1")
+  message(FATAL_ERROR "STATS line does not report failed=1:\n${out}")
+endif()
+if(NOT err MATCHES "req 1 ")
+  message(FATAL_ERROR "stderr does not diagnose the failing request:\n${err}")
+endif()

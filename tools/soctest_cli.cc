@@ -13,14 +13,26 @@
 //             (one request per line: "<soc> <width> <mode> [key=value ...]";
 //             see src/service/request.h for the format); --dedup serves
 //             identical request lines one evaluation
+//   serve     [--port N] [--threads N] [--shards N] [--cache-entries N]
+//             [--dedup] [--result-entries N] [--core-cache-entries N]
+//             [--admission-depth N] [--deadline-ms N] [--idle-timeout-ms N]
+//             [--drain-ms N] [--max-connections N]
+//             TCP front-end on 127.0.0.1 speaking the batch request-line
+//             protocol (one request per line in, MAKESPAN/ERROR lines out,
+//             "stats" for counters); prints "LISTENING port=N", serves
+//             until SIGINT/SIGTERM, then drains gracefully
 //   lowerbound <soc> --width W
 //   advise    <soc> [--threshold R] [--max-budget N]   preemption budgets
 //
 // <soc> is either an embedded benchmark name (d695, p22810s, p34392s,
 // p93791s) or a path to a .soc file; an existing file wins over a benchmark
 // of the same name, and "bench:<name>" / "file:<path>" force either.
+#include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <fstream>
+#include <thread>
 #include <utility>
 
 #include "baseline/lower_bound.h"
@@ -34,6 +46,8 @@
 #include "io/schedule_export.h"
 #include "search/driver.h"
 #include "service/batch_scheduler.h"
+#include "service/net/protocol.h"
+#include "service/net/soc_server.h"
 #include "soc/benchmarks.h"
 #include "soc/soc_parser.h"
 #include "tdv/effective_width.h"
@@ -49,7 +63,7 @@ namespace {
 int Usage() {
   std::fprintf(stderr,
                "usage: soctest_cli <benchmarks|wrapper|schedule|sweep|batch|"
-               "lowerbound|advise> ...\n"
+               "serve|lowerbound|advise> ...\n"
                "run with a subcommand and --help-style args; see the header "
                "of tools/soctest_cli.cc\n");
   return 2;
@@ -350,11 +364,10 @@ int CmdBatch(int argc, const char* const* argv) {
     // No cache/dedup annotations here: which request hits, misses, or joins
     // varies with thread interleaving, and MAKESPAN lines are the output the
     // (threads, shards, dedup) bit-identity contract covers. Work-done
-    // counters live on the STATS line below.
-    std::printf("MAKESPAN req=%d soc=%s w=%d mode=%s cycles=%lld\n",
-                item.index, item.soc_name.c_str(), item.tam_width,
-                BatchModeName(item.mode),
-                static_cast<long long>(item.makespan));
+    // counters live on the STATS line below. The formatter is shared with
+    // the TCP front-end, so a request served over a socket answers with
+    // these exact bytes.
+    std::printf("%s\n", FormatMakespanLine(item).c_str());
   }
   // evaluations: search/improve/sweep runs actually executed (failed ones
   // included — both paths evaluate and report them) — with dedup on, the
@@ -362,7 +375,8 @@ int CmdBatch(int argc, const char* const* argv) {
   const long long evaluations =
       options.dedup ? outcome.dedup.misses
                     : static_cast<long long>(requests.size());
-  std::printf("STATS bench=batch requests=%d served=%d threads=%d shards=%d "
+  std::printf("STATS bench=batch requests=%d served=%d failed=%d "
+              "threads=%d shards=%d "
               "cache_hits=%lld cache_misses=%lld cache_evictions=%lld "
               "cache_collisions=%lld compiles=%lld entries=%d "
               "dedup=%d evaluations=%lld dedup_hits=%lld dedup_joins=%lld "
@@ -370,6 +384,7 @@ int CmdBatch(int argc, const char* const* argv) {
               "core_hits=%lld core_misses=%lld core_evictions=%lld "
               "core_collisions=%lld core_compiles=%lld core_entries=%d\n",
               static_cast<int>(requests.size()), outcome.served,
+              static_cast<int>(requests.size()) - outcome.served,
               scheduler.threads(), scheduler.cache().shards(),
               static_cast<long long>(outcome.cache.hits),
               static_cast<long long>(outcome.cache.misses),
@@ -387,7 +402,71 @@ int CmdBatch(int argc, const char* const* argv) {
               static_cast<long long>(outcome.core.collisions),
               static_cast<long long>(outcome.core.compiles),
               outcome.core.entries);
+  // Exit non-zero when ANY request failed — scripted callers must not need
+  // to scrape stderr to notice a partial batch.
   return outcome.served == static_cast<int>(requests.size()) ? 0 : 1;
+}
+
+// SIGINT/SIGTERM flip this; the serve loop polls it and drains gracefully.
+std::atomic<bool> g_serve_stop{false};
+
+void HandleStopSignal(int) { g_serve_stop.store(true); }
+
+int CmdServe(int argc, const char* const* argv) {
+  ArgParser args({"dedup"},
+                 {"port", "threads", "shards", "cache-entries",
+                  "result-entries", "core-cache-entries", "admission-depth",
+                  "deadline-ms", "idle-timeout-ms", "drain-ms",
+                  "max-connections"});
+  if (!args.Parse(argc, argv, 2) || !args.positional().empty()) {
+    std::fprintf(stderr,
+                 "usage: soctest_cli serve [--port N] [--threads N] "
+                 "[--shards N] [--cache-entries N] [--dedup] "
+                 "[--result-entries N] [--core-cache-entries N] "
+                 "[--admission-depth N] [--deadline-ms N] "
+                 "[--idle-timeout-ms N] [--drain-ms N] "
+                 "[--max-connections N]\n%s\n",
+                 args.Error().c_str());
+    return 2;
+  }
+  ServerOptions options;
+  options.port = args.Int32Or("port", 0);
+  options.batch.threads = args.Int32Or("threads", 0);
+  options.batch.shards = args.Int32Or("shards", 4);
+  options.batch.cache_entries = args.Int32Or("cache-entries", 64);
+  options.batch.dedup = args.HasFlag("dedup");
+  options.batch.result_entries = args.Int32Or("result-entries", 256);
+  options.batch.core_cache_entries = args.Int32Or("core-cache-entries", 4096);
+  options.admission_depth = args.Int32Or("admission-depth", 128);
+  options.deadline_ms = args.Int32Or("deadline-ms", 0);
+  options.idle_timeout_ms = args.Int32Or("idle-timeout-ms", 10000);
+  options.drain_ms = args.Int32Or("drain-ms", 2000);
+  options.max_connections = args.Int32Or("max-connections", 64);
+  if (!args.ok()) {
+    std::fprintf(stderr, "%s\n", args.Error().c_str());
+    return 2;
+  }
+
+  SocServer server(options);
+  std::string error;
+  if (!server.Start(&error)) {
+    std::fprintf(stderr, "serve: %s\n", error.c_str());
+    return 1;
+  }
+  // Flushed immediately so a parent process (or a shell script) can scrape
+  // the kernel-assigned port before sending traffic.
+  std::printf("LISTENING port=%d\n", server.port());
+  std::fflush(stdout);
+
+  std::signal(SIGINT, HandleStopSignal);
+  std::signal(SIGTERM, HandleStopSignal);
+  while (!g_serve_stop.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  std::fprintf(stderr, "serve: draining (budget %d ms)\n", options.drain_ms);
+  server.Stop();
+  std::printf("%s\n", server.StatsLine().c_str());
+  return 0;
 }
 
 int CmdLowerBound(int argc, const char* const* argv) {
@@ -444,6 +523,7 @@ int main(int argc, char** argv) {
   if (cmd == "schedule") return CmdSchedule(argc, argv);
   if (cmd == "sweep") return CmdSweep(argc, argv);
   if (cmd == "batch") return CmdBatch(argc, argv);
+  if (cmd == "serve") return CmdServe(argc, argv);
   if (cmd == "lowerbound") return CmdLowerBound(argc, argv);
   if (cmd == "advise") return CmdAdvise(argc, argv);
   return Usage();
