@@ -228,14 +228,65 @@ void BM_ImproveCompiled64(benchmark::State& state) {
   if (last.best.ok()) {
     std::printf("MAKESPAN soc=gen64 w=32 mode=improve threads=%d cycles=%lld\n",
                 params.threads, static_cast<long long>(last.best.makespan));
-    std::printf("STATS bench=improve threads=%d improvements=%d attempts=%d "
-                "rounds=%d initial=%lld final=%lld\n",
-                params.threads, last.improvements, last.attempts, last.rounds,
-                static_cast<long long>(last.initial_makespan),
+    std::printf("STATS bench=improve threads=%d improvements=%d drawn=%d "
+                "evaluated=%d noops=%d dups=%d bound_aborts=%d rounds=%d "
+                "initial=%lld final=%lld\n",
+                params.threads, last.improvements, last.drawn, last.evaluated,
+                last.noops, last.duplicates_skipped, last.bound_aborts,
+                last.rounds, static_cast<long long>(last.initial_makespan),
                 static_cast<long long>(last.best.makespan));
   }
 }
 BENCHMARK(BM_ImproveCompiled64)
+    ->Arg(1)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+// The adaptive engine on the same SOC: UCB1 move selection over
+// {nudge, swap, block} with memoization feeding an explicit evaluation
+// budget (--max-evals semantics) — the draw budget is generous, but only
+// max_evaluations scheduler runs are paid for. The quality gate in
+// bench/baselines: final makespan must match or beat the fixed climb's at
+// no more than half of its evaluations. Bit-identical across thread counts
+// (the bandit is rewarded serially at round boundaries).
+void BM_ImproveAdaptive64(benchmark::State& state) {
+  const TestProblem& problem = Generated64();
+  const CompiledProblem compiled(problem);
+  ImproverParams params;
+  params.optimizer.tam_width = 32;
+  params.iterations = 256;
+  params.batch = 8;
+  params.adaptive = true;
+  params.seed = 17;
+  params.max_evaluations = 24;
+  params.threads = static_cast<int>(state.range(0));
+  ImproverResult last;
+  for (auto _ : state) {
+    last = ImproveSchedule(compiled, params);
+    benchmark::DoNotOptimize(last);
+  }
+  state.counters["improvements"] =
+      static_cast<double>(last.improvements);
+  if (last.best.ok()) {
+    std::printf("MAKESPAN soc=gen64 w=32 mode=improve-adaptive threads=%d "
+                "cycles=%lld\n",
+                params.threads, static_cast<long long>(last.best.makespan));
+    std::printf("STATS bench=improve_adaptive threads=%d improvements=%d "
+                "drawn=%d evaluated=%d noops=%d dups=%d bound_aborts=%d "
+                "rounds=%d nudge=%d/%d swap=%d/%d block=%d/%d "
+                "initial=%lld final=%lld\n",
+                params.threads, last.improvements, last.drawn, last.evaluated,
+                last.noops, last.duplicates_skipped, last.bound_aborts,
+                last.rounds,
+                last.accepted[0], last.attempted[0],
+                last.accepted[1], last.attempted[1],
+                last.accepted[2], last.attempted[2],
+                static_cast<long long>(last.initial_makespan),
+                static_cast<long long>(last.best.makespan));
+  }
+}
+BENCHMARK(BM_ImproveAdaptive64)
     ->Arg(1)
     ->Arg(8)
     ->Unit(benchmark::kMillisecond)

@@ -7,6 +7,7 @@
 #include "runtime/thread_pool.h"
 #include "runtime/workspace_pool.h"
 #include "search/driver.h"
+#include "search/seen_set.h"
 #include "util/rng.h"
 #include "wrapper/rectangles.h"
 
@@ -27,7 +28,34 @@ int NeighborWidth(const RectangleSet& rect, int width, bool up) {
   return rect.SnapWidth(width);
 }
 
+// The bandit's arm list: params.moves deduplicated in order, kNudge when
+// empty or when adaptive selection is off.
+std::vector<ImproverMove> ResolveArms(const ImproverParams& params) {
+  std::vector<ImproverMove> arms;
+  if (params.adaptive) {
+    for (const ImproverMove move : params.moves) {
+      if (std::find(arms.begin(), arms.end(), move) == arms.end()) {
+        arms.push_back(move);
+      }
+    }
+  }
+  if (arms.empty()) arms.push_back(ImproverMove::kNudge);
+  return arms;
+}
+
 }  // namespace
+
+const char* ImproverMoveName(ImproverMove move) {
+  switch (move) {
+    case ImproverMove::kNudge:
+      return "nudge";
+    case ImproverMove::kPairSwap:
+      return "swap";
+    case ImproverMove::kBlockPerturb:
+      return "block";
+  }
+  return "?";
+}
 
 ImproverResult ImproveSchedule(const TestProblem& problem,
                                const ImproverParams& params) {
@@ -38,15 +66,24 @@ ImproverResult ImproveSchedule(const TestProblem& problem,
 ImproverResult ImproveSchedule(const CompiledProblem& compiled,
                                const ImproverParams& params) {
   ImproverResult result;
+  // The improver owns incumbent bounding; a bound left in the caller's base
+  // params would silently truncate the restart search and every candidate.
+  OptimizerParams base = params.optimizer;
+  base.makespan_bound = 0;
+
   SearchOptions search;
   search.threads = params.threads;
   search.extent = params.grid;
-  result.best = RunRestartSearch(compiled, params.optimizer, search).best;
+  // The restart grid is where most of an improver run's time goes; racing
+  // its configurations against the best completed so far returns the same
+  // winner for a fraction of the packing work (see SearchOptions).
+  search.bound_with_incumbent = params.bound_candidates;
+  result.best = RunRestartSearch(compiled, base, search).best;
   if (!result.best.ok()) return result;
   result.initial_makespan = result.best.makespan;
 
   // Clipped views of the compiled curves — no wrapper re-design.
-  const auto rects = compiled.RectsFor(params.optimizer.tam_width);
+  const auto rects = compiled.RectsFor(base.tam_width);
   const TestProblem& problem = compiled.problem();
   const int num_cores = problem.soc.num_cores();
 
@@ -58,9 +95,14 @@ ImproverResult ImproveSchedule(const CompiledProblem& compiled,
   }
 
   Rng rng(params.seed);
-  // More candidates per round than total attempts would be dead weight.
+  // More candidates per round than total draws would be dead weight.
   const int batch = std::max(1, std::min(params.batch, params.iterations));
   result.batch = batch;
+  const std::vector<ImproverMove> arms = ResolveArms(params);
+  Ucb1Bandit bandit(arms.size(), params.exploration);
+  SeenSet seen;
+  if (params.memoize) seen.Insert(widths);  // base solutions are never new
+
   // Candidates are generated serially from the RNG (below), so the pool size
   // affects only wall-clock, never the stream. One workspace per worker slot
   // keeps each worker's scheduler runs allocation-free after its first.
@@ -69,41 +111,130 @@ ImproverResult ImproveSchedule(const CompiledProblem& compiled,
 
   std::vector<std::vector<int>> candidates(static_cast<std::size_t>(batch));
   std::vector<OptimizerResult> evaluated(static_cast<std::size_t>(batch));
+  std::vector<std::size_t> cand_arm(static_cast<std::size_t>(batch), 0);
+  std::vector<std::size_t> round_pulls;  // arm index per draw this round
+  round_pulls.reserve(static_cast<std::size_t>(batch));
 
-  while (result.attempts < params.iterations) {
+  // Nudges `count` cores one Pareto step up or down. This is the historical
+  // move's exact RNG pattern — two variates per core — so non-adaptive runs
+  // replay the pre-bandit candidate stream draw for draw.
+  const auto apply_nudges = [&](std::vector<int>& candidate, int count) {
+    for (int m = 0; m < count; ++m) {
+      const auto core =
+          static_cast<std::size_t>(rng.UniformInt(0, num_cores - 1));
+      const bool up = rng.Bernoulli(0.5);
+      candidate[core] = NeighborWidth(rects[core], candidate[core], up);
+    }
+  };
+
+  while (result.drawn < params.iterations &&
+         (params.max_evaluations <= 0 ||
+          result.evaluated < params.max_evaluations)) {
     // ---- Draw this round's candidates (serial: RNG order is canonical) ----
-    const int want = std::min(batch, params.iterations - result.attempts);
+    const int want = std::min(batch, params.iterations - result.drawn);
     int k = 0;  // candidates worth evaluating this round
+    round_pulls.clear();
     for (int j = 0; j < want; ++j) {
-      ++result.attempts;
+      // Under an evaluation budget, stop drawing once this round already
+      // holds enough candidates to exhaust it.
+      if (params.max_evaluations > 0 &&
+          result.evaluated + k >= params.max_evaluations) {
+        break;
+      }
+      ++result.drawn;
+      // Non-adaptive runs never touch the bandit: move selection must stay a
+      // pure function of nothing so the climb is RNG-compatible with the
+      // historical single-move implementation.
+      const std::size_t arm = params.adaptive ? bandit.SelectAndPull() : 0;
+      if (params.adaptive) round_pulls.push_back(arm);
+      const ImproverMove kind = arms[arm];
+      ++result.attempted[static_cast<std::size_t>(kind)];
+
       std::vector<int>& candidate = candidates[static_cast<std::size_t>(k)];
       candidate = widths;
-      for (int m = 0; m < params.cores_per_move; ++m) {
-        const auto core =
-            static_cast<std::size_t>(rng.UniformInt(0, num_cores - 1));
-        const bool up = rng.Bernoulli(0.5);
-        candidate[core] = NeighborWidth(rects[core], candidate[core], up);
+      switch (kind) {
+        case ImproverMove::kNudge:
+          apply_nudges(candidate, params.cores_per_move);
+          break;
+        case ImproverMove::kPairSwap: {
+          if (num_cores >= 2) {
+            const int a = rng.UniformInt(0, num_cores - 1);
+            int b = rng.UniformInt(0, num_cores - 2);
+            if (b >= a) ++b;  // uniform over pairs with a != b
+            const int wa = candidate[static_cast<std::size_t>(a)];
+            const int wb = candidate[static_cast<std::size_t>(b)];
+            candidate[static_cast<std::size_t>(a)] =
+                rects[static_cast<std::size_t>(a)].SnapWidth(wb);
+            candidate[static_cast<std::size_t>(b)] =
+                rects[static_cast<std::size_t>(b)].SnapWidth(wa);
+          }
+          break;
+        }
+        case ImproverMove::kBlockPerturb: {
+          // Anneal the block size from a quarter of the SOC down to the
+          // plain nudge size as the draw budget is spent: wide early
+          // exploration, fine late refinement.
+          const int lo = std::max(1, params.cores_per_move);
+          const int hi = std::max(lo + 1, num_cores / 4);
+          const double progress =
+              static_cast<double>(result.drawn - 1) /
+              static_cast<double>(std::max(1, params.iterations));
+          const int block = std::clamp(
+              hi - static_cast<int>(progress * static_cast<double>(hi - lo)),
+              lo, hi);
+          apply_nudges(candidate, block);
+          break;
+        }
       }
-      if (candidate == widths) continue;  // no-op move: draw, don't evaluate
-      // Duplicate of an earlier candidate this round: a second evaluation
-      // would return the same makespan at a larger index, so the reduction
-      // could never pick it — skip the redundant scheduler run. (The RNG
-      // stream is untouched; only the evaluation set shrinks.)
-      bool duplicate = false;
-      for (int p = 0; p < k && !duplicate; ++p) {
-        duplicate = candidate == candidates[static_cast<std::size_t>(p)];
+
+      if (candidate == widths) {  // no-op move: draw, don't evaluate
+        ++result.noops;
+        continue;
       }
-      if (duplicate) continue;
+      if (params.memoize) {
+        // Seen before (this run): its makespan was already >= the incumbent
+        // in force when it was first evaluated, and incumbents only
+        // decrease, so it can never be accepted now — skip the run.
+        if (!seen.Insert(candidate)) {
+          ++result.duplicates_skipped;
+          continue;
+        }
+      } else {
+        // Duplicate of an earlier candidate this round: a second evaluation
+        // would return the same makespan at a larger index, so the reduction
+        // could never pick it — skip the redundant scheduler run. (The RNG
+        // stream is untouched; only the evaluation set shrinks.)
+        bool duplicate = false;
+        for (int p = 0; p < k && !duplicate; ++p) {
+          duplicate = candidate == candidates[static_cast<std::size_t>(p)];
+        }
+        if (duplicate) {
+          ++result.duplicates_skipped;
+          continue;
+        }
+      }
+      cand_arm[static_cast<std::size_t>(k)] = arm;
       ++k;
     }
-    if (k == 0) continue;
+    if (k == 0) {
+      // Every draw was a no-op or a repeat; nothing ran, nothing rewarded.
+      for (const std::size_t arm : round_pulls) bandit.Reward(arm, 0.0);
+      continue;
+    }
     ++result.rounds;
+    result.evaluated += k;
 
     // ---- Evaluate the batch on the pool (per-index slots) -----------------
+    // Candidates run under the incumbent bound: any schedule provably unable
+    // to beat result.best aborts as soon as its packed time reaches the
+    // bound. Acceptance below requires strictly < the incumbent, so bounding
+    // never changes which candidates win — only how much losers cost.
+    const Time bound = params.bound_candidates ? result.best.makespan : 0;
     pool.ParallelForWorker(
         static_cast<std::size_t>(k), [&](std::size_t worker, std::size_t i) {
-          OptimizerParams move_params = params.optimizer;
+          OptimizerParams move_params = base;
           move_params.preferred_width_override = candidates[i];
+          move_params.makespan_bound = bound;
           evaluated[i] =
               Optimize(compiled, move_params, workspaces.slot(worker));
         });
@@ -113,6 +244,13 @@ ImproverResult ImproveSchedule(const CompiledProblem& compiled,
     for (int i = 0; i < k; ++i) {
       const OptimizerResult& attempt = evaluated[static_cast<std::size_t>(i)];
       if (!attempt.ok()) continue;
+      if (attempt.aborted_by_bound) {
+        // Abandoned at the incumbent: a rejection, observed cheaply. (Its
+        // partial makespan is already >= the incumbent, so the improvement
+        // test below would reject it anyway; the flag just says why.)
+        ++result.bound_aborts;
+        continue;
+      }
       if (attempt.makespan >= result.best.makespan) continue;
       if (pick < 0 ||
           attempt.makespan < evaluated[static_cast<std::size_t>(pick)].makespan) {
@@ -122,7 +260,26 @@ ImproverResult ImproveSchedule(const CompiledProblem& compiled,
     if (pick >= 0) {
       result.best = std::move(evaluated[static_cast<std::size_t>(pick)]);
       widths = std::move(candidates[static_cast<std::size_t>(pick)]);
+      // The accepted candidate's buffer was moved from; leave the slot valid.
+      candidates[static_cast<std::size_t>(pick)].clear();
       ++result.improvements;
+      ++result.accepted[static_cast<std::size_t>(arms[cand_arm[
+          static_cast<std::size_t>(pick)]])];
+    }
+
+    // ---- Reward the round's pulls (serial, at the boundary) ---------------
+    if (params.adaptive) {
+      // The accepted draw's arm earns 1; every other pull this round earns 0.
+      // Attribution is by arm: the first pull of the winning arm takes the
+      // reward (per-arm sums are what UCB1 reads, so which pull is moot).
+      std::size_t reward_arm = arms.size();  // sentinel: no acceptance
+      if (pick >= 0) reward_arm = cand_arm[static_cast<std::size_t>(pick)];
+      bool paid = false;
+      for (const std::size_t arm : round_pulls) {
+        const bool wins = !paid && arm == reward_arm;
+        bandit.Reward(arm, wins ? 1.0 : 0.0);
+        paid = paid || wins;
+      }
     }
   }
   return result;

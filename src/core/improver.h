@@ -16,16 +16,55 @@
 // result is bit-identical for every thread count; batch = 1 reproduces the
 // historical one-move-at-a-time climb exactly.
 //
+// Three engine layers make wasted evaluations cheap and aim the budget at
+// moves that get accepted (PR 9):
+//
+//   * Incumbent bounding (`bound_candidates`): every candidate runs with
+//     OptimizerParams::makespan_bound = the current incumbent, so a
+//     candidate provably no better than the incumbent aborts mid-schedule
+//     instead of packing its tail. Acceptance requires a makespan strictly
+//     below the incumbent, so the accepted set — and the final schedule —
+//     is bit-identical to the unbounded climb.
+//   * Memoization (`memoize`): a per-run SeenSet (search/seen_set.h) of
+//     every candidate drawn skips re-evaluating duplicates. Sound without
+//     caveats: a repeat's makespan was already >= the incumbent in force
+//     when it was first evaluated (it either lost that round or became the
+//     incumbent itself), and incumbents only decrease, so a repeat can
+//     never be accepted — the trajectory is unchanged, only the duplicate
+//     scheduler runs disappear.
+//   * Adaptive move selection (`adaptive`): a deterministic UCB1 bandit
+//     (search/bandit.h) chooses each candidate's move kind among `moves`.
+//     Arms are pulled serially while candidates are drawn and rewarded
+//     serially at the round boundary from the serially reduced acceptance
+//     results (reward 1 for the accepted draw, 0 otherwise) — the same
+//     RNG-serial/evaluate-parallel contract as the climb itself, so
+//     adaptive runs are bit-identical across thread counts and reproducible
+//     for a fixed seed.
+//
 // Deterministic for a fixed seed and batch size; never returns a worse
 // schedule than its starting point.
 #pragma once
 
+#include <array>
 #include <cstdint>
+#include <vector>
 
 #include "core/optimizer.h"
+#include "search/bandit.h"
 #include "search/grid.h"
 
 namespace soctest {
+
+// The hill-climb move kinds (the bandit's arms).
+enum class ImproverMove {
+  kNudge = 0,         // step cores_per_move cores one Pareto width up/down
+  kPairSwap = 1,      // swap two cores' preferred widths (snapped)
+  kBlockPerturb = 2,  // nudge a block of k cores, k annealed over the run
+};
+inline constexpr int kNumImproverMoves = 3;
+
+// Short stable names for CLI/STATS surfaces: nudge, swap, block.
+const char* ImproverMoveName(ImproverMove move);
 
 struct ImproverParams {
   OptimizerParams optimizer;   // base configuration (tam_width etc.)
@@ -33,9 +72,10 @@ struct ImproverParams {
   // axes; see search/grid.h).
   GridExtent grid = GridExtent::kCanonical;
   std::uint64_t seed = 1;
-  int iterations = 200;        // perturbation attempts (across all rounds)
-  // Each attempt nudges this many cores' preferred widths to a neighboring
-  // Pareto width (up or down one step).
+  int iterations = 200;        // candidate draws (across all rounds)
+  // kNudge / kBlockPerturb step this many cores' preferred widths to a
+  // neighboring Pareto width (up or down one step); kBlockPerturb anneals
+  // its own larger count down toward this over the run.
   int cores_per_move = 2;
   // Worker threads for the initial restart-grid search AND the batched move
   // evaluation (0 = hardware, matching OptimizerParams/CLI conventions).
@@ -44,15 +84,56 @@ struct ImproverParams {
   // candidates perturb the same base solution; the best improving one is
   // accepted. Values < 1 clamp to 1 (the sequential climb).
   int batch = 8;
+
+  // ---- Engine layers (see the header comment) ---------------------------
+  // Evaluate candidates under OptimizerParams::makespan_bound = the current
+  // incumbent. Never changes accepted moves or the final schedule; rejected
+  // candidates stop paying for full schedules.
+  bool bound_candidates = true;
+  // Skip re-evaluating duplicate candidates via a per-run SeenSet. Never
+  // changes the trajectory; skipped draws still consume the draw budget
+  // (`iterations`) but not the evaluation budget (`max_evaluations`).
+  bool memoize = true;
+  // UCB1 bandit move selection over `moves`. Off: every candidate is a
+  // kNudge — the historical climb, RNG-compatible draw for draw.
+  bool adaptive = false;
+  // The arms available to the bandit (adaptive mode only; duplicates are
+  // dropped, an empty list falls back to kNudge).
+  std::vector<ImproverMove> moves = {ImproverMove::kNudge,
+                                     ImproverMove::kPairSwap,
+                                     ImproverMove::kBlockPerturb};
+  // UCB1 exploration constant (search/bandit.h).
+  double exploration = kUcb1Exploration;
+  // When > 0, stop once this many candidates have been EVALUATED (scheduler
+  // runs), regardless of remaining draws — the budget mode in which memo
+  // skips buy extra fresh candidates instead of merely finishing sooner.
+  // 0 = bounded by `iterations` alone (the historical semantics).
+  int max_evaluations = 0;
 };
 
 struct ImproverResult {
   OptimizerResult best;
   Time initial_makespan = 0;
   int improvements = 0;        // accepted moves
-  int attempts = 0;            // candidates drawn (skipped no-ops included)
+  // Budget accounting. `drawn` counts every candidate drawn from the RNG;
+  // `evaluated` counts actual scheduler runs; `noops` the draws identical
+  // to the current base solution; `duplicates_skipped` the draws identical
+  // to an earlier candidate (within the round when memoize is off, across
+  // the whole run when on). Invariant, regression-tested:
+  //   evaluated + duplicates_skipped + noops == drawn.
+  int drawn = 0;
+  int evaluated = 0;
+  int noops = 0;
+  int duplicates_skipped = 0;
+  // Evaluations abandoned at the incumbent bound (bound_candidates only) —
+  // each one is a rejected candidate that did not pay for its full schedule.
+  int bound_aborts = 0;
   int rounds = 0;              // batched rounds evaluated
   int batch = 0;               // effective round size (params.batch clamped)
+  // Per-move-kind observability, indexed by ImproverMove. Non-adaptive runs
+  // land entirely in kNudge.
+  std::array<int, kNumImproverMoves> attempted{};  // draws per kind
+  std::array<int, kNumImproverMoves> accepted{};   // accepted moves per kind
 };
 
 // Runs the restart-grid search (at the params.grid extent) for the starting

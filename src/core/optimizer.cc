@@ -141,6 +141,12 @@ void TamScheduleOptimizer::Admit(CoreId core, int width) {
     ws_->first_begin[u] = now_;
     ws_->end_time[u] = now_;
     ws_->started_now.push_back(core);
+    if (params_.makespan_bound > 0) {
+      // Certificate bookkeeping: the core moves from the unstarted area
+      // floor to the exact remaining area of its chosen rectangle.
+      remaining_min_area_ -= ws_->min_area[u];
+      begun_remaining_area_ += static_cast<Time>(w) * ws_->time_remaining[u];
+    }
   } else {
     UnorderedBucketErase(
         ws_->paused_by_width[static_cast<std::size_t>(ws_->assigned_width[u])],
@@ -152,6 +158,10 @@ void TamScheduleOptimizer::Admit(CoreId core, int width) {
       const Time penalty = PreemptionPenalty(core, ws_->assigned_width[u]);
       ws_->time_remaining[u] += penalty;
       ws_->overhead[u] += penalty;
+      if (params_.makespan_bound > 0) {
+        begun_remaining_area_ +=
+            static_cast<Time>(ws_->assigned_width[u]) * penalty;
+      }
     }
   }
   ws_->running.set(u);
@@ -418,6 +428,15 @@ bool TamScheduleOptimizer::BoostJustStarted() {
     const auto u = static_cast<std::size_t>(best);
     // The core started at `now_` and has made no progress yet, so replacing
     // its rectangle is free: adopt the wider width and its (shorter) time.
+    if (params_.makespan_bound > 0) {
+      // Re-price the certificate term: the old rectangle leaves, the new
+      // one (exact, possibly smaller area) enters.
+      begun_remaining_area_ -= static_cast<Time>(ws_->assigned_width[u]) *
+                               ws_->time_remaining[u];
+      begun_remaining_area_ +=
+          static_cast<Time>(best_new_width) *
+          (TimeLut(best, best_new_width) + ws_->overhead[u]);
+    }
     used_width_ += best_new_width - ws_->assigned_width[u];
     ws_->assigned_width[u] = best_new_width;
     ws_->time_remaining[u] = TimeLut(best, best_new_width) + ws_->overhead[u];
@@ -431,12 +450,23 @@ void TamScheduleOptimizer::AdvanceTime() {
   // completion, close the elapsed segments, retire completed tests, and pause
   // the rest for re-contention.
   Time min_rem = -1;
+  Time max_rem = 0;
   for (const CoreId a : ws_->active) {
     const Time rem = ws_->time_remaining[static_cast<std::size_t>(a)];
     if (min_rem < 0 || rem < min_rem) min_rem = rem;
+    if (rem > max_rem) max_rem = rem;
   }
   assert(min_rem > 0 && "AdvanceTime requires at least one running core");
   const Time new_time = now_ + min_rem;
+  if (params_.makespan_bound > 0) {
+    // Every active core runs min_rem at its assigned width; the certificate
+    // sheds exactly the wire-time consumed.
+    begun_remaining_area_ -= min_rem * static_cast<Time>(used_width_);
+    // Widths are final for every core in the active set (boosts act only in
+    // the start round, already past), so the slowest active core pins the
+    // makespan at now_ + max_rem from here on.
+    critical_path_lb_ = std::max(critical_path_lb_, now_ + max_rem);
+  }
   for (const CoreId c : ws_->active) {
     const auto u = static_cast<std::size_t>(c);
     // Extend the last segment if contiguous at the same width.
@@ -541,6 +571,7 @@ OptimizerResult TamScheduleOptimizer::Run(ScheduleWorkspace& ws) {
     ws_->lut_stride = stride;
     ws_->snap_lut.assign(n * static_cast<std::size_t>(stride), 0);
     ws_->time_lut.assign(n * static_cast<std::size_t>(stride), 0);
+    ws_->min_area.assign(n, 0);
     for (std::size_t c = 0; c < n; ++c) {
       const auto& pareto = ws_->rects[c].pareto();
       int* snap_row = ws_->snap_lut.data() + c * static_cast<std::size_t>(stride);
@@ -551,6 +582,13 @@ OptimizerResult TamScheduleOptimizer::Run(ScheduleWorkspace& ws) {
         snap_row[w] = pareto[k].width;
         time_row[w] = pareto[k].time;
       }
+      // Least TAM area any schedule can spend on this core at this clip
+      // (the makespan_bound certificate's per-core term).
+      Time min_area = pareto.front().time * pareto.front().width;
+      for (const auto& p : pareto) {
+        min_area = std::min(min_area, p.time * static_cast<Time>(p.width));
+      }
+      ws_->min_area[c] = min_area;
     }
   }
   const std::vector<RectangleSet>& rects = ws_->rects;
@@ -663,6 +701,15 @@ OptimizerResult TamScheduleOptimizer::Run(ScheduleWorkspace& ws) {
   ws_->active.clear();
   now_ = 0;
   rounds_ = 0;
+  remaining_min_area_ = 0;
+  begun_remaining_area_ = 0;
+  critical_path_lb_ = 0;
+  if (params_.makespan_bound > 0) {
+    // Only bounded runs pay for the certificate bookkeeping.
+    for (std::size_t i = 0; i < n; ++i) {
+      remaining_min_area_ += ws_->min_area[i];
+    }
+  }
   incomplete_ = problem_->soc.num_cores();
   used_width_ = 0;
   active_power_ = 0;
@@ -690,6 +737,22 @@ OptimizerResult TamScheduleOptimizer::Run(ScheduleWorkspace& ws) {
       continue;
     }
     AdvanceTime();
+    // Incumbent-bounded early abandonment: the certificate (packed time +
+    // the unstarted cores' area floor) is an admissible lower bound on this
+    // run's final makespan, so reaching the bound proves the run can never
+    // come in below it (see OptimizerParams::makespan_bound). Abort with
+    // the effort counters for the phases actually run.
+    if (params_.makespan_bound > 0) {
+      const Time certificate = MakespanCertificate();
+      if (certificate >= params_.makespan_bound) {
+        result.aborted_by_bound = true;
+        result.makespan = certificate;
+        result.admission_rounds = rounds_;
+        result.candidates_examined = candidates_examined_;
+        result.buckets_skipped = buckets_skipped_;
+        return result;
+      }
+    }
   }
 
   // ---- Emit schedule -----------------------------------------------------

@@ -31,6 +31,7 @@
 //     scan flush/reload (paper Section 4, Assign line 5).
 #pragma once
 
+#include <algorithm>
 #include <memory>
 #include <optional>
 #include <string>
@@ -100,6 +101,30 @@ struct OptimizerParams {
   // Swept as an alternative sizing mode by OptimizeBestOverParams.
   bool deadline_sizing = false;
 
+  // Incumbent bound for early abandonment (0 = unbounded). At every round
+  // boundary the run holds an admissible certificate for its own final
+  // makespan:
+  //
+  //     certificate = now + ceil(sum of unstarted cores' min areas / W)
+  //
+  // where a core's min area is min over its (clipped) Pareto points of
+  // width * time — no schedule can test the core in less TAM area, whatever
+  // widths the heuristics later pick. Every unstarted core runs entirely
+  // after `now` inside a W-wire TAM, so the true final makespan is always
+  // >= the certificate; and `now` is monotone non-decreasing with the final
+  // makespan equal to the final `now`, so the certificate converges on the
+  // exact makespan as the run drains. The moment it reaches this bound the
+  // run provably cannot come in below the bound and aborts: the result
+  // carries aborted_by_bound = true, an EMPTY schedule, and makespan = the
+  // certificate (>= the bound, <= the makespan the full run would have
+  // produced). A caller racing candidates against an incumbent
+  // (core/improver.h, search/driver.h) sets the bound so that aborted
+  // candidates are exactly ones that could never have been accepted —
+  // acceptance decisions, and therefore the final schedule, are
+  // bit-identical to the unbounded run, while losers stop paying for the
+  // bulk of their packing loop.
+  Time makespan_bound = 0;
+
   // Extra idle-time insertion heuristic (the paper reports using "several
   // heuristics that seek to insert tests to minimize the idle time" beyond
   // the 3-wire window it details): admit an unstarted core at the largest
@@ -134,6 +159,15 @@ struct OptimizerResult {
   // perf benches surface them in STATS lines.
   std::int64_t candidates_examined = 0;
   std::int64_t buckets_skipped = 0;
+
+  // True when the run was abandoned because its makespan certificate
+  // reached params.makespan_bound (see OptimizerParams::makespan_bound).
+  // The schedule is empty, makespan holds the certificate (>= the bound,
+  // and a lower bound on the makespan the full run would have produced),
+  // and the phase counters above (admission_rounds, candidates_examined,
+  // buckets_skipped) cover only the phases actually run. Not an error:
+  // ok() stays true — the caller asked for exactly this outcome.
+  bool aborted_by_bound = false;
 
   // Set when the input was unschedulable; the schedule is empty then.
   std::optional<std::string> error;
@@ -192,6 +226,10 @@ struct ScheduleWorkspace {
   int lut_stride = 0;
   std::vector<int> snap_lut;
   std::vector<Time> time_lut;
+  // min_area[c] = min over rects[c].pareto() of width * time: the least TAM
+  // area any schedule can spend testing core c at this clip. Feeds the
+  // makespan_bound certificate (see OptimizerParams::makespan_bound).
+  std::vector<Time> min_area;
 
   // ---- Per-core state, struct-of-arrays, reset per run ------------------
   std::vector<int> preferred;        // preferred width (static after init)
@@ -268,6 +306,24 @@ class TamScheduleOptimizer {
   bool IsBlocked(CoreId core) const;
   int AvailableWidth() const { return params_.tam_width - used_width_; }
 
+  // Admissible lower bound on this run's final makespan, behind
+  // makespan_bound's early abandonment. The max of two certificates:
+  //   area — now_ + ceil(remaining work area / W): unstarted cores
+  //     contribute their Pareto-minimal area, begun incomplete ones the
+  //     exact area of their remaining test — all of it must fit into the
+  //     W-wire TAM after now_. Tight when the bound binds mid-schedule.
+  //   critical path — a core observed running with r remaining at time t
+  //     finishes no earlier than t + r: its width is committed (boosts act
+  //     only in the start round, before AdvanceTime records the term) and
+  //     preemption penalties only stretch r. Tight on schedule tails,
+  //     where a few narrow cores drain and the area bound collapses.
+  Time MakespanCertificate() const {
+    const Time area = now_ + (remaining_min_area_ + begun_remaining_area_ +
+                              params_.tam_width - 1) /
+                                 params_.tam_width;
+    return std::max(area, critical_path_lb_);
+  }
+
   // Flat per-width lookups (== rects[c].SnapWidth/TimeAtWidth; see
   // ScheduleWorkspace::snap_lut). `w` may exceed the TAM width only through
   // the defensive clamp; admission always passes w in [0, tam_width].
@@ -303,6 +359,24 @@ class TamScheduleOptimizer {
   Time now_ = 0;
   int incomplete_ = 0;
   int rounds_ = 0;
+  // Makespan-certificate state (maintained only while makespan_bound > 0;
+  // see MakespanCertificate):
+  //   remaining_min_area_  — sum of ws_->min_area over not-yet-begun cores;
+  //                          Admit moves a core out the first time it starts.
+  //   begun_remaining_area_ — sum of assigned_width * time_remaining over
+  //                          begun, incomplete cores: the exact wire-time
+  //                          their remaining tests will occupy absent future
+  //                          preemptions (which only add). Maintained O(1):
+  //                          Admit adds the start/penalty terms, the width
+  //                          boost re-prices its core, AdvanceTime retires
+  //                          elapsed * used_width_.
+  Time remaining_min_area_ = 0;
+  Time begun_remaining_area_ = 0;
+  //   critical_path_lb_    — running max of now_ + time_remaining over the
+  //                          active set, recorded by AdvanceTime once the
+  //                          round's widths are final. Monotone; never
+  //                          needs downward maintenance.
+  Time critical_path_lb_ = 0;
   std::int64_t candidates_examined_ = 0;
   std::int64_t buckets_skipped_ = 0;
 };

@@ -1,0 +1,42 @@
+#include "search/bandit.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace soctest {
+
+Ucb1Bandit::Ucb1Bandit(std::size_t arms, double exploration)
+    : stats_(arms), exploration_(exploration) {
+  assert(arms >= 1);
+}
+
+std::size_t Ucb1Bandit::SelectAndPull() {
+  std::size_t pick = stats_.size();
+  double best = 0.0;
+  for (std::size_t i = 0; i < stats_.size(); ++i) {
+    if (stats_[i].pulls == 0) {
+      pick = i;  // unpulled arms first, ascending index
+      break;
+    }
+    const double n = static_cast<double>(stats_[i].pulls);
+    const double value =
+        stats_[i].reward / n +
+        exploration_ * std::sqrt(std::log(static_cast<double>(total_pulls_)) / n);
+    // Strict > keeps the smallest index on ties.
+    if (pick == stats_.size() || value > best) {
+      pick = i;
+      best = value;
+    }
+  }
+  ++stats_[pick].pulls;
+  ++total_pulls_;
+  return pick;
+}
+
+void Ucb1Bandit::Reward(std::size_t arm, double reward) {
+  assert(arm < stats_.size());
+  assert(stats_[arm].pulls > 0 && "reward without a matching pull");
+  stats_[arm].reward += reward;
+}
+
+}  // namespace soctest

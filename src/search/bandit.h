@@ -1,0 +1,65 @@
+// Deterministic UCB1 multi-armed bandit — the improver's move-kind selector
+// (core/improver.h).
+//
+// Classic UCB1 (Auer, Cesa-Bianchi, Fischer 2002): pull every arm once, then
+// pull the arm maximizing mean_reward + exploration * sqrt(ln(total_pulls) /
+// arm_pulls). The implementation is split to match the improver's
+// RNG-serial/evaluate-parallel contract:
+//
+//   * SelectAndPull() — called serially while candidates are DRAWN — picks
+//     the arm and records the pull immediately, so consecutive draws within
+//     one round spread across arms instead of piling onto one (an arm's
+//     growing pull count shrinks its exploration bonus even before its
+//     rewards arrive).
+//   * Reward(arm, r) — called serially at the ROUND BOUNDARY, after the
+//     parallel evaluations have been serially reduced — adds the observed
+//     reward. Every pull must eventually receive exactly one reward for the
+//     means to carry UCB1's semantics.
+//
+// Nothing here consumes randomness or depends on timing: selection is a pure
+// function of the pull/reward history with ties broken toward the smallest
+// arm index (and unpulled arms claimed in ascending index order), so a fixed
+// reward sequence reproduces a fixed selection sequence — the determinism
+// the improver's cross-thread bit-identity tests pin.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace soctest {
+
+// The canonical exploration constant: sqrt(2), the UCB1 paper's choice.
+inline constexpr double kUcb1Exploration = 1.4142135623730951;
+
+class Ucb1Bandit {
+ public:
+  // `arms` >= 1. `exploration` scales the confidence bonus; larger explores
+  // longer. Values <= 0 degenerate to pure greedy (still deterministic).
+  explicit Ucb1Bandit(std::size_t arms,
+                      double exploration = kUcb1Exploration);
+
+  // Picks the next arm and records the pull. Unpulled arms win first, in
+  // ascending index order; afterwards the highest UCB value wins, ties to
+  // the smallest index.
+  std::size_t SelectAndPull();
+
+  // Records the reward for one earlier pull of `arm`.
+  void Reward(std::size_t arm, double reward);
+
+  std::size_t arms() const { return stats_.size(); }
+  std::int64_t total_pulls() const { return total_pulls_; }
+  std::int64_t pulls(std::size_t arm) const { return stats_[arm].pulls; }
+  double total_reward(std::size_t arm) const { return stats_[arm].reward; }
+
+ private:
+  struct ArmStats {
+    std::int64_t pulls = 0;
+    double reward = 0.0;
+  };
+
+  std::vector<ArmStats> stats_;
+  std::int64_t total_pulls_ = 0;
+  double exploration_;
+};
+
+}  // namespace soctest

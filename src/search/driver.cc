@@ -1,6 +1,7 @@
 #include "search/driver.h"
 
 #include <algorithm>
+#include <atomic>
 #include <utility>
 
 #include "runtime/thread_pool.h"
@@ -51,10 +52,22 @@ SearchOutcome RunRestartSearch(const CompiledProblem& compiled,
     outcome.best.error = "restart search given an empty grid";
     return outcome;
   }
+  if (options.bound_with_incumbent && options.keep_trace) {
+    SearchOutcome outcome;
+    outcome.best.error =
+        "keep_trace records true per-config makespans; incumbent bounding "
+        "replaces losers' with certificates — pick one";
+    return outcome;
+  }
 
   // Figure of merit per configuration, indexed by grid position; -1 marks an
   // infeasible configuration. Slots are disjoint, so workers never contend.
   std::vector<Time> makespans(grid.size(), -1);
+  // Best makespan any worker has fully completed (0 = none yet); the
+  // running incumbent losing configurations are raced against when
+  // bound_with_incumbent is on. Relaxed ordering suffices: the value only
+  // prunes work, never decides the reduction.
+  std::atomic<Time> incumbent{0};
   // One reusable workspace per worker slot: every restart after a slot's
   // first reuses its buffers and clipped rectangle sets (the grid shares
   // one TAM width), so the inner loop stops re-allocating per restart.
@@ -67,9 +80,28 @@ SearchOutcome RunRestartSearch(const CompiledProblem& compiled,
   {
     ThreadPool pool(workers);
     pool.ParallelForWorker(grid.size(), [&](std::size_t w, std::size_t i) {
-      const OptimizerResult r =
-          Optimize(compiled, grid[i].params, workspaces.slot(w));
-      if (r.ok()) makespans[i] = r.makespan;
+      OptimizerParams params = grid[i].params;
+      if (options.bound_with_incumbent) {
+        const Time inc = incumbent.load(std::memory_order_relaxed);
+        // +1: an abort then certifies makespan > incumbent, so a
+        // configuration TYING the incumbent still completes and keeps its
+        // claim to the smallest-index tie-break — the winner, ties
+        // included, is exactly the unbounded grid's.
+        if (inc > 0) params.makespan_bound = inc + 1;
+      }
+      const OptimizerResult r = Optimize(compiled, params, workspaces.slot(w));
+      if (!r.ok()) return;
+      // An aborted run records its certificate: a sound lower bound that is
+      // strictly above the incumbent it raced, so it can never be the
+      // reduction's minimum.
+      makespans[i] = r.makespan;
+      if (options.bound_with_incumbent && !r.aborted_by_bound) {
+        Time cur = incumbent.load(std::memory_order_relaxed);
+        while ((cur == 0 || r.makespan < cur) &&
+               !incumbent.compare_exchange_weak(cur, r.makespan,
+                                                std::memory_order_relaxed)) {
+        }
+      }
     });
   }
 

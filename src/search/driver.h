@@ -36,6 +36,22 @@ struct SearchOptions {
   // explicit-grid overload ignores this). kWide appends the extended axes
   // after the canonical 200, so ties still prefer canonical configurations.
   GridExtent extent = GridExtent::kCanonical;
+
+  // Race every configuration against the best makespan any worker has
+  // completed so far: each run gets OptimizerParams::makespan_bound =
+  // incumbent + 1, so losing configurations abandon once their makespan
+  // certificate proves they cannot beat — or tie — the incumbent. The
+  // winner is provably unaffected (an aborted run's true makespan is
+  // strictly above some completed run's, so it could never have won the
+  // (makespan, index) reduction, ties included) and the returned best is
+  // bit-identical to the unbounded search at every thread count. What DOES
+  // become timing-dependent is the per-config bookkeeping: an aborted
+  // slot's figure of merit is its certificate, not its true makespan, and
+  // which slots abort depends on worker interleaving — so this flag is
+  // rejected together with keep_trace, and `feasible` may count aborted
+  // configurations whose unbounded run would have failed late. Ignored by
+  // the caller-workspace overload.
+  bool bound_with_incumbent = false;
 };
 
 struct SearchOutcome {

@@ -1,0 +1,110 @@
+// SeenSet — an open-addressing set of width vectors, the improver's
+// candidate memo (core/improver.h).
+//
+// Keys are 128-bit content hashes of the vector — two independently seeded
+// 64-bit FNV-1a digests, the same construction as the per-core artifact
+// identity (soc/core_hash.h) and the result-cache key — with the exact
+// vector compared behind the hash: a probe only reports "seen" when both
+// digests AND the stored vector match, so even a full 128-bit collision can
+// cost an extra probe step but never conflate two distinct candidates.
+//
+// The table is linear-probing over a power-of-two slot array (grown at ~70%
+// load), with the vectors themselves stored once in an append-only arena —
+// an Insert of a duplicate allocates nothing. Deterministic by construction:
+// contents depend only on the sequence of inserted values.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace soctest {
+
+class SeenSet {
+ public:
+  SeenSet() { Rehash(kMinSlots); }
+
+  // Inserts `v`; returns true when it was new, false when already present.
+  bool Insert(const std::vector<int>& v) {
+    if ((values_.size() + 1) * 10 > slots_.size() * 7) {
+      Rehash(slots_.size() * 2);
+    }
+    const Hash128 h = HashOf(v);
+    std::size_t pos = static_cast<std::size_t>(h.lo) & (slots_.size() - 1);
+    while (slots_[pos].index >= 0) {
+      const Slot& slot = slots_[pos];
+      if (slot.hi == h.hi && slot.lo == h.lo &&
+          values_[static_cast<std::size_t>(slot.index)] == v) {
+        return false;  // exact match behind the hash: already seen
+      }
+      pos = (pos + 1) & (slots_.size() - 1);
+    }
+    slots_[pos] = Slot{h.hi, h.lo, static_cast<std::int64_t>(values_.size())};
+    values_.push_back(v);
+    return true;
+  }
+
+  bool Contains(const std::vector<int>& v) const {
+    const Hash128 h = HashOf(v);
+    std::size_t pos = static_cast<std::size_t>(h.lo) & (slots_.size() - 1);
+    while (slots_[pos].index >= 0) {
+      const Slot& slot = slots_[pos];
+      if (slot.hi == h.hi && slot.lo == h.lo &&
+          values_[static_cast<std::size_t>(slot.index)] == v) {
+        return true;
+      }
+      pos = (pos + 1) & (slots_.size() - 1);
+    }
+    return false;
+  }
+
+  std::size_t size() const { return values_.size(); }
+
+ private:
+  static constexpr std::size_t kMinSlots = 64;  // power of two
+
+  struct Hash128 {
+    std::uint64_t hi = 0;
+    std::uint64_t lo = 0;
+  };
+
+  struct Slot {
+    std::uint64_t hi = 0;
+    std::uint64_t lo = 0;
+    std::int64_t index = -1;  // into values_; -1 = empty
+  };
+
+  static std::uint64_t Fnv1a(const std::vector<int>& v, std::uint64_t basis) {
+    std::uint64_t h = basis;
+    for (const int value : v) {
+      for (int byte = 0; byte < 4; ++byte) {
+        h ^= (static_cast<std::uint32_t>(value) >> (8 * byte)) & 0xffu;
+        h *= 1099511628211ull;
+      }
+    }
+    return h;
+  }
+
+  static Hash128 HashOf(const std::vector<int>& v) {
+    // The two FNV offset bases used throughout the caches (soc/core_hash.cc).
+    return {Fnv1a(v, 14695981039346656037ull),
+            Fnv1a(v, 0x9e3779b97f4a7c15ull)};
+  }
+
+  void Rehash(std::size_t slot_count) {
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(slot_count, Slot{});
+    for (const Slot& slot : old) {
+      if (slot.index < 0) continue;
+      std::size_t pos = static_cast<std::size_t>(slot.lo) & (slot_count - 1);
+      while (slots_[pos].index >= 0) pos = (pos + 1) & (slot_count - 1);
+      slots_[pos] = slot;
+    }
+  }
+
+  std::vector<Slot> slots_;
+  std::vector<std::vector<int>> values_;
+};
+
+}  // namespace soctest

@@ -1,5 +1,8 @@
 #include "core/improver.h"
 
+#include <string>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 #include "core/validator.h"
@@ -9,16 +12,22 @@
 namespace soctest {
 namespace {
 
-// Full bit-equality of two improver outcomes: same trajectory (attempt and
-// acceptance counters), same winning makespan, and an identical schedule.
-void ExpectIdenticalOutcomes(const ImproverResult& a, const ImproverResult& b) {
-  ASSERT_TRUE(a.best.ok());
-  ASSERT_TRUE(b.best.ok());
-  EXPECT_EQ(a.initial_makespan, b.initial_makespan);
-  EXPECT_EQ(a.best.makespan, b.best.makespan);
-  EXPECT_EQ(a.improvements, b.improvements);
-  EXPECT_EQ(a.attempts, b.attempts);
-  EXPECT_EQ(a.rounds, b.rounds);
+// The budget ledger must always balance: every draw is evaluated, skipped
+// as a duplicate, or discarded as a no-op.
+void ExpectCounterInvariant(const ImproverResult& r) {
+  EXPECT_EQ(r.evaluated + r.duplicates_skipped + r.noops, r.drawn);
+  int attempted = 0;
+  int accepted = 0;
+  for (int kind = 0; kind < kNumImproverMoves; ++kind) {
+    attempted += r.attempted[static_cast<std::size_t>(kind)];
+    accepted += r.accepted[static_cast<std::size_t>(kind)];
+  }
+  EXPECT_EQ(attempted, r.drawn);
+  EXPECT_EQ(accepted, r.improvements);
+}
+
+void ExpectIdenticalSchedules(const ImproverResult& a,
+                              const ImproverResult& b) {
   ASSERT_EQ(a.best.schedule.entries().size(), b.best.schedule.entries().size());
   for (std::size_t i = 0; i < a.best.schedule.entries().size(); ++i) {
     const auto& ea = a.best.schedule.entries()[i];
@@ -33,6 +42,42 @@ void ExpectIdenticalOutcomes(const ImproverResult& a, const ImproverResult& b) {
   }
 }
 
+// Full bit-equality of two improver outcomes: same trajectory, same budget
+// ledger (every counter, including the per-move-kind split), and an
+// identical schedule. Used where the runs share one configuration and only
+// the thread count differs.
+void ExpectIdenticalOutcomes(const ImproverResult& a, const ImproverResult& b) {
+  ASSERT_TRUE(a.best.ok());
+  ASSERT_TRUE(b.best.ok());
+  EXPECT_EQ(a.initial_makespan, b.initial_makespan);
+  EXPECT_EQ(a.best.makespan, b.best.makespan);
+  EXPECT_EQ(a.improvements, b.improvements);
+  EXPECT_EQ(a.drawn, b.drawn);
+  EXPECT_EQ(a.evaluated, b.evaluated);
+  EXPECT_EQ(a.noops, b.noops);
+  EXPECT_EQ(a.duplicates_skipped, b.duplicates_skipped);
+  EXPECT_EQ(a.bound_aborts, b.bound_aborts);
+  EXPECT_EQ(a.rounds, b.rounds);
+  EXPECT_EQ(a.attempted, b.attempted);
+  EXPECT_EQ(a.accepted, b.accepted);
+  ExpectIdenticalSchedules(a, b);
+}
+
+// Trajectory equality under engine-layer toggles: bounding and memoization
+// must leave the accepted moves — and so the draw stream, improvement count,
+// and final schedule — untouched. The evaluation-side counters (evaluated,
+// duplicates_skipped, bound_aborts, rounds) legitimately differ; that is
+// the point of the layers.
+void ExpectSameTrajectory(const ImproverResult& a, const ImproverResult& b) {
+  ASSERT_TRUE(a.best.ok());
+  ASSERT_TRUE(b.best.ok());
+  EXPECT_EQ(a.initial_makespan, b.initial_makespan);
+  EXPECT_EQ(a.best.makespan, b.best.makespan);
+  EXPECT_EQ(a.improvements, b.improvements);
+  EXPECT_EQ(a.drawn, b.drawn);
+  ExpectIdenticalSchedules(a, b);
+}
+
 TEST(ImproverTest, NeverWorseThanStartingPoint) {
   const TestProblem problem = TestProblem::FromSoc(MakeD695());
   ImproverParams params;
@@ -41,7 +86,8 @@ TEST(ImproverTest, NeverWorseThanStartingPoint) {
   const ImproverResult result = ImproveSchedule(problem, params);
   ASSERT_TRUE(result.best.ok());
   EXPECT_LE(result.best.makespan, result.initial_makespan);
-  EXPECT_GT(result.attempts, 0);
+  EXPECT_GT(result.drawn, 0);
+  ExpectCounterInvariant(result);
 }
 
 TEST(ImproverTest, OutputValidatesAndDeterministic) {
@@ -143,9 +189,181 @@ TEST(ImproverTest, BatchOneIsTheSequentialClimb) {
   params.batch = 1;
   const ImproverResult result = ImproveSchedule(problem, params);
   ASSERT_TRUE(result.best.ok());
-  EXPECT_EQ(result.attempts, 30);
-  EXPECT_LE(result.rounds, result.attempts);
+  EXPECT_EQ(result.drawn, 30);
+  EXPECT_LE(result.rounds, result.drawn);
   EXPECT_LE(result.best.makespan, result.initial_makespan);
+  ExpectCounterInvariant(result);
+}
+
+// ---- PR 9 engine-layer property suite --------------------------------------
+
+struct EngineCase {
+  std::string name;
+  TestProblem problem;
+  bool preempt = false;
+  int tam_width = 32;
+  int iterations = 24;
+};
+
+std::vector<EngineCase> EngineCases() {
+  std::vector<EngineCase> cases;
+  cases.push_back({"d695_w32", TestProblem::FromSoc(MakeD695()), false, 32, 32});
+
+  GeneratorParams gen8;
+  gen8.seed = 42;
+  gen8.num_cores = 8;
+  // Power-capped: the budget constrains which candidate width vectors are
+  // even schedulable, exercising the bound on constraint-heavy schedules.
+  cases.push_back(
+      {"gen8_power", MakeBenchmarkProblem(GenerateSoc(gen8), true), false, 16,
+       32});
+
+  GeneratorParams gen16;
+  gen16.seed = 7;
+  gen16.num_cores = 16;
+  cases.push_back(
+      {"gen16_w32", TestProblem::FromSoc(GenerateSoc(gen16)), false, 32, 24});
+
+  GeneratorParams gen64;
+  gen64.seed = 99;
+  gen64.num_cores = 64;
+  gen64.max_preemptions = 2;
+  cases.push_back(
+      {"gen64_pre", TestProblem::FromSoc(GenerateSoc(gen64)), true, 32, 12});
+  return cases;
+}
+
+// The tentpole determinism property: incumbent bounding and memoization are
+// pure evaluation-cost optimizations. Over every SOC shape × {bound on/off}
+// × {memo on/off} × {threads 1,8} × {batch 1,8}, the final schedule is
+// bit-identical to the plain climb's, and the budget ledger balances.
+TEST(ImproverEngineTest, BoundAndMemoPreserveTrajectoryAcrossGrid) {
+  for (const EngineCase& c : EngineCases()) {
+    const CompiledProblem compiled(c.problem);
+    for (const int batch : {1, 8}) {
+      ImproverParams base;
+      base.optimizer.tam_width = c.tam_width;
+      base.optimizer.allow_preemption = c.preempt;
+      base.iterations = c.iterations;
+      base.seed = 13;
+      base.batch = batch;
+
+      // Reference: both layers off, serial.
+      ImproverParams ref_params = base;
+      ref_params.bound_candidates = false;
+      ref_params.memoize = false;
+      ref_params.threads = 1;
+      const ImproverResult ref = ImproveSchedule(compiled, ref_params);
+      ASSERT_TRUE(ref.best.ok()) << c.name;
+      ExpectCounterInvariant(ref);
+
+      for (const bool bound : {false, true}) {
+        for (const bool memo : {false, true}) {
+          for (const int threads : {1, 8}) {
+            SCOPED_TRACE(c.name + " batch=" + std::to_string(batch) +
+                         " bound=" + std::to_string(bound) +
+                         " memo=" + std::to_string(memo) +
+                         " threads=" + std::to_string(threads));
+            ImproverParams params = base;
+            params.bound_candidates = bound;
+            params.memoize = memo;
+            params.threads = threads;
+            const ImproverResult got = ImproveSchedule(compiled, params);
+            ExpectCounterInvariant(got);
+            ExpectSameTrajectory(ref, got);
+            if (!bound) {
+              EXPECT_EQ(got.bound_aborts, 0);
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+// Adaptive runs don't promise the plain climb's trajectory — they promise
+// seed-reproducibility and thread-count independence: the bandit is pulled
+// while candidates are drawn serially and rewarded serially at round
+// boundaries, so threads move wall-clock only.
+TEST(ImproverEngineTest, AdaptiveBitIdenticalAcrossThreads) {
+  for (const EngineCase& c : EngineCases()) {
+    SCOPED_TRACE(c.name);
+    const CompiledProblem compiled(c.problem);
+    ImproverParams params;
+    params.optimizer.tam_width = c.tam_width;
+    params.optimizer.allow_preemption = c.preempt;
+    params.iterations = c.iterations;
+    params.seed = 17;
+    params.batch = 8;
+    params.adaptive = true;
+    params.threads = 1;
+    const ImproverResult serial = ImproveSchedule(compiled, params);
+    ASSERT_TRUE(serial.best.ok());
+    ExpectCounterInvariant(serial);
+    params.threads = 8;
+    const ImproverResult parallel = ImproveSchedule(compiled, params);
+    ExpectIdenticalOutcomes(serial, parallel);
+    // And reproducible: a third run with the same seed replays everything.
+    const ImproverResult again = ImproveSchedule(compiled, params);
+    ExpectIdenticalOutcomes(serial, again);
+    const auto violations =
+        ValidateSchedule(c.problem, parallel.best.schedule);
+    EXPECT_TRUE(violations.empty()) << FormatViolations(violations);
+  }
+}
+
+// Memoization turns repeat draws into skips without losing quality, and the
+// evaluation budget (max_evaluations) counts scheduler runs, not draws.
+TEST(ImproverEngineTest, MemoSkipsRepeatsAndMaxEvalsCapsRuns) {
+  const TestProblem problem = TestProblem::FromSoc(MakeD695());
+  const CompiledProblem compiled(problem);
+  ImproverParams params;
+  params.optimizer.tam_width = 32;
+  params.iterations = 200;  // plenty of draws on a 10-core SOC: repeats occur
+  params.seed = 3;
+  const ImproverResult memo = ImproveSchedule(compiled, params);
+  ASSERT_TRUE(memo.best.ok());
+  ExpectCounterInvariant(memo);
+  EXPECT_GT(memo.duplicates_skipped, 0);
+
+  params.memoize = false;
+  const ImproverResult plain = ImproveSchedule(compiled, params);
+  ExpectSameTrajectory(plain, memo);
+  // The memo can only remove evaluations relative to the within-round dedup.
+  EXPECT_LE(memo.evaluated, plain.evaluated);
+
+  params.memoize = true;
+  params.max_evaluations = 10;
+  const ImproverResult capped = ImproveSchedule(compiled, params);
+  ASSERT_TRUE(capped.best.ok());
+  ExpectCounterInvariant(capped);
+  EXPECT_LE(capped.evaluated, 10);
+  // Skipped draws must not consume the evaluation budget: with repeats
+  // present, more than max_evaluations draws were made.
+  EXPECT_GE(capped.drawn, capped.evaluated);
+}
+
+// With bounding on, losing candidates abandon at the incumbent instead of
+// packing their tails — visible as bound_aborts — while the final schedule
+// stays that of the unbounded climb (covered by the grid test above).
+TEST(ImproverEngineTest, BoundingAbortsLosingCandidates) {
+  const TestProblem problem = TestProblem::FromSoc(MakeD695());
+  const CompiledProblem compiled(problem);
+  ImproverParams params;
+  params.optimizer.tam_width = 32;
+  params.iterations = 64;
+  params.seed = 3;
+  const ImproverResult result = ImproveSchedule(compiled, params);
+  ASSERT_TRUE(result.best.ok());
+  ExpectCounterInvariant(result);
+  EXPECT_GT(result.bound_aborts, 0);
+  EXPECT_LE(result.bound_aborts, result.evaluated);
+}
+
+TEST(ImproverEngineTest, MoveNamesAreStable) {
+  EXPECT_STREQ(ImproverMoveName(ImproverMove::kNudge), "nudge");
+  EXPECT_STREQ(ImproverMoveName(ImproverMove::kPairSwap), "swap");
+  EXPECT_STREQ(ImproverMoveName(ImproverMove::kBlockPerturb), "block");
 }
 
 TEST(OptimizerOverrideTest, OverrideWidthsAreHonored) {

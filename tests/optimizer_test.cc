@@ -313,6 +313,74 @@ TEST(OptimizerTest, PreemptionBudgetOverrideCapsSpecBudgets) {
             uncapped.schedule.TotalPreemptions());
 }
 
+// makespan_bound semantics (PR 9): packed time is monotone non-decreasing,
+// so the run may abandon the instant it reaches the bound — the reported
+// partial makespan is a certificate that the full schedule would have been
+// at least that long.
+TEST(OptimizerTest, MakespanBoundAbortsEarly) {
+  const TestProblem problem = TestProblem::FromSoc(MakeD695());
+  OptimizerParams params;
+  params.tam_width = 32;
+  const auto full = Optimize(problem, params);
+  ASSERT_TRUE(full.ok());
+  ASSERT_FALSE(full.aborted_by_bound);
+
+  params.makespan_bound = full.makespan / 2;
+  const auto bounded = Optimize(problem, params);
+  ASSERT_TRUE(bounded.ok());  // an abort is not an error
+  EXPECT_TRUE(bounded.aborted_by_bound);
+  EXPECT_GE(bounded.makespan, params.makespan_bound);
+  EXPECT_LT(bounded.makespan, full.makespan);
+  // The abandoned run did strictly less admission work.
+  EXPECT_LT(bounded.admission_rounds, full.admission_rounds);
+}
+
+// A bound the schedule never reaches is a no-op: bit-identical result,
+// flag clear.
+TEST(OptimizerTest, MakespanBoundAboveFinalIsNoop) {
+  const TestProblem problem = TestProblem::FromSoc(MakeD695());
+  OptimizerParams params;
+  params.tam_width = 32;
+  const auto full = Optimize(problem, params);
+  ASSERT_TRUE(full.ok());
+
+  params.makespan_bound = full.makespan + 1;
+  const auto bounded = Optimize(problem, params);
+  ASSERT_TRUE(bounded.ok());
+  EXPECT_FALSE(bounded.aborted_by_bound);
+  EXPECT_EQ(bounded.makespan, full.makespan);
+  EXPECT_EQ(bounded.admission_rounds, full.admission_rounds);
+  EXPECT_EQ(bounded.candidates_examined, full.candidates_examined);
+  ASSERT_EQ(bounded.schedule.entries().size(), full.schedule.entries().size());
+  for (std::size_t i = 0; i < full.schedule.entries().size(); ++i) {
+    const auto& a = full.schedule.entries()[i];
+    const auto& b = bounded.schedule.entries()[i];
+    EXPECT_EQ(a.core, b.core);
+    EXPECT_EQ(a.assigned_width, b.assigned_width);
+    ASSERT_EQ(a.segments.size(), b.segments.size());
+    for (std::size_t s = 0; s < a.segments.size(); ++s) {
+      EXPECT_EQ(a.segments[s].span, b.segments[s].span);
+      EXPECT_EQ(a.segments[s].width, b.segments[s].width);
+    }
+  }
+}
+
+// A bound exactly at the final makespan must abort (>=, not >): the
+// improver passes its incumbent, and "ties the incumbent" is a rejection.
+TEST(OptimizerTest, MakespanBoundAtFinalAborts) {
+  const TestProblem problem = TestProblem::FromSoc(MakeD695());
+  OptimizerParams params;
+  params.tam_width = 32;
+  const auto full = Optimize(problem, params);
+  ASSERT_TRUE(full.ok());
+
+  params.makespan_bound = full.makespan;
+  const auto bounded = Optimize(problem, params);
+  ASSERT_TRUE(bounded.ok());
+  EXPECT_TRUE(bounded.aborted_by_bound);
+  EXPECT_GE(bounded.makespan, full.makespan);
+}
+
 TEST(OptimizerTest, NonPreemptiveSchedulesHaveOneSegmentPerCore) {
   const TestProblem problem = TestProblem::FromSoc(MakeD695());
   OptimizerParams params;

@@ -1,0 +1,78 @@
+#include "search/seen_set.h"
+
+#include <cstddef>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace soctest {
+namespace {
+
+TEST(SeenSetTest, InsertReportsNovelty) {
+  SeenSet seen;
+  EXPECT_TRUE(seen.Insert({1, 2, 3}));
+  EXPECT_FALSE(seen.Insert({1, 2, 3}));
+  EXPECT_TRUE(seen.Insert({3, 2, 1}));  // order matters
+  EXPECT_EQ(seen.size(), 2u);
+}
+
+TEST(SeenSetTest, ContainsMatchesInsertHistory) {
+  SeenSet seen;
+  EXPECT_FALSE(seen.Contains({4, 5}));
+  seen.Insert({4, 5});
+  EXPECT_TRUE(seen.Contains({4, 5}));
+  EXPECT_FALSE(seen.Contains({4}));
+  EXPECT_FALSE(seen.Contains({4, 5, 0}));  // prefix is not membership
+}
+
+TEST(SeenSetTest, EmptyAndNegativeValues) {
+  SeenSet seen;
+  EXPECT_TRUE(seen.Insert({}));
+  EXPECT_FALSE(seen.Insert({}));
+  EXPECT_TRUE(seen.Insert({-1, -2}));
+  EXPECT_TRUE(seen.Insert({-2, -1}));
+  EXPECT_FALSE(seen.Insert({-1, -2}));
+  EXPECT_EQ(seen.size(), 3u);
+}
+
+// Growth: push well past the initial slot table so every element survives
+// several rehashes, then verify exact membership — present vectors found,
+// near-miss vectors (one element off) rejected.
+TEST(SeenSetTest, SurvivesRehashing) {
+  SeenSet seen;
+  constexpr int kCount = 1000;
+  for (int i = 0; i < kCount; ++i) {
+    EXPECT_TRUE(seen.Insert({i, i * 7, i * 13 + 1}));
+  }
+  EXPECT_EQ(seen.size(), static_cast<std::size_t>(kCount));
+  for (int i = 0; i < kCount; ++i) {
+    EXPECT_TRUE(seen.Contains({i, i * 7, i * 13 + 1})) << i;
+    EXPECT_FALSE(seen.Contains({i, i * 7, i * 13 + 2})) << i;
+    EXPECT_FALSE(seen.Insert({i, i * 7, i * 13 + 1})) << i;
+  }
+  EXPECT_EQ(seen.size(), static_cast<std::size_t>(kCount));
+}
+
+// Width-vector shapes the improver actually feeds in: many vectors sharing
+// most coordinates (neighbors differing in one or two entries) must stay
+// distinct.
+TEST(SeenSetTest, NearDuplicateWidthVectorsStayDistinct) {
+  SeenSet seen;
+  std::vector<int> base(64, 16);
+  ASSERT_TRUE(seen.Insert(base));
+  std::size_t expected = 1;
+  for (std::size_t core = 0; core < base.size(); ++core) {
+    for (const int width : {8, 24}) {
+      std::vector<int> v = base;
+      v[core] = width;
+      EXPECT_TRUE(seen.Insert(v));
+      EXPECT_FALSE(seen.Insert(v));
+      ++expected;
+    }
+  }
+  EXPECT_EQ(seen.size(), expected);
+  EXPECT_TRUE(seen.Contains(base));
+}
+
+}  // namespace
+}  // namespace soctest

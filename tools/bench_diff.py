@@ -12,9 +12,12 @@ diffs a baseline capture against a current one:
     that depend on thread interleaving (cache hit/miss/eviction splits,
     compile counts, dedup hits/joins) legitimately differ across machines
     and runs, so they are ignored by default; everything else (improver
-    improvements/attempts/rounds, B&B node counts, admission rounds and the
-    scheduler's candidates_examined/buckets_skipped) is deterministic and
-    compared.
+    improvements/drawn/evaluated/rounds, the engine's noops/dups/
+    bound_aborts and per-move accepted/attempted splits — all deterministic
+    by the improver's thread-invariance contract, candidate bounding
+    included, since candidates race the already-reduced incumbent rather
+    than each other — B&B node counts, admission rounds and the scheduler's
+    candidates_examined/buckets_skipped) is deterministic and compared.
   * wall_ms deltas are reported for information only — they never fail the
     diff (CI machines vary too much for a hard wall-clock gate).
 

@@ -135,18 +135,26 @@ int CmdSchedule(int argc, const char* const* argv) {
   // --threads workers; --sweep is the historical spelling of --search.
   // --wide widens the grid with the extended axes (rank=width, idle-fill
   // slack, preemption budget caps). --improve N runs the batched hill-climb
-  // improver for N perturbation attempts on top of the restart search
-  // (composing with --wide), evaluating --batch candidates per round on
-  // --improver-threads workers (default: the --threads value).
-  ArgParser args({"preempt", "sweep", "search", "wide", "gantt", "wires"},
+  // improver for N candidate draws on top of the restart search (composing
+  // with --wide), evaluating --batch candidates per round on
+  // --improver-threads workers (default: the --threads value). The improver
+  // engine layers (core/improver.h) are on by default; --no-bound and
+  // --no-memo disable incumbent bounding and candidate memoization,
+  // --adaptive turns on UCB1 move selection over --moves (comma-separated
+  // subset of nudge,swap,block), and --max-evals M caps scheduler runs.
+  ArgParser args({"preempt", "sweep", "search", "wide", "adaptive",
+                  "no-bound", "no-memo", "gantt", "wires"},
                  {"width", "power-factor", "s", "delta", "threads", "improve",
-                  "improver-threads", "batch", "json", "csv", "svg"});
+                  "improver-threads", "batch", "moves", "max-evals", "json",
+                  "csv", "svg"});
   if (!args.Parse(argc, argv, 2) || args.positional().size() != 1) {
     std::fprintf(stderr, "usage: soctest_cli schedule <soc> --width W "
                          "[--preempt] [--power-factor F] [--s N] [--delta N] "
                          "[--search] [--wide] [--threads N] [--improve N] "
-                         "[--improver-threads N] [--batch K] [--gantt] "
-                         "[--wires] [--json P] [--csv P] [--svg P]\n%s\n",
+                         "[--improver-threads N] [--batch K] [--adaptive] "
+                         "[--moves m1,m2] [--no-bound] [--no-memo] "
+                         "[--max-evals M] [--gantt] [--wires] [--json P] "
+                         "[--csv P] [--svg P]\n%s\n",
                  args.Error().c_str());
     return 2;
   }
@@ -179,8 +187,16 @@ int CmdSchedule(int argc, const char* const* argv) {
   const bool searching = args.HasFlag("search") || args.HasFlag("sweep");
   // Silently ignoring a mode-shaping flag misleads more than a warning.
   if (improve_iters <= 0) {
-    for (const char* dep : {"batch", "improver-threads"}) {
+    for (const char* dep : {"batch", "improver-threads", "moves",
+                            "max-evals"}) {
       if (args.Option(dep)) {
+        std::fprintf(stderr,
+                     "warning: --%s shapes only the improver and has no "
+                     "effect without --improve\n", dep);
+      }
+    }
+    for (const char* dep : {"adaptive", "no-bound", "no-memo"}) {
+      if (args.HasFlag(dep)) {
         std::fprintf(stderr,
                      "warning: --%s shapes only the improver and has no "
                      "effect without --improve\n", dep);
@@ -204,14 +220,57 @@ int CmdSchedule(int argc, const char* const* argv) {
     improver.iterations = improve_iters;
     improver.threads = improver_threads;
     improver.batch = batch;
+    improver.adaptive = args.HasFlag("adaptive");
+    improver.bound_candidates = !args.HasFlag("no-bound");
+    improver.memoize = !args.HasFlag("no-memo");
+    improver.max_evaluations = args.Int32Or("max-evals", 0);
+    if (const auto moves = args.Option("moves")) {
+      if (!improver.adaptive) {
+        std::fprintf(stderr, "warning: --moves selects bandit arms and has "
+                             "no effect without --adaptive\n");
+      }
+      improver.moves.clear();
+      for (const auto& name : Split(*moves, ',')) {
+        const std::string token = ToLower(Trim(name));
+        if (token == "nudge") {
+          improver.moves.push_back(ImproverMove::kNudge);
+        } else if (token == "swap") {
+          improver.moves.push_back(ImproverMove::kPairSwap);
+        } else if (token == "block") {
+          improver.moves.push_back(ImproverMove::kBlockPerturb);
+        } else {
+          std::fprintf(stderr, "unknown move '%s' (expected nudge, swap, "
+                               "or block)\n", token.c_str());
+          return 2;
+        }
+      }
+    }
     ImproverResult improved = ImproveSchedule(compiled, improver);
     if (improved.best.ok()) {
-      std::printf("improver: %s -> %s cycles (%d accepted / %d attempts, "
-                  "%d rounds of %d)\n",
+      std::printf("improver: %s -> %s cycles (%d accepted / %d drawn, "
+                  "%d evaluated, %d rounds of %d)\n",
                   WithCommas(improved.initial_makespan).c_str(),
                   WithCommas(improved.best.makespan).c_str(),
-                  improved.improvements, improved.attempts, improved.rounds,
-                  improved.batch);
+                  improved.improvements, improved.drawn, improved.evaluated,
+                  improved.rounds, improved.batch);
+      // Deterministic engine counters, grep-parsable like the bench lines
+      // (key=value). Per-kind fields are accepted/attempted.
+      std::printf("STATS bench=improve adaptive=%d bound=%d memo=%d "
+                  "drawn=%d evaluated=%d noops=%d dups=%d bound_aborts=%d "
+                  "improvements=%d rounds=%d "
+                  "nudge=%d/%d swap=%d/%d block=%d/%d "
+                  "initial=%lld final=%lld\n",
+                  improver.adaptive ? 1 : 0,
+                  improver.bound_candidates ? 1 : 0,
+                  improver.memoize ? 1 : 0,
+                  improved.drawn, improved.evaluated, improved.noops,
+                  improved.duplicates_skipped, improved.bound_aborts,
+                  improved.improvements, improved.rounds,
+                  improved.accepted[0], improved.attempted[0],
+                  improved.accepted[1], improved.attempted[1],
+                  improved.accepted[2], improved.attempted[2],
+                  static_cast<long long>(improved.initial_makespan),
+                  static_cast<long long>(improved.best.makespan));
     }
     result = std::move(improved.best);
   } else if (searching) {
