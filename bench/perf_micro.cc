@@ -3,6 +3,7 @@
 // threading scalability, validation, and wire assignment throughput.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cstdio>
 
 #include "core/compiled_problem.h"
@@ -157,6 +158,58 @@ void BM_OptimizeCompiled64(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_OptimizeCompiled64)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
+// The time-varying budget machinery on the hot path: the same 64-core
+// compiled problem and reused workspace as BM_OptimizeCompiled64, under a
+// factor-2 rail. Arg 0 is the constant cap (FitsAt short-circuits to the
+// legacy compare — the pre-timeline fast path), arg 1 a throttling-window
+// timeline sized off the constant-cap makespan; the delta is the cost of
+// window admission checks plus budget change-point events.
+void BM_OptimizeThrottled64(benchmark::State& state) {
+  static const TestProblem problem = [] {
+    TestProblem p = Generated64();
+    p.power = PowerModel::FromSoc(p.soc, 2.0);
+    return p;
+  }();
+  static const CompiledProblem compiled(problem);
+  static const Time constant_makespan = [] {
+    OptimizerParams params;
+    params.tam_width = 32;
+    return Optimize(problem, params).makespan;
+  }();
+  OptimizerParams params;
+  params.tam_width = 32;
+  const bool throttle = state.range(0) == 1;
+  if (throttle) {
+    const Time span = std::max<Time>(1, constant_makespan / 6);
+    params.power_budget_override =
+        MakeThrottleTimeline(problem.power.pmax(), problem.power.MaxCorePower(),
+                             span, span, constant_makespan)
+            .segments();
+  }
+  ScheduleWorkspace ws;
+  OptimizerResult last;
+  for (auto _ : state) {
+    last = Optimize(compiled, params, ws);
+    benchmark::DoNotOptimize(last);
+  }
+  static bool printed[2] = {false, false};
+  if (last.ok() && !printed[throttle ? 1 : 0]) {
+    printed[throttle ? 1 : 0] = true;
+    std::printf("MAKESPAN soc=gen64 w=32 mode=schedule throttle=%d "
+                "cycles=%lld\n",
+                throttle ? 1 : 0, static_cast<long long>(last.makespan));
+    std::printf("STATS bench=optimize_throttled throttle=%d rounds=%d "
+                "candidates_examined=%lld buckets_skipped=%lld\n",
+                throttle ? 1 : 0, last.admission_rounds,
+                static_cast<long long>(last.candidates_examined),
+                static_cast<long long>(last.buckets_skipped));
+  }
+}
+BENCHMARK(BM_OptimizeThrottled64)
     ->Arg(0)
     ->Arg(1)
     ->Unit(benchmark::kMillisecond);

@@ -1,0 +1,166 @@
+// Power/priority scenario pack: time-varying budgets and priority-class
+// admission as end-to-end scheduling scenarios.
+//
+// Scenario 1 (throttling windows): each benchmark SOC is scheduled under a
+// constant cap, then under a throttling-window timeline (alternating
+// high/low rail caps, low pinned at the serial floor) sized off the
+// constant-cap makespan so the drops land mid-schedule. Every throttled
+// schedule is validator-verified against the timeline; the MAKESPAN lines
+// carry both makespans so the throttling cost shows up in the cross-PR
+// trajectory (bench_diff gates them — all deterministic).
+//
+// Scenario 2 (mixed priority): d695 with deterministic priority classes
+// (core id mod 4) under a tight constant cap, scheduled twice — honoring
+// classes and blind. The hot lot (class 0) must finish no later when
+// classes are honored; the bench fails (exit 1) if it does not, making the
+// acceptance criterion executable.
+#include <algorithm>
+#include <cstdio>
+
+#include "core/optimizer.h"
+#include "core/validator.h"
+#include "soc/benchmarks.h"
+#include "soc/generator.h"
+#include "util/strings.h"
+
+using namespace soctest;
+
+namespace {
+
+bool ValidateOrComplain(const TestProblem& problem, const Schedule& schedule,
+                        const char* label) {
+  const auto violations = ValidateSchedule(problem, schedule);
+  if (violations.empty()) return true;
+  std::fprintf(stderr, "%s: schedule INVALID\n%s", label,
+               FormatViolations(violations).c_str());
+  return false;
+}
+
+int RunThrottleScenarios() {
+  int status = 0;
+  std::printf("=== Throttling-window scenarios (W=32, factor-2 rail, low "
+              "phase at the serial floor) ===\n\n");
+  for (const auto& soc : AllBenchmarkSocs()) {
+    TestProblem problem = TestProblem::FromSoc(soc);
+    problem.power = PowerModel::FromSoc(soc, 2.0);
+    const std::int64_t high = problem.power.pmax();
+    const std::int64_t low = problem.power.MaxCorePower();
+
+    OptimizerParams params;
+    params.tam_width = 32;
+    const OptimizerResult constant = Optimize(problem, params);
+    if (!constant.ok()) {
+      std::fprintf(stderr, "%s constant-cap schedule failed: %s\n",
+                   soc.name().c_str(), constant.error->c_str());
+      status = 1;
+      continue;
+    }
+
+    const Time span = std::max<Time>(1, constant.makespan / 6);
+    TestProblem throttled = problem;
+    throttled.power = WithBudget(
+        soc, problem.power,
+        MakeThrottleTimeline(high, low, span, span, constant.makespan));
+    const OptimizerResult result = Optimize(throttled, params);
+    if (!result.ok()) {
+      std::fprintf(stderr, "%s throttled schedule failed: %s\n",
+                   soc.name().c_str(), result.error->c_str());
+      status = 1;
+      continue;
+    }
+    if (!ValidateOrComplain(throttled, result.schedule, soc.name().c_str())) {
+      status = 1;
+      continue;
+    }
+
+    const double cost = 100.0 * (static_cast<double>(result.makespan) /
+                                     static_cast<double>(constant.makespan) -
+                                 1.0);
+    std::printf("%-10s constant %s -> throttled %s cycles (+%.1f%%)\n",
+                soc.name().c_str(), WithCommas(constant.makespan).c_str(),
+                WithCommas(result.makespan).c_str(), cost);
+    std::printf("MAKESPAN soc=%s w=32 mode=throttle cycles=%lld\n",
+                soc.name().c_str(), static_cast<long long>(result.makespan));
+    std::printf("STATS bench=power_throttle soc=%s high=%lld low=%lld "
+                "span=%lld constant=%lld throttled=%lld rounds=%d\n",
+                soc.name().c_str(), static_cast<long long>(high),
+                static_cast<long long>(low), static_cast<long long>(span),
+                static_cast<long long>(constant.makespan),
+                static_cast<long long>(result.makespan),
+                result.admission_rounds);
+  }
+  std::printf("\n");
+  return status;
+}
+
+Time HotLotFinish(const Soc& soc, const OptimizerResult& result) {
+  Time latest = 0;
+  for (const auto& entry : result.schedule.entries()) {
+    if (soc.core(entry.core).prio == 0) {
+      latest = std::max(latest, entry.EndTime());
+    }
+  }
+  return latest;
+}
+
+int RunPriorityScenario() {
+  std::printf("=== Mixed-priority scenario (d695, classes = core id mod 4, "
+              "tight rail) ===\n\n");
+  Soc soc = MakeD695();
+  for (int i = 0; i < soc.num_cores(); ++i) {
+    soc.mutable_core(i).prio = i % 4;
+  }
+  TestProblem problem = TestProblem::FromSoc(soc);
+  problem.power = PowerModel::FromSoc(soc, 1.5);
+
+  OptimizerParams honor;
+  honor.tam_width = 32;
+  OptimizerParams blind = honor;
+  blind.honor_priority = false;
+
+  const OptimizerResult with_prio = Optimize(problem, honor);
+  const OptimizerResult uniform = Optimize(problem, blind);
+  if (!with_prio.ok() || !uniform.ok()) {
+    std::fprintf(stderr, "priority scenario scheduling failed\n");
+    return 1;
+  }
+  if (!ValidateOrComplain(problem, with_prio.schedule, "priority") ||
+      !ValidateOrComplain(problem, uniform.schedule, "uniform")) {
+    return 1;
+  }
+
+  const Time hot_prio = HotLotFinish(soc, with_prio);
+  const Time hot_uniform = HotLotFinish(soc, uniform);
+  std::printf("hot lot finishes at %s honoring classes, %s blind; full "
+              "makespan %s vs %s\n",
+              WithCommas(hot_prio).c_str(), WithCommas(hot_uniform).c_str(),
+              WithCommas(with_prio.makespan).c_str(),
+              WithCommas(uniform.makespan).c_str());
+  std::printf("MAKESPAN soc=d695 w=32 mode=priority cycles=%lld\n",
+              static_cast<long long>(with_prio.makespan));
+  std::printf("STATS bench=power_priority hot_finish_prio=%lld "
+              "hot_finish_uniform=%lld makespan_prio=%lld "
+              "makespan_uniform=%lld\n",
+              static_cast<long long>(hot_prio),
+              static_cast<long long>(hot_uniform),
+              static_cast<long long>(with_prio.makespan),
+              static_cast<long long>(uniform.makespan));
+
+  if (hot_prio > hot_uniform) {
+    std::fprintf(stderr,
+                 "FAIL: hot lot finished later under priority scheduling "
+                 "(%lld > %lld)\n",
+                 static_cast<long long>(hot_prio),
+                 static_cast<long long>(hot_uniform));
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main() {
+  int status = RunThrottleScenarios();
+  status |= RunPriorityScenario();
+  return status;
+}

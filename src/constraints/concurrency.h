@@ -26,6 +26,9 @@ class ConcurrencySet {
   // Adds a symmetric exclusion pair. Out-of-range or self pairs are rejected.
   bool Add(CoreId a, CoreId b);
 
+  // Contract: negative ids and self-pairs answer false — they can never have
+  // been Add()ed, so "no conflict" is exact, not a masked default (unlike the
+  // old PowerModel::PowerOf out-of-range behavior, which invented a value).
   bool Conflicts(CoreId a, CoreId b) const;
 
   std::size_t num_pairs() const { return pairs_.size(); }

@@ -2,8 +2,111 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/strings.h"
 
 namespace soctest {
+
+PowerBudget PowerBudget::Constant(std::int64_t pmax) {
+  if (pmax < 0) return PowerBudget();
+  return PowerBudget({{0, pmax}});
+}
+
+std::optional<PowerBudget> PowerBudget::FromSegments(
+    std::vector<Segment> segments, std::string* error) {
+  if (segments.empty()) return PowerBudget();
+  if (segments.front().start != 0) {
+    if (error != nullptr) *error = "first budget segment must start at cycle 0";
+    return std::nullopt;
+  }
+  for (std::size_t i = 0; i < segments.size(); ++i) {
+    if (segments[i].pmax <= 0) {
+      if (error != nullptr) {
+        *error = StrFormat("budget segment %zu: pmax must be positive", i);
+      }
+      return std::nullopt;
+    }
+    if (i > 0 && segments[i].start <= segments[i - 1].start) {
+      if (error != nullptr) {
+        *error = StrFormat(
+            "budget segment %zu: starts must be strictly increasing", i);
+      }
+      return std::nullopt;
+    }
+  }
+  return PowerBudget(std::move(segments));
+}
+
+std::int64_t PowerBudget::BudgetAt(Time t) const {
+  if (segments_.empty()) return -1;
+  // Timelines are short (a handful of throttling windows); a linear scan
+  // beats binary search at these sizes and keeps the one-segment case a
+  // single compare.
+  std::size_t i = 0;
+  while (i + 1 < segments_.size() && segments_[i + 1].start <= t) ++i;
+  return segments_[i].pmax;
+}
+
+std::optional<Time> PowerBudget::NextChangeAfter(Time t) const {
+  for (const Segment& s : segments_) {
+    if (s.start > t) return s.start;
+  }
+  return std::nullopt;
+}
+
+std::int64_t PowerBudget::MinOver(Time begin, Time end) const {
+  if (segments_.empty()) return -1;
+  std::int64_t min_cap = BudgetAt(begin);
+  for (const Segment& s : segments_) {
+    if (s.start > begin && s.start < end) min_cap = std::min(min_cap, s.pmax);
+  }
+  return min_cap;
+}
+
+std::int64_t PowerBudget::MaxBudget() const {
+  if (segments_.empty()) return -1;
+  std::int64_t max_cap = 0;
+  for (const Segment& s : segments_) max_cap = std::max(max_cap, s.pmax);
+  return max_cap;
+}
+
+std::string FormatBudgetTimeline(const PowerBudget& budget) {
+  std::string out;
+  for (const PowerBudget::Segment& s : budget.segments()) {
+    if (!out.empty()) out += ',';
+    out += StrFormat("%lld:%lld", static_cast<long long>(s.start),
+                     static_cast<long long>(s.pmax));
+  }
+  return out;
+}
+
+std::optional<PowerBudget> ParseBudgetTimeline(const std::string& text,
+                                               std::string* error) {
+  std::vector<PowerBudget::Segment> segments;
+  for (const std::string& part : Split(text, ',')) {
+    const auto fields = Split(part, ':');
+    if (fields.size() != 2) {
+      if (error != nullptr) {
+        *error = StrFormat("budget segment '%s': expected start:pmax",
+                           part.c_str());
+      }
+      return std::nullopt;
+    }
+    const auto start = ParseInt(fields[0]);
+    const auto pmax = ParseInt(fields[1]);
+    if (!start || !pmax || *start < 0) {
+      if (error != nullptr) {
+        *error = StrFormat("budget segment '%s': expected start:pmax",
+                           part.c_str());
+      }
+      return std::nullopt;
+    }
+    segments.push_back({*start, *pmax});
+  }
+  return PowerBudget::FromSegments(std::move(segments), error);
+}
 
 PowerModel PowerModel::FromSoc(const Soc& soc, double budget_factor) {
   std::vector<std::int64_t> power;
@@ -22,6 +125,27 @@ std::int64_t PowerModel::MaxCorePower() const {
   std::int64_t peak = 0;
   for (std::int64_t p : core_power_) peak = std::max(peak, p);
   return peak;
+}
+
+void PowerModel::DieBadCoreId(CoreId core) const {
+  // Unconditional (not assert): the misuse contract must hold in release
+  // builds too, where NDEBUG compiles assert away.
+  std::fprintf(stderr,
+               "PowerModel::PowerOf: core id %d out of range [0, %zu)\n",
+               core, core_power_.size());
+  std::abort();
+}
+
+PowerModel WithBudget(const Soc& soc, const PowerModel& base,
+                      PowerBudget budget) {
+  std::vector<std::int64_t> power = base.core_power();
+  if (power.empty()) {
+    power.reserve(static_cast<std::size_t>(soc.num_cores()));
+    for (const auto& core : soc.cores()) {
+      power.push_back(core.power > 0 ? core.power : core.BitsPerPattern());
+    }
+  }
+  return PowerModel(std::move(power), std::move(budget));
 }
 
 }  // namespace soctest

@@ -1,24 +1,110 @@
-// Test power model (paper Sections 4 and 6).
+// Test power model (paper Sections 4 and 6), extended with time-varying
+// budgets.
 //
 // The paper assigns each core a hypothetical power value proportional to the
 // number of test-data bits per test pattern, and schedules under a budget
 // Pmax that the sum of concurrently-running tests' power must not exceed.
+// Real test floors throttle: thermal windows and shared-ATE power rails make
+// the budget a function of time. PowerBudget models that as a
+// piecewise-constant timeline of (start_cycle, pmax) segments; the paper's
+// static cap is its one-segment special case.
 #pragma once
 
 #include <cstdint>
+#include <optional>
+#include <string>
 #include <vector>
 
 #include "soc/soc.h"
+#include "util/interval.h"
 
 namespace soctest {
+
+// A piecewise-constant power-budget timeline. Segment i caps instantaneous
+// power at `pmax` over [start, next segment's start); the final segment
+// extends to infinity. Invariants (enforced by FromSegments): the first
+// segment starts at cycle 0, starts are strictly increasing, and every
+// segment's pmax is positive. An empty timeline means "unlimited".
+class PowerBudget {
+ public:
+  struct Segment {
+    Time start = 0;
+    std::int64_t pmax = 0;
+
+    friend bool operator==(const Segment&, const Segment&) = default;
+  };
+
+  // Unlimited: no cap at any time.
+  PowerBudget() = default;
+
+  // Single-segment (static) budget. A negative pmax means unlimited,
+  // mirroring the historical PowerModel encoding.
+  static PowerBudget Constant(std::int64_t pmax);
+
+  // Validates and adopts a timeline. Returns nullopt (and sets *error when
+  // non-null) unless the segments start at 0, strictly increase, and carry
+  // positive caps. An empty vector yields the unlimited budget.
+  static std::optional<PowerBudget> FromSegments(std::vector<Segment> segments,
+                                                 std::string* error = nullptr);
+
+  bool unlimited() const { return segments_.empty(); }
+
+  // True iff the cap actually changes over time (≥ 2 segments). Single
+  // segment and unlimited timelines have no change-points, which is what the
+  // scheduler's bit-identity contract keys off.
+  bool has_changes() const { return segments_.size() > 1; }
+
+  // The cap in force at cycle t (t < 0 is treated as t = 0). Unlimited
+  // budgets report -1, mirroring PowerModel::pmax().
+  std::int64_t BudgetAt(Time t) const;
+
+  // The first change-point strictly after t, or nullopt when the budget is
+  // constant from t on.
+  std::optional<Time> NextChangeAfter(Time t) const;
+
+  // The minimum cap over [begin, end). An empty window answers BudgetAt(begin)
+  // so callers need not special-case zero-length holds. Unlimited → -1.
+  std::int64_t MinOver(Time begin, Time end) const;
+
+  // The largest cap any segment ever grants (-1 when unlimited). A core whose
+  // power exceeds this can never be scheduled.
+  std::int64_t MaxBudget() const;
+
+  const std::vector<Segment>& segments() const { return segments_; }
+
+  friend bool operator==(const PowerBudget&, const PowerBudget&) = default;
+
+ private:
+  explicit PowerBudget(std::vector<Segment> segments)
+      : segments_(std::move(segments)) {}
+
+  std::vector<Segment> segments_;  // empty = unlimited
+};
+
+// Renders a timeline as "start:pmax[,start:pmax...]" — the textual form used
+// by the request protocol's budget= flag and the CLI's --budget option.
+// Unlimited renders as the empty string.
+std::string FormatBudgetTimeline(const PowerBudget& budget);
+
+// Parses the FormatBudgetTimeline form, applying the same validation as
+// PowerBudget::FromSegments. Round-trips exactly: Parse(Format(b)) == b for
+// every valid non-empty timeline. Returns nullopt and sets *error (when
+// non-null) on malformed input.
+std::optional<PowerBudget> ParseBudgetTimeline(const std::string& text,
+                                               std::string* error = nullptr);
 
 class PowerModel {
  public:
   // No budget: Pmax treated as unlimited.
   PowerModel() = default;
 
+  // Static cap (negative = unlimited) — the paper's original model.
   PowerModel(std::vector<std::int64_t> core_power, std::int64_t pmax)
-      : core_power_(std::move(core_power)), pmax_(pmax) {}
+      : core_power_(std::move(core_power)),
+        budget_(PowerBudget::Constant(pmax)) {}
+
+  PowerModel(std::vector<std::int64_t> core_power, PowerBudget budget)
+      : core_power_(std::move(core_power)), budget_(std::move(budget)) {}
 
   // Builds the paper's model: power(i) = BitsPerPattern(i) for cores whose
   // spec carries no explicit power value (otherwise the explicit value is
@@ -29,27 +115,68 @@ class PowerModel {
   // visibly lengthens the schedule, which factor 1.5 reproduces.
   static PowerModel FromSoc(const Soc& soc, double budget_factor = 1.5);
 
-  bool unlimited() const { return pmax_ < 0; }
-  std::int64_t pmax() const { return pmax_; }
-  void set_pmax(std::int64_t pmax) { pmax_ = pmax; }
+  bool unlimited() const { return budget_.unlimited(); }
 
+  // The cap of the timeline's first segment (-1 when unlimited). For a
+  // single-segment budget this is the whole story; a time-varying budget's
+  // callers should consult budget() instead.
+  std::int64_t pmax() const { return budget_.BudgetAt(0); }
+
+  // Replaces the timeline with a static cap (negative = unlimited).
+  void set_pmax(std::int64_t pmax) { budget_ = PowerBudget::Constant(pmax); }
+
+  const PowerBudget& budget() const { return budget_; }
+  void set_budget(PowerBudget budget) { budget_ = std::move(budget); }
+
+  // Per-core test power. Contract: a model with no per-core table (the
+  // default-constructed "unlimited" model) reports 0 for every core — such a
+  // model imposes no constraint, so no caller may depend on its values. A
+  // model WITH a table aborts on a negative or out-of-range id: silently
+  // answering 0 there once masked indexing bugs as free power.
   std::int64_t PowerOf(CoreId core) const {
-    if (core < 0 || static_cast<std::size_t>(core) >= core_power_.size()) return 0;
+    if (core_power_.empty()) return 0;
+    if (core < 0 || static_cast<std::size_t>(core) >= core_power_.size()) {
+      DieBadCoreId(core);
+    }
     return core_power_[static_cast<std::size_t>(core)];
   }
 
   std::int64_t MaxCorePower() const;
 
-  // True iff the given additional load fits under the budget.
+  // True iff the given additional load fits under the first segment's cap.
+  // Time-unaware (legacy): identical to FitsAt(..., 0, 0).
   bool Fits(std::int64_t current_load, std::int64_t additional) const {
-    return unlimited() || current_load + additional <= pmax_;
+    return unlimited() || current_load + additional <= pmax();
+  }
+
+  // True iff the additional load fits under the budget at cycle `now` and —
+  // when hold > 0 — keeps fitting over the whole window [now, now + hold).
+  // Admissions that cannot later be preempted pass their full remaining test
+  // time as `hold` so a future budget drop can never catch them running.
+  bool FitsAt(std::int64_t current_load, std::int64_t additional, Time now,
+              Time hold) const {
+    if (unlimited()) return true;
+    if (!budget_.has_changes()) return current_load + additional <= pmax();
+    const std::int64_t cap =
+        hold > 0 ? budget_.MinOver(now, now + hold) : budget_.BudgetAt(now);
+    return current_load + additional <= cap;
   }
 
   const std::vector<std::int64_t>& core_power() const { return core_power_; }
 
  private:
+  [[noreturn]] void DieBadCoreId(CoreId core) const;
+
   std::vector<std::int64_t> core_power_;
-  std::int64_t pmax_ = -1;  // negative = unlimited
+  PowerBudget budget_;  // default-constructed = unlimited
 };
+
+// Returns `base` with its timeline replaced by `budget`. When `base` carries
+// no per-core power table (the SOC declared no powermax), per-core power is
+// derived the same way TestProblem::FromParsed does: the spec's explicit
+// power value, else BitsPerPattern. This is how budget overrides (requests,
+// CLI) attach a timeline to a problem whose SOC text never mentioned power.
+PowerModel WithBudget(const Soc& soc, const PowerModel& base,
+                      PowerBudget budget);
 
 }  // namespace soctest

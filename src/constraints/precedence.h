@@ -24,6 +24,9 @@ class PrecedenceGraph {
   bool Add(CoreId before, CoreId after);
 
   // All direct predecessors of `core` (tests that must finish first).
+  // Contract: a negative or out-of-range id is misuse and throws
+  // std::out_of_range (it never silently answers "no constraints" — see the
+  // PowerModel::PowerOf contract for why silent defaults are dangerous here).
   const std::vector<CoreId>& PredecessorsOf(CoreId core) const;
   const std::vector<CoreId>& SuccessorsOf(CoreId core) const;
 

@@ -7,7 +7,8 @@ namespace {
 
 // Shared body: `Completed` is any callable mapping core index -> finished?
 // (vector<bool> indexing or CoreBitset::test). Kept a template so the two
-// public overloads cannot drift apart.
+// public overloads cannot drift apart. `now`/`hold` feed the time-varying
+// budget check; (0, 0) reproduces the legacy static-Pmax behavior exactly.
 template <typename Completed>
 std::optional<std::string> BlockedImpl(const PrecedenceGraph* precedence,
                                        const ConcurrencySet* concurrency,
@@ -15,7 +16,8 @@ std::optional<std::string> BlockedImpl(const PrecedenceGraph* precedence,
                                        CoreId candidate,
                                        const Completed& completed,
                                        const std::vector<CoreId>& active,
-                                       std::int64_t active_power) {
+                                       std::int64_t active_power, Time now,
+                                       Time hold) {
   if (precedence != nullptr && candidate < precedence->num_cores()) {
     for (CoreId pred : precedence->PredecessorsOf(candidate)) {
       if (!completed(static_cast<std::size_t>(pred))) {
@@ -32,11 +34,13 @@ std::optional<std::string> BlockedImpl(const PrecedenceGraph* precedence,
   }
   if (power != nullptr && !power->unlimited()) {
     const std::int64_t p = power->PowerOf(candidate);
-    if (!power->Fits(active_power, p)) {
+    if (!power->FitsAt(active_power, p, now, hold)) {
       return StrFormat("power: load %lld + %lld exceeds Pmax %lld",
                        static_cast<long long>(active_power),
                        static_cast<long long>(p),
-                       static_cast<long long>(power->pmax()));
+                       static_cast<long long>(
+                           hold > 0 ? power->budget().MinOver(now, now + hold)
+                                    : power->budget().BudgetAt(now)));
     }
   }
   return std::nullopt;
@@ -50,7 +54,7 @@ std::optional<std::string> ConflictPolicy::Blocked(
   return BlockedImpl(
       precedence_, concurrency_, power_, candidate,
       [&completed](std::size_t c) { return static_cast<bool>(completed[c]); },
-      active, active_power);
+      active, active_power, 0, 0);
 }
 
 std::optional<std::string> ConflictPolicy::Blocked(
@@ -59,7 +63,17 @@ std::optional<std::string> ConflictPolicy::Blocked(
   return BlockedImpl(
       precedence_, concurrency_, power_, candidate,
       [&completed](std::size_t c) { return completed.test(c); }, active,
-      active_power);
+      active_power, 0, 0);
+}
+
+std::optional<std::string> ConflictPolicy::Blocked(
+    CoreId candidate, const CoreBitset& completed,
+    const std::vector<CoreId>& active, std::int64_t active_power, Time now,
+    Time hold) const {
+  return BlockedImpl(
+      precedence_, concurrency_, power_, candidate,
+      [&completed](std::size_t c) { return completed.test(c); }, active,
+      active_power, now, hold);
 }
 
 }  // namespace soctest

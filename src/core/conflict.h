@@ -16,6 +16,7 @@
 #include "constraints/power.h"
 #include "constraints/precedence.h"
 #include "util/bitset.h"
+#include "util/interval.h"
 
 namespace soctest {
 
@@ -40,6 +41,18 @@ class ConflictPolicy {
                                      const CoreBitset& completed,
                                      const std::vector<CoreId>& active,
                                      std::int64_t active_power) const;
+
+  // Time-aware variant for time-varying budgets: the power check runs against
+  // BudgetAt(now), or — when hold > 0 — against the minimum budget over
+  // [now, now + hold). Admissions that can never be preempted later pass
+  // their full remaining run as `hold` so a future budget drop cannot catch
+  // them mid-flight. With a single-segment budget this answers identically to
+  // the time-unaware overloads for any (now, hold).
+  std::optional<std::string> Blocked(CoreId candidate,
+                                     const CoreBitset& completed,
+                                     const std::vector<CoreId>& active,
+                                     std::int64_t active_power, Time now,
+                                     Time hold) const;
 
  private:
   const PrecedenceGraph* precedence_;

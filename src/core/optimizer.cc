@@ -49,13 +49,19 @@ TestProblem TestProblem::FromParsed(const ParsedSoc& parsed) {
   p.precedence = PrecedenceGraph(p.soc.num_cores());
   for (const auto& [a, b] : parsed.precedence) p.precedence.Add(a, b);
   p.concurrency = ConcurrencySet::FromSoc(p.soc, parsed.concurrency);
-  if (parsed.power_max > 0) {
+  if (parsed.power_max > 0 || !parsed.budget.empty()) {
     std::vector<std::int64_t> power;
     power.reserve(static_cast<std::size_t>(p.soc.num_cores()));
     for (const auto& core : p.soc.cores()) {
       power.push_back(core.power > 0 ? core.power : core.BitsPerPattern());
     }
-    p.power = PowerModel(std::move(power), parsed.power_max);
+    // The parser pre-validates powerbudget segments, so FromSegments cannot
+    // fail here; powermax is the single-segment spelling of the same model.
+    PowerBudget budget =
+        parsed.budget.empty()
+            ? PowerBudget::Constant(parsed.power_max)
+            : PowerBudget::FromSegments(parsed.budget).value_or(PowerBudget());
+    p.power = PowerModel(std::move(power), std::move(budget));
   }
   return p;
 }
@@ -79,6 +85,25 @@ void UnorderedBucketErase(std::vector<CoreId>& bucket, CoreId core) {
   bucket.pop_back();
 }
 
+// Builds the model an optimizer's power_budget_override swaps in: the
+// problem's per-core powers (derived from the specs when the problem has no
+// model of its own) under the override timeline. A malformed override is
+// reported through *error and the problem's own model is left in force —
+// Run() surfaces the error before scheduling anything.
+static PowerModel MakeOverridePower(
+    const TestProblem& problem,
+    const std::vector<PowerBudget::Segment>& segments,
+    std::optional<std::string>* error) {
+  if (segments.empty()) return PowerModel();
+  std::string message;
+  auto budget = PowerBudget::FromSegments(segments, &message);
+  if (!budget) {
+    *error = "power_budget_override: " + message;
+    return PowerModel();
+  }
+  return WithBudget(problem.soc, problem.power, std::move(*budget));
+}
+
 }  // namespace
 
 TamScheduleOptimizer::TamScheduleOptimizer(const CompiledProblem& compiled,
@@ -86,8 +111,14 @@ TamScheduleOptimizer::TamScheduleOptimizer(const CompiledProblem& compiled,
     : compiled_(&compiled),
       problem_(&compiled.problem()),
       params_(std::move(params)),
+      override_power_(MakeOverridePower(*problem_,
+                                        params_.power_budget_override,
+                                        &override_error_)),
+      effective_power_(params_.power_budget_override.empty() || override_error_
+                           ? &problem_->power
+                           : &override_power_),
       conflict_(&problem_->precedence, &problem_->concurrency,
-                &problem_->power) {}
+                effective_power_) {}
 
 TamScheduleOptimizer::TamScheduleOptimizer(const TestProblem& problem,
                                            OptimizerParams params)
@@ -95,15 +126,45 @@ TamScheduleOptimizer::TamScheduleOptimizer(const TestProblem& problem,
       compiled_(owned_.get()),
       problem_(&problem),
       params_(std::move(params)),
-      conflict_(&problem.precedence, &problem.concurrency, &problem.power) {}
+      override_power_(MakeOverridePower(problem,
+                                        params_.power_budget_override,
+                                        &override_error_)),
+      effective_power_(params_.power_budget_override.empty() || override_error_
+                           ? &problem.power
+                           : &override_power_),
+      conflict_(&problem.precedence, &problem.concurrency, effective_power_) {}
 
-bool TamScheduleOptimizer::IsBlocked(CoreId core) const {
+bool TamScheduleOptimizer::IsBlocked(CoreId core, int width) const {
   // The active set, its power sum, and the used width are tracked
   // incrementally (Admit/AdvanceTime), so a conflict check is O(active) with
   // no allocation — it used to rescan every core and build a fresh vector.
+  // Under a time-varying budget the power test additionally covers the
+  // admission's committed window (see HoldFor); with a static budget the
+  // (now, hold) pair is (now_, 0) and the check is the historical one.
   return conflict_
-      .Blocked(core, ws_->complete, ws_->active, active_power_)
+      .Blocked(core, ws_->complete, ws_->active, active_power_, now_,
+               timeline_ ? HoldFor(core, width) : 0)
       .has_value();
+}
+
+Time TamScheduleOptimizer::HoldFor(CoreId core, int width) const {
+  const auto u = static_cast<std::size_t>(core);
+  const bool gap = ws_->begun.test(u) && ws_->end_time[u] < now_;
+  // A gap resume consumes one preemption credit at Admit time, so what
+  // matters is whether the core could still be preempted AFTER this
+  // admission. If yes, the admission only commits power until the next
+  // event: an instantaneous check (hold 0) suffices, because any budget
+  // drop pauses the core like any other event.
+  const int preemptions_after = ws_->preemptions[u] + (gap ? 1 : 0);
+  if (params_.allow_preemption &&
+      preemptions_after < ws_->max_preemptions[u]) {
+    return 0;
+  }
+  // Uninterruptible: the admission commits a contiguous run to completion.
+  if (!ws_->begun.test(u)) return TimeLut(core, SnapLut(core, width));
+  Time remaining = ws_->time_remaining[u];
+  if (gap) remaining += PreemptionPenalty(core, ws_->assigned_width[u]);
+  return remaining;
 }
 
 Time TamScheduleOptimizer::PreemptionPenalty(CoreId core, int width) const {
@@ -167,7 +228,7 @@ void TamScheduleOptimizer::Admit(CoreId core, int width) {
   ws_->running.set(u);
   ws_->active.push_back(core);
   used_width_ += ws_->assigned_width[u];
-  active_power_ += problem_->power.PowerOf(core);
+  active_power_ += effective_power_->PowerOf(core);
   active_critical_ = std::max(active_critical_, ws_->time_remaining[u]);
 }
 
@@ -190,7 +251,7 @@ bool TamScheduleOptimizer::AdmitLimitReached() {
       ++candidates_examined_;
       const auto u = static_cast<std::size_t>(c);
       if (ws_->preemptions[u] < ws_->max_preemptions[u]) continue;  // preemptible
-      eligible.push_back({c, ws_->time_remaining[u], true, w});
+      eligible.push_back({c, ws_->time_remaining[u], true, w, ws_->prio[u]});
     }
   }
   for (int w = fit + 1; w <= params_.tam_width; ++w) {
@@ -200,21 +261,25 @@ bool TamScheduleOptimizer::AdmitLimitReached() {
   }
   if (eligible.empty()) return false;
 
-  // Best-first walk (largest remaining time, then smallest core id — the
-  // historical ascending-id scan's tie-break). Every skip is permanent:
+  // Best-first walk (priority class first — hot-lot resumes before
+  // best-effort when wires or budget are tight — then largest remaining
+  // time, then smallest core id, the historical ascending-id scan's
+  // tie-break; with uniform priorities the leading key never discriminates
+  // and the order is exactly the historical one). Every skip is permanent:
   // avail only shrinks, so a non-fitting candidate never fits later, and
   // blockedness is monotone within the phase, so a blocked candidate stays
   // blocked. One pass therefore reproduces the pick-max-admit-repeat loop.
   std::sort(eligible.begin(), eligible.end(),
             [](const ScheduleWorkspace::Candidate& a,
                const ScheduleWorkspace::Candidate& b) {
+              if (a.prio != b.prio) return a.prio < b.prio;
               if (a.remaining != b.remaining) return a.remaining > b.remaining;
               return a.core < b.core;
             });
   bool any = false;
   for (const auto& cand : eligible) {
     if (cand.width > AvailableWidth()) continue;
-    if (IsBlocked(cand.core)) continue;
+    if (IsBlocked(cand.core, cand.width)) continue;
     Admit(cand.core, cand.width);
     any = true;
   }
@@ -226,6 +291,14 @@ bool TamScheduleOptimizer::RankedBefore(
     const ScheduleWorkspace::Candidate& b) const {
   if (!params_.allow_preemption && a.begun != b.begun) {
     return a.begun;  // paused cores first (paper P2 before P3)
+  }
+  // Priority classes lead the heuristic order but stay BEHIND the
+  // non-preemptive begun-first rule: a paused non-preemptable core must
+  // resume gap-free whatever its class, or the resume would burn a
+  // preemption credit it does not have. Guarded by the uniform flag so
+  // uniform-priority runs compare exactly the historical keys.
+  if (!priority_uniform_ && a.prio != b.prio) {
+    return a.prio < b.prio;  // hot-lot (0) before best-effort (3)
   }
   switch (params_.rank) {
     case AdmissionRank::kWidth:
@@ -256,14 +329,14 @@ bool TamScheduleOptimizer::AdmitRanked() {
   candidates.clear();
   for (int w = 1; w <= params_.tam_width; ++w) {
     for (const CoreId c : ws_->paused_by_width[static_cast<std::size_t>(w)]) {
-      candidates.push_back(
-          {c, ws_->time_remaining[static_cast<std::size_t>(c)], true, w});
+      const auto u = static_cast<std::size_t>(c);
+      candidates.push_back({c, ws_->time_remaining[u], true, w, ws_->prio[u]});
     }
   }
   ws_->unstarted.ForEachSet([&](std::size_t u) {
     const auto c = static_cast<CoreId>(u);
     const int pw = ws_->preferred[u];
-    candidates.push_back({c, TimeLut(c, pw), false, pw});
+    candidates.push_back({c, TimeLut(c, pw), false, pw, ws_->prio[u]});
   });
 
   // RankedBefore is a strict total order, so popping a heap built on it
@@ -296,7 +369,7 @@ bool TamScheduleOptimizer::AdmitRanked() {
       }
       width = shrunk;
     }
-    if (IsBlocked(cand.core)) continue;
+    if (IsBlocked(cand.core, width)) continue;
     Admit(cand.core, width);
     any = true;
   }
@@ -322,7 +395,9 @@ bool TamScheduleOptimizer::AdmitIdleFill() {
       for (const CoreId c :
            ws_->unstarted_by_pref[static_cast<std::size_t>(w)]) {
         ++candidates_examined_;
-        if (IsBlocked(c)) continue;
+        // The admission below runs at SnapLut(c, avail) — the window check
+        // must cover that width's duration, so pass `avail`, not `w`.
+        if (IsBlocked(c, avail)) continue;
         best = c;
         break;
       }
@@ -363,7 +438,7 @@ bool TamScheduleOptimizer::AdmitInsertFill() {
       if (width > avail) return;
       const Time t = TimeLut(c, width);
       if (t > critical) return;
-      eligible.push_back({c, t, false, width});
+      eligible.push_back({c, t, false, width, ws_->prio[u]});
     });
     if (eligible.empty()) break;
     // Prefer the insertion that converts the most idle area into work:
@@ -380,7 +455,7 @@ bool TamScheduleOptimizer::AdmitInsertFill() {
         if (eligible[i].remaining > eligible[pick].remaining) pick = i;
       }
       const auto cand = eligible[pick];
-      if (!IsBlocked(cand.core)) {
+      if (!IsBlocked(cand.core, cand.width)) {
         best = cand.core;
         best_time = cand.remaining;
         best_width = cand.width;
@@ -457,14 +532,27 @@ void TamScheduleOptimizer::AdvanceTime() {
     if (rem > max_rem) max_rem = rem;
   }
   assert(min_rem > 0 && "AdvanceTime requires at least one running core");
-  const Time new_time = now_ + min_rem;
+  Time new_time = now_ + min_rem;
+  if (timeline_) {
+    // Budget change-points are scheduling events: stop there, pause
+    // everything, and re-contend under the new cap. At a drop, running tests
+    // that no longer fit simply stay paused (preemptive cores burn a credit
+    // on their later gap resume; uninterruptible ones were admitted under a
+    // window check covering the drop, so their gap-free resume always
+    // succeeds). At a raise, the freed budget admits new work immediately.
+    const auto change = effective_power_->budget().NextChangeAfter(now_);
+    if (change && *change < new_time) new_time = *change;
+  }
+  const Time elapsed = new_time - now_;  // >= 1: change-points are > now_
   if (params_.makespan_bound > 0) {
-    // Every active core runs min_rem at its assigned width; the certificate
-    // sheds exactly the wire-time consumed.
-    begun_remaining_area_ -= min_rem * static_cast<Time>(used_width_);
+    // Every active core runs `elapsed` at its assigned width; the
+    // certificate sheds exactly the wire-time consumed.
+    begun_remaining_area_ -= elapsed * static_cast<Time>(used_width_);
     // Widths are final for every core in the active set (boosts act only in
     // the start round, already past), so the slowest active core pins the
-    // makespan at now_ + max_rem from here on.
+    // makespan at now_ + max_rem from here on. Valid under budget events
+    // too: preemption penalties and paused gaps only stretch a core's
+    // completion past this.
     critical_path_lb_ = std::max(critical_path_lb_, now_ + max_rem);
   }
   for (const CoreId c : ws_->active) {
@@ -478,7 +566,7 @@ void TamScheduleOptimizer::AdvanceTime() {
       segs.push_back(
           ScheduleSegment{Interval{now_, new_time}, ws_->assigned_width[u]});
     }
-    ws_->time_remaining[u] -= min_rem;
+    ws_->time_remaining[u] -= elapsed;
     ws_->running.reset(u);
     ws_->end_time[u] = new_time;
     if (ws_->time_remaining[u] <= 0) {
@@ -537,18 +625,27 @@ OptimizerResult TamScheduleOptimizer::Run(ScheduleWorkspace& ws) {
     result.error = "precedence constraints form a cycle";
     return result;
   }
-  if (!problem_->power.unlimited()) {
+  if (override_error_) {
+    result.error = *override_error_;
+    return result;
+  }
+  const PowerModel& power = *effective_power_;
+  if (!power.unlimited()) {
+    // A core must fit the most generous cap the timeline ever grants; for a
+    // static budget MaxBudget() == pmax() and this is the historical check.
+    const std::int64_t max_budget = power.budget().MaxBudget();
     for (const auto& core : problem_->soc.cores()) {
-      if (problem_->power.PowerOf(core.id) > problem_->power.pmax()) {
+      if (power.PowerOf(core.id) > max_budget) {
         result.error = StrFormat(
             "core '%s' has power %lld > Pmax %lld and can never be scheduled",
             core.name.c_str(),
-            static_cast<long long>(problem_->power.PowerOf(core.id)),
-            static_cast<long long>(problem_->power.pmax()));
+            static_cast<long long>(power.PowerOf(core.id)),
+            static_cast<long long>(max_budget));
         return result;
       }
     }
   }
+  timeline_ = !power.unlimited() && power.budget().has_changes();
 
   // ---- Initialize (paper Fig. 5) ----------------------------------------
   // The wrapper artifacts were compiled once (CompiledProblem); clipping them
@@ -698,6 +795,15 @@ OptimizerResult TamScheduleOptimizer::Run(ScheduleWorkspace& ws) {
       ws_->max_preemptions[i] = budget;
     }
   }
+  ws_->prio.assign(n, 0);
+  priority_uniform_ = true;
+  if (params_.honor_priority && n > 0) {
+    const auto& cores = problem_->soc.cores();
+    for (std::size_t i = 0; i < n; ++i) {
+      ws_->prio[i] = cores[i].prio;
+      if (cores[i].prio != cores[0].prio) priority_uniform_ = false;
+    }
+  }
   ws_->active.clear();
   now_ = 0;
   rounds_ = 0;
@@ -728,9 +834,24 @@ OptimizerResult TamScheduleOptimizer::Run(ScheduleWorkspace& ws) {
 
     if (ws_->active.empty()) {
       if (!progress) {
-        // Structurally unreachable for valid inputs (see DESIGN.md): with an
-        // empty active set, power and concurrency cannot block, and an
-        // acyclic precedence graph always has a ready core.
+        if (timeline_) {
+          // Nothing fits under the budget in force, but the cap will change:
+          // idle-advance to the next change-point and re-contend. A raise
+          // can admit cores the current cap blocks, and moving a pending
+          // drop behind `now_` shrinks uninterruptible cores' check windows.
+          // Terminates: change-points are finite and strictly increasing.
+          if (const auto change =
+                  effective_power_->budget().NextChangeAfter(now_)) {
+            now_ = *change;
+            continue;
+          }
+        }
+        // Structurally unreachable for valid static-budget inputs (see
+        // DESIGN.md): with an empty active set, power and concurrency cannot
+        // block, and an acyclic precedence graph always has a ready core.
+        // Reachable under a timeline whose every remaining window is too
+        // tight for some uninterruptible core — a genuinely unschedulable
+        // input.
         result.error = "scheduler deadlock: no core admissible";
         return result;
       }

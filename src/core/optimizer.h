@@ -123,6 +123,12 @@ struct OptimizerParams {
   // acceptance decisions, and therefore the final schedule, are
   // bit-identical to the unbounded run, while losers stop paying for the
   // bulk of their packing loop.
+  //
+  // Both certificate terms are power-free (pure wire-area and elapsed-time
+  // arguments), so they stay admissible under ANY power-budget timeline —
+  // budget drops can only delay admissions and stretch tests, never shorten
+  // the schedule below the certificate. Bounded runs therefore remain
+  // bit-identical to unbounded ones under time-varying budgets too.
   Time makespan_bound = 0;
 
   // Extra idle-time insertion heuristic (the paper reports using "several
@@ -132,6 +138,25 @@ struct OptimizerParams {
   // test time does not exceed the longest remaining active test — i.e. the
   // insertion can never stretch the running critical path.
   bool enable_insert_fill = true;
+
+  // Replaces the problem's power-budget timeline when non-empty: validated
+  // like PowerBudget::FromSegments (start 0 first, strictly increasing
+  // starts, positive caps) — Run() reports an error otherwise. Per-core
+  // power comes from the problem's model when it has one; else it is derived
+  // from the specs (explicit power, or BitsPerPattern — the FromParsed
+  // rule). Living in OptimizerParams, the override flows unchanged through
+  // the restart search, the improver, and width sweeps, so every evaluation
+  // of one request honors one timeline.
+  std::vector<PowerBudget::Segment> power_budget_override;
+
+  // When false, per-core priority classes (CoreSpec::prio) are ignored and
+  // admission uses the paper's pure heuristic order. The default honors
+  // them: AdmitRanked and the limit-reached resume order gain a leading
+  // priority-class key (hot-lot prio 0 first), with the existing heuristic
+  // unchanged within a class. With uniform priorities the comparators never
+  // consult the class at all, keeping schedules bit-identical to the
+  // pre-priority scheduler.
+  bool honor_priority = true;
 };
 
 // Per-core diagnostic emitted alongside the schedule.
@@ -210,6 +235,7 @@ struct ScheduleWorkspace {
     Time remaining;
     bool begun;
     int width;
+    int prio;  // priority class (0 = hot-lot); 0 when priorities are uniform
   };
 
   // ---- (compilation id, TAM width)-keyed cache --------------------------
@@ -234,6 +260,7 @@ struct ScheduleWorkspace {
   // ---- Per-core state, struct-of-arrays, reset per run ------------------
   std::vector<int> preferred;        // preferred width (static after init)
   std::vector<int> max_preemptions;  // static after init
+  std::vector<int> prio;             // priority class; all 0 when uniform
   std::vector<int> assigned_width;
   std::vector<Time> time_remaining;
   std::vector<Time> first_begin;
@@ -303,7 +330,24 @@ class TamScheduleOptimizer {
   // the admission-index bookkeeping (bucket removal, status bits).
   void Admit(CoreId core, int width);
 
-  bool IsBlocked(CoreId core) const;
+  // Conflict check for admitting `core` at `width` now. Under a time-varying
+  // budget the power test covers the window [now_, now_ + HoldFor(...)):
+  // instantaneous for admissions that can still be preempted at the next
+  // event, the full remaining run for ones that cannot — so a future budget
+  // drop can never catch an uninterruptible test mid-flight (the validator
+  // would reject the resulting schedule). With a static budget HoldFor is
+  // never consulted and the check is exactly the historical instantaneous
+  // one.
+  bool IsBlocked(CoreId core, int width) const;
+
+  // The contiguous-run length an admission of `core` at `width` commits to:
+  // 0 when the core could be preempted again afterwards (its budget check
+  // may be instantaneous), else its full remaining test time — including the
+  // resume flush penalty when the admission would close a gap (which also
+  // consumes the final preemption credit, hence "after this admission" is
+  // what is tested).
+  Time HoldFor(CoreId core, int width) const;
+
   int AvailableWidth() const { return params_.tam_width - used_width_; }
 
   // Admissible lower bound on this run's final makespan, behind
@@ -343,7 +387,22 @@ class TamScheduleOptimizer {
   const CompiledProblem* compiled_;
   const TestProblem* problem_;
   OptimizerParams params_;
+  // Effective power model: the problem's own, unless
+  // params_.power_budget_override swaps in a different timeline (then
+  // override_power_ holds the model the conflict policy reads). A malformed
+  // override is recorded here and reported by Run().
+  std::optional<std::string> override_error_;
+  PowerModel override_power_;
+  const PowerModel* effective_power_;
   ConflictPolicy conflict_;
+  // True iff the effective budget actually changes over time. Everything the
+  // timeline machinery adds (event clamping, window checks, idle advance) is
+  // gated on this flag, so static-budget runs execute the exact historical
+  // path — the bit-identity contract's enforcement point.
+  bool timeline_ = false;
+  // True iff every core shares one priority class this run (always true when
+  // honor_priority is off). Uniform runs never consult the class key.
+  bool priority_uniform_ = true;
 
   // Per-run state lives in the workspace; these track the active set
   // incrementally so admission never rescans all cores per candidate.

@@ -21,7 +21,8 @@ struct TestProblem {
   static TestProblem FromSoc(Soc soc);
 
   // Builds a problem from a parsed .soc file (resolves declared constraints;
-  // power budget only if the file declares powermax).
+  // power budget only if the file declares powermax or powerbudget — the
+  // latter yields a time-varying PowerBudget timeline).
   static TestProblem FromParsed(const ParsedSoc& parsed);
 };
 

@@ -137,11 +137,100 @@ std::vector<Violation> ValidateSchedule(const TestProblem& problem,
 
   // 8. Power.
   if (!problem.power.unlimited()) {
-    const auto peak_power = power_profile.Max();
-    Check(out, peak_power <= problem.power.pmax(),
-          StrFormat("peak power %lld exceeds Pmax %lld",
-                    static_cast<long long>(peak_power),
-                    static_cast<long long>(problem.power.pmax())));
+    const PowerBudget& budget = problem.power.budget();
+    if (!budget.has_changes()) {
+      const auto peak_power = power_profile.Max();
+      Check(out, peak_power <= problem.power.pmax(),
+            StrFormat("peak power %lld exceeds Pmax %lld",
+                      static_cast<long long>(peak_power),
+                      static_cast<long long>(problem.power.pmax())));
+    } else {
+      // Time-varying budget: the profile is piecewise constant, so checking
+      // each flattened step against the minimum budget over that step checks
+      // every instant exactly.
+      const auto steps = power_profile.Flatten();
+      for (std::size_t i = 0; i < steps.breakpoints.size(); ++i) {
+        if (steps.values[i] <= 0) continue;
+        const Time begin = steps.breakpoints[i];
+        const Time end = i + 1 < steps.breakpoints.size()
+                             ? steps.breakpoints[i + 1]
+                             : begin + 1;
+        const std::int64_t cap = budget.MinOver(begin, end);
+        Check(out, cap < 0 || steps.values[i] <= cap,
+              StrFormat("power %lld over [%lld,%lld) exceeds budget %lld",
+                        static_cast<long long>(steps.values[i]),
+                        static_cast<long long>(begin),
+                        static_cast<long long>(end),
+                        static_cast<long long>(cap)));
+      }
+    }
+  }
+
+  // 9. Priority-order diagnostics (optional; see ValidationOptions).
+  if (options.check_priority_order) {
+    Time makespan = 0;
+    for (const auto& [core_id, entry] : by_core) {
+      makespan = std::max(makespan, entry->EndTime());
+    }
+    const PowerBudget& budget = problem.power.budget();
+    for (const auto& [low_id, low] : by_core) {
+      const Time t = low->BeginTime();
+      const int low_prio = soc.core(low_id).prio;
+      // The question is "should the scheduler have admitted a hotter core
+      // INSTEAD of this one at t" — so the low core's own width and power
+      // contribution at its start instant is excluded from the feasibility
+      // arithmetic below.
+      const std::int64_t low_width = low->assigned_width;
+      const std::int64_t low_power = problem.power.PowerOf(low_id);
+      for (const auto& [high_id, high] : by_core) {
+        const CoreSpec& hspec = soc.core(high_id);
+        if (hspec.prio >= low_prio) continue;       // not strictly higher class
+        if (high->BeginTime() <= t) continue;       // already started by t
+        // Width: enough free TAM for the core's maximum useful width.
+        const int need =
+            std::min(hspec.MaxUsefulWidth(), schedule.tam_width());
+        if (schedule.tam_width() - (width_profile.ValueAt(t) - low_width) <
+            need) {
+          continue;
+        }
+        // Power: fits under the minimum budget through the makespan.
+        if (!problem.power.unlimited() &&
+            budget.MinOver(t, makespan + 1) >= 0 &&
+            power_profile.ValueAt(t) - low_power +
+                    problem.power.PowerOf(high_id) >
+                budget.MinOver(t, makespan + 1)) {
+          continue;
+        }
+        // Concurrency: nothing active at t conflicts with it (the low core
+        // itself excluded — it would not be running had `high` been picked).
+        bool conflict = false;
+        for (const auto& [other_id, other] : by_core) {
+          if (other_id == high_id || other_id == low_id) continue;
+          if (!problem.concurrency.Conflicts(high_id, other_id)) continue;
+          for (const auto& seg : other->segments) {
+            if (seg.span.Contains(t)) { conflict = true; break; }
+          }
+          if (conflict) break;
+        }
+        if (conflict) continue;
+        // Precedence: all predecessors complete by t.
+        bool blocked = false;
+        for (CoreId pred : problem.precedence.PredecessorsOf(high_id)) {
+          const auto it = by_core.find(pred);
+          if (it == by_core.end() || it->second->EndTime() > t) {
+            blocked = true;
+            break;
+          }
+        }
+        if (blocked) continue;
+        Check(out, false,
+              StrFormat("priority order violated: class-%d core '%s' idle at "
+                        "%lld while class-%d core '%s' starts",
+                        hspec.prio, hspec.name.c_str(),
+                        static_cast<long long>(t), low_prio,
+                        soc.core(low_id).name.c_str()));
+      }
+    }
   }
 
   return out;

@@ -19,6 +19,15 @@ struct ValidationOptions {
   // Disable for schedules produced with preemption turned off but limits set.
   bool check_preemption_limits = true;
 
+  // Priority-feasibility diagnostics (off by default — heuristic, not an
+  // invariant of every valid schedule): flags an instant where a strictly
+  // higher-priority core sat unstarted while a lower-class core was admitted,
+  // even though the higher-priority core was clearly admissible — enough free
+  // TAM width for its maximum useful width, power fits the minimum budget
+  // through the makespan, no concurrency conflict with anything active, and
+  // all predecessors complete. Used by the mixed-priority scenario tests.
+  bool check_priority_order = false;
+
   // Reference width used when recomputing wrapper test times.
   int w_max = 64;
 };
@@ -39,7 +48,9 @@ struct Violation {
 //   5. segment count <= preemptions + 1 and preemptions <= max_preemptions;
 //   6. precedence: successor starts after predecessor's last segment ends;
 //   7. concurrency: constrained pairs never overlap;
-//   8. power: aggregate active power never exceeds Pmax.
+//   8. power: aggregate active power never exceeds the budget in force at
+//      each instant — Pmax for a constant budget, BudgetAt(t) when the
+//      problem carries a time-varying PowerBudget timeline.
 std::vector<Violation> ValidateSchedule(const TestProblem& problem,
                                         const Schedule& schedule,
                                         const ValidationOptions& options = {});

@@ -80,6 +80,8 @@ BatchItemResult BatchScheduler::Evaluate(const BatchRequest& request,
   params.s_percent = request.s_percent;
   params.delta = request.delta;
   params.allow_preemption = request.preempt;
+  params.power_budget_override = request.budget;
+  params.honor_priority = request.use_priority;
   const GridExtent extent =
       request.wide ? GridExtent::kWide : GridExtent::kCanonical;
 

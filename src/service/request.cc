@@ -73,6 +73,17 @@ std::string ApplyFlag(BatchRequest& req, const std::string& key,
     req.delta = static_cast<int>(*as_int);
     return "";
   }
+  if (key == "budget") {
+    std::string error;
+    const auto parsed = ParseBudgetTimeline(value, &error);
+    if (!parsed || parsed->unlimited()) {
+      if (error.empty()) error = "expected 'start:pmax[,start:pmax...]'";
+      return StrFormat("budget: %s", error.c_str());
+    }
+    req.budget = parsed->segments();
+    return "";
+  }
+  if (key == "prio") return bool_flag(req.use_priority);
   if (key == "wide" && req.mode != BatchMode::kSweep) {
     return bool_flag(req.wide);
   }
@@ -123,6 +134,13 @@ std::string FormatRequestParams(const BatchRequest& request) {
   if (request.delta != defaults.delta) {
     out += StrFormat(" delta=%d", request.delta);
   }
+  if (!request.budget.empty()) {
+    // Segments were validated by ApplyFlag, so FromSegments cannot fail and
+    // FormatBudgetTimeline reproduces the exact text ApplyFlag parsed.
+    out += " budget=" + FormatBudgetTimeline(
+                            PowerBudget::FromSegments(request.budget).value());
+  }
+  if (!request.use_priority) out += " prio=0";
   // Emit each remaining flag only for modes whose ApplyFlag accepts it, and
   // only when Serve() actually consults it — so every formatted line
   // re-parses, and two requests that schedule identically format identically

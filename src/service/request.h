@@ -16,6 +16,10 @@
 // apply to the line's mode are diagnosed with file:line):
 //
 //   all modes: preempt={0,1}  s=<percent>  delta=<int>
+//              budget=<start:pmax[,start:pmax...]>  (power-budget override —
+//                a piecewise-constant timeline; see constraints/power.h
+//                ParseBudgetTimeline for the grammar and validation)
+//              prio={0,1}  (honor per-core priority classes; default 1)
 //   schedule:  search={0,1}  wide={0,1}   (restart-grid search / wide grid;
 //                                          wide=1 requires search=1)
 //   improve:   iters=<n>  batch=<k>  seed=<n>  wide={0,1}
@@ -37,6 +41,7 @@
 #include <variant>
 #include <vector>
 
+#include "constraints/power.h"
 #include "soc/soc_parser.h"
 
 namespace soctest {
@@ -56,6 +61,15 @@ struct BatchRequest {
   bool preempt = false;
   double s_percent = 5.0;
   int delta = 1;
+
+  // Power-budget override: validated segments handed to the optimizer as
+  // OptimizerParams::power_budget_override. Empty = use the SOC's declared
+  // budget (powermax/powerbudget directives), if any.
+  std::vector<PowerBudget::Segment> budget;
+
+  // Honor per-core priority classes (CoreSpec::prio). prio=0 schedules as if
+  // every core had class 0 — the pre-priority behavior.
+  bool use_priority = true;
 
   // schedule mode: run the restart-grid search instead of a single greedy
   // pass; `wide` selects the extended grid (also honored by improve mode).

@@ -7,9 +7,9 @@
 // the time curve T(w), scan-flush lengths, Pareto points, and rectangle set
 // are pure functions of those fields plus the evaluation bound w_max. The
 // canonical text therefore covers EXACTLY those fields — never the core's
-// name, id, power, hierarchy parent, resource ids, or preemption budget,
-// which shape scheduling but not the compiled artifacts. Consequences, both
-// intentional:
+// name, id, power, hierarchy parent, resource ids, preemption budget, or
+// priority class (CoreSpec::prio), which shape scheduling but not the
+// compiled artifacts. Consequences, both intentional:
 //
 //   * two cores agreeing on the canonical text share compiled artifacts
 //     byte-for-byte, regardless of which SOC they appear in, their position

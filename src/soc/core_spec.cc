@@ -49,6 +49,10 @@ std::optional<std::string> CoreSpec::Validate() const {
   if (max_preemptions < 0) {
     return StrFormat("core '%s': negative preemption limit", name.c_str());
   }
+  if (prio < 0 || prio > 3) {
+    return StrFormat("core '%s': priority class must be in [0, 3]",
+                     name.c_str());
+  }
   return std::nullopt;
 }
 

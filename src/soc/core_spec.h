@@ -52,6 +52,14 @@ struct CoreSpec {
   // 0 = non-preemptable (the default, matching non-preemptive scheduling).
   int max_preemptions = 0;
 
+  // Priority class for admission ordering: 0 = hot-lot (most urgent) through
+  // 3 = best-effort. The scheduler admits higher classes (lower values) first
+  // at every contention point; within a class the paper's heuristic order is
+  // unchanged. Like power and preemptability, this is a scheduling attribute:
+  // it does NOT participate in the core's canonical text (soc/core_hash.h),
+  // so a priority edit keeps compiled wrapper artifacts cached.
+  int prio = 0;
+
   // --- Derived quantities -------------------------------------------------
 
   // Total internal scan flip-flops.

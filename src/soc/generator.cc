@@ -55,11 +55,34 @@ Soc GenerateSoc(const GeneratorParams& params) {
           static_cast<int>(rng.UniformInt(0, params.num_resources - 1)));
     }
     core.max_preemptions = params.max_preemptions;
+    if (params.priority_classes > 1) {
+      core.prio = static_cast<int>(
+          rng.UniformInt(0, std::min(params.priority_classes, 4) - 1));
+    }
     soc.AddCore(std::move(core));
   }
 
   assert(!soc.Validate().has_value());
   return soc;
+}
+
+PowerBudget MakeThrottleTimeline(std::int64_t high, std::int64_t low,
+                                 Time high_span, Time low_span, Time horizon) {
+  assert(high >= low && low > 0 && high_span > 0 && low_span > 0);
+  if (horizon <= 0) return PowerBudget::Constant(high);
+  std::vector<PowerBudget::Segment> segments;
+  Time t = 0;
+  bool is_high = true;
+  while (t < horizon) {
+    segments.push_back({t, is_high ? high : low});
+    t += is_high ? high_span : low_span;
+    is_high = !is_high;
+  }
+  if (segments.back().pmax != high) segments.push_back({t, high});
+  // Construction above always satisfies FromSegments' invariants; fall back
+  // to a constant cap rather than crash if a caller violates the requires.
+  auto budget = PowerBudget::FromSegments(std::move(segments));
+  return budget ? *budget : PowerBudget::Constant(high);
 }
 
 void ScalePatterns(Soc& soc, double factor) {

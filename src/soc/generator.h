@@ -9,7 +9,9 @@
 #include <cstdint>
 #include <string>
 
+#include "constraints/power.h"
 #include "soc/soc.h"
+#include "util/interval.h"
 #include "util/rng.h"
 
 namespace soctest {
@@ -52,6 +54,11 @@ struct GeneratorParams {
 
   // Preemption budget given to every generated core.
   int max_preemptions = 0;
+
+  // Priority classes: with the default 1 every core keeps prio 0 (uniform —
+  // and no RNG draw happens, so existing seeds generate byte-identical SOCs).
+  // With k > 1, each core draws its class uniformly from [0, min(k, 4) - 1].
+  int priority_classes = 1;
 };
 
 // Generates a structurally valid SOC (Soc::Validate passes).
@@ -60,5 +67,13 @@ Soc GenerateSoc(const GeneratorParams& params);
 // Scales all cores' pattern counts by `factor` (>= minimum of 1 pattern) —
 // used to calibrate synthetic SOCs to a target test-data volume.
 void ScalePatterns(Soc& soc, double factor);
+
+// A throttling-window budget timeline for scenario benches and property
+// tests: alternating high/low caps starting high at cycle 0, with segment
+// lengths `high_span`/`low_span`, until `horizon` — after which the final
+// segment restores `high` forever (so the tail of any schedule is never
+// artificially capped). Requires positive caps and spans; high >= low.
+PowerBudget MakeThrottleTimeline(std::int64_t high, std::int64_t low,
+                                 Time high_span, Time low_span, Time horizon);
 
 }  // namespace soctest

@@ -51,6 +51,11 @@ std::string ApplyCoreAttribute(CoreSpec& core, const std::string& key,
       return "maxpreemptions expects one non-negative integer";
     }
     core.max_preemptions = static_cast<int>(value);
+  } else if (key == "prio") {
+    if (!one_int(value) || value < 0 || value > 3) {
+      return "prio expects one integer in [0, 3]";
+    }
+    core.prio = static_cast<int>(value);
   } else if (key == "scanchains") {
     core.scan_chain_lengths.clear();
     for (const auto& a : args) {
@@ -159,7 +164,36 @@ ParseResult ParseSocText(const std::string& text) {
       if (args.size() != 1) return Err(line_no, "powermax expects one integer");
       const auto v = ParseInt(args[0]);
       if (!v || *v <= 0) return Err(line_no, "powermax expects a positive integer");
+      if (!out.budget.empty()) {
+        return Err(line_no, "powermax and powerbudget are mutually exclusive");
+      }
       out.power_max = *v;
+      continue;
+    }
+    if (key == "powerbudget") {
+      if (args.size() != 2) {
+        return Err(line_no, "powerbudget expects '<start> <pmax>'");
+      }
+      const auto start = ParseInt(args[0]);
+      const auto pmax = ParseInt(args[1]);
+      if (!start || *start < 0) {
+        return Err(line_no, "powerbudget start must be a non-negative integer");
+      }
+      if (!pmax || *pmax <= 0) {
+        return Err(line_no, "powerbudget pmax must be a positive integer");
+      }
+      if (out.power_max > 0) {
+        return Err(line_no, "powermax and powerbudget are mutually exclusive");
+      }
+      if (out.budget.empty() && *start != 0) {
+        return Err(line_no, "first powerbudget segment must start at cycle 0");
+      }
+      if (!out.budget.empty() && *start <= out.budget.back().start) {
+        return Err(line_no,
+                   "powerbudget segments must be declared in increasing "
+                   "start order");
+      }
+      out.budget.push_back({*start, *pmax});
       continue;
     }
     return Err(line_no, StrFormat("unknown directive '%s'", key.c_str()));
@@ -247,6 +281,9 @@ std::string SerializeSoc(const ParsedSoc& parsed) {
     if (core.max_preemptions != 0) {
       out += StrFormat("  maxpreemptions %d\n", core.max_preemptions);
     }
+    if (core.prio != 0) {
+      out += StrFormat("  prio %d\n", core.prio);
+    }
     out += "end\n";
   }
   for (const auto& [a, b] : parsed.precedence) {
@@ -259,6 +296,11 @@ std::string SerializeSoc(const ParsedSoc& parsed) {
   }
   if (parsed.power_max > 0) {
     out += StrFormat("powermax %lld\n", static_cast<long long>(parsed.power_max));
+  }
+  for (const auto& segment : parsed.budget) {
+    out += StrFormat("powerbudget %lld %lld\n",
+                     static_cast<long long>(segment.start),
+                     static_cast<long long>(segment.pmax));
   }
   return out;
 }

@@ -16,10 +16,21 @@
 //     parent <core-name>                # optional
 //     resources <id> <id> ...           # optional
 //     maxpreemptions <n>                # optional
+//     prio <n>                          # optional, 0 (hot-lot) .. 3
 //   end
 //   precedence <before> < <after>       # optional, repeatable
 //   concurrency <a> ~ <b>               # optional, repeatable
 //   powermax <n>                        # optional
+//   powerbudget <start> <pmax>          # optional, repeatable; a
+//                                       # piecewise-constant budget timeline
+//
+// `powerbudget` declares one segment of a time-varying power budget: the cap
+// is <pmax> from cycle <start> until the next segment's start (the last
+// segment extends forever). Segments must be declared in strictly increasing
+// start order, the first must start at cycle 0, and every pmax must be
+// positive. `powermax` and `powerbudget` are mutually exclusive — a single
+// static cap is just the degenerate one-segment timeline, and keeping the two
+// spellings distinct lets existing files serialize byte-identically.
 //
 // Core declarations must precede constraint declarations that reference them.
 #pragma once
@@ -29,6 +40,7 @@
 #include <vector>
 
 #include "constraints/concurrency.h"
+#include "constraints/power.h"
 #include "constraints/precedence.h"
 #include "soc/soc.h"
 
@@ -40,6 +52,9 @@ struct ParsedSoc {
   std::vector<std::pair<CoreId, CoreId>> precedence;   // (before, after)
   std::vector<std::pair<CoreId, CoreId>> concurrency;  // symmetric pairs
   std::int64_t power_max = -1;                         // -1 = not specified
+  // Time-varying budget from `powerbudget` lines (empty = not specified;
+  // mutually exclusive with power_max). Already validated by the parser.
+  std::vector<PowerBudget::Segment> budget;
 };
 
 struct ParseError {

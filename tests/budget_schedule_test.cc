@@ -1,0 +1,388 @@
+// Time-varying power budgets and priority-class admission.
+//
+// Two contracts under test:
+//  1. Bit-identity: a one-segment budget and uniform priority classes must
+//     leave the scheduler byte-for-byte where it was — every schedule,
+//     assignment, and counter identical to both the scalar-pmax encoding and
+//     the frozen reference scheduler (tests/reference_optimizer.cc).
+//  2. Timeline correctness: under a genuinely time-varying budget, every
+//     produced schedule satisfies power(t) <= BudgetAt(t) at every instant
+//     (validator property suite across generated SOCs: preemptive x
+//     power-capped x priority mixes), budget drops act as admission barriers
+//     or preemption points, idle-advance crosses infeasible windows, and
+//     priority classes are honored (hot-lot cores complete no later than
+//     under uniform priority).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "core/optimizer.h"
+#include "core/validator.h"
+#include "soc/benchmarks.h"
+#include "soc/generator.h"
+#include "reference_optimizer.h"
+
+namespace soctest {
+namespace {
+
+void ExpectBitIdentical(const OptimizerResult& ref, const OptimizerResult& got,
+                        const std::string& label) {
+  ASSERT_EQ(ref.ok(), got.ok()) << label;
+  if (!ref.ok()) return;
+  EXPECT_EQ(ref.makespan, got.makespan) << label;
+  EXPECT_EQ(ref.admission_rounds, got.admission_rounds) << label;
+  ASSERT_EQ(ref.schedule.entries().size(), got.schedule.entries().size())
+      << label;
+  for (std::size_t i = 0; i < ref.schedule.entries().size(); ++i) {
+    const CoreSchedule& r = ref.schedule.entries()[i];
+    const CoreSchedule& g = got.schedule.entries()[i];
+    const std::string at = label + " core " + std::to_string(r.core);
+    EXPECT_EQ(r.core, g.core) << at;
+    EXPECT_EQ(r.assigned_width, g.assigned_width) << at;
+    EXPECT_EQ(r.preemptions, g.preemptions) << at;
+    ASSERT_EQ(r.segments.size(), g.segments.size()) << at;
+    for (std::size_t s = 0; s < r.segments.size(); ++s) {
+      EXPECT_EQ(r.segments[s].span, g.segments[s].span) << at;
+      EXPECT_EQ(r.segments[s].width, g.segments[s].width) << at;
+    }
+  }
+  ASSERT_EQ(ref.assignments.size(), got.assignments.size()) << label;
+  for (std::size_t i = 0; i < ref.assignments.size(); ++i) {
+    EXPECT_EQ(ref.assignments[i].assigned_width,
+              got.assignments[i].assigned_width) << label;
+    EXPECT_EQ(ref.assignments[i].scheduled_time,
+              got.assignments[i].scheduled_time) << label;
+  }
+}
+
+TestProblem GeneratedProblem(std::uint64_t seed, int cores, bool preemptive,
+                             int priority_classes) {
+  GeneratorParams params;
+  params.name = "budget";
+  params.seed = seed;
+  params.num_cores = cores;
+  params.min_inputs = 1;
+  params.max_inputs = 80;
+  params.min_outputs = 1;
+  params.max_outputs = 80;
+  params.min_patterns = 1;
+  params.max_patterns = 300;
+  params.min_chains = 1;
+  params.max_chains = 12;
+  params.min_chain_len = 1;
+  params.max_chain_len = 90;
+  params.max_preemptions = preemptive ? 2 : 0;
+  params.priority_classes = priority_classes;
+  return TestProblem::FromSoc(GenerateSoc(params));
+}
+
+// ---- Contract 1: one segment / uniform priority = bit-identical ----------
+
+TEST(BudgetIdentityTest, OneSegmentEqualsScalarPmaxAndReference) {
+  for (const std::uint64_t seed : {11u, 12u, 13u}) {
+    TestProblem scalar = GeneratedProblem(seed, 12, seed % 2 == 0, 1);
+    scalar.power = PowerModel::FromSoc(scalar.soc, 1.8);
+    const std::int64_t pmax = scalar.power.pmax();
+
+    TestProblem one_segment = scalar;
+    one_segment.power.set_budget(PowerBudget::Constant(pmax));
+
+    for (const bool preempt : {false, true}) {
+      OptimizerParams params;
+      params.tam_width = 24;
+      params.allow_preemption = preempt;
+      const std::string label =
+          "seed " + std::to_string(seed) + " preempt " + std::to_string(preempt);
+      const OptimizerResult ref = testref::ReferenceOptimize(scalar, params);
+      ExpectBitIdentical(ref, Optimize(scalar, params), label + " scalar");
+      ExpectBitIdentical(ref, Optimize(one_segment, params),
+                         label + " one-segment");
+
+      // The override plumbing with a single segment is the same special case.
+      OptimizerParams override_params = params;
+      override_params.power_budget_override = {{0, pmax}};
+      ExpectBitIdentical(ref, Optimize(scalar, override_params),
+                         label + " override");
+    }
+  }
+}
+
+TEST(BudgetIdentityTest, UniformNonzeroPriorityIsInert) {
+  // Every core in the same class (whatever its value) must schedule exactly
+  // as class 0 does: the ranking key only exists when classes differ.
+  TestProblem base = GeneratedProblem(21, 12, true, 1);
+  base.power = PowerModel::FromSoc(base.soc, 1.6);
+  TestProblem uniform2 = base;
+  for (int i = 0; i < uniform2.soc.num_cores(); ++i) {
+    uniform2.soc.mutable_core(i).prio = 2;
+  }
+  OptimizerParams params;
+  params.tam_width = 24;
+  params.allow_preemption = true;
+  const OptimizerResult ref = testref::ReferenceOptimize(base, params);
+  ExpectBitIdentical(ref, Optimize(uniform2, params), "uniform prio 2");
+
+  // honor_priority=false neutralizes even a mixed-class SOC.
+  TestProblem mixed = uniform2;
+  for (int i = 0; i < mixed.soc.num_cores(); ++i) {
+    mixed.soc.mutable_core(i).prio = i % 4;
+  }
+  OptimizerParams blind = params;
+  blind.honor_priority = false;
+  ExpectBitIdentical(ref, Optimize(mixed, blind), "honor_priority=false");
+}
+
+// ---- Contract 2: timeline correctness ------------------------------------
+
+// Attaches the timeline to the problem (so the validator checks against it)
+// and schedules. Expects success and a validator-clean schedule.
+OptimizerResult ScheduleUnderTimeline(TestProblem& problem,
+                                      const PowerBudget& budget,
+                                      const OptimizerParams& params,
+                                      const std::string& label) {
+  problem.power = WithBudget(problem.soc, problem.power, budget);
+  OptimizerResult result = Optimize(problem, params);
+  EXPECT_TRUE(result.ok()) << label << ": " << result.error.value_or("");
+  if (result.ok()) {
+    const auto violations = ValidateSchedule(problem, result.schedule);
+    EXPECT_TRUE(violations.empty())
+        << label << "\n" << FormatViolations(violations);
+  }
+  return result;
+}
+
+TEST(BudgetTimelineTest, ThrottlePropertyGrid) {
+  // Generated-SOC grid: preemptive x priority mixes, each scheduled under a
+  // throttling-window timeline sized off the constant-cap makespan so drops
+  // land mid-schedule. Every result must validate (power <= BudgetAt(t) at
+  // every event).
+  int checked = 0;
+  for (const std::uint64_t seed : {31u, 32u, 33u, 34u}) {
+    for (const bool preemptive : {false, true}) {
+      for (const int classes : {1, 3}) {
+        TestProblem problem = GeneratedProblem(seed, 10, preemptive, classes);
+        problem.power = PowerModel::FromSoc(problem.soc, 2.0);
+        const std::int64_t high = problem.power.pmax();
+        const std::int64_t low =
+            std::max<std::int64_t>(problem.power.MaxCorePower(), high / 2);
+
+        OptimizerParams params;
+        params.tam_width = 20;
+        params.allow_preemption = preemptive;
+        const OptimizerResult constant = Optimize(problem, params);
+        ASSERT_TRUE(constant.ok()) << constant.error.value_or("");
+
+        const Time span = std::max<Time>(1, constant.makespan / 7);
+        const PowerBudget budget = MakeThrottleTimeline(
+            high, low, span, span, constant.makespan);
+        const std::string label =
+            "seed " + std::to_string(seed) + " pre " +
+            std::to_string(preemptive) + " classes " + std::to_string(classes);
+        ScheduleUnderTimeline(problem, budget, params, label);
+        ++checked;
+      }
+    }
+  }
+  EXPECT_EQ(checked, 16);
+}
+
+TEST(BudgetTimelineTest, ThrottleWindowChangesTheSchedule) {
+  // The acceptance criterion: a budget drop demonstrably changes the
+  // schedule. Low phase pinned at the serial floor, so overlap that the
+  // constant-cap schedule relies on is illegal during drops.
+  TestProblem problem = TestProblem::FromSoc(MakeD695());
+  problem.power = PowerModel::FromSoc(problem.soc, 2.0);
+  const std::int64_t high = problem.power.pmax();
+  const std::int64_t low = problem.power.MaxCorePower();
+
+  OptimizerParams params;
+  params.tam_width = 24;
+  const OptimizerResult constant = Optimize(problem, params);
+  ASSERT_TRUE(constant.ok());
+
+  TestProblem throttled = problem;
+  const Time span = std::max<Time>(1, constant.makespan / 5);
+  const OptimizerResult result = ScheduleUnderTimeline(
+      throttled, MakeThrottleTimeline(high, low, span, span, constant.makespan),
+      params, "throttled d695");
+  ASSERT_TRUE(result.ok());
+  // Cutting the cap roughly in half for half the horizon must cost cycles.
+  EXPECT_GT(result.makespan, constant.makespan);
+
+  // And the throttled schedule must NOT validate against a problem whose
+  // budget is the low cap everywhere — i.e. the scheduler genuinely used the
+  // high windows, not just the safe minimum.
+  TestProblem all_low = problem;
+  all_low.power.set_pmax(low);
+  EXPECT_FALSE(IsValidSchedule(all_low, constant.schedule));
+}
+
+TEST(BudgetTimelineTest, IdleAdvanceCrossesInfeasibleWindow) {
+  // At t=0 the budget admits nothing; the scheduler must idle until the
+  // change-point rather than deadlock.
+  Soc soc("idle");
+  for (int i = 0; i < 3; ++i) {
+    CoreSpec c;
+    c.name = "c" + std::to_string(i);
+    c.num_inputs = 4;
+    c.num_outputs = 4;
+    c.num_patterns = 20;
+    c.power = 10;
+    soc.AddCore(c);
+  }
+  TestProblem problem = TestProblem::FromSoc(soc);
+  OptimizerParams params;
+  params.tam_width = 16;
+  const OptimizerResult result = ScheduleUnderTimeline(
+      problem, PowerBudget::FromSegments({{0, 5}, {1000, 30}}).value(), params,
+      "idle-advance");
+  ASSERT_TRUE(result.ok());
+  for (const auto& entry : result.schedule.entries()) {
+    EXPECT_GE(entry.BeginTime(), 1000) << "core started inside the dead window";
+  }
+}
+
+TEST(BudgetTimelineTest, CorePowerAboveEverySegmentIsAnError) {
+  Soc soc("hot");
+  CoreSpec c;
+  c.name = "x";
+  c.num_inputs = 4;
+  c.num_outputs = 4;
+  c.num_patterns = 10;
+  c.power = 100;
+  soc.AddCore(c);
+  TestProblem problem = TestProblem::FromSoc(soc);
+  problem.power = WithBudget(
+      soc, problem.power, PowerBudget::FromSegments({{0, 20}, {50, 40}}).value());
+  OptimizerParams params;
+  params.tam_width = 8;
+  const OptimizerResult result = Optimize(problem, params);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.error->find("can never be scheduled"), std::string::npos)
+      << *result.error;
+}
+
+TEST(BudgetTimelineTest, InvalidOverrideReportsError) {
+  TestProblem problem = TestProblem::FromSoc(MakeD695());
+  OptimizerParams params;
+  params.tam_width = 16;
+  params.power_budget_override = {{5, 100}};  // first segment must start at 0
+  const OptimizerResult result = Optimize(problem, params);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.error->find("power_budget_override"), std::string::npos)
+      << *result.error;
+}
+
+TEST(BudgetTimelineTest, OverrideEquivalentToInProblemTimeline) {
+  TestProblem in_problem = TestProblem::FromSoc(MakeD695());
+  in_problem.power = PowerModel::FromSoc(in_problem.soc, 2.0);
+  const std::int64_t high = in_problem.power.pmax();
+  const std::int64_t low = in_problem.power.MaxCorePower();
+  const std::vector<PowerBudget::Segment> segments = {
+      {0, high}, {20'000, low}, {40'000, high}};
+
+  TestProblem overridden = in_problem;  // keeps the constant cap
+  in_problem.power.set_budget(PowerBudget::FromSegments(segments).value());
+
+  OptimizerParams params;
+  params.tam_width = 24;
+  OptimizerParams with_override = params;
+  with_override.power_budget_override = segments;
+  ExpectBitIdentical(Optimize(in_problem, params),
+                     Optimize(overridden, with_override), "override vs inline");
+}
+
+TEST(BudgetTimelineTest, BoundedRunsKeepIdentityUnderTimeline) {
+  // Makespan certificates are power-free, so bounding at the known makespan
+  // must reproduce the run bit-for-bit (the improver leans on this).
+  TestProblem problem = TestProblem::FromSoc(MakeD695());
+  problem.power = PowerModel::FromSoc(problem.soc, 2.0);
+  const std::int64_t high = problem.power.pmax();
+  problem.power.set_budget(
+      PowerBudget::FromSegments(
+          {{0, high}, {15'000, std::max<std::int64_t>(1, high / 2)},
+           {30'000, high}})
+          .value());
+  OptimizerParams params;
+  params.tam_width = 24;
+  const OptimizerResult free_run = Optimize(problem, params);
+  ASSERT_TRUE(free_run.ok());
+  OptimizerParams bounded = params;
+  bounded.makespan_bound = free_run.makespan + 1;
+  const OptimizerResult bounded_run = Optimize(problem, bounded);
+  ASSERT_TRUE(bounded_run.ok());
+  EXPECT_FALSE(bounded_run.aborted_by_bound);
+  ExpectBitIdentical(free_run, bounded_run, "bounded");
+}
+
+// ---- Priority classes ----------------------------------------------------
+
+TEST(PriorityTest, MixedClassesValidateCleanlyWithDiagnostics) {
+  // Priority-ordering invariant: schedules honoring priority pass the
+  // validator's conservative priority diagnostic across the grid.
+  for (const std::uint64_t seed : {41u, 42u, 43u}) {
+    for (const bool preemptive : {false, true}) {
+      TestProblem problem = GeneratedProblem(seed, 10, preemptive, 4);
+      problem.power = PowerModel::FromSoc(problem.soc, 2.0);
+      OptimizerParams params;
+      params.tam_width = 20;
+      params.allow_preemption = preemptive;
+      const OptimizerResult result = Optimize(problem, params);
+      ASSERT_TRUE(result.ok()) << result.error.value_or("");
+      ValidationOptions options;
+      options.check_priority_order = true;
+      const auto violations =
+          ValidateSchedule(problem, result.schedule, options);
+      EXPECT_TRUE(violations.empty())
+          << "seed " << seed << " pre " << preemptive << "\n"
+          << FormatViolations(violations);
+    }
+  }
+}
+
+TEST(PriorityTest, HotLotCompletesNoLaterThanUniform) {
+  // The mixed-priority acceptance criterion: cores in class 0 finish no
+  // later when the scheduler honors classes than when it ignores them.
+  // Tight power budget so admission order actually decides completion times:
+  // only one core can run at a time.
+  Soc soc("lots");
+  for (int i = 0; i < 6; ++i) {
+    CoreSpec c;
+    c.name = "c" + std::to_string(i);
+    c.num_inputs = 4 + i;
+    c.num_outputs = 4;
+    c.num_patterns = 50 + 10 * i;
+    c.power = 10;
+    c.prio = i < 2 ? 0 : 3;  // two hot-lot cores, four best-effort
+    soc.AddCore(c);
+  }
+  TestProblem problem = TestProblem::FromSoc(soc);
+  problem.power = WithBudget(soc, PowerModel({10, 10, 10, 10, 10, 10}, 10),
+                             PowerBudget::Constant(10));
+
+  OptimizerParams honor;
+  honor.tam_width = 16;
+  OptimizerParams blind = honor;
+  blind.honor_priority = false;
+
+  const OptimizerResult with_prio = Optimize(problem, honor);
+  const OptimizerResult without = Optimize(problem, blind);
+  ASSERT_TRUE(with_prio.ok());
+  ASSERT_TRUE(without.ok());
+
+  const auto hot_finish = [&](const OptimizerResult& r) {
+    Time latest = 0;
+    for (const auto& e : r.schedule.entries()) {
+      if (soc.core(e.core).prio == 0) latest = std::max(latest, e.EndTime());
+    }
+    return latest;
+  };
+  EXPECT_LE(hot_finish(with_prio), hot_finish(without));
+  // With a serial budget and six cores the hot lot must actually lead.
+  EXPECT_LT(hot_finish(with_prio), hot_finish(without));
+}
+
+}  // namespace
+}  // namespace soctest

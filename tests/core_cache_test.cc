@@ -50,6 +50,7 @@ TEST(CoreHashTest, CanonicalTextCoversWrapperFieldsOnly) {
   core.parent = 3;
   core.resources = {1, 2};
   core.max_preemptions = 2;
+  core.prio = 3;
   EXPECT_EQ(CanonicalCoreText(core), base);
 
   // Every wrapper field is part of the identity.

@@ -21,11 +21,19 @@ TEST(PowerModelTest, ExplicitBudget) {
   EXPECT_FALSE(model.unlimited());
   EXPECT_EQ(model.pmax(), 45);
   EXPECT_EQ(model.PowerOf(2), 30);
-  EXPECT_EQ(model.PowerOf(99), 0);  // out of range is powerless
   EXPECT_TRUE(model.Fits(10, 30));
   EXPECT_TRUE(model.Fits(15, 30));
   EXPECT_FALSE(model.Fits(20, 30));
   EXPECT_EQ(model.MaxCorePower(), 30);
+}
+
+TEST(PowerModelDeathTest, OutOfRangeCoreAborts) {
+  // A model WITH a per-core table must not silently answer 0 for ids it has
+  // no row for — that once masked indexing bugs as free power. Only the
+  // table-less default model is allowed to answer 0 everywhere.
+  PowerModel model({10, 20, 30}, 45);
+  EXPECT_DEATH(model.PowerOf(99), "out of range");
+  EXPECT_DEATH(model.PowerOf(-1), "out of range");
 }
 
 TEST(PowerModelTest, FromSocUsesBitsPerPattern) {
@@ -64,6 +72,132 @@ TEST(PowerModelTest, SetPmaxOverrides) {
   model.set_pmax(7);
   EXPECT_FALSE(model.Fits(5, 6));
   EXPECT_TRUE(model.Fits(0, 6));
+}
+
+TEST(PowerBudgetTest, DefaultIsUnlimited) {
+  PowerBudget budget;
+  EXPECT_TRUE(budget.unlimited());
+  EXPECT_FALSE(budget.has_changes());
+  EXPECT_EQ(budget.BudgetAt(0), -1);
+  EXPECT_EQ(budget.MinOver(0, 1'000'000), -1);
+  EXPECT_EQ(budget.MaxBudget(), -1);
+  EXPECT_FALSE(budget.NextChangeAfter(0).has_value());
+}
+
+TEST(PowerBudgetTest, ConstantSingleSegment) {
+  const PowerBudget budget = PowerBudget::Constant(50);
+  EXPECT_FALSE(budget.unlimited());
+  EXPECT_FALSE(budget.has_changes());
+  EXPECT_EQ(budget.BudgetAt(0), 50);
+  EXPECT_EQ(budget.BudgetAt(1'000'000), 50);
+  EXPECT_EQ(budget.MinOver(0, 1'000'000), 50);
+  EXPECT_EQ(budget.MaxBudget(), 50);
+  EXPECT_FALSE(budget.NextChangeAfter(0).has_value());
+  // Negative = unlimited, mirroring the historical PowerModel encoding.
+  EXPECT_TRUE(PowerBudget::Constant(-1).unlimited());
+}
+
+TEST(PowerBudgetTest, TimelineQueries) {
+  const auto budget =
+      PowerBudget::FromSegments({{0, 100}, {500, 40}, {800, 70}});
+  ASSERT_TRUE(budget.has_value());
+  EXPECT_TRUE(budget->has_changes());
+  EXPECT_EQ(budget->BudgetAt(-5), 100);  // t < 0 treated as t = 0
+  EXPECT_EQ(budget->BudgetAt(0), 100);
+  EXPECT_EQ(budget->BudgetAt(499), 100);
+  EXPECT_EQ(budget->BudgetAt(500), 40);
+  EXPECT_EQ(budget->BudgetAt(799), 40);
+  EXPECT_EQ(budget->BudgetAt(800), 70);
+  EXPECT_EQ(budget->MaxBudget(), 100);
+
+  EXPECT_EQ(budget->NextChangeAfter(0), std::optional<Time>(500));
+  EXPECT_EQ(budget->NextChangeAfter(499), std::optional<Time>(500));
+  EXPECT_EQ(budget->NextChangeAfter(500), std::optional<Time>(800));
+  EXPECT_FALSE(budget->NextChangeAfter(800).has_value());
+
+  // Half-open window semantics: [0, 500) never sees the drop at 500.
+  EXPECT_EQ(budget->MinOver(0, 500), 100);
+  EXPECT_EQ(budget->MinOver(0, 501), 40);
+  EXPECT_EQ(budget->MinOver(500, 800), 40);
+  EXPECT_EQ(budget->MinOver(800, 10'000), 70);
+  EXPECT_EQ(budget->MinOver(600, 10'000), 40);
+  // Empty window answers BudgetAt(begin).
+  EXPECT_EQ(budget->MinOver(600, 600), 40);
+}
+
+TEST(PowerBudgetTest, FromSegmentsValidation) {
+  std::string error;
+  EXPECT_FALSE(
+      PowerBudget::FromSegments({{5, 100}}, &error).has_value());
+  EXPECT_NE(error.find("start at cycle 0"), std::string::npos);
+  EXPECT_FALSE(
+      PowerBudget::FromSegments({{0, 100}, {10, 0}}, &error).has_value());
+  EXPECT_NE(error.find("positive"), std::string::npos);
+  EXPECT_FALSE(
+      PowerBudget::FromSegments({{0, 100}, {10, 50}, {10, 60}}, &error)
+          .has_value());
+  EXPECT_NE(error.find("strictly increasing"), std::string::npos);
+  // Empty vector = the unlimited budget.
+  const auto unlimited = PowerBudget::FromSegments({});
+  ASSERT_TRUE(unlimited.has_value());
+  EXPECT_TRUE(unlimited->unlimited());
+}
+
+TEST(PowerBudgetTest, FormatParseRoundTrip) {
+  const auto budget =
+      PowerBudget::FromSegments({{0, 100}, {500, 40}, {800, 70}});
+  ASSERT_TRUE(budget.has_value());
+  const std::string text = FormatBudgetTimeline(*budget);
+  EXPECT_EQ(text, "0:100,500:40,800:70");
+  const auto reparsed = ParseBudgetTimeline(text);
+  ASSERT_TRUE(reparsed.has_value());
+  EXPECT_EQ(*reparsed, *budget);
+  EXPECT_EQ(FormatBudgetTimeline(PowerBudget()), "");
+}
+
+TEST(PowerBudgetTest, ParseRejectsMalformed) {
+  std::string error;
+  EXPECT_FALSE(ParseBudgetTimeline("nonsense", &error).has_value());
+  EXPECT_FALSE(ParseBudgetTimeline("0:100,", &error).has_value());
+  EXPECT_FALSE(ParseBudgetTimeline("0:100,500", &error).has_value());
+  EXPECT_FALSE(ParseBudgetTimeline("-5:100", &error).has_value());
+  EXPECT_FALSE(ParseBudgetTimeline("5:100", &error).has_value());  // start != 0
+  EXPECT_FALSE(ParseBudgetTimeline("0:0", &error).has_value());
+}
+
+TEST(PowerBudgetTest, FitsAtWindows) {
+  PowerModel model({10, 20, 30},
+                   PowerBudget::FromSegments({{0, 100}, {500, 40}}).value());
+  // Instantaneous admission: only the budget at `now` matters.
+  EXPECT_TRUE(model.FitsAt(50, 30, 0, 0));
+  EXPECT_FALSE(model.FitsAt(20, 30, 500, 0));
+  // Windowed admission: a hold straddling the drop must fit the minimum.
+  EXPECT_TRUE(model.FitsAt(50, 30, 0, 500));   // [0, 500) misses the drop
+  EXPECT_FALSE(model.FitsAt(50, 30, 0, 501));  // [0, 501) sees cap 40
+  EXPECT_TRUE(model.FitsAt(10, 30, 0, 501));
+  // Single-segment budgets ignore time entirely (legacy comparison).
+  PowerModel constant({10, 20, 30}, 45);
+  EXPECT_TRUE(constant.FitsAt(15, 30, 9'999, 9'999));
+  EXPECT_FALSE(constant.FitsAt(20, 30, 0, 0));
+}
+
+TEST(PowerBudgetTest, WithBudgetDerivesCorePower) {
+  const Soc soc = MakeD695();
+  // Base problem has no power table (no powermax declared): WithBudget must
+  // derive per-core power the same way FromParsed/FromSoc do.
+  const PowerModel base;
+  const PowerModel model =
+      WithBudget(soc, base, PowerBudget::FromSegments({{0, 90}, {10, 50}})
+                                .value());
+  EXPECT_TRUE(model.budget().has_changes());
+  for (const auto& core : soc.cores()) {
+    EXPECT_EQ(model.PowerOf(core.id), core.BitsPerPattern());
+  }
+  // A base with a table keeps it.
+  const PowerModel table({7, 8, 9}, 45);
+  const PowerModel swapped = WithBudget(soc, table, PowerBudget::Constant(30));
+  EXPECT_EQ(swapped.PowerOf(1), 8);
+  EXPECT_EQ(swapped.pmax(), 30);
 }
 
 }  // namespace

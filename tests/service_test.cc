@@ -262,6 +262,49 @@ TEST(BatchSchedulerTest, DedupOnOffBitIdenticalAcrossThreadsAndShards) {
 // enough to be in flight together still evaluates exactly once — the other
 // workers either join the leader's in-flight evaluation or hit the resident
 // result, they never start a second one.
+TEST(BatchSchedulerTest, BudgetOverrideFlowsThroughToSchedules) {
+  // budget=/prio request params must reach the optimizer: a throttled
+  // request produces a validator-clean schedule against the overridden
+  // timeline and a strictly longer makespan than the unthrottled twin —
+  // which also proves the two dedup keys are distinct (same SOC, same
+  // width, same mode).
+  const ParsedSoc d695 = ParsedFromSoc(MakeD695());
+  BatchRequest plain;
+  plain.soc_spec = "d695";
+  plain.soc = d695;
+  plain.tam_width = 24;
+  plain.mode = BatchMode::kSchedule;
+
+  BatchOptions options;
+  options.threads = 1;
+  options.dedup = true;
+  BatchScheduler scheduler(options);
+  const BatchOutcome first = scheduler.Run({plain});
+  ASSERT_TRUE(first.results[0].ok()) << *first.results[0].error;
+  const Time base_makespan = first.results[0].makespan;
+
+  // Throttle windows sized off the unthrottled makespan so drops land
+  // mid-schedule; low phase at the serial floor.
+  const PowerModel power = PowerModel::FromSoc(d695.soc, 2.0);
+  const Time span = std::max<Time>(1, base_makespan / 5);
+  const PowerBudget budget = MakeThrottleTimeline(
+      power.pmax(), power.MaxCorePower(), span, span, base_makespan);
+  BatchRequest throttled = plain;
+  throttled.budget = budget.segments();
+
+  const BatchOutcome second = scheduler.Run({plain, throttled});
+  ASSERT_TRUE(second.results[0].ok());
+  ASSERT_TRUE(second.results[1].ok()) << *second.results[1].error;
+  EXPECT_EQ(second.results[0].makespan, base_makespan);
+  EXPECT_GT(second.results[1].makespan, base_makespan);
+
+  TestProblem problem = TestProblem::FromParsed(d695);
+  problem.power = WithBudget(problem.soc, problem.power, budget);
+  const auto violations =
+      ValidateSchedule(problem, second.results[1].result.schedule);
+  EXPECT_TRUE(violations.empty()) << FormatViolations(violations);
+}
+
 TEST(BatchSchedulerTest, IdenticalConcurrentRequestsEvaluateOnce) {
   BatchRequest req;
   const ParsedSoc soc = GeneratedParsed(3, 10);
@@ -812,12 +855,35 @@ TEST(RequestParserTest, ParsesModesAndFlags) {
   EXPECT_EQ(sweep.sweep_max, 18);
 }
 
+TEST(RequestParserTest, ParsesBudgetAndPrio) {
+  const RequestFileResult result = ParseRequestText(
+      "d695 24 schedule budget=0:100,500:40 prio=0\n", "req.txt");
+  const auto* requests = std::get_if<std::vector<BatchRequest>>(&result);
+  ASSERT_NE(requests, nullptr)
+      << std::get<RequestParseError>(result).ToString();
+  const BatchRequest& req = (*requests)[0];
+  ASSERT_EQ(req.budget.size(), 2u);
+  EXPECT_EQ(req.budget[0], (PowerBudget::Segment{0, 100}));
+  EXPECT_EQ(req.budget[1], (PowerBudget::Segment{500, 40}));
+  EXPECT_FALSE(req.use_priority);
+
+  // Validation runs at parse time with the file:line diagnostic.
+  for (const char* bad :
+       {"d695 24 schedule budget=\n", "d695 24 schedule budget=5:100\n",
+        "d695 24 schedule budget=0:0\n", "d695 24 schedule budget=0:100,0:5\n",
+        "d695 24 schedule prio=2\n"}) {
+    const RequestFileResult r = ParseRequestText(bad, "req.txt");
+    EXPECT_NE(std::get_if<RequestParseError>(&r), nullptr) << bad;
+  }
+}
+
 // Round-trip contract: Parse(Format(r)) reproduces every field.
 TEST(RequestParserTest, FormatParseRoundTrip) {
   const std::string text =
       "d695 24 schedule search=1 wide=1 preempt=1 s=2.5 delta=3\n"
       "d695 16 improve iters=50 batch=4 seed=9\n"
       "d695 20 sweep min=8 max=18\n"
+      "d695 28 schedule budget=0:90,1000:45,2000:90 prio=0\n"
       "d695 32 schedule\n";
   const auto first = std::get<std::vector<BatchRequest>>(
       ParseRequestText(text, "requests.txt"));
@@ -843,6 +909,8 @@ TEST(RequestParserTest, FormatParseRoundTrip) {
     EXPECT_EQ(first[i].seed, second[i].seed);
     EXPECT_EQ(first[i].sweep_min, second[i].sweep_min);
     EXPECT_EQ(first[i].sweep_max, second[i].sweep_max);
+    EXPECT_EQ(first[i].budget, second[i].budget);
+    EXPECT_EQ(first[i].use_priority, second[i].use_priority);
   }
 }
 
@@ -863,6 +931,18 @@ TEST(RequestParserTest, FormatParseRoundTripRandomizedProperty) {
       req.s_percent = rng.UniformDouble() * 30.0 + 0.125;
     }
     if (rng.Bernoulli(0.5)) req.delta = static_cast<int>(rng.UniformInt(0, 6));
+    if (rng.Bernoulli(0.3)) {
+      // A random valid timeline: strictly increasing starts from 0,
+      // positive caps.
+      Time start = 0;
+      const int segments = static_cast<int>(rng.UniformInt(1, 4));
+      for (int s = 0; s < segments; ++s) {
+        req.budget.push_back(
+            {start, static_cast<std::int64_t>(rng.UniformInt(1, 10'000))});
+        start += rng.UniformInt(1, 100'000);
+      }
+    }
+    req.use_priority = rng.Bernoulli(0.8);
     switch (rng.UniformInt(0, 2)) {
       case 0:
         req.mode = BatchMode::kSchedule;
@@ -907,6 +987,8 @@ TEST(RequestParserTest, FormatParseRoundTripRandomizedProperty) {
     EXPECT_EQ(back.seed, req.seed);
     EXPECT_EQ(back.sweep_min, req.sweep_min);
     EXPECT_EQ(back.sweep_max, req.sweep_max);
+    EXPECT_EQ(back.budget, req.budget);
+    EXPECT_EQ(back.use_priority, req.use_priority);
     EXPECT_EQ(FormatRequestLine(back), line);  // idempotent
   }
 }

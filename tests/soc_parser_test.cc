@@ -82,6 +82,66 @@ TEST(SocParserTest, RoundTripsThroughSerializer) {
   }
 }
 
+constexpr const char* kBudgetSoc = R"(soc throttled
+core alpha
+  inputs 10
+  outputs 5
+  patterns 100
+  prio 2
+end
+core beta
+  inputs 3
+  outputs 3
+  patterns 50
+end
+powerbudget 0 100
+powerbudget 500 40
+powerbudget 800 70
+)";
+
+TEST(SocParserTest, ParsesPrioAndBudgetTimeline) {
+  const auto result = ParseSocText(kBudgetSoc);
+  ASSERT_TRUE(std::holds_alternative<ParsedSoc>(result))
+      << std::get<ParseError>(result).message;
+  const auto& parsed = std::get<ParsedSoc>(result);
+  EXPECT_EQ(parsed.soc.core(0).prio, 2);
+  EXPECT_EQ(parsed.soc.core(1).prio, 0);  // default hot-lot class
+  ASSERT_EQ(parsed.budget.size(), 3u);
+  EXPECT_EQ(parsed.budget[0], (PowerBudget::Segment{0, 100}));
+  EXPECT_EQ(parsed.budget[1], (PowerBudget::Segment{500, 40}));
+  EXPECT_EQ(parsed.budget[2], (PowerBudget::Segment{800, 70}));
+  EXPECT_EQ(parsed.power_max, -1);  // powerbudget does not alias powermax
+}
+
+TEST(SocParserTest, PrioAndBudgetRoundTripThroughSerializer) {
+  const auto first = ParseSocText(kBudgetSoc);
+  ASSERT_TRUE(std::holds_alternative<ParsedSoc>(first));
+  const std::string text = SerializeSoc(std::get<ParsedSoc>(first));
+  const auto second = ParseSocText(text);
+  ASSERT_TRUE(std::holds_alternative<ParsedSoc>(second))
+      << std::get<ParseError>(second).message;
+  const auto& a = std::get<ParsedSoc>(first);
+  const auto& b = std::get<ParsedSoc>(second);
+  EXPECT_EQ(a.budget, b.budget);
+  for (int i = 0; i < a.soc.num_cores(); ++i) {
+    EXPECT_EQ(a.soc.core(i).prio, b.soc.core(i).prio);
+  }
+  // Serialization is a fixed point: reserializing reproduces the same bytes
+  // (the stability the content-addressed caches key off).
+  EXPECT_EQ(SerializeSoc(b), text);
+}
+
+TEST(SocParserTest, PowermaxSpellingIsStable) {
+  // A plain powermax SOC must keep serializing with `powermax` — never
+  // rewritten to a one-segment powerbudget — so existing files' canonical
+  // text (and every cache key derived from it) is unchanged.
+  const auto result = ParseSocText(kSmallSoc);
+  ASSERT_TRUE(std::holds_alternative<ParsedSoc>(result));
+  const std::string text = SerializeSoc(std::get<ParsedSoc>(result));
+  EXPECT_NE(text.find("powermax 99"), std::string::npos);
+  EXPECT_EQ(text.find("powerbudget"), std::string::npos);
+}
+
 TEST(SocParserTest, SerializesBenchmarkSocs) {
   for (const auto& soc : AllBenchmarkSocs()) {
     const auto result = ParseSocText(SerializeSoc(soc));
@@ -127,7 +187,33 @@ INSTANTIATE_TEST_SUITE_P(
         ErrorCase{"cyclic_precedence",
                   "soc a\ncore x\npatterns 1\ninputs 1\nend\ncore y\npatterns "
                   "1\ninputs 1\nend\nprecedence x < y\nprecedence y < x\n"},
-        ErrorCase{"unknown_directive", "soc a\nfrobnicate 3\n"}),
+        ErrorCase{"unknown_directive", "soc a\nfrobnicate 3\n"},
+        ErrorCase{"bad_prio",
+                  "soc a\ncore x\npatterns 1\ninputs 1\nprio q\nend\n"},
+        ErrorCase{"prio_out_of_range",
+                  "soc a\ncore x\npatterns 1\ninputs 1\nprio 4\nend\n"},
+        ErrorCase{"prio_negative",
+                  "soc a\ncore x\npatterns 1\ninputs 1\nprio -1\nend\n"},
+        ErrorCase{"budget_bad_arity",
+                  "soc a\ncore x\npatterns 1\ninputs 1\nend\npowerbudget 5\n"},
+        ErrorCase{"budget_negative_start",
+                  "soc a\ncore x\npatterns 1\ninputs 1\nend\n"
+                  "powerbudget -1 50\n"},
+        ErrorCase{"budget_zero_pmax",
+                  "soc a\ncore x\npatterns 1\ninputs 1\nend\n"
+                  "powerbudget 0 0\n"},
+        ErrorCase{"budget_first_not_zero",
+                  "soc a\ncore x\npatterns 1\ninputs 1\nend\n"
+                  "powerbudget 5 50\n"},
+        ErrorCase{"budget_not_increasing",
+                  "soc a\ncore x\npatterns 1\ninputs 1\nend\n"
+                  "powerbudget 0 50\npowerbudget 0 60\n"},
+        ErrorCase{"budget_after_powermax",
+                  "soc a\ncore x\npatterns 1\ninputs 1\nend\n"
+                  "powermax 99\npowerbudget 0 50\n"},
+        ErrorCase{"powermax_after_budget",
+                  "soc a\ncore x\npatterns 1\ninputs 1\nend\n"
+                  "powerbudget 0 50\npowermax 99\n"}),
     [](const ::testing::TestParamInfo<ErrorCase>& info) {
       return info.param.label;
     });

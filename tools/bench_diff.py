@@ -18,6 +18,11 @@ diffs a baseline capture against a current one:
     included, since candidates race the already-reduced incumbent rather
     than each other — B&B node counts, admission rounds and the scheduler's
     candidates_examined/buckets_skipped) is deterministic and compared.
+    The power/priority scenario counters (power_scenarios' constant/
+    throttled makespans and hot-lot finish times, perf_micro's
+    optimize_throttled rounds, multisite_driven's rail caps, spans, and
+    per-site makespans) are single-threaded scheduler outputs —
+    deterministic by the bit-identity contract, so all of them are gated.
   * wall_ms deltas are reported for information only — they never fail the
     diff (CI machines vary too much for a hard wall-clock gate).
 

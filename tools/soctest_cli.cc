@@ -4,6 +4,7 @@
 //   benchmarks                               list embedded benchmark SOCs
 //   wrapper   <soc> <core> [--wmax N]        T(w) curve + Pareto widths
 //   schedule  <soc> --width W [--preempt] [--power-factor F]
+//             [--budget start:pmax[,start:pmax...]] [--no-prio]
 //             [--s N] [--delta N] [--search] [--threads N] [--gantt]
 //             [--wires] [--json PATH] [--csv PATH] [--svg PATH]
 //   sweep     <soc> [--min N] [--max N] [--rho R] [--threads N] [--csv PATH]
@@ -36,6 +37,7 @@
 #include <utility>
 
 #include "baseline/lower_bound.h"
+#include "constraints/power.h"
 #include "core/gantt.h"
 #include "core/idle_analysis.h"
 #include "core/improver.h"
@@ -143,13 +145,15 @@ int CmdSchedule(int argc, const char* const* argv) {
   // --adaptive turns on UCB1 move selection over --moves (comma-separated
   // subset of nudge,swap,block), and --max-evals M caps scheduler runs.
   ArgParser args({"preempt", "sweep", "search", "wide", "adaptive",
-                  "no-bound", "no-memo", "gantt", "wires"},
-                 {"width", "power-factor", "s", "delta", "threads", "improve",
-                  "improver-threads", "batch", "moves", "max-evals", "json",
-                  "csv", "svg"});
+                  "no-bound", "no-memo", "no-prio", "gantt", "wires"},
+                 {"width", "power-factor", "budget", "s", "delta", "threads",
+                  "improve", "improver-threads", "batch", "moves", "max-evals",
+                  "json", "csv", "svg"});
   if (!args.Parse(argc, argv, 2) || args.positional().size() != 1) {
     std::fprintf(stderr, "usage: soctest_cli schedule <soc> --width W "
-                         "[--preempt] [--power-factor F] [--s N] [--delta N] "
+                         "[--preempt] [--power-factor F] "
+                         "[--budget start:pmax[,start:pmax...]] [--no-prio] "
+                         "[--s N] [--delta N] "
                          "[--search] [--wide] [--threads N] [--improve N] "
                          "[--improver-threads N] [--batch K] [--adaptive] "
                          "[--moves m1,m2] [--no-bound] [--no-memo] "
@@ -165,12 +169,25 @@ int CmdSchedule(int argc, const char* const* argv) {
   if (power_factor > 0.0) {
     problem->power = PowerModel::FromSoc(problem->soc, power_factor);
   }
+  if (const auto budget_text = args.Option("budget")) {
+    // Replace the problem's budget timeline in place (deriving per-core power
+    // if the SOC declared none) so the optimizer, the validator, and every
+    // report below all see the same time-varying cap.
+    std::string error;
+    const auto budget = ParseBudgetTimeline(*budget_text, &error);
+    if (!budget) {
+      std::fprintf(stderr, "--budget: %s\n", error.c_str());
+      return 2;
+    }
+    problem->power = WithBudget(problem->soc, problem->power, *budget);
+  }
 
   OptimizerParams params;
   params.tam_width = args.Int32Or("width", 32);
   params.s_percent = args.DoubleOr("s", 5.0);
   params.delta = args.Int32Or("delta", 1);
   params.allow_preemption = args.HasFlag("preempt");
+  params.honor_priority = !args.HasFlag("no-prio");
   // Default 0 = all hardware threads, matching the sweep subcommand.
   const int threads = args.Int32Or("threads", 0);
   const int improve_iters = args.Int32Or("improve", 0);
